@@ -1,0 +1,268 @@
+// Benchmarks regenerating the paper's evaluation artifacts, one per
+// table/figure (see DESIGN.md §5), plus engine micro-benchmarks. Each
+// artifact benchmark runs the full pipeline on a representative
+// benchmark at reduced campaign scale and reports the headline quantity
+// as a custom metric; `go run ./cmd/experiments` produces the complete
+// 16-benchmark versions.
+package flowery
+
+import (
+	"testing"
+
+	"flowery/internal/asm"
+	"flowery/internal/backend"
+	"flowery/internal/bench"
+	"flowery/internal/campaign"
+	"flowery/internal/dup"
+	"flowery/internal/experiment"
+	fl "flowery/internal/flowery"
+	"flowery/internal/interp"
+	"flowery/internal/ir"
+	"flowery/internal/machine"
+	"flowery/internal/sim"
+)
+
+// benchCfg is the reduced scale used by the testing.B artifact benches.
+var benchCfg = experiment.Config{Runs: 250, ProfileSamples: 300, Seed: 2023}
+
+func mustBench(b *testing.B, name string) bench.Benchmark {
+	b.Helper()
+	bm, ok := bench.ByName(name)
+	if !ok {
+		b.Fatalf("unknown benchmark %q", name)
+	}
+	return bm
+}
+
+// BenchmarkTable1 regenerates the benchmark-inventory table (Table 1):
+// golden runs of every benchmark at both layers.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var totalIR, totalAsm int64
+		for _, bm := range bench.All() {
+			m := bm.Build()
+			prog, err := backend.Lower(m)
+			if err != nil {
+				b.Fatal(err)
+			}
+			mc, err := machine.New(m, prog)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ri := interp.New(m).Run(sim.Fault{}, sim.Options{})
+			rm := mc.Run(sim.Fault{}, sim.Options{})
+			if ri.Status != sim.StatusOK || rm.Status != sim.StatusOK {
+				b.Fatalf("%s failed", bm.Name)
+			}
+			totalIR += ri.DynInstrs
+			totalAsm += rm.DynInstrs
+		}
+		b.ReportMetric(float64(totalIR), "IR-dyn-instrs")
+		b.ReportMetric(float64(totalAsm), "asm-dyn-instrs")
+	}
+}
+
+// BenchmarkFigure2 regenerates the cross-layer coverage comparison
+// (Figure 2) for one benchmark and reports the coverage gap at full
+// protection.
+func BenchmarkFigure2(b *testing.B) {
+	bm := mustBench(b, "bfs")
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.RunBenchmark(bm, benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gap := r.CoverageIR(dup.Level100) - r.CoverageAsm(dup.Level100)
+		b.ReportMetric(gap*100, "coverage-gap-%")
+	}
+}
+
+// BenchmarkFigure3 regenerates the root-cause classification (Figure 3)
+// and reports the share of deficiencies the three Flowery-fixable
+// penetrations account for (paper: ~94.5%).
+func BenchmarkFigure3(b *testing.B) {
+	bm := mustBench(b, "lud")
+	for i := 0; i < b.N; i++ {
+		m := bm.Build()
+		if err := dup.ApplyFull(m); err != nil {
+			b.Fatal(err)
+		}
+		prog, err := backend.Lower(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		st, err := campaign.Run(func() (sim.Engine, error) { return machine.New(m, prog) },
+			campaign.Spec{Runs: 600, Seed: benchCfg.Seed})
+		if err != nil {
+			b.Fatal(err)
+		}
+		total, fixable := 0, 0
+		for o, c := range st.SDCByOrigin {
+			total += c
+			switch asm.Origin(o) {
+			case asm.OriginStoreReload, asm.OriginBranchTest, asm.OriginCmpFolded:
+				fixable += c
+			}
+		}
+		if total > 0 {
+			b.ReportMetric(float64(fixable)/float64(total)*100, "fixable-share-%")
+		}
+	}
+}
+
+// BenchmarkFigure17 regenerates the mitigation comparison (Figure 17)
+// for one benchmark and reports Flowery's coverage improvement over
+// plain duplication at assembly level.
+func BenchmarkFigure17(b *testing.B) {
+	bm := mustBench(b, "lud")
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.RunBenchmark(bm, benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		improvement := r.CoverageFlowery(dup.Level100) - r.CoverageAsm(dup.Level100)
+		b.ReportMetric(improvement*100, "flowery-gain-%")
+	}
+}
+
+// BenchmarkOverhead regenerates the §7.2 measurement: Flowery's extra
+// dynamic instructions on top of plain duplication at full protection.
+func BenchmarkOverhead(b *testing.B) {
+	bm := mustBench(b, "fft2")
+	for i := 0; i < b.N; i++ {
+		id := bm.Build()
+		if err := dup.ApplyFull(id); err != nil {
+			b.Fatal(err)
+		}
+		flm := bm.Build()
+		if err := dup.ApplyFull(flm); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := fl.Apply(flm, fl.All()); err != nil {
+			b.Fatal(err)
+		}
+		dynID := goldenAsmDyn(b, id)
+		dynFL := goldenAsmDyn(b, flm)
+		b.ReportMetric((float64(dynFL)/float64(dynID)-1)*100, "flowery-overhead-%")
+	}
+}
+
+// BenchmarkPassTime regenerates the §7.3 measurement: wall-clock time of
+// the Flowery transform itself across all 16 benchmarks.
+func BenchmarkPassTime(b *testing.B) {
+	mods := make([]*ir.Module, 0, 16)
+	for _, bm := range bench.All() {
+		m := bm.Build()
+		if err := dup.ApplyFull(m); err != nil {
+			b.Fatal(err)
+		}
+		mods = append(mods, m)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		// The transform mutates, so each iteration needs fresh clones.
+		fresh := make([]*ir.Module, len(mods))
+		for j, m := range mods {
+			fresh[j] = ir.CloneModule(m)
+		}
+		b.StartTimer()
+		for _, m := range fresh {
+			if _, err := fl.Apply(m, fl.All()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func goldenAsmDyn(b *testing.B, m *ir.Module) int64 {
+	b.Helper()
+	prog, err := backend.Lower(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mc, err := machine.New(m, prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res := mc.Run(sim.Fault{}, sim.Options{})
+	if res.Status != sim.StatusOK {
+		b.Fatalf("golden run failed: %v", res.Status)
+	}
+	return res.DynInstrs
+}
+
+// BenchmarkAblation regenerates the per-patch ablation (extension A1)
+// and reports the coverage the combined patches reach.
+func BenchmarkAblation(b *testing.B) {
+	bm := mustBench(b, "lud")
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.RunAblation(bm, benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(campaign.Coverage(r.Raw, r.All)*100, "flowery-coverage-%")
+	}
+}
+
+// BenchmarkInterp measures IR interpreter throughput.
+func BenchmarkInterp(b *testing.B) {
+	bm := mustBench(b, "susan")
+	m := bm.Build()
+	ip := interp.New(m)
+	golden := ip.Run(sim.Fault{}, sim.Options{})
+	b.ResetTimer()
+	var instrs int64
+	for i := 0; i < b.N; i++ {
+		ip.Run(sim.Fault{}, sim.Options{})
+		instrs += golden.DynInstrs
+	}
+	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds()/1e6, "M-instrs/s")
+}
+
+// BenchmarkMachine measures assembly simulator throughput.
+func BenchmarkMachine(b *testing.B) {
+	bm := mustBench(b, "susan")
+	m := bm.Build()
+	prog, err := backend.Lower(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mc, err := machine.New(m, prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	golden := mc.Run(sim.Fault{}, sim.Options{})
+	b.ResetTimer()
+	var instrs int64
+	for i := 0; i < b.N; i++ {
+		mc.Run(sim.Fault{}, sim.Options{})
+		instrs += golden.DynInstrs
+	}
+	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds()/1e6, "M-instrs/s")
+}
+
+// BenchmarkLower measures backend lowering speed over all benchmarks.
+func BenchmarkLower(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, bm := range bench.All() {
+			m := bm.Build()
+			if _, err := backend.Lower(m); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkDuplication measures the duplication transform over all
+// benchmarks at full protection.
+func BenchmarkDuplication(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, bm := range bench.All() {
+			m := bm.Build()
+			if err := dup.ApplyFull(m); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

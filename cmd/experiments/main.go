@@ -1,0 +1,175 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md §5 for the experiment index):
+//
+//	experiments                      # everything, default scale
+//	experiments -only fig2           # one artifact
+//	experiments -bench bfs,lud       # a subset of benchmarks
+//	experiments -runs 3000           # the paper's campaign size
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"flowery/internal/bench"
+	"flowery/internal/experiment"
+)
+
+func benchByName(n string) (bench.Benchmark, bool) { return bench.ByName(n) }
+
+func main() {
+	runs := flag.Int("runs", 0, "fault injections per campaign (0 = default scale)")
+	samples := flag.Int("samples", 0, "profiling injections (0 = default)")
+	seed := flag.Int64("seed", 2023, "random seed")
+	only := flag.String("only", "all", "artifact: table1|fig2|fig3|fig17|overhead|passtime|ablation|pressure|convergence|all")
+	benches := flag.String("bench", "", "comma-separated benchmark subset (default: all 16)")
+	workers := flag.Int("workers", 0, "campaign parallelism (0 = GOMAXPROCS)")
+	quiet := flag.Bool("q", false, "suppress progress output")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
+	flag.Parse()
+
+	cfg := experiment.DefaultConfig()
+	if *runs > 0 {
+		cfg.Runs = *runs
+	}
+	if *samples > 0 {
+		cfg.ProfileSamples = *samples
+	}
+	cfg.Seed = *seed
+	cfg.Workers = *workers
+
+	var names []string
+	if *benches != "" {
+		names = strings.Split(*benches, ",")
+	}
+
+	progress := func(name string, d time.Duration) {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "[experiments] %-14s done in %v\n", name, d.Round(time.Millisecond))
+		}
+	}
+
+	// The campaign-size convergence study runs its own pipeline.
+	if *only == "convergence" {
+		if len(names) == 0 {
+			names = []string{"lud"}
+		}
+		var results []*experiment.ConvergenceResult
+		for _, n := range names {
+			bm, ok := benchByName(n)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "experiments: unknown benchmark %q\n", n)
+				os.Exit(1)
+			}
+			start := time.Now()
+			r, err := experiment.RunConvergence(bm, cfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+			results = append(results, r)
+			progress(n, time.Since(start))
+		}
+		fmt.Println(experiment.Convergence(results))
+		return
+	}
+
+	// The register-pressure sweep runs its own pipeline too.
+	if *only == "pressure" {
+		if len(names) == 0 {
+			names = []string{"bfs", "susan"}
+		}
+		var results []*experiment.PressureResult
+		for _, n := range names {
+			bm, ok := benchByName(n)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "experiments: unknown benchmark %q\n", n)
+				os.Exit(1)
+			}
+			start := time.Now()
+			r, err := experiment.RunPressure(bm, cfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+			results = append(results, r)
+			progress(n, time.Since(start))
+		}
+		fmt.Println(experiment.Pressure(results))
+		return
+	}
+
+	// The ablation study runs its own pipeline (patch subsets at full
+	// protection) and defaults to a representative benchmark subset.
+	if *only == "ablation" {
+		if len(names) == 0 {
+			names = []string{"bfs", "lud", "quicksort", "susan"}
+		}
+		var results []*experiment.AblationResult
+		for _, n := range names {
+			bm, ok := benchByName(n)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "experiments: unknown benchmark %q\n", n)
+				os.Exit(1)
+			}
+			start := time.Now()
+			r, err := experiment.RunAblation(bm, cfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+			results = append(results, r)
+			progress(n, time.Since(start))
+		}
+		fmt.Println(experiment.Ablation(results))
+		return
+	}
+
+	start := time.Now()
+	results, err := experiment.RunAll(names, cfg, progress)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "[experiments] total %v (%d runs/campaign, seed %d)\n",
+			time.Since(start).Round(time.Millisecond), cfg.Runs, cfg.Seed)
+	}
+
+	if *jsonOut {
+		data, err := experiment.ToJSON(results, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(data)
+		fmt.Println()
+		return
+	}
+
+	artifacts := []struct {
+		key    string
+		render func([]*experiment.BenchResult) string
+	}{
+		{"table1", experiment.Table1},
+		{"fig2", experiment.Figure2},
+		{"fig3", experiment.Figure3},
+		{"fig17", experiment.Figure17},
+		{"overhead", experiment.Overhead},
+		{"passtime", experiment.PassTime},
+	}
+	matched := false
+	for _, a := range artifacts {
+		if *only == "all" || *only == a.key {
+			fmt.Println(a.render(results))
+			matched = true
+		}
+	}
+	if !matched {
+		fmt.Fprintf(os.Stderr, "experiments: unknown artifact %q\n", *only)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,308 @@
+// Command flowery is the Swiss-army tool for the protection pipeline:
+//
+//	flowery list                          # available benchmarks
+//	flowery ir bfs                        # print a benchmark's IR
+//	flowery protect -level 0.7 bfs        # duplicate (+ -flowery) and print IR
+//	flowery asm -protect bfs              # print lowered assembly with origins
+//	flowery run -layer asm bfs            # golden run
+//	flowery inject -runs 2000 -layer asm -level 1 -flowery bfs
+//	                                      # fault-injection campaign
+//
+// Program arguments name a built-in benchmark or a file containing
+// textual IR (as printed by `flowery ir`).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"flowery/internal/asm"
+	"flowery/internal/backend"
+	"flowery/internal/bench"
+	"flowery/internal/campaign"
+	"flowery/internal/dup"
+	"flowery/internal/flowery"
+	"flowery/internal/interp"
+	"flowery/internal/ir"
+	"flowery/internal/machine"
+	"flowery/internal/opt"
+	"flowery/internal/sim"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "list":
+		for _, b := range bench.All() {
+			fmt.Printf("%-14s %-9s %s\n", b.Name, b.Suite, b.Domain)
+		}
+	case "ir":
+		err = cmdIR(args)
+	case "opt":
+		err = cmdOpt(args)
+	case "protect":
+		err = cmdProtect(args)
+	case "asm":
+		err = cmdAsm(args)
+	case "run":
+		err = cmdRun(args)
+	case "inject":
+		err = cmdInject(args)
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flowery:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: flowery {list|ir|opt|protect|asm|run|inject} [flags] <benchmark|file.ir>")
+	os.Exit(2)
+}
+
+// cmdOpt runs the mid-end optimizer and prints the result. Running it
+// before `protect` is the correct pipeline order; running it after
+// nullifies the protection (see internal/opt).
+func cmdOpt(args []string) error {
+	fs := flag.NewFlagSet("opt", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("opt: need one benchmark or file")
+	}
+	m, err := loadModule(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	changed := opt.Run(m, opt.Standard())
+	if err := m.Verify(); err != nil {
+		return fmt.Errorf("optimizer produced invalid IR: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "opt: %d pass applications changed the module\n", changed)
+	fmt.Print(m.String())
+	return nil
+}
+
+// loadModule resolves a benchmark name or IR file path.
+func loadModule(name string) (*ir.Module, error) {
+	if bm, ok := bench.ByName(name); ok {
+		return bm.Build(), nil
+	}
+	src, err := os.ReadFile(name)
+	if err != nil {
+		return nil, fmt.Errorf("%q is neither a benchmark nor a readable file", name)
+	}
+	m, err := ir.Parse(string(src))
+	if err != nil {
+		return nil, fmt.Errorf("parse %s: %w", name, err)
+	}
+	if err := m.Verify(); err != nil {
+		return nil, fmt.Errorf("verify %s: %w", name, err)
+	}
+	return m, nil
+}
+
+// protectFlags adds the shared protection flags to fs.
+type protection struct {
+	level   *float64
+	flowery *bool
+	samples *int
+	seed    *int64
+}
+
+func addProtection(fs *flag.FlagSet) protection {
+	return protection{
+		level:   fs.Float64("level", 1.0, "protection level in (0,1]"),
+		flowery: fs.Bool("flowery", false, "apply the Flowery patches after duplication"),
+		samples: fs.Int("samples", 800, "profiling injections for selective protection"),
+		seed:    fs.Int64("seed", 2023, "random seed"),
+	}
+}
+
+// apply protects m according to the flags.
+func (p protection) apply(m *ir.Module) error {
+	if *p.level >= 1 {
+		if err := dup.ApplyFull(m); err != nil {
+			return err
+		}
+	} else {
+		profile, err := dup.BuildProfile(m, dup.ProfileOptions{Samples: *p.samples, Seed: *p.seed})
+		if err != nil {
+			return err
+		}
+		if err := dup.Apply(m, dup.Select(profile, dup.Level(*p.level))); err != nil {
+			return err
+		}
+	}
+	if *p.flowery {
+		st, err := flowery.Apply(m, flowery.All())
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "flowery: hoisted %d stores, patched %d branches, isolated %d compares in %v\n",
+			st.StoresHoisted, st.BranchesPatched, st.CmpsIsolated, st.Elapsed)
+	}
+	return nil
+}
+
+func cmdIR(args []string) error {
+	fs := flag.NewFlagSet("ir", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("ir: need one benchmark or file")
+	}
+	m, err := loadModule(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	fmt.Print(m.String())
+	return nil
+}
+
+func cmdProtect(args []string) error {
+	fs := flag.NewFlagSet("protect", flag.ExitOnError)
+	p := addProtection(fs)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("protect: need one benchmark or file")
+	}
+	m, err := loadModule(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	if err := p.apply(m); err != nil {
+		return err
+	}
+	fmt.Print(m.String())
+	return nil
+}
+
+func cmdAsm(args []string) error {
+	fs := flag.NewFlagSet("asm", flag.ExitOnError)
+	prot := fs.Bool("protect", false, "duplicate before lowering")
+	p := addProtection(fs)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("asm: need one benchmark or file")
+	}
+	m, err := loadModule(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	if *prot {
+		if err := p.apply(m); err != nil {
+			return err
+		}
+	}
+	prog, err := backend.Lower(m)
+	if err != nil {
+		return err
+	}
+	fmt.Print(prog.String())
+	return nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	layer := fs.String("layer", "asm", "execution layer: ir|asm")
+	prot := fs.Bool("protect", false, "duplicate before running")
+	p := addProtection(fs)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("run: need one benchmark or file")
+	}
+	m, err := loadModule(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	if *prot {
+		if err := p.apply(m); err != nil {
+			return err
+		}
+	}
+	var res sim.Result
+	switch *layer {
+	case "ir":
+		res = interp.New(m).Run(sim.Fault{}, sim.Options{})
+	case "asm":
+		prog, err := backend.Lower(m)
+		if err != nil {
+			return err
+		}
+		mc, err := machine.New(m, prog)
+		if err != nil {
+			return err
+		}
+		res = mc.Run(sim.Fault{}, sim.Options{})
+	default:
+		return fmt.Errorf("run: bad layer %q", *layer)
+	}
+	os.Stdout.Write(res.Output)
+	fmt.Fprintf(os.Stderr, "status=%v trap=%v ret=%d dynamic=%d injectable=%d\n",
+		res.Status, res.Trap, res.RetVal, res.DynInstrs, res.InjectableInstrs)
+	return nil
+}
+
+func cmdInject(args []string) error {
+	fs := flag.NewFlagSet("inject", flag.ExitOnError)
+	layer := fs.String("layer", "asm", "execution layer: ir|asm")
+	runs := fs.Int("runs", 1000, "number of fault injections")
+	prot := fs.Bool("protect", false, "duplicate before injecting")
+	p := addProtection(fs)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("inject: need one benchmark or file")
+	}
+	m, err := loadModule(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	if *prot {
+		if err := p.apply(m); err != nil {
+			return err
+		}
+	}
+
+	var factory campaign.EngineFactory
+	switch *layer {
+	case "ir":
+		factory = func() (sim.Engine, error) { return interp.New(m), nil }
+	case "asm":
+		prog, err := backend.Lower(m)
+		if err != nil {
+			return err
+		}
+		factory = func() (sim.Engine, error) { return machine.New(m, prog) }
+	default:
+		return fmt.Errorf("inject: bad layer %q", *layer)
+	}
+	st, err := campaign.Run(factory, campaign.Spec{Runs: *runs, Seed: *p.seed})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("runs=%d golden_dyn=%d injectable=%d\n", st.Runs, st.GoldenDyn, st.GoldenInjectable)
+	for o := campaign.Outcome(0); o < campaign.NumOutcomes; o++ {
+		fmt.Printf("%-9s %6d  %6.2f%%\n", o, st.Counts[o], st.Rate(o)*100)
+	}
+	anySDC := false
+	for _, c := range st.SDCByOrigin {
+		if c > 0 {
+			anySDC = true
+		}
+	}
+	if anySDC && *layer == "asm" {
+		fmt.Println("SDCs by origin:")
+		for o := 0; o < asm.NumOrigins; o++ {
+			if st.SDCByOrigin[o] > 0 {
+				fmt.Printf("  %-9s %6d\n", asm.Origin(o), st.SDCByOrigin[o])
+			}
+		}
+	}
+	return nil
+}

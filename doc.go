@@ -1,0 +1,26 @@
+// Package flowery is a from-scratch Go reproduction of "Demystifying and
+// Mitigating Cross-Layer Deficiencies of Soft Error Protection in
+// Instruction Duplication" (SC 2023).
+//
+// The repository contains the full experimental stack of the paper,
+// re-implemented in pure Go (standard library only):
+//
+//   - an LLVM-flavoured IR with builder, verifier, printer and parser
+//     (internal/ir), executed by a fault-injecting interpreter
+//     (internal/interp) — the paper's LLVM-level fault injector;
+//   - a clang -O0-style backend (internal/backend) lowering IR to an
+//     x86-64-like assembly (internal/asm), executed by a fault-injecting
+//     architectural simulator (internal/machine) — the paper's PIN-level
+//     fault injector;
+//   - selective instruction duplication with fault-injection profiling
+//     and 0-1 knapsack selection (internal/dup, internal/knapsack);
+//   - the Flowery mitigation patches: eager store, postponed branch
+//     condition check, anti-comparison duplication (internal/flowery);
+//   - the paper's 16 benchmarks (internal/bench), the campaign harness
+//     (internal/campaign), and the per-figure experiment drivers
+//     (internal/experiment).
+//
+// Start with README.md, run `go run ./examples/quickstart`, and
+// regenerate the paper's tables and figures with
+// `go run ./cmd/experiments`.
+package flowery

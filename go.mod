@@ -1,0 +1,3 @@
+module flowery
+
+go 1.22

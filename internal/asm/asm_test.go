@@ -1,0 +1,181 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCondEval(t *testing.T) {
+	cases := []struct {
+		cond  Cond
+		flags uint64
+		want  bool
+	}{
+		{CondE, FlagZF, true},
+		{CondE, 0, false},
+		{CondNE, 0, true},
+		{CondL, FlagSF, true},           // SF != OF
+		{CondL, FlagSF | FlagOF, false}, // SF == OF
+		{CondLE, FlagZF, true},
+		{CondG, 0, true},
+		{CondG, FlagZF, false},
+		{CondGE, FlagSF | FlagOF, true},
+		{CondB, FlagCF, true},
+		{CondBE, FlagZF, true},
+		{CondA, 0, true},
+		{CondA, FlagCF, false},
+		{CondA, FlagZF, false},
+		{CondAE, FlagCF, false},
+		{CondP, FlagPF, true},
+		{CondNP, FlagPF, false},
+	}
+	for _, c := range cases {
+		if got := c.cond.Eval(c.flags); got != c.want {
+			t.Errorf("%v.Eval(%#x) = %v, want %v", c.cond, c.flags, got, c.want)
+		}
+	}
+}
+
+func TestHasDestAndWidths(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		reg  Reg
+		has  bool
+		bits int
+	}{
+		{Instr{Op: OpMov, Size: 8, Dst: RegOp(RAX), Src: ImmOp(1)}, RAX, true, 64},
+		{Instr{Op: OpMov, Size: 4, Dst: RegOp(RCX), Src: ImmOp(1)}, RCX, true, 32},
+		{Instr{Op: OpMov, Size: 1, Dst: RegOp(RDX), Src: ImmOp(1)}, RDX, true, 8},
+		{Instr{Op: OpMov, Size: 8, Dst: MemOp(RBP, -8), Src: RegOp(RAX)}, RegNone, false, 0},
+		{Instr{Op: OpCmp, Size: 8, Dst: RegOp(RAX), Src: ImmOp(0)}, RFLAGS, true, len(DefinedFlags)},
+		{Instr{Op: OpTest, Size: 1, Dst: RegOp(RAX), Src: ImmOp(1)}, RFLAGS, true, len(DefinedFlags)},
+		{Instr{Op: OpUComiSD, Size: 8, Dst: RegOp(XMM0), Src: RegOp(XMM1)}, RFLAGS, true, len(DefinedFlags)},
+		{Instr{Op: OpSet, Cond: CondE, Dst: RegOp(RAX)}, RAX, true, 8},
+		{Instr{Op: OpIDiv, Size: 8, Src: RegOp(RCX)}, RAX, true, 64},
+		{Instr{Op: OpCqo, Size: 8}, RDX, true, 64},
+		{Instr{Op: OpPush, Src: RegOp(RBP)}, RSP, true, 64},
+		{Instr{Op: OpPop, Dst: RegOp(RBP)}, RBP, true, 64},
+		{Instr{Op: OpRet}, RIP, true, 64},
+		{Instr{Op: OpCall, Target: "f"}, RSP, true, 64},
+		{Instr{Op: OpJmp, Target: "l"}, RegNone, false, 0},
+		{Instr{Op: OpJcc, Cond: CondE, Target: "l"}, RegNone, false, 0},
+		{Instr{Op: OpLabel, Label: "l"}, RegNone, false, 0},
+		{Instr{Op: OpMovSD, Size: 8, Dst: RegOp(XMM3), Src: MemOp(RBP, -8)}, XMM3, true, 64},
+		{Instr{Op: OpMovSD, Size: 8, Dst: MemOp(RBP, -8), Src: RegOp(XMM3)}, RegNone, false, 0},
+		{Instr{Op: OpMovSX, Size: 1, Dst: RegOp(RAX), Src: RegOp(RAX)}, RAX, true, 64},
+		{Instr{Op: OpLea, Size: 8, Dst: RegOp(R10), Src: MemOp(RBP, -16)}, R10, true, 64},
+	}
+	for i, c := range cases {
+		reg, has := c.in.HasDest()
+		if reg != c.reg || has != c.has {
+			t.Errorf("case %d (%v): HasDest = (%v, %v), want (%v, %v)", i, c.in.Op, reg, has, c.reg, c.has)
+		}
+		if got := c.in.DestBits(); got != c.bits {
+			t.Errorf("case %d (%v): DestBits = %d, want %d", i, c.in.Op, got, c.bits)
+		}
+	}
+}
+
+func TestRegClassification(t *testing.T) {
+	if !RAX.IsGPR() || RAX.IsXMM() {
+		t.Error("RAX misclassified")
+	}
+	if !XMM0.IsXMM() || XMM0.IsGPR() {
+		t.Error("XMM0 misclassified")
+	}
+	if RFLAGS.IsGPR() || RFLAGS.IsXMM() {
+		t.Error("RFLAGS misclassified")
+	}
+}
+
+func TestProgramValidate(t *testing.T) {
+	p := NewProgram()
+	f := NewFunc("main")
+	f.EmitLabel("entry")
+	f.Emit(Instr{Op: OpJmp, Target: "entry"})
+	p.AddFunc(f)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("valid program rejected: %v", err)
+	}
+
+	// Unresolved label.
+	f2 := NewFunc("bad")
+	f2.Emit(Instr{Op: OpJmp, Target: "nowhere"})
+	p2 := NewProgram()
+	p2.AddFunc(f2)
+	mainF := NewFunc("main")
+	mainF.Emit(Instr{Op: OpRet})
+	p2.AddFunc(mainF)
+	if err := p2.Validate(); err == nil || !strings.Contains(err.Error(), "unresolved") {
+		t.Fatalf("unresolved label not caught: %v", err)
+	}
+
+	// Unknown call target.
+	f3 := NewFunc("main")
+	f3.Emit(Instr{Op: OpCall, Target: "ghost"})
+	p3 := NewProgram()
+	p3.AddFunc(f3)
+	if err := p3.Validate(); err == nil || !strings.Contains(err.Error(), "unknown") {
+		t.Fatalf("unknown callee not caught: %v", err)
+	}
+
+	// Missing main.
+	p4 := NewProgram()
+	other := NewFunc("other")
+	other.Emit(Instr{Op: OpRet})
+	p4.AddFunc(other)
+	if err := p4.Validate(); err == nil || !strings.Contains(err.Error(), "main") {
+		t.Fatalf("missing main not caught: %v", err)
+	}
+}
+
+func TestDuplicateLabelPanics(t *testing.T) {
+	f := NewFunc("f")
+	f.EmitLabel("l")
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate label accepted")
+		}
+	}()
+	f.EmitLabel("l")
+}
+
+func TestPrinterSmoke(t *testing.T) {
+	f := NewFunc("main")
+	f.EmitLabel("entry")
+	f.Emit(Instr{Op: OpPush, Src: RegOp(RBP), Origin: OriginFrame})
+	f.Emit(Instr{Op: OpMov, Size: 8, Dst: RegOp(RBP), Src: RegOp(RSP)})
+	f.Emit(Instr{Op: OpMov, Size: 4, Dst: RegOp(RAX), Src: MemOp(RBP, -8)})
+	f.Emit(Instr{Op: OpCmp, Size: 4, Dst: RegOp(RAX), Src: ImmOp(10)})
+	f.Emit(Instr{Op: OpJcc, Cond: CondL, Target: "entry"})
+	f.Emit(Instr{Op: OpSet, Cond: CondGE, Dst: RegOp(RCX)})
+	f.Emit(Instr{Op: OpMovSD, Size: 8, Dst: RegOp(XMM1), Src: SymMemOp("pool", 8)})
+	f.Emit(Instr{Op: OpRet})
+	out := f.String()
+	for _, want := range []string{
+		"main:", ".entry:", "pushq\t%rbp", "movl\t-0x8(%rbp), %eax",
+		"cmpl\t$10, %eax", "jl\t.entry", "setge\t%cl", "pool+8(", "retq",
+		"origin=mapping",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("printout missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestOriginCountsAndNumInstrs(t *testing.T) {
+	p := NewProgram()
+	f := NewFunc("main")
+	f.EmitLabel("entry")
+	f.Emit(Instr{Op: OpMov, Size: 8, Dst: RegOp(RAX), Src: ImmOp(1), Origin: OriginStoreReload})
+	f.Emit(Instr{Op: OpMov, Size: 8, Dst: RegOp(RCX), Src: ImmOp(1)})
+	f.Emit(Instr{Op: OpRet, Origin: OriginFrame})
+	p.AddFunc(f)
+	if n := p.NumInstrs(); n != 3 {
+		t.Fatalf("NumInstrs = %d, want 3 (labels excluded)", n)
+	}
+	counts := p.OriginCounts()
+	if counts[OriginStoreReload] != 1 || counts[OriginFrame] != 1 || counts[OriginNone] != 1 {
+		t.Fatalf("origin counts wrong: %v", counts)
+	}
+}

@@ -1,0 +1,349 @@
+package asm
+
+import "fmt"
+
+// Op enumerates assembly opcodes.
+type Op uint8
+
+const (
+	OpInvalid Op = iota
+
+	// OpMov moves Size bytes Src→Dst. 32-bit register destinations
+	// zero-extend to 64 bits; 8-bit destinations merge into the low byte
+	// (x86 semantics).
+	OpMov
+	// OpMovSX sign-extends a Size-byte source into a 64-bit register.
+	OpMovSX
+	// OpMovZX zero-extends a Size-byte source into a 64-bit register.
+	OpMovZX
+	// OpLea computes the effective address of the Src memory operand.
+	OpLea
+
+	// Integer ALU ops: Dst = Dst <op> Src at width Size.
+	OpAdd
+	OpSub
+	OpIMul
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpSar
+	OpShr
+	OpNeg
+
+	// OpCqo sign-extends RAX into RDX:RAX (width from Size: 4 = cdq,
+	// 8 = cqo).
+	OpCqo
+	// OpIDiv divides RDX:RAX by Src; quotient→RAX, remainder→RDX.
+	OpIDiv
+
+	// OpCmp computes Dst-Src and sets flags (destination = RFLAGS).
+	OpCmp
+	// OpTest computes Dst&Src and sets flags (destination = RFLAGS).
+	OpTest
+	// OpSet materializes condition Cond into the 8-bit Dst register.
+	OpSet
+
+	// SSE scalar double ops.
+	OpMovSD
+	OpAddSD
+	OpSubSD
+	OpMulSD
+	OpDivSD
+	OpUComiSD  // sets flags from a double compare
+	OpCvtSI2SD // int (width Size) → double
+	OpCvtSD2SI // double → int (width Size), truncating
+
+	// Control flow.
+	OpJmp
+	OpJcc
+	OpCall
+	OpRet
+	OpPush
+	OpPop
+
+	// OpLabel is a pseudo-instruction marking a local jump target; it
+	// executes as a no-op and costs no dynamic instruction.
+	OpLabel
+)
+
+var asmOpNames = [...]string{
+	OpInvalid: "invalid",
+	OpMov:     "mov", OpMovSX: "movsx", OpMovZX: "movzx", OpLea: "lea",
+	OpAdd: "add", OpSub: "sub", OpIMul: "imul",
+	OpAnd: "and", OpOr: "or", OpXor: "xor",
+	OpShl: "shl", OpSar: "sar", OpShr: "shr", OpNeg: "neg",
+	OpCqo: "cqo", OpIDiv: "idiv",
+	OpCmp: "cmp", OpTest: "test", OpSet: "set",
+	OpMovSD: "movsd", OpAddSD: "addsd", OpSubSD: "subsd",
+	OpMulSD: "mulsd", OpDivSD: "divsd", OpUComiSD: "ucomisd",
+	OpCvtSI2SD: "cvtsi2sd", OpCvtSD2SI: "cvttsd2si",
+	OpJmp: "jmp", OpJcc: "j", OpCall: "callq", OpRet: "retq",
+	OpPush: "push", OpPop: "pop",
+	OpLabel: "label",
+}
+
+func (o Op) String() string {
+	if int(o) < len(asmOpNames) {
+		return asmOpNames[o]
+	}
+	return fmt.Sprintf("asmop(%d)", uint8(o))
+}
+
+// Cond enumerates x86 condition codes used by Jcc and SETcc.
+type Cond uint8
+
+const (
+	CondNone Cond = iota
+	CondE         // ZF
+	CondNE        // !ZF
+	CondL         // SF != OF
+	CondLE        // ZF || SF != OF
+	CondG         // !ZF && SF == OF
+	CondGE        // SF == OF
+	CondB         // CF
+	CondBE        // CF || ZF
+	CondA         // !CF && !ZF
+	CondAE        // !CF
+	CondP         // PF
+	CondNP        // !PF
+)
+
+var condNames = [...]string{
+	CondNone: "?", CondE: "e", CondNE: "ne",
+	CondL: "l", CondLE: "le", CondG: "g", CondGE: "ge",
+	CondB: "b", CondBE: "be", CondA: "a", CondAE: "ae",
+	CondP: "p", CondNP: "np",
+}
+
+func (c Cond) String() string {
+	if int(c) < len(condNames) {
+		return condNames[c]
+	}
+	return "?"
+}
+
+// Eval evaluates the condition against a flags word.
+func (c Cond) Eval(flags uint64) bool {
+	zf := flags&FlagZF != 0
+	sf := flags&FlagSF != 0
+	of := flags&FlagOF != 0
+	cf := flags&FlagCF != 0
+	pf := flags&FlagPF != 0
+	switch c {
+	case CondE:
+		return zf
+	case CondNE:
+		return !zf
+	case CondL:
+		return sf != of
+	case CondLE:
+		return zf || sf != of
+	case CondG:
+		return !zf && sf == of
+	case CondGE:
+		return sf == of
+	case CondB:
+		return cf
+	case CondBE:
+		return cf || zf
+	case CondA:
+		return !cf && !zf
+	case CondAE:
+		return !cf
+	case CondP:
+		return pf
+	case CondNP:
+		return !pf
+	default:
+		return false
+	}
+}
+
+// Origin classifies where an instruction came from, for root-cause
+// attribution of assembly-level SDCs (the paper's five penetrations).
+type Origin uint8
+
+const (
+	// OriginNone marks ordinary computation that has a matching
+	// injection site at IR level.
+	OriginNone Origin = iota
+	// OriginStoreReload marks the extra moves a store needs when its
+	// value (or address) had to be re-fetched from a stack slot —
+	// store penetration.
+	OriginStoreReload
+	// OriginBranchTest marks the condition reload and test emitted for
+	// a conditional branch that could not fuse with its compare —
+	// branch penetration.
+	OriginBranchTest
+	// OriginCmpFolded marks compare materialization left unprotected
+	// after the backend folded away a duplicated comparison check —
+	// comparison penetration.
+	OriginCmpFolded
+	// OriginCallArg marks argument/return-value register setup around
+	// calls — call penetration.
+	OriginCallArg
+	// OriginFrame marks prologue/epilogue stack management that has no
+	// IR counterpart — mapping penetration.
+	OriginFrame
+)
+
+var originNames = [...]string{
+	OriginNone:        "none",
+	OriginStoreReload: "store",
+	OriginBranchTest:  "branch",
+	OriginCmpFolded:   "cmp",
+	OriginCallArg:     "call",
+	OriginFrame:       "mapping",
+}
+
+func (o Origin) String() string {
+	if int(o) < len(originNames) {
+		return originNames[o]
+	}
+	return "origin?"
+}
+
+// NumOrigins is the number of Origin values.
+const NumOrigins = int(OriginFrame) + 1
+
+// OperandKind discriminates Operand payloads.
+type OperandKind uint8
+
+const (
+	OperandNone OperandKind = iota
+	OperandReg
+	OperandImm
+	// OperandMem is base + disp + index*scale.
+	OperandMem
+)
+
+// Operand is one instruction operand.
+type Operand struct {
+	Kind  OperandKind
+	Reg   Reg
+	Imm   int64 // immediate value, or displacement for OperandMem
+	Index Reg   // optional index register for OperandMem
+	Scale int64 // index scale for OperandMem
+	// Sym, when non-empty, names a global whose assigned address is
+	// added to Imm when the program is loaded into a machine (a
+	// relocation). Valid for OperandImm and OperandMem.
+	Sym string
+}
+
+// RegOp returns a register operand.
+func RegOp(r Reg) Operand { return Operand{Kind: OperandReg, Reg: r} }
+
+// ImmOp returns an immediate operand.
+func ImmOp(v int64) Operand { return Operand{Kind: OperandImm, Imm: v} }
+
+// MemOp returns a base+disp memory operand.
+func MemOp(base Reg, disp int64) Operand {
+	return Operand{Kind: OperandMem, Reg: base, Imm: disp}
+}
+
+// MemIdxOp returns a base+disp+index*scale memory operand.
+func MemIdxOp(base Reg, disp int64, index Reg, scale int64) Operand {
+	return Operand{Kind: OperandMem, Reg: base, Imm: disp, Index: index, Scale: scale}
+}
+
+// SymImmOp returns an immediate that resolves to the address of a global
+// plus disp.
+func SymImmOp(sym string, disp int64) Operand {
+	return Operand{Kind: OperandImm, Imm: disp, Sym: sym}
+}
+
+// SymMemOp returns a memory operand addressing a global plus disp.
+func SymMemOp(sym string, disp int64) Operand {
+	return Operand{Kind: OperandMem, Imm: disp, Sym: sym}
+}
+
+// Instr is one assembly instruction.
+type Instr struct {
+	Op   Op
+	Size uint8 // operation width in bytes (1, 4, or 8)
+	Cond Cond  // for OpJcc / OpSet
+
+	Dst Operand
+	Src Operand
+
+	// Target is the label for jumps (local, within the function) or the
+	// callee name for OpCall.
+	Target string
+	// Label is the name defined by an OpLabel pseudo-instruction.
+	Label string
+
+	// Origin is the provenance tag used for penetration classification.
+	Origin Origin
+	// Checker marks instructions belonging to a duplication checker.
+	Checker bool
+}
+
+// HasDest reports whether the instruction writes an injectable
+// destination, and which register it is. This defines the assembly-level
+// fault-injection site set: every dynamic instance of an instruction with
+// a destination register (including RFLAGS and RIP) is a site, matching
+// PIN-based injectors.
+func (in *Instr) HasDest() (Reg, bool) {
+	switch in.Op {
+	case OpMov, OpMovSX, OpMovZX, OpLea, OpMovSD:
+		if in.Dst.Kind == OperandReg {
+			return in.Dst.Reg, true
+		}
+		return RegNone, false // stores to memory have no register dest
+	case OpAdd, OpSub, OpIMul, OpAnd, OpOr, OpXor, OpShl, OpSar, OpShr, OpNeg,
+		OpAddSD, OpSubSD, OpMulSD, OpDivSD, OpSet, OpCvtSI2SD, OpCvtSD2SI:
+		if in.Dst.Kind == OperandReg {
+			return in.Dst.Reg, true
+		}
+		return RegNone, false
+	case OpCmp, OpTest, OpUComiSD:
+		return RFLAGS, true
+	case OpIDiv:
+		return RAX, true
+	case OpCqo:
+		return RDX, true
+	case OpPop:
+		if in.Dst.Kind == OperandReg {
+			return in.Dst.Reg, true
+		}
+		return RegNone, false
+	case OpPush, OpCall:
+		return RSP, true
+	case OpRet:
+		return RIP, true
+	default:
+		return RegNone, false
+	}
+}
+
+// DestBits returns the injectable width in bits of the destination. For
+// RFLAGS the width is the number of modeled flag bits.
+func (in *Instr) DestBits() int {
+	r, ok := in.HasDest()
+	if !ok {
+		return 0
+	}
+	switch {
+	case r == RFLAGS:
+		return len(DefinedFlags)
+	case r == RIP, r == RSP:
+		return 64
+	case r.IsXMM():
+		return 64
+	}
+	switch in.Op {
+	case OpMovSX, OpMovZX, OpLea, OpPop, OpCvtSI2SD:
+		return 64
+	case OpSet:
+		return 8
+	}
+	switch in.Size {
+	case 1:
+		return 8
+	case 4:
+		return 32
+	default:
+		return 64
+	}
+}

@@ -1,0 +1,158 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the program in AT&T-flavoured assembly for human
+// inspection (examples, debugging, and the root-cause demo binary).
+func (p *Program) String() string {
+	var sb strings.Builder
+	for _, f := range p.Funcs {
+		sb.WriteString(f.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// String renders one function.
+func (f *Func) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s:\n", f.Name)
+	for _, in := range f.Instrs {
+		if in.Op == OpLabel {
+			fmt.Fprintf(&sb, ".%s:\n", in.Label)
+			continue
+		}
+		sb.WriteString("\t")
+		sb.WriteString(in.String())
+		if in.Origin != OriginNone {
+			sb.WriteString("\t# origin=" + in.Origin.String())
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// String renders one instruction in AT&T syntax (src, dst order).
+func (in *Instr) String() string {
+	suffix := ""
+	switch in.Size {
+	case 1:
+		suffix = "b"
+	case 4:
+		suffix = "l"
+	case 8:
+		suffix = "q"
+	}
+	switch in.Op {
+	case OpLabel:
+		return "." + in.Label + ":"
+	case OpJmp:
+		return "jmp\t." + in.Target
+	case OpJcc:
+		return "j" + in.Cond.String() + "\t." + in.Target
+	case OpCall:
+		return "callq\t" + in.Target
+	case OpRet:
+		return "retq"
+	case OpSet:
+		return "set" + in.Cond.String() + "\t" + in.Dst.atT(1)
+	case OpCqo:
+		if in.Size == 4 {
+			return "cltd"
+		}
+		return "cqto"
+	case OpIDiv:
+		return "idiv" + suffix + "\t" + in.Src.atT(in.Size)
+	case OpNeg:
+		return "neg" + suffix + "\t" + in.Dst.atT(in.Size)
+	case OpPush:
+		return "pushq\t" + in.Src.atT(8)
+	case OpPop:
+		return "popq\t" + in.Dst.atT(8)
+	case OpMovSX:
+		return fmt.Sprintf("movsx%s\t%s, %s", suffix, in.Src.atT(in.Size), in.Dst.atT(8))
+	case OpMovZX:
+		return fmt.Sprintf("movzx%s\t%s, %s", suffix, in.Src.atT(in.Size), in.Dst.atT(8))
+	case OpLea:
+		return fmt.Sprintf("leaq\t%s, %s", in.Src.atT(8), in.Dst.atT(8))
+	case OpMovSD, OpAddSD, OpSubSD, OpMulSD, OpDivSD, OpUComiSD:
+		return fmt.Sprintf("%s\t%s, %s", in.Op, in.Src.atT(8), in.Dst.atT(8))
+	case OpCvtSI2SD:
+		return fmt.Sprintf("cvtsi2sd%s\t%s, %s", suffix, in.Src.atT(in.Size), in.Dst.atT(8))
+	case OpCvtSD2SI:
+		return fmt.Sprintf("cvttsd2si%s\t%s, %s", suffix, in.Src.atT(8), in.Dst.atT(in.Size))
+	default:
+		return fmt.Sprintf("%s%s\t%s, %s", in.Op, suffix, in.Src.atT(in.Size), in.Dst.atT(in.Size))
+	}
+}
+
+// atT renders an operand in AT&T syntax at the given width.
+func (o Operand) atT(size uint8) string {
+	switch o.Kind {
+	case OperandReg:
+		return regName(o.Reg, size)
+	case OperandImm:
+		if o.Sym != "" {
+			if o.Imm != 0 {
+				return fmt.Sprintf("$%s+%d", o.Sym, o.Imm)
+			}
+			return "$" + o.Sym
+		}
+		return fmt.Sprintf("$%d", o.Imm)
+	case OperandMem:
+		idx := ""
+		if o.Index != RegNone {
+			idx = fmt.Sprintf(",%s,%d", regName(o.Index, 8), o.Scale)
+		}
+		if o.Sym != "" {
+			if o.Imm != 0 {
+				return fmt.Sprintf("%s+%d(%s)", o.Sym, o.Imm, idx)
+			}
+			return fmt.Sprintf("%s(%s)", o.Sym, idx)
+		}
+		if o.Reg == RegNone {
+			return fmt.Sprintf("0x%x(%s)", o.Imm, idx)
+		}
+		if o.Imm == 0 && idx == "" {
+			return fmt.Sprintf("(%s)", regName(o.Reg, 8))
+		}
+		return fmt.Sprintf("%#x(%s%s)", o.Imm, regName(o.Reg, 8), idx)
+	default:
+		return "?"
+	}
+}
+
+// regName returns the width-specific x86 register name.
+func regName(r Reg, size uint8) string {
+	if r.IsXMM() || r == RFLAGS || r == RIP {
+		return r.String()
+	}
+	base := regNames[r]
+	switch size {
+	case 8:
+		return "%" + base
+	case 4:
+		switch r {
+		case RAX, RBX, RCX, RDX:
+			return "%e" + base[1:]
+		case RSI, RDI, RBP, RSP:
+			return "%e" + base[1:]
+		default:
+			return "%" + base + "d"
+		}
+	case 1:
+		switch r {
+		case RAX, RBX, RCX, RDX:
+			return "%" + base[1:2] + "l"
+		case RSI, RDI, RBP, RSP:
+			return "%" + base[1:] + "l"
+		default:
+			return "%" + base + "b"
+		}
+	default:
+		return "%" + base
+	}
+}

@@ -1,0 +1,139 @@
+package asm
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Func is one compiled function: a flat instruction list with local
+// labels resolved to indices.
+type Func struct {
+	Name   string
+	Instrs []Instr
+	// labelIdx maps a local label to the index of its OpLabel marker.
+	labelIdx map[string]int
+	// FrameSize is the rbp-relative frame extent in bytes (the amount
+	// subtracted from rsp in the prologue).
+	FrameSize int64
+}
+
+// NewFunc returns an empty function body.
+func NewFunc(name string) *Func {
+	return &Func{Name: name, labelIdx: make(map[string]int)}
+}
+
+// Emit appends an instruction and returns its index.
+func (f *Func) Emit(in Instr) int {
+	f.Instrs = append(f.Instrs, in)
+	return len(f.Instrs) - 1
+}
+
+// EmitLabel appends a label pseudo-instruction.
+func (f *Func) EmitLabel(name string) {
+	if _, dup := f.labelIdx[name]; dup {
+		panic(fmt.Sprintf("asm: duplicate label %q in %s", name, f.Name))
+	}
+	f.labelIdx[name] = len(f.Instrs)
+	f.Emit(Instr{Op: OpLabel, Label: name})
+}
+
+// LabelIndex resolves a local label to an instruction index.
+func (f *Func) LabelIndex(name string) (int, bool) {
+	i, ok := f.labelIdx[name]
+	return i, ok
+}
+
+// Validate checks that all local jump targets resolve.
+func (f *Func) Validate() error {
+	for i, in := range f.Instrs {
+		switch in.Op {
+		case OpJmp, OpJcc:
+			if _, ok := f.labelIdx[in.Target]; !ok {
+				return fmt.Errorf("asm: %s[%d]: unresolved label %q", f.Name, i, in.Target)
+			}
+		}
+	}
+	return nil
+}
+
+// Program is a complete lowered module.
+type Program struct {
+	Funcs []*Func
+	// Externals lists runtime functions callable by name.
+	Externals map[string]bool
+
+	funcByName map[string]*Func
+}
+
+// NewProgram returns an empty program.
+func NewProgram() *Program {
+	return &Program{
+		Externals:  make(map[string]bool),
+		funcByName: make(map[string]*Func),
+	}
+}
+
+// AddFunc registers a function body.
+func (p *Program) AddFunc(f *Func) {
+	if _, dup := p.funcByName[f.Name]; dup {
+		panic(fmt.Sprintf("asm: duplicate function %q", f.Name))
+	}
+	p.Funcs = append(p.Funcs, f)
+	p.funcByName[f.Name] = f
+}
+
+// Func looks a function up by name.
+func (p *Program) Func(name string) *Func { return p.funcByName[name] }
+
+// Validate checks every function and that call targets exist.
+func (p *Program) Validate() error {
+	for _, f := range p.Funcs {
+		if err := f.Validate(); err != nil {
+			return err
+		}
+		for i, in := range f.Instrs {
+			if in.Op == OpCall {
+				if p.funcByName[in.Target] == nil && !p.Externals[in.Target] {
+					return fmt.Errorf("asm: %s[%d]: call to unknown %q", f.Name, i, in.Target)
+				}
+			}
+		}
+	}
+	if p.funcByName["main"] == nil {
+		return fmt.Errorf("asm: program has no main")
+	}
+	return nil
+}
+
+// NumInstrs returns the static instruction count (labels excluded).
+func (p *Program) NumInstrs() int {
+	n := 0
+	for _, f := range p.Funcs {
+		for _, in := range f.Instrs {
+			if in.Op != OpLabel {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// OriginCounts tallies static instructions by origin tag, labels excluded.
+func (p *Program) OriginCounts() map[Origin]int {
+	counts := make(map[Origin]int)
+	for _, f := range p.Funcs {
+		for _, in := range f.Instrs {
+			if in.Op != OpLabel {
+				counts[in.Origin]++
+			}
+		}
+	}
+	return counts
+}
+
+// SortedFuncs returns functions sorted by name for deterministic output.
+func (p *Program) SortedFuncs() []*Func {
+	fs := append([]*Func(nil), p.Funcs...)
+	sort.Slice(fs, func(i, j int) bool { return fs[i].Name < fs[j].Name })
+	return fs
+}

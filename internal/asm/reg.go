@@ -1,0 +1,92 @@
+// Package asm defines the x86-64-like assembly language that the backend
+// emits and the machine simulator executes. The subset is modeled on what
+// clang -O0 produces for the IR in this repository: rbp-framed functions,
+// slot-homed values, cmp/test + conditional jumps, SSE scalar doubles,
+// and the System V calling convention.
+//
+// Every instruction carries a provenance Origin assigned by the backend;
+// the fault-injection analysis uses it to classify assembly-level SDCs
+// into the paper's five penetration categories.
+package asm
+
+// Reg names an architectural register.
+type Reg uint8
+
+const (
+	RegNone Reg = iota
+	// General-purpose registers.
+	RAX
+	RBX
+	RCX
+	RDX
+	RSI
+	RDI
+	RBP
+	RSP
+	R8
+	R9
+	R10
+	R11
+	R12
+	R13
+	R14
+	R15
+	// SSE registers (scalar double only).
+	XMM0
+	XMM1
+	XMM2
+	XMM3
+	XMM4
+	XMM5
+	XMM6
+	XMM7
+	// RFLAGS as an injectable destination (cmp/test/ucomisd).
+	RFLAGS
+	// RIP as an injectable destination (ret).
+	RIP
+
+	NumRegs = int(RIP) + 1
+)
+
+var regNames = [...]string{
+	RegNone: "none",
+	RAX:     "rax", RBX: "rbx", RCX: "rcx", RDX: "rdx",
+	RSI: "rsi", RDI: "rdi", RBP: "rbp", RSP: "rsp",
+	R8: "r8", R9: "r9", R10: "r10", R11: "r11",
+	R12: "r12", R13: "r13", R14: "r14", R15: "r15",
+	XMM0: "xmm0", XMM1: "xmm1", XMM2: "xmm2", XMM3: "xmm3",
+	XMM4: "xmm4", XMM5: "xmm5", XMM6: "xmm6", XMM7: "xmm7",
+	RFLAGS: "rflags", RIP: "rip",
+}
+
+func (r Reg) String() string {
+	if int(r) < len(regNames) {
+		return "%" + regNames[r]
+	}
+	return "%reg?"
+}
+
+// IsXMM reports whether r is an SSE register.
+func (r Reg) IsXMM() bool { return r >= XMM0 && r <= XMM7 }
+
+// IsGPR reports whether r is a general-purpose register.
+func (r Reg) IsGPR() bool { return r >= RAX && r <= R15 }
+
+// IntArgRegs is the System V AMD64 integer argument register order.
+var IntArgRegs = []Reg{RDI, RSI, RDX, RCX, R8, R9}
+
+// FloatArgRegs is the System V AMD64 float argument register order.
+var FloatArgRegs = []Reg{XMM0, XMM1, XMM2, XMM3, XMM4, XMM5, XMM6, XMM7}
+
+// Flag bits within the simulated RFLAGS (real x86 bit positions).
+const (
+	FlagCF uint64 = 1 << 0
+	FlagPF uint64 = 1 << 2
+	FlagZF uint64 = 1 << 6
+	FlagSF uint64 = 1 << 7
+	FlagOF uint64 = 1 << 11
+)
+
+// DefinedFlags lists the flag bits the simulator models; fault injection
+// into RFLAGS flips one of these.
+var DefinedFlags = []uint64{FlagCF, FlagPF, FlagZF, FlagSF, FlagOF}

@@ -1,0 +1,92 @@
+package backend
+
+import (
+	"flowery/internal/asm"
+	"flowery/internal/ir"
+)
+
+// regCache is the block-local value↔register map, the moral equivalent of
+// FastISel's local value map. Values are homed in stack slots at
+// definition (store-back-at-def), so eviction never needs a writeback.
+//
+// The cache is cleared at every block boundary and at calls. This is the
+// mechanism behind store penetration: a duplication checker splits the
+// block before a store, the stored value falls out of the cache, and the
+// store must reload it from its slot — creating an unprotected injection
+// site after the check already ran.
+type regCache struct {
+	vals  map[ir.Value]asm.Reg
+	owner [asm.NumRegs]ir.Value
+	// stamp implements LRU: higher = more recently used.
+	stamp [asm.NumRegs]int64
+	clock int64
+}
+
+// gprPool are the caller-saved scratch registers the lowering uses for
+// integer values, in allocation preference order. RBP/RSP frame the
+// function; callee-saved registers are untouched (as at -O0).
+var gprPool = []asm.Reg{asm.RAX, asm.RCX, asm.RDX, asm.RSI, asm.RDI, asm.R8, asm.R9, asm.R10, asm.R11}
+
+// xmmPool are the SSE scratch registers for f64 values.
+var xmmPool = []asm.Reg{asm.XMM0, asm.XMM1, asm.XMM2, asm.XMM3, asm.XMM4, asm.XMM5, asm.XMM6, asm.XMM7}
+
+func newRegCache() *regCache {
+	return &regCache{vals: make(map[ir.Value]asm.Reg)}
+}
+
+// lookup returns the register caching v, if any, and refreshes its LRU
+// stamp.
+func (c *regCache) lookup(v ir.Value) (asm.Reg, bool) {
+	r, ok := c.vals[v]
+	if ok {
+		c.clock++
+		c.stamp[r] = c.clock
+	}
+	return r, ok
+}
+
+// bind records that r now holds v, evicting r's previous occupant.
+func (c *regCache) bind(v ir.Value, r asm.Reg) {
+	c.dropReg(r)
+	if old, ok := c.vals[v]; ok {
+		c.owner[old] = nil
+	}
+	c.vals[v] = r
+	c.owner[r] = v
+	c.clock++
+	c.stamp[r] = c.clock
+}
+
+// alloc picks a register from pool, preferring free ones, else evicting
+// the least recently used.
+func (c *regCache) alloc(pool []asm.Reg) asm.Reg {
+	var best asm.Reg
+	bestStamp := int64(1<<62 - 1)
+	for _, r := range pool {
+		if c.owner[r] == nil {
+			return r
+		}
+		if c.stamp[r] < bestStamp {
+			bestStamp = c.stamp[r]
+			best = r
+		}
+	}
+	c.dropReg(best)
+	return best
+}
+
+// dropReg evicts whatever value r holds.
+func (c *regCache) dropReg(r asm.Reg) {
+	if v := c.owner[r]; v != nil {
+		delete(c.vals, v)
+		c.owner[r] = nil
+	}
+}
+
+// dropAll clears the cache (block boundaries, calls).
+func (c *regCache) dropAll() {
+	for r := range c.owner {
+		c.owner[r] = nil
+	}
+	clear(c.vals)
+}

@@ -1,0 +1,252 @@
+package backend
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"flowery/internal/ir"
+	"flowery/internal/machine"
+	"flowery/internal/sim"
+)
+
+// execMain lowers m and runs it on the machine, returning the result.
+func execMain(t *testing.T, m *ir.Module) sim.Result {
+	t.Helper()
+	prog := mustLower(t, m)
+	mc, err := machine.New(m, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mc.Run(sim.Fault{}, sim.Options{})
+	if res.Status == sim.StatusTrap {
+		t.Fatalf("trapped: %v at %s", res.Trap, mc.PCInfo(mc.LastPC()))
+	}
+	return res
+}
+
+// TestLoweredArithmetic drives every integer binop and width through the
+// machine via globals (so nothing constant-folds away).
+func TestLoweredArithmetic(t *testing.T) {
+	type tc struct {
+		op   ir.Op
+		ty   ir.Type
+		x, y int64
+		want int64
+	}
+	cases := []tc{
+		{ir.OpAdd, ir.I64, 1 << 40, 3, 1<<40 + 3},
+		{ir.OpAdd, ir.I32, math.MaxInt32, 1, math.MinInt32},
+		{ir.OpAdd, ir.I8, 127, 1, -128},
+		{ir.OpSub, ir.I32, -5, 7, -12},
+		{ir.OpMul, ir.I64, -7, 6, -42},
+		{ir.OpMul, ir.I8, 16, 16, 0},
+		{ir.OpSDiv, ir.I64, -100, 7, -14},
+		{ir.OpSDiv, ir.I32, 100, -7, -14},
+		{ir.OpSDiv, ir.I8, -128, -1, 128 - 256}, // promoted; wraps to -128
+		{ir.OpSRem, ir.I64, -100, 7, -2},
+		{ir.OpSRem, ir.I8, 100, 9, 1},
+		{ir.OpAnd, ir.I8, -1, 0x0f, 0x0f},
+		{ir.OpOr, ir.I32, 0x0f0f, 0x00ff, 0x0fff},
+		{ir.OpXor, ir.I64, -1, 0xff, ^int64(0xff)},
+		{ir.OpShl, ir.I64, 1, 62, 1 << 62},
+		{ir.OpShl, ir.I32, 3, 30, -1 << 30},
+		{ir.OpShl, ir.I8, 1, 7, -128},
+		{ir.OpAShr, ir.I64, math.MinInt64, 63, -1},
+		{ir.OpAShr, ir.I32, -64, 3, -8},
+		{ir.OpAShr, ir.I8, -64, 3, -8},
+		{ir.OpLShr, ir.I64, -1, 1, math.MaxInt64},
+		{ir.OpLShr, ir.I32, -1, 28, 15},
+		{ir.OpLShr, ir.I8, -128, 7, 1},
+	}
+	for _, c := range cases {
+		t.Run(fmt.Sprintf("%v_%v_%d_%d", c.op, c.ty, c.x, c.y), func(t *testing.T) {
+			m := ir.NewModule("arith")
+			var gx, gy *ir.Global
+			switch c.ty {
+			case ir.I8:
+				gx = m.NewGlobalData("x", []byte{byte(c.x)})
+				gy = m.NewGlobalData("y", []byte{byte(c.y)})
+			case ir.I32:
+				gx = m.NewGlobalI32("x", []int32{int32(c.x)})
+				gy = m.NewGlobalI32("y", []int32{int32(c.y)})
+			default:
+				gx = m.NewGlobalI64("x", []int64{c.x})
+				gy = m.NewGlobalI64("y", []int64{c.y})
+			}
+			f := m.NewFunction("main", ir.I64)
+			b := ir.NewBuilder(f)
+			x := b.Load(c.ty, gx)
+			y := b.Load(c.ty, gy)
+			v := b.Bin(c.op, x, y)
+			var w ir.Value = v
+			if c.ty != ir.I64 {
+				w = b.SExt(ir.I64, v)
+			}
+			b.Ret(w)
+			res := execMain(t, m)
+			want := c.want
+			if c.ty == ir.I8 {
+				want = int64(int8(want))
+			}
+			if res.RetVal != want {
+				t.Fatalf("got %d, want %d", res.RetVal, want)
+			}
+		})
+	}
+}
+
+// TestLoweredCasts drives every cast through memory-sourced values.
+func TestLoweredCasts(t *testing.T) {
+	m := ir.NewModule("casts")
+	g8 := m.NewGlobalData("b", []byte{0x80})           // -128 as i8
+	g32 := m.NewGlobalI32("w", []int32{-2})            // i32
+	g64 := m.NewGlobalI64("q", []int64{1 << 40})       // i64
+	gf := m.NewGlobalF64("f", []float64{-3.75, 1e300}) // f64
+	f := m.NewFunction("main", ir.I64)
+	b := ir.NewBuilder(f)
+
+	v8 := b.Load(ir.I8, g8)
+	v32 := b.Load(ir.I32, g32)
+	v64 := b.Load(ir.I64, g64)
+	vf := b.Load(ir.F64, gf)
+
+	b.PrintI64(b.SExt(ir.I64, v8))                                                               // -128
+	b.PrintI64(b.ZExt(ir.I64, v8))                                                               // 128
+	b.PrintI64(b.SExt(ir.I64, b.SExt(ir.I32, v8)))                                               // -128 via i32
+	b.PrintI64(b.ZExt(ir.I64, b.ZExt(ir.I32, v8)))                                               // 128 via i32
+	b.PrintI64(b.SExt(ir.I64, v32))                                                              // -2
+	b.PrintI64(b.ZExt(ir.I64, v32))                                                              // 2^32-2
+	b.PrintI64(b.SExt(ir.I64, b.Trunc(ir.I32, v64)))                                             // 0
+	b.PrintI64(b.SExt(ir.I64, b.Trunc(ir.I8, b.Load(ir.I32, g32))))                              // -2
+	b.PrintI64(b.ZExt(ir.I64, b.Trunc(ir.I1, b.Load(ir.I64, g64))))                              // 0 (bit 0 of 2^40)
+	b.PrintF64(b.SIToFP(v8))                                                                     // -128
+	b.PrintF64(b.SIToFP(v32))                                                                    // -2
+	b.PrintF64(b.SIToFP(b.Trunc(ir.I1, ir.ConstInt(ir.I64, 3))))                                 // 1
+	b.PrintI64(b.FPToSI(ir.I64, vf))                                                             // -3
+	b.PrintI64(b.SExt(ir.I64, b.FPToSI(ir.I32, b.LoadElem(ir.F64, gf, ir.ConstInt(ir.I64, 1))))) // indefinite
+	b.PrintI64(b.SExt(ir.I64, b.FPToSI(ir.I8, vf)))                                              // -3
+	b.PrintI64(b.ZExt(ir.I64, b.FPToSI(ir.I1, vf)))                                              // -3 & 1 = 1
+	// sext i1.
+	one := b.ICmp(ir.PredEQ, v32, ir.ConstInt(ir.I32, -2))
+	b.PrintI64(b.SExt(ir.I64, one)) // -1
+	b.Ret(ir.ConstInt(ir.I64, 0))
+
+	res := execMain(t, m)
+	want := "-128\n128\n-128\n128\n-2\n4294967294\n0\n-2\n0\n-128\n-2\n1\n-3\n-2147483648\n-3\n1\n-1\n"
+	if string(res.Output) != want {
+		t.Fatalf("output:\n%q\nwant:\n%q", res.Output, want)
+	}
+}
+
+// TestLoweredFCmpAllPredicates covers every float predicate incl. the
+// NaN-sensitive oeq/one set/parity paths.
+func TestLoweredFCmpAllPredicates(t *testing.T) {
+	m := ir.NewModule("fcmp")
+	gf := m.NewGlobalF64("f", []float64{1.5, 2.5, math.NaN()})
+	f := m.NewFunction("main", ir.I64)
+	b := ir.NewBuilder(f)
+	a := b.LoadElem(ir.F64, gf, ir.ConstInt(ir.I64, 0))
+	c := b.LoadElem(ir.F64, gf, ir.ConstInt(ir.I64, 1))
+	n := b.LoadElem(ir.F64, gf, ir.ConstInt(ir.I64, 2))
+	for _, p := range []ir.Pred{ir.PredOEQ, ir.PredONE, ir.PredOLT, ir.PredOLE, ir.PredOGT, ir.PredOGE} {
+		b.PrintI64(b.ZExt(ir.I64, b.FCmp(p, a, c))) // 1.5 vs 2.5
+		b.PrintI64(b.ZExt(ir.I64, b.FCmp(p, a, a))) // equal
+		b.PrintI64(b.ZExt(ir.I64, b.FCmp(p, a, n))) // vs NaN: always 0
+	}
+	b.Ret(ir.ConstInt(ir.I64, 0))
+	res := execMain(t, m)
+	want := "0\n1\n0\n" + // oeq
+		"1\n0\n0\n" + // one
+		"1\n0\n0\n" + // olt
+		"1\n1\n0\n" + // ole
+		"0\n0\n0\n" + // ogt
+		"0\n1\n0\n" // oge
+	if string(res.Output) != want {
+		t.Fatalf("fcmp outputs:\n%q\nwant:\n%q", res.Output, want)
+	}
+}
+
+// TestLoweredGEPVariants covers constant indices, scaled indices, and
+// non-power-of-two element sizes.
+func TestLoweredGEPVariants(t *testing.T) {
+	m := ir.NewModule("gep")
+	g := m.NewGlobalData("bytes", []byte{10, 20, 30, 40, 50, 60, 70, 80, 90, 100, 110, 120})
+	gi := m.NewGlobalI64("idx", []int64{2})
+	f := m.NewFunction("main", ir.I64)
+	b := ir.NewBuilder(f)
+	idx := b.Load(ir.I64, gi)
+	// elem size 1 (byte), variable index
+	b.PrintI64(b.ZExt(ir.I64, b.Load(ir.I8, b.GEP(g, idx, 1)))) // 30
+	// elem size 3 (non-power-of-two), variable index: offset 6
+	b.PrintI64(b.ZExt(ir.I64, b.Load(ir.I8, b.GEP(g, idx, 3)))) // 70
+	// constant index, elem 4: offset 8
+	b.PrintI64(b.ZExt(ir.I64, b.Load(ir.I8, b.GEP(g, ir.ConstInt(ir.I64, 2), 4)))) // 90
+	// zero constant index
+	b.PrintI64(b.ZExt(ir.I64, b.Load(ir.I8, b.GEP(g, ir.ConstInt(ir.I64, 0), 8)))) // 10
+	b.Ret(ir.ConstInt(ir.I64, 0))
+	res := execMain(t, m)
+	if string(res.Output) != "30\n70\n90\n10\n" {
+		t.Fatalf("gep outputs %q", res.Output)
+	}
+}
+
+// TestLoweredShiftByRegister forces the CL path (variable shift counts).
+func TestLoweredShiftByRegister(t *testing.T) {
+	m := ir.NewModule("shift")
+	g := m.NewGlobalI64("n", []int64{5, 3})
+	f := m.NewFunction("main", ir.I64)
+	b := ir.NewBuilder(f)
+	x := b.LoadElem(ir.I64, g, ir.ConstInt(ir.I64, 0))
+	n := b.LoadElem(ir.I64, g, ir.ConstInt(ir.I64, 1))
+	b.PrintI64(b.Shl(x, n))                                 // 40
+	b.PrintI64(b.AShr(b.Sub(ir.ConstInt(ir.I64, 0), x), n)) // -1
+	b.PrintI64(b.LShr(x, n))                                // 0
+	b.Ret(ir.ConstInt(ir.I64, 0))
+	res := execMain(t, m)
+	if string(res.Output) != "40\n-1\n0\n" {
+		t.Fatalf("shift outputs %q", res.Output)
+	}
+}
+
+// TestLowerCfgScratchClamping checks configuration clamping and that a
+// minimal-pressure lowering still runs correctly.
+func TestLowerCfgScratchClamping(t *testing.T) {
+	for _, req := range []int{-3, 0, 1, MinGPRScratch, 7, 99} {
+		cfg := Config{GPRScratch: req}
+		got := cfg.scratch()
+		if got < MinGPRScratch || got > len(gprPool) {
+			t.Fatalf("scratch(%d) = %d out of range", req, got)
+		}
+	}
+	m := buildStoreChain()
+	prog, err := LowerCfg(m, Config{GPRScratch: MinGPRScratch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := machine.New(m, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := mc.Run(sim.Fault{}, sim.Options{}); res.Status != sim.StatusOK {
+		t.Fatalf("minimal-pressure program failed: %v", res.Trap)
+	}
+}
+
+// TestFloatParamsAndReturns exercises the xmm calling convention.
+func TestFloatParamsAndReturns(t *testing.T) {
+	m := ir.NewModule("fargs")
+	h := m.NewFunction("mix", ir.F64, ir.F64, ir.I64, ir.F64)
+	bh := ir.NewBuilder(h)
+	s := bh.FAdd(h.Params[0], h.Params[2])
+	bh.Ret(bh.FMul(s, bh.SIToFP(h.Params[1])))
+	f := m.NewFunction("main", ir.I64)
+	b := ir.NewBuilder(f)
+	v := b.Call(h, ir.ConstFloat(1.5), ir.ConstInt(ir.I64, 4), ir.ConstFloat(0.5))
+	b.PrintF64(v) // (1.5+0.5)*4 = 8
+	b.Ret(ir.ConstInt(ir.I64, 0))
+	res := execMain(t, m)
+	if string(res.Output) != "8\n" {
+		t.Fatalf("output %q", res.Output)
+	}
+}

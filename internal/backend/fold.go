@@ -1,0 +1,222 @@
+package backend
+
+import "flowery/internal/ir"
+
+// foldInfo records, per function, the results of the block-local
+// comparison-check folding that models SelectionDAG CSE + constant
+// folding at -O0.
+//
+// Background (paper §5.2, "comparison penetration"): FastISel lowers
+// straight-line integer code linearly without CSE, which is why
+// duplicated arithmetic survives to assembly. But validating a
+// comparison result produces an `icmp eq i1 %5, %6` chain; i1 logic goes
+// through SelectionDAG, which value-numbers nodes within one block. Two
+// duplicated icmps whose operands are loads from the same addresses unify
+// there, the `icmp eq x, x` check folds to constant true, and the
+// duplicate compare disappears — leaving a single unprotected setcc.
+//
+// We reproduce exactly that scope: only `icmp eq` checks over i1 operands
+// participate, and congruence is established only within a single basic
+// block (which is why Flowery's anti-comparison patch — moving the
+// duplicate compare into another block — defeats it).
+type foldInfo struct {
+	// foldedTrue holds checks (icmp eq i1 x,y) that fold to constant 1.
+	foldedTrue map[*ir.Instr]bool
+	// alias maps an eliminated duplicate compare to its representative.
+	alias map[*ir.Instr]*ir.Instr
+	// unprotected marks representative compares whose duplicate was
+	// eliminated: their materialization is the comparison-penetration
+	// injection site.
+	unprotected map[*ir.Instr]bool
+	// tainted marks instructions whose every use feeds (transitively)
+	// into a folded check's compares: a fault anywhere in that backward
+	// slice escapes detection for the same reason the compare itself
+	// does, so their emitted code carries the comparison-penetration
+	// tag too.
+	tainted map[*ir.Instr]bool
+}
+
+// maxCongruenceDepth bounds the recursive congruence walk, mirroring the
+// bounded lookback a DAG over one block provides.
+const maxCongruenceDepth = 8
+
+func analyzeFolds(f *ir.Function) *foldInfo {
+	fi := &foldInfo{
+		foldedTrue:  make(map[*ir.Instr]bool),
+		alias:       make(map[*ir.Instr]*ir.Instr),
+		unprotected: make(map[*ir.Instr]bool),
+		tainted:     make(map[*ir.Instr]bool),
+	}
+	for _, b := range f.Blocks {
+		analyzeBlock(fi, b)
+	}
+	fi.taintBackwardSlices(f)
+	return fi
+}
+
+// taintBackwardSlices marks instructions all of whose uses lead into
+// folded comparison checks. A fault in such an instruction corrupts a
+// value that only the (deleted) check could have validated.
+func (fi *foldInfo) taintBackwardSlices(f *ir.Function) {
+	if len(fi.foldedTrue) == 0 {
+		return
+	}
+	users := make(map[*ir.Instr][]*ir.Instr)
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for _, a := range in.Args {
+				if ai, ok := a.(*ir.Instr); ok {
+					users[ai] = append(users[ai], in)
+				}
+			}
+		}
+	}
+	// A user "absorbs" a fault silently if it is a folded check, an
+	// eliminated duplicate, an unprotected representative compare, or
+	// itself tainted.
+	absorbed := func(u *ir.Instr) bool {
+		if fi.foldedTrue[u] || fi.unprotected[u] || fi.tainted[u] {
+			return true
+		}
+		_, aliased := fi.alias[u]
+		return aliased
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if fi.tainted[in] || in.Prot.IsChecker || !in.HasResult() {
+					continue
+				}
+				us := users[in]
+				if len(us) == 0 {
+					continue
+				}
+				all := true
+				for _, u := range us {
+					if !absorbed(u) {
+						all = false
+						break
+					}
+				}
+				if all {
+					fi.tainted[in] = true
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+func analyzeBlock(fi *foldInfo, b *ir.Block) {
+	// epoch[i] counts the stores/calls before instruction i; two loads
+	// agree only if no store or call separates them.
+	epoch := make(map[*ir.Instr]int, len(b.Instrs))
+	pos := make(map[*ir.Instr]int, len(b.Instrs))
+	e := 0
+	for i, in := range b.Instrs {
+		epoch[in] = e
+		pos[in] = i
+		if in.Op == ir.OpStore || in.Op == ir.OpCall {
+			e++
+		}
+	}
+
+	var congruent func(a, b ir.Value, depth int) bool
+	congruent = func(x, y ir.Value, depth int) bool {
+		if x == y {
+			return true
+		}
+		if depth <= 0 {
+			return false
+		}
+		switch xv := x.(type) {
+		case *ir.Const:
+			yv, ok := y.(*ir.Const)
+			return ok && xv.Ty == yv.Ty && xv.Bits == yv.Bits
+		case *ir.Instr:
+			yv, ok := y.(*ir.Instr)
+			if !ok {
+				return false
+			}
+			// Both must be in this block: the DAG sees one block.
+			if _, inB := pos[xv]; !inB {
+				return false
+			}
+			if _, inB := pos[yv]; !inB {
+				return false
+			}
+			if xv.Op != yv.Op || xv.Pred != yv.Pred || xv.Aux != yv.Aux || xv.Ty != yv.Ty {
+				return false
+			}
+			switch {
+			case xv.Op == ir.OpLoad:
+				if epoch[xv] != epoch[yv] {
+					return false
+				}
+			case xv.Op.IsPure():
+				// fall through to operand comparison
+			default:
+				return false
+			}
+			if len(xv.Args) != len(yv.Args) {
+				return false
+			}
+			for i := range xv.Args {
+				if !congruent(xv.Args[i], yv.Args[i], depth-1) {
+					return false
+				}
+			}
+			return true
+		default:
+			// Params and globals are congruent only by identity, which
+			// the x == y fast path already covered.
+			return false
+		}
+	}
+
+	for _, in := range b.Instrs {
+		if in.Op != ir.OpICmp || in.Pred != ir.PredEQ {
+			continue
+		}
+		xi, okX := in.Args[0].(*ir.Instr)
+		yi, okY := in.Args[1].(*ir.Instr)
+		if !okX || !okY {
+			continue
+		}
+		// Only comparison-result validation: both operands are compares
+		// producing i1.
+		if xi.Ty != ir.I1 || yi.Ty != ir.I1 {
+			continue
+		}
+		isCmp := func(v *ir.Instr) bool { return v.Op == ir.OpICmp || v.Op == ir.OpFCmp }
+		if !isCmp(xi) || !isCmp(yi) {
+			continue
+		}
+		if !congruent(xi, yi, maxCongruenceDepth) {
+			continue
+		}
+		// Alias the later compare to the earlier one; the check becomes
+		// constant true and the surviving compare loses its protection.
+		rep, dup := xi, yi
+		if pos[dup] < pos[rep] {
+			rep, dup = dup, rep
+		}
+		fi.foldedTrue[in] = true
+		if rep != dup {
+			fi.alias[dup] = rep
+		}
+		fi.unprotected[rep] = true
+	}
+}
+
+// resolveAlias follows alias chains to the representative.
+func (fi *foldInfo) resolveAlias(in *ir.Instr) *ir.Instr {
+	for {
+		rep, ok := fi.alias[in]
+		if !ok {
+			return in
+		}
+		in = rep
+	}
+}

@@ -1,0 +1,490 @@
+// Package backend lowers IR to the x86-64-like assembly of package asm.
+// The lowering mirrors clang -O0 / FastISel behaviour: every value is
+// homed in an rbp-relative stack slot at definition, a block-local
+// register cache forwards recently computed values, compares fuse with an
+// immediately following conditional branch, and duplicated comparison
+// checks fold away within a block (see fold.go). Those four behaviours
+// are, respectively, what makes store, branch, and comparison penetration
+// emerge at this layer, exactly as the paper describes.
+package backend
+
+import (
+	"fmt"
+
+	"flowery/internal/asm"
+	"flowery/internal/ir"
+)
+
+// FconstPoolName is the module global that holds f64 constants the
+// backend materializes (the moral equivalent of .rodata constant pools).
+const FconstPoolName = "__fconst"
+
+// Config tunes the lowering. The zero value means defaults.
+type Config struct {
+	// GPRScratch is the number of general-purpose scratch registers the
+	// block-local cache may use (clamped to [MinGPRScratch, 9], default
+	// 9 — the caller-saved x86-64 set). Smaller values model
+	// register-poor targets: values fall out of the cache sooner, so
+	// more operand reloads — and more store-penetration sites — appear,
+	// the sensitivity the paper's §8 predicts for other ISAs.
+	GPRScratch int
+}
+
+// MinGPRScratch is the smallest usable scratch set: division and shifts
+// pin RAX/RDX/RCX, and some lowerings exclude up to three registers when
+// allocating, so five is the floor.
+const MinGPRScratch = 5
+
+func (c Config) scratch() int {
+	n := c.GPRScratch
+	if n == 0 {
+		n = len(gprPool)
+	}
+	if n < MinGPRScratch {
+		n = MinGPRScratch
+	}
+	if n > len(gprPool) {
+		n = len(gprPool)
+	}
+	return n
+}
+
+// Lower compiles the module to assembly with default configuration. It
+// may append a constant-pool global to the module, so call Lower before
+// creating execution engines for m (both engines lay out globals
+// identically afterwards).
+func Lower(m *ir.Module) (*asm.Program, error) {
+	return LowerCfg(m, Config{})
+}
+
+// LowerCfg compiles the module with an explicit configuration.
+func LowerCfg(m *ir.Module, cfg Config) (*asm.Program, error) {
+	if m.Global(FconstPoolName) != nil {
+		return nil, fmt.Errorf("backend: module already lowered (constant pool exists)")
+	}
+	prog := asm.NewProgram()
+	pool := &fconstPool{index: make(map[uint64]int64)}
+	for _, f := range m.Funcs {
+		if f.External {
+			prog.Externals[f.Name] = true
+			continue
+		}
+		fl := &funcLowerer{
+			mod:     m,
+			f:       f,
+			af:      asm.NewFunc(f.Name),
+			cache:   newRegCache(),
+			fold:    analyzeFolds(f),
+			pool:    pool,
+			scratch: cfg.scratch(),
+		}
+		if err := fl.lower(); err != nil {
+			return nil, fmt.Errorf("backend: @%s: %w", f.Name, err)
+		}
+		prog.AddFunc(fl.af)
+	}
+	// Materialize the constant pool, even if empty, so double lowering is
+	// detected and layouts are stable.
+	m.NewGlobalData(FconstPoolName, pool.bytes)
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// fconstPool interns f64 constants into one data blob.
+type fconstPool struct {
+	index map[uint64]int64
+	bytes []byte
+}
+
+func (p *fconstPool) offsetOf(bits uint64) int64 {
+	if off, ok := p.index[bits]; ok {
+		return off
+	}
+	off := int64(len(p.bytes))
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(bits >> (8 * i))
+	}
+	p.bytes = append(p.bytes, b[:]...)
+	p.index[bits] = off
+	return off
+}
+
+type funcLowerer struct {
+	mod   *ir.Module
+	f     *ir.Function
+	af    *asm.Func
+	cache *regCache
+	fold  *foldInfo
+	pool  *fconstPool
+
+	slotOf   map[ir.Value]int64 // rbp-relative (negative) slot offsets
+	allocaOf map[*ir.Instr]int64
+	frame    int64
+	useCount map[*ir.Instr]int
+	fused    map[*ir.Instr]bool // compares fused into their condbr
+	scratch  int                // usable GPR scratch count (see Config)
+
+	curChecker bool
+	curOrigin  asm.Origin // default origin for the instruction being lowered
+}
+
+// gprScratch returns the configured slice of the scratch pool.
+func (fl *funcLowerer) gprScratch() []asm.Reg {
+	if fl.scratch <= 0 || fl.scratch > len(gprPool) {
+		return gprPool
+	}
+	return gprPool[:fl.scratch]
+}
+
+func (fl *funcLowerer) lower() error {
+	f := fl.f
+	f.Renumber()
+	fl.assignSlots()
+	fl.computeFusion()
+
+	fl.emitPrologue()
+	for _, b := range f.Blocks {
+		fl.cache.dropAll()
+		fl.af.EmitLabel(b.Name)
+		for _, in := range b.Instrs {
+			if fl.fused[in] || fl.fold.alias[in] != nil || fl.fold.foldedTrue[in] {
+				continue
+			}
+			fl.curChecker = in.Prot.IsChecker
+			fl.curOrigin = asm.OriginNone
+			if fl.fold.tainted[in] {
+				fl.curOrigin = asm.OriginCmpFolded
+			}
+			if err := fl.lowerInstr(in); err != nil {
+				return err
+			}
+		}
+	}
+	fl.af.FrameSize = fl.frame
+	return nil
+}
+
+// assignSlots lays out the frame: parameters first, then allocas, then a
+// slot for every value-producing instruction (the -O0 "everything has a
+// home" discipline).
+func (fl *funcLowerer) assignSlots() {
+	fl.slotOf = make(map[ir.Value]int64)
+	fl.allocaOf = make(map[*ir.Instr]int64)
+	off := int64(0)
+	take := func(sz int64) int64 {
+		off += (sz + 7) &^ 7
+		return -off
+	}
+	for _, p := range fl.f.Params {
+		fl.slotOf[p] = take(8)
+	}
+	for _, b := range fl.f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpAlloca {
+				fl.allocaOf[in] = take(in.Aux)
+			}
+			if in.HasResult() {
+				fl.slotOf[in] = take(8)
+			}
+		}
+	}
+	fl.frame = (off + 15) &^ 15
+}
+
+// computeFusion finds compare+condbr pairs that lower to cmp/jcc without
+// materializing the i1 (FastISel does this whenever the compare directly
+// precedes the branch in the same block and has no other use — which is
+// precisely the property a duplication checker inserted between them
+// destroys, creating branch penetration).
+func (fl *funcLowerer) computeFusion() {
+	fl.useCount = make(map[*ir.Instr]int)
+	for _, b := range fl.f.Blocks {
+		for _, in := range b.Instrs {
+			for _, a := range in.Args {
+				if d, ok := a.(*ir.Instr); ok {
+					fl.useCount[d]++
+				}
+			}
+		}
+	}
+	fl.fused = make(map[*ir.Instr]bool)
+	for _, b := range fl.f.Blocks {
+		for i := 0; i+1 < len(b.Instrs); i++ {
+			cmp, br := b.Instrs[i], b.Instrs[i+1]
+			if br.Op != ir.OpCondBr || br.Args[0] != cmp {
+				continue
+			}
+			if fl.useCount[cmp] != 1 {
+				continue
+			}
+			switch cmp.Op {
+			case ir.OpICmp:
+				if fl.fold.unprotected[cmp] {
+					continue // must materialize: duplicate was folded away
+				}
+				fl.fused[cmp] = true
+			case ir.OpFCmp:
+				// oeq/one need a parity check and cannot fuse to one jcc.
+				switch cmp.Pred {
+				case ir.PredOLT, ir.PredOLE, ir.PredOGT, ir.PredOGE:
+					fl.fused[cmp] = true
+				}
+			}
+		}
+	}
+}
+
+// emit appends an instruction, applying the checker flag and default
+// origin of the IR instruction currently being lowered.
+func (fl *funcLowerer) emit(in asm.Instr) {
+	in.Checker = in.Checker || fl.curChecker
+	if in.Origin == asm.OriginNone {
+		in.Origin = fl.curOrigin
+	}
+	fl.af.Emit(in)
+}
+
+func (fl *funcLowerer) emitPrologue() {
+	fl.emit(asm.Instr{Op: asm.OpPush, Src: asm.RegOp(asm.RBP), Origin: asm.OriginFrame})
+	fl.emit(asm.Instr{Op: asm.OpMov, Size: 8, Dst: asm.RegOp(asm.RBP), Src: asm.RegOp(asm.RSP), Origin: asm.OriginFrame})
+	if fl.frame > 0 {
+		fl.emit(asm.Instr{Op: asm.OpSub, Size: 8, Dst: asm.RegOp(asm.RSP), Src: asm.ImmOp(fl.frame), Origin: asm.OriginFrame})
+	}
+	// Spill parameters to their slots (clang -O0 does exactly this;
+	// memory-destination moves are not injection sites).
+	intIdx, fpIdx := 0, 0
+	for _, p := range fl.f.Params {
+		slot := asm.MemOp(asm.RBP, fl.slotOf[p])
+		if p.Ty == ir.F64 {
+			fl.emit(asm.Instr{Op: asm.OpMovSD, Size: 8, Dst: slot, Src: asm.RegOp(asm.FloatArgRegs[fpIdx])})
+			fpIdx++
+			continue
+		}
+		fl.emit(asm.Instr{Op: asm.OpMov, Size: storeSize(p.Ty), Dst: slot, Src: asm.RegOp(asm.IntArgRegs[intIdx])})
+		intIdx++
+	}
+}
+
+func (fl *funcLowerer) emitEpilogue() {
+	if fl.frame > 0 {
+		fl.emit(asm.Instr{Op: asm.OpAdd, Size: 8, Dst: asm.RegOp(asm.RSP), Src: asm.ImmOp(fl.frame), Origin: asm.OriginFrame})
+	}
+	fl.emit(asm.Instr{Op: asm.OpPop, Dst: asm.RegOp(asm.RBP), Origin: asm.OriginFrame})
+	fl.emit(asm.Instr{Op: asm.OpRet, Origin: asm.OriginFrame})
+}
+
+// storeSize returns the memory width of a type for mov purposes.
+func storeSize(ty ir.Type) uint8 {
+	switch ty {
+	case ir.I1, ir.I8:
+		return 1
+	case ir.I32:
+		return 4
+	default:
+		return 8
+	}
+}
+
+// opSize returns the ALU operation width for an integer type.
+func opSize(ty ir.Type) uint8 {
+	switch ty {
+	case ir.I1, ir.I8:
+		return 1
+	case ir.I32:
+		return 4
+	default:
+		return 8
+	}
+}
+
+// resolve follows comparison-CSE aliases.
+func (fl *funcLowerer) resolve(v ir.Value) ir.Value {
+	if in, ok := v.(*ir.Instr); ok {
+		return fl.fold.resolveAlias(in)
+	}
+	return v
+}
+
+// slotMem returns the home-slot operand of a value.
+func (fl *funcLowerer) slotMem(v ir.Value) asm.Operand {
+	off, ok := fl.slotOf[v]
+	if !ok {
+		panic(fmt.Sprintf("backend: value %s has no slot", v.OperandString()))
+	}
+	return asm.MemOp(asm.RBP, off)
+}
+
+// materializeInto emits code placing v into the specific register rd,
+// preserving the in-register representation invariants (i64/ptr: full
+// width; i32: zero-extended; i8: sign-extended; i1: 0/1; f64: xmm).
+func (fl *funcLowerer) materializeInto(rd asm.Reg, v ir.Value, origin asm.Origin) {
+	v = fl.resolve(v)
+	if r, ok := fl.cache.lookup(v); ok {
+		if r != rd {
+			op := asm.OpMov
+			if rd.IsXMM() {
+				op = asm.OpMovSD
+			}
+			fl.emit(asm.Instr{Op: op, Size: 8, Dst: asm.RegOp(rd), Src: asm.RegOp(r), Origin: origin})
+		}
+		return
+	}
+	switch x := v.(type) {
+	case *ir.Const:
+		if x.Ty == ir.F64 {
+			off := fl.pool.offsetOf(x.Bits)
+			fl.emit(asm.Instr{Op: asm.OpMovSD, Size: 8, Dst: asm.RegOp(rd), Src: asm.SymMemOp(FconstPoolName, off), Origin: origin})
+			return
+		}
+		size := uint8(8)
+		if x.Ty == ir.I32 {
+			size = 4 // 32-bit immediate move zero-extends
+		}
+		fl.emit(asm.Instr{Op: asm.OpMov, Size: size, Dst: asm.RegOp(rd), Src: asm.ImmOp(x.Int()), Origin: origin})
+	case *ir.Global:
+		fl.emit(asm.Instr{Op: asm.OpMov, Size: 8, Dst: asm.RegOp(rd), Src: asm.SymImmOp(x.Name, 0), Origin: origin})
+	case *ir.Param:
+		fl.loadSlotInto(rd, x.Ty, fl.slotMem(x), origin)
+	case *ir.Instr:
+		if x.Op == ir.OpAlloca {
+			fl.emit(asm.Instr{Op: asm.OpLea, Size: 8, Dst: asm.RegOp(rd), Src: asm.MemOp(asm.RBP, fl.allocaOf[x]), Origin: origin})
+			return
+		}
+		fl.loadSlotInto(rd, x.Ty, fl.slotMem(x), origin)
+	default:
+		panic(fmt.Sprintf("backend: cannot materialize %T", v))
+	}
+}
+
+// loadSlotInto emits the representation-correct load of a typed value
+// from memory into rd.
+func (fl *funcLowerer) loadSlotInto(rd asm.Reg, ty ir.Type, mem asm.Operand, origin asm.Origin) {
+	switch ty {
+	case ir.F64:
+		fl.emit(asm.Instr{Op: asm.OpMovSD, Size: 8, Dst: asm.RegOp(rd), Src: mem, Origin: origin})
+	case ir.I64, ir.Ptr:
+		fl.emit(asm.Instr{Op: asm.OpMov, Size: 8, Dst: asm.RegOp(rd), Src: mem, Origin: origin})
+	case ir.I32:
+		fl.emit(asm.Instr{Op: asm.OpMov, Size: 4, Dst: asm.RegOp(rd), Src: mem, Origin: origin})
+	case ir.I8:
+		fl.emit(asm.Instr{Op: asm.OpMovSX, Size: 1, Dst: asm.RegOp(rd), Src: mem, Origin: origin})
+	case ir.I1:
+		fl.emit(asm.Instr{Op: asm.OpMovZX, Size: 1, Dst: asm.RegOp(rd), Src: mem, Origin: origin})
+	default:
+		panic("backend: load of void")
+	}
+}
+
+// getGPR returns a general-purpose register holding v.
+func (fl *funcLowerer) getGPR(v ir.Value, origin asm.Origin) asm.Reg {
+	v = fl.resolve(v)
+	if r, ok := fl.cache.lookup(v); ok {
+		return r
+	}
+	rd := fl.cache.alloc(fl.gprScratch())
+	fl.materializeInto(rd, v, origin)
+	fl.cache.bind(v, rd)
+	return rd
+}
+
+// getXMM returns an SSE register holding the f64 value v.
+func (fl *funcLowerer) getXMM(v ir.Value, origin asm.Origin) asm.Reg {
+	v = fl.resolve(v)
+	if r, ok := fl.cache.lookup(v); ok {
+		return r
+	}
+	rd := fl.cache.alloc(xmmPool)
+	fl.materializeInto(rd, v, origin)
+	fl.cache.bind(v, rd)
+	return rd
+}
+
+// freshGPR allocates a scratch register not equal to any of the given
+// registers and not holding a live cached value we are about to read.
+func (fl *funcLowerer) freshGPR(avoid ...asm.Reg) asm.Reg {
+	return fl.allocAvoid(fl.gprScratch(), avoid)
+}
+
+func (fl *funcLowerer) freshXMM(avoid ...asm.Reg) asm.Reg {
+	return fl.allocAvoid(xmmPool, avoid)
+}
+
+func (fl *funcLowerer) allocAvoid(pool []asm.Reg, avoid []asm.Reg) asm.Reg {
+	sub := make([]asm.Reg, 0, len(pool))
+	for _, r := range pool {
+		skip := false
+		for _, a := range avoid {
+			if r == a {
+				skip = true
+				break
+			}
+		}
+		if !skip {
+			sub = append(sub, r)
+		}
+	}
+	return fl.cache.alloc(sub)
+}
+
+// operandRM returns a source operand for v: a register if cached, an
+// immediate if it is a small constant, or its home slot in memory.
+// Reading from the slot costs no extra instruction and no injection site,
+// matching x86 reg/mem source operands.
+func (fl *funcLowerer) operandRM(v ir.Value, origin asm.Origin) asm.Operand {
+	v = fl.resolve(v)
+	if r, ok := fl.cache.lookup(v); ok {
+		return asm.RegOp(r)
+	}
+	switch x := v.(type) {
+	case *ir.Const:
+		if x.Ty != ir.F64 && fitsInt32(x.Int()) {
+			return asm.ImmOp(x.Int())
+		}
+		if x.Ty == ir.F64 {
+			return asm.SymMemOp(FconstPoolName, fl.pool.offsetOf(x.Bits))
+		}
+		return asm.RegOp(fl.getGPR(v, origin))
+	case *ir.Param:
+		return fl.slotMem(x)
+	case *ir.Instr:
+		if x.Op == ir.OpAlloca {
+			return asm.RegOp(fl.getGPR(v, origin))
+		}
+		return fl.slotMem(x)
+	case *ir.Global:
+		return asm.RegOp(fl.getGPR(v, origin))
+	default:
+		panic(fmt.Sprintf("backend: bad operand %T", v))
+	}
+}
+
+func fitsInt32(v int64) bool { return v >= -1<<31 && v < 1<<31 }
+
+// storeBack homes the freshly computed value of in (held in rd) to its
+// slot. Memory-destination moves are not injection sites.
+func (fl *funcLowerer) storeBack(in *ir.Instr, rd asm.Reg) {
+	slot := fl.slotMem(in)
+	if in.Ty == ir.F64 {
+		fl.emit(asm.Instr{Op: asm.OpMovSD, Size: 8, Dst: slot, Src: asm.RegOp(rd)})
+		return
+	}
+	fl.emit(asm.Instr{Op: asm.OpMov, Size: storeSize(in.Ty), Dst: slot, Src: asm.RegOp(rd)})
+}
+
+// addrOperand returns the memory operand for a load/store address. An
+// alloca folds into rbp-relative addressing (as clang does); anything
+// else is materialized into a register.
+func (fl *funcLowerer) addrOperand(p ir.Value, origin asm.Origin) asm.Operand {
+	p = fl.resolve(p)
+	if a, ok := p.(*ir.Instr); ok && a.Op == ir.OpAlloca {
+		return asm.MemOp(asm.RBP, fl.allocaOf[a])
+	}
+	if g, ok := p.(*ir.Global); ok {
+		return asm.SymMemOp(g.Name, 0)
+	}
+	r := fl.getGPR(p, origin)
+	return asm.MemOp(r, 0)
+}

@@ -1,0 +1,561 @@
+package backend
+
+import (
+	"fmt"
+
+	"flowery/internal/asm"
+	"flowery/internal/ir"
+)
+
+// lowerInstr emits code for one IR instruction (fused compares, aliased
+// duplicates, and folded checks are filtered out by the caller).
+func (fl *funcLowerer) lowerInstr(in *ir.Instr) error {
+	switch in.Op {
+	case ir.OpAlloca:
+		// Frame storage was laid out statically; the address is
+		// materialized lazily at each use.
+		return nil
+
+	case ir.OpLoad:
+		return fl.lowerLoad(in)
+	case ir.OpStore:
+		return fl.lowerStore(in)
+	case ir.OpICmp, ir.OpFCmp:
+		return fl.lowerCmp(in)
+	case ir.OpGEP:
+		return fl.lowerGEP(in)
+	case ir.OpTrunc, ir.OpZExt, ir.OpSExt, ir.OpSIToFP, ir.OpFPToSI:
+		return fl.lowerCast(in)
+	case ir.OpCall:
+		return fl.lowerCall(in)
+	case ir.OpBr:
+		fl.emit(asm.Instr{Op: asm.OpJmp, Target: in.Blocks[0].Name})
+		return nil
+	case ir.OpCondBr:
+		return fl.lowerCondBr(in)
+	case ir.OpRet:
+		if len(in.Args) == 1 {
+			v := in.Args[0]
+			if v.Type() == ir.F64 {
+				fl.cache.dropReg(asm.XMM0)
+				fl.materializeInto(asm.XMM0, v, asm.OriginCallArg)
+			} else {
+				fl.cache.dropReg(asm.RAX)
+				fl.materializeInto(asm.RAX, v, asm.OriginCallArg)
+			}
+		}
+		fl.emitEpilogue()
+		return nil
+	default:
+		if in.Op.IsBinOp() {
+			return fl.lowerBin(in)
+		}
+		return fmt.Errorf("unsupported opcode %s", in.Op)
+	}
+}
+
+func (fl *funcLowerer) lowerLoad(in *ir.Instr) error {
+	mem := fl.addrOperand(in.Args[0], asm.OriginNone)
+	var rd asm.Reg
+	if in.Ty == ir.F64 {
+		rd = fl.freshXMM()
+	} else {
+		rd = fl.freshGPR(mem.Reg, mem.Index)
+	}
+	fl.loadSlotInto(rd, in.Ty, mem, asm.OriginNone)
+	fl.cache.bind(in, rd)
+	fl.storeBack(in, rd)
+	return nil
+}
+
+// lowerStore is where store penetration lives: if the stored value (or a
+// computed address) is no longer in the block-local cache — which is
+// exactly what happens when a duplication checker split the block — the
+// value must be re-fetched from its slot, and that reload executes after
+// the checker already approved the value.
+func (fl *funcLowerer) lowerStore(in *ir.Instr) error {
+	v, p := in.Args[0], in.Args[1]
+	size := storeSize(v.Type())
+	mem := fl.addrOperand(p, asm.OriginStoreReload)
+
+	if c, ok := fl.resolve(v).(*ir.Const); ok && c.Ty != ir.F64 && fitsInt32(c.Int()) {
+		// mov $imm, mem: no register destination, no injection site.
+		fl.emit(asm.Instr{Op: asm.OpMov, Size: size, Dst: mem, Src: asm.ImmOp(c.Int())})
+		return nil
+	}
+	if v.Type() == ir.F64 {
+		rv := fl.getXMM(v, asm.OriginStoreReload)
+		fl.emit(asm.Instr{Op: asm.OpMovSD, Size: 8, Dst: mem, Src: asm.RegOp(rv)})
+		return nil
+	}
+	rv := fl.getGPR(v, asm.OriginStoreReload)
+	fl.emit(asm.Instr{Op: asm.OpMov, Size: size, Dst: mem, Src: asm.RegOp(rv)})
+	return nil
+}
+
+func (fl *funcLowerer) lowerBin(in *ir.Instr) error {
+	if in.Ty == ir.F64 {
+		return fl.lowerFBin(in)
+	}
+	x, y := in.Args[0], in.Args[1]
+	w := opSize(in.Ty)
+
+	switch in.Op {
+	case ir.OpSDiv, ir.OpSRem:
+		return fl.lowerDiv(in)
+	case ir.OpShl, ir.OpAShr, ir.OpLShr:
+		return fl.lowerShift(in)
+	}
+
+	yOp := fl.operandRM(y, asm.OriginNone)
+	rd := fl.freshGPR(yOp.Reg, yOp.Index, fl.peekReg(x))
+	fl.materializeInto(rd, x, asm.OriginNone)
+
+	var op asm.Op
+	switch in.Op {
+	case ir.OpAdd:
+		op = asm.OpAdd
+	case ir.OpSub:
+		op = asm.OpSub
+	case ir.OpMul:
+		op = asm.OpIMul
+	case ir.OpAnd:
+		op = asm.OpAnd
+	case ir.OpOr:
+		op = asm.OpOr
+	case ir.OpXor:
+		op = asm.OpXor
+	default:
+		return fmt.Errorf("unsupported integer binop %s", in.Op)
+	}
+	// 8-bit imul does not exist in two-operand form; and the 1-byte
+	// immediate encodings are irrelevant to the simulator, so plain
+	// width-w ALU ops suffice.
+	if op == asm.OpIMul && w == 1 {
+		fl.emit(asm.Instr{Op: op, Size: 4, Dst: asm.RegOp(rd), Src: yOp})
+	} else {
+		fl.emit(asm.Instr{Op: op, Size: w, Dst: asm.RegOp(rd), Src: yOp})
+	}
+	if in.Ty == ir.I8 {
+		// Re-canonicalize: i8 values are kept sign-extended in registers.
+		fl.emit(asm.Instr{Op: asm.OpMovSX, Size: 1, Dst: asm.RegOp(rd), Src: asm.RegOp(rd)})
+	}
+	fl.cache.bind(in, rd)
+	fl.storeBack(in, rd)
+	return nil
+}
+
+// peekReg returns the register caching v without touching LRU state, or
+// RegNone.
+func (fl *funcLowerer) peekReg(v ir.Value) asm.Reg {
+	v = fl.resolve(v)
+	if r, ok := fl.cache.vals[v]; ok {
+		return r
+	}
+	return asm.RegNone
+}
+
+func (fl *funcLowerer) lowerFBin(in *ir.Instr) error {
+	x, y := in.Args[0], in.Args[1]
+	yOp := fl.operandRM(y, asm.OriginNone)
+	rd := fl.freshXMM(yOp.Reg, fl.peekReg(x))
+	fl.materializeInto(rd, x, asm.OriginNone)
+	var op asm.Op
+	switch in.Op {
+	case ir.OpFAdd:
+		op = asm.OpAddSD
+	case ir.OpFSub:
+		op = asm.OpSubSD
+	case ir.OpFMul:
+		op = asm.OpMulSD
+	default:
+		op = asm.OpDivSD
+	}
+	fl.emit(asm.Instr{Op: op, Size: 8, Dst: asm.RegOp(rd), Src: yOp})
+	fl.cache.bind(in, rd)
+	fl.storeBack(in, rd)
+	return nil
+}
+
+func (fl *funcLowerer) lowerDiv(in *ir.Instr) error {
+	x, y := in.Args[0], in.Args[1]
+	// i8 division is promoted to 32 bits (as clang promotes to int);
+	// 32-bit idiv of byte-range operands can never overflow.
+	w := opSize(in.Ty)
+	if w == 1 {
+		w = 4
+	}
+	fl.cache.dropReg(asm.RAX)
+	fl.cache.dropReg(asm.RDX)
+	fl.materializeInto(asm.RAX, x, asm.OriginNone)
+	// Divisor must be a register or memory operand. i8 divisors must
+	// come via a register: their 1-byte slots cannot be read at the
+	// promoted 32-bit width.
+	yOp := fl.operandRM(y, asm.OriginNone)
+	if yOp.Kind == asm.OperandImm || (in.Ty == ir.I8 && yOp.Kind == asm.OperandMem) {
+		rt := fl.freshGPR(asm.RAX, asm.RDX)
+		fl.materializeInto(rt, y, asm.OriginNone)
+		yOp = asm.RegOp(rt)
+	}
+	fl.emit(asm.Instr{Op: asm.OpCqo, Size: w})
+	fl.emit(asm.Instr{Op: asm.OpIDiv, Size: w, Src: yOp})
+	rd := asm.RAX
+	if in.Op == ir.OpSRem {
+		rd = asm.RDX
+	}
+	if in.Ty == ir.I8 {
+		fl.emit(asm.Instr{Op: asm.OpMovSX, Size: 1, Dst: asm.RegOp(rd), Src: asm.RegOp(rd)})
+	}
+	fl.cache.bind(in, rd)
+	fl.storeBack(in, rd)
+	return nil
+}
+
+func (fl *funcLowerer) lowerShift(in *ir.Instr) error {
+	x, y := in.Args[0], in.Args[1]
+	w := opSize(in.Ty)
+	var op asm.Op
+	switch in.Op {
+	case ir.OpShl:
+		op = asm.OpShl
+	case ir.OpAShr:
+		op = asm.OpSar
+	default:
+		op = asm.OpShr
+	}
+	var src asm.Operand
+	if c, ok := fl.resolve(y).(*ir.Const); ok {
+		src = asm.ImmOp(c.Int())
+	} else {
+		fl.cache.dropReg(asm.RCX)
+		fl.materializeInto(asm.RCX, y, asm.OriginNone)
+		src = asm.RegOp(asm.RCX)
+	}
+	rd := fl.freshGPR(asm.RCX, fl.peekReg(x))
+	fl.materializeInto(rd, x, asm.OriginNone)
+	// lshr on i8/i32 must shift the zero-extended pattern; i8 values are
+	// kept sign-extended, so clear the high bits first.
+	if in.Op == ir.OpLShr && in.Ty == ir.I8 {
+		fl.emit(asm.Instr{Op: asm.OpMovZX, Size: 1, Dst: asm.RegOp(rd), Src: asm.RegOp(rd)})
+	}
+	fl.emit(asm.Instr{Op: op, Size: w, Dst: asm.RegOp(rd), Src: src})
+	if in.Ty == ir.I8 {
+		fl.emit(asm.Instr{Op: asm.OpMovSX, Size: 1, Dst: asm.RegOp(rd), Src: asm.RegOp(rd)})
+	}
+	fl.cache.bind(in, rd)
+	fl.storeBack(in, rd)
+	return nil
+}
+
+// condFor maps an integer comparison predicate to a condition code.
+func condFor(p ir.Pred) asm.Cond {
+	switch p {
+	case ir.PredEQ:
+		return asm.CondE
+	case ir.PredNE:
+		return asm.CondNE
+	case ir.PredSLT:
+		return asm.CondL
+	case ir.PredSLE:
+		return asm.CondLE
+	case ir.PredSGT:
+		return asm.CondG
+	case ir.PredSGE:
+		return asm.CondGE
+	case ir.PredULT:
+		return asm.CondB
+	case ir.PredULE:
+		return asm.CondBE
+	case ir.PredUGT:
+		return asm.CondA
+	case ir.PredUGE:
+		return asm.CondAE
+	default:
+		return asm.CondNone
+	}
+}
+
+func (fl *funcLowerer) lowerCmp(in *ir.Instr) error {
+	origin := asm.OriginNone
+	if fl.fold.unprotected[in] {
+		// This compare's duplicate was folded away: its materialization
+		// is the comparison-penetration site.
+		origin = asm.OriginCmpFolded
+	}
+	if in.Op == ir.OpICmp {
+		w := opSize(in.Args[0].Type())
+		yOp := fl.operandRM(in.Args[1], asm.OriginNone)
+		rx := fl.getGPR(in.Args[0], asm.OriginNone)
+		fl.emit(asm.Instr{Op: asm.OpCmp, Size: w, Dst: asm.RegOp(rx), Src: yOp, Origin: origin})
+		rd := fl.freshGPR(rx, yOp.Reg, yOp.Index)
+		fl.emit(asm.Instr{Op: asm.OpSet, Cond: condFor(in.Pred), Dst: asm.RegOp(rd), Origin: origin})
+		fl.emit(asm.Instr{Op: asm.OpMovZX, Size: 1, Dst: asm.RegOp(rd), Src: asm.RegOp(rd), Origin: origin})
+		fl.cache.bind(in, rd)
+		fl.storeBack(in, rd)
+		return nil
+	}
+	// fcmp: ucomisd sets CF/ZF/PF like an unsigned compare; olt/ole are
+	// handled by swapping operands so the NaN-safe above/above-equal
+	// conditions apply.
+	a, b := in.Args[0], in.Args[1]
+	var cc asm.Cond
+	switch in.Pred {
+	case ir.PredOGT:
+		cc = asm.CondA
+	case ir.PredOGE:
+		cc = asm.CondAE
+	case ir.PredOLT:
+		a, b = b, a
+		cc = asm.CondA
+	case ir.PredOLE:
+		a, b = b, a
+		cc = asm.CondAE
+	case ir.PredOEQ:
+		cc = asm.CondE
+	case ir.PredONE:
+		cc = asm.CondNE
+	default:
+		return fmt.Errorf("unsupported fcmp predicate %s", in.Pred)
+	}
+	yOp := fl.operandRM(b, asm.OriginNone)
+	rx := fl.getXMM(a, asm.OriginNone)
+	fl.emit(asm.Instr{Op: asm.OpUComiSD, Size: 8, Dst: asm.RegOp(rx), Src: yOp, Origin: origin})
+	rd := fl.freshGPR()
+	if in.Pred == ir.PredOEQ || in.Pred == ir.PredONE {
+		// Ordered (not-)equal needs the parity flag: ucomisd reports
+		// "unordered" as ZF=PF=CF=1, so both predicates require NP
+		// (ordered) AND the base condition.
+		rt := fl.freshGPR(rd)
+		fl.emit(asm.Instr{Op: asm.OpSet, Cond: cc, Dst: asm.RegOp(rd), Origin: origin})
+		fl.emit(asm.Instr{Op: asm.OpSet, Cond: asm.CondNP, Dst: asm.RegOp(rt), Origin: origin})
+		fl.emit(asm.Instr{Op: asm.OpAnd, Size: 1, Dst: asm.RegOp(rd), Src: asm.RegOp(rt)})
+	} else {
+		fl.emit(asm.Instr{Op: asm.OpSet, Cond: cc, Dst: asm.RegOp(rd), Origin: origin})
+	}
+	fl.emit(asm.Instr{Op: asm.OpMovZX, Size: 1, Dst: asm.RegOp(rd), Src: asm.RegOp(rd), Origin: origin})
+	fl.cache.bind(in, rd)
+	fl.storeBack(in, rd)
+	return nil
+}
+
+func (fl *funcLowerer) lowerGEP(in *ir.Instr) error {
+	base, idx := in.Args[0], in.Args[1]
+	elem := in.Aux
+
+	if c, ok := fl.resolve(idx).(*ir.Const); ok {
+		rd := fl.freshGPR(fl.peekReg(base))
+		fl.materializeInto(rd, base, asm.OriginNone)
+		disp := c.Int() * elem
+		if disp != 0 {
+			if !fitsInt32(disp) {
+				return fmt.Errorf("gep displacement %d out of range", disp)
+			}
+			fl.emit(asm.Instr{Op: asm.OpAdd, Size: 8, Dst: asm.RegOp(rd), Src: asm.ImmOp(disp)})
+		}
+		fl.cache.bind(in, rd)
+		fl.storeBack(in, rd)
+		return nil
+	}
+
+	ri := fl.getGPR(idx, asm.OriginNone)
+	rd := fl.freshGPR(ri, fl.peekReg(base))
+	fl.materializeInto(rd, base, asm.OriginNone)
+	switch elem {
+	case 1, 2, 4, 8:
+		fl.emit(asm.Instr{Op: asm.OpLea, Size: 8, Dst: asm.RegOp(rd), Src: asm.MemIdxOp(rd, 0, ri, elem)})
+	default:
+		rt := fl.freshGPR(rd, ri)
+		fl.emit(asm.Instr{Op: asm.OpMov, Size: 8, Dst: asm.RegOp(rt), Src: asm.RegOp(ri)})
+		fl.emit(asm.Instr{Op: asm.OpIMul, Size: 8, Dst: asm.RegOp(rt), Src: asm.ImmOp(elem)})
+		fl.emit(asm.Instr{Op: asm.OpAdd, Size: 8, Dst: asm.RegOp(rd), Src: asm.RegOp(rt)})
+	}
+	fl.cache.bind(in, rd)
+	fl.storeBack(in, rd)
+	return nil
+}
+
+func (fl *funcLowerer) lowerCast(in *ir.Instr) error {
+	x := in.Args[0]
+	from := x.Type()
+
+	switch in.Op {
+	case ir.OpSIToFP:
+		w := uint8(8)
+		if from == ir.I32 {
+			w = 4
+		}
+		src := fl.operandRM(x, asm.OriginNone)
+		// Immediates are not valid cvtsi2sd sources, and i8/i1 slots are
+		// narrower than the 64-bit conversion width.
+		if src.Kind == asm.OperandImm ||
+			(src.Kind == asm.OperandMem && (from == ir.I8 || from == ir.I1)) {
+			rt := fl.freshGPR()
+			fl.materializeInto(rt, x, asm.OriginNone)
+			src = asm.RegOp(rt)
+		}
+		rd := fl.freshXMM()
+		fl.emit(asm.Instr{Op: asm.OpCvtSI2SD, Size: w, Dst: asm.RegOp(rd), Src: src})
+		fl.cache.bind(in, rd)
+		fl.storeBack(in, rd)
+		return nil
+
+	case ir.OpFPToSI:
+		w := uint8(8)
+		if in.Ty != ir.I64 {
+			w = 4 // cvttsd2si exists only at 32/64 bits
+		}
+		src := fl.operandRM(x, asm.OriginNone)
+		rd := fl.freshGPR(src.Reg)
+		fl.emit(asm.Instr{Op: asm.OpCvtSD2SI, Size: w, Dst: asm.RegOp(rd), Src: src})
+		switch in.Ty {
+		case ir.I8:
+			fl.emit(asm.Instr{Op: asm.OpMovSX, Size: 1, Dst: asm.RegOp(rd), Src: asm.RegOp(rd)})
+		case ir.I1:
+			fl.emit(asm.Instr{Op: asm.OpAnd, Size: 4, Dst: asm.RegOp(rd), Src: asm.ImmOp(1)})
+		}
+		fl.cache.bind(in, rd)
+		fl.storeBack(in, rd)
+		return nil
+	}
+
+	rd := fl.freshGPR(fl.peekReg(x))
+	fl.materializeInto(rd, x, asm.OriginNone)
+	switch in.Op {
+	case ir.OpTrunc:
+		switch in.Ty {
+		case ir.I32:
+			fl.emit(asm.Instr{Op: asm.OpMov, Size: 4, Dst: asm.RegOp(rd), Src: asm.RegOp(rd)})
+		case ir.I8:
+			fl.emit(asm.Instr{Op: asm.OpMovSX, Size: 1, Dst: asm.RegOp(rd), Src: asm.RegOp(rd)})
+		case ir.I1:
+			fl.emit(asm.Instr{Op: asm.OpAnd, Size: 4, Dst: asm.RegOp(rd), Src: asm.ImmOp(1)})
+		}
+	case ir.OpZExt:
+		switch from {
+		case ir.I8:
+			fl.emit(asm.Instr{Op: asm.OpMovZX, Size: 1, Dst: asm.RegOp(rd), Src: asm.RegOp(rd)})
+		case ir.I1, ir.I32:
+			// Already zero-extended in-register; the copy suffices.
+		}
+	case ir.OpSExt:
+		switch {
+		case from == ir.I1:
+			fl.emit(asm.Instr{Op: asm.OpNeg, Size: opSize(in.Ty), Dst: asm.RegOp(rd)})
+		case from == ir.I8 && in.Ty == ir.I32:
+			fl.emit(asm.Instr{Op: asm.OpMov, Size: 4, Dst: asm.RegOp(rd), Src: asm.RegOp(rd)})
+		case from == ir.I8 && in.Ty == ir.I64:
+			// Already sign-extended canonically.
+		case from == ir.I32:
+			fl.emit(asm.Instr{Op: asm.OpMovSX, Size: 4, Dst: asm.RegOp(rd), Src: asm.RegOp(rd)})
+		}
+	}
+	fl.cache.bind(in, rd)
+	fl.storeBack(in, rd)
+	return nil
+}
+
+// lowerCall is where call penetration lives: the System V convention
+// moves every argument into its register right before the call — after
+// any duplication checker already validated the values.
+func (fl *funcLowerer) lowerCall(in *ir.Instr) error {
+	// Everything caller-saved dies across the call, and the argument
+	// registers overlap the scratch pool: flush the cache first so the
+	// argument moves read from slots (exactly what clang -O0 emits).
+	fl.cache.dropAll()
+
+	intIdx, fpIdx := 0, 0
+	for _, a := range in.Args {
+		if a.Type() == ir.F64 {
+			if fpIdx >= len(asm.FloatArgRegs) {
+				return fmt.Errorf("call @%s: too many float args", in.Callee.Name)
+			}
+			fl.materializeInto(asm.FloatArgRegs[fpIdx], a, asm.OriginCallArg)
+			fpIdx++
+			continue
+		}
+		if intIdx >= len(asm.IntArgRegs) {
+			return fmt.Errorf("call @%s: too many integer args", in.Callee.Name)
+		}
+		fl.materializeInto(asm.IntArgRegs[intIdx], a, asm.OriginCallArg)
+		intIdx++
+	}
+	fl.emit(asm.Instr{Op: asm.OpCall, Target: in.Callee.Name, Origin: asm.OriginFrame})
+	fl.cache.dropAll()
+	if !in.HasResult() {
+		return nil
+	}
+	if in.Ty == ir.F64 {
+		fl.cache.bind(in, asm.XMM0)
+		fl.storeBack(in, asm.XMM0)
+		return nil
+	}
+	fl.cache.bind(in, asm.RAX)
+	fl.storeBack(in, asm.RAX)
+	return nil
+}
+
+func (fl *funcLowerer) lowerCondBr(in *ir.Instr) error {
+	cond := in.Args[0]
+	trueL, falseL := in.Blocks[0].Name, in.Blocks[1].Name
+
+	if ci, ok := cond.(*ir.Instr); ok {
+		if fl.fold.foldedTrue[ci] {
+			// The duplicated comparison check folded to constant true
+			// (paper Fig. 9): the branch degenerates to mov $1 / test.
+			rd := fl.freshGPR()
+			fl.emit(asm.Instr{Op: asm.OpMov, Size: 1, Dst: asm.RegOp(rd), Src: asm.ImmOp(1), Origin: asm.OriginCmpFolded})
+			fl.emit(asm.Instr{Op: asm.OpTest, Size: 1, Dst: asm.RegOp(rd), Src: asm.ImmOp(1), Origin: asm.OriginCmpFolded})
+			fl.emit(asm.Instr{Op: asm.OpJcc, Cond: asm.CondNE, Target: trueL})
+			fl.emit(asm.Instr{Op: asm.OpJmp, Target: falseL})
+			return nil
+		}
+		if fl.fused[ci] {
+			return fl.lowerFusedCmpBr(ci, trueL, falseL)
+		}
+	}
+
+	// General case (paper Fig. 7): the condition is re-tested, creating
+	// the branch-penetration RFLAGS site.
+	rc := fl.getGPR(cond, asm.OriginBranchTest)
+	fl.emit(asm.Instr{Op: asm.OpTest, Size: 1, Dst: asm.RegOp(rc), Src: asm.ImmOp(1), Origin: asm.OriginBranchTest})
+	fl.emit(asm.Instr{Op: asm.OpJcc, Cond: asm.CondNE, Target: trueL})
+	fl.emit(asm.Instr{Op: asm.OpJmp, Target: falseL})
+	return nil
+}
+
+// lowerFusedCmpBr emits cmp/jcc (or ucomisd/jcc) for a compare that
+// immediately precedes its only consumer, a conditional branch.
+func (fl *funcLowerer) lowerFusedCmpBr(cmp *ir.Instr, trueL, falseL string) error {
+	fl.curChecker = fl.curChecker || cmp.Prot.IsChecker
+	if cmp.Op == ir.OpICmp {
+		w := opSize(cmp.Args[0].Type())
+		yOp := fl.operandRM(cmp.Args[1], asm.OriginNone)
+		rx := fl.getGPR(cmp.Args[0], asm.OriginNone)
+		fl.emit(asm.Instr{Op: asm.OpCmp, Size: w, Dst: asm.RegOp(rx), Src: yOp})
+		fl.emit(asm.Instr{Op: asm.OpJcc, Cond: condFor(cmp.Pred), Target: trueL})
+		fl.emit(asm.Instr{Op: asm.OpJmp, Target: falseL})
+		return nil
+	}
+	a, b := cmp.Args[0], cmp.Args[1]
+	var cc asm.Cond
+	switch cmp.Pred {
+	case ir.PredOGT:
+		cc = asm.CondA
+	case ir.PredOGE:
+		cc = asm.CondAE
+	case ir.PredOLT:
+		a, b = b, a
+		cc = asm.CondA
+	case ir.PredOLE:
+		a, b = b, a
+		cc = asm.CondAE
+	default:
+		return fmt.Errorf("unfusible fcmp predicate %s", cmp.Pred)
+	}
+	yOp := fl.operandRM(b, asm.OriginNone)
+	rx := fl.getXMM(a, asm.OriginNone)
+	fl.emit(asm.Instr{Op: asm.OpUComiSD, Size: 8, Dst: asm.RegOp(rx), Src: yOp})
+	fl.emit(asm.Instr{Op: asm.OpJcc, Cond: cc, Target: trueL})
+	fl.emit(asm.Instr{Op: asm.OpJmp, Target: falseL})
+	return nil
+}

@@ -1,0 +1,321 @@
+package backend
+
+import (
+	"strings"
+	"testing"
+
+	"flowery/internal/asm"
+	"flowery/internal/dup"
+	"flowery/internal/flowery"
+	"flowery/internal/ir"
+)
+
+// mustLower lowers and validates.
+func mustLower(t *testing.T, m *ir.Module) *asm.Program {
+	t.Helper()
+	if err := m.Verify(); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	prog, err := Lower(m)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	return prog
+}
+
+// countOrigins tallies static instruction origins in one function.
+func countOrigins(f *asm.Func) map[asm.Origin]int {
+	c := make(map[asm.Origin]int)
+	for _, in := range f.Instrs {
+		if in.Op != asm.OpLabel {
+			c[in.Origin]++
+		}
+	}
+	return c
+}
+
+// buildStoreChain builds: v = a+b (from globals); store v to a global.
+func buildStoreChain() *ir.Module {
+	m := ir.NewModule("store")
+	ga := m.NewGlobalI64("a", []int64{1})
+	gb := m.NewGlobalI64("b", []int64{2})
+	gout := m.NewGlobalI64("out", []int64{0})
+	f := m.NewFunction("main", ir.I64)
+	b := ir.NewBuilder(f)
+	x := b.Load(ir.I64, ga)
+	y := b.Load(ir.I64, gb)
+	v := b.Add(x, y)
+	b.Store(v, gout)
+	b.Ret(ir.ConstInt(ir.I64, 0))
+	return m
+}
+
+// TestStorePenetrationEmergesFromCheckerSplit is the core mechanism test:
+// without protection the store finds its value in the block-local cache
+// (no reload); after duplication the checker splits the block and the
+// reload appears, tagged OriginStoreReload.
+func TestStorePenetrationEmergesFromCheckerSplit(t *testing.T) {
+	plain := mustLower(t, buildStoreChain())
+	if n := countOrigins(plain.Func("main"))[asm.OriginStoreReload]; n != 0 {
+		t.Fatalf("unprotected program has %d store-reload sites; want 0", n)
+	}
+
+	prot := buildStoreChain()
+	if err := dup.ApplyFull(prot); err != nil {
+		t.Fatal(err)
+	}
+	lowered := mustLower(t, prot)
+	if n := countOrigins(lowered.Func("main"))[asm.OriginStoreReload]; n == 0 {
+		t.Fatal("protected program has no store-reload site; store penetration did not emerge")
+	}
+}
+
+// TestEagerStoreRemovesReload: the Flowery patch must eliminate the
+// reload the duplication introduced.
+func TestEagerStoreRemovesReload(t *testing.T) {
+	m := buildStoreChain()
+	if err := dup.ApplyFull(m); err != nil {
+		t.Fatal(err)
+	}
+	st, err := flowery.Apply(m, flowery.Options{EagerStore: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.StoresHoisted == 0 {
+		t.Fatal("eager store hoisted nothing")
+	}
+	lowered := mustLower(t, m)
+	if n := countOrigins(lowered.Func("main"))[asm.OriginStoreReload]; n != 0 {
+		t.Fatalf("eager store left %d reload sites", n)
+	}
+}
+
+// buildBranchChain builds: c = (a < b); if c print 1 else print 2.
+func buildBranchChain() *ir.Module {
+	m := ir.NewModule("branch")
+	ga := m.NewGlobalI64("a", []int64{1})
+	gb := m.NewGlobalI64("b", []int64{2})
+	f := m.NewFunction("main", ir.I64)
+	b := ir.NewBuilder(f)
+	x := b.Load(ir.I64, ga)
+	y := b.Load(ir.I64, gb)
+	c := b.ICmp(ir.PredSLT, x, y)
+	b.If(c, func() { b.PrintI64(ir.ConstInt(ir.I64, 1)) }, func() { b.PrintI64(ir.ConstInt(ir.I64, 2)) })
+	b.Ret(ir.ConstInt(ir.I64, 0))
+	return m
+}
+
+// TestBranchFusionAndPenetration: unprotected, the compare fuses with
+// the branch (no test instruction); after duplication the checker breaks
+// fusion and the OriginBranchTest site appears.
+func TestBranchFusionAndPenetration(t *testing.T) {
+	plain := mustLower(t, buildBranchChain())
+	if n := countOrigins(plain.Func("main"))[asm.OriginBranchTest]; n != 0 {
+		t.Fatalf("unprotected program has %d branch-test sites; fusion failed", n)
+	}
+	// And the fused form has a conditional jump right after a cmp.
+	text := plain.Func("main").String()
+	if !strings.Contains(text, "cmp") {
+		t.Fatalf("no cmp in lowered branch program:\n%s", text)
+	}
+
+	prot := buildBranchChain()
+	if err := dup.ApplyFull(prot); err != nil {
+		t.Fatal(err)
+	}
+	lowered := mustLower(t, prot)
+	if n := countOrigins(lowered.Func("main"))[asm.OriginBranchTest]; n == 0 {
+		t.Fatal("protected program has no branch-test site; branch penetration did not emerge")
+	}
+}
+
+// TestComparisonFolding: the duplicated compare check folds to a
+// constant (paper Fig. 9) and the surviving compare is tagged; Flowery's
+// anti-cmp patch prevents the fold.
+func TestComparisonFolding(t *testing.T) {
+	prot := buildBranchChain()
+	if err := dup.ApplyFull(prot); err != nil {
+		t.Fatal(err)
+	}
+	lowered := mustLower(t, prot)
+	counts := countOrigins(lowered.Func("main"))
+	if counts[asm.OriginCmpFolded] == 0 {
+		t.Fatal("no folded-comparison site; comparison penetration did not emerge")
+	}
+
+	fixed := buildBranchChain()
+	if err := dup.ApplyFull(fixed); err != nil {
+		t.Fatal(err)
+	}
+	st, err := flowery.Apply(fixed, flowery.Options{AntiCmp: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CmpsIsolated == 0 {
+		t.Fatal("anti-cmp isolated nothing")
+	}
+	lowered2 := mustLower(t, fixed)
+	if n := countOrigins(lowered2.Func("main"))[asm.OriginCmpFolded]; n != 0 {
+		t.Fatalf("anti-cmp left %d folded sites", n)
+	}
+}
+
+// TestCallArgAndFrameSites: calls produce OriginCallArg argument moves;
+// every function has OriginFrame prologue/epilogue.
+func TestCallArgAndFrameSites(t *testing.T) {
+	m := ir.NewModule("call")
+	callee := m.NewFunction("callee", ir.I64, ir.I64, ir.I64)
+	cb := ir.NewBuilder(callee)
+	cb.Ret(cb.Add(callee.Params[0], callee.Params[1]))
+	f := m.NewFunction("main", ir.I64)
+	b := ir.NewBuilder(f)
+	v := b.Call(callee, ir.ConstInt(ir.I64, 1), ir.ConstInt(ir.I64, 2))
+	b.Ret(v)
+	prog := mustLower(t, m)
+
+	mainCounts := countOrigins(prog.Func("main"))
+	if mainCounts[asm.OriginCallArg] < 2 {
+		t.Fatalf("expected ≥2 call-arg sites in main, got %d", mainCounts[asm.OriginCallArg])
+	}
+	for _, fn := range prog.Funcs {
+		if countOrigins(fn)[asm.OriginFrame] < 4 {
+			t.Errorf("%s: expected prologue+epilogue frame sites", fn.Name)
+		}
+	}
+}
+
+// TestFoldCongruence exercises the congruence analysis directly.
+func TestFoldCongruence(t *testing.T) {
+	m := ir.NewModule("fold")
+	g := m.NewGlobalI64("g", []int64{5})
+	f := m.NewFunction("main", ir.I64)
+	b := ir.NewBuilder(f)
+	// Two loads of the same address, two identical compares, eq-check:
+	// the textbook foldable pattern.
+	x1 := b.Load(ir.I64, g)
+	x2 := b.Load(ir.I64, g)
+	c1 := b.ICmp(ir.PredSLT, x1, ir.ConstInt(ir.I64, 10))
+	c2 := b.ICmp(ir.PredSLT, x2, ir.ConstInt(ir.I64, 10))
+	chk := b.ICmp(ir.PredEQ, c1, c2)
+	thenB := b.NewBlock("then")
+	elseB := b.NewBlock("else")
+	b.CondBr(chk, thenB, elseB)
+	b.SetBlock(thenB)
+	b.Ret(ir.ConstInt(ir.I64, 1))
+	b.SetBlock(elseB)
+	b.Ret(ir.ConstInt(ir.I64, 0))
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+
+	fi := analyzeFolds(m.Func("main"))
+	if !fi.foldedTrue[chk] {
+		t.Fatal("foldable check not folded")
+	}
+	if fi.resolveAlias(c2) != c1 {
+		t.Fatal("duplicate compare not aliased to representative")
+	}
+	if !fi.unprotected[c1] {
+		t.Fatal("representative compare not marked unprotected")
+	}
+	// Loads feeding only the folded compares are tainted.
+	if !fi.tainted[x2] {
+		t.Fatal("backward slice not tainted")
+	}
+}
+
+// TestFoldBlockedByInterveningStore: a store between the loads advances
+// the memory epoch, so the loads are not congruent and nothing folds.
+func TestFoldBlockedByInterveningStore(t *testing.T) {
+	m := ir.NewModule("fold2")
+	g := m.NewGlobalI64("g", []int64{5})
+	f := m.NewFunction("main", ir.I64)
+	b := ir.NewBuilder(f)
+	x1 := b.Load(ir.I64, g)
+	b.Store(ir.ConstInt(ir.I64, 9), g) // epoch advance
+	x2 := b.Load(ir.I64, g)
+	c1 := b.ICmp(ir.PredSLT, x1, ir.ConstInt(ir.I64, 10))
+	c2 := b.ICmp(ir.PredSLT, x2, ir.ConstInt(ir.I64, 10))
+	chk := b.ICmp(ir.PredEQ, c1, c2)
+	b.Ret(b.ZExt(ir.I64, chk))
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	fi := analyzeFolds(m.Func("main"))
+	if fi.foldedTrue[chk] {
+		t.Fatal("check folded across a store")
+	}
+}
+
+// TestFoldBlockedAcrossBlocks: congruence is block-local, which is
+// exactly what the anti-cmp patch exploits.
+func TestFoldBlockedAcrossBlocks(t *testing.T) {
+	m := ir.NewModule("fold3")
+	g := m.NewGlobalI64("g", []int64{5})
+	f := m.NewFunction("main", ir.I64)
+	b := ir.NewBuilder(f)
+	x1 := b.Load(ir.I64, g)
+	c1 := b.ICmp(ir.PredSLT, x1, ir.ConstInt(ir.I64, 10))
+	next := b.NewBlock("next")
+	b.Br(next)
+	b.SetBlock(next)
+	x2 := b.Load(ir.I64, g)
+	c2 := b.ICmp(ir.PredSLT, x2, ir.ConstInt(ir.I64, 10))
+	chk := b.ICmp(ir.PredEQ, c1, c2)
+	b.Ret(b.ZExt(ir.I64, chk))
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	fi := analyzeFolds(m.Func("main"))
+	if fi.foldedTrue[chk] {
+		t.Fatal("check folded across a block boundary")
+	}
+}
+
+// TestFoldIgnoresWideChecks: an eq-check over non-i1 operands (the value
+// checks of ordinary duplicated arithmetic) must never fold — otherwise
+// duplication would be nullified wholesale.
+func TestFoldIgnoresWideChecks(t *testing.T) {
+	m := ir.NewModule("fold4")
+	g := m.NewGlobalI64("g", []int64{5})
+	f := m.NewFunction("main", ir.I64)
+	b := ir.NewBuilder(f)
+	x1 := b.Load(ir.I64, g)
+	x2 := b.Load(ir.I64, g)
+	a1 := b.Add(x1, ir.ConstInt(ir.I64, 3))
+	a2 := b.Add(x2, ir.ConstInt(ir.I64, 3))
+	chk := b.ICmp(ir.PredEQ, a1, a2) // i64 operands: FastISel territory
+	b.Ret(b.ZExt(ir.I64, chk))
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	fi := analyzeFolds(m.Func("main"))
+	if fi.foldedTrue[chk] {
+		t.Fatal("wide (i64) value check folded; duplication would be nullified")
+	}
+}
+
+// TestFrameLayout sanity: distinct slots, 16-byte aligned frame.
+func TestFrameLayout(t *testing.T) {
+	m := buildStoreChain()
+	prog := mustLower(t, m)
+	f := prog.Func("main")
+	if f.FrameSize%16 != 0 {
+		t.Errorf("frame size %d not 16-byte aligned", f.FrameSize)
+	}
+	if f.FrameSize == 0 {
+		t.Error("frame size zero despite values needing slots")
+	}
+}
+
+// TestDoubleLowerRejected: Lower may only run once per module (it adds
+// the constant pool).
+func TestDoubleLowerRejected(t *testing.T) {
+	m := buildStoreChain()
+	if _, err := Lower(m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Lower(m); err == nil {
+		t.Fatal("second Lower on the same module not rejected")
+	}
+}

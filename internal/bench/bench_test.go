@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"testing"
+
+	"flowery/internal/backend"
+	"flowery/internal/interp"
+	"flowery/internal/machine"
+	"flowery/internal/sim"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != 16 {
+		t.Fatalf("expected the paper's 16 benchmarks, have %d", len(all))
+	}
+	want := []string{
+		"backprop", "bfs", "pathfinder", "lud", "needle", "knn",
+		"ep", "cg", "is", "fft2", "quicksort", "basicmath",
+		"susan", "crc32", "stringsearch", "patricia",
+	}
+	for i, b := range all {
+		if b.Name != want[i] {
+			t.Errorf("position %d: got %s, want %s (Table 1 order)", i, b.Name, want[i])
+		}
+		if b.Suite == "" || b.Domain == "" {
+			t.Errorf("%s: missing suite/domain metadata", b.Name)
+		}
+	}
+}
+
+func TestBenchmarksRunCleanBothLayers(t *testing.T) {
+	for _, bm := range All() {
+		bm := bm
+		t.Run(bm.Name, func(t *testing.T) {
+			t.Parallel()
+			m := bm.Build()
+			if err := m.Verify(); err != nil {
+				t.Fatalf("verify: %v", err)
+			}
+			prog, err := backend.Lower(m)
+			if err != nil {
+				t.Fatalf("lower: %v", err)
+			}
+			mc, err := machine.New(m, prog)
+			if err != nil {
+				t.Fatalf("machine: %v", err)
+			}
+			ip := interp.New(m)
+			ri := ip.Run(sim.Fault{}, sim.Options{})
+			rm := mc.Run(sim.Fault{}, sim.Options{})
+			if ri.Status != sim.StatusOK {
+				t.Fatalf("IR run: %v (%v)", ri.Status, ri.Trap)
+			}
+			if rm.Status != sim.StatusOK {
+				t.Fatalf("asm run: %v (%v) at %s", rm.Status, rm.Trap, mc.PCInfo(mc.LastPC()))
+			}
+			if string(ri.Output) != string(rm.Output) {
+				t.Fatalf("cross-layer outputs differ:\nIR:  %q\nasm: %q", ri.Output, rm.Output)
+			}
+			if len(ri.Output) == 0 {
+				t.Fatal("benchmark prints nothing; SDCs would be unobservable")
+			}
+			if ri.DynInstrs < 5_000 {
+				t.Errorf("only %d dynamic instructions; too small for meaningful fault injection", ri.DynInstrs)
+			}
+			if ri.DynInstrs > 3_000_000 {
+				t.Errorf("%d dynamic instructions; campaigns would be too slow", ri.DynInstrs)
+			}
+			t.Logf("%s: %d IR dyn instrs, %d asm dyn instrs, %d output bytes",
+				bm.Name, ri.DynInstrs, rm.DynInstrs, len(ri.Output))
+		})
+	}
+}
+
+func TestBenchmarksDeterministicAcrossBuilds(t *testing.T) {
+	for _, bm := range All() {
+		m1 := bm.Build()
+		m2 := bm.Build()
+		r1 := interp.New(m1).Run(sim.Fault{}, sim.Options{})
+		r2 := interp.New(m2).Run(sim.Fault{}, sim.Options{})
+		if string(r1.Output) != string(r2.Output) || r1.DynInstrs != r2.DynInstrs {
+			t.Errorf("%s: two builds disagree", bm.Name)
+		}
+	}
+}

@@ -1,0 +1,223 @@
+package bench
+
+import (
+	"fmt"
+	"hash/crc32"
+	"math"
+	"strings"
+	"testing"
+
+	"flowery/internal/interp"
+	"flowery/internal/sim"
+)
+
+// These tests validate the benchmark implementations against independent
+// Go reference computations: the IR program and the reference must agree
+// on the printed results.
+
+func runBenchmark(t *testing.T, name string) []string {
+	t.Helper()
+	bm, ok := ByName(name)
+	if !ok {
+		t.Fatalf("unknown benchmark %q", name)
+	}
+	res := interp.New(bm.Build()).Run(sim.Fault{}, sim.Options{})
+	if res.Status != sim.StatusOK {
+		t.Fatalf("%s: %v (%v)", name, res.Status, res.Trap)
+	}
+	return strings.Fields(string(res.Output))
+}
+
+func TestCRC32AgainstStdlib(t *testing.T) {
+	// Rebuild the exact message bytes the benchmark bakes in.
+	r := newLCG(131)
+	msg := make([]byte, 256)
+	for i := range msg {
+		msg[i] = byte(r.intn(256))
+	}
+	want := crc32.ChecksumIEEE(msg)
+	out := runBenchmark(t, "crc32")
+	if len(out) != 1 {
+		t.Fatalf("unexpected output shape: %v", out)
+	}
+	if got := fmt.Sprint(want); out[0] != got {
+		t.Fatalf("IR CRC32 = %s, stdlib = %s", out[0], got)
+	}
+}
+
+func TestNeedleAgainstReference(t *testing.T) {
+	// Reference Needleman–Wunsch with the same parameters.
+	r := newLCG(53)
+	const lenA, lenB, gap = 28, 28, -2
+	seqA := make([]int64, lenA)
+	seqB := make([]int64, lenB)
+	for i := range seqA {
+		seqA[i] = r.intn(4)
+	}
+	for i := range seqB {
+		seqB[i] = r.intn(4)
+	}
+	dp := make([][]int64, lenA+1)
+	for i := range dp {
+		dp[i] = make([]int64, lenB+1)
+	}
+	for i := 0; i <= lenA; i++ {
+		dp[i][0] = int64(i) * gap
+	}
+	for j := 0; j <= lenB; j++ {
+		dp[0][j] = int64(j) * gap
+	}
+	max := func(a, b int64) int64 {
+		if a > b {
+			return a
+		}
+		return b
+	}
+	for i := 1; i <= lenA; i++ {
+		for j := 1; j <= lenB; j++ {
+			score := int64(-1)
+			if seqA[i-1] == seqB[j-1] {
+				score = 3
+			}
+			dp[i][j] = max(dp[i-1][j-1]+score, max(dp[i-1][j]+gap, dp[i][j-1]+gap))
+		}
+	}
+	out := runBenchmark(t, "needle")
+	if out[0] != fmt.Sprint(dp[lenA][lenB]) {
+		t.Fatalf("IR alignment score %s, reference %d", out[0], dp[lenA][lenB])
+	}
+}
+
+func TestStringsearchAgainstReference(t *testing.T) {
+	text := "it was the best of times it was the worst of times " +
+		"it was the age of wisdom it was the age of foolishness " +
+		"it was the epoch of belief it was the epoch of incredulity " +
+		"it was the season of light it was the season of darkness"
+	patterns := []string{"season", "wisdom", "epoch of belief", "zzzz", "times it"}
+	out := runBenchmark(t, "stringsearch")
+	if len(out) != len(patterns)+1 {
+		t.Fatalf("unexpected output shape: %v", out)
+	}
+	for i, p := range patterns {
+		want := strings.Index(text, p)
+		if out[i] != fmt.Sprint(want) {
+			t.Errorf("pattern %q: IR found %s, strings.Index found %d", p, out[i], want)
+		}
+	}
+}
+
+func TestQuicksortSortsCorrectly(t *testing.T) {
+	out := runBenchmark(t, "quicksort")
+	// First printed value is the count of order violations.
+	if out[0] != "0" {
+		t.Fatalf("quicksort left %s order violations", out[0])
+	}
+}
+
+func TestISSortsCorrectly(t *testing.T) {
+	out := runBenchmark(t, "is")
+	if out[0] != "0" {
+		t.Fatalf("integer sort left %s order violations", out[0])
+	}
+}
+
+func TestBFSReachability(t *testing.T) {
+	out := runBenchmark(t, "bfs")
+	// Second printed value is the distance of the last node; the graph
+	// generator biases edges forward so it must be reachable (≥ 0).
+	if strings.HasPrefix(out[1], "-") {
+		t.Fatalf("last node unreachable: distance %s", out[1])
+	}
+}
+
+func TestPatriciaHitCount(t *testing.T) {
+	// Half the lookups are guaranteed hits by construction.
+	out := runBenchmark(t, "patricia")
+	var hits int
+	fmt.Sscan(out[0], &hits)
+	if hits < 32 {
+		t.Fatalf("only %d hits; inserted keys not found", hits)
+	}
+}
+
+func TestKNNDistancesSorted(t *testing.T) {
+	out := runBenchmark(t, "knn")
+	// Output alternates index, distance × 5 rounds; distances ascend.
+	var prev float64 = -1
+	for i := 1; i < len(out); i += 2 {
+		var d float64
+		if _, err := fmt.Sscan(out[i], &d); err != nil {
+			t.Fatalf("bad distance %q", out[i])
+		}
+		if d < prev {
+			t.Fatalf("kNN distances not ascending: %v then %v", prev, d)
+		}
+		prev = d
+	}
+}
+
+func TestLUDDeterminantPositive(t *testing.T) {
+	// The matrix is diagonally dominant with positive diagonal, so the
+	// determinant (product of U's diagonal) must be positive.
+	out := runBenchmark(t, "lud")
+	var det float64
+	if _, err := fmt.Sscan(out[1], &det); err != nil {
+		t.Fatalf("bad determinant %q", out[1])
+	}
+	if det <= 0 {
+		t.Fatalf("determinant %v not positive", det)
+	}
+}
+
+func TestCGResidualShrinks(t *testing.T) {
+	// Compute the initial residual norm ‖rhs‖ from the same baked data;
+	// eight CG iterations on the 1-D Laplacian (condition number ~n²)
+	// will not converge fully but must shrink it substantially.
+	r := newLCG(79)
+	initial := 0.0
+	for i := 0; i < 48; i++ {
+		v := r.f64()*2 - 1
+		initial += v * v
+	}
+	initial = math.Sqrt(initial)
+	out := runBenchmark(t, "cg")
+	var resid float64
+	if _, err := fmt.Sscan(out[0], &resid); err != nil {
+		t.Fatalf("bad residual %q", out[0])
+	}
+	if resid < 0 || resid > initial/2 {
+		t.Fatalf("CG residual %v did not shrink from initial %v", resid, initial)
+	}
+}
+
+func TestEPAcceptanceRate(t *testing.T) {
+	// Marsaglia polar accepts with probability π/4 ≈ 0.785.
+	out := runBenchmark(t, "ep")
+	var accepted int
+	fmt.Sscan(out[0], &accepted)
+	rate := float64(accepted) / 320
+	if rate < 0.68 || rate > 0.88 {
+		t.Fatalf("acceptance rate %.2f implausible for π/4", rate)
+	}
+}
+
+func TestFFT2PeaksAtInputTones(t *testing.T) {
+	// The input is sin(2π·3t) + 0.5·cos(2π·7t): bins 3 and 7 must carry
+	// far more energy than every other bin of the half-spectrum.
+	out := runBenchmark(t, "fft2")
+	mags := make([]float64, len(out))
+	for i, s := range out {
+		fmt.Sscan(s, &mags[i])
+	}
+	for i, m := range mags {
+		if i == 3 || i == 7 {
+			if m < 4 {
+				t.Fatalf("bin %d magnitude %v too small for a tone", i, m)
+			}
+			continue
+		}
+		if m > 1 {
+			t.Fatalf("bin %d magnitude %v too large (spectral leakage?)", i, m)
+		}
+	}
+}

@@ -1,0 +1,289 @@
+package bench
+
+import (
+	"math"
+
+	"flowery/internal/ir"
+)
+
+func init() {
+	register(Benchmark{Name: "fft2", Suite: "MiBench", Domain: "Signal Processing", Build: buildFFT2})
+	register(Benchmark{Name: "quicksort", Suite: "MiBench", Domain: "Sort Algorithm", Build: buildQuicksort})
+	register(Benchmark{Name: "basicmath", Suite: "MiBench", Domain: "Mathematical Calculations", Build: buildBasicmath})
+}
+
+// buildFFT2 is an iterative radix-2 Cooley–Tukey FFT over a synthetic
+// waveform (the MiBench fft benchmark), reporting spectral magnitudes.
+func buildFFT2() *ir.Module {
+	const (
+		n    = 32
+		logN = 5
+	)
+	m := ir.NewModule("fft2")
+
+	// Input: superposition of two tones, baked at build time.
+	re := make([]float64, n)
+	im := make([]float64, n)
+	for i := 0; i < n; i++ {
+		t := float64(i) / n
+		re[i] = math.Sin(2*math.Pi*3*t) + 0.5*math.Cos(2*math.Pi*7*t)
+	}
+	gRe := m.NewGlobalF64("re", re)
+	gIm := m.NewGlobalF64("im", im)
+
+	f := m.NewFunction("main", ir.I64)
+	b := ir.NewBuilder(f)
+
+	// Bit-reversal permutation.
+	b.ForLoop("rev", c64(0), c64(n), c64(1), func(i ir.Value) {
+		// Reverse logN bits of i.
+		rev := b.AllocVar(ir.I64)
+		tmp := b.AllocVar(ir.I64)
+		b.Store(c64(0), rev)
+		b.Store(i, tmp)
+		b.ForLoop("bit", c64(0), c64(logN), c64(1), func(_ ir.Value) {
+			rv := b.Load(ir.I64, rev)
+			tv := b.Load(ir.I64, tmp)
+			b.Store(b.Or(b.Shl(rv, c64(1)), b.And(tv, c64(1))), rev)
+			b.Store(b.AShr(tv, c64(1)), tmp)
+		})
+		j := b.Load(ir.I64, rev)
+		lt := b.ICmp(ir.PredSLT, i, j)
+		b.If(lt, func() {
+			ri := b.LoadElem(ir.F64, gRe, i)
+			rj := b.LoadElem(ir.F64, gRe, j)
+			b.StoreElem(ir.F64, gRe, i, rj)
+			b.StoreElem(ir.F64, gRe, j, ri)
+			ii := b.LoadElem(ir.F64, gIm, i)
+			ij := b.LoadElem(ir.F64, gIm, j)
+			b.StoreElem(ir.F64, gIm, i, ij)
+			b.StoreElem(ir.F64, gIm, j, ii)
+		}, nil)
+	})
+
+	// Butterfly stages.
+	lenSlot := b.AllocVar(ir.I64)
+	b.Store(c64(2), lenSlot)
+	b.While("stage", func() ir.Value {
+		return b.ICmp(ir.PredSLE, b.Load(ir.I64, lenSlot), c64(n))
+	}, func() {
+		l := b.Load(ir.I64, lenSlot)
+		half := b.SDiv(l, c64(2))
+		ang := b.FDiv(cf(-2*math.Pi), b.SIToFP(l))
+		start := b.AllocVar(ir.I64)
+		b.Store(c64(0), start)
+		b.While("group", func() ir.Value {
+			return b.ICmp(ir.PredSLT, b.Load(ir.I64, start), c64(n))
+		}, func() {
+			s := b.Load(ir.I64, start)
+			b.ForLoop("bfly", c64(0), half, c64(1), func(k ir.Value) {
+				theta := b.FMul(ang, b.SIToFP(k))
+				wr := b.CallNamed("cos", theta)
+				wi := b.CallNamed("sin", theta)
+				i0 := b.Add(s, k)
+				i1 := b.Add(i0, half)
+				ar := b.LoadElem(ir.F64, gRe, i0)
+				ai := b.LoadElem(ir.F64, gIm, i0)
+				br2 := b.LoadElem(ir.F64, gRe, i1)
+				bi2 := b.LoadElem(ir.F64, gIm, i1)
+				tr := b.FSub(b.FMul(wr, br2), b.FMul(wi, bi2))
+				ti := b.FAdd(b.FMul(wr, bi2), b.FMul(wi, br2))
+				b.StoreElem(ir.F64, gRe, i0, b.FAdd(ar, tr))
+				b.StoreElem(ir.F64, gIm, i0, b.FAdd(ai, ti))
+				b.StoreElem(ir.F64, gRe, i1, b.FSub(ar, tr))
+				b.StoreElem(ir.F64, gIm, i1, b.FSub(ai, ti))
+			})
+			b.Store(b.Add(b.Load(ir.I64, start), l), start)
+		})
+		b.Store(b.Mul(l, c64(2)), lenSlot)
+	})
+
+	// Digest: magnitudes of the first half of the spectrum.
+	b.ForLoop("mag", c64(0), c64(n/2), c64(1), func(i ir.Value) {
+		rv := b.LoadElem(ir.F64, gRe, i)
+		iv := b.LoadElem(ir.F64, gIm, i)
+		b.PrintF64(b.CallNamed("sqrt", b.FAdd(b.FMul(rv, rv), b.FMul(iv, iv))))
+	})
+	b.Ret(c64(0))
+	return mustVerify(m)
+}
+
+// buildQuicksort is recursive quicksort with Lomuto partitioning (the
+// MiBench qsort benchmark). The recursion exercises the calling
+// convention and frame management heavily — at assembly level that is
+// where call and mapping penetrations concentrate.
+func buildQuicksort() *ir.Module {
+	const n = 160
+	m := ir.NewModule("quicksort")
+	r := newLCG(101)
+
+	arr := make([]int64, n)
+	for i := range arr {
+		arr[i] = r.intn(100000)
+	}
+	gA := m.NewGlobalI64("arr", arr)
+
+	// qsort(lo, hi): sort gA[lo..hi] inclusive.
+	qs := m.NewFunction("qsort", ir.Void, ir.I64, ir.I64)
+	{
+		b := ir.NewBuilder(qs)
+		lo, hi := qs.Params[0], qs.Params[1]
+		done := b.ICmp(ir.PredSGE, lo, hi)
+		exit := b.NewBlock("exit")
+		body := b.NewBlock("body")
+		b.CondBr(done, exit, body)
+
+		b.SetBlock(exit)
+		b.Ret(nil)
+
+		b.SetBlock(body)
+		pivot := b.LoadElem(ir.I64, gA, hi)
+		iSlot := b.AllocVar(ir.I64)
+		b.Store(b.Sub(lo, c64(1)), iSlot)
+		jSlot := b.AllocVar(ir.I64)
+		b.Store(lo, jSlot)
+		b.While("part", func() ir.Value {
+			return b.ICmp(ir.PredSLT, b.Load(ir.I64, jSlot), hi)
+		}, func() {
+			j := b.Load(ir.I64, jSlot)
+			aj := b.LoadElem(ir.I64, gA, j)
+			le := b.ICmp(ir.PredSLE, aj, pivot)
+			b.If(le, func() {
+				i := b.Add(b.Load(ir.I64, iSlot), c64(1))
+				b.Store(i, iSlot)
+				ai := b.LoadElem(ir.I64, gA, i)
+				b.StoreElem(ir.I64, gA, i, aj)
+				b.StoreElem(ir.I64, gA, j, ai)
+			}, nil)
+			b.Store(b.Add(j, c64(1)), jSlot)
+		})
+		p := b.Add(b.Load(ir.I64, iSlot), c64(1))
+		ap := b.LoadElem(ir.I64, gA, p)
+		ah := b.LoadElem(ir.I64, gA, hi)
+		b.StoreElem(ir.I64, gA, p, ah)
+		b.StoreElem(ir.I64, gA, hi, ap)
+		b.Call(qs, lo, b.Sub(p, c64(1)))
+		b.Call(qs, b.Add(p, c64(1)), hi)
+		b.Ret(nil)
+	}
+
+	f := m.NewFunction("main", ir.I64)
+	b := ir.NewBuilder(f)
+	b.Call(qs, c64(0), c64(n-1))
+
+	// Digest: order violations (must be 0), rolling checksum, median.
+	bad := b.AllocVar(ir.I64)
+	sum := b.AllocVar(ir.I64)
+	b.Store(c64(0), bad)
+	b.Store(c64(0), sum)
+	b.ForLoop("ck", c64(1), c64(n), c64(1), func(i ir.Value) {
+		prev := b.LoadElem(ir.I64, gA, b.Sub(i, c64(1)))
+		cur := b.LoadElem(ir.I64, gA, i)
+		gt := b.ICmp(ir.PredSGT, prev, cur)
+		b.If(gt, func() { b.Store(b.Add(b.Load(ir.I64, bad), c64(1)), bad) }, nil)
+		b.Store(b.Add(b.Mul(b.Load(ir.I64, sum), c64(3)), cur), sum)
+	})
+	b.PrintI64(b.Load(ir.I64, bad))
+	b.PrintI64(b.Load(ir.I64, sum))
+	b.PrintI64(b.LoadElem(ir.I64, gA, c64(n/2)))
+	b.Ret(c64(0))
+	return mustVerify(m)
+}
+
+// buildBasicmath reproduces the MiBench basicmath kernels: cube roots by
+// Newton iteration, integer square roots by the bitwise method, and
+// angle conversions.
+func buildBasicmath() *ir.Module {
+	const vals = 24
+	m := ir.NewModule("basicmath")
+	r := newLCG(113)
+
+	xs := make([]float64, vals)
+	for i := range xs {
+		xs[i] = r.f64()*2000 + 1
+	}
+	ints := make([]int64, vals)
+	for i := range ints {
+		ints[i] = r.intn(1 << 30)
+	}
+	gX := m.NewGlobalF64("xs", xs)
+	gI := m.NewGlobalI64("ints", ints)
+
+	// cbrt(x) by Newton iteration.
+	cbrt := m.NewFunction("cbrt", ir.F64, ir.F64)
+	{
+		b := ir.NewBuilder(cbrt)
+		x := cbrt.Params[0]
+		y := b.AllocVar(ir.F64)
+		b.Store(b.FDiv(x, cf(3)), y)
+		b.ForLoop("newton", c64(0), c64(12), c64(1), func(_ ir.Value) {
+			yv := b.Load(ir.F64, y)
+			y2 := b.FMul(yv, yv)
+			// y' = (2y + x/y²) / 3
+			b.Store(b.FDiv(b.FAdd(b.FMul(cf(2), yv), b.FDiv(x, y2)), cf(3)), y)
+		})
+		b.Ret(b.Load(ir.F64, y))
+	}
+
+	// isqrt(v) by the classic bitwise method.
+	isqrt := m.NewFunction("isqrt", ir.I64, ir.I64)
+	{
+		b := ir.NewBuilder(isqrt)
+		v := isqrt.Params[0]
+		rem := b.AllocVar(ir.I64)
+		root := b.AllocVar(ir.I64)
+		place := b.AllocVar(ir.I64)
+		b.Store(v, rem)
+		b.Store(c64(0), root)
+		b.Store(c64(1<<30), place)
+		b.While("fit", func() ir.Value {
+			return b.ICmp(ir.PredSGT, b.Load(ir.I64, place), v)
+		}, func() {
+			b.Store(b.AShr(b.Load(ir.I64, place), c64(2)), place)
+		})
+		b.While("iter", func() ir.Value {
+			return b.ICmp(ir.PredSGT, b.Load(ir.I64, place), c64(0))
+		}, func() {
+			rv := b.Load(ir.I64, rem)
+			rt := b.Load(ir.I64, root)
+			pl := b.Load(ir.I64, place)
+			sum := b.Add(rt, pl)
+			ge := b.ICmp(ir.PredSGE, rv, sum)
+			b.If(ge, func() {
+				b.Store(b.Sub(rv, sum), rem)
+				b.Store(b.Add(rt, b.Mul(pl, c64(2))), root)
+			}, nil)
+			b.Store(b.AShr(b.Load(ir.I64, root), c64(1)), root)
+			b.Store(b.AShr(b.Load(ir.I64, place), c64(2)), place)
+		})
+		b.Ret(b.Load(ir.I64, root))
+	}
+
+	f := m.NewFunction("main", ir.I64)
+	b := ir.NewBuilder(f)
+	fsum := b.AllocVar(ir.F64)
+	isum := b.AllocVar(ir.I64)
+	b.Store(cf(0), fsum)
+	b.Store(c64(0), isum)
+	b.ForLoop("cb", c64(0), c64(vals), c64(1), func(i ir.Value) {
+		x := b.LoadElem(ir.F64, gX, i)
+		b.Store(b.FAdd(b.Load(ir.F64, fsum), b.Call(cbrt, x)), fsum)
+	})
+	b.ForLoop("is", c64(0), c64(vals), c64(1), func(i ir.Value) {
+		v := b.LoadElem(ir.I64, gI, i)
+		b.Store(b.Add(b.Load(ir.I64, isum), b.Call(isqrt, v)), isum)
+	})
+	// Degree/radian round trips.
+	dsum := b.AllocVar(ir.F64)
+	b.Store(cf(0), dsum)
+	b.ForLoop("deg", c64(0), c64(360), c64(30), func(d ir.Value) {
+		rad := b.FMul(b.SIToFP(d), cf(math.Pi/180))
+		back := b.FMul(rad, cf(180/math.Pi))
+		b.Store(b.FAdd(b.Load(ir.F64, dsum), b.FAdd(b.CallNamed("sin", rad), back)), dsum)
+	})
+	b.PrintF64(b.Load(ir.F64, fsum))
+	b.PrintI64(b.Load(ir.I64, isum))
+	b.PrintF64(b.Load(ir.F64, dsum))
+	b.Ret(c64(0))
+	return mustVerify(m)
+}

@@ -1,0 +1,354 @@
+package bench
+
+import "flowery/internal/ir"
+
+func init() {
+	register(Benchmark{Name: "susan", Suite: "MiBench", Domain: "Image Recognition", Build: buildSusan})
+	register(Benchmark{Name: "crc32", Suite: "MiBench", Domain: "Error Detection", Build: buildCRC32})
+	register(Benchmark{Name: "stringsearch", Suite: "MiBench", Domain: "Comparison Algorithm", Build: buildStringsearch})
+	register(Benchmark{Name: "patricia", Suite: "MiBench", Domain: "Data Structure", Build: buildPatricia})
+}
+
+// buildSusan is a small-kernel version of the SUSAN image-processing
+// benchmark: brightness-similarity smoothing over a 3×3 window followed
+// by a corner-response count, on a synthetic grayscale image.
+func buildSusan() *ir.Module {
+	const (
+		w      = 20
+		h      = 20
+		thresh = 20
+	)
+	m := ir.NewModule("susan")
+	r := newLCG(127)
+
+	img := make([]byte, w*h)
+	for i := range img {
+		img[i] = byte(r.intn(256))
+	}
+	gImg := m.NewGlobalData("img", img)
+	gOut := m.NewGlobalData("out", make([]byte, w*h))
+
+	f := m.NewFunction("main", ir.I64)
+	b := ir.NewBuilder(f)
+	corners := b.AllocVar(ir.I64)
+	b.Store(c64(0), corners)
+
+	b.ForLoop("y", c64(1), c64(h-1), c64(1), func(y ir.Value) {
+		b.ForLoop("x", c64(1), c64(w-1), c64(1), func(x ir.Value) {
+			cIdx := b.Add(b.Mul(y, c64(w)), x)
+			cPix := b.ZExt(ir.I64, b.LoadElem(ir.I8, gImg, cIdx))
+			cPix = b.And(cPix, c64(0xff))
+			acc := b.AllocVar(ir.I64)
+			cnt := b.AllocVar(ir.I64)
+			b.Store(c64(0), acc)
+			b.Store(c64(0), cnt)
+			b.ForLoop("dy", c64(-1), c64(2), c64(1), func(dy ir.Value) {
+				b.ForLoop("dx", c64(-1), c64(2), c64(1), func(dx ir.Value) {
+					nIdx := b.Add(b.Mul(b.Add(y, dy), c64(w)), b.Add(x, dx))
+					p := b.And(b.ZExt(ir.I64, b.LoadElem(ir.I8, gImg, nIdx)), c64(0xff))
+					diff := b.Sub(p, cPix)
+					neg := b.ICmp(ir.PredSLT, diff, c64(0))
+					ad := b.AllocVar(ir.I64)
+					b.If(neg, func() { b.Store(b.Sub(c64(0), diff), ad) }, func() { b.Store(diff, ad) })
+					similar := b.ICmp(ir.PredSLT, b.Load(ir.I64, ad), c64(thresh))
+					b.If(similar, func() {
+						b.Store(b.Add(b.Load(ir.I64, acc), p), acc)
+						b.Store(b.Add(b.Load(ir.I64, cnt), c64(1)), cnt)
+					}, nil)
+				})
+			})
+			avg := b.SDiv(b.Load(ir.I64, acc), b.Load(ir.I64, cnt))
+			b.StoreElem(ir.I8, gOut, cIdx, b.Trunc(ir.I8, avg))
+			// USAN principle: few similar neighbours → corner response.
+			isCorner := b.ICmp(ir.PredSLE, b.Load(ir.I64, cnt), c64(3))
+			b.If(isCorner, func() {
+				b.Store(b.Add(b.Load(ir.I64, corners), c64(1)), corners)
+			}, nil)
+		})
+	})
+
+	// Digest: smoothed-image checksum and corner count.
+	sum := b.AllocVar(ir.I64)
+	b.Store(c64(0), sum)
+	b.ForLoop("ck", c64(0), c64(w*h), c64(1), func(i ir.Value) {
+		p := b.And(b.ZExt(ir.I64, b.LoadElem(ir.I8, gOut, i)), c64(0xff))
+		b.Store(b.Add(b.Mul(b.Load(ir.I64, sum), c64(3)), p), sum)
+	})
+	b.PrintI64(b.Load(ir.I64, sum))
+	b.PrintI64(b.Load(ir.I64, corners))
+	b.Ret(c64(0))
+	return mustVerify(m)
+}
+
+// buildCRC32 computes the table-driven CRC-32 of a message, building the
+// 256-entry table in-program first (the MiBench CRC32 benchmark).
+func buildCRC32() *ir.Module {
+	const msgLen = 256
+	m := ir.NewModule("crc32")
+	r := newLCG(131)
+
+	msg := make([]byte, msgLen)
+	for i := range msg {
+		msg[i] = byte(r.intn(256))
+	}
+	gMsg := m.NewGlobalData("msg", msg)
+	gTab := m.NewGlobalI64("table", make([]int64, 256))
+
+	f := m.NewFunction("main", ir.I64)
+	b := ir.NewBuilder(f)
+
+	// Build the reflected CRC-32 table (polynomial 0xEDB88320).
+	b.ForLoop("tab", c64(0), c64(256), c64(1), func(n ir.Value) {
+		c := b.AllocVar(ir.I64)
+		b.Store(n, c)
+		b.ForLoop("k", c64(0), c64(8), c64(1), func(_ ir.Value) {
+			cv := b.Load(ir.I64, c)
+			odd := b.ICmp(ir.PredEQ, b.And(cv, c64(1)), c64(1))
+			b.If(odd, func() {
+				b.Store(b.Xor(c64(0xEDB88320), b.LShr(cv, c64(1))), c)
+			}, func() {
+				b.Store(b.LShr(cv, c64(1)), c)
+			})
+		})
+		b.StoreElem(ir.I64, gTab, n, b.Load(ir.I64, c))
+	})
+
+	// CRC over the message.
+	crc := b.AllocVar(ir.I64)
+	b.Store(c64(0xFFFFFFFF), crc)
+	b.ForLoop("msg", c64(0), c64(msgLen), c64(1), func(i ir.Value) {
+		byteV := b.And(b.ZExt(ir.I64, b.LoadElem(ir.I8, gMsg, i)), c64(0xff))
+		cv := b.Load(ir.I64, crc)
+		idx := b.And(b.Xor(cv, byteV), c64(0xff))
+		t := b.LoadElem(ir.I64, gTab, idx)
+		b.Store(b.Xor(t, b.LShr(cv, c64(8))), crc)
+	})
+	final := b.Xor(b.Load(ir.I64, crc), c64(0xFFFFFFFF))
+	b.PrintI64(b.And(final, c64(0xFFFFFFFF)))
+	b.Ret(c64(0))
+	return mustVerify(m)
+}
+
+// buildStringsearch is Boyer–Moore–Horspool substring search of several
+// patterns over a text (the MiBench stringsearch benchmark). Search is a
+// function called per pattern, giving the benchmark the call-heavy
+// profile the paper reports for it.
+func buildStringsearch() *ir.Module {
+	text := "it was the best of times it was the worst of times " +
+		"it was the age of wisdom it was the age of foolishness " +
+		"it was the epoch of belief it was the epoch of incredulity " +
+		"it was the season of light it was the season of darkness"
+	patterns := []string{"season", "wisdom", "epoch of belief", "zzzz", "times it"}
+
+	m := ir.NewModule("stringsearch")
+	gText := m.NewGlobalData("text", []byte(text))
+	// All patterns in one blob with (offset, length) pairs.
+	var blob []byte
+	offs := make([]int64, 0, len(patterns)*2)
+	for _, p := range patterns {
+		offs = append(offs, int64(len(blob)), int64(len(p)))
+		blob = append(blob, p...)
+	}
+	gPats := m.NewGlobalData("pats", blob)
+	gOffs := m.NewGlobalI64("offs", offs)
+	gSkip := m.NewGlobalI64("skip", make([]int64, 256))
+
+	// search(patOff, patLen) -> first match index or -1, BMH algorithm.
+	search := m.NewFunction("search", ir.I64, ir.I64, ir.I64)
+	{
+		b := ir.NewBuilder(search)
+		patOff, patLen := search.Params[0], search.Params[1]
+		// Build the skip table.
+		b.ForLoop("init", c64(0), c64(256), c64(1), func(i ir.Value) {
+			b.StoreElem(ir.I64, gSkip, i, patLen)
+		})
+		b.ForLoop("fill", c64(0), b.Sub(patLen, c64(1)), c64(1), func(i ir.Value) {
+			ch := b.And(b.ZExt(ir.I64, b.LoadElem(ir.I8, gPats, b.Add(patOff, i))), c64(0xff))
+			b.StoreElem(ir.I64, gSkip, ch, b.Sub(b.Sub(patLen, c64(1)), i))
+		})
+		pos := b.AllocVar(ir.I64)
+		found := b.AllocVar(ir.I64)
+		b.Store(c64(0), pos)
+		b.Store(c64(-1), found)
+		limit := b.Sub(c64(int64(len(text))), patLen)
+		b.While("scan", func() ir.Value {
+			notFound := b.ICmp(ir.PredSLT, b.Load(ir.I64, found), c64(0))
+			inRange := b.ICmp(ir.PredSLE, b.Load(ir.I64, pos), limit)
+			return b.And(notFound, inRange)
+		}, func() {
+			p := b.Load(ir.I64, pos)
+			// Compare backwards from the last pattern byte.
+			j := b.AllocVar(ir.I64)
+			ok := b.AllocVar(ir.I1)
+			b.Store(b.Sub(patLen, c64(1)), j)
+			b.Store(cb(true), ok)
+			b.While("cmp", func() ir.Value {
+				okv := b.Load(ir.I1, ok)
+				jge := b.ICmp(ir.PredSGE, b.Load(ir.I64, j), c64(0))
+				return b.And(okv, jge)
+			}, func() {
+				jv := b.Load(ir.I64, j)
+				tc := b.LoadElem(ir.I8, gText, b.Add(p, jv))
+				pc := b.LoadElem(ir.I8, gPats, b.Add(patOff, jv))
+				eq := b.ICmp(ir.PredEQ, tc, pc)
+				b.If(eq, func() {
+					b.Store(b.Sub(jv, c64(1)), j)
+				}, func() {
+					b.Store(cb(false), ok)
+				})
+			})
+			b.If(b.Load(ir.I1, ok), func() {
+				b.Store(p, found)
+			}, func() {
+				lastIdx := b.Add(p, b.Sub(patLen, c64(1)))
+				lastCh := b.And(b.ZExt(ir.I64, b.LoadElem(ir.I8, gText, lastIdx)), c64(0xff))
+				b.Store(b.Add(p, b.LoadElem(ir.I64, gSkip, lastCh)), pos)
+			})
+		})
+		b.Ret(b.Load(ir.I64, found))
+	}
+
+	f := m.NewFunction("main", ir.I64)
+	b := ir.NewBuilder(f)
+	total := b.AllocVar(ir.I64)
+	b.Store(c64(0), total)
+	b.ForLoop("pat", c64(0), c64(int64(len(patterns))), c64(1), func(i ir.Value) {
+		off := b.LoadElem(ir.I64, gOffs, b.Mul(i, c64(2)))
+		ln := b.LoadElem(ir.I64, gOffs, b.Add(b.Mul(i, c64(2)), c64(1)))
+		res := b.Call(search, off, ln)
+		b.PrintI64(res)
+		b.Store(b.Add(b.Load(ir.I64, total), res), total)
+	})
+	b.PrintI64(b.Load(ir.I64, total))
+	b.Ret(c64(0))
+	return mustVerify(m)
+}
+
+// buildPatricia is a binary (PATRICIA-style) trie over 16-bit keys
+// stored in index arrays: insertions followed by lookups, with the
+// routing decisions taken bit by bit. Insert and lookup are separate
+// functions, matching the benchmark's call-heavy nature.
+func buildPatricia() *ir.Module {
+	const (
+		bits    = 16
+		inserts = 48
+		lookups = 64
+		// Worst case: every insert allocates a fresh node per bit.
+		maxNodes = inserts*bits + 2
+	)
+	m := ir.NewModule("patricia")
+	r := newLCG(139)
+
+	ins := make([]int64, inserts)
+	for i := range ins {
+		ins[i] = r.intn(1 << bits)
+	}
+	look := make([]int64, lookups)
+	for i := range look {
+		if i%2 == 0 {
+			look[i] = ins[int(r.intn(inserts))] // guaranteed hits
+		} else {
+			look[i] = r.intn(1 << bits)
+		}
+	}
+	gIns := m.NewGlobalI64("ins", ins)
+	gLook := m.NewGlobalI64("look", look)
+	gLeft := m.NewGlobalI64("left", make([]int64, maxNodes))
+	gRight := m.NewGlobalI64("right", make([]int64, maxNodes))
+	gKey := m.NewGlobalI64("key", make([]int64, maxNodes))
+	gHasKey := m.NewGlobalI64("haskey", make([]int64, maxNodes))
+	gNext := m.NewGlobalI64("next", []int64{1}) // node 0 is the root
+
+	// insert(key): walk the bits, allocating nodes as needed.
+	insert := m.NewFunction("insert", ir.Void, ir.I64)
+	{
+		b := ir.NewBuilder(insert)
+		key := insert.Params[0]
+		node := b.AllocVar(ir.I64)
+		b.Store(c64(0), node)
+		b.ForLoop("bit", c64(0), c64(bits), c64(1), func(i ir.Value) {
+			bit := b.And(b.LShr(key, b.Sub(c64(bits-1), i)), c64(1))
+			cur := b.Load(ir.I64, node)
+			goRight := b.ICmp(ir.PredEQ, bit, c64(1))
+			child := b.AllocVar(ir.I64)
+			b.If(goRight, func() {
+				b.Store(b.LoadElem(ir.I64, gRight, cur), child)
+			}, func() {
+				b.Store(b.LoadElem(ir.I64, gLeft, cur), child)
+			})
+			missing := b.ICmp(ir.PredEQ, b.Load(ir.I64, child), c64(0))
+			b.If(missing, func() {
+				n := b.LoadElem(ir.I64, gNext, c64(0))
+				b.StoreElem(ir.I64, gNext, c64(0), b.Add(n, c64(1)))
+				b.If(goRight, func() {
+					b.StoreElem(ir.I64, gRight, cur, n)
+				}, func() {
+					b.StoreElem(ir.I64, gLeft, cur, n)
+				})
+				b.Store(n, child)
+			}, nil)
+			b.Store(b.Load(ir.I64, child), node)
+		})
+		leaf := b.Load(ir.I64, node)
+		b.StoreElem(ir.I64, gKey, leaf, key)
+		b.StoreElem(ir.I64, gHasKey, leaf, c64(1))
+		b.Ret(nil)
+	}
+
+	// lookup(key) -> 1 if present.
+	lookup := m.NewFunction("lookup", ir.I64, ir.I64)
+	{
+		b := ir.NewBuilder(lookup)
+		key := lookup.Params[0]
+		node := b.AllocVar(ir.I64)
+		dead := b.AllocVar(ir.I1)
+		b.Store(c64(0), node)
+		b.Store(cb(false), dead)
+		b.ForLoop("bit", c64(0), c64(bits), c64(1), func(i ir.Value) {
+			isDead := b.Load(ir.I1, dead)
+			b.If(isDead, nil, func() {
+				bit := b.And(b.LShr(key, b.Sub(c64(bits-1), i)), c64(1))
+				cur := b.Load(ir.I64, node)
+				goRight := b.ICmp(ir.PredEQ, bit, c64(1))
+				child := b.AllocVar(ir.I64)
+				b.If(goRight, func() {
+					b.Store(b.LoadElem(ir.I64, gRight, cur), child)
+				}, func() {
+					b.Store(b.LoadElem(ir.I64, gLeft, cur), child)
+				})
+				miss := b.ICmp(ir.PredEQ, b.Load(ir.I64, child), c64(0))
+				b.If(miss, func() {
+					b.Store(cb(true), dead)
+				}, func() {
+					b.Store(b.Load(ir.I64, child), node)
+				})
+			})
+		})
+		res := b.AllocVar(ir.I64)
+		b.Store(c64(0), res)
+		b.If(b.Load(ir.I1, dead), nil, func() {
+			leaf := b.Load(ir.I64, node)
+			has := b.ICmp(ir.PredEQ, b.LoadElem(ir.I64, gHasKey, leaf), c64(1))
+			match := b.ICmp(ir.PredEQ, b.LoadElem(ir.I64, gKey, leaf), key)
+			hit := b.And(has, match)
+			b.If(hit, func() { b.Store(c64(1), res) }, nil)
+		})
+		b.Ret(b.Load(ir.I64, res))
+	}
+
+	f := m.NewFunction("main", ir.I64)
+	b := ir.NewBuilder(f)
+	b.ForLoop("ins", c64(0), c64(inserts), c64(1), func(i ir.Value) {
+		b.Call(insert, b.LoadElem(ir.I64, gIns, i))
+	})
+	hits := b.AllocVar(ir.I64)
+	b.Store(c64(0), hits)
+	b.ForLoop("look", c64(0), c64(lookups), c64(1), func(i ir.Value) {
+		h := b.Call(lookup, b.LoadElem(ir.I64, gLook, i))
+		b.Store(b.Add(b.Load(ir.I64, hits), h), hits)
+	})
+	b.PrintI64(b.Load(ir.I64, hits))
+	b.PrintI64(b.LoadElem(ir.I64, gNext, c64(0)))
+	b.Ret(c64(0))
+	return mustVerify(m)
+}

@@ -1,0 +1,266 @@
+package bench
+
+import "flowery/internal/ir"
+
+func init() {
+	register(Benchmark{Name: "ep", Suite: "NPB", Domain: "Parallel Computing", Build: buildEP})
+	register(Benchmark{Name: "cg", Suite: "NPB", Domain: "Gradient Algorithm", Build: buildCG})
+	register(Benchmark{Name: "is", Suite: "NPB", Domain: "Sort Algorithm", Build: buildIS})
+}
+
+// buildEP is the NAS "embarrassingly parallel" kernel: generate uniform
+// pseudo-random pairs, map them through the Marsaglia polar method to
+// Gaussian deviates, and tally them into concentric square annuli.
+func buildEP() *ir.Module {
+	const (
+		pairs   = 320
+		annuli  = 10
+		lcgA    = 1103515245
+		lcgC    = 12345
+		lcgMask = 1<<31 - 1
+	)
+	m := ir.NewModule("ep")
+	gQ := m.NewGlobalI64("q", make([]int64, annuli))
+
+	// lcgNext(state) -> new state (31-bit linear congruential step).
+	lcgNext := m.NewFunction("lcg_next", ir.I64, ir.I64)
+	{
+		b := ir.NewBuilder(lcgNext)
+		x := lcgNext.Params[0]
+		nx := b.And(b.Add(b.Mul(x, c64(lcgA)), c64(lcgC)), c64(lcgMask))
+		b.Ret(nx)
+	}
+
+	f := m.NewFunction("main", ir.I64)
+	b := ir.NewBuilder(f)
+	state := b.AllocVar(ir.I64)
+	sx := b.AllocVar(ir.F64)
+	sy := b.AllocVar(ir.F64)
+	accepted := b.AllocVar(ir.I64)
+	b.Store(c64(271828183), state)
+	b.Store(cf(0), sx)
+	b.Store(cf(0), sy)
+	b.Store(c64(0), accepted)
+
+	u01 := func() ir.Value {
+		s := b.Call(lcgNext, b.Load(ir.I64, state))
+		b.Store(s, state)
+		return b.FDiv(b.SIToFP(s), cf(float64(lcgMask)+1))
+	}
+
+	b.ForLoop("pair", c64(0), c64(pairs), c64(1), func(_ ir.Value) {
+		x := b.FSub(b.FMul(u01(), cf(2)), cf(1))
+		y := b.FSub(b.FMul(u01(), cf(2)), cf(1))
+		t := b.FAdd(b.FMul(x, x), b.FMul(y, y))
+		ok := b.FCmp(ir.PredOLE, t, cf(1))
+		nz := b.FCmp(ir.PredOGT, t, cf(0))
+		use := b.And(ok, nz)
+		b.If(use, func() {
+			// g = sqrt(-2 ln t / t)
+			lt := b.CallNamed("log", t)
+			g := b.CallNamed("sqrt", b.FDiv(b.FMul(cf(-2), lt), t))
+			gx := b.FMul(x, g)
+			gy := b.FMul(y, g)
+			b.Store(b.FAdd(b.Load(ir.F64, sx), gx), sx)
+			b.Store(b.FAdd(b.Load(ir.F64, sy), gy), sy)
+			b.Store(b.Add(b.Load(ir.I64, accepted), c64(1)), accepted)
+			// annulus index: floor(max(|gx|, |gy|))
+			ax := b.CallNamed("fabs", gx)
+			ay := b.CallNamed("fabs", gy)
+			mx := b.AllocVar(ir.F64)
+			gt := b.FCmp(ir.PredOGT, ax, ay)
+			b.If(gt, func() { b.Store(ax, mx) }, func() { b.Store(ay, mx) })
+			l := b.FPToSI(ir.I64, b.CallNamed("floor", b.Load(ir.F64, mx)))
+			inRange := b.ICmp(ir.PredSLT, l, c64(annuli))
+			b.If(inRange, func() {
+				old := b.LoadElem(ir.I64, gQ, l)
+				b.StoreElem(ir.I64, gQ, l, b.Add(old, c64(1)))
+			}, nil)
+		}, nil)
+	})
+
+	b.PrintI64(b.Load(ir.I64, accepted))
+	b.PrintF64(b.Load(ir.F64, sx))
+	b.PrintF64(b.Load(ir.F64, sy))
+	b.ForLoop("dump", c64(0), c64(annuli), c64(1), func(l ir.Value) {
+		b.PrintI64(b.LoadElem(ir.I64, gQ, l))
+	})
+	b.Ret(c64(0))
+	return mustVerify(m)
+}
+
+// buildCG is a compact conjugate-gradient solve (the NAS CG kernel's
+// core): a sparse symmetric positive-definite system — here the 1-D
+// Laplacian — iterated to a small residual.
+func buildCG() *ir.Module {
+	const (
+		n     = 48
+		iters = 8
+	)
+	m := ir.NewModule("cg")
+	r := newLCG(79)
+
+	rhs := make([]float64, n)
+	for i := range rhs {
+		rhs[i] = r.f64()*2 - 1
+	}
+	gB := m.NewGlobalF64("rhs", rhs)
+	gX := m.NewGlobalF64("x", make([]float64, n))
+	gR := m.NewGlobalF64("r", make([]float64, n))
+	gP := m.NewGlobalF64("p", make([]float64, n))
+	gAp := m.NewGlobalF64("ap", make([]float64, n))
+
+	// spmv: Ap = A·p for the tridiagonal Laplacian (2 on the diagonal,
+	// -1 off diagonal).
+	spmv := m.NewFunction("spmv", ir.Void)
+	{
+		b := ir.NewBuilder(spmv)
+		b.ForLoop("row", c64(0), c64(n), c64(1), func(i ir.Value) {
+			acc := b.AllocVar(ir.F64)
+			b.Store(b.FMul(cf(2), b.LoadElem(ir.F64, gP, i)), acc)
+			hasL := b.ICmp(ir.PredSGT, i, c64(0))
+			b.If(hasL, func() {
+				l := b.LoadElem(ir.F64, gP, b.Sub(i, c64(1)))
+				b.Store(b.FSub(b.Load(ir.F64, acc), l), acc)
+			}, nil)
+			hasR := b.ICmp(ir.PredSLT, i, c64(n-1))
+			b.If(hasR, func() {
+				rv := b.LoadElem(ir.F64, gP, b.Add(i, c64(1)))
+				b.Store(b.FSub(b.Load(ir.F64, acc), rv), acc)
+			}, nil)
+			b.StoreElem(ir.F64, gAp, i, b.Load(ir.F64, acc))
+		})
+		b.Ret(nil)
+	}
+
+	// dot(a, b) over the fixed-size vectors, selected by integer tag to
+	// keep the signature simple: 0=r·r, 1=p·Ap.
+	dot := m.NewFunction("dot", ir.F64, ir.I64)
+	{
+		b := ir.NewBuilder(dot)
+		which := dot.Params[0]
+		acc := b.AllocVar(ir.F64)
+		b.Store(cf(0), acc)
+		isRR := b.ICmp(ir.PredEQ, which, c64(0))
+		b.If(isRR, func() {
+			b.ForLoop("rr", c64(0), c64(n), c64(1), func(i ir.Value) {
+				v := b.LoadElem(ir.F64, gR, i)
+				b.Store(b.FAdd(b.Load(ir.F64, acc), b.FMul(v, v)), acc)
+			})
+		}, func() {
+			b.ForLoop("pap", c64(0), c64(n), c64(1), func(i ir.Value) {
+				p := b.LoadElem(ir.F64, gP, i)
+				ap := b.LoadElem(ir.F64, gAp, i)
+				b.Store(b.FAdd(b.Load(ir.F64, acc), b.FMul(p, ap)), acc)
+			})
+		})
+		b.Ret(b.Load(ir.F64, acc))
+	}
+
+	f := m.NewFunction("main", ir.I64)
+	b := ir.NewBuilder(f)
+	// x = 0, r = p = rhs.
+	b.ForLoop("init", c64(0), c64(n), c64(1), func(i ir.Value) {
+		v := b.LoadElem(ir.F64, gB, i)
+		b.StoreElem(ir.F64, gX, i, cf(0))
+		b.StoreElem(ir.F64, gR, i, v)
+		b.StoreElem(ir.F64, gP, i, v)
+	})
+	rsOld := b.AllocVar(ir.F64)
+	b.Store(b.Call(dot, c64(0)), rsOld)
+
+	b.ForLoop("iter", c64(0), c64(iters), c64(1), func(_ ir.Value) {
+		b.Call(spmv)
+		pap := b.Call(dot, c64(1))
+		alpha := b.FDiv(b.Load(ir.F64, rsOld), pap)
+		b.ForLoop("upd", c64(0), c64(n), c64(1), func(i ir.Value) {
+			x := b.LoadElem(ir.F64, gX, i)
+			p := b.LoadElem(ir.F64, gP, i)
+			b.StoreElem(ir.F64, gX, i, b.FAdd(x, b.FMul(alpha, p)))
+			rv := b.LoadElem(ir.F64, gR, i)
+			ap := b.LoadElem(ir.F64, gAp, i)
+			b.StoreElem(ir.F64, gR, i, b.FSub(rv, b.FMul(alpha, ap)))
+		})
+		rsNew := b.Call(dot, c64(0))
+		beta := b.FDiv(rsNew, b.Load(ir.F64, rsOld))
+		b.ForLoop("dir", c64(0), c64(n), c64(1), func(i ir.Value) {
+			rv := b.LoadElem(ir.F64, gR, i)
+			p := b.LoadElem(ir.F64, gP, i)
+			b.StoreElem(ir.F64, gP, i, b.FAdd(rv, b.FMul(beta, p)))
+		})
+		b.Store(rsNew, rsOld)
+	})
+
+	b.PrintF64(b.CallNamed("sqrt", b.Load(ir.F64, rsOld)))
+	sum := b.AllocVar(ir.F64)
+	b.Store(cf(0), sum)
+	b.ForLoop("ck", c64(0), c64(n), c64(1), func(i ir.Value) {
+		b.Store(b.FAdd(b.Load(ir.F64, sum), b.LoadElem(ir.F64, gX, i)), sum)
+	})
+	b.PrintF64(b.Load(ir.F64, sum))
+	b.Ret(c64(0))
+	return mustVerify(m)
+}
+
+// buildIS is the NAS integer sort kernel: bucketed counting sort of
+// LCG-generated keys with a ranking verification pass.
+func buildIS() *ir.Module {
+	const (
+		keys    = 768
+		buckets = 128
+	)
+	m := ir.NewModule("is")
+	r := newLCG(97)
+
+	ks := make([]int64, keys)
+	for i := range ks {
+		ks[i] = r.intn(buckets)
+	}
+	gK := m.NewGlobalI64("keys", ks)
+	gC := m.NewGlobalI64("count", make([]int64, buckets))
+	gS := m.NewGlobalI64("sorted", make([]int64, keys))
+
+	f := m.NewFunction("main", ir.I64)
+	b := ir.NewBuilder(f)
+
+	// Histogram.
+	b.ForLoop("hist", c64(0), c64(keys), c64(1), func(i ir.Value) {
+		k := b.LoadElem(ir.I64, gK, i)
+		c := b.LoadElem(ir.I64, gC, k)
+		b.StoreElem(ir.I64, gC, k, b.Add(c, c64(1)))
+	})
+	// Exclusive prefix sum.
+	acc := b.AllocVar(ir.I64)
+	b.Store(c64(0), acc)
+	b.ForLoop("scan", c64(0), c64(buckets), c64(1), func(bk ir.Value) {
+		c := b.LoadElem(ir.I64, gC, bk)
+		b.StoreElem(ir.I64, gC, bk, b.Load(ir.I64, acc))
+		b.Store(b.Add(b.Load(ir.I64, acc), c), acc)
+	})
+	// Scatter.
+	b.ForLoop("scat", c64(0), c64(keys), c64(1), func(i ir.Value) {
+		k := b.LoadElem(ir.I64, gK, i)
+		pos := b.LoadElem(ir.I64, gC, k)
+		b.StoreElem(ir.I64, gS, pos, k)
+		b.StoreElem(ir.I64, gC, k, b.Add(pos, c64(1)))
+	})
+	// Verify ranking and digest.
+	bad := b.AllocVar(ir.I64)
+	sum := b.AllocVar(ir.I64)
+	b.Store(c64(0), bad)
+	b.Store(c64(0), sum)
+	b.ForLoop("ver", c64(1), c64(keys), c64(1), func(i ir.Value) {
+		prev := b.LoadElem(ir.I64, gS, b.Sub(i, c64(1)))
+		cur := b.LoadElem(ir.I64, gS, i)
+		oo := b.ICmp(ir.PredSGT, prev, cur)
+		b.If(oo, func() {
+			b.Store(b.Add(b.Load(ir.I64, bad), c64(1)), bad)
+		}, nil)
+		b.Store(b.Add(b.Mul(b.Load(ir.I64, sum), c64(3)), cur), sum)
+	})
+	b.PrintI64(b.Load(ir.I64, bad))
+	b.PrintI64(b.Load(ir.I64, sum))
+	b.PrintI64(b.LoadElem(ir.I64, gS, c64(keys/2)))
+	b.Ret(c64(0))
+	return mustVerify(m)
+}

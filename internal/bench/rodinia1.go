@@ -1,0 +1,301 @@
+package bench
+
+import "flowery/internal/ir"
+
+func init() {
+	register(Benchmark{Name: "backprop", Suite: "Rodinia", Domain: "Machine Learning", Build: buildBackprop})
+	register(Benchmark{Name: "bfs", Suite: "Rodinia", Domain: "Graph Algorithm", Build: buildBFS})
+	register(Benchmark{Name: "pathfinder", Suite: "Rodinia", Domain: "Dynamic Programming", Build: buildPathfinder})
+}
+
+// buildBackprop is a two-layer perceptron trained with backpropagation
+// (the Rodinia backprop kernel): forward pass, output/hidden deltas, and
+// weight updates over several epochs.
+func buildBackprop() *ir.Module {
+	const (
+		nIn     = 8
+		nHid    = 4
+		samples = 12
+		epochs  = 3
+	)
+	m := ir.NewModule("backprop")
+	r := newLCG(11)
+
+	data := make([]float64, samples*nIn)
+	for i := range data {
+		data[i] = r.f64()*2 - 1
+	}
+	targets := make([]float64, samples)
+	for i := range targets {
+		targets[i] = r.f64()
+	}
+	w1 := make([]float64, nIn*nHid)
+	for i := range w1 {
+		w1[i] = r.f64()*0.5 - 0.25
+	}
+	w2 := make([]float64, nHid)
+	for i := range w2 {
+		w2[i] = r.f64()*0.5 - 0.25
+	}
+	gData := m.NewGlobalF64("data", data)
+	gTgt := m.NewGlobalF64("targets", targets)
+	gW1 := m.NewGlobalF64("w1", w1)
+	gW2 := m.NewGlobalF64("w2", w2)
+
+	// sigmoid(x) = 1 / (1 + exp(-x))
+	sig := m.NewFunction("sigmoid", ir.F64, ir.F64)
+	{
+		b := ir.NewBuilder(sig)
+		x := sig.Params[0]
+		nx := b.FSub(cf(0), x)
+		e := b.CallNamed("exp", nx)
+		b.Ret(b.FDiv(cf(1), b.FAdd(cf(1), e)))
+	}
+
+	f := m.NewFunction("main", ir.I64)
+	b := ir.NewBuilder(f)
+	hid := b.Alloca(nHid * 8)  // hidden activations
+	dhid := b.Alloca(nHid * 8) // hidden deltas
+	errS := b.AllocVar(ir.F64) // accumulated squared error
+	outS := b.AllocVar(ir.F64) // network output
+	lr := cf(0.3)
+
+	b.Store(cf(0), errS)
+	b.ForLoop("epoch", c64(0), c64(epochs), c64(1), func(ep ir.Value) {
+		b.ForLoop("sample", c64(0), c64(samples), c64(1), func(s ir.Value) {
+			base := b.Mul(s, c64(nIn))
+			// Forward: hidden layer.
+			b.ForLoop("fh", c64(0), c64(nHid), c64(1), func(j ir.Value) {
+				acc := b.AllocVar(ir.F64)
+				b.Store(cf(0), acc)
+				b.ForLoop("fi", c64(0), c64(nIn), c64(1), func(i ir.Value) {
+					x := b.LoadElem(ir.F64, gData, b.Add(base, i))
+					wIdx := b.Add(b.Mul(i, c64(nHid)), j)
+					w := b.LoadElem(ir.F64, gW1, wIdx)
+					cur := b.Load(ir.F64, acc)
+					b.Store(b.FAdd(cur, b.FMul(x, w)), acc)
+				})
+				h := b.Call(sig, b.Load(ir.F64, acc))
+				b.StoreElem(ir.F64, hid, j, h)
+			})
+			// Forward: output neuron.
+			oacc := b.AllocVar(ir.F64)
+			b.Store(cf(0), oacc)
+			b.ForLoop("fo", c64(0), c64(nHid), c64(1), func(j ir.Value) {
+				h := b.LoadElem(ir.F64, hid, j)
+				w := b.LoadElem(ir.F64, gW2, j)
+				cur := b.Load(ir.F64, oacc)
+				b.Store(b.FAdd(cur, b.FMul(h, w)), oacc)
+			})
+			out := b.Call(sig, b.Load(ir.F64, oacc))
+			b.Store(out, outS)
+
+			// Output delta and error.
+			tgt := b.LoadElem(ir.F64, gTgt, s)
+			diff := b.FSub(out, tgt)
+			e := b.Load(ir.F64, errS)
+			b.Store(b.FAdd(e, b.FMul(diff, diff)), errS)
+			one := cf(1)
+			dOut := b.FMul(diff, b.FMul(out, b.FSub(one, out)))
+
+			// Hidden deltas and w2 update.
+			b.ForLoop("bh", c64(0), c64(nHid), c64(1), func(j ir.Value) {
+				h := b.LoadElem(ir.F64, hid, j)
+				w := b.LoadElem(ir.F64, gW2, j)
+				dh := b.FMul(b.FMul(dOut, w), b.FMul(h, b.FSub(one, h)))
+				b.StoreElem(ir.F64, dhid, j, dh)
+				nw := b.FSub(w, b.FMul(lr, b.FMul(dOut, h)))
+				b.StoreElem(ir.F64, gW2, j, nw)
+			})
+			// w1 update.
+			b.ForLoop("bi", c64(0), c64(nIn), c64(1), func(i ir.Value) {
+				x := b.LoadElem(ir.F64, gData, b.Add(base, i))
+				b.ForLoop("bj", c64(0), c64(nHid), c64(1), func(j ir.Value) {
+					wIdx := b.Add(b.Mul(i, c64(nHid)), j)
+					w := b.LoadElem(ir.F64, gW1, wIdx)
+					dh := b.LoadElem(ir.F64, dhid, j)
+					b.StoreElem(ir.F64, gW1, wIdx, b.FSub(w, b.FMul(lr, b.FMul(dh, x))))
+				})
+			})
+		})
+	})
+
+	// Output digest: error, final output, weight checksums.
+	b.PrintF64(b.Load(ir.F64, errS))
+	b.PrintF64(b.Load(ir.F64, outS))
+	sum := b.AllocVar(ir.F64)
+	b.Store(cf(0), sum)
+	b.ForLoop("ck1", c64(0), c64(nIn*nHid), c64(1), func(i ir.Value) {
+		w := b.LoadElem(ir.F64, gW1, i)
+		b.Store(b.FAdd(b.Load(ir.F64, sum), w), sum)
+	})
+	b.ForLoop("ck2", c64(0), c64(nHid), c64(1), func(i ir.Value) {
+		w := b.LoadElem(ir.F64, gW2, i)
+		b.Store(b.FAdd(b.Load(ir.F64, sum), w), sum)
+	})
+	b.PrintF64(b.Load(ir.F64, sum))
+	b.Ret(c64(0))
+	return mustVerify(m)
+}
+
+// buildBFS is breadth-first search over a CSR graph (the Rodinia BFS
+// kernel): frontier-queue traversal computing hop distances.
+func buildBFS() *ir.Module {
+	const (
+		nodes     = 96
+		degree    = 4
+		edgeCount = nodes * degree
+	)
+	m := ir.NewModule("bfs")
+	r := newLCG(23)
+
+	// CSR: rowStart[nodes+1], edges[edgeCount]; random regular-ish graph.
+	rowStart := make([]int64, nodes+1)
+	edges := make([]int64, 0, edgeCount)
+	for v := 0; v < nodes; v++ {
+		rowStart[v] = int64(len(edges))
+		for d := 0; d < degree; d++ {
+			// Bias edges forward so most nodes are reachable from 0.
+			tgt := (int64(v) + 1 + r.intn(nodes/4)) % nodes
+			edges = append(edges, tgt)
+		}
+	}
+	rowStart[nodes] = int64(len(edges))
+	gRow := m.NewGlobalI64("rowstart", rowStart)
+	gEdge := m.NewGlobalI64("edges", edges)
+	gDist := m.NewGlobalI64("dist", make([]int64, nodes))
+	gQueue := m.NewGlobalI64("queue", make([]int64, nodes+8))
+
+	f := m.NewFunction("main", ir.I64)
+	b := ir.NewBuilder(f)
+
+	// dist[v] = -1 for all v; dist[0] = 0; queue = [0].
+	b.ForLoop("init", c64(0), c64(nodes), c64(1), func(v ir.Value) {
+		b.StoreElem(ir.I64, gDist, v, c64(-1))
+	})
+	b.StoreElem(ir.I64, gDist, c64(0), c64(0))
+	b.StoreElem(ir.I64, gQueue, c64(0), c64(0))
+	head := b.AllocVar(ir.I64)
+	tail := b.AllocVar(ir.I64)
+	b.Store(c64(0), head)
+	b.Store(c64(1), tail)
+
+	b.While("bfs", func() ir.Value {
+		return b.ICmp(ir.PredSLT, b.Load(ir.I64, head), b.Load(ir.I64, tail))
+	}, func() {
+		h := b.Load(ir.I64, head)
+		v := b.LoadElem(ir.I64, gQueue, h)
+		b.Store(b.Add(h, c64(1)), head)
+		dv := b.LoadElem(ir.I64, gDist, v)
+		lo := b.LoadElem(ir.I64, gRow, v)
+		hi := b.LoadElem(ir.I64, gRow, b.Add(v, c64(1)))
+		eSlot := b.AllocVar(ir.I64)
+		b.Store(lo, eSlot)
+		b.While("scan", func() ir.Value {
+			return b.ICmp(ir.PredSLT, b.Load(ir.I64, eSlot), hi)
+		}, func() {
+			e := b.Load(ir.I64, eSlot)
+			w := b.LoadElem(ir.I64, gEdge, e)
+			dw := b.LoadElem(ir.I64, gDist, w)
+			unseen := b.ICmp(ir.PredSLT, dw, c64(0))
+			b.If(unseen, func() {
+				b.StoreElem(ir.I64, gDist, w, b.Add(dv, c64(1)))
+				t := b.Load(ir.I64, tail)
+				b.StoreElem(ir.I64, gQueue, t, w)
+				b.Store(b.Add(t, c64(1)), tail)
+			}, nil)
+			b.Store(b.Add(e, c64(1)), eSlot)
+		})
+	})
+
+	// Digest: weighted distance checksum plus a few samples.
+	sum := b.AllocVar(ir.I64)
+	b.Store(c64(0), sum)
+	b.ForLoop("ck", c64(0), c64(nodes), c64(1), func(v ir.Value) {
+		d := b.LoadElem(ir.I64, gDist, v)
+		cur := b.Load(ir.I64, sum)
+		b.Store(b.Add(b.Mul(cur, c64(3)), d), sum)
+	})
+	b.PrintI64(b.Load(ir.I64, sum))
+	b.PrintI64(b.LoadElem(ir.I64, gDist, c64(nodes-1)))
+	b.PrintI64(b.Load(ir.I64, tail))
+	b.Ret(c64(0))
+	return mustVerify(m)
+}
+
+// buildPathfinder is the Rodinia pathfinder kernel: row-by-row dynamic
+// programming over a weight grid, each cell extending the cheapest of
+// the three predecessors above it.
+func buildPathfinder() *ir.Module {
+	const (
+		rows = 20
+		cols = 32
+	)
+	m := ir.NewModule("pathfinder")
+	r := newLCG(37)
+
+	grid := make([]int64, rows*cols)
+	for i := range grid {
+		grid[i] = r.intn(10)
+	}
+	gGrid := m.NewGlobalI64("grid", grid)
+	gPrev := m.NewGlobalI64("prev", make([]int64, cols))
+	gCur := m.NewGlobalI64("cur", make([]int64, cols))
+
+	// min2(a, b)
+	min2 := m.NewFunction("min2", ir.I64, ir.I64, ir.I64)
+	{
+		b := ir.NewBuilder(min2)
+		x, y := min2.Params[0], min2.Params[1]
+		res := b.AllocVar(ir.I64)
+		lt := b.ICmp(ir.PredSLT, x, y)
+		b.If(lt, func() { b.Store(x, res) }, func() { b.Store(y, res) })
+		b.Ret(b.Load(ir.I64, res))
+	}
+
+	f := m.NewFunction("main", ir.I64)
+	b := ir.NewBuilder(f)
+	// First row initializes prev.
+	b.ForLoop("init", c64(0), c64(cols), c64(1), func(j ir.Value) {
+		b.StoreElem(ir.I64, gPrev, j, b.LoadElem(ir.I64, gGrid, j))
+	})
+	b.ForLoop("row", c64(1), c64(rows), c64(1), func(i ir.Value) {
+		base := b.Mul(i, c64(cols))
+		b.ForLoop("col", c64(0), c64(cols), c64(1), func(j ir.Value) {
+			best := b.AllocVar(ir.I64)
+			b.Store(b.LoadElem(ir.I64, gPrev, j), best)
+			// Left neighbour.
+			hasL := b.ICmp(ir.PredSGT, j, c64(0))
+			b.If(hasL, func() {
+				l := b.LoadElem(ir.I64, gPrev, b.Sub(j, c64(1)))
+				b.Store(b.Call(min2, b.Load(ir.I64, best), l), best)
+			}, nil)
+			// Right neighbour.
+			hasR := b.ICmp(ir.PredSLT, j, c64(cols-1))
+			b.If(hasR, func() {
+				rv := b.LoadElem(ir.I64, gPrev, b.Add(j, c64(1)))
+				b.Store(b.Call(min2, b.Load(ir.I64, best), rv), best)
+			}, nil)
+			w := b.LoadElem(ir.I64, gGrid, b.Add(base, j))
+			b.StoreElem(ir.I64, gCur, j, b.Add(w, b.Load(ir.I64, best)))
+		})
+		b.ForLoop("swap", c64(0), c64(cols), c64(1), func(j ir.Value) {
+			b.StoreElem(ir.I64, gPrev, j, b.LoadElem(ir.I64, gCur, j))
+		})
+	})
+
+	// Digest: checksum of the final row and its minimum.
+	sum := b.AllocVar(ir.I64)
+	best := b.AllocVar(ir.I64)
+	b.Store(c64(0), sum)
+	b.Store(b.LoadElem(ir.I64, gPrev, c64(0)), best)
+	b.ForLoop("ck", c64(0), c64(cols), c64(1), func(j ir.Value) {
+		v := b.LoadElem(ir.I64, gPrev, j)
+		b.Store(b.Add(b.Mul(b.Load(ir.I64, sum), c64(7)), v), sum)
+		b.Store(b.Call(min2, b.Load(ir.I64, best), v), best)
+	})
+	b.PrintI64(b.Load(ir.I64, sum))
+	b.PrintI64(b.Load(ir.I64, best))
+	b.Ret(c64(0))
+	return mustVerify(m)
+}

@@ -1,0 +1,198 @@
+package bench
+
+import "flowery/internal/ir"
+
+func init() {
+	register(Benchmark{Name: "lud", Suite: "Rodinia", Domain: "Linear Algebra", Build: buildLUD})
+	register(Benchmark{Name: "needle", Suite: "Rodinia", Domain: "Dynamic Programming", Build: buildNeedle})
+	register(Benchmark{Name: "knn", Suite: "Rodinia", Domain: "Machine Learning", Build: buildKNN})
+}
+
+// buildLUD is in-place LU decomposition without pivoting (the Rodinia
+// lud kernel) on a diagonally dominant matrix, followed by a
+// reconstruction check of one matrix entry.
+func buildLUD() *ir.Module {
+	const n = 10
+	m := ir.NewModule("lud")
+	r := newLCG(41)
+
+	a := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		rowSum := 0.0
+		for j := 0; j < n; j++ {
+			if i != j {
+				v := r.f64()*2 - 1
+				a[i*n+j] = v
+				if v < 0 {
+					rowSum -= v
+				} else {
+					rowSum += v
+				}
+			}
+		}
+		a[i*n+i] = rowSum + 1 + r.f64() // diagonally dominant
+	}
+	gA := m.NewGlobalF64("a", a)
+
+	f := m.NewFunction("main", ir.I64)
+	b := ir.NewBuilder(f)
+	idx := func(i, j ir.Value) ir.Value { return b.Add(b.Mul(i, c64(n)), j) }
+
+	b.ForLoop("k", c64(0), c64(n), c64(1), func(k ir.Value) {
+		piv := b.LoadElem(ir.F64, gA, idx(k, k))
+		b.ForLoop("i", b.Add(k, c64(1)), c64(n), c64(1), func(i ir.Value) {
+			lik := b.FDiv(b.LoadElem(ir.F64, gA, idx(i, k)), piv)
+			b.StoreElem(ir.F64, gA, idx(i, k), lik)
+			b.ForLoop("j", b.Add(k, c64(1)), c64(n), c64(1), func(j ir.Value) {
+				aij := b.LoadElem(ir.F64, gA, idx(i, j))
+				akj := b.LoadElem(ir.F64, gA, idx(k, j))
+				b.StoreElem(ir.F64, gA, idx(i, j), b.FSub(aij, b.FMul(lik, akj)))
+			})
+		})
+	})
+
+	// Digest: checksum of the factorized matrix and the diagonal product
+	// (the determinant).
+	sum := b.AllocVar(ir.F64)
+	det := b.AllocVar(ir.F64)
+	b.Store(cf(0), sum)
+	b.Store(cf(1), det)
+	b.ForLoop("ck", c64(0), c64(n*n), c64(1), func(i ir.Value) {
+		v := b.LoadElem(ir.F64, gA, i)
+		b.Store(b.FAdd(b.Load(ir.F64, sum), b.CallNamed("fabs", v)), sum)
+	})
+	b.ForLoop("dg", c64(0), c64(n), c64(1), func(i ir.Value) {
+		v := b.LoadElem(ir.F64, gA, idx(i, i))
+		b.Store(b.FMul(b.Load(ir.F64, det), v), det)
+	})
+	b.PrintF64(b.Load(ir.F64, sum))
+	b.PrintF64(b.Load(ir.F64, det))
+	b.Ret(c64(0))
+	return mustVerify(m)
+}
+
+// buildNeedle is Needleman–Wunsch sequence alignment (the Rodinia
+// needle kernel): full DP matrix with substitution scores and a gap
+// penalty, reporting the alignment score.
+func buildNeedle() *ir.Module {
+	const (
+		lenA = 28
+		lenB = 28
+		gap  = -2
+	)
+	m := ir.NewModule("needle")
+	r := newLCG(53)
+
+	seqA := make([]int64, lenA)
+	seqB := make([]int64, lenB)
+	for i := range seqA {
+		seqA[i] = r.intn(4)
+	}
+	for i := range seqB {
+		seqB[i] = r.intn(4)
+	}
+	gA := m.NewGlobalI64("seqa", seqA)
+	gB := m.NewGlobalI64("seqb", seqB)
+	gM := m.NewGlobalI64("dp", make([]int64, (lenA+1)*(lenB+1)))
+
+	max2 := m.NewFunction("max2", ir.I64, ir.I64, ir.I64)
+	{
+		b := ir.NewBuilder(max2)
+		x, y := max2.Params[0], max2.Params[1]
+		res := b.AllocVar(ir.I64)
+		gt := b.ICmp(ir.PredSGT, x, y)
+		b.If(gt, func() { b.Store(x, res) }, func() { b.Store(y, res) })
+		b.Ret(b.Load(ir.I64, res))
+	}
+
+	f := m.NewFunction("main", ir.I64)
+	b := ir.NewBuilder(f)
+	idx := func(i, j ir.Value) ir.Value { return b.Add(b.Mul(i, c64(lenB+1)), j) }
+
+	b.ForLoop("bi", c64(0), c64(lenA+1), c64(1), func(i ir.Value) {
+		b.StoreElem(ir.I64, gM, idx(i, c64(0)), b.Mul(i, c64(gap)))
+	})
+	b.ForLoop("bj", c64(0), c64(lenB+1), c64(1), func(j ir.Value) {
+		b.StoreElem(ir.I64, gM, idx(c64(0), j), b.Mul(j, c64(gap)))
+	})
+	b.ForLoop("i", c64(1), c64(lenA+1), c64(1), func(i ir.Value) {
+		ca := b.LoadElem(ir.I64, gA, b.Sub(i, c64(1)))
+		b.ForLoop("j", c64(1), c64(lenB+1), c64(1), func(j ir.Value) {
+			cbv := b.LoadElem(ir.I64, gB, b.Sub(j, c64(1)))
+			scr := b.AllocVar(ir.I64)
+			eq := b.ICmp(ir.PredEQ, ca, cbv)
+			b.If(eq, func() { b.Store(c64(3), scr) }, func() { b.Store(c64(-1), scr) })
+			diag := b.Add(b.LoadElem(ir.I64, gM, idx(b.Sub(i, c64(1)), b.Sub(j, c64(1)))), b.Load(ir.I64, scr))
+			up := b.Add(b.LoadElem(ir.I64, gM, idx(b.Sub(i, c64(1)), j)), c64(gap))
+			left := b.Add(b.LoadElem(ir.I64, gM, idx(i, b.Sub(j, c64(1)))), c64(gap))
+			best := b.Call(max2, diag, b.Call(max2, up, left))
+			b.StoreElem(ir.I64, gM, idx(i, j), best)
+		})
+	})
+
+	// Digest: score plus a diagonal checksum.
+	b.PrintI64(b.LoadElem(ir.I64, gM, idx(c64(lenA), c64(lenB))))
+	sum := b.AllocVar(ir.I64)
+	b.Store(c64(0), sum)
+	b.ForLoop("ck", c64(0), c64(lenB+1), c64(1), func(j ir.Value) {
+		v := b.LoadElem(ir.I64, gM, idx(c64(lenA), j))
+		b.Store(b.Add(b.Mul(b.Load(ir.I64, sum), c64(5)), v), sum)
+	})
+	b.PrintI64(b.Load(ir.I64, sum))
+	b.Ret(c64(0))
+	return mustVerify(m)
+}
+
+// buildKNN computes k-nearest-neighbours (the Rodinia nn kernel):
+// Euclidean distances from a query to a point cloud, then k rounds of
+// selection to report the closest hurricanes, er, points.
+func buildKNN() *ir.Module {
+	const (
+		points = 128
+		k      = 5
+	)
+	m := ir.NewModule("knn")
+	r := newLCG(67)
+
+	xs := make([]float64, points)
+	ys := make([]float64, points)
+	for i := range xs {
+		xs[i] = r.f64() * 100
+		ys[i] = r.f64() * 100
+	}
+	gX := m.NewGlobalF64("xs", xs)
+	gY := m.NewGlobalF64("ys", ys)
+	gD := m.NewGlobalF64("dist", make([]float64, points))
+
+	f := m.NewFunction("main", ir.I64)
+	b := ir.NewBuilder(f)
+	qx, qy := cf(42.5), cf(17.25)
+
+	b.ForLoop("dist", c64(0), c64(points), c64(1), func(i ir.Value) {
+		dx := b.FSub(b.LoadElem(ir.F64, gX, i), qx)
+		dy := b.FSub(b.LoadElem(ir.F64, gY, i), qy)
+		d2 := b.FAdd(b.FMul(dx, dx), b.FMul(dy, dy))
+		b.StoreElem(ir.F64, gD, i, b.CallNamed("sqrt", d2))
+	})
+
+	// k selection rounds: find the minimum, report it, erase it.
+	b.ForLoop("round", c64(0), c64(k), c64(1), func(_ ir.Value) {
+		bestI := b.AllocVar(ir.I64)
+		bestD := b.AllocVar(ir.F64)
+		b.Store(c64(0), bestI)
+		b.Store(b.LoadElem(ir.F64, gD, c64(0)), bestD)
+		b.ForLoop("scan", c64(1), c64(points), c64(1), func(i ir.Value) {
+			d := b.LoadElem(ir.F64, gD, i)
+			lt := b.FCmp(ir.PredOLT, d, b.Load(ir.F64, bestD))
+			b.If(lt, func() {
+				b.Store(d, bestD)
+				b.Store(i, bestI)
+			}, nil)
+		})
+		b.PrintI64(b.Load(ir.I64, bestI))
+		b.PrintF64(b.Load(ir.F64, bestD))
+		b.StoreElem(ir.F64, gD, b.Load(ir.I64, bestI), cf(1e18))
+	})
+	b.Ret(c64(0))
+	return mustVerify(m)
+}

@@ -1,0 +1,240 @@
+// Package campaign orchestrates Monte-Carlo fault-injection campaigns
+// (paper §4.3): for each run, a uniformly random dynamic instruction with
+// a destination is chosen, a uniformly random bit of that destination is
+// flipped, and the outcome is classified against the golden run. The
+// same harness drives the IR interpreter and the assembly simulator
+// through sim.Engine, which is what makes the paper's cross-layer
+// comparison possible.
+//
+// Campaigns are deterministic: outcome counts depend only on the engine,
+// the run count, and the seed — not on scheduling — because every run's
+// random choices derive from the seed and the run index alone.
+package campaign
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"flowery/internal/asm"
+	"flowery/internal/sim"
+	"flowery/internal/stats"
+)
+
+// Outcome classifies one injection run.
+type Outcome uint8
+
+const (
+	// OutcomeBenign: the program finished with golden output.
+	OutcomeBenign Outcome = iota
+	// OutcomeSDC: the program finished normally with corrupted output.
+	OutcomeSDC
+	// OutcomeDUE: the program crashed or hung.
+	OutcomeDUE
+	// OutcomeDetected: a duplication checker caught the fault.
+	OutcomeDetected
+
+	NumOutcomes = 4
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeBenign:
+		return "benign"
+	case OutcomeSDC:
+		return "sdc"
+	case OutcomeDUE:
+		return "due"
+	case OutcomeDetected:
+		return "detected"
+	default:
+		return "unknown"
+	}
+}
+
+// HangFactor is the multiple of the golden run's dynamic instruction
+// count after which a faulty run counts as hung.
+const HangFactor = 50
+
+// Spec configures a campaign.
+type Spec struct {
+	// Runs is the number of fault injections (the paper uses 3000).
+	Runs int
+	// Seed drives all random choices.
+	Seed int64
+	// MaxSteps bounds each run (0: sim.DefaultMaxSteps).
+	MaxSteps int64
+	// Workers is the parallelism (0: GOMAXPROCS).
+	Workers int
+}
+
+// Stats aggregates campaign outcomes.
+type Stats struct {
+	Runs   int
+	Counts [NumOutcomes]int
+	// SDCByOrigin attributes SDC runs to the provenance tag of the
+	// injected assembly instruction (all OriginNone at IR level).
+	SDCByOrigin [asm.NumOrigins]int
+	// GoldenDyn and GoldenInjectable describe the fault-free run.
+	GoldenDyn        int64
+	GoldenInjectable int64
+}
+
+// Rate returns the fraction of runs with the given outcome.
+func (s Stats) Rate(o Outcome) float64 {
+	if s.Runs == 0 {
+		return 0
+	}
+	return float64(s.Counts[o]) / float64(s.Runs)
+}
+
+// SDCRate is shorthand for Rate(OutcomeSDC).
+func (s Stats) SDCRate() float64 { return s.Rate(OutcomeSDC) }
+
+// Coverage computes SDC coverage of a protected configuration against
+// the unprotected baseline measured at the same layer:
+// (SDCraw − SDCprot) / SDCraw (paper §2.1).
+func Coverage(raw, prot Stats) float64 {
+	r := raw.SDCRate()
+	if r == 0 {
+		return 1
+	}
+	c := (r - prot.SDCRate()) / r
+	if c < 0 {
+		return 0
+	}
+	return c
+}
+
+// CoverageCI returns the coverage point estimate together with a 95%
+// confidence interval (delta-method propagation of the two campaigns'
+// binomial uncertainty; see package stats).
+func CoverageCI(raw, prot Stats) (c, lo, hi float64) {
+	return stats.CoverageInterval(
+		stats.Proportion{Hits: raw.Counts[OutcomeSDC], Total: raw.Runs},
+		stats.Proportion{Hits: prot.Counts[OutcomeSDC], Total: prot.Runs},
+		stats.Z95,
+	)
+}
+
+// SDCRateCI returns the SDC rate with its 95% Wilson interval.
+func (s Stats) SDCRateCI() (p, lo, hi float64) {
+	pr := stats.Proportion{Hits: s.Counts[OutcomeSDC], Total: s.Runs}
+	lo, hi = pr.Wilson(stats.Z95)
+	return pr.P(), lo, hi
+}
+
+// EngineFactory builds an engine instance. Run calls it once per worker,
+// sequentially (engine construction may touch shared module state).
+type EngineFactory func() (sim.Engine, error)
+
+// Run executes a campaign and returns aggregated statistics.
+func Run(factory EngineFactory, spec Spec) (Stats, error) {
+	if spec.Runs <= 0 {
+		return Stats{}, fmt.Errorf("campaign: non-positive run count")
+	}
+	workers := spec.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > spec.Runs {
+		workers = spec.Runs
+	}
+
+	engines := make([]sim.Engine, workers)
+	for i := range engines {
+		e, err := factory()
+		if err != nil {
+			return Stats{}, fmt.Errorf("campaign: engine %d: %w", i, err)
+		}
+		engines[i] = e
+	}
+
+	golden := engines[0].Run(sim.Fault{}, sim.Options{MaxSteps: spec.MaxSteps})
+	if golden.Status != sim.StatusOK {
+		return Stats{}, fmt.Errorf("campaign: golden run failed: %v (%v)", golden.Status, golden.Trap)
+	}
+	if golden.InjectableInstrs == 0 {
+		return Stats{}, fmt.Errorf("campaign: program has no injectable instructions")
+	}
+	goldenOut := string(golden.Output)
+
+	// A fault that corrupts a loop bound can hang the program; runs far
+	// past the golden length are classified as hangs (DUE) without
+	// burning the global step ceiling.
+	maxSteps := spec.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = HangFactor*golden.DynInstrs + 100_000
+	}
+
+	var wg sync.WaitGroup
+	partial := make([]Stats, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st := &partial[w]
+			for i := w; i < spec.Runs; i += workers {
+				fault := faultForRun(spec.Seed, int64(i), golden.InjectableInstrs)
+				res := engines[w].Run(fault, sim.Options{MaxSteps: maxSteps})
+				o := classify(res, goldenOut)
+				st.Counts[o]++
+				if o == OutcomeSDC {
+					st.SDCByOrigin[res.InjectedOrigin]++
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	total := Stats{
+		Runs:             spec.Runs,
+		GoldenDyn:        golden.DynInstrs,
+		GoldenInjectable: golden.InjectableInstrs,
+	}
+	for _, p := range partial {
+		for i, c := range p.Counts {
+			total.Counts[i] += c
+		}
+		for i, c := range p.SDCByOrigin {
+			total.SDCByOrigin[i] += c
+		}
+	}
+	return total, nil
+}
+
+// classify maps a run result to an outcome.
+func classify(res sim.Result, goldenOut string) Outcome {
+	switch res.Status {
+	case sim.StatusDetected:
+		return OutcomeDetected
+	case sim.StatusTrap:
+		return OutcomeDUE
+	default:
+		if !res.Injected {
+			// The chosen site was never reached; nothing happened.
+			return OutcomeBenign
+		}
+		if string(res.Output) != goldenOut {
+			return OutcomeSDC
+		}
+		return OutcomeBenign
+	}
+}
+
+// faultForRun derives run i's fault deterministically from the seed.
+func faultForRun(seed, i, injectable int64) sim.Fault {
+	h := splitmix64(uint64(seed) ^ splitmix64(uint64(i)+0x9e3779b97f4a7c15))
+	target := int64(h%uint64(injectable)) + 1
+	bit := int((h >> 32) % 64)
+	return sim.Fault{TargetIndex: target, Bit: bit}
+}
+
+// splitmix64 is the standard 64-bit mixer.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,175 @@
+package campaign
+
+import (
+	"testing"
+
+	"flowery/internal/interp"
+	"flowery/internal/ir"
+	"flowery/internal/sim"
+)
+
+func buildTarget() *ir.Module {
+	m := ir.NewModule("t")
+	g := m.NewGlobalI64("data", []int64{9, 8, 7, 6, 5, 4, 3, 2})
+	f := m.NewFunction("main", ir.I64)
+	b := ir.NewBuilder(f)
+	sum := b.AllocVar(ir.I64)
+	b.Store(ir.ConstInt(ir.I64, 0), sum)
+	b.ForLoop("i", ir.ConstInt(ir.I64, 0), ir.ConstInt(ir.I64, 8), ir.ConstInt(ir.I64, 1), func(i ir.Value) {
+		v := b.LoadElem(ir.I64, g, i)
+		b.Store(b.Add(b.Load(ir.I64, sum), b.Mul(v, i)), sum)
+	})
+	b.PrintI64(b.Load(ir.I64, sum))
+	b.Ret(ir.ConstInt(ir.I64, 0))
+	return m
+}
+
+func factory(m *ir.Module) EngineFactory {
+	return func() (sim.Engine, error) { return interp.New(m), nil }
+}
+
+func TestCampaignBasics(t *testing.T) {
+	st, err := Run(factory(buildTarget()), Spec{Runs: 300, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range st.Counts {
+		total += c
+	}
+	if total != 300 || st.Runs != 300 {
+		t.Fatalf("counts don't sum to runs: %v", st.Counts)
+	}
+	if st.Counts[OutcomeSDC] == 0 {
+		t.Fatal("no SDCs on an unprotected program; injector inert")
+	}
+	if st.Counts[OutcomeDetected] != 0 {
+		t.Fatal("detections on an unprotected program")
+	}
+	if st.GoldenDyn == 0 || st.GoldenInjectable == 0 {
+		t.Fatal("golden stats missing")
+	}
+}
+
+func TestCampaignDeterministicAcrossWorkerCounts(t *testing.T) {
+	m := buildTarget()
+	a, err := Run(factory(m), Spec{Runs: 200, Seed: 42, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(factory(m), Spec{Runs: 200, Seed: 42, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Counts != b.Counts {
+		t.Fatalf("worker count changed results: %v vs %v", a.Counts, b.Counts)
+	}
+	c, err := Run(factory(m), Spec{Runs: 200, Seed: 43, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Counts == c.Counts {
+		t.Fatal("different seeds produced identical outcome vectors (implausible)")
+	}
+}
+
+func TestCoverageMath(t *testing.T) {
+	raw := Stats{Runs: 100}
+	raw.Counts[OutcomeSDC] = 40
+	prot := Stats{Runs: 100}
+	prot.Counts[OutcomeSDC] = 10
+	if c := Coverage(raw, prot); c < 0.75-1e-9 || c > 0.75+1e-9 {
+		t.Fatalf("coverage = %v, want 0.75", c)
+	}
+	// Protection can't make coverage negative.
+	worse := Stats{Runs: 100}
+	worse.Counts[OutcomeSDC] = 50
+	if c := Coverage(raw, worse); c != 0 {
+		t.Fatalf("negative coverage not clamped: %v", c)
+	}
+	// Zero baseline counts as fully covered.
+	zero := Stats{Runs: 100}
+	if c := Coverage(zero, prot); c != 1 {
+		t.Fatalf("zero-baseline coverage = %v, want 1", c)
+	}
+}
+
+func TestFaultDistribution(t *testing.T) {
+	// Fault targets must span the injectable range roughly uniformly.
+	const n = 2000
+	const injectable = 1000
+	buckets := make([]int, 4)
+	for i := int64(0); i < n; i++ {
+		f := faultForRun(7, i, injectable)
+		if f.TargetIndex < 1 || f.TargetIndex > injectable {
+			t.Fatalf("target %d out of range", f.TargetIndex)
+		}
+		if f.Bit < 0 || f.Bit > 63 {
+			t.Fatalf("bit %d out of range", f.Bit)
+		}
+		buckets[(f.TargetIndex-1)*4/injectable]++
+	}
+	for i, c := range buckets {
+		if c < n/8 {
+			t.Fatalf("quartile %d badly undersampled: %d of %d", i, c, n)
+		}
+	}
+}
+
+func TestClassify(t *testing.T) {
+	golden := "42\n"
+	cases := []struct {
+		res  sim.Result
+		want Outcome
+	}{
+		{sim.Result{Status: sim.StatusDetected, Injected: true}, OutcomeDetected},
+		{sim.Result{Status: sim.StatusTrap, Trap: sim.TrapBadAddress, Injected: true}, OutcomeDUE},
+		{sim.Result{Status: sim.StatusOK, Output: []byte("42\n"), Injected: true}, OutcomeBenign},
+		{sim.Result{Status: sim.StatusOK, Output: []byte("43\n"), Injected: true}, OutcomeSDC},
+		{sim.Result{Status: sim.StatusOK, Output: []byte("43\n"), Injected: false}, OutcomeBenign},
+	}
+	for i, c := range cases {
+		if got := classify(c.res, golden); got != c.want {
+			t.Errorf("case %d: classify = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestCampaignErrors(t *testing.T) {
+	if _, err := Run(factory(buildTarget()), Spec{Runs: 0, Seed: 1}); err == nil {
+		t.Fatal("zero runs accepted")
+	}
+	// A program that traps on its golden run must be rejected.
+	m := ir.NewModule("bad")
+	f := m.NewFunction("main", ir.I64)
+	b := ir.NewBuilder(f)
+	b.Ret(b.SDiv(ir.ConstInt(ir.I64, 1), ir.ConstInt(ir.I64, 0)))
+	if _, err := Run(factory(m), Spec{Runs: 10, Seed: 1}); err == nil {
+		t.Fatal("trapping golden run accepted")
+	}
+}
+
+func TestHangsClassifiedAsDUE(t *testing.T) {
+	// A program where corrupting the loop counter easily produces very
+	// long runs: the campaign must classify them as DUEs, quickly.
+	m := ir.NewModule("hang")
+	f := m.NewFunction("main", ir.I64)
+	b := ir.NewBuilder(f)
+	n := b.AllocVar(ir.I64)
+	b.Store(ir.ConstInt(ir.I64, 1000), n)
+	b.While("w", func() ir.Value {
+		return b.ICmp(ir.PredNE, b.Load(ir.I64, n), ir.ConstInt(ir.I64, 0))
+	}, func() {
+		b.Store(b.Sub(b.Load(ir.I64, n), ir.ConstInt(ir.I64, 1)), n)
+	})
+	b.PrintI64(b.Load(ir.I64, n))
+	b.Ret(ir.ConstInt(ir.I64, 0))
+
+	st, err := Run(factory(m), Spec{Runs: 400, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Counts[OutcomeDUE] == 0 {
+		t.Fatal("no DUE outcomes; hang classification untested")
+	}
+}

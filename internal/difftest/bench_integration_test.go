@@ -1,0 +1,75 @@
+package difftest
+
+import (
+	"testing"
+
+	"flowery/internal/bench"
+	"flowery/internal/dup"
+	"flowery/internal/flowery"
+	"flowery/internal/interp"
+	"flowery/internal/sim"
+)
+
+// TestProtectedBenchmarksPreserveSemantics is the full-stack integration
+// test: every benchmark, fully duplicated and Flowery-patched, must run
+// fault-free to exactly its original output on BOTH layers.
+func TestProtectedBenchmarksPreserveSemantics(t *testing.T) {
+	for _, bm := range bench.All() {
+		bm := bm
+		t.Run(bm.Name, func(t *testing.T) {
+			t.Parallel()
+			base := interp.New(bm.Build()).Run(sim.Fault{}, sim.Options{})
+			if base.Status != sim.StatusOK {
+				t.Fatalf("baseline failed: %v", base.Status)
+			}
+
+			prot := bm.Build()
+			if err := dup.ApplyFull(prot); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := flowery.Apply(prot, flowery.All()); err != nil {
+				t.Fatal(err)
+			}
+			if err := prot.Verify(); err != nil {
+				t.Fatalf("protected module invalid: %v", err)
+			}
+			ri, rm := runBoth(t, prot)
+			if ri.Status != sim.StatusOK || string(ri.Output) != string(base.Output) {
+				t.Fatalf("IR behaviour changed:\nbase %q\nprot %q", base.Output, ri.Output)
+			}
+			if rm.Status != sim.StatusOK || string(rm.Output) != string(base.Output) {
+				t.Fatalf("asm behaviour changed:\nbase %q\nprot %q", base.Output, rm.Output)
+			}
+		})
+	}
+}
+
+// TestSelectivelyProtectedBenchmarksPreserveSemantics covers the
+// knapsack-selected partial levels on a few representative benchmarks.
+func TestSelectivelyProtectedBenchmarksPreserveSemantics(t *testing.T) {
+	for _, name := range []string{"bfs", "fft2", "quicksort", "crc32"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			bm, _ := bench.ByName(name)
+			base := interp.New(bm.Build()).Run(sim.Fault{}, sim.Options{})
+			profile, err := dup.BuildProfile(bm.Build(), dup.ProfileOptions{Samples: 300, Seed: 9})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, level := range []dup.Level{dup.Level30, dup.Level70} {
+				prot := bm.Build()
+				if err := dup.Apply(prot, dup.Select(profile, level)); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := flowery.Apply(prot, flowery.All()); err != nil {
+					t.Fatal(err)
+				}
+				ri, rm := runBoth(t, prot)
+				if string(ri.Output) != string(base.Output) || string(rm.Output) != string(base.Output) {
+					t.Fatalf("level %v changed behaviour", level)
+				}
+			}
+		})
+	}
+}

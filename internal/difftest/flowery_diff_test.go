@@ -1,0 +1,79 @@
+package difftest
+
+import (
+	"fmt"
+	"testing"
+
+	"flowery/internal/dup"
+	"flowery/internal/flowery"
+	"flowery/internal/interp"
+	"flowery/internal/progen"
+	"flowery/internal/sim"
+)
+
+// TestFloweryPreservesSemantics: duplication + all three Flowery patches
+// must leave fault-free behaviour unchanged at both layers.
+func TestFloweryPreservesSemantics(t *testing.T) {
+	for seed := int64(0); seed < int64(seeds(t)); seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			orig := progen.Generate(seed, progen.DefaultConfig())
+			base := interp.New(orig).Run(sim.Fault{}, sim.Options{})
+
+			prot := progen.Generate(seed, progen.DefaultConfig())
+			if err := dup.ApplyFull(prot); err != nil {
+				t.Fatalf("dup: %v", err)
+			}
+			st, err := flowery.Apply(prot, flowery.All())
+			if err != nil {
+				t.Fatalf("flowery: %v", err)
+			}
+			if st.StoresHoisted+st.BranchesPatched+st.CmpsIsolated == 0 {
+				t.Fatalf("flowery changed nothing on a fully protected program")
+			}
+			ri, rm := runBoth(t, prot)
+			if ri.Status != base.Status || string(ri.Output) != string(base.Output) {
+				t.Fatalf("flowery changed IR semantics:\nbase: %v %q\ngot:  %v %q",
+					base.Status, base.Output, ri.Status, ri.Output)
+			}
+			assertEquivalent(t, seed, ri, rm)
+		})
+	}
+}
+
+// TestFloweryIndividualPatchesPreserveSemantics runs each patch alone —
+// a patch interaction must never be load-bearing for correctness.
+func TestFloweryIndividualPatchesPreserveSemantics(t *testing.T) {
+	configs := []struct {
+		name string
+		opts flowery.Options
+	}{
+		{"eager-store", flowery.Options{EagerStore: true}},
+		{"postponed-branch", flowery.Options{PostponedBranch: true}},
+		{"anti-cmp", flowery.Options{AntiCmp: true}},
+	}
+	for _, cfg := range configs {
+		cfg := cfg
+		t.Run(cfg.name, func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(0); seed < 20; seed++ {
+				orig := progen.Generate(seed, progen.DefaultConfig())
+				base := interp.New(orig).Run(sim.Fault{}, sim.Options{})
+
+				prot := progen.Generate(seed, progen.DefaultConfig())
+				if err := dup.ApplyFull(prot); err != nil {
+					t.Fatalf("dup: %v", err)
+				}
+				if _, err := flowery.Apply(prot, cfg.opts); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				ri, rm := runBoth(t, prot)
+				if ri.Status != base.Status || string(ri.Output) != string(base.Output) {
+					t.Fatalf("seed %d: IR semantics changed", seed)
+				}
+				assertEquivalent(t, seed, ri, rm)
+			}
+		})
+	}
+}

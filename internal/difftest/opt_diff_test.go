@@ -1,0 +1,39 @@
+package difftest
+
+import (
+	"fmt"
+	"testing"
+
+	"flowery/internal/interp"
+	"flowery/internal/opt"
+	"flowery/internal/progen"
+	"flowery/internal/sim"
+)
+
+// TestOptimizedProgramsCrossLayerEquivalent stresses the backend with
+// mid-end-optimized IR: CSE and block merging produce longer blocks and
+// cross-block value lifetimes that the -O0-shaped benchmarks never
+// exhibit.
+func TestOptimizedProgramsCrossLayerEquivalent(t *testing.T) {
+	for seed := int64(0); seed < int64(seeds(t)); seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			m := progen.Generate(seed, progen.DefaultConfig())
+			base := interp.New(m).Run(sim.Fault{}, sim.Options{})
+
+			m2 := progen.Generate(seed, progen.DefaultConfig())
+			opt.Run(m2, opt.Standard())
+			if err := m2.Verify(); err != nil {
+				t.Fatalf("optimized module invalid: %v", err)
+			}
+			ri, rm := runBoth(t, m2)
+			// Optimization preserves IR semantics...
+			if ri.Status != base.Status || string(ri.Output) != string(base.Output) {
+				t.Fatalf("optimizer changed IR behaviour")
+			}
+			// ...and the backend handles the optimized shape.
+			assertEquivalent(t, seed, ri, rm)
+		})
+	}
+}

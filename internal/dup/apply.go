@@ -1,0 +1,248 @@
+package dup
+
+import (
+	"fmt"
+
+	"flowery/internal/ir"
+)
+
+// ErrBlockName is the name of the per-function error handler block that
+// checkers branch to on mismatch.
+const ErrBlockName = "dup.err"
+
+// Apply duplicates the selected instructions (indices into
+// Module.EnumerateInstrs order) in place and inserts checkers before
+// every synchronization point (store, conditional branch, call, return)
+// that consumes a duplicated value, following the design of §3 and
+// Figure 1 of the paper. The transformed module verifies and is
+// semantically identical to the original in fault-free runs.
+func Apply(m *ir.Module, selected []int) error {
+	instrs := m.EnumerateInstrs()
+	selSet := make(map[*ir.Instr]bool, len(selected))
+	for _, idx := range selected {
+		if idx < 0 || idx >= len(instrs) {
+			return fmt.Errorf("dup: selection index %d out of range", idx)
+		}
+		in := instrs[idx]
+		if !Duplicable(in) {
+			return fmt.Errorf("dup: instruction %d (%s) is not duplicable", idx, in.Op)
+		}
+		selSet[in] = true
+	}
+
+	for _, f := range m.Funcs {
+		if f.External {
+			continue
+		}
+		applyFunc(f, selSet)
+	}
+	return nil
+}
+
+// ApplyFull duplicates every duplicable instruction (100% protection).
+func ApplyFull(m *ir.Module) error {
+	var sel []int
+	for i, in := range m.EnumerateInstrs() {
+		if Duplicable(in) {
+			sel = append(sel, i)
+		}
+	}
+	return Apply(m, sel)
+}
+
+func applyFunc(f *ir.Function, selected map[*ir.Instr]bool) {
+	dupOf := insertClones(f, selected)
+	if len(dupOf) == 0 {
+		return
+	}
+	insertCheckers(f, dupOf)
+}
+
+// insertClones places a redundant copy immediately after each selected
+// instruction. Clone operands refer to the duplicated versions of their
+// producers when those exist, building an independent computation chain
+// (Figure 1b of the paper).
+func insertClones(f *ir.Function, selected map[*ir.Instr]bool) map[*ir.Instr]*ir.Instr {
+	dupOf := make(map[*ir.Instr]*ir.Instr)
+	for _, b := range f.Blocks {
+		old := b.Instrs
+		out := make([]*ir.Instr, 0, len(old)*2)
+		for _, in := range old {
+			out = append(out, in)
+			if !selected[in] {
+				continue
+			}
+			clone := &ir.Instr{
+				Op:     in.Op,
+				Ty:     in.Ty,
+				Pred:   in.Pred,
+				Aux:    in.Aux,
+				Callee: in.Callee,
+				Parent: b,
+				ID:     -1,
+			}
+			for _, a := range in.Args {
+				if ai, ok := a.(*ir.Instr); ok {
+					if d, ok := dupOf[ai]; ok {
+						clone.Args = append(clone.Args, d)
+						continue
+					}
+				}
+				clone.Args = append(clone.Args, a)
+			}
+			clone.Prot = ir.ProtMeta{IsDup: true, Orig: in}
+			in.Prot.Dup = clone
+			dupOf[in] = clone
+			out = append(out, clone)
+		}
+		b.Instrs = out
+	}
+	return dupOf
+}
+
+// insertCheckers walks every synchronization point and, for each operand
+// that has a duplicate, inserts compare-and-branch validation before it.
+// Each checker ends its block, so the synchronization point moves into a
+// fresh continuation block — the block split whose assembly-level
+// consequences (store and branch penetration) the paper analyzes.
+func insertCheckers(f *ir.Function, dupOf map[*ir.Instr]*ir.Instr) {
+	errBB := makeErrBlock(f)
+
+	// f.Blocks grows while we split; index iteration covers new blocks.
+	// Each sync point is handled once: after a split it reappears at the
+	// head of its continuation block, already guarded.
+	guarded := make(map[*ir.Instr]bool)
+	for bi := 0; bi < len(f.Blocks); bi++ {
+		b := f.Blocks[bi]
+		if b == errBB {
+			continue
+		}
+		for i := 0; i < len(b.Instrs); i++ {
+			in := b.Instrs[i]
+			if in.Prot.IsChecker || guarded[in] {
+				continue
+			}
+			if !isSyncPoint(in.Op) {
+				continue
+			}
+			ops := checkableOperands(in, dupOf)
+			if len(ops) == 0 {
+				continue
+			}
+			guarded[in] = true
+			splitAndCheck(f, b, i, ops, dupOf, errBB)
+			// The remainder of this block moved to the continuation
+			// block; the outer loop will reach it through f.Blocks.
+			break
+		}
+	}
+}
+
+func isSyncPoint(op ir.Op) bool {
+	return op == ir.OpStore || op == ir.OpCondBr || op == ir.OpCall || op == ir.OpRet
+}
+
+// checkableOperands returns the distinct duplicated operands of in.
+func checkableOperands(in *ir.Instr, dupOf map[*ir.Instr]*ir.Instr) []*ir.Instr {
+	var ops []*ir.Instr
+	seen := make(map[*ir.Instr]bool)
+	for _, a := range in.Args {
+		ai, ok := a.(*ir.Instr)
+		if !ok || seen[ai] {
+			continue
+		}
+		if _, hasDup := dupOf[ai]; hasDup {
+			ops = append(ops, ai)
+			seen[ai] = true
+		}
+	}
+	return ops
+}
+
+// splitAndCheck moves b.Instrs[k:] into a continuation block and emits a
+// checker chain in front of it, one compare-and-branch per operand.
+func splitAndCheck(f *ir.Function, b *ir.Block, k int, ops []*ir.Instr, dupOf map[*ir.Instr]*ir.Instr, errBB *ir.Block) {
+	cont := f.NewBlock(b.Name + ".cont")
+	cont.Instrs = append(cont.Instrs, b.Instrs[k:]...)
+	for _, in := range cont.Instrs {
+		in.Parent = cont
+	}
+	b.Instrs = b.Instrs[:k]
+
+	cur := b
+	for i, v := range ops {
+		next := cont
+		if i < len(ops)-1 {
+			next = f.NewBlock(b.Name + ".chk")
+		}
+		emitChecker(cur, v, dupOf[v], next, errBB)
+		cur = next
+	}
+}
+
+// emitChecker appends "compare v with its duplicate, branch to errBB on
+// mismatch" to block b, continuing to next on success. Integer and
+// pointer values use icmp eq (the pattern of Figure 8, which the backend
+// may fold — comparison penetration); floats use fcmp one with inverted
+// targets so NaN values do not raise false alarms.
+func emitChecker(b *ir.Block, v, dup *ir.Instr, next, errBB *ir.Block) {
+	if v.Ty == ir.F64 {
+		c := &ir.Instr{
+			Op: ir.OpFCmp, Ty: ir.I1, Pred: ir.PredONE,
+			Args: []ir.Value{v, dup},
+			Prot: ir.ProtMeta{IsChecker: true},
+		}
+		br := &ir.Instr{
+			Op: ir.OpCondBr, Ty: ir.Void,
+			Args:   []ir.Value{c},
+			Blocks: []*ir.Block{errBB, next},
+			Prot:   ir.ProtMeta{IsChecker: true},
+		}
+		b.Append(c)
+		b.Append(br)
+		return
+	}
+	c := &ir.Instr{
+		Op: ir.OpICmp, Ty: ir.I1, Pred: ir.PredEQ,
+		Args: []ir.Value{v, dup},
+		Prot: ir.ProtMeta{IsChecker: true},
+	}
+	br := &ir.Instr{
+		Op: ir.OpCondBr, Ty: ir.Void,
+		Args:   []ir.Value{c},
+		Blocks: []*ir.Block{next, errBB},
+		Prot:   ir.ProtMeta{IsChecker: true},
+	}
+	b.Append(c)
+	b.Append(br)
+}
+
+// makeErrBlock creates (or finds) the error handler: call check_fail,
+// then return a zero value. check_fail never returns in either execution
+// engine, so the return is unreachable structure to satisfy the verifier.
+func makeErrBlock(f *ir.Function) *ir.Block {
+	for _, b := range f.Blocks {
+		if b.Name == ErrBlockName {
+			return b
+		}
+	}
+	errBB := f.NewBlock(ErrBlockName)
+	checkFail := f.Module.Func("check_fail")
+	call := &ir.Instr{
+		Op: ir.OpCall, Ty: ir.Void, Callee: checkFail,
+		Prot: ir.ProtMeta{IsChecker: true},
+	}
+	errBB.Append(call)
+	var ret *ir.Instr
+	switch f.RetType {
+	case ir.Void:
+		ret = &ir.Instr{Op: ir.OpRet, Ty: ir.Void}
+	case ir.F64:
+		ret = &ir.Instr{Op: ir.OpRet, Ty: ir.Void, Args: []ir.Value{ir.ConstFloat(0)}}
+	default:
+		ret = &ir.Instr{Op: ir.OpRet, Ty: ir.Void, Args: []ir.Value{ir.ConstInt(f.RetType, 0)}}
+	}
+	ret.Prot.IsChecker = true
+	errBB.Append(ret)
+	return errBB
+}

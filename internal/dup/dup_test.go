@@ -1,0 +1,245 @@
+package dup
+
+import (
+	"testing"
+
+	"flowery/internal/interp"
+	"flowery/internal/ir"
+	"flowery/internal/sim"
+)
+
+// buildSample: a loop summing squares, with a store and branch so every
+// sync-point kind appears.
+func buildSample() *ir.Module {
+	m := ir.NewModule("sample")
+	g := m.NewGlobalI64("out", []int64{0})
+	f := m.NewFunction("main", ir.I64)
+	b := ir.NewBuilder(f)
+	sum := b.AllocVar(ir.I64)
+	b.Store(ir.ConstInt(ir.I64, 0), sum)
+	b.ForLoop("i", ir.ConstInt(ir.I64, 0), ir.ConstInt(ir.I64, 6), ir.ConstInt(ir.I64, 1), func(i ir.Value) {
+		sq := b.Mul(i, i)
+		cur := b.Load(ir.I64, sum)
+		b.Store(b.Add(cur, sq), sum)
+	})
+	v := b.Load(ir.I64, sum)
+	b.Store(v, g)
+	b.PrintI64(v)
+	b.Ret(v)
+	return m
+}
+
+func TestDuplicableClassification(t *testing.T) {
+	m := buildSample()
+	var haveAlloca, haveCall, haveStore, haveLoad bool
+	for _, in := range m.EnumerateInstrs() {
+		switch in.Op {
+		case ir.OpAlloca:
+			haveAlloca = true
+			if Duplicable(in) {
+				t.Error("alloca must not be duplicable (address identity)")
+			}
+		case ir.OpCall:
+			haveCall = true
+			if Duplicable(in) {
+				t.Error("call must not be duplicable (side effects)")
+			}
+		case ir.OpStore:
+			haveStore = true
+			if Duplicable(in) {
+				t.Error("store has no result to duplicate")
+			}
+		case ir.OpLoad:
+			haveLoad = true
+			if !Duplicable(in) {
+				t.Error("load must be duplicable")
+			}
+		}
+	}
+	if !haveAlloca || !haveCall || !haveStore || !haveLoad {
+		t.Fatal("sample program lacks an opcode the test depends on")
+	}
+}
+
+func TestApplyFullStructure(t *testing.T) {
+	m := buildSample()
+	before := len(m.EnumerateInstrs())
+	if err := ApplyFull(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatalf("protected module invalid: %v", err)
+	}
+	after := len(m.EnumerateInstrs())
+	if after <= before+before/2 {
+		t.Fatalf("expected substantial growth, %d -> %d", before, after)
+	}
+
+	f := m.Func("main")
+	var dups, checkers, errCalls int
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Prot.IsDup {
+				dups++
+				if in.Prot.Orig == nil || in.Prot.Orig.Prot.Dup != in {
+					t.Fatal("dup back-link broken")
+				}
+				if in.Op != in.Prot.Orig.Op {
+					t.Fatal("dup has different opcode than original")
+				}
+			}
+			if in.Prot.IsChecker && in.Op == ir.OpICmp {
+				checkers++
+			}
+			if in.Op == ir.OpCall && in.Callee.Name == "check_fail" {
+				errCalls++
+			}
+		}
+	}
+	if dups == 0 || checkers == 0 {
+		t.Fatalf("dups=%d checkers=%d; transform inert", dups, checkers)
+	}
+	if errCalls != 1 {
+		t.Fatalf("expected exactly one error block, found %d check_fail calls", errCalls)
+	}
+}
+
+func TestApplyRejectsBadSelection(t *testing.T) {
+	m := buildSample()
+	if err := Apply(m, []int{99999}); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+	m2 := buildSample()
+	// Find an alloca index.
+	for i, in := range m2.EnumerateInstrs() {
+		if in.Op == ir.OpAlloca {
+			if err := Apply(m2, []int{i}); err == nil {
+				t.Fatal("unduplicable selection accepted")
+			}
+			return
+		}
+	}
+}
+
+func TestBuildProfileBasics(t *testing.T) {
+	m := buildSample()
+	p, err := BuildProfile(m, ProfileOptions{Samples: 300, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	instrs := m.EnumerateInstrs()
+	if len(p.DynCount) != len(instrs) || len(p.SDCProb) != len(instrs) {
+		t.Fatal("profile arrays mis-sized")
+	}
+	var sampled int64
+	for i := range instrs {
+		sampled += p.Samples[i]
+		if p.SDCProb[i] < 0 || p.SDCProb[i] > 1 {
+			t.Fatalf("probability out of range: %v", p.SDCProb[i])
+		}
+		if p.Samples[i] > 0 && !instrs[i].HasResult() {
+			t.Fatalf("void instruction %v sampled", instrs[i].Op)
+		}
+	}
+	if sampled == 0 {
+		t.Fatal("no samples attributed")
+	}
+	if p.TotalDyn <= 0 || p.TotalInjectable <= 0 || p.TotalInjectable >= p.TotalDyn {
+		t.Fatalf("bad totals: %+v", p)
+	}
+	if len(p.GoldenOutput) == 0 {
+		t.Fatal("no golden output")
+	}
+}
+
+func TestSelectBudgetsAndMonotonicity(t *testing.T) {
+	m := buildSample()
+	p, err := BuildProfile(m, ProfileOptions{Samples: 300, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dupCost int64
+	for i, d := range p.Duplicable {
+		if d {
+			dupCost += p.DynCount[i]
+		}
+	}
+	var prevCost int64 = -1
+	for _, level := range []Level{Level30, Level50, Level70, Level100} {
+		sel := Select(p, level)
+		var cost int64
+		for _, idx := range sel {
+			if !p.Duplicable[idx] {
+				t.Fatalf("level %v selected unduplicable instruction", level)
+			}
+			cost += p.DynCount[idx]
+		}
+		budget := int64(float64(dupCost) * float64(level))
+		if level < 1 && cost > budget {
+			t.Fatalf("level %v: cost %d exceeds budget %d", level, cost, budget)
+		}
+		if cost < prevCost {
+			t.Fatalf("selection cost not monotone in level: %d then %d", prevCost, cost)
+		}
+		prevCost = cost
+	}
+	// Full protection selects every executed duplicable instruction.
+	full := Select(p, Level100)
+	for i, d := range p.Duplicable {
+		if d && p.DynCount[i] > 0 {
+			found := false
+			for _, idx := range full {
+				if idx == i {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("full protection missed instruction %d", i)
+			}
+		}
+	}
+}
+
+func TestCheckerFiresOnMismatch(t *testing.T) {
+	// Corrupt one copy at runtime via fault injection and verify the
+	// protected program detects rather than silently corrupting.
+	m := buildSample()
+	if err := ApplyFull(m); err != nil {
+		t.Fatal(err)
+	}
+	ip := interp.New(m)
+	golden := ip.Run(sim.Fault{}, sim.Options{})
+	if golden.Status != sim.StatusOK {
+		t.Fatalf("golden run: %v", golden.Status)
+	}
+	detected := 0
+	for i := int64(1); i <= golden.InjectableInstrs; i += 5 {
+		res := ip.Run(sim.Fault{TargetIndex: i, Bit: 1}, sim.Options{})
+		if res.Status == sim.StatusDetected {
+			detected++
+		}
+	}
+	if detected == 0 {
+		t.Fatal("no fault detected; checkers inert")
+	}
+}
+
+func TestSelectionAppliesAcrossClones(t *testing.T) {
+	// A selection computed on one build must be valid for an
+	// independently built (identical) module — the property the
+	// experiment pipeline relies on.
+	m1 := buildSample()
+	p, err := BuildProfile(m1, ProfileOptions{Samples: 200, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := Select(p, Level50)
+	m2 := buildSample()
+	if err := Apply(m2, sel); err != nil {
+		t.Fatalf("selection did not transfer: %v", err)
+	}
+	if err := m2.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,189 @@
+// Package dup implements the selective instruction duplication technique
+// the paper studies (§3): per-instruction SDC profiling by IR-level fault
+// injection, knapsack-based selection under a protection level, and the
+// SWIFT-style duplication transform with checkers before synchronization
+// points.
+package dup
+
+import (
+	"fmt"
+	"math/rand"
+
+	"flowery/internal/interp"
+	"flowery/internal/ir"
+	"flowery/internal/knapsack"
+	"flowery/internal/sim"
+)
+
+// Profile holds per-static-instruction measurements from an IR-level
+// fault-injection campaign on the unprotected program. Indices refer to
+// Module.EnumerateInstrs order, so a Profile computed on one module
+// applies to clones of it.
+type Profile struct {
+	// DynCount is the execution count of each static instruction.
+	DynCount []int64
+	// SDCProb is the estimated probability that a fault in the
+	// instruction's result causes an SDC.
+	SDCProb []float64
+	// Duplicable marks instructions the transform can protect.
+	Duplicable []bool
+	// Samples counts fault-injection samples attributed per instruction.
+	Samples []int64
+	// SDCHits counts samples that ended in SDC.
+	SDCHits []int64
+	// TotalDyn is the golden run's dynamic instruction count.
+	TotalDyn int64
+	// TotalInjectable is the golden run's injectable-site count.
+	TotalInjectable int64
+	// GoldenOutput is the fault-free output.
+	GoldenOutput []byte
+	// BaseSDC is the measured raw SDC probability of the unprotected
+	// program (fraction of samples that were SDCs).
+	BaseSDC float64
+}
+
+// ProfileOptions tunes BuildProfile.
+type ProfileOptions struct {
+	// Samples is the number of fault injections (default 1500).
+	Samples int
+	// Seed drives the random site selection.
+	Seed int64
+	// MaxSteps bounds each run.
+	MaxSteps int64
+}
+
+// Duplicable reports whether the transform can duplicate an instruction.
+// Allocas are excluded (duplicating one creates a *different* address),
+// calls are excluded (side effects), and void instructions have nothing
+// to duplicate.
+func Duplicable(in *ir.Instr) bool {
+	if !in.HasResult() {
+		return false
+	}
+	switch in.Op {
+	case ir.OpAlloca, ir.OpCall:
+		return false
+	}
+	return true
+}
+
+// BuildProfile measures per-instruction dynamic counts and SDC
+// probabilities by running an IR-level fault-injection campaign on m.
+// m is not modified.
+func BuildProfile(m *ir.Module, opts ProfileOptions) (*Profile, error) {
+	if opts.Samples <= 0 {
+		opts.Samples = 1500
+	}
+	ip := interp.New(m)
+	golden := ip.Run(sim.Fault{}, sim.Options{Profile: true, MaxSteps: opts.MaxSteps})
+	if golden.Status != sim.StatusOK {
+		return nil, fmt.Errorf("dup: golden run failed: %v (%v)", golden.Status, golden.Trap)
+	}
+	counts := ip.ProfileCounts()
+	instrs := m.EnumerateInstrs()
+	if len(counts) != len(instrs) {
+		return nil, fmt.Errorf("dup: profile size %d != instruction count %d", len(counts), len(instrs))
+	}
+
+	p := &Profile{
+		DynCount:        counts,
+		SDCProb:         make([]float64, len(instrs)),
+		Duplicable:      make([]bool, len(instrs)),
+		Samples:         make([]int64, len(instrs)),
+		SDCHits:         make([]int64, len(instrs)),
+		TotalDyn:        golden.DynInstrs,
+		TotalInjectable: golden.InjectableInstrs,
+		GoldenOutput:    golden.Output,
+	}
+	for i, in := range instrs {
+		p.Duplicable[i] = Duplicable(in)
+	}
+
+	// Bound faulty runs relative to the golden length so hang-inducing
+	// faults classify quickly.
+	maxSteps := opts.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = 50*golden.DynInstrs + 100_000
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	sdcTotal := 0
+	for s := 0; s < opts.Samples; s++ {
+		f := sim.Fault{
+			TargetIndex: 1 + rng.Int63n(golden.InjectableInstrs),
+			Bit:         rng.Intn(64),
+		}
+		res := ip.Run(f, sim.Options{MaxSteps: maxSteps})
+		if !res.Injected || res.InjectedStatic < 0 {
+			continue
+		}
+		idx := int(res.InjectedStatic)
+		p.Samples[idx]++
+		if res.Status == sim.StatusOK && string(res.Output) != string(p.GoldenOutput) {
+			p.SDCHits[idx]++
+			sdcTotal++
+		}
+	}
+	p.BaseSDC = float64(sdcTotal) / float64(opts.Samples)
+
+	// Laplace-smoothed per-instruction SDC probability; unsampled
+	// instructions inherit the global average so rarely executed code is
+	// neither ignored nor overweighted.
+	for i := range instrs {
+		if p.Samples[i] > 0 {
+			p.SDCProb[i] = (float64(p.SDCHits[i]) + 0.5) / (float64(p.Samples[i]) + 1)
+		} else {
+			p.SDCProb[i] = p.BaseSDC
+		}
+	}
+	return p, nil
+}
+
+// Level is a protection level: the fraction of the duplicable dynamic
+// instruction stream whose duplication overhead the selection may spend.
+type Level float64
+
+// The protection levels evaluated throughout the paper.
+const (
+	Level30  Level = 0.30
+	Level50  Level = 0.50
+	Level70  Level = 0.70
+	Level100 Level = 1.00
+)
+
+// Select solves the knapsack instance: benefit is the instruction's
+// estimated SDC contribution (probability × execution count), cost is
+// the added dynamic instructions (≈ execution count), and the budget is
+// level × total duplicable dynamic instructions. It returns selected
+// indices into Module.EnumerateInstrs order.
+func Select(p *Profile, level Level) []int {
+	if level >= 1 {
+		var all []int
+		for i, d := range p.Duplicable {
+			if d && p.DynCount[i] > 0 {
+				all = append(all, i)
+			}
+		}
+		return all
+	}
+	var items []knapsack.Item
+	var idxs []int
+	var totalCost int64
+	for i, d := range p.Duplicable {
+		if !d || p.DynCount[i] == 0 {
+			continue
+		}
+		items = append(items, knapsack.Item{
+			Benefit: p.SDCProb[i] * float64(p.DynCount[i]),
+			Cost:    p.DynCount[i],
+		})
+		idxs = append(idxs, i)
+		totalCost += p.DynCount[i]
+	}
+	budget := int64(float64(totalCost) * float64(level))
+	picked := knapsack.Greedy(items, budget)
+	out := make([]int, len(picked))
+	for i, pi := range picked {
+		out[i] = idxs[pi]
+	}
+	return out
+}

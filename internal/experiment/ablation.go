@@ -1,0 +1,124 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"flowery/internal/asm"
+	"flowery/internal/backend"
+	"flowery/internal/bench"
+	"flowery/internal/campaign"
+	"flowery/internal/dup"
+	"flowery/internal/flowery"
+	"flowery/internal/ir"
+	"flowery/internal/machine"
+	"flowery/internal/sim"
+)
+
+// AblationResult measures each Flowery patch in isolation at full
+// protection: which penetration categories it removes and what coverage
+// it alone buys. This is the design-choice evidence behind §6 of the
+// paper (each patch targets exactly one root cause).
+type AblationResult struct {
+	Name string
+	// Stats per configuration.
+	Raw    campaign.Stats
+	ID     campaign.Stats
+	Eager  campaign.Stats
+	Branch campaign.Stats
+	Cmp    campaign.Stats
+	All    campaign.Stats
+}
+
+// ablationConfigs enumerates the patch subsets.
+var ablationConfigs = []struct {
+	Label string
+	Opts  flowery.Options
+}{
+	{"ID only", flowery.Options{}},
+	{"+eager store", flowery.Options{EagerStore: true}},
+	{"+postponed branch", flowery.Options{PostponedBranch: true}},
+	{"+anti-cmp", flowery.Options{AntiCmp: true}},
+	{"Flowery (all)", flowery.All()},
+}
+
+// RunAblation measures one benchmark under every patch subset.
+func RunAblation(bm bench.Benchmark, cfg Config) (*AblationResult, error) {
+	if cfg.Runs <= 0 {
+		cfg = DefaultConfig()
+	}
+	res := &AblationResult{Name: bm.Name}
+
+	raw, err := asmCampaign(bm.Build(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	res.Raw = raw
+
+	stats := make([]campaign.Stats, len(ablationConfigs))
+	for i, ac := range ablationConfigs {
+		m := bm.Build()
+		if err := dup.ApplyFull(m); err != nil {
+			return nil, err
+		}
+		if ac.Opts != (flowery.Options{}) {
+			if _, err := flowery.Apply(m, ac.Opts); err != nil {
+				return nil, err
+			}
+		}
+		st, err := asmCampaign(m, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s %s: %w", bm.Name, ac.Label, err)
+		}
+		stats[i] = st
+	}
+	res.ID, res.Eager, res.Branch, res.Cmp, res.All = stats[0], stats[1], stats[2], stats[3], stats[4]
+	return res, nil
+}
+
+func asmCampaign(m *ir.Module, cfg Config) (campaign.Stats, error) {
+	prog, err := backend.Lower(m)
+	if err != nil {
+		return campaign.Stats{}, err
+	}
+	return campaign.Run(func() (sim.Engine, error) { return machine.New(m, prog) },
+		campaign.Spec{Runs: cfg.Runs, Seed: cfg.Seed, Workers: cfg.Workers})
+}
+
+// Ablation renders the per-patch coverage and residual-SDC-origin table.
+func Ablation(results []*AblationResult) string {
+	var sb strings.Builder
+	sb.WriteString("Ablation: assembly-level SDC coverage of each Flowery patch in isolation (full protection)\n")
+	fmt.Fprintf(&sb, "%-14s %10s %12s %14s %12s %12s\n",
+		"Benchmark", "ID only", "+eager", "+postponed-br", "+anti-cmp", "all")
+	for _, r := range results {
+		cov := func(s campaign.Stats) float64 { return campaign.Coverage(r.Raw, s) * 100 }
+		fmt.Fprintf(&sb, "%-14s %9.1f%% %11.1f%% %13.1f%% %11.1f%% %11.1f%%\n",
+			r.Name, cov(r.ID), cov(r.Eager), cov(r.Branch), cov(r.Cmp), cov(r.All))
+	}
+	sb.WriteString("\nresidual SDCs by origin (what each patch leaves behind):\n")
+	fmt.Fprintf(&sb, "%-14s %-16s", "Benchmark", "config")
+	for o := asm.Origin(0); int(o) < asm.NumOrigins; o++ {
+		fmt.Fprintf(&sb, " %9s", o)
+	}
+	sb.WriteString("\n")
+	for _, r := range results {
+		for _, row := range []struct {
+			label string
+			st    campaign.Stats
+		}{
+			{"ID only", r.ID},
+			{"+eager store", r.Eager},
+			{"+postponed br", r.Branch},
+			{"+anti-cmp", r.Cmp},
+			{"all", r.All},
+		} {
+			fmt.Fprintf(&sb, "%-14s %-16s", r.Name, row.label)
+			for o := 0; o < asm.NumOrigins; o++ {
+				fmt.Fprintf(&sb, " %9d", row.st.SDCByOrigin[o])
+			}
+			sb.WriteString("\n")
+		}
+	}
+	return sb.String()
+}

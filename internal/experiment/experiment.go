@@ -1,0 +1,223 @@
+// Package experiment reproduces every table and figure of the paper's
+// evaluation: Table 1 (benchmark inventory), Figure 2 (cross-layer SDC
+// coverage of instruction duplication), Figure 3 (root-cause distribution
+// of protection deficiencies), Figure 17 (Flowery vs ID coverage), §7.2
+// (runtime overhead) and §7.3 (transform time). See DESIGN.md §5 for the
+// experiment index.
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"flowery/internal/backend"
+	"flowery/internal/bench"
+	"flowery/internal/campaign"
+	"flowery/internal/dup"
+	"flowery/internal/flowery"
+	"flowery/internal/interp"
+	"flowery/internal/ir"
+	"flowery/internal/machine"
+	"flowery/internal/sim"
+)
+
+// Levels are the protection levels evaluated throughout the paper.
+var Levels = []dup.Level{dup.Level30, dup.Level50, dup.Level70, dup.Level100}
+
+// Config tunes the evaluation scale. The paper uses 3000 injections per
+// campaign; the default here is smaller because campaigns run on a
+// simulator, and can be raised with cmd/experiments -runs.
+type Config struct {
+	// Runs is the number of fault injections per campaign.
+	Runs int
+	// ProfileSamples is the injection count for SDC profiling.
+	ProfileSamples int
+	// Seed drives all randomness.
+	Seed int64
+	// Workers bounds campaign parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+// DefaultConfig returns the scale used by cmd/experiments. On a typical
+// single core the full 16-benchmark evaluation takes on the order of ten
+// minutes at this scale; raise Runs toward the paper's 3000 for tighter
+// confidence intervals.
+func DefaultConfig() Config {
+	return Config{Runs: 600, ProfileSamples: 800, Seed: 2023}
+}
+
+// LevelStats holds one protection variant's campaign results at both
+// layers plus its fault-free dynamic instruction counts.
+type LevelStats struct {
+	IR     campaign.Stats
+	Asm    campaign.Stats
+	DynIR  int64
+	DynAsm int64
+}
+
+// BenchResult aggregates everything measured for one benchmark.
+type BenchResult struct {
+	Name   string
+	Suite  string
+	Domain string
+
+	// Raw (unprotected) campaigns at both layers.
+	Raw LevelStats
+
+	// ID is plain instruction duplication per protection level.
+	ID map[dup.Level]LevelStats
+	// Flowery is duplication plus all three patches per level.
+	Flowery map[dup.Level]LevelStats
+
+	// FloweryStats records what the Flowery transform did at full
+	// protection, including its compile time (§7.3).
+	FloweryStats flowery.Stats
+	// StaticInstrs is the static IR instruction count of the
+	// fully-duplicated module (the size Flowery scans).
+	StaticInstrs int
+}
+
+// CoverageIR returns ID SDC coverage measured at IR level.
+func (r *BenchResult) CoverageIR(l dup.Level) float64 {
+	return campaign.Coverage(r.Raw.IR, r.ID[l].IR)
+}
+
+// CoverageAsm returns ID SDC coverage measured at assembly level.
+func (r *BenchResult) CoverageAsm(l dup.Level) float64 {
+	return campaign.Coverage(r.Raw.Asm, r.ID[l].Asm)
+}
+
+// CoverageFlowery returns Flowery SDC coverage at assembly level.
+func (r *BenchResult) CoverageFlowery(l dup.Level) float64 {
+	return campaign.Coverage(r.Raw.Asm, r.Flowery[l].Asm)
+}
+
+// RunBenchmark executes the full pipeline for one benchmark.
+func RunBenchmark(bm bench.Benchmark, cfg Config) (*BenchResult, error) {
+	if cfg.Runs <= 0 {
+		cfg = DefaultConfig()
+	}
+	res := &BenchResult{
+		Name:    bm.Name,
+		Suite:   bm.Suite,
+		Domain:  bm.Domain,
+		ID:      make(map[dup.Level]LevelStats),
+		Flowery: make(map[dup.Level]LevelStats),
+	}
+
+	profile, err := dup.BuildProfile(bm.Build(), dup.ProfileOptions{
+		Samples: cfg.ProfileSamples,
+		Seed:    cfg.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%s: profile: %w", bm.Name, err)
+	}
+
+	res.Raw, err = measure(bm.Build(), cfg)
+	if err != nil {
+		return nil, fmt.Errorf("%s: raw: %w", bm.Name, err)
+	}
+
+	for _, level := range Levels {
+		sel := dup.Select(profile, level)
+
+		idMod := bm.Build()
+		if err := dup.Apply(idMod, sel); err != nil {
+			return nil, fmt.Errorf("%s: dup@%v: %w", bm.Name, level, err)
+		}
+		idStats, err := measure(idMod, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s: ID@%v: %w", bm.Name, level, err)
+		}
+		res.ID[level] = idStats
+
+		flMod := bm.Build()
+		if err := dup.Apply(flMod, sel); err != nil {
+			return nil, fmt.Errorf("%s: dup@%v: %w", bm.Name, level, err)
+		}
+		if level == dup.Level100 {
+			res.StaticInstrs = staticInstrs(flMod)
+		}
+		fst, err := flowery.Apply(flMod, flowery.All())
+		if err != nil {
+			return nil, fmt.Errorf("%s: flowery@%v: %w", bm.Name, level, err)
+		}
+		if level == dup.Level100 {
+			res.FloweryStats = fst
+		}
+		flStats, err := measure(flMod, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s: flowery@%v: %w", bm.Name, level, err)
+		}
+		res.Flowery[level] = flStats
+	}
+	return res, nil
+}
+
+// measure runs campaigns for one module at both layers.
+func measure(m *ir.Module, cfg Config) (LevelStats, error) {
+	var ls LevelStats
+
+	prog, err := backend.Lower(m)
+	if err != nil {
+		return ls, err
+	}
+
+	irStats, err := campaign.Run(func() (sim.Engine, error) {
+		return interp.New(m), nil
+	}, campaign.Spec{Runs: cfg.Runs, Seed: cfg.Seed, Workers: cfg.Workers})
+	if err != nil {
+		return ls, err
+	}
+
+	asmStats, err := campaign.Run(func() (sim.Engine, error) {
+		return machine.New(m, prog)
+	}, campaign.Spec{Runs: cfg.Runs, Seed: cfg.Seed, Workers: cfg.Workers})
+	if err != nil {
+		return ls, err
+	}
+
+	ls.IR = irStats
+	ls.Asm = asmStats
+	ls.DynIR = irStats.GoldenDyn
+	ls.DynAsm = asmStats.GoldenDyn
+	return ls, nil
+}
+
+func staticInstrs(m *ir.Module) int {
+	n := 0
+	for _, f := range m.Funcs {
+		n += f.NumInstrs()
+	}
+	return n
+}
+
+// RunAll executes RunBenchmark for the named benchmarks (all 16 if names
+// is empty), reporting progress through report (may be nil).
+func RunAll(names []string, cfg Config, report func(string, time.Duration)) ([]*BenchResult, error) {
+	bms := bench.All()
+	if len(names) > 0 {
+		var sel []bench.Benchmark
+		for _, n := range names {
+			bm, ok := bench.ByName(n)
+			if !ok {
+				return nil, fmt.Errorf("unknown benchmark %q", n)
+			}
+			sel = append(sel, bm)
+		}
+		bms = sel
+	}
+	var out []*BenchResult
+	for _, bm := range bms {
+		start := time.Now()
+		r, err := RunBenchmark(bm, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+		if report != nil {
+			report(bm.Name, time.Since(start))
+		}
+	}
+	return out, nil
+}

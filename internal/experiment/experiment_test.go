@@ -1,0 +1,177 @@
+package experiment
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"flowery/internal/bench"
+	"flowery/internal/dup"
+)
+
+// smallCfg keeps test campaigns cheap.
+var smallCfg = Config{Runs: 150, ProfileSamples: 200, Seed: 11}
+
+// runOne caches a single benchmark's pipeline for the formatter tests.
+func runOne(t *testing.T) *BenchResult {
+	t.Helper()
+	bm, _ := bench.ByName("fft2")
+	r, err := RunBenchmark(bm, smallCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestRunBenchmarkEndToEnd(t *testing.T) {
+	r := runOne(t)
+	if r.Name != "fft2" || r.Suite != "MiBench" {
+		t.Fatalf("metadata lost: %+v", r)
+	}
+	if r.Raw.DynIR == 0 || r.Raw.DynAsm <= r.Raw.DynIR {
+		t.Fatalf("raw dynamic counts implausible: %+v", r.Raw)
+	}
+	for _, l := range Levels {
+		if _, ok := r.ID[l]; !ok {
+			t.Fatalf("missing ID stats for level %v", l)
+		}
+		if _, ok := r.Flowery[l]; !ok {
+			t.Fatalf("missing Flowery stats for level %v", l)
+		}
+		if r.ID[l].DynAsm <= r.Raw.DynAsm {
+			t.Errorf("level %v: protection added no instructions", l)
+		}
+		if r.Flowery[l].DynAsm <= r.ID[l].DynAsm {
+			t.Errorf("level %v: Flowery added no instructions", l)
+		}
+		// Coverage values must be valid proportions.
+		for _, c := range []float64{r.CoverageIR(l), r.CoverageAsm(l), r.CoverageFlowery(l)} {
+			if c < 0 || c > 1 {
+				t.Fatalf("coverage out of range: %v", c)
+			}
+		}
+	}
+	if r.StaticInstrs == 0 {
+		t.Error("static instruction count missing")
+	}
+	if r.FloweryStats.Elapsed <= 0 {
+		t.Error("flowery timing missing")
+	}
+
+	// Headline shape on this benchmark: IR coverage ≥ asm coverage at
+	// full protection, and Flowery ≥ plain ID at asm level.
+	if r.CoverageIR(dup.Level100) < r.CoverageAsm(dup.Level100)-0.05 {
+		t.Errorf("IR coverage (%v) below asm coverage (%v)",
+			r.CoverageIR(dup.Level100), r.CoverageAsm(dup.Level100))
+	}
+	if r.CoverageFlowery(dup.Level100) < r.CoverageAsm(dup.Level100)-0.05 {
+		t.Errorf("Flowery (%v) below plain ID (%v)",
+			r.CoverageFlowery(dup.Level100), r.CoverageAsm(dup.Level100))
+	}
+
+	// All report formatters must render this result with its name and
+	// the expected headline rows.
+	results := []*BenchResult{r}
+	for _, c := range []struct {
+		name   string
+		render func([]*BenchResult) string
+		want   []string
+	}{
+		{"table1", Table1, []string{"fft2", "MiBench", "DI Count"}},
+		{"fig2", Figure2, []string{"fft2", "coverage gap"}},
+		{"fig3", Figure3, []string{"fft2", "store", "comparison", "ALL"}},
+		{"fig17", Figure17, []string{"fft2", "ID-IR", "Flowery"}},
+		{"overhead", Overhead, []string{"fft2", "average"}},
+		{"passtime", PassTime, []string{"fft2", "static inst"}},
+	} {
+		out := c.render(results)
+		for _, w := range c.want {
+			if !strings.Contains(out, w) {
+				t.Errorf("%s output missing %q:\n%s", c.name, w, out)
+			}
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	r := runOne(t)
+	data, err := ToJSON([]*BenchResult{r}, smallCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep JSONReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("emitted JSON does not parse: %v", err)
+	}
+	if rep.Runs != smallCfg.Runs || len(rep.Benchmarks) != 1 {
+		t.Fatalf("header wrong: %+v", rep)
+	}
+	jb := rep.Benchmarks[0]
+	if jb.Name != "fft2" || len(jb.Levels) != 4 {
+		t.Fatalf("benchmark record wrong: %+v", jb)
+	}
+	for key, ld := range jb.Levels {
+		if ld.CoverageAsmCI[0] > ld.CoverageAsm+1e-9 || ld.CoverageAsmCI[1] < ld.CoverageAsm-1e-9 {
+			t.Errorf("level %s: point estimate outside its CI", key)
+		}
+	}
+}
+
+func TestRunAllFiltersAndErrors(t *testing.T) {
+	if _, err := RunAll([]string{"nonexistent"}, smallCfg, nil); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestConvergenceIntervalsTighten(t *testing.T) {
+	bm, _ := bench.ByName("fft2")
+	r, err := RunConvergence(bm, smallCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != len(ConvergenceSizes) {
+		t.Fatalf("expected %d points, got %d", len(ConvergenceSizes), len(r.Points))
+	}
+	first := r.Points[0]
+	last := r.Points[len(r.Points)-1]
+	if (last.RateHi - last.RateLo) >= (first.RateHi - first.RateLo) {
+		t.Fatalf("SDC-rate interval did not tighten: %v -> %v",
+			first.RateHi-first.RateLo, last.RateHi-last.RateLo)
+	}
+	for _, p := range r.Points {
+		if p.SDCRate < p.RateLo-1e-9 || p.SDCRate > p.RateHi+1e-9 {
+			t.Fatalf("rate outside CI at %d runs", p.Runs)
+		}
+	}
+	out := Convergence([]*ConvergenceResult{r})
+	if !strings.Contains(out, "3000") || !strings.Contains(out, "fft2") {
+		t.Fatalf("convergence report malformed:\n%s", out)
+	}
+}
+
+func TestAblationEndToEnd(t *testing.T) {
+	bm, _ := bench.ByName("lud")
+	r, err := RunAblation(bm, smallCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The combined configuration dominates (within noise) every single
+	// patch, and every configuration is a valid campaign.
+	for _, st := range []struct {
+		label string
+		runs  int
+	}{
+		{"raw", r.Raw.Runs}, {"id", r.ID.Runs}, {"eager", r.Eager.Runs},
+		{"branch", r.Branch.Runs}, {"cmp", r.Cmp.Runs}, {"all", r.All.Runs},
+	} {
+		if st.runs != smallCfg.Runs {
+			t.Fatalf("%s campaign has %d runs", st.label, st.runs)
+		}
+	}
+	out := Ablation([]*AblationResult{r})
+	for _, w := range []string{"lud", "ID only", "+eager", "residual"} {
+		if !strings.Contains(out, w) {
+			t.Errorf("ablation output missing %q", w)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package experiment
+
+import (
+	"encoding/json"
+
+	"flowery/internal/asm"
+	"flowery/internal/campaign"
+	"flowery/internal/dup"
+)
+
+// The JSON report is a flat, stable serialization of the evaluation for
+// downstream tooling (plotting scripts, regression tracking). Protection
+// levels become percentage strings so the schema is ordinary JSON maps.
+
+// JSONReport is the top-level document.
+type JSONReport struct {
+	Runs       int               `json:"runs"`
+	Seed       int64             `json:"seed"`
+	Benchmarks []JSONBenchResult `json:"benchmarks"`
+}
+
+// JSONBenchResult is one benchmark's data.
+type JSONBenchResult struct {
+	Name         string                   `json:"name"`
+	Suite        string                   `json:"suite"`
+	Domain       string                   `json:"domain"`
+	DynIR        int64                    `json:"dyn_ir"`
+	DynAsm       int64                    `json:"dyn_asm"`
+	RawSDCIR     float64                  `json:"raw_sdc_ir"`
+	RawSDCAsm    float64                  `json:"raw_sdc_asm"`
+	Levels       map[string]JSONLevelData `json:"levels"`
+	StaticInstrs int                      `json:"static_instrs"`
+	FloweryUS    int64                    `json:"flowery_transform_us"`
+}
+
+// JSONLevelData is one protection level's measurements.
+type JSONLevelData struct {
+	CoverageIR      float64        `json:"coverage_ir"`
+	CoverageAsm     float64        `json:"coverage_asm"`
+	CoverageFlowery float64        `json:"coverage_flowery"`
+	CoverageAsmCI   [2]float64     `json:"coverage_asm_ci95"`
+	IDDynAsm        int64          `json:"id_dyn_asm"`
+	FloweryDynAsm   int64          `json:"flowery_dyn_asm"`
+	SDCByOrigin     map[string]int `json:"sdc_by_origin"`
+}
+
+// ToJSON serializes results into the stable report schema.
+func ToJSON(results []*BenchResult, cfg Config) ([]byte, error) {
+	rep := JSONReport{Runs: cfg.Runs, Seed: cfg.Seed}
+	for _, r := range results {
+		jb := JSONBenchResult{
+			Name:         r.Name,
+			Suite:        r.Suite,
+			Domain:       r.Domain,
+			DynIR:        r.Raw.DynIR,
+			DynAsm:       r.Raw.DynAsm,
+			RawSDCIR:     r.Raw.IR.SDCRate(),
+			RawSDCAsm:    r.Raw.Asm.SDCRate(),
+			Levels:       make(map[string]JSONLevelData, len(Levels)),
+			StaticInstrs: r.StaticInstrs,
+			FloweryUS:    r.FloweryStats.Elapsed.Microseconds(),
+		}
+		for _, l := range Levels {
+			key := levelKey(l)
+			_, lo, hi := campaign.CoverageCI(r.Raw.Asm, r.ID[l].Asm)
+			origins := make(map[string]int)
+			for o, c := range r.ID[l].Asm.SDCByOrigin {
+				if c > 0 {
+					origins[asm.Origin(o).String()] = c
+				}
+			}
+			jb.Levels[key] = JSONLevelData{
+				CoverageIR:      r.CoverageIR(l),
+				CoverageAsm:     r.CoverageAsm(l),
+				CoverageFlowery: r.CoverageFlowery(l),
+				CoverageAsmCI:   [2]float64{lo, hi},
+				IDDynAsm:        r.ID[l].DynAsm,
+				FloweryDynAsm:   r.Flowery[l].DynAsm,
+				SDCByOrigin:     origins,
+			}
+		}
+		rep.Benchmarks = append(rep.Benchmarks, jb)
+	}
+	return json.MarshalIndent(rep, "", "  ")
+}
+
+func levelKey(l dup.Level) string {
+	switch l {
+	case dup.Level30:
+		return "30"
+	case dup.Level50:
+		return "50"
+	case dup.Level70:
+		return "70"
+	default:
+		return "100"
+	}
+}

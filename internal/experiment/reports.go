@@ -1,0 +1,201 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"flowery/internal/asm"
+	"flowery/internal/campaign"
+	"flowery/internal/dup"
+)
+
+// Table1 renders the benchmark inventory with measured dynamic
+// instruction counts (the paper's Table 1, with our scaled inputs; the
+// count shown is IR dynamic instructions of the unprotected program).
+func Table1(results []*BenchResult) string {
+	var sb strings.Builder
+	sb.WriteString("Table 1: Benchmarks (DI Count = dynamic IR instructions, unprotected)\n")
+	fmt.Fprintf(&sb, "%-14s %-9s %-26s %12s %12s\n", "Benchmark", "Suite", "Domain", "DI Count", "DI (asm)")
+	for _, r := range results {
+		fmt.Fprintf(&sb, "%-14s %-9s %-26s %12d %12d\n",
+			r.Name, r.Suite, r.Domain, r.Raw.DynIR, r.Raw.DynAsm)
+	}
+	return sb.String()
+}
+
+// Figure2 renders the cross-layer SDC coverage of instruction
+// duplication per benchmark and protection level (the paper's Figure 2),
+// plus the average coverage gap (paper: 31.21% average, up to 82%).
+func Figure2(results []*BenchResult) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 2: SDC coverage of instruction duplication, IR vs assembly level\n")
+	fmt.Fprintf(&sb, "%-14s", "Benchmark")
+	for _, l := range Levels {
+		fmt.Fprintf(&sb, "  IR@%-3.0f%% Asm@%-3.0f%%", float64(l)*100, float64(l)*100)
+	}
+	sb.WriteString("     gap@100%\n")
+
+	var gapSum float64
+	var gapMax float64
+	gapBench := ""
+	for _, r := range results {
+		fmt.Fprintf(&sb, "%-14s", r.Name)
+		for _, l := range Levels {
+			fmt.Fprintf(&sb, "  %6.1f%% %6.1f%%", r.CoverageIR(l)*100, r.CoverageAsm(l)*100)
+		}
+		gap := r.CoverageIR(dup.Level100) - r.CoverageAsm(dup.Level100)
+		fmt.Fprintf(&sb, "  %8.1f%%\n", gap*100)
+		gapSum += gap
+		if gap > gapMax {
+			gapMax = gap
+			gapBench = r.Name
+		}
+	}
+	if len(results) > 0 {
+		fmt.Fprintf(&sb, "average IR-vs-assembly coverage gap at full protection: %.2f%% (max %.2f%% in %s)\n",
+			gapSum/float64(len(results))*100, gapMax*100, gapBench)
+		// Report the statistical resolution of a single cell so readers
+		// know which differences are meaningful.
+		r := results[0]
+		_, lo, hi := campaign.CoverageCI(r.Raw.Asm, r.ID[dup.Level100].Asm)
+		fmt.Fprintf(&sb, "per-cell 95%% CI width at this campaign size: about ±%.1f points\n",
+			(hi-lo)/2*100)
+	}
+	return sb.String()
+}
+
+// penetrationOrigins maps each asm origin to its Figure 3 category name.
+var penetrationOrigins = []struct {
+	origin asm.Origin
+	label  string
+}{
+	{asm.OriginStoreReload, "store"},
+	{asm.OriginBranchTest, "branch"},
+	{asm.OriginCmpFolded, "comparison"},
+	{asm.OriginCallArg, "call"},
+	{asm.OriginFrame, "mapping"},
+	{asm.OriginNone, "other"},
+}
+
+// Figure3 renders the distribution of deficiency root causes (the
+// paper's Figure 3): assembly-level SDCs of the fully protected programs
+// classified by the provenance of the corrupted instruction. Paper
+// shares: store 39.1%, branch 35.7%, comparison 19.7%, call 3.1%,
+// mapping 2.5%.
+func Figure3(results []*BenchResult) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 3: root causes of assembly-level protection deficiencies (full protection)\n")
+	fmt.Fprintf(&sb, "%-14s %9s", "Benchmark", "cases")
+	for _, p := range penetrationOrigins {
+		fmt.Fprintf(&sb, " %10s", p.label)
+	}
+	sb.WriteString("\n")
+
+	var totals [asm.NumOrigins]int
+	grand := 0
+	for _, r := range results {
+		st := r.ID[dup.Level100].Asm
+		total := 0
+		for _, c := range st.SDCByOrigin {
+			total += c
+		}
+		fmt.Fprintf(&sb, "%-14s %9d", r.Name, total)
+		for _, p := range penetrationOrigins {
+			pct := 0.0
+			if total > 0 {
+				pct = float64(st.SDCByOrigin[p.origin]) / float64(total) * 100
+			}
+			fmt.Fprintf(&sb, " %9.1f%%", pct)
+			totals[p.origin] += st.SDCByOrigin[p.origin]
+		}
+		sb.WriteString("\n")
+		grand += total
+	}
+	fmt.Fprintf(&sb, "%-14s %9d", "ALL", grand)
+	for _, p := range penetrationOrigins {
+		pct := 0.0
+		if grand > 0 {
+			pct = float64(totals[p.origin]) / float64(grand) * 100
+		}
+		fmt.Fprintf(&sb, " %9.1f%%", pct)
+	}
+	sb.WriteString("\n")
+	return sb.String()
+}
+
+// Figure17 renders ID-IR, ID-Assembly, and Flowery coverage per
+// benchmark and level (the paper's Figure 17).
+func Figure17(results []*BenchResult) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 17: SDC coverage — ID at IR level, ID at assembly level, Flowery at assembly level\n")
+	fmt.Fprintf(&sb, "%-14s %6s %9s %9s %9s\n", "Benchmark", "level", "ID-IR", "ID-Asm", "Flowery")
+	var avgID, avgFL float64
+	n := 0
+	for _, r := range results {
+		for _, l := range Levels {
+			fmt.Fprintf(&sb, "%-14s %5.0f%% %8.1f%% %8.1f%% %8.1f%%\n",
+				r.Name, float64(l)*100,
+				r.CoverageIR(l)*100, r.CoverageAsm(l)*100, r.CoverageFlowery(l)*100)
+		}
+		avgID += r.CoverageAsm(dup.Level100)
+		avgFL += r.CoverageFlowery(dup.Level100)
+		n++
+	}
+	if n > 0 {
+		fmt.Fprintf(&sb, "average at full protection: ID-Assembly %.2f%%, Flowery %.2f%%\n",
+			avgID/float64(n)*100, avgFL/float64(n)*100)
+	}
+	return sb.String()
+}
+
+// Overhead renders the additional runtime overhead Flowery adds on top
+// of plain instruction duplication, per protection level, measured as
+// fault-free dynamic assembly instructions (§7.2; the paper reports
+// 1.93/1.63/3.72/3.74% at 30/50/70/100%).
+func Overhead(results []*BenchResult) string {
+	var sb strings.Builder
+	sb.WriteString("Section 7.2: runtime overhead of Flowery on top of instruction duplication\n")
+	fmt.Fprintf(&sb, "%-14s", "Benchmark")
+	for _, l := range Levels {
+		fmt.Fprintf(&sb, " %9.0f%%", float64(l)*100)
+	}
+	sb.WriteString("   (dup overhead vs raw at 100%)\n")
+
+	avg := make([]float64, len(Levels))
+	for _, r := range results {
+		fmt.Fprintf(&sb, "%-14s", r.Name)
+		for i, l := range Levels {
+			id := float64(r.ID[l].DynAsm)
+			fl := float64(r.Flowery[l].DynAsm)
+			ov := (fl - id) / id * 100
+			avg[i] += ov
+			fmt.Fprintf(&sb, " %9.2f%%", ov)
+		}
+		dupOv := (float64(r.ID[dup.Level100].DynAsm)/float64(r.Raw.DynAsm) - 1) * 100
+		fmt.Fprintf(&sb, "   %9.2f%%\n", dupOv)
+	}
+	if len(results) > 0 {
+		fmt.Fprintf(&sb, "%-14s", "average")
+		for i := range Levels {
+			fmt.Fprintf(&sb, " %9.2f%%", avg[i]/float64(len(results)))
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// PassTime renders the compile-time cost of the Flowery transform
+// (§7.3; the paper reports an average of 0.12 s, correlated with static
+// instruction count).
+func PassTime(results []*BenchResult) string {
+	var sb strings.Builder
+	sb.WriteString("Section 7.3: Flowery transform time (full protection)\n")
+	fmt.Fprintf(&sb, "%-14s %12s %12s %8s %8s %8s\n",
+		"Benchmark", "static inst", "time", "stores", "branches", "cmps")
+	for _, r := range results {
+		fmt.Fprintf(&sb, "%-14s %12d %12s %8d %8d %8d\n",
+			r.Name, r.StaticInstrs, r.FloweryStats.Elapsed.Round(1000).String(),
+			r.FloweryStats.StoresHoisted, r.FloweryStats.BranchesPatched, r.FloweryStats.CmpsIsolated)
+	}
+	return sb.String()
+}

@@ -1,0 +1,133 @@
+package flowery
+
+import "flowery/internal/ir"
+
+// antiCmp implements the anti-comparison duplication optimization
+// (paper §6.3, Figure 15).
+//
+// A duplicated compare and the icmp-eq check validating it sit in one
+// basic block, where the backend's block-local value numbering (modeling
+// SelectionDAG CSE at -O0) proves the two compares congruent, folds the
+// check to constant true, and deletes the redundant compare — leaving a
+// single unprotected setcc (comparison penetration).
+//
+// The patch moves the duplicate compare and its check into a fresh block
+// reached through an opaque guard (a load of a global the compiler
+// cannot constant-fold), so the compares no longer share a block and the
+// folding cannot establish congruence. Both compares then materialize,
+// and the check really runs.
+func antiCmp(f *ir.Function) int {
+	errBB := findErrBlock(f)
+	if errBB == nil {
+		return 0
+	}
+	opq := boolGlobal(f.Module, OpaqueGlobal, 1)
+	isolated := 0
+	uses := useCounts(f)
+	for _, b := range snapshot(f.Blocks) {
+		term := b.Terminator()
+		if term == nil {
+			continue
+		}
+		chk, dup, ok := cmpCheckPattern(b, term)
+		if !ok {
+			continue
+		}
+		// The duplicate may feed further duplicated consumers; it can
+		// only move if the check is its sole user.
+		if uses[dup] != 1 {
+			continue
+		}
+		// Detach dup, chk, and the checker branch from b.
+		if i := b.Index(dup); i >= 0 {
+			b.Remove(i)
+		}
+		b.Remove(b.Index(chk))
+		b.Remove(b.Index(term))
+
+		// New block holding the isolated duplicate compare and check.
+		iso := f.NewBlock("fl.cmp")
+		iso.Append(dup)
+		iso.Append(chk)
+		iso.Append(term)
+		chk.Prot.IsFlowery = true
+
+		// Opaque guard: load a global that always holds 1; the backend
+		// cannot see through memory, so the edge survives and the block
+		// boundary blocks the fold.
+		ld := &ir.Instr{
+			Op: ir.OpLoad, Ty: ir.I1,
+			Args: []ir.Value{opq},
+			Prot: ir.ProtMeta{IsFlowery: true},
+		}
+		b.Append(ld)
+		guard := &ir.Instr{
+			Op: ir.OpCondBr, Ty: ir.Void,
+			Args:   []ir.Value{ld},
+			Blocks: []*ir.Block{iso, errBB},
+			Prot:   ir.ProtMeta{IsFlowery: true},
+		}
+		b.Append(guard)
+		isolated++
+	}
+	return isolated
+}
+
+// useCounts tallies how many times each instruction result is consumed.
+func useCounts(f *ir.Function) map[*ir.Instr]int {
+	uses := make(map[*ir.Instr]int)
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for _, a := range in.Args {
+				if ai, ok := a.(*ir.Instr); ok {
+					uses[ai]++
+				}
+			}
+		}
+	}
+	return uses
+}
+
+// cmpCheckPattern matches the comparison-validation tail of a block:
+//
+//	...
+//	%dup = icmp/fcmp ...        (duplicate of an earlier compare)
+//	...
+//	%chk = icmp eq i1 %orig, %dup   (checker)
+//	condbr %chk, cont, err          (checker)
+//
+// returning the check and the duplicate compare. Only integer eq checks
+// over two compares are candidates — exactly the foldable pattern.
+func cmpCheckPattern(b *ir.Block, term *ir.Instr) (chk, dup *ir.Instr, ok bool) {
+	if term.Op != ir.OpCondBr || !term.Prot.IsChecker || term.Prot.IsFlowery {
+		return nil, nil, false
+	}
+	chk, okc := term.Args[0].(*ir.Instr)
+	if !okc || !chk.Prot.IsChecker || chk.Prot.IsFlowery {
+		return nil, nil, false
+	}
+	if chk.Op != ir.OpICmp || chk.Pred != ir.PredEQ {
+		return nil, nil, false
+	}
+	if chk.Parent != b || b.Index(chk) != len(b.Instrs)-2 {
+		return nil, nil, false
+	}
+	x, okx := chk.Args[0].(*ir.Instr)
+	y, oky := chk.Args[1].(*ir.Instr)
+	if !okx || !oky {
+		return nil, nil, false
+	}
+	isCmp := func(v *ir.Instr) bool { return v.Op == ir.OpICmp || v.Op == ir.OpFCmp }
+	if !isCmp(x) || !isCmp(y) {
+		return nil, nil, false
+	}
+	// Identify the duplicate copy; it must live in this block for the
+	// isolation to be needed (and legal: we only move within-block).
+	switch {
+	case y.Prot.IsDup && y.Parent == b:
+		return chk, y, true
+	case x.Prot.IsDup && x.Parent == b:
+		return chk, x, true
+	}
+	return nil, nil, false
+}

@@ -1,0 +1,90 @@
+package flowery
+
+import "flowery/internal/ir"
+
+// eagerStore implements the eager mode of store (paper §6.1, Figure 13).
+//
+// After duplication, a protected store sits at the head of a
+// continuation block, behind the checkers that validate its operands.
+// The block boundary flushes the backend's local register cache, so the
+// store must reload its value from a stack slot — an unprotected
+// injection site executing after the check (store penetration).
+//
+// The patch repeatedly hoists such a store above the checker chain that
+// guards it, until it rejoins the block that computes its operands. The
+// store then executes before its own checkers ("store before being
+// checked"); if the stored data was corrupted, the checker still fires
+// immediately afterwards and the program halts, so no corrupted output
+// escapes.
+func eagerStore(f *ir.Function) int {
+	hoisted := 0
+	moved := make(map[*ir.Instr]bool)
+	for {
+		changed := false
+		preds := predecessors(f)
+		for _, b := range f.Blocks {
+			if len(b.Instrs) == 0 {
+				continue
+			}
+			store := b.Instrs[0]
+			if store.Op != ir.OpStore || store.Prot.IsFlowery {
+				continue
+			}
+			if !storeIsProtected(store) {
+				continue
+			}
+			// Hoist only through the unique checker predecessor.
+			ps := preds[b]
+			if len(ps) != 1 {
+				continue
+			}
+			pred := ps[0]
+			term := pred.Terminator()
+			cont, ok := isCheckerCondBr(term)
+			if !ok || cont != b {
+				continue
+			}
+			// The checker compare sits immediately before the condbr;
+			// place the store in front of it.
+			pos := len(pred.Instrs) - 2
+			if pos < 0 {
+				continue
+			}
+			if cmp, okc := term.Args[0].(*ir.Instr); !okc || pred.Index(cmp) != pos {
+				continue
+			}
+			b.Remove(0)
+			pred.InsertAt(pos, store)
+			if !moved[store] {
+				moved[store] = true
+				hoisted++
+			}
+			changed = true
+		}
+		if !changed {
+			return hoisted
+		}
+	}
+}
+
+// storeIsProtected reports whether the store consumes any duplicated
+// value (and therefore has checkers guarding it).
+func storeIsProtected(store *ir.Instr) bool {
+	for _, a := range store.Args {
+		if ai, ok := a.(*ir.Instr); ok && ai.Prot.Dup != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// predecessors computes the predecessor map of f.
+func predecessors(f *ir.Function) map[*ir.Block][]*ir.Block {
+	preds := make(map[*ir.Block][]*ir.Block, len(f.Blocks))
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs() {
+			preds[s] = append(preds[s], b)
+		}
+	}
+	return preds
+}

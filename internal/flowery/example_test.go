@@ -1,0 +1,53 @@
+package flowery_test
+
+import (
+	"fmt"
+
+	"flowery/internal/backend"
+	"flowery/internal/dup"
+	"flowery/internal/flowery"
+	"flowery/internal/ir"
+	"flowery/internal/machine"
+	"flowery/internal/sim"
+)
+
+// Example shows the full protection pipeline: duplicate, patch, lower,
+// and observe a fault being detected at assembly level.
+func Example() {
+	// A toy program: out = a + b, printed.
+	m := ir.NewModule("pipeline")
+	ga := m.NewGlobalI64("a", []int64{40})
+	gb := m.NewGlobalI64("b", []int64{2})
+	f := m.NewFunction("main", ir.I64)
+	b := ir.NewBuilder(f)
+	v := b.Add(b.Load(ir.I64, ga), b.Load(ir.I64, gb))
+	b.PrintI64(v)
+	b.Ret(v)
+
+	// Protect: full duplication, then the three Flowery patches.
+	if err := dup.ApplyFull(m); err != nil {
+		panic(err)
+	}
+	if _, err := flowery.Apply(m, flowery.All()); err != nil {
+		panic(err)
+	}
+
+	// Lower and execute on the assembly simulator.
+	prog, err := backend.Lower(m)
+	if err != nil {
+		panic(err)
+	}
+	mc, err := machine.New(m, prog)
+	if err != nil {
+		panic(err)
+	}
+	golden := mc.Run(sim.Fault{}, sim.Options{})
+	fmt.Printf("golden: %s", golden.Output)
+
+	// Corrupt the destination of the very first executed instruction.
+	faulty := mc.Run(sim.Fault{TargetIndex: 4, Bit: 3}, sim.Options{})
+	fmt.Printf("fault at site 4: %v\n", faulty.Status)
+	// Output:
+	// golden: 42
+	// fault at site 4: detected
+}

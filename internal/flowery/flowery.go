@@ -1,0 +1,112 @@
+// Package flowery implements the paper's mitigation technique (§6): a
+// set of compiler patches applied after instruction duplication that
+// repair the cross-layer protection deficiencies observed at assembly
+// level:
+//
+//   - Eager mode of store (§6.1) hoists protected stores above their
+//     checkers so the stored value is still register-resident when the
+//     store lowers — eliminating the store-penetration reload.
+//   - Postponed branch condition check (§6.2) records the branch
+//     condition in a global before the branch and validates, at each
+//     destination, that the taken edge matches — catching RFLAGS faults
+//     in the un-fusable test+jcc sequence (branch penetration).
+//   - Anti-comparison duplication optimization (§6.3) moves each
+//     duplicated compare and its check into a separate basic block
+//     behind an opaque guard, defeating the block-local folding that
+//     silently deletes comparison checks (comparison penetration).
+//
+// Call Apply after dup.Apply and before backend.Lower. All three patches
+// are driven by the protection metadata the duplication pass left on the
+// instructions, so partial protection levels are patched consistently.
+package flowery
+
+import (
+	"fmt"
+	"time"
+
+	"flowery/internal/ir"
+)
+
+// Names of the module globals the passes communicate through.
+const (
+	// BranchGlobal holds the most recent protected branch condition.
+	BranchGlobal = "__flowery_br"
+	// OpaqueGlobal always holds 1; the anti-cmp guard loads it to build
+	// a predicate the backend cannot fold.
+	OpaqueGlobal = "__flowery_opaque"
+)
+
+// Options selects which patches run; the zero value runs none. Use All
+// for the full technique; partial configurations drive the ablation
+// benchmarks.
+type Options struct {
+	EagerStore      bool
+	PostponedBranch bool
+	AntiCmp         bool
+}
+
+// All enables every patch.
+func All() Options {
+	return Options{EagerStore: true, PostponedBranch: true, AntiCmp: true}
+}
+
+// Stats reports what Apply changed, and how long it took (§7.3 of the
+// paper reports the transform's compile-time cost).
+type Stats struct {
+	StoresHoisted   int
+	BranchesPatched int
+	CmpsIsolated    int
+	Elapsed         time.Duration
+}
+
+// Apply runs the selected patches over the module in place.
+func Apply(m *ir.Module, opts Options) (Stats, error) {
+	start := time.Now()
+	var st Stats
+	for _, f := range m.Funcs {
+		if f.External {
+			continue
+		}
+		if opts.EagerStore {
+			st.StoresHoisted += eagerStore(f)
+		}
+		if opts.AntiCmp {
+			st.CmpsIsolated += antiCmp(f)
+		}
+		if opts.PostponedBranch {
+			st.BranchesPatched += postponedBranch(f)
+		}
+	}
+	st.Elapsed = time.Since(start)
+	if err := m.Verify(); err != nil {
+		return st, fmt.Errorf("flowery: transformed module does not verify: %w", err)
+	}
+	return st, nil
+}
+
+// boolGlobal returns the named 1-byte global, creating it with the given
+// initial value on first use.
+func boolGlobal(m *ir.Module, name string, init byte) *ir.Global {
+	if g := m.Global(name); g != nil {
+		return g
+	}
+	return m.NewGlobalData(name, []byte{init})
+}
+
+// isCheckerCondBr reports whether in is a compare-and-branch checker
+// terminator, returning its success target (the continuation block).
+func isCheckerCondBr(in *ir.Instr) (*ir.Block, bool) {
+	if in.Op != ir.OpCondBr || !in.Prot.IsChecker {
+		return nil, false
+	}
+	cond, ok := in.Args[0].(*ir.Instr)
+	if !ok || !cond.Prot.IsChecker {
+		return nil, false
+	}
+	// Integer checkers branch to the continuation on true (icmp eq);
+	// float checkers on false (fcmp one).
+	if cond.Op == ir.OpFCmp {
+		return in.Blocks[1], true
+	}
+	return in.Blocks[0], true
+}

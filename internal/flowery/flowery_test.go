@@ -1,0 +1,211 @@
+package flowery
+
+import (
+	"testing"
+
+	"flowery/internal/dup"
+	"flowery/internal/interp"
+	"flowery/internal/ir"
+	"flowery/internal/sim"
+)
+
+// buildProtected returns a duplicated program exhibiting all three
+// patchable patterns: a protected store, a protected branch, and a
+// comparison check.
+func buildProtected(t *testing.T) *ir.Module {
+	t.Helper()
+	m := ir.NewModule("p")
+	ga := m.NewGlobalI64("a", []int64{3})
+	gout := m.NewGlobalI64("out", []int64{0})
+	f := m.NewFunction("main", ir.I64)
+	b := ir.NewBuilder(f)
+	x := b.Load(ir.I64, ga)
+	y := b.Add(x, ir.ConstInt(ir.I64, 4))
+	b.Store(y, gout)
+	c := b.ICmp(ir.PredSLT, y, ir.ConstInt(ir.I64, 100))
+	b.If(c, func() { b.PrintI64(y) }, func() { b.PrintI64(ir.ConstInt(ir.I64, -1)) })
+	b.Ret(ir.ConstInt(ir.I64, 0))
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if err := dup.ApplyFull(m); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestApplyAllReportsWork(t *testing.T) {
+	m := buildProtected(t)
+	st, err := Apply(m, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.StoresHoisted == 0 {
+		t.Error("no store hoisted")
+	}
+	if st.BranchesPatched == 0 {
+		t.Error("no branch patched")
+	}
+	if st.CmpsIsolated == 0 {
+		t.Error("no compare isolated")
+	}
+	if st.Elapsed <= 0 {
+		t.Error("no elapsed time recorded")
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatalf("patched module invalid: %v", err)
+	}
+}
+
+func TestApplyZeroOptionsIsNoop(t *testing.T) {
+	m := buildProtected(t)
+	before := m.String()
+	st, err := Apply(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.StoresHoisted+st.BranchesPatched+st.CmpsIsolated != 0 {
+		t.Fatal("zero options changed something")
+	}
+	if m.String() != before {
+		t.Fatal("module mutated by no-op apply")
+	}
+}
+
+func TestEagerStoreHoistsToDefiningBlock(t *testing.T) {
+	m := buildProtected(t)
+	f := m.Func("main")
+	// Find the protected store (value has a dup) before the patch.
+	var store *ir.Instr
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpStore && storeIsProtected(in) && !in.Prot.IsFlowery {
+				store = in
+			}
+		}
+	}
+	if store == nil {
+		t.Fatal("no protected store found")
+	}
+	if _, err := Apply(m, Options{EagerStore: true}); err != nil {
+		t.Fatal(err)
+	}
+	// After the patch, the store must sit in the same block as the
+	// definition of its value operand.
+	val := store.Args[0].(*ir.Instr)
+	if store.Parent != val.Parent {
+		t.Fatalf("store in %s but value defined in %s", store.Parent.Name, val.Parent.Name)
+	}
+	// And the value must be defined before the store.
+	if store.Parent.Index(val) >= store.Parent.Index(store) {
+		t.Fatal("store precedes its value definition")
+	}
+}
+
+func TestPostponedBranchStructure(t *testing.T) {
+	m := buildProtected(t)
+	if _, err := Apply(m, Options{PostponedBranch: true}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Global(BranchGlobal) == nil {
+		t.Fatal("branch global not created")
+	}
+	f := m.Func("main")
+	var edgeChecks int
+	for _, b := range f.Blocks {
+		if len(b.Instrs) == 2 && b.Instrs[0].Op == ir.OpLoad && b.Instrs[0].Prot.IsFlowery {
+			term := b.Instrs[1]
+			if term.Op == ir.OpCondBr && term.Prot.IsFlowery {
+				edgeChecks++
+				// One of the two targets must be the error block.
+				if term.Blocks[0].Name != dup.ErrBlockName && term.Blocks[1].Name != dup.ErrBlockName {
+					t.Error("edge check does not route to the error handler")
+				}
+			}
+		}
+	}
+	if edgeChecks != 2 {
+		t.Fatalf("expected 2 edge-check blocks (one per destination), found %d", edgeChecks)
+	}
+}
+
+func TestAntiCmpIsolatesDuplicate(t *testing.T) {
+	m := buildProtected(t)
+	if _, err := Apply(m, Options{AntiCmp: true}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Global(OpaqueGlobal) == nil {
+		t.Fatal("opaque global not created")
+	}
+	f := m.Func("main")
+	// Every dup compare whose check was isolated must now live in a
+	// different block from its original.
+	isolated := 0
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Prot.IsDup && (in.Op == ir.OpICmp || in.Op == ir.OpFCmp) {
+				if in.Parent != in.Prot.Orig.Parent {
+					isolated++
+				}
+			}
+		}
+	}
+	if isolated == 0 {
+		t.Fatal("no duplicate compare isolated")
+	}
+}
+
+func TestApplyIdempotentOnSecondRun(t *testing.T) {
+	m := buildProtected(t)
+	if _, err := Apply(m, All()); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Apply(m, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The markers must prevent double-patching branches and compares.
+	if st2.BranchesPatched != 0 || st2.CmpsIsolated != 0 {
+		t.Fatalf("second apply re-patched: %+v", st2)
+	}
+}
+
+func TestPatchedProgramStillDetectsFaults(t *testing.T) {
+	m := buildProtected(t)
+	if _, err := Apply(m, All()); err != nil {
+		t.Fatal(err)
+	}
+	ip := interp.New(m)
+	golden := ip.Run(sim.Fault{}, sim.Options{})
+	if golden.Status != sim.StatusOK {
+		t.Fatalf("golden: %v", golden.Status)
+	}
+	detected := 0
+	for i := int64(1); i <= golden.InjectableInstrs; i++ {
+		if res := ip.Run(sim.Fault{TargetIndex: i, Bit: 2}, sim.Options{}); res.Status == sim.StatusDetected {
+			detected++
+		}
+	}
+	if detected == 0 {
+		t.Fatal("patched program never detects")
+	}
+}
+
+func TestUnprotectedProgramUntouched(t *testing.T) {
+	// Flowery on a program without duplication metadata must change
+	// nothing (no dup.err handler, nothing to patch).
+	m := ir.NewModule("plain")
+	f := m.NewFunction("main", ir.I64)
+	b := ir.NewBuilder(f)
+	c := b.ICmp(ir.PredSLT, ir.ConstInt(ir.I64, 1), ir.ConstInt(ir.I64, 2))
+	b.If(c, func() { b.PrintI64(ir.ConstInt(ir.I64, 1)) }, nil)
+	b.Ret(ir.ConstInt(ir.I64, 0))
+	before := m.String()
+	st, err := Apply(m, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.StoresHoisted+st.BranchesPatched+st.CmpsIsolated != 0 || m.String() != before {
+		t.Fatal("unprotected program was modified")
+	}
+}

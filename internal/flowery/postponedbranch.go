@@ -1,0 +1,92 @@
+package flowery
+
+import "flowery/internal/ir"
+
+// postponedBranch implements the postponed branch condition check
+// (paper §6.2, Figure 14).
+//
+// A conditional branch whose compare cannot fuse (because a checker
+// separated them) lowers to mov+test+jcc; a fault in the test's RFLAGS
+// result silently takes the wrong edge (branch penetration). The branch
+// itself cannot be duplicated, so the patch validates it after the fact:
+// the condition value is saved to a global right before the branch, and
+// a checker on each outgoing edge verifies that the taken destination
+// matches the saved condition, branching to the error handler otherwise.
+func postponedBranch(f *ir.Function) int {
+	errBB := findErrBlock(f)
+	if errBB == nil {
+		return 0 // function has no protected values at all
+	}
+	g := boolGlobal(f.Module, BranchGlobal, 0)
+	patched := 0
+	for _, b := range snapshot(f.Blocks) {
+		term := b.Terminator()
+		if term == nil || term.Op != ir.OpCondBr {
+			continue
+		}
+		if term.Prot.IsChecker || term.Prot.IsFlowery {
+			continue
+		}
+		cond, ok := term.Args[0].(*ir.Instr)
+		if !ok || cond.Prot.Dup == nil {
+			continue // unprotected branch: no patch at this level
+		}
+
+		// Save the condition right before the branch.
+		save := &ir.Instr{
+			Op: ir.OpStore, Ty: ir.Void,
+			Args: []ir.Value{cond, g},
+			Prot: ir.ProtMeta{IsFlowery: true},
+		}
+		b.InsertAt(len(b.Instrs)-1, save)
+
+		// Verify the taken edge at both destinations.
+		term.Blocks[0] = edgeCheck(f, g, errBB, term.Blocks[0], true)
+		term.Blocks[1] = edgeCheck(f, g, errBB, term.Blocks[1], false)
+		term.Prot.IsFlowery = true
+		patched++
+	}
+	return patched
+}
+
+// edgeCheck builds the per-edge verification block: load the saved
+// condition and require it to match the edge's polarity.
+func edgeCheck(f *ir.Function, g *ir.Global, errBB, dest *ir.Block, expectTrue bool) *ir.Block {
+	name := "fl.brF"
+	if expectTrue {
+		name = "fl.brT"
+	}
+	cb := f.NewBlock(name)
+	ld := &ir.Instr{
+		Op: ir.OpLoad, Ty: ir.I1,
+		Args: []ir.Value{g},
+		Prot: ir.ProtMeta{IsFlowery: true},
+	}
+	cb.Append(ld)
+	br := &ir.Instr{
+		Op: ir.OpCondBr, Ty: ir.Void,
+		Args: []ir.Value{ld},
+		Prot: ir.ProtMeta{IsFlowery: true},
+	}
+	if expectTrue {
+		br.Blocks = []*ir.Block{dest, errBB}
+	} else {
+		br.Blocks = []*ir.Block{errBB, dest}
+	}
+	cb.Append(br)
+	return cb
+}
+
+// findErrBlock locates the duplication pass's error handler.
+func findErrBlock(f *ir.Function) *ir.Block {
+	for _, b := range f.Blocks {
+		if b.Name == "dup.err" {
+			return b
+		}
+	}
+	return nil
+}
+
+func snapshot(blocks []*ir.Block) []*ir.Block {
+	return append([]*ir.Block(nil), blocks...)
+}

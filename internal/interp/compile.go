@@ -1,0 +1,167 @@
+package interp
+
+import (
+	"fmt"
+
+	"flowery/internal/ir"
+	"flowery/internal/rt"
+)
+
+// Operand kinds for compiled operands.
+const (
+	opndConst  uint8 = iota
+	opndSlot         // result of another instruction: frame value slot
+	opndParam        // function parameter: argument slot
+	opndGlobal       // global address (resolved to a constant at compile)
+)
+
+// opnd is a pre-resolved operand: evaluating one is a couple of array
+// indexing operations instead of a type switch on ir.Value.
+type opnd struct {
+	kind uint8
+	idx  int32
+	bits uint64
+}
+
+// cinstr is the compiled form of an ir.Instr.
+type cinstr struct {
+	op     ir.Op
+	ty     ir.Type
+	srcTy  ir.Type // type of Args[0]: cast sources, stored values, cmp operands
+	pred   ir.Pred
+	slot   int32 // destination value slot, -1 if none
+	gidx   int32 // module-wide static instruction index (profiling)
+	aux    int64
+	args   []opnd
+	blocks [2]int32 // successor block indices
+	callee *cfunc   // for OpCall
+	orig   *ir.Instr
+}
+
+// cblock is a compiled basic block.
+type cblock struct {
+	instrs []cinstr
+}
+
+// cfunc is a compiled function.
+type cfunc struct {
+	f         *ir.Function
+	rtFunc    rt.Func // non-zero for external runtime functions
+	blocks    []cblock
+	numVals   int32
+	frameSize int64
+	numParams int
+}
+
+// compile translates the module into the interpreter's internal form.
+// The module must verify.
+func compile(m *ir.Module) (map[*ir.Function]*cfunc, []*ir.Instr) {
+	funcs := make(map[*ir.Function]*cfunc, len(m.Funcs))
+	var gInstrs []*ir.Instr
+
+	// Create shells first so calls can reference any function.
+	for _, f := range m.Funcs {
+		cf := &cfunc{f: f, numParams: len(f.Params)}
+		if f.External {
+			id, ok := rt.ByName[f.Name]
+			if !ok {
+				panic(fmt.Sprintf("interp: external function %q is not a runtime function", f.Name))
+			}
+			cf.rtFunc = id
+		}
+		funcs[f] = cf
+	}
+
+	for _, f := range m.Funcs {
+		if f.External {
+			continue
+		}
+		cf := funcs[f]
+		f.Renumber()
+
+		blockIdx := make(map[*ir.Block]int32, len(f.Blocks))
+		for i, b := range f.Blocks {
+			blockIdx[b] = int32(i)
+		}
+
+		// Frame layout: sum of alloca sizes, 8-byte aligned each.
+		offsets := make(map[*ir.Instr]int64)
+		var frame int64
+		numVals := int32(0)
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op == ir.OpAlloca {
+					offsets[in] = frame
+					frame += (in.Aux + 7) &^ 7
+				}
+				if in.HasResult() {
+					numVals++
+				}
+			}
+		}
+		cf.frameSize = (frame + 15) &^ 15
+		cf.numVals = numVals
+
+		cf.blocks = make([]cblock, len(f.Blocks))
+		for bi, b := range f.Blocks {
+			cb := &cf.blocks[bi]
+			cb.instrs = make([]cinstr, 0, len(b.Instrs))
+			for _, in := range b.Instrs {
+				ci := cinstr{
+					op:   in.Op,
+					ty:   in.Ty,
+					pred: in.Pred,
+					aux:  in.Aux,
+					slot: -1,
+					gidx: int32(len(gInstrs)),
+					orig: in,
+				}
+				gInstrs = append(gInstrs, in)
+				if in.Op == ir.OpAlloca {
+					ci.aux = offsets[in] // repurposed: frame offset
+				}
+				if in.HasResult() {
+					ci.slot = int32(in.ID)
+				}
+				if len(in.Args) > 0 {
+					ci.srcTy = in.Args[0].Type()
+				}
+				if in.Op == ir.OpCall && len(in.Args) > maxCallArgs {
+					panic(fmt.Sprintf("interp: call to @%s has %d args; max %d", in.Callee.Name, len(in.Args), maxCallArgs))
+				}
+				for _, a := range in.Args {
+					ci.args = append(ci.args, compileOperand(a))
+				}
+				for i, t := range in.Blocks {
+					ci.blocks[i] = blockIdx[t]
+				}
+				if in.Callee != nil {
+					ci.callee = funcs[in.Callee]
+				}
+				cb.instrs = append(cb.instrs, ci)
+			}
+		}
+	}
+	return funcs, gInstrs
+}
+
+func compileOperand(v ir.Value) opnd {
+	switch x := v.(type) {
+	case *ir.Const:
+		return opnd{kind: opndConst, bits: x.Bits}
+	case *ir.Instr:
+		if x.ID < 0 {
+			panic("interp: operand instruction has no result id")
+		}
+		return opnd{kind: opndSlot, idx: int32(x.ID)}
+	case *ir.Param:
+		return opnd{kind: opndParam, idx: int32(x.Index)}
+	case *ir.Global:
+		if x.Addr == 0 {
+			panic(fmt.Sprintf("interp: global @%s has no address; call AssignAddresses", x.Name))
+		}
+		return opnd{kind: opndGlobal, bits: uint64(x.Addr)}
+	default:
+		panic(fmt.Sprintf("interp: unknown operand kind %T", v))
+	}
+}

@@ -1,0 +1,319 @@
+package interp
+
+import (
+	"math"
+
+	"flowery/internal/ir"
+	"flowery/internal/rt"
+)
+
+// maxCallArgs bounds call arity; the per-call argument buffer is a fixed
+// array to keep the hot path allocation-free.
+const maxCallArgs = 8
+
+// exec runs one invocation of cf. fp is the frame base (allocas live at
+// fp+offset), vals holds instruction results, args holds parameters.
+func (ip *Interp) exec(cf *cfunc, fp int64, vals, args []uint64, depth int) uint64 {
+	bi := int32(0)
+	for {
+		blk := &cf.blocks[bi]
+		for i := range blk.instrs {
+			ci := &blk.instrs[i]
+			ip.steps++
+			if ip.steps > ip.maxSteps {
+				ip.trap(TrapTimeout)
+			}
+			if ip.profiling {
+				ip.profile[ci.gidx]++
+			}
+
+			var res uint64
+			switch ci.op {
+			case ir.OpAlloca:
+				res = uint64(fp + ci.aux)
+
+			case ir.OpLoad:
+				addr := int64(ip.eval(ci.args[0], vals, args))
+				res = ip.loadMem(addr, ci.ty.Size())
+				if ci.ty.IsInt() {
+					res = ir.NormalizeInt(ci.ty, res)
+				}
+
+			case ir.OpStore:
+				v := ip.eval(ci.args[0], vals, args)
+				addr := int64(ip.eval(ci.args[1], vals, args))
+				ip.storeMem(addr, ci.srcTy.Size(), v)
+				continue
+
+			case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpAnd, ir.OpOr, ir.OpXor,
+				ir.OpShl, ir.OpAShr, ir.OpLShr, ir.OpSDiv, ir.OpSRem:
+				x := ip.eval(ci.args[0], vals, args)
+				y := ip.eval(ci.args[1], vals, args)
+				res = ip.intBin(ci.op, ci.ty, x, y)
+
+			case ir.OpFAdd, ir.OpFSub, ir.OpFMul, ir.OpFDiv:
+				x := math.Float64frombits(ip.eval(ci.args[0], vals, args))
+				y := math.Float64frombits(ip.eval(ci.args[1], vals, args))
+				var f float64
+				switch ci.op {
+				case ir.OpFAdd:
+					f = x + y
+				case ir.OpFSub:
+					f = x - y
+				case ir.OpFMul:
+					f = x * y
+				default:
+					f = x / y
+				}
+				res = math.Float64bits(f)
+
+			case ir.OpICmp:
+				x := ip.eval(ci.args[0], vals, args)
+				y := ip.eval(ci.args[1], vals, args)
+				if icmp(ci.pred, ci.srcTy, x, y) {
+					res = 1
+				}
+
+			case ir.OpFCmp:
+				x := math.Float64frombits(ip.eval(ci.args[0], vals, args))
+				y := math.Float64frombits(ip.eval(ci.args[1], vals, args))
+				if fcmp(ci.pred, x, y) {
+					res = 1
+				}
+
+			case ir.OpGEP:
+				base := ip.eval(ci.args[0], vals, args)
+				idx := int64(ip.eval(ci.args[1], vals, args))
+				res = uint64(int64(base) + idx*ci.aux)
+
+			case ir.OpTrunc:
+				res = ir.NormalizeInt(ci.ty, ip.eval(ci.args[0], vals, args))
+			case ir.OpZExt:
+				res = zextBits(ci.srcTy, ip.eval(ci.args[0], vals, args))
+			case ir.OpSExt:
+				// Values are kept sign-extended canonically.
+				res = ip.eval(ci.args[0], vals, args)
+			case ir.OpSIToFP:
+				res = math.Float64bits(float64(int64(ip.eval(ci.args[0], vals, args))))
+			case ir.OpFPToSI:
+				f := math.Float64frombits(ip.eval(ci.args[0], vals, args))
+				res = fpToSI(ci.ty, f)
+
+			case ir.OpCall:
+				var ab [maxCallArgs]uint64
+				for ai := range ci.args {
+					ab[ai] = ip.eval(ci.args[ai], vals, args)
+				}
+				r := ip.call(ci.callee, ab[:len(ci.args)], depth+1)
+				if ci.slot < 0 {
+					continue
+				}
+				res = r
+
+			case ir.OpBr:
+				bi = ci.blocks[0]
+				goto nextBlock
+
+			case ir.OpCondBr:
+				c := ip.eval(ci.args[0], vals, args)
+				if c&1 != 0 {
+					bi = ci.blocks[0]
+				} else {
+					bi = ci.blocks[1]
+				}
+				goto nextBlock
+
+			case ir.OpRet:
+				if len(ci.args) == 1 {
+					return ip.eval(ci.args[0], vals, args)
+				}
+				return 0
+
+			default:
+				panic("interp: unknown opcode " + ci.op.String())
+			}
+
+			// Commit the destination, applying the fault if this is the
+			// chosen dynamic instruction.
+			ip.inject++
+			if ip.inject == ip.injectAt {
+				res = flipBit(ci.ty, res, ip.injectBit)
+				ip.injected = true
+				ip.injStatic = ci.gidx
+			}
+			vals[ci.slot] = res
+		}
+		// A verified function never falls off a block, but a trap in the
+		// middle of one exits via panic; reaching here means the block
+		// had no terminator.
+		panic("interp: block without terminator")
+	nextBlock:
+	}
+}
+
+func (ip *Interp) eval(o opnd, vals, args []uint64) uint64 {
+	switch o.kind {
+	case opndSlot:
+		return vals[o.idx]
+	case opndParam:
+		return args[o.idx]
+	default: // opndConst, opndGlobal
+		return o.bits
+	}
+}
+
+// flipBit flips fault bit b (reduced modulo the type width) in v and
+// re-canonicalizes integer values.
+func flipBit(ty ir.Type, v uint64, b int) uint64 {
+	w := ty.Bits()
+	if w == 0 {
+		return v
+	}
+	v ^= 1 << (b % w)
+	if ty.IsInt() {
+		v = ir.NormalizeInt(ty, v)
+	}
+	return v
+}
+
+func (ip *Interp) intBin(op ir.Op, ty ir.Type, x, y uint64) uint64 {
+	switch op {
+	case ir.OpAdd:
+		return ir.NormalizeInt(ty, x+y)
+	case ir.OpSub:
+		return ir.NormalizeInt(ty, x-y)
+	case ir.OpMul:
+		return ir.NormalizeInt(ty, x*y)
+	case ir.OpAnd:
+		return x & y
+	case ir.OpOr:
+		return x | y
+	case ir.OpXor:
+		return x ^ y
+	case ir.OpShl:
+		return ir.NormalizeInt(ty, x<<shiftCount(ty, y))
+	case ir.OpAShr:
+		return ir.NormalizeInt(ty, uint64(int64(x)>>shiftCount(ty, y)))
+	case ir.OpLShr:
+		return ir.NormalizeInt(ty, zextBits(ty, x)>>shiftCount(ty, y))
+	case ir.OpSDiv, ir.OpSRem:
+		xi, yi := int64(x), int64(y)
+		if yi == 0 {
+			ip.trap(TrapDivide)
+		}
+		// x86 idiv raises #DE on signed overflow. The backend lowers i8
+		// division through 32-bit idiv (as clang does after promotion),
+		// where i8 operands can never overflow, so only 32- and 64-bit
+		// division can trap this way.
+		if yi == -1 && (ty == ir.I32 || ty == ir.I64) && xi == minInt(ty) {
+			ip.trap(TrapDivide)
+		}
+		if op == ir.OpSDiv {
+			return ir.NormalizeInt(ty, uint64(xi/yi))
+		}
+		return ir.NormalizeInt(ty, uint64(xi%yi))
+	default:
+		panic("interp: not an integer binop")
+	}
+}
+
+// shiftCount masks the shift amount the way x86 shl/sar/shr do: modulo 64
+// for 64-bit operations and modulo 32 for everything narrower (x86 masks
+// 8- and 16-bit shifts by 31 as well).
+func shiftCount(ty ir.Type, y uint64) uint64 {
+	if ty.Bits() >= 64 {
+		return y & 63
+	}
+	return y & 31
+}
+
+// zextBits returns the zero-extended low-width bits of a canonical
+// (sign-extended) value.
+func zextBits(ty ir.Type, v uint64) uint64 {
+	switch ty {
+	case ir.I1:
+		return v & 1
+	case ir.I8:
+		return v & 0xff
+	case ir.I32:
+		return v & 0xffff_ffff
+	default:
+		return v
+	}
+}
+
+func minInt(ty ir.Type) int64 {
+	switch ty {
+	case ir.I8:
+		return math.MinInt8
+	case ir.I32:
+		return math.MinInt32
+	case ir.I64:
+		return math.MinInt64
+	default:
+		return 0
+	}
+}
+
+func icmp(p ir.Pred, ty ir.Type, x, y uint64) bool {
+	xs, ys := int64(x), int64(y)
+	xu, yu := zextBits(ty, x), zextBits(ty, y)
+	if ty == ir.Ptr {
+		xu, yu = x, y
+	}
+	switch p {
+	case ir.PredEQ:
+		return x == y
+	case ir.PredNE:
+		return x != y
+	case ir.PredSLT:
+		return xs < ys
+	case ir.PredSLE:
+		return xs <= ys
+	case ir.PredSGT:
+		return xs > ys
+	case ir.PredSGE:
+		return xs >= ys
+	case ir.PredULT:
+		return xu < yu
+	case ir.PredULE:
+		return xu <= yu
+	case ir.PredUGT:
+		return xu > yu
+	case ir.PredUGE:
+		return xu >= yu
+	default:
+		panic("interp: bad icmp predicate")
+	}
+}
+
+func fcmp(p ir.Pred, x, y float64) bool {
+	switch p {
+	case ir.PredOEQ:
+		return x == y
+	case ir.PredONE:
+		return x != y && !math.IsNaN(x) && !math.IsNaN(y)
+	case ir.PredOLT:
+		return x < y
+	case ir.PredOLE:
+		return x <= y
+	case ir.PredOGT:
+		return x > y
+	case ir.PredOGE:
+		return x >= y
+	default:
+		panic("interp: bad fcmp predicate")
+	}
+}
+
+// fpToSI converts with x86 cvttsd2si semantics via the shared runtime
+// helper. cvttsd2si only exists at 32 and 64 bits; narrower IR types
+// convert through the 32-bit form and truncate, exactly as the backend
+// lowers them.
+func fpToSI(ty ir.Type, f float64) uint64 {
+	w := ty.Bits()
+	if w < 32 {
+		w = 32
+	}
+	return ir.NormalizeInt(ty, uint64(rt.FpToSI(w, f)))
+}

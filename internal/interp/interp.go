@@ -1,0 +1,265 @@
+package interp
+
+import (
+	"fmt"
+	"math"
+
+	"flowery/internal/ir"
+	"flowery/internal/rt"
+)
+
+// Interp executes one module. An Interp is not safe for concurrent use;
+// campaign workers each own one (they are cheap after the first Run:
+// memory is reset incrementally, not reallocated).
+type Interp struct {
+	mod     *ir.Module
+	funcs   map[*ir.Function]*cfunc
+	main    *cfunc
+	gInstrs []*ir.Instr
+
+	mem     []byte
+	dataEnd int64
+
+	// Run state.
+	out       []byte
+	steps     int64
+	maxSteps  int64
+	inject    int64 // injectable-instruction counter
+	injectAt  int64
+	injectBit int
+	injected  bool
+	injStatic int32
+	profile   []int64
+	profiling bool
+	retVal    uint64
+	minTouch  int64 // lowest stack address used since last reset
+	spVal     int64
+	valPool   [][]uint64
+}
+
+// trapPanic carries a trap out of the execution loop.
+type trapPanic struct{ trap Trap }
+
+// detectedPanic signals check_fail.
+type detectedPanic struct{}
+
+// New prepares an interpreter for the module. It assigns global
+// addresses (idempotent) and compiles every function. The module must
+// have passed Verify.
+func New(m *ir.Module) *Interp {
+	end := m.AssignAddresses()
+	if end > ir.StackLimit {
+		panic(fmt.Sprintf("interp: globals (%d bytes) overflow the data segment", end-ir.GlobalBase))
+	}
+	funcs, gInstrs := compile(m)
+	mainF := m.Func("main")
+	if mainF == nil {
+		panic("interp: module has no main")
+	}
+	ip := &Interp{
+		mod:      m,
+		funcs:    funcs,
+		main:     funcs[mainF],
+		gInstrs:  gInstrs,
+		mem:      make([]byte, ir.MemSize),
+		dataEnd:  end,
+		minTouch: ir.StackTop,
+	}
+	return ip
+}
+
+// Module returns the module being executed.
+func (ip *Interp) Module() *ir.Module { return ip.mod }
+
+// StaticInstrs returns the module's instructions in compile order; index
+// i corresponds to ProfileCounts()[i].
+func (ip *Interp) StaticInstrs() []*ir.Instr { return ip.gInstrs }
+
+// ProfileCounts returns per-static-instruction execution counts from the
+// most recent profiled run (nil if Profile was not enabled).
+func (ip *Interp) ProfileCounts() []int64 { return ip.profile }
+
+// Run executes main once, optionally injecting a fault.
+func (ip *Interp) Run(fault Fault, opts Options) Result {
+	ip.reset()
+	ip.maxSteps = opts.MaxSteps
+	if ip.maxSteps <= 0 {
+		ip.maxSteps = DefaultMaxSteps
+	}
+	ip.injectAt = fault.TargetIndex
+	ip.injectBit = fault.Bit
+	ip.profiling = opts.Profile
+	if opts.Profile {
+		ip.profile = make([]int64, len(ip.gInstrs))
+	}
+
+	res := Result{Status: StatusOK}
+	func() {
+		defer func() {
+			switch p := recover().(type) {
+			case nil:
+			case trapPanic:
+				res.Status = StatusTrap
+				res.Trap = p.trap
+			case detectedPanic:
+				res.Status = StatusDetected
+			default:
+				panic(p)
+			}
+		}()
+		ip.retVal = ip.call(ip.main, nil, 0)
+	}()
+
+	res.Output = append([]byte(nil), ip.out...)
+	res.RetVal = int64(ip.retVal)
+	res.DynInstrs = ip.steps
+	res.InjectableInstrs = ip.inject
+	res.Injected = ip.injected
+	res.InjectedStatic = ip.injStatic
+	return res
+}
+
+// reset restores memory to its initial image, touching only regions the
+// previous run could have dirtied.
+func (ip *Interp) reset() {
+	// Data segment: zero then replay initializers.
+	zero(ip.mem[ir.GlobalBase:ip.dataEnd])
+	for _, g := range ip.mod.Globals {
+		copy(ip.mem[g.Addr:g.Addr+g.Size], g.Init)
+	}
+	// Stack: zero from the lowest touched address.
+	if ip.minTouch < ir.StackTop {
+		zero(ip.mem[ip.minTouch:ir.StackTop])
+	}
+	ip.minTouch = ir.StackTop
+	ip.spVal = ir.StackTop
+	ip.out = ip.out[:0]
+	ip.steps = 0
+	ip.inject = 0
+	ip.injected = false
+	ip.injStatic = -1
+	ip.profile = nil
+}
+
+func zero(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+func (ip *Interp) trap(t Trap) {
+	panic(trapPanic{trap: t})
+}
+
+// mapped reports whether [addr, addr+size) is a legal access.
+func (ip *Interp) mapped(addr, size int64) bool {
+	if addr >= ir.GlobalBase && addr+size <= ip.dataEnd {
+		return true
+	}
+	return addr >= ir.StackLimit && addr+size <= ir.StackTop
+}
+
+func (ip *Interp) loadMem(addr, size int64) uint64 {
+	if !ip.mapped(addr, size) {
+		ip.trap(TrapBadAddress)
+	}
+	var v uint64
+	for i := int64(0); i < size; i++ {
+		v |= uint64(ip.mem[addr+i]) << (8 * i)
+	}
+	return v
+}
+
+func (ip *Interp) storeMem(addr, size int64, v uint64) {
+	if !ip.mapped(addr, size) {
+		ip.trap(TrapBadAddress)
+	}
+	for i := int64(0); i < size; i++ {
+		ip.mem[addr+i] = byte(v >> (8 * i))
+	}
+	if addr >= ir.StackLimit && addr < ip.minTouch {
+		ip.minTouch = addr
+	}
+}
+
+// frameVals returns a value array of at least n slots, reusing pooled
+// storage across calls.
+func (ip *Interp) frameVals(n int32) []uint64 {
+	if l := len(ip.valPool); l > 0 {
+		v := ip.valPool[l-1]
+		ip.valPool = ip.valPool[:l-1]
+		if int32(cap(v)) >= n {
+			return v[:n]
+		}
+	}
+	return make([]uint64, n)
+}
+
+func (ip *Interp) releaseVals(v []uint64) {
+	if len(ip.valPool) < 64 {
+		ip.valPool = append(ip.valPool, v)
+	}
+}
+
+// call executes one function invocation and returns its result bits.
+// sp is implicit: frames are carved from a software-managed stack
+// tracked through minTouch; the frame base is derived from depth-ordered
+// allocation below the previous frame.
+func (ip *Interp) call(cf *cfunc, args []uint64, depth int) uint64 {
+	if cf.rtFunc != rt.FuncNone {
+		return ip.callRuntime(cf.rtFunc, args)
+	}
+	if depth > MaxCallDepth {
+		ip.trap(TrapCallDepth)
+	}
+	fp := ip.framePush(cf.frameSize)
+	vals := ip.frameVals(cf.numVals)
+	defer func() {
+		ip.framePop(cf.frameSize)
+		ip.releaseVals(vals)
+	}()
+	return ip.exec(cf, fp, vals, args, depth)
+}
+
+func (ip *Interp) framePush(size int64) int64 {
+	newSP := ip.sp() - size
+	if newSP < ir.StackLimit {
+		ip.trap(TrapStackOverflow)
+	}
+	ip.spSet(newSP)
+	if newSP < ip.minTouch {
+		ip.minTouch = newSP
+	}
+	return newSP
+}
+
+func (ip *Interp) framePop(size int64) {
+	ip.spSet(ip.sp() + size)
+}
+
+// The stack pointer itself lives in a field; helpers keep the call sites
+// symmetric with framePush/framePop.
+func (ip *Interp) sp() int64 { return ip.spVal }
+
+func (ip *Interp) spSet(v int64) { ip.spVal = v }
+
+func (ip *Interp) callRuntime(f rt.Func, args []uint64) uint64 {
+	switch f {
+	case rt.FuncPrintI64:
+		ip.out = rt.AppendI64(ip.out, int64(args[0]))
+	case rt.FuncPrintF64:
+		ip.out = rt.AppendF64(ip.out, math.Float64frombits(args[0]))
+	case rt.FuncPrintChar:
+		ip.out = rt.AppendChar(ip.out, byte(args[0]))
+	case rt.FuncCheckFail:
+		panic(detectedPanic{})
+	case rt.FuncPow:
+		return math.Float64bits(rt.Math2(f, math.Float64frombits(args[0]), math.Float64frombits(args[1])))
+	default:
+		return math.Float64bits(rt.Math1(f, math.Float64frombits(args[0])))
+	}
+	if len(ip.out) > rt.MaxOutput {
+		ip.trap(TrapOutputOverflow)
+	}
+	return 0
+}

@@ -1,0 +1,41 @@
+// Package interp executes IR modules directly and implements the
+// IR-level fault injector of the study (the counterpart of LLFI-style
+// LLVM-level injection in the paper). Faults are single bit flips in the
+// destination value of a chosen dynamic instruction; IR instructions
+// without results (stores, branches, void calls) are not injection sites,
+// exactly matching the paper's fault model.
+package interp
+
+import "flowery/internal/sim"
+
+// MaxCallDepth bounds recursion (a corrupted recursion guard would
+// otherwise run the frame allocator into the stack guard anyway; this is
+// a cheaper, earlier diagnosis).
+const MaxCallDepth = 4096
+
+// Re-exported simulation types; see package sim for their semantics.
+// The interpreter and the assembly simulator share these so one campaign
+// harness drives both layers.
+type (
+	Fault   = sim.Fault
+	Options = sim.Options
+	Result  = sim.Result
+	Status  = sim.Status
+	Trap    = sim.Trap
+)
+
+const (
+	StatusOK       = sim.StatusOK
+	StatusDetected = sim.StatusDetected
+	StatusTrap     = sim.StatusTrap
+
+	TrapNone           = sim.TrapNone
+	TrapBadAddress     = sim.TrapBadAddress
+	TrapDivide         = sim.TrapDivide
+	TrapStackOverflow  = sim.TrapStackOverflow
+	TrapTimeout        = sim.TrapTimeout
+	TrapCallDepth      = sim.TrapCallDepth
+	TrapOutputOverflow = sim.TrapOutputOverflow
+
+	DefaultMaxSteps = sim.DefaultMaxSteps
+)

@@ -1,0 +1,305 @@
+package interp
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"flowery/internal/ir"
+	"flowery/internal/sim"
+)
+
+// evalBin builds and runs `ret <op> ty x, y` and returns main's result.
+func evalBin(t *testing.T, op ir.Op, ty ir.Type, x, y int64) (int64, sim.Result) {
+	t.Helper()
+	m := ir.NewModule("bin")
+	f := m.NewFunction("main", ir.I64)
+	b := ir.NewBuilder(f)
+	v := b.Bin(op, ir.ConstInt(ty, x), ir.ConstInt(ty, y))
+	var w ir.Value = v
+	if ty != ir.I64 {
+		w = b.SExt(ir.I64, v)
+	}
+	b.Ret(w)
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	res := New(m).Run(sim.Fault{}, sim.Options{})
+	return res.RetVal, res
+}
+
+func TestIntegerArithmetic(t *testing.T) {
+	cases := []struct {
+		op   ir.Op
+		ty   ir.Type
+		x, y int64
+		want int64
+	}{
+		{ir.OpAdd, ir.I64, 3, 4, 7},
+		{ir.OpAdd, ir.I64, math.MaxInt64, 1, math.MinInt64}, // wraps
+		{ir.OpAdd, ir.I32, math.MaxInt32, 1, math.MinInt32}, // 32-bit wrap
+		{ir.OpAdd, ir.I8, 127, 1, -128},
+		{ir.OpSub, ir.I64, 3, 10, -7},
+		{ir.OpMul, ir.I32, 1 << 20, 1 << 20, 0}, // overflow drops high bits
+		{ir.OpMul, ir.I64, -3, 7, -21},
+		{ir.OpSDiv, ir.I64, 7, 2, 3},
+		{ir.OpSDiv, ir.I64, -7, 2, -3}, // trunc toward zero
+		{ir.OpSRem, ir.I64, -7, 2, -1},
+		{ir.OpSRem, ir.I32, 7, -3, 1},
+		{ir.OpAnd, ir.I64, 0b1100, 0b1010, 0b1000},
+		{ir.OpOr, ir.I64, 0b1100, 0b1010, 0b1110},
+		{ir.OpXor, ir.I64, 0b1100, 0b1010, 0b0110},
+		{ir.OpShl, ir.I64, 1, 63, math.MinInt64},
+		{ir.OpShl, ir.I64, 1, 64, 1}, // count masked mod 64
+		{ir.OpShl, ir.I32, 1, 32, 1}, // count masked mod 32
+		{ir.OpShl, ir.I8, 1, 8, 0},   // 8-bit shifts by 8 lose all bits
+		{ir.OpAShr, ir.I64, -8, 2, -2},
+		{ir.OpAShr, ir.I8, -128, 7, -1},
+		{ir.OpLShr, ir.I64, -1, 60, 15},
+		{ir.OpLShr, ir.I8, -1, 4, 15}, // shifts the zero-extended byte
+		{ir.OpLShr, ir.I32, -2, 1, math.MaxInt32},
+	}
+	for _, c := range cases {
+		t.Run(fmt.Sprintf("%v_%v_%d_%d", c.op, c.ty, c.x, c.y), func(t *testing.T) {
+			got, res := evalBin(t, c.op, c.ty, c.x, c.y)
+			if res.Status != sim.StatusOK {
+				t.Fatalf("trapped: %v", res.Trap)
+			}
+			if got != c.want {
+				t.Fatalf("got %d, want %d", got, c.want)
+			}
+		})
+	}
+}
+
+func TestDivisionTraps(t *testing.T) {
+	cases := []struct {
+		op   ir.Op
+		ty   ir.Type
+		x, y int64
+		trap bool
+	}{
+		{ir.OpSDiv, ir.I64, 1, 0, true},
+		{ir.OpSRem, ir.I32, 5, 0, true},
+		{ir.OpSDiv, ir.I64, math.MinInt64, -1, true}, // x86 #DE
+		{ir.OpSDiv, ir.I32, math.MinInt32, -1, true},
+		{ir.OpSDiv, ir.I8, -128, -1, false}, // promoted to 32-bit idiv
+		{ir.OpSDiv, ir.I64, math.MinInt64, 1, false},
+	}
+	for _, c := range cases {
+		t.Run(fmt.Sprintf("%v_%v_%d_%d", c.op, c.ty, c.x, c.y), func(t *testing.T) {
+			_, res := evalBin(t, c.op, c.ty, c.x, c.y)
+			if c.trap && (res.Status != sim.StatusTrap || res.Trap != sim.TrapDivide) {
+				t.Fatalf("expected divide trap, got %v (%v)", res.Status, res.Trap)
+			}
+			if !c.trap && res.Status != sim.StatusOK {
+				t.Fatalf("unexpected trap %v", res.Trap)
+			}
+		})
+	}
+}
+
+func TestMemoryTraps(t *testing.T) {
+	build := func(addr int64) *ir.Module {
+		m := ir.NewModule("mem")
+		f := m.NewFunction("main", ir.I64)
+		b := ir.NewBuilder(f)
+		g := m.NewGlobalI64("g", []int64{1})
+		p := b.GEP(g, ir.ConstInt(ir.I64, addr), 1)
+		v := b.Load(ir.I64, p)
+		b.Ret(v)
+		return m
+	}
+	// In-bounds access is fine.
+	if res := New(build(0)).Run(sim.Fault{}, sim.Options{}); res.Status != sim.StatusOK {
+		t.Fatalf("in-bounds load trapped: %v", res.Trap)
+	}
+	// A huge offset lands in unmapped space.
+	if res := New(build(1<<30)).Run(sim.Fault{}, sim.Options{}); res.Trap != sim.TrapBadAddress {
+		t.Fatalf("wild load: got %v, want bad-address", res.Trap)
+	}
+	// The gap between data segment and stack is unmapped too.
+	if res := New(build((ir.StackLimit-ir.GlobalBase)/2)).Run(sim.Fault{}, sim.Options{}); res.Trap != sim.TrapBadAddress {
+		t.Fatalf("gap load: got %v, want bad-address", res.Trap)
+	}
+	// Null dereference.
+	if res := New(build(-ir.GlobalBase)).Run(sim.Fault{}, sim.Options{}); res.Trap != sim.TrapBadAddress {
+		t.Fatalf("null-ish load: got %v, want bad-address", res.Trap)
+	}
+}
+
+func TestStackOverflowTrap(t *testing.T) {
+	m := ir.NewModule("so")
+	// Infinite recursion with a big frame.
+	f := m.NewFunction("rec", ir.Void)
+	b := ir.NewBuilder(f)
+	slot := b.Alloca(4096)
+	b.Store(ir.ConstInt(ir.I64, 1), slot)
+	b.Call(f)
+	b.Ret(nil)
+
+	fm := m.NewFunction("main", ir.I64)
+	bm := ir.NewBuilder(fm)
+	bm.Call(f)
+	bm.Ret(ir.ConstInt(ir.I64, 0))
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	res := New(m).Run(sim.Fault{}, sim.Options{})
+	if res.Status != sim.StatusTrap || res.Trap != sim.TrapStackOverflow {
+		t.Fatalf("got %v (%v), want stack overflow", res.Status, res.Trap)
+	}
+}
+
+func TestTimeoutTrap(t *testing.T) {
+	m := ir.NewModule("loop")
+	f := m.NewFunction("main", ir.I64)
+	b := ir.NewBuilder(f)
+	spin := b.NewBlock("spin")
+	b.Br(spin)
+	b.SetBlock(spin)
+	b.Br(spin)
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	res := New(m).Run(sim.Fault{}, sim.Options{MaxSteps: 10_000})
+	if res.Trap != sim.TrapTimeout {
+		t.Fatalf("got %v, want timeout", res.Trap)
+	}
+}
+
+func TestOutputOverflowTrap(t *testing.T) {
+	m := ir.NewModule("spam")
+	f := m.NewFunction("main", ir.I64)
+	b := ir.NewBuilder(f)
+	b.ForLoop("i", ir.ConstInt(ir.I64, 0), ir.ConstInt(ir.I64, 1<<21), ir.ConstInt(ir.I64, 1), func(i ir.Value) {
+		b.PrintI64(i)
+	})
+	b.Ret(ir.ConstInt(ir.I64, 0))
+	res := New(m).Run(sim.Fault{}, sim.Options{})
+	if res.Trap != sim.TrapOutputOverflow {
+		t.Fatalf("got %v, want output overflow", res.Trap)
+	}
+}
+
+func TestCasts(t *testing.T) {
+	m := ir.NewModule("casts")
+	f := m.NewFunction("main", ir.I64)
+	b := ir.NewBuilder(f)
+	// trunc -1 (i64) to i8 -> -1; zext that byte -> 255
+	tr := b.Trunc(ir.I8, ir.ConstInt(ir.I64, -1))
+	z := b.ZExt(ir.I64, tr)
+	b.PrintI64(z)
+	// sext i1 true widened as int -> 1 via zext, -1 via sext? (sext of i1
+	// is not part of our builder tests elsewhere; here: zext only)
+	zb := b.ZExt(ir.I64, ir.ConstBool(true))
+	b.PrintI64(zb)
+	// fptosi truncation toward zero and indefinite value
+	c1 := b.FPToSI(ir.I64, ir.ConstFloat(-2.9))
+	b.PrintI64(c1)
+	c2 := b.FPToSI(ir.I32, ir.ConstFloat(1e300))
+	b.PrintI64(b.SExt(ir.I64, c2))
+	c3 := b.FPToSI(ir.I64, ir.ConstFloat(math.NaN()))
+	b.PrintI64(c3)
+	// sitofp exactness for small ints
+	fv := b.SIToFP(ir.ConstInt(ir.I64, -7))
+	b.PrintF64(fv)
+	b.Ret(ir.ConstInt(ir.I64, 0))
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	res := New(m).Run(sim.Fault{}, sim.Options{})
+	want := "255\n1\n-2\n-2147483648\n-9223372036854775808\n-7\n"
+	if string(res.Output) != want {
+		t.Fatalf("output %q, want %q", res.Output, want)
+	}
+}
+
+func TestICmpSignedVsUnsigned(t *testing.T) {
+	m := ir.NewModule("cmp")
+	f := m.NewFunction("main", ir.I64)
+	b := ir.NewBuilder(f)
+	neg := ir.ConstInt(ir.I32, -1)
+	one := ir.ConstInt(ir.I32, 1)
+	slt := b.ICmp(ir.PredSLT, neg, one) // -1 < 1 signed: true
+	ult := b.ICmp(ir.PredULT, neg, one) // 0xffffffff < 1 unsigned: false
+	b.PrintI64(b.ZExt(ir.I64, slt))
+	b.PrintI64(b.ZExt(ir.I64, ult))
+	b.Ret(ir.ConstInt(ir.I64, 0))
+	res := New(m).Run(sim.Fault{}, sim.Options{})
+	if string(res.Output) != "1\n0\n" {
+		t.Fatalf("output %q", res.Output)
+	}
+}
+
+// Property: for any (x, y), interpreting `x op y` agrees with the Go
+// reference computation, across widths.
+func TestIntBinAgainstReference(t *testing.T) {
+	check := func(x, y int64) bool {
+		for _, c := range []struct {
+			op  ir.Op
+			ty  ir.Type
+			ref func(a, b int64) (int64, bool)
+		}{
+			{ir.OpAdd, ir.I32, func(a, b int64) (int64, bool) { return int64(int32(a) + int32(b)), true }},
+			{ir.OpSub, ir.I32, func(a, b int64) (int64, bool) { return int64(int32(a) - int32(b)), true }},
+			{ir.OpMul, ir.I32, func(a, b int64) (int64, bool) { return int64(int32(a) * int32(b)), true }},
+			{ir.OpAdd, ir.I8, func(a, b int64) (int64, bool) { return int64(int8(a) + int8(b)), true }},
+			{ir.OpXor, ir.I64, func(a, b int64) (int64, bool) { return a ^ b, true }},
+		} {
+			want, ok := c.ref(x, y)
+			if !ok {
+				continue
+			}
+			got, res := evalBin(t, c.op, c.ty, x, y)
+			if res.Status != sim.StatusOK || got != want {
+				t.Logf("%v %v: x=%d y=%d got %d want %d", c.op, c.ty, x, y, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCallDepthTrap(t *testing.T) {
+	m := ir.NewModule("deep")
+	f := m.NewFunction("rec", ir.Void)
+	b := ir.NewBuilder(f)
+	// Small frame so recursion depth trips before stack space does.
+	b.Call(f)
+	b.Ret(nil)
+	fm := m.NewFunction("main", ir.I64)
+	bm := ir.NewBuilder(fm)
+	bm.Call(f)
+	bm.Ret(ir.ConstInt(ir.I64, 0))
+	res := New(m).Run(sim.Fault{}, sim.Options{})
+	if res.Trap != sim.TrapCallDepth {
+		t.Fatalf("got %v, want call-depth", res.Trap)
+	}
+}
+
+func TestInjectionBitWithinTypeWidth(t *testing.T) {
+	// An i1 destination flipped with any bit index must stay 0/1.
+	m := ir.NewModule("i1")
+	f := m.NewFunction("main", ir.I64)
+	b := ir.NewBuilder(f)
+	c := b.ICmp(ir.PredEQ, ir.ConstInt(ir.I64, 1), ir.ConstInt(ir.I64, 1))
+	b.PrintI64(b.ZExt(ir.I64, c))
+	b.Ret(ir.ConstInt(ir.I64, 0))
+	ip := New(m)
+	for bit := 0; bit < 64; bit++ {
+		res := ip.Run(sim.Fault{TargetIndex: 1, Bit: bit}, sim.Options{})
+		out := string(res.Output)
+		if out != "0\n" && out != "1\n" {
+			t.Fatalf("bit %d produced non-boolean %q", bit, out)
+		}
+		if out != "0\n" {
+			t.Fatalf("bit %d: flip of true compare must print 0, got %q", bit, out)
+		}
+	}
+}

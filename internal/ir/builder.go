@@ -1,0 +1,325 @@
+package ir
+
+import "fmt"
+
+// Builder provides a convenient, type-checked way to construct function
+// bodies. It appends instructions to a current block, in the style of
+// llvm::IRBuilder. All benchmark programs in internal/bench are written
+// against this API.
+type Builder struct {
+	Func *Function
+	cur  *Block
+}
+
+// NewBuilder returns a builder positioned at a fresh entry block of f
+// (creating one if the function is empty).
+func NewBuilder(f *Function) *Builder {
+	b := &Builder{Func: f}
+	if len(f.Blocks) == 0 {
+		b.cur = f.NewBlock("entry")
+	} else {
+		b.cur = f.Blocks[len(f.Blocks)-1]
+	}
+	return b
+}
+
+// Block returns the current insertion block.
+func (b *Builder) Block() *Block { return b.cur }
+
+// SetBlock moves the insertion point to the end of blk.
+func (b *Builder) SetBlock(blk *Block) { b.cur = blk }
+
+// NewBlock creates a block in the function without moving the insertion
+// point.
+func (b *Builder) NewBlock(name string) *Block { return b.Func.NewBlock(name) }
+
+func (b *Builder) emit(in *Instr) *Instr {
+	if b.cur == nil {
+		panic("ir.Builder: no current block")
+	}
+	if t := b.cur.Terminator(); t != nil {
+		panic(fmt.Sprintf("ir.Builder: emitting %s after terminator in block %s", in.Op, b.cur.Name))
+	}
+	return b.cur.Append(in)
+}
+
+// Alloca reserves size bytes of frame storage. Like clang, the builder
+// hoists all allocas into the entry block so each function invocation has
+// a statically-sized frame (the verifier enforces this, and both
+// execution engines and the backend precompute frame layouts from it).
+func (b *Builder) Alloca(size int64) *Instr {
+	entry := b.Func.Entry()
+	if entry == nil {
+		panic("ir.Builder: alloca before entry block exists")
+	}
+	in := &Instr{Op: OpAlloca, Ty: Ptr, Aux: size}
+	// Insert after any existing leading allocas.
+	i := 0
+	for i < len(entry.Instrs) && entry.Instrs[i].Op == OpAlloca {
+		i++
+	}
+	entry.InsertAt(i, in)
+	return in
+}
+
+// Load reads a value of type ty from ptr.
+func (b *Builder) Load(ty Type, ptr Value) *Instr {
+	mustType("load address", ptr, Ptr)
+	return b.emit(&Instr{Op: OpLoad, Ty: ty, Args: []Value{ptr}})
+}
+
+// Store writes val to ptr.
+func (b *Builder) Store(val, ptr Value) *Instr {
+	mustType("store address", ptr, Ptr)
+	return b.emit(&Instr{Op: OpStore, Ty: Void, Args: []Value{val, ptr}})
+}
+
+// Bin emits a two-operand arithmetic instruction. Result type follows the
+// left operand.
+func (b *Builder) Bin(op Op, x, y Value) *Instr {
+	if !op.IsBinOp() {
+		panic(fmt.Sprintf("ir.Builder: %s is not a binary op", op))
+	}
+	if x.Type() != y.Type() {
+		panic(fmt.Sprintf("ir.Builder: %s operand types differ: %s vs %s", op, x.Type(), y.Type()))
+	}
+	return b.emit(&Instr{Op: op, Ty: x.Type(), Args: []Value{x, y}})
+}
+
+// Convenience arithmetic wrappers.
+
+func (b *Builder) Add(x, y Value) *Instr  { return b.Bin(OpAdd, x, y) }
+func (b *Builder) Sub(x, y Value) *Instr  { return b.Bin(OpSub, x, y) }
+func (b *Builder) Mul(x, y Value) *Instr  { return b.Bin(OpMul, x, y) }
+func (b *Builder) SDiv(x, y Value) *Instr { return b.Bin(OpSDiv, x, y) }
+func (b *Builder) SRem(x, y Value) *Instr { return b.Bin(OpSRem, x, y) }
+func (b *Builder) And(x, y Value) *Instr  { return b.Bin(OpAnd, x, y) }
+func (b *Builder) Or(x, y Value) *Instr   { return b.Bin(OpOr, x, y) }
+func (b *Builder) Xor(x, y Value) *Instr  { return b.Bin(OpXor, x, y) }
+func (b *Builder) Shl(x, y Value) *Instr  { return b.Bin(OpShl, x, y) }
+func (b *Builder) AShr(x, y Value) *Instr { return b.Bin(OpAShr, x, y) }
+func (b *Builder) LShr(x, y Value) *Instr { return b.Bin(OpLShr, x, y) }
+func (b *Builder) FAdd(x, y Value) *Instr { return b.Bin(OpFAdd, x, y) }
+func (b *Builder) FSub(x, y Value) *Instr { return b.Bin(OpFSub, x, y) }
+func (b *Builder) FMul(x, y Value) *Instr { return b.Bin(OpFMul, x, y) }
+func (b *Builder) FDiv(x, y Value) *Instr { return b.Bin(OpFDiv, x, y) }
+
+// ICmp compares integers with the given predicate.
+func (b *Builder) ICmp(p Pred, x, y Value) *Instr {
+	if p.IsFloatPred() || p == PredNone {
+		panic(fmt.Sprintf("ir.Builder: bad icmp predicate %s", p))
+	}
+	if x.Type() != y.Type() || !x.Type().IsInt() && x.Type() != Ptr {
+		panic(fmt.Sprintf("ir.Builder: icmp operand types %s, %s", x.Type(), y.Type()))
+	}
+	return b.emit(&Instr{Op: OpICmp, Ty: I1, Pred: p, Args: []Value{x, y}})
+}
+
+// FCmp compares floats with the given predicate.
+func (b *Builder) FCmp(p Pred, x, y Value) *Instr {
+	if !p.IsFloatPred() {
+		panic(fmt.Sprintf("ir.Builder: bad fcmp predicate %s", p))
+	}
+	if x.Type() != F64 || y.Type() != F64 {
+		panic("ir.Builder: fcmp needs f64 operands")
+	}
+	return b.emit(&Instr{Op: OpFCmp, Ty: I1, Pred: p, Args: []Value{x, y}})
+}
+
+// GEP computes base + index*elemSize.
+func (b *Builder) GEP(base Value, index Value, elemSize int64) *Instr {
+	mustType("gep base", base, Ptr)
+	if index.Type() != I64 {
+		panic("ir.Builder: gep index must be i64")
+	}
+	return b.emit(&Instr{Op: OpGEP, Ty: Ptr, Aux: elemSize, Args: []Value{base, index}})
+}
+
+// Cast emits a conversion to the target type.
+func (b *Builder) Cast(op Op, to Type, v Value) *Instr {
+	if !op.IsCast() {
+		panic(fmt.Sprintf("ir.Builder: %s is not a cast", op))
+	}
+	return b.emit(&Instr{Op: op, Ty: to, Args: []Value{v}})
+}
+
+// Convenience cast wrappers.
+
+func (b *Builder) Trunc(to Type, v Value) *Instr { return b.Cast(OpTrunc, to, v) }
+func (b *Builder) ZExt(to Type, v Value) *Instr  { return b.Cast(OpZExt, to, v) }
+func (b *Builder) SExt(to Type, v Value) *Instr  { return b.Cast(OpSExt, to, v) }
+func (b *Builder) SIToFP(v Value) *Instr         { return b.Cast(OpSIToFP, F64, v) }
+func (b *Builder) FPToSI(to Type, v Value) *Instr {
+	return b.Cast(OpFPToSI, to, v)
+}
+
+// Call invokes callee with the given arguments.
+func (b *Builder) Call(callee *Function, args ...Value) *Instr {
+	if callee == nil {
+		panic("ir.Builder: nil callee")
+	}
+	if len(args) != len(callee.Params) {
+		panic(fmt.Sprintf("ir.Builder: call %s: %d args, want %d", callee.Name, len(args), len(callee.Params)))
+	}
+	for i, a := range args {
+		if a.Type() != callee.Params[i].Ty {
+			panic(fmt.Sprintf("ir.Builder: call %s arg %d: %s, want %s", callee.Name, i, a.Type(), callee.Params[i].Ty))
+		}
+	}
+	return b.emit(&Instr{Op: OpCall, Ty: callee.RetType, Callee: callee, Args: args})
+}
+
+// CallNamed invokes a function looked up by name in the module.
+func (b *Builder) CallNamed(name string, args ...Value) *Instr {
+	f := b.Func.Module.Func(name)
+	if f == nil {
+		panic(fmt.Sprintf("ir.Builder: unknown function %q", name))
+	}
+	return b.Call(f, args...)
+}
+
+// Br ends the block with an unconditional branch.
+func (b *Builder) Br(target *Block) *Instr {
+	return b.emit(&Instr{Op: OpBr, Ty: Void, Blocks: []*Block{target}})
+}
+
+// CondBr ends the block with a conditional branch.
+func (b *Builder) CondBr(cond Value, ifTrue, ifFalse *Block) *Instr {
+	mustType("condbr condition", cond, I1)
+	return b.emit(&Instr{Op: OpCondBr, Ty: Void, Args: []Value{cond}, Blocks: []*Block{ifTrue, ifFalse}})
+}
+
+// Ret ends the block with a return; v may be nil for void functions.
+func (b *Builder) Ret(v Value) *Instr {
+	if v == nil {
+		return b.emit(&Instr{Op: OpRet, Ty: Void})
+	}
+	return b.emit(&Instr{Op: OpRet, Ty: Void, Args: []Value{v}})
+}
+
+// I32Const, I64Const, F64Const are shorthands for constants.
+
+func (b *Builder) I32Const(v int64) *Const   { return ConstInt(I32, v) }
+func (b *Builder) I64Const(v int64) *Const   { return ConstInt(I64, v) }
+func (b *Builder) F64Const(v float64) *Const { return ConstFloat(v) }
+
+func mustType(what string, v Value, ty Type) {
+	if v.Type() != ty {
+		panic(fmt.Sprintf("ir.Builder: %s must be %s, got %s", what, ty, v.Type()))
+	}
+}
+
+// --- Higher-level helpers used heavily by the benchmark programs ---
+
+// AllocVar allocates a frame slot for one value of type ty and returns
+// its address.
+func (b *Builder) AllocVar(ty Type) *Instr { return b.Alloca(ty.Size()) }
+
+// LoadElem loads array[index] where the array holds elements of type ty.
+func (b *Builder) LoadElem(ty Type, base Value, index Value) *Instr {
+	p := b.GEP(base, index, ty.Size())
+	return b.Load(ty, p)
+}
+
+// StoreElem stores val to array[index].
+func (b *Builder) StoreElem(ty Type, base Value, index Value, val Value) {
+	p := b.GEP(base, index, ty.Size())
+	b.Store(val, p)
+}
+
+// ForLoop emits a canonical counted loop:
+//
+//	for i = start; i < limit; i += step { body(i) }
+//
+// body receives the loop counter as an i64 value and must leave the
+// builder in a block that falls through (it must not emit a terminator in
+// its final block). ForLoop returns with the builder positioned in the
+// exit block.
+func (b *Builder) ForLoop(name string, start, limit, step Value, body func(i Value)) {
+	iSlot := b.Alloca(8)
+	b.Store(start, iSlot)
+	cond := b.NewBlock(name + ".cond")
+	bodyB := b.NewBlock(name + ".body")
+	exit := b.NewBlock(name + ".exit")
+	b.Br(cond)
+
+	b.SetBlock(cond)
+	i := b.Load(I64, iSlot)
+	c := b.ICmp(PredSLT, i, limit)
+	b.CondBr(c, bodyB, exit)
+
+	b.SetBlock(bodyB)
+	i2 := b.Load(I64, iSlot)
+	body(i2)
+	i3 := b.Load(I64, iSlot)
+	b.Store(b.Add(i3, step), iSlot)
+	b.Br(cond)
+
+	b.SetBlock(exit)
+}
+
+// If emits an if/else diamond. Either arm may be nil. The builder is left
+// in the join block.
+func (b *Builder) If(cond Value, then func(), els func()) {
+	thenB := b.NewBlock("if.then")
+	joinB := b.NewBlock("if.join")
+	elseB := joinB
+	if els != nil {
+		elseB = b.NewBlock("if.else")
+	}
+	b.CondBr(cond, thenB, elseB)
+
+	b.SetBlock(thenB)
+	if then != nil {
+		then()
+	}
+	if b.cur.Terminator() == nil {
+		b.Br(joinB)
+	}
+	if els != nil {
+		b.SetBlock(elseB)
+		els()
+		if b.cur.Terminator() == nil {
+			b.Br(joinB)
+		}
+	}
+	b.SetBlock(joinB)
+}
+
+// While emits a while loop. cond is re-evaluated each iteration by the
+// condFn callback (which must emit instructions computing an i1).
+func (b *Builder) While(name string, condFn func() Value, body func()) {
+	condB := b.NewBlock(name + ".cond")
+	bodyB := b.NewBlock(name + ".body")
+	exitB := b.NewBlock(name + ".exit")
+	b.Br(condB)
+
+	b.SetBlock(condB)
+	c := condFn()
+	b.CondBr(c, bodyB, exitB)
+
+	b.SetBlock(bodyB)
+	body()
+	if b.cur.Terminator() == nil {
+		b.Br(condB)
+	}
+	b.SetBlock(exitB)
+}
+
+// PrintI64 prints an integer via the runtime.
+func (b *Builder) PrintI64(v Value) { b.CallNamed("print_i64", v) }
+
+// PrintF64 prints a float via the runtime.
+func (b *Builder) PrintF64(v Value) { b.CallNamed("print_f64", v) }
+
+// PrintChar prints a single byte via the runtime.
+func (b *Builder) PrintChar(c byte) {
+	b.CallNamed("print_char", ConstInt(I64, int64(c)))
+}
+
+// PrintString prints each byte of s.
+func (b *Builder) PrintString(s string) {
+	for i := 0; i < len(s); i++ {
+		b.PrintChar(s[i])
+	}
+}

@@ -1,0 +1,108 @@
+package ir
+
+// CloneModule returns a deep copy of m. Protection passes mutate modules
+// in place, so experiments clone the pristine module once per
+// configuration (per protection level, with and without Flowery).
+func CloneModule(m *Module) *Module {
+	nm := &Module{
+		Name:         m.Name,
+		funcByName:   make(map[string]*Function, len(m.Funcs)),
+		globalByName: make(map[string]*Global, len(m.Globals)),
+	}
+	for _, g := range m.Globals {
+		init := make([]byte, len(g.Init))
+		copy(init, g.Init)
+		ng := &Global{Name: g.Name, Size: g.Size, Init: init, Addr: g.Addr}
+		nm.Globals = append(nm.Globals, ng)
+		nm.globalByName[g.Name] = ng
+	}
+
+	funcMap := make(map[*Function]*Function, len(m.Funcs))
+	for _, f := range m.Funcs {
+		nf := &Function{
+			Name:     f.Name,
+			RetType:  f.RetType,
+			External: f.External,
+			Module:   nm,
+		}
+		for _, p := range f.Params {
+			nf.Params = append(nf.Params, &Param{Func: nf, Index: p.Index, Name: p.Name, Ty: p.Ty})
+		}
+		nm.Funcs = append(nm.Funcs, nf)
+		nm.funcByName[nf.Name] = nf
+		funcMap[f] = nf
+	}
+
+	for _, f := range m.Funcs {
+		if f.External {
+			continue
+		}
+		cloneBody(f, funcMap[f], funcMap, nm)
+	}
+	return nm
+}
+
+func cloneBody(f, nf *Function, funcMap map[*Function]*Function, nm *Module) {
+	blockMap := make(map[*Block]*Block, len(f.Blocks))
+	for _, b := range f.Blocks {
+		nb := nf.NewBlock(b.Name)
+		blockMap[b] = nb
+	}
+	instrMap := make(map[*Instr]*Instr)
+	// First create all instruction shells so forward references (there
+	// are none in well-formed IR, but protection metadata links can point
+	// anywhere) resolve.
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			ni := &Instr{
+				Op:   in.Op,
+				Ty:   in.Ty,
+				Pred: in.Pred,
+				Aux:  in.Aux,
+				ID:   -1,
+			}
+			instrMap[in] = ni
+			blockMap[b].Append(ni)
+		}
+	}
+	mapValue := func(v Value) Value {
+		switch x := v.(type) {
+		case *Instr:
+			return instrMap[x]
+		case *Param:
+			return nf.Params[x.Index]
+		case *Global:
+			return nm.Global(x.Name)
+		case *Const:
+			return &Const{Ty: x.Ty, Bits: x.Bits}
+		default:
+			return v
+		}
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			ni := instrMap[in]
+			for _, a := range in.Args {
+				ni.Args = append(ni.Args, mapValue(a))
+			}
+			for _, t := range in.Blocks {
+				ni.Blocks = append(ni.Blocks, blockMap[t])
+			}
+			if in.Callee != nil {
+				ni.Callee = funcMap[in.Callee]
+			}
+			ni.Prot = ProtMeta{
+				IsDup:     in.Prot.IsDup,
+				IsChecker: in.Prot.IsChecker,
+				IsFlowery: in.Prot.IsFlowery,
+			}
+			if in.Prot.Orig != nil {
+				ni.Prot.Orig = instrMap[in.Prot.Orig]
+			}
+			if in.Prot.Dup != nil {
+				ni.Prot.Dup = instrMap[in.Prot.Dup]
+			}
+		}
+	}
+	nf.Renumber()
+}

@@ -1,0 +1,57 @@
+package ir_test
+
+import (
+	"fmt"
+
+	"flowery/internal/interp"
+	"flowery/internal/ir"
+	"flowery/internal/sim"
+)
+
+// ExampleBuilder shows the basic construction workflow: create a module,
+// build a function with structured control flow, verify, and execute.
+func ExampleBuilder() {
+	m := ir.NewModule("example")
+	f := m.NewFunction("main", ir.I64)
+	b := ir.NewBuilder(f)
+
+	// sum = Σ i for i in [0, 5)
+	sum := b.AllocVar(ir.I64)
+	b.Store(ir.ConstInt(ir.I64, 0), sum)
+	b.ForLoop("i", ir.ConstInt(ir.I64, 0), ir.ConstInt(ir.I64, 5), ir.ConstInt(ir.I64, 1), func(i ir.Value) {
+		b.Store(b.Add(b.Load(ir.I64, sum), i), sum)
+	})
+	v := b.Load(ir.I64, sum)
+	b.PrintI64(v)
+	b.Ret(v)
+
+	if err := m.Verify(); err != nil {
+		panic(err)
+	}
+	res := interp.New(m).Run(sim.Fault{}, sim.Options{})
+	fmt.Printf("output: %sreturn: %d\n", res.Output, res.RetVal)
+	// Output:
+	// output: 10
+	// return: 10
+}
+
+// ExampleParse shows the textual IR round trip.
+func ExampleParse() {
+	src := `
+module demo
+func @main() i64 {
+entry:
+  %0 = add i64 i64 40, i64 2
+  call void @print_i64(%0)
+  ret %0
+}
+`
+	m, err := ir.Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	res := interp.New(m).Run(sim.Fault{}, sim.Options{})
+	fmt.Print(string(res.Output))
+	// Output:
+	// 42
+}

@@ -1,0 +1,397 @@
+package ir
+
+import "fmt"
+
+// Op enumerates IR instruction opcodes.
+type Op uint8
+
+const (
+	// OpInvalid is the zero value; no valid instruction carries it.
+	OpInvalid Op = iota
+
+	// OpAlloca reserves Aux bytes in the current frame and yields a Ptr.
+	OpAlloca
+	// OpLoad reads a value of the instruction's type from Args[0] (Ptr).
+	OpLoad
+	// OpStore writes Args[0] to the address Args[1]. No result.
+	OpStore
+
+	// Integer arithmetic. Operands and result share one integer type.
+	OpAdd
+	OpSub
+	OpMul
+	OpSDiv
+	OpSRem
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpAShr
+	OpLShr
+
+	// Floating-point arithmetic (F64).
+	OpFAdd
+	OpFSub
+	OpFMul
+	OpFDiv
+
+	// OpICmp compares two integer operands with Pred, yielding I1.
+	OpICmp
+	// OpFCmp compares two F64 operands with Pred, yielding I1.
+	OpFCmp
+
+	// OpGEP computes Args[0] + Args[1]*Aux (pointer arithmetic with a
+	// constant element size), yielding Ptr.
+	OpGEP
+
+	// Casts. The result type is the instruction type.
+	OpTrunc
+	OpZExt
+	OpSExt
+	OpSIToFP
+	OpFPToSI
+
+	// OpCall invokes Callee with Args. Result type is the callee's
+	// return type (possibly Void).
+	OpCall
+
+	// Terminators.
+	OpBr     // unconditional: Blocks[0]
+	OpCondBr // Args[0] is the I1 condition; Blocks[0] taken, Blocks[1] not
+	OpRet    // optional Args[0]
+)
+
+var opNames = [...]string{
+	OpInvalid: "invalid",
+	OpAlloca:  "alloca",
+	OpLoad:    "load",
+	OpStore:   "store",
+	OpAdd:     "add",
+	OpSub:     "sub",
+	OpMul:     "mul",
+	OpSDiv:    "sdiv",
+	OpSRem:    "srem",
+	OpAnd:     "and",
+	OpOr:      "or",
+	OpXor:     "xor",
+	OpShl:     "shl",
+	OpAShr:    "ashr",
+	OpLShr:    "lshr",
+	OpFAdd:    "fadd",
+	OpFSub:    "fsub",
+	OpFMul:    "fmul",
+	OpFDiv:    "fdiv",
+	OpICmp:    "icmp",
+	OpFCmp:    "fcmp",
+	OpGEP:     "gep",
+	OpTrunc:   "trunc",
+	OpZExt:    "zext",
+	OpSExt:    "sext",
+	OpSIToFP:  "sitofp",
+	OpFPToSI:  "fptosi",
+	OpCall:    "call",
+	OpBr:      "br",
+	OpCondBr:  "condbr",
+	OpRet:     "ret",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// OpFromString maps an opcode mnemonic back to its Op.
+func OpFromString(s string) (Op, bool) {
+	for i, n := range opNames {
+		if n == s && Op(i) != OpInvalid {
+			return Op(i), true
+		}
+	}
+	return OpInvalid, false
+}
+
+// IsTerminator reports whether the opcode ends a basic block.
+func (o Op) IsTerminator() bool { return o == OpBr || o == OpCondBr || o == OpRet }
+
+// IsBinOp reports whether the opcode is a two-operand arithmetic or
+// bitwise operation (integer or float).
+func (o Op) IsBinOp() bool { return o >= OpAdd && o <= OpFDiv }
+
+// IsCast reports whether the opcode converts between types.
+func (o Op) IsCast() bool { return o >= OpTrunc && o <= OpFPToSI }
+
+// IsPure reports whether the instruction has no side effects and its
+// result depends only on its operands (candidates for CSE/folding).
+// Loads are excluded: their purity depends on intervening stores.
+func (o Op) IsPure() bool {
+	return o.IsBinOp() || o.IsCast() || o == OpICmp || o == OpFCmp || o == OpGEP
+}
+
+// Pred enumerates comparison predicates for OpICmp and OpFCmp.
+type Pred uint8
+
+const (
+	PredNone Pred = iota
+	// Integer predicates (signed unless prefixed with U).
+	PredEQ
+	PredNE
+	PredSLT
+	PredSLE
+	PredSGT
+	PredSGE
+	PredULT
+	PredULE
+	PredUGT
+	PredUGE
+	// Ordered float predicates.
+	PredOEQ
+	PredONE
+	PredOLT
+	PredOLE
+	PredOGT
+	PredOGE
+)
+
+var predNames = [...]string{
+	PredNone: "none",
+	PredEQ:   "eq", PredNE: "ne",
+	PredSLT: "slt", PredSLE: "sle", PredSGT: "sgt", PredSGE: "sge",
+	PredULT: "ult", PredULE: "ule", PredUGT: "ugt", PredUGE: "uge",
+	PredOEQ: "oeq", PredONE: "one",
+	PredOLT: "olt", PredOLE: "ole", PredOGT: "ogt", PredOGE: "oge",
+}
+
+func (p Pred) String() string {
+	if int(p) < len(predNames) {
+		return predNames[p]
+	}
+	return fmt.Sprintf("pred(%d)", uint8(p))
+}
+
+// PredFromString maps a predicate mnemonic back to its Pred.
+func PredFromString(s string) (Pred, bool) {
+	for i, n := range predNames {
+		if n == s && Pred(i) != PredNone {
+			return Pred(i), true
+		}
+	}
+	return PredNone, false
+}
+
+// IsFloatPred reports whether the predicate belongs to fcmp.
+func (p Pred) IsFloatPred() bool { return p >= PredOEQ }
+
+// Protection metadata attached to instructions by the duplication and
+// Flowery passes. It travels to the backend so emitted assembly can be
+// tagged with provenance for root-cause classification.
+type ProtMeta struct {
+	// IsDup marks an instruction as the redundant copy of Orig.
+	IsDup bool
+	// Orig points from a duplicate to the primary copy.
+	Orig *Instr
+	// Dup points from a primary copy to its duplicate.
+	Dup *Instr
+	// IsChecker marks comparison/branch instructions inserted by the
+	// duplication pass to detect divergence between the two copies.
+	IsChecker bool
+	// IsFlowery marks instructions inserted by a Flowery patch.
+	IsFlowery bool
+}
+
+// Instr is a single IR instruction. Instructions producing a value
+// implement Value and are referred to by pointer identity.
+type Instr struct {
+	Op   Op
+	Ty   Type // result type; Void for store/br/condbr/ret and void calls
+	Pred Pred // icmp/fcmp only
+
+	// Args are the value operands. Layout by opcode:
+	//   load:   [ptr]
+	//   store:  [val, ptr]
+	//   binop:  [lhs, rhs]
+	//   icmp:   [lhs, rhs]
+	//   gep:    [base, index]
+	//   cast:   [val]
+	//   call:   args...
+	//   condbr: [cond]
+	//   ret:    [val] or []
+	Args []Value
+
+	// Blocks are the successor blocks of terminators:
+	//   br:     [target]
+	//   condbr: [ifTrue, ifFalse]
+	Blocks []*Block
+
+	// Callee is the called function for OpCall.
+	Callee *Function
+
+	// Aux carries the allocation size for OpAlloca and the element size
+	// for OpGEP.
+	Aux int64
+
+	// Prot carries protection metadata (duplication, checkers, Flowery).
+	Prot ProtMeta
+
+	// Parent is the containing block; maintained by Block methods.
+	Parent *Block
+
+	// ID is the per-function SSA number used for printing. Assigned by
+	// Function.Renumber; -1 when unassigned.
+	ID int
+}
+
+// Type implements Value.
+func (in *Instr) Type() Type { return in.Ty }
+
+// OperandString implements Value.
+func (in *Instr) OperandString() string {
+	if in.ID >= 0 {
+		return fmt.Sprintf("%%%d", in.ID)
+	}
+	return fmt.Sprintf("%%<%p>", in)
+}
+
+// HasResult reports whether the instruction produces a value. Only
+// instructions with results are IR-level fault-injection sites, matching
+// the paper's fault model (stores, branches, and void calls have no
+// destination register at IR level).
+func (in *Instr) HasResult() bool { return in.Ty != Void }
+
+// Function is a procedure: a parameter list, a return type, and (unless
+// external) a list of basic blocks, the first of which is the entry.
+type Function struct {
+	Name    string
+	Params  []*Param
+	RetType Type
+	Blocks  []*Block
+
+	// External marks runtime/intrinsic functions that have no IR body
+	// and are executed natively by the interpreter and simulator
+	// (e.g. sqrt, print_i64, check_fail).
+	External bool
+
+	// Module is the containing module.
+	Module *Module
+
+	nextBlockID int
+}
+
+// Entry returns the entry block, or nil for external functions.
+func (f *Function) Entry() *Block {
+	if len(f.Blocks) == 0 {
+		return nil
+	}
+	return f.Blocks[0]
+}
+
+// NewBlock appends a new empty block with the given name hint. A unique
+// suffix is added if the name is empty or already taken.
+func (f *Function) NewBlock(name string) *Block {
+	if name == "" {
+		name = fmt.Sprintf("bb%d", f.nextBlockID)
+	} else {
+		for _, b := range f.Blocks {
+			if b.Name == name {
+				name = fmt.Sprintf("%s.%d", name, f.nextBlockID)
+				break
+			}
+		}
+	}
+	f.nextBlockID++
+	b := &Block{Name: name, Func: f}
+	f.Blocks = append(f.Blocks, b)
+	return b
+}
+
+// Renumber assigns sequential IDs to all value-producing instructions and
+// refreshes Parent links. Printing and verification call it implicitly.
+func (f *Function) Renumber() {
+	id := 0
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			in.Parent = b
+			if in.HasResult() {
+				in.ID = id
+				id++
+			} else {
+				in.ID = -1
+			}
+		}
+	}
+}
+
+// NumInstrs returns the number of static instructions in the body.
+func (f *Function) NumInstrs() int {
+	n := 0
+	for _, b := range f.Blocks {
+		n += len(b.Instrs)
+	}
+	return n
+}
+
+// Block is a basic block: a named, ordered instruction list ending (in
+// verified functions) with exactly one terminator.
+type Block struct {
+	Name   string
+	Func   *Function
+	Instrs []*Instr
+}
+
+// Append adds an instruction to the end of the block.
+func (b *Block) Append(in *Instr) *Instr {
+	in.Parent = b
+	in.ID = -1
+	b.Instrs = append(b.Instrs, in)
+	return in
+}
+
+// InsertAt places an instruction at index i, shifting later instructions.
+func (b *Block) InsertAt(i int, in *Instr) {
+	in.Parent = b
+	in.ID = -1
+	b.Instrs = append(b.Instrs, nil)
+	copy(b.Instrs[i+1:], b.Instrs[i:])
+	b.Instrs[i] = in
+}
+
+// Index returns the position of in within the block, or -1.
+func (b *Block) Index(in *Instr) int {
+	for i, x := range b.Instrs {
+		if x == in {
+			return i
+		}
+	}
+	return -1
+}
+
+// Remove deletes the instruction at index i.
+func (b *Block) Remove(i int) {
+	copy(b.Instrs[i:], b.Instrs[i+1:])
+	b.Instrs = b.Instrs[:len(b.Instrs)-1]
+}
+
+// Terminator returns the final instruction if it is a terminator, else nil.
+func (b *Block) Terminator() *Instr {
+	if len(b.Instrs) == 0 {
+		return nil
+	}
+	last := b.Instrs[len(b.Instrs)-1]
+	if last.Op.IsTerminator() {
+		return last
+	}
+	return nil
+}
+
+// Succs returns the successor blocks.
+func (b *Block) Succs() []*Block {
+	t := b.Terminator()
+	if t == nil {
+		return nil
+	}
+	return t.Blocks
+}
+
+// OperandString lets blocks appear as label operands in printing.
+func (b *Block) String() string { return "%" + b.Name }

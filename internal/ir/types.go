@@ -1,0 +1,113 @@
+// Package ir defines the intermediate representation used throughout the
+// repository: an SSA-lite IR closely modeled on the shape clang emits at
+// -O0 (alloca/load/store chains, no phi nodes), which is the compilation
+// mode studied by the paper. Programs are built with a Builder, checked by
+// Verify, executed by package interp, and lowered to assembly by package
+// backend.
+package ir
+
+import "fmt"
+
+// Type enumerates the primitive value types of the IR. There are no
+// aggregate first-class values; arrays and structs live in memory behind
+// pointers, exactly as in clang -O0 output.
+type Type uint8
+
+const (
+	// Void is the type of instructions that produce no value
+	// (store, br, condbr, ret, calls to void functions).
+	Void Type = iota
+	// I1 is a boolean (comparison results, branch conditions).
+	I1
+	// I8 is a byte (characters, raw memory).
+	I8
+	// I32 is a 32-bit signed integer.
+	I32
+	// I64 is a 64-bit signed integer.
+	I64
+	// F64 is an IEEE-754 double.
+	F64
+	// Ptr is a 64-bit address.
+	Ptr
+)
+
+// Size returns the in-memory size of the type in bytes. Void has size 0.
+func (t Type) Size() int64 {
+	switch t {
+	case I1, I8:
+		return 1
+	case I32:
+		return 4
+	case I64, F64, Ptr:
+		return 8
+	default:
+		return 0
+	}
+}
+
+// Bits returns the significant bit width of the type. Fault injection at
+// IR level flips a uniformly random bit among these.
+func (t Type) Bits() int {
+	switch t {
+	case I1:
+		return 1
+	case I8:
+		return 8
+	case I32:
+		return 32
+	case I64, F64, Ptr:
+		return 64
+	default:
+		return 0
+	}
+}
+
+// IsInt reports whether t is an integer type (including I1).
+func (t Type) IsInt() bool {
+	return t == I1 || t == I8 || t == I32 || t == I64
+}
+
+// IsFloat reports whether t is a floating-point type.
+func (t Type) IsFloat() bool { return t == F64 }
+
+func (t Type) String() string {
+	switch t {
+	case Void:
+		return "void"
+	case I1:
+		return "i1"
+	case I8:
+		return "i8"
+	case I32:
+		return "i32"
+	case I64:
+		return "i64"
+	case F64:
+		return "f64"
+	case Ptr:
+		return "ptr"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(t))
+	}
+}
+
+// TypeFromString parses a type name as printed by Type.String.
+func TypeFromString(s string) (Type, bool) {
+	switch s {
+	case "void":
+		return Void, true
+	case "i1":
+		return I1, true
+	case "i8":
+		return I8, true
+	case "i32":
+		return I32, true
+	case "i64":
+		return I64, true
+	case "f64":
+		return F64, true
+	case "ptr":
+		return Ptr, true
+	}
+	return Void, false
+}

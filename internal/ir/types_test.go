@@ -1,0 +1,183 @@
+package ir
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTypeSizes(t *testing.T) {
+	cases := []struct {
+		ty   Type
+		size int64
+		bits int
+	}{
+		{Void, 0, 0},
+		{I1, 1, 1},
+		{I8, 1, 8},
+		{I32, 4, 32},
+		{I64, 8, 64},
+		{F64, 8, 64},
+		{Ptr, 8, 64},
+	}
+	for _, c := range cases {
+		if c.ty.Size() != c.size {
+			t.Errorf("%v.Size() = %d, want %d", c.ty, c.ty.Size(), c.size)
+		}
+		if c.ty.Bits() != c.bits {
+			t.Errorf("%v.Bits() = %d, want %d", c.ty, c.ty.Bits(), c.bits)
+		}
+	}
+}
+
+func TestTypeStringRoundTrip(t *testing.T) {
+	for _, ty := range []Type{Void, I1, I8, I32, I64, F64, Ptr} {
+		got, ok := TypeFromString(ty.String())
+		if !ok || got != ty {
+			t.Errorf("TypeFromString(%q) = %v, %v", ty.String(), got, ok)
+		}
+	}
+	if _, ok := TypeFromString("i128"); ok {
+		t.Error("parsed a nonexistent type")
+	}
+}
+
+func TestTypePredicates(t *testing.T) {
+	for _, ty := range []Type{I1, I8, I32, I64} {
+		if !ty.IsInt() || ty.IsFloat() {
+			t.Errorf("%v misclassified", ty)
+		}
+	}
+	if !F64.IsFloat() || F64.IsInt() {
+		t.Error("F64 misclassified")
+	}
+	if Ptr.IsInt() || Ptr.IsFloat() {
+		t.Error("Ptr misclassified")
+	}
+}
+
+// NormalizeInt must be idempotent and width-faithful for every type.
+func TestNormalizeIntProperties(t *testing.T) {
+	f := func(bits uint64) bool {
+		for _, ty := range []Type{I1, I8, I32, I64} {
+			n := NormalizeInt(ty, bits)
+			if NormalizeInt(ty, n) != n {
+				return false // not idempotent
+			}
+			// Value must fit the signed range of the type.
+			v := int64(n)
+			switch ty {
+			case I1:
+				if v != 0 && v != 1 {
+					return false
+				}
+			case I8:
+				if v < math.MinInt8 || v > math.MaxInt8 {
+					return false
+				}
+			case I32:
+				if v < math.MinInt32 || v > math.MaxInt32 {
+					return false
+				}
+			}
+			// Low bits preserved.
+			w := uint(ty.Bits())
+			if w < 64 && (n^bits)&((1<<w)-1) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConstConstructors(t *testing.T) {
+	if c := ConstInt(I8, 200); c.Int() != -56 {
+		t.Errorf("ConstInt(I8, 200).Int() = %d, want -56 (sign-extended)", c.Int())
+	}
+	if c := ConstInt(I32, -1); c.Bits != ^uint64(0) {
+		t.Errorf("ConstInt(I32, -1) not canonically sign-extended: %#x", c.Bits)
+	}
+	if c := ConstBool(true); c.Bits != 1 || c.Ty != I1 {
+		t.Errorf("ConstBool(true) = %+v", c)
+	}
+	if c := ConstFloat(1.5); c.Float() != 1.5 || c.Ty != F64 {
+		t.Errorf("ConstFloat(1.5) = %+v", c)
+	}
+}
+
+func TestFormatFloatAlwaysFloatLooking(t *testing.T) {
+	for _, v := range []float64{0, 1, -3, 0.5, 1e300, -1e-300, math.Pi} {
+		s := FormatFloat(v)
+		hasMark := false
+		for _, r := range s {
+			if r == '.' || r == 'e' || r == 'E' {
+				hasMark = true
+			}
+		}
+		if !hasMark {
+			t.Errorf("FormatFloat(%g) = %q lacks a float marker", v, s)
+		}
+	}
+	if FormatFloat(math.Inf(1)) != "+Inf" || FormatFloat(math.Inf(-1)) != "-Inf" || FormatFloat(math.NaN()) != "NaN" {
+		t.Error("special values misformatted")
+	}
+}
+
+func TestOpClassification(t *testing.T) {
+	if !OpBr.IsTerminator() || !OpCondBr.IsTerminator() || !OpRet.IsTerminator() {
+		t.Error("terminators misclassified")
+	}
+	if OpAdd.IsTerminator() || OpStore.IsTerminator() {
+		t.Error("non-terminators classified as terminators")
+	}
+	for _, op := range []Op{OpAdd, OpSub, OpMul, OpSDiv, OpSRem, OpAnd, OpOr, OpXor, OpShl, OpAShr, OpLShr, OpFAdd, OpFSub, OpFMul, OpFDiv} {
+		if !op.IsBinOp() {
+			t.Errorf("%v should be a binop", op)
+		}
+	}
+	if OpLoad.IsBinOp() || OpICmp.IsBinOp() {
+		t.Error("non-binops classified as binops")
+	}
+	for _, op := range []Op{OpTrunc, OpZExt, OpSExt, OpSIToFP, OpFPToSI} {
+		if !op.IsCast() {
+			t.Errorf("%v should be a cast", op)
+		}
+	}
+	if OpLoad.IsPure() || OpStore.IsPure() || OpCall.IsPure() {
+		t.Error("impure ops classified pure")
+	}
+	if !OpAdd.IsPure() || !OpICmp.IsPure() || !OpGEP.IsPure() {
+		t.Error("pure ops misclassified")
+	}
+}
+
+func TestOpAndPredStringRoundTrip(t *testing.T) {
+	for op := OpAlloca; op <= OpRet; op++ {
+		got, ok := OpFromString(op.String())
+		if !ok || got != op {
+			t.Errorf("OpFromString(%q) = %v, %v", op.String(), got, ok)
+		}
+	}
+	for p := PredEQ; p <= PredOGE; p++ {
+		got, ok := PredFromString(p.String())
+		if !ok || got != p {
+			t.Errorf("PredFromString(%q) = %v, %v", p.String(), got, ok)
+		}
+	}
+}
+
+func TestPredIsFloat(t *testing.T) {
+	for p := PredEQ; p <= PredUGE; p++ {
+		if p.IsFloatPred() {
+			t.Errorf("%v wrongly float", p)
+		}
+	}
+	for p := PredOEQ; p <= PredOGE; p++ {
+		if !p.IsFloatPred() {
+			t.Errorf("%v wrongly integer", p)
+		}
+	}
+}

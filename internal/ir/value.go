@@ -1,0 +1,139 @@
+package ir
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// Value is anything that can appear as an instruction operand: constants,
+// globals, function parameters, and the results of other instructions.
+type Value interface {
+	// Type returns the value's type.
+	Type() Type
+	// OperandString returns the form used when the value appears as an
+	// operand in the textual IR (e.g. "%3", "@g", "i32 7").
+	OperandString() string
+}
+
+// Const is a compile-time constant of integer, float, or pointer type.
+// The payload is stored as raw bits: for F64 it is math.Float64bits of the
+// value; for integer types it is the sign-extended 64-bit representation.
+type Const struct {
+	Ty   Type
+	Bits uint64
+}
+
+// ConstInt returns an integer constant of the given type. The value is
+// normalized (truncated and sign-extended) to the type's width.
+func ConstInt(ty Type, v int64) *Const {
+	return &Const{Ty: ty, Bits: NormalizeInt(ty, uint64(v))}
+}
+
+// ConstBool returns an i1 constant.
+func ConstBool(b bool) *Const {
+	if b {
+		return &Const{Ty: I1, Bits: 1}
+	}
+	return &Const{Ty: I1, Bits: 0}
+}
+
+// ConstFloat returns an f64 constant.
+func ConstFloat(v float64) *Const {
+	return &Const{Ty: F64, Bits: math.Float64bits(v)}
+}
+
+// Type implements Value.
+func (c *Const) Type() Type { return c.Ty }
+
+// Int returns the constant as a signed integer.
+func (c *Const) Int() int64 { return int64(c.Bits) }
+
+// Float returns the constant as a float64.
+func (c *Const) Float() float64 { return math.Float64frombits(c.Bits) }
+
+// OperandString implements Value.
+func (c *Const) OperandString() string {
+	if c.Ty == F64 {
+		return "f64 " + FormatFloat(c.Float())
+	}
+	return fmt.Sprintf("%s %d", c.Ty, int64(c.Bits))
+}
+
+// FormatFloat renders a float in a form the parser can read back exactly.
+func FormatFloat(f float64) string {
+	if math.IsInf(f, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(f, -1) {
+		return "-Inf"
+	}
+	if math.IsNaN(f) {
+		return "NaN"
+	}
+	s := strconv.FormatFloat(f, 'g', -1, 64)
+	// Guarantee a float-looking token so the parser can distinguish it
+	// from an integer.
+	hasDotOrExp := false
+	for _, r := range s {
+		if r == '.' || r == 'e' || r == 'E' {
+			hasDotOrExp = true
+			break
+		}
+	}
+	if !hasDotOrExp {
+		s += ".0"
+	}
+	return s
+}
+
+// NormalizeInt truncates bits to the width of ty and sign-extends the
+// result back to 64 bits. All integer values in the interpreter and in
+// constants are kept in this canonical form.
+func NormalizeInt(ty Type, bits uint64) uint64 {
+	switch ty {
+	case I1:
+		return bits & 1
+	case I8:
+		return uint64(int64(int8(bits)))
+	case I32:
+		return uint64(int64(int32(bits)))
+	default:
+		return bits
+	}
+}
+
+// Global is a named module-level memory region with an optional
+// initializer. Its address is assigned by Module.AssignAddresses and is
+// identical in the IR interpreter and the assembly simulator, so pointer
+// values can be compared across layers.
+type Global struct {
+	Name string
+	// Size is the region size in bytes.
+	Size int64
+	// Init holds the initial bytes; if shorter than Size the remainder
+	// is zero-filled.
+	Init []byte
+	// Addr is the assigned virtual address (see Module.AssignAddresses).
+	Addr int64
+}
+
+// Type implements Value: a global used as an operand is its address.
+func (g *Global) Type() Type { return Ptr }
+
+// OperandString implements Value.
+func (g *Global) OperandString() string { return "@" + g.Name }
+
+// Param is a formal parameter of a function.
+type Param struct {
+	Func  *Function
+	Index int
+	Name  string
+	Ty    Type
+}
+
+// Type implements Value.
+func (p *Param) Type() Type { return p.Ty }
+
+// OperandString implements Value.
+func (p *Param) OperandString() string { return "%" + p.Name }

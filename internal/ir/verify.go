@@ -1,0 +1,377 @@
+package ir
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Verify checks module well-formedness. It returns a joined error listing
+// every problem found. Passing verification is a precondition of the
+// interpreter, the optimizer, and the backend; all transformation passes
+// are tested to preserve it.
+func (m *Module) Verify() error {
+	var errs []error
+	if m.Func("main") == nil {
+		errs = append(errs, errors.New("module has no @main function"))
+	}
+	for _, f := range m.Funcs {
+		if f.External {
+			continue
+		}
+		if err := verifyFunc(f); err != nil {
+			errs = append(errs, fmt.Errorf("func @%s: %w", f.Name, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+func verifyFunc(f *Function) error {
+	var errs []error
+	bad := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf(format, args...))
+	}
+	if len(f.Blocks) == 0 {
+		return errors.New("no blocks")
+	}
+	f.Renumber()
+
+	blockSet := make(map[*Block]bool, len(f.Blocks))
+	for _, b := range f.Blocks {
+		if blockSet[b] {
+			bad("block %s appears twice", b.Name)
+		}
+		blockSet[b] = true
+	}
+
+	// Def set: every instruction defined in the function.
+	defs := make(map[*Instr]bool)
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			defs[in] = true
+		}
+	}
+
+	for bi, b := range f.Blocks {
+		if len(b.Instrs) == 0 {
+			bad("block %s is empty", b.Name)
+			continue
+		}
+		for i, in := range b.Instrs {
+			// Allocas must live in the entry block so frames have a
+			// static size (clang -O0 discipline; the backend and both
+			// execution engines precompute frame layouts from it).
+			if in.Op == OpAlloca && bi != 0 {
+				bad("block %s: alloca outside entry block", b.Name)
+			}
+			// No block may branch back to entry: entry executes exactly
+			// once per invocation (also required for static frames).
+			for _, t := range in.Blocks {
+				if t == f.Blocks[0] {
+					bad("block %s: branch to entry block", b.Name)
+				}
+			}
+			isLast := i == len(b.Instrs)-1
+			if in.Op.IsTerminator() != isLast {
+				if isLast {
+					bad("block %s does not end in a terminator", b.Name)
+				} else {
+					bad("block %s: terminator %s in the middle", b.Name, in.Op)
+				}
+			}
+			if in.Parent != b {
+				bad("block %s: instruction %s has wrong parent", b.Name, in)
+			}
+			for _, t := range in.Blocks {
+				if !blockSet[t] {
+					bad("block %s: branch to foreign block %s", b.Name, t.Name)
+				}
+			}
+			for ai, a := range in.Args {
+				switch v := a.(type) {
+				case *Instr:
+					if !defs[v] {
+						bad("block %s: %s uses operand %d defined outside the function", b.Name, in.Op, ai)
+					}
+					if !v.HasResult() {
+						bad("block %s: %s uses void instruction as operand", b.Name, in.Op)
+					}
+				case *Param:
+					if v.Func != f {
+						bad("block %s: %s uses parameter of another function", b.Name, in.Op)
+					}
+				case *Const, *Global:
+					// always fine
+				case nil:
+					bad("block %s: %s has nil operand %d", b.Name, in.Op, ai)
+				default:
+					bad("block %s: %s has operand of unknown kind %T", b.Name, in.Op, a)
+				}
+			}
+			if err := verifyInstrTypes(f, in); err != nil {
+				bad("block %s: %v", b.Name, err)
+			}
+		}
+	}
+
+	// Dominance: every use must be reachable only after its definition.
+	// With no phi nodes a simple forward-flow check suffices: compute,
+	// per block, the set of instruction definitions guaranteed available
+	// on entry (intersection over predecessors), then scan uses.
+	errs = append(errs, verifyDominance(f)...)
+
+	return errors.Join(errs...)
+}
+
+func verifyInstrTypes(f *Function, in *Instr) error {
+	argTy := func(i int) Type { return in.Args[i].Type() }
+	switch in.Op {
+	case OpAlloca:
+		if in.Aux <= 0 {
+			return fmt.Errorf("alloca with non-positive size %d", in.Aux)
+		}
+		if in.Ty != Ptr {
+			return errors.New("alloca must produce ptr")
+		}
+	case OpLoad:
+		if len(in.Args) != 1 || argTy(0) != Ptr {
+			return errors.New("load needs one ptr operand")
+		}
+		if in.Ty == Void || in.Ty == Ptr && false {
+			return errors.New("load of void")
+		}
+	case OpStore:
+		if len(in.Args) != 2 || argTy(1) != Ptr {
+			return errors.New("store needs value and ptr")
+		}
+		if argTy(0) == Void {
+			return errors.New("store of void value")
+		}
+	case OpICmp:
+		if len(in.Args) != 2 || argTy(0) != argTy(1) {
+			return errors.New("icmp needs two operands of one type")
+		}
+		if !(argTy(0).IsInt() || argTy(0) == Ptr) {
+			return fmt.Errorf("icmp on %s", argTy(0))
+		}
+		if in.Pred == PredNone || in.Pred.IsFloatPred() {
+			return fmt.Errorf("icmp with predicate %s", in.Pred)
+		}
+		if in.Ty != I1 {
+			return errors.New("icmp must produce i1")
+		}
+	case OpFCmp:
+		if len(in.Args) != 2 || argTy(0) != F64 || argTy(1) != F64 {
+			return errors.New("fcmp needs two f64 operands")
+		}
+		if !in.Pred.IsFloatPred() {
+			return fmt.Errorf("fcmp with predicate %s", in.Pred)
+		}
+		if in.Ty != I1 {
+			return errors.New("fcmp must produce i1")
+		}
+	case OpGEP:
+		if len(in.Args) != 2 || argTy(0) != Ptr || argTy(1) != I64 {
+			return errors.New("gep needs (ptr, i64)")
+		}
+		if in.Aux <= 0 {
+			return fmt.Errorf("gep with non-positive element size %d", in.Aux)
+		}
+		if in.Ty != Ptr {
+			return errors.New("gep must produce ptr")
+		}
+	case OpTrunc:
+		if len(in.Args) != 1 || !argTy(0).IsInt() || !in.Ty.IsInt() || in.Ty.Size() > argTy(0).Size() {
+			return errors.New("trunc must narrow an integer")
+		}
+	case OpZExt, OpSExt:
+		if len(in.Args) != 1 || !argTy(0).IsInt() || !in.Ty.IsInt() || in.Ty.Size() < argTy(0).Size() {
+			return fmt.Errorf("%s must widen an integer", in.Op)
+		}
+	case OpSIToFP:
+		if len(in.Args) != 1 || !argTy(0).IsInt() || in.Ty != F64 {
+			return errors.New("sitofp needs integer operand and f64 result")
+		}
+	case OpFPToSI:
+		if len(in.Args) != 1 || argTy(0) != F64 || !in.Ty.IsInt() {
+			return errors.New("fptosi needs f64 operand and integer result")
+		}
+	case OpCall:
+		if in.Callee == nil {
+			return errors.New("call with nil callee")
+		}
+		if f.Module != nil && f.Module.Func(in.Callee.Name) != in.Callee {
+			return fmt.Errorf("call to function @%s not in module", in.Callee.Name)
+		}
+		if len(in.Args) != len(in.Callee.Params) {
+			return fmt.Errorf("call @%s: %d args, want %d", in.Callee.Name, len(in.Args), len(in.Callee.Params))
+		}
+		for i, a := range in.Args {
+			if a.Type() != in.Callee.Params[i].Ty {
+				return fmt.Errorf("call @%s arg %d: %s, want %s", in.Callee.Name, i, a.Type(), in.Callee.Params[i].Ty)
+			}
+		}
+		if in.Ty != in.Callee.RetType {
+			return fmt.Errorf("call @%s result type %s, want %s", in.Callee.Name, in.Ty, in.Callee.RetType)
+		}
+	case OpBr:
+		if len(in.Blocks) != 1 {
+			return errors.New("br needs one target")
+		}
+	case OpCondBr:
+		if len(in.Blocks) != 2 || len(in.Args) != 1 || argTy(0) != I1 {
+			return errors.New("condbr needs i1 condition and two targets")
+		}
+	case OpRet:
+		switch {
+		case f.RetType == Void && len(in.Args) != 0:
+			return errors.New("ret with value in void function")
+		case f.RetType != Void && (len(in.Args) != 1 || argTy(0) != f.RetType):
+			return fmt.Errorf("ret must return %s", f.RetType)
+		}
+	default:
+		if in.Op.IsBinOp() {
+			if len(in.Args) != 2 || argTy(0) != argTy(1) || in.Ty != argTy(0) {
+				return fmt.Errorf("%s needs two operands of the result type", in.Op)
+			}
+			isF := in.Op >= OpFAdd && in.Op <= OpFDiv
+			if isF && in.Ty != F64 {
+				return fmt.Errorf("%s needs f64", in.Op)
+			}
+			if !isF && !in.Ty.IsInt() {
+				return fmt.Errorf("%s needs integer type, got %s", in.Op, in.Ty)
+			}
+		} else {
+			return fmt.Errorf("unknown opcode %s", in.Op)
+		}
+	}
+	return nil
+}
+
+// verifyDominance checks that every use of an instruction result is
+// dominated by its definition, via a forward dataflow fixpoint over the
+// "definitely defined on entry" sets.
+func verifyDominance(f *Function) []error {
+	var errs []error
+	n := len(f.Blocks)
+	idx := make(map[*Block]int, n)
+	for i, b := range f.Blocks {
+		idx[b] = i
+	}
+	preds := make([][]int, n)
+	for i, b := range f.Blocks {
+		for _, s := range b.Succs() {
+			j, ok := idx[s]
+			if !ok {
+				continue
+			}
+			preds[j] = append(preds[j], i)
+		}
+	}
+
+	// in[b] = set of instrs defined on every path reaching b's entry.
+	// Initialize to "everything" (represented by nil + full flag) except
+	// the entry block, then iterate to fixpoint.
+	all := make(map[*Instr]bool)
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.HasResult() {
+				all[in] = true
+			}
+		}
+	}
+	inSets := make([]map[*Instr]bool, n)
+	full := make([]bool, n)
+	for i := range full {
+		full[i] = i != 0
+	}
+	inSets[0] = map[*Instr]bool{}
+
+	outOf := func(i int) (map[*Instr]bool, bool) {
+		if full[i] {
+			return nil, true
+		}
+		out := make(map[*Instr]bool, len(inSets[i])+len(f.Blocks[i].Instrs))
+		for k := range inSets[i] {
+			out[k] = true
+		}
+		for _, in := range f.Blocks[i].Instrs {
+			if in.HasResult() {
+				out[in] = true
+			}
+		}
+		return out, false
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for i := 1; i < n; i++ {
+			var meet map[*Instr]bool
+			isFull := true
+			for _, p := range preds[i] {
+				po, pFull := outOf(p)
+				if pFull {
+					continue
+				}
+				if isFull {
+					isFull = false
+					meet = make(map[*Instr]bool, len(po))
+					for k := range po {
+						meet[k] = true
+					}
+				} else {
+					for k := range meet {
+						if !po[k] {
+							delete(meet, k)
+						}
+					}
+				}
+			}
+			if len(preds[i]) == 0 {
+				// Unreachable block: treat as full (no uses will be
+				// executed), keep as-is.
+				continue
+			}
+			if isFull {
+				continue
+			}
+			if full[i] || !sameSet(inSets[i], meet) {
+				full[i] = false
+				inSets[i] = meet
+				changed = true
+			}
+		}
+	}
+
+	for i, b := range f.Blocks {
+		if full[i] && i != 0 {
+			continue // unreachable
+		}
+		avail := make(map[*Instr]bool, len(inSets[i]))
+		for k := range inSets[i] {
+			avail[k] = true
+		}
+		for _, in := range b.Instrs {
+			for _, a := range in.Args {
+				if d, ok := a.(*Instr); ok && !avail[d] {
+					errs = append(errs, fmt.Errorf("block %s: use of %s not dominated by its definition", b.Name, d.OperandString()))
+				}
+			}
+			if in.HasResult() {
+				avail[in] = true
+			}
+		}
+	}
+	return errs
+}
+
+func sameSet(a, b map[*Instr]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,267 @@
+package machine
+
+import (
+	"math"
+
+	"flowery/internal/asm"
+	"flowery/internal/rt"
+	"flowery/internal/sim"
+)
+
+// exec runs from the current pc until the sentinel return or a trap.
+func (mc *Machine) exec() {
+	code := mc.code
+	n := int32(len(code))
+	for {
+		if mc.pc < 0 || mc.pc >= n {
+			mc.trap(sim.TrapBadJump)
+		}
+		in := &code[mc.pc]
+		mc.steps++
+		if mc.steps > mc.maxSteps {
+			mc.trap(sim.TrapTimeout)
+		}
+		if mc.traceRing != nil {
+			mc.traceRing[mc.traceHead] = mc.pc
+			mc.traceHead = (mc.traceHead + 1) % len(mc.traceRing)
+		}
+
+		switch in.op {
+		case asm.OpMov:
+			v := mc.readOp(&in.src, in.size)
+			mc.writeDst(&in.dst, in.size, v)
+
+		case asm.OpMovSX:
+			v := mc.readOp(&in.src, in.size)
+			mc.writeReg(in.dst.reg, 8, uint64(signExtend(v, in.size)))
+
+		case asm.OpMovZX:
+			v := mc.readOp(&in.src, in.size)
+			mc.writeReg(in.dst.reg, 8, v)
+
+		case asm.OpLea:
+			mc.writeReg(in.dst.reg, 8, uint64(mc.effAddr(&in.src)))
+
+		case asm.OpAdd, asm.OpSub, asm.OpIMul, asm.OpAnd, asm.OpOr, asm.OpXor:
+			a := mc.readOp(&in.dst, in.size)
+			b := mc.readOp(&in.src, in.size)
+			var r uint64
+			switch in.op {
+			case asm.OpAdd:
+				r = a + b
+			case asm.OpSub:
+				r = a - b
+			case asm.OpIMul:
+				r = a * b
+			case asm.OpAnd:
+				r = a & b
+			case asm.OpOr:
+				r = a | b
+			case asm.OpXor:
+				r = a ^ b
+			}
+			mc.writeDst(&in.dst, in.size, r)
+
+		case asm.OpShl, asm.OpSar, asm.OpShr:
+			a := mc.readOp(&in.dst, in.size)
+			c := mc.readOp(&in.src, 8)
+			if in.size == 8 {
+				c &= 63
+			} else {
+				c &= 31
+			}
+			var r uint64
+			switch in.op {
+			case asm.OpShl:
+				r = a << c
+			case asm.OpSar:
+				r = uint64(signExtend(a, in.size) >> c)
+			case asm.OpShr:
+				r = a >> c
+			}
+			mc.writeDst(&in.dst, in.size, r)
+
+		case asm.OpNeg:
+			a := mc.readOp(&in.dst, in.size)
+			mc.writeDst(&in.dst, in.size, -a)
+
+		case asm.OpCqo:
+			if in.size == 4 {
+				mc.writeReg(asm.RDX, 4, uint64(int64(int32(mc.regs[asm.RAX]))>>31))
+			} else {
+				mc.writeReg(asm.RDX, 8, uint64(int64(mc.regs[asm.RAX])>>63))
+			}
+
+		case asm.OpIDiv:
+			mc.idiv(in)
+
+		case asm.OpCmp:
+			a := mc.readOp(&in.dst, in.size)
+			b := mc.readOp(&in.src, in.size)
+			mc.regs[asm.RFLAGS] = setSubFlags(a, b, in.size)
+
+		case asm.OpTest:
+			a := mc.readOp(&in.dst, in.size)
+			b := mc.readOp(&in.src, in.size)
+			mc.regs[asm.RFLAGS] = setLogicFlags(a&b, in.size)
+
+		case asm.OpSet:
+			var v uint64
+			if in.cond.Eval(mc.regs[asm.RFLAGS]) {
+				v = 1
+			}
+			mc.writeReg(in.dst.reg, 1, v)
+
+		case asm.OpMovSD:
+			v := mc.readOp(&in.src, 8)
+			mc.writeDst(&in.dst, 8, v)
+
+		case asm.OpAddSD, asm.OpSubSD, asm.OpMulSD, asm.OpDivSD:
+			a := math.Float64frombits(mc.regs[in.dst.reg])
+			b := math.Float64frombits(mc.readOp(&in.src, 8))
+			var r float64
+			switch in.op {
+			case asm.OpAddSD:
+				r = a + b
+			case asm.OpSubSD:
+				r = a - b
+			case asm.OpMulSD:
+				r = a * b
+			default:
+				r = a / b
+			}
+			mc.regs[in.dst.reg] = math.Float64bits(r)
+
+		case asm.OpUComiSD:
+			a := math.Float64frombits(mc.regs[in.dst.reg])
+			b := math.Float64frombits(mc.readOp(&in.src, 8))
+			mc.regs[asm.RFLAGS] = ucomisdFlags(a, b)
+
+		case asm.OpCvtSI2SD:
+			v := signExtend(mc.readOp(&in.src, in.size), in.size)
+			mc.regs[in.dst.reg] = math.Float64bits(float64(v))
+
+		case asm.OpCvtSD2SI:
+			f := math.Float64frombits(mc.readOp(&in.src, 8))
+			v := rt.FpToSI(int(in.size)*8, f)
+			mc.writeReg(in.dst.reg, in.size, uint64(v))
+
+		case asm.OpJmp:
+			mc.pc = in.target
+			continue
+
+		case asm.OpJcc:
+			if in.cond.Eval(mc.regs[asm.RFLAGS]) {
+				mc.pc = in.target
+				continue
+			}
+
+		case asm.OpCall:
+			if in.ext != rt.FuncNone {
+				mc.callRuntime(in.ext)
+				mc.maybeInject(in) // destination: RSP
+				mc.pc++
+				continue
+			}
+			mc.push(uint64(CodeBase + instrSlot*int64(mc.pc+1)))
+			mc.maybeInject(in) // destination: RSP
+			mc.pc = in.target
+			continue
+
+		case asm.OpRet:
+			addr := mc.pop()
+			// ret's injectable destination is RIP: the fault lands on
+			// the popped return address.
+			mc.inject++
+			if mc.inject == mc.injectAt {
+				mc.injected = true
+				mc.injStatic = mc.pc
+				mc.injOrigin = in.origin
+				mc.injCheck = in.checker
+				addr ^= 1 << (mc.injectBit % 64)
+			}
+			if addr == mc.sentinelRA() {
+				return
+			}
+			if addr < CodeBase || (addr-CodeBase)%instrSlot != 0 {
+				mc.trap(sim.TrapBadJump)
+			}
+			idx := int32((addr - CodeBase) / instrSlot)
+			if idx < 0 || idx >= n {
+				mc.trap(sim.TrapBadJump)
+			}
+			mc.pc = idx
+			continue
+
+		case asm.OpPush:
+			mc.push(mc.readOp(&in.src, 8))
+
+		case asm.OpPop:
+			mc.writeReg(in.dst.reg, 8, mc.pop())
+
+		default:
+			panic("machine: unknown opcode " + in.op.String())
+		}
+
+		if in.hasDest {
+			mc.maybeInject(in)
+		}
+		mc.pc++
+	}
+}
+
+// idiv implements 32- and 64-bit signed division with x86 #DE semantics.
+func (mc *Machine) idiv(in *minstr) {
+	if in.size == 4 {
+		d := signExtend(mc.readOp(&in.src, 4), 4)
+		if d == 0 {
+			mc.trap(sim.TrapDivide)
+		}
+		dividend := int64(mc.regs[asm.RDX]&0xffff_ffff)<<32 | int64(mc.regs[asm.RAX]&0xffff_ffff)
+		q := dividend / d
+		if q > math.MaxInt32 || q < math.MinInt32 {
+			mc.trap(sim.TrapDivide)
+		}
+		mc.writeReg(asm.RAX, 4, uint64(q))
+		mc.writeReg(asm.RDX, 4, uint64(dividend%d))
+		return
+	}
+	d := int64(mc.readOp(&in.src, 8))
+	if d == 0 {
+		mc.trap(sim.TrapDivide)
+	}
+	x := int64(mc.regs[asm.RAX])
+	// Without 128-bit arithmetic, a dividend whose high half is not the
+	// sign extension of RAX always overflows the quotient (as does
+	// INT_MIN / -1); both raise #DE on real hardware.
+	if int64(mc.regs[asm.RDX]) != x>>63 {
+		mc.trap(sim.TrapDivide)
+	}
+	if d == -1 && x == math.MinInt64 {
+		mc.trap(sim.TrapDivide)
+	}
+	mc.regs[asm.RAX] = uint64(x / d)
+	mc.regs[asm.RDX] = uint64(x % d)
+}
+
+func (mc *Machine) callRuntime(f rt.Func) {
+	switch f {
+	case rt.FuncPrintI64:
+		mc.out = rt.AppendI64(mc.out, int64(mc.regs[asm.RDI]))
+	case rt.FuncPrintF64:
+		mc.out = rt.AppendF64(mc.out, math.Float64frombits(mc.regs[asm.XMM0]))
+	case rt.FuncPrintChar:
+		mc.out = rt.AppendChar(mc.out, byte(mc.regs[asm.RDI]))
+	case rt.FuncCheckFail:
+		panic(detectedPanic{})
+	case rt.FuncPow:
+		r := rt.Math2(f, math.Float64frombits(mc.regs[asm.XMM0]), math.Float64frombits(mc.regs[asm.XMM1]))
+		mc.regs[asm.XMM0] = math.Float64bits(r)
+	default:
+		r := rt.Math1(f, math.Float64frombits(mc.regs[asm.XMM0]))
+		mc.regs[asm.XMM0] = math.Float64bits(r)
+	}
+	if len(mc.out) > rt.MaxOutput {
+		mc.trap(sim.TrapOutputOverflow)
+	}
+}

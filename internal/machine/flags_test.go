@@ -1,0 +1,108 @@
+package machine
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"flowery/internal/asm"
+)
+
+// TestSetSubFlagsAgainstReference checks the cmp flag computation against
+// a direct Go reference over random operand pairs at every width.
+func TestSetSubFlagsAgainstReference(t *testing.T) {
+	check := func(a, b uint64) bool {
+		for _, size := range []uint8{1, 4, 8} {
+			f := setSubFlags(a, b, size)
+			var zf, sf, cf, of bool
+			switch size {
+			case 1:
+				x, y := int8(a), int8(b)
+				r := x - y
+				zf = r == 0
+				sf = r < 0
+				of = (x >= 0 && y < 0 && r < 0) || (x < 0 && y >= 0 && r >= 0)
+				cf = uint8(a) < uint8(b)
+			case 4:
+				x, y := int32(a), int32(b)
+				r := x - y
+				zf = r == 0
+				sf = r < 0
+				of = (x >= 0 && y < 0 && r < 0) || (x < 0 && y >= 0 && r >= 0)
+				cf = uint32(a) < uint32(b)
+			case 8:
+				x, y := int64(a), int64(b)
+				r := x - y
+				zf = r == 0
+				sf = r < 0
+				of = (x >= 0 && y < 0 && r < 0) || (x < 0 && y >= 0 && r >= 0)
+				cf = a < b
+			}
+			if (f&asm.FlagZF != 0) != zf || (f&asm.FlagSF != 0) != sf ||
+				(f&asm.FlagCF != 0) != cf || (f&asm.FlagOF != 0) != of {
+				t.Logf("size %d: a=%#x b=%#x flags=%#x want zf=%v sf=%v cf=%v of=%v",
+					size, a, b, f, zf, sf, cf, of)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Signed condition codes after cmp must order operands exactly like Go's
+// comparison operators — the property the fused compare-branch relies on.
+func TestCondAfterCmpMatchesComparison(t *testing.T) {
+	check := func(a, b int64) bool {
+		f := setSubFlags(uint64(a), uint64(b), 8)
+		return asm.CondL.Eval(f) == (a < b) &&
+			asm.CondLE.Eval(f) == (a <= b) &&
+			asm.CondG.Eval(f) == (a > b) &&
+			asm.CondGE.Eval(f) == (a >= b) &&
+			asm.CondE.Eval(f) == (a == b) &&
+			asm.CondNE.Eval(f) == (a != b) &&
+			asm.CondB.Eval(f) == (uint64(a) < uint64(b)) &&
+			asm.CondAE.Eval(f) == (uint64(a) >= uint64(b))
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUcomisdFlags(t *testing.T) {
+	nan := math.NaN()
+	cases := []struct {
+		a, b       float64
+		zf, pf, cf bool
+	}{
+		{1, 2, false, false, true},
+		{2, 1, false, false, false},
+		{1, 1, true, false, false},
+		{nan, 1, true, true, true},
+		{1, nan, true, true, true},
+		{nan, nan, true, true, true},
+		{math.Inf(1), 1, false, false, false},
+		{math.Inf(-1), 1, false, false, true},
+	}
+	for _, c := range cases {
+		f := ucomisdFlags(c.a, c.b)
+		if (f&asm.FlagZF != 0) != c.zf || (f&asm.FlagPF != 0) != c.pf || (f&asm.FlagCF != 0) != c.cf {
+			t.Errorf("ucomisd(%v, %v) = %#x, want zf=%v pf=%v cf=%v", c.a, c.b, f, c.zf, c.pf, c.cf)
+		}
+	}
+}
+
+func TestLogicFlags(t *testing.T) {
+	// test al, al with zero → ZF, even parity.
+	f := setLogicFlags(0, 1)
+	if f&asm.FlagZF == 0 || f&asm.FlagPF == 0 || f&asm.FlagCF != 0 || f&asm.FlagOF != 0 {
+		t.Errorf("logic flags of 0: %#x", f)
+	}
+	// 0b1000_0000 at width 1 → SF, single bit (odd parity → PF clear).
+	f = setLogicFlags(0x80, 1)
+	if f&asm.FlagSF == 0 || f&asm.FlagPF != 0 {
+		t.Errorf("logic flags of 0x80: %#x", f)
+	}
+}

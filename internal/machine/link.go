@@ -1,0 +1,140 @@
+// Package machine is the architectural simulator for the assembly of
+// package asm, and the assembly-level fault injector of the study (the
+// counterpart of PIN-based injection in the paper). It executes the
+// lowered program against the same memory layout as the IR interpreter,
+// so fault-free runs of the two layers produce identical output.
+package machine
+
+import (
+	"fmt"
+
+	"flowery/internal/asm"
+	"flowery/internal/ir"
+	"flowery/internal/rt"
+)
+
+// Code addresses: instruction i lives at CodeBase + 4*i. The region is
+// far outside the data address space, so data accesses to code addresses
+// trap, and corrupted return addresses are detectable.
+const (
+	CodeBase  = 0x4000_0000
+	instrSlot = 4
+)
+
+// mop is a pre-resolved operand (global symbols folded into imm).
+type mop struct {
+	kind  asm.OperandKind
+	reg   asm.Reg
+	imm   int64
+	index asm.Reg
+	scale int64
+}
+
+// minstr is a linked instruction.
+type minstr struct {
+	op      asm.Op
+	size    uint8
+	cond    asm.Cond
+	dst     mop
+	src     mop
+	target  int32   // jump target / call entry (code index)
+	ext     rt.Func // non-zero for calls to runtime functions
+	origin  asm.Origin
+	checker bool
+	hasDest bool
+	destReg asm.Reg
+	bits    int // injectable width
+}
+
+// link flattens the program into one code array with resolved labels,
+// call targets, and global addresses. The returned srcInfo maps each code
+// index to a human-readable "func: instr" string for diagnostics.
+func link(m *ir.Module, prog *asm.Program) ([]minstr, map[string]int32, []string, error) {
+	if err := prog.Validate(); err != nil {
+		return nil, nil, nil, err
+	}
+	// First pass: compute code index of every function entry and label.
+	entry := make(map[string]int32)
+	type labelKey struct {
+		fn    string
+		label string
+	}
+	labels := make(map[labelKey]int32)
+	idx := int32(0)
+	for _, f := range prog.Funcs {
+		entry[f.Name] = idx
+		for _, in := range f.Instrs {
+			if in.Op == asm.OpLabel {
+				labels[labelKey{f.Name, in.Label}] = idx
+				continue
+			}
+			idx++
+		}
+	}
+	codeLen := idx
+
+	resolveOp := func(o asm.Operand) (mop, error) {
+		r := mop{kind: o.Kind, reg: o.Reg, imm: o.Imm, index: o.Index, scale: o.Scale}
+		if o.Sym != "" {
+			g := m.Global(o.Sym)
+			if g == nil {
+				return r, fmt.Errorf("machine: unknown global %q", o.Sym)
+			}
+			if g.Addr == 0 {
+				return r, fmt.Errorf("machine: global %q has no address", o.Sym)
+			}
+			r.imm += g.Addr
+		}
+		return r, nil
+	}
+
+	code := make([]minstr, 0, codeLen)
+	srcInfo := make([]string, 0, codeLen)
+	for _, f := range prog.Funcs {
+		for _, in := range f.Instrs {
+			if in.Op == asm.OpLabel {
+				continue
+			}
+			srcInfo = append(srcInfo, f.Name+": "+in.String())
+			mi := minstr{
+				op:      in.Op,
+				size:    in.Size,
+				cond:    in.Cond,
+				origin:  in.Origin,
+				checker: in.Checker,
+				bits:    in.DestBits(),
+			}
+			mi.destReg, mi.hasDest = in.HasDest()
+			var err error
+			if mi.dst, err = resolveOp(in.Dst); err != nil {
+				return nil, nil, nil, err
+			}
+			if mi.src, err = resolveOp(in.Src); err != nil {
+				return nil, nil, nil, err
+			}
+			switch in.Op {
+			case asm.OpJmp, asm.OpJcc:
+				li, ok := f.LabelIndex(in.Target)
+				if !ok {
+					return nil, nil, nil, fmt.Errorf("machine: %s: unresolved label %q", f.Name, in.Target)
+				}
+				// LabelIndex gives the instruction-list position; we need
+				// the code index, which the labels map has.
+				_ = li
+				mi.target = labels[labelKey{f.Name, in.Target}]
+			case asm.OpCall:
+				if prog.Externals[in.Target] {
+					ext, ok := rt.ByName[in.Target]
+					if !ok {
+						return nil, nil, nil, fmt.Errorf("machine: external %q is not a runtime function", in.Target)
+					}
+					mi.ext = ext
+				} else {
+					mi.target = entry[in.Target]
+				}
+			}
+			code = append(code, mi)
+		}
+	}
+	return code, entry, srcInfo, nil
+}

@@ -1,0 +1,133 @@
+package machine
+
+import (
+	"testing"
+
+	"flowery/internal/backend"
+	"flowery/internal/interp"
+	"flowery/internal/ir"
+	"flowery/internal/sim"
+)
+
+// buildMixedModule exercises loops, calls, floats, comparisons, and
+// memory in one program whose output both layers must reproduce.
+func buildMixedModule(t *testing.T) *ir.Module {
+	t.Helper()
+	m := ir.NewModule("mixed")
+	data := m.NewGlobalI64("data", []int64{5, 3, 8, 1, 9, 2, 7, 4})
+
+	// square(x) = x*x
+	sq := m.NewFunction("square", ir.I64, ir.I64)
+	{
+		b := ir.NewBuilder(sq)
+		x := sq.Params[0]
+		b.Ret(b.Mul(x, x))
+	}
+
+	f := m.NewFunction("main", ir.I64)
+	b := ir.NewBuilder(f)
+	sum := b.AllocVar(ir.I64)
+	fsum := b.AllocVar(ir.F64)
+	b.Store(ir.ConstInt(ir.I64, 0), sum)
+	b.Store(ir.ConstFloat(0), fsum)
+	b.ForLoop("i", ir.ConstInt(ir.I64, 0), ir.ConstInt(ir.I64, 8), ir.ConstInt(ir.I64, 1), func(i ir.Value) {
+		v := b.LoadElem(ir.I64, data, i)
+		sv := b.Call(sq, v)
+		big := b.ICmp(ir.PredSGT, sv, ir.ConstInt(ir.I64, 20))
+		b.If(big, func() {
+			cur := b.Load(ir.I64, sum)
+			b.Store(b.Add(cur, sv), sum)
+		}, func() {
+			cur := b.Load(ir.I64, sum)
+			b.Store(b.Sub(cur, sv), sum)
+		})
+		fv := b.SIToFP(v)
+		r := b.CallNamed("sqrt", fv)
+		cf := b.Load(ir.F64, fsum)
+		b.Store(b.FAdd(cf, r), fsum)
+	})
+	s := b.Load(ir.I64, sum)
+	b.PrintI64(s)
+	fs := b.Load(ir.F64, fsum)
+	b.PrintF64(fs)
+	b.Ret(s)
+	if err := m.Verify(); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	return m
+}
+
+func TestMachineMatchesInterp(t *testing.T) {
+	m := buildMixedModule(t)
+	prog, err := backend.Lower(m)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	mc, err := New(m, prog)
+	if err != nil {
+		t.Fatalf("machine: %v", err)
+	}
+	ip := interp.New(m)
+
+	ri := ip.Run(sim.Fault{}, sim.Options{})
+	rm := mc.Run(sim.Fault{}, sim.Options{})
+	if ri.Status != sim.StatusOK {
+		t.Fatalf("interp status %v (%v)", ri.Status, ri.Trap)
+	}
+	if rm.Status != sim.StatusOK {
+		t.Fatalf("machine status %v (%v)", rm.Status, rm.Trap)
+	}
+	if string(ri.Output) != string(rm.Output) {
+		t.Fatalf("outputs differ:\ninterp:  %q\nmachine: %q", ri.Output, rm.Output)
+	}
+	if ri.RetVal != rm.RetVal {
+		t.Fatalf("return values differ: %d vs %d", ri.RetVal, rm.RetVal)
+	}
+	if rm.DynInstrs <= ri.DynInstrs {
+		t.Errorf("assembly should execute more instructions than IR: asm %d vs ir %d", rm.DynInstrs, ri.DynInstrs)
+	}
+}
+
+func TestMachineDeterministic(t *testing.T) {
+	m := buildMixedModule(t)
+	prog, err := backend.Lower(m)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	mc, err := New(m, prog)
+	if err != nil {
+		t.Fatalf("machine: %v", err)
+	}
+	r1 := mc.Run(sim.Fault{}, sim.Options{})
+	r2 := mc.Run(sim.Fault{}, sim.Options{})
+	if string(r1.Output) != string(r2.Output) || r1.DynInstrs != r2.DynInstrs {
+		t.Fatalf("runs differ: %+v vs %+v", r1, r2)
+	}
+}
+
+func TestMachineInjectionFires(t *testing.T) {
+	m := buildMixedModule(t)
+	prog, err := backend.Lower(m)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	mc, err := New(m, prog)
+	if err != nil {
+		t.Fatalf("machine: %v", err)
+	}
+	golden := mc.Run(sim.Fault{}, sim.Options{})
+
+	changed := 0
+	for idx := int64(1); idx <= golden.InjectableInstrs; idx += 7 {
+		res := mc.Run(sim.Fault{TargetIndex: idx, Bit: int(idx) % 64}, sim.Options{})
+		if !res.Injected {
+			t.Fatalf("fault at %d did not fire", idx)
+		}
+		if res.Status != sim.StatusOK || string(res.Output) != string(golden.Output) {
+			changed++
+		}
+	}
+	if changed == 0 {
+		t.Fatal("no machine-level injection produced a visible change")
+	}
+}

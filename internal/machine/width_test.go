@@ -1,0 +1,55 @@
+package machine
+
+import (
+	"testing"
+	"testing/quick"
+
+	"flowery/internal/asm"
+)
+
+// TestWriteRegWidthSemantics pins the x86 register-write rules: 64-bit
+// replaces, 32-bit zero-extends, 8-bit merges the low byte.
+func TestWriteRegWidthSemantics(t *testing.T) {
+	var mc Machine
+	check := func(old, v uint64) bool {
+		mc.regs[asm.RAX] = old
+		mc.writeReg(asm.RAX, 8, v)
+		if mc.regs[asm.RAX] != v {
+			return false
+		}
+		mc.regs[asm.RAX] = old
+		mc.writeReg(asm.RAX, 4, v)
+		if mc.regs[asm.RAX] != v&0xffff_ffff {
+			return false
+		}
+		mc.regs[asm.RAX] = old
+		mc.writeReg(asm.RAX, 1, v)
+		return mc.regs[asm.RAX] == (old&^uint64(0xff))|(v&0xff)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTruncSignExtendRoundTrip: sign-extending a truncated value must
+// preserve the low bits and produce a canonical two's-complement value.
+func TestTruncSignExtendRoundTrip(t *testing.T) {
+	check := func(v uint64) bool {
+		for _, size := range []uint8{1, 4, 8} {
+			tr := truncVal(v, size)
+			se := signExtend(tr, size)
+			// Low bits preserved.
+			if truncVal(uint64(se), size) != tr {
+				return false
+			}
+			// Sign-extension is canonical: re-extending is a no-op.
+			if signExtend(uint64(se), size) != se {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

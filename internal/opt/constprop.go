@@ -1,0 +1,216 @@
+package opt
+
+import (
+	"math"
+
+	"flowery/internal/ir"
+	"flowery/internal/rt"
+)
+
+// ConstProp folds instructions whose operands are all constants. The
+// folding semantics are bit-identical to the interpreter's (both defer
+// to the same normalization and conversion helpers), so the pass can
+// never change observable behaviour.
+type ConstProp struct{}
+
+// Name implements Pass.
+func (ConstProp) Name() string { return "constprop" }
+
+// Run implements Pass.
+func (ConstProp) Run(f *ir.Function) bool {
+	changed := false
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			c, ok := foldConst(in)
+			if !ok {
+				continue
+			}
+			replaceUses(f, in, c)
+			changed = true
+		}
+	}
+	return changed
+}
+
+// foldConst evaluates in if all operands are constants. Division is
+// never folded when it would trap (the trap must happen at runtime).
+func foldConst(in *ir.Instr) (*ir.Const, bool) {
+	if !in.HasResult() || in.Op == ir.OpAlloca || in.Op == ir.OpCall || in.Op == ir.OpLoad || in.Op == ir.OpGEP {
+		return nil, false
+	}
+	args := make([]*ir.Const, len(in.Args))
+	for i, a := range in.Args {
+		c, ok := a.(*ir.Const)
+		if !ok {
+			return nil, false
+		}
+		args[i] = c
+	}
+	switch {
+	case in.Op.IsBinOp() && in.Ty == ir.F64:
+		x, y := args[0].Float(), args[1].Float()
+		var r float64
+		switch in.Op {
+		case ir.OpFAdd:
+			r = x + y
+		case ir.OpFSub:
+			r = x - y
+		case ir.OpFMul:
+			r = x * y
+		case ir.OpFDiv:
+			r = x / y
+		default:
+			return nil, false
+		}
+		return ir.ConstFloat(r), true
+
+	case in.Op.IsBinOp():
+		return foldIntBin(in.Op, in.Ty, args[0], args[1])
+
+	case in.Op == ir.OpICmp:
+		return ir.ConstBool(evalICmp(in.Pred, args[0], args[1])), true
+
+	case in.Op == ir.OpFCmp:
+		return ir.ConstBool(evalFCmp(in.Pred, args[0].Float(), args[1].Float())), true
+
+	case in.Op == ir.OpTrunc:
+		return &ir.Const{Ty: in.Ty, Bits: ir.NormalizeInt(in.Ty, args[0].Bits)}, true
+	case in.Op == ir.OpZExt:
+		return &ir.Const{Ty: in.Ty, Bits: zext(args[0])}, true
+	case in.Op == ir.OpSExt:
+		return &ir.Const{Ty: in.Ty, Bits: args[0].Bits}, true
+	case in.Op == ir.OpSIToFP:
+		return ir.ConstFloat(float64(args[0].Int())), true
+	case in.Op == ir.OpFPToSI:
+		w := in.Ty.Bits()
+		if w < 32 {
+			w = 32
+		}
+		return &ir.Const{Ty: in.Ty, Bits: ir.NormalizeInt(in.Ty, uint64(rt.FpToSI(w, args[0].Float())))}, true
+	}
+	return nil, false
+}
+
+func foldIntBin(op ir.Op, ty ir.Type, xc, yc *ir.Const) (*ir.Const, bool) {
+	x, y := xc.Bits, yc.Bits
+	var r uint64
+	switch op {
+	case ir.OpAdd:
+		r = x + y
+	case ir.OpSub:
+		r = x - y
+	case ir.OpMul:
+		r = x * y
+	case ir.OpAnd:
+		r = x & y
+	case ir.OpOr:
+		r = x | y
+	case ir.OpXor:
+		r = x ^ y
+	case ir.OpShl:
+		r = x << shiftCount(ty, y)
+	case ir.OpAShr:
+		r = uint64(int64(x) >> shiftCount(ty, y))
+	case ir.OpLShr:
+		r = zextBits(ty, x) >> shiftCount(ty, y)
+	case ir.OpSDiv, ir.OpSRem:
+		yi := int64(y)
+		xi := int64(x)
+		if yi == 0 {
+			return nil, false // must trap at runtime
+		}
+		if yi == -1 && (ty == ir.I32 || ty == ir.I64) && xi == minInt(ty) {
+			return nil, false
+		}
+		if op == ir.OpSDiv {
+			r = uint64(xi / yi)
+		} else {
+			r = uint64(xi % yi)
+		}
+	default:
+		return nil, false
+	}
+	return &ir.Const{Ty: ty, Bits: ir.NormalizeInt(ty, r)}, true
+}
+
+func shiftCount(ty ir.Type, y uint64) uint64 {
+	if ty.Bits() >= 64 {
+		return y & 63
+	}
+	return y & 31
+}
+
+func zext(c *ir.Const) uint64 { return zextBits(c.Ty, c.Bits) }
+
+func zextBits(ty ir.Type, v uint64) uint64 {
+	switch ty {
+	case ir.I1:
+		return v & 1
+	case ir.I8:
+		return v & 0xff
+	case ir.I32:
+		return v & 0xffff_ffff
+	default:
+		return v
+	}
+}
+
+func minInt(ty ir.Type) int64 {
+	switch ty {
+	case ir.I32:
+		return math.MinInt32
+	default:
+		return math.MinInt64
+	}
+}
+
+func evalICmp(p ir.Pred, xc, yc *ir.Const) bool {
+	xs, ys := xc.Int(), yc.Int()
+	xu, yu := zext(xc), zext(yc)
+	if xc.Ty == ir.Ptr {
+		xu, yu = xc.Bits, yc.Bits
+	}
+	switch p {
+	case ir.PredEQ:
+		return xc.Bits == yc.Bits
+	case ir.PredNE:
+		return xc.Bits != yc.Bits
+	case ir.PredSLT:
+		return xs < ys
+	case ir.PredSLE:
+		return xs <= ys
+	case ir.PredSGT:
+		return xs > ys
+	case ir.PredSGE:
+		return xs >= ys
+	case ir.PredULT:
+		return xu < yu
+	case ir.PredULE:
+		return xu <= yu
+	case ir.PredUGT:
+		return xu > yu
+	case ir.PredUGE:
+		return xu >= yu
+	default:
+		return false
+	}
+}
+
+func evalFCmp(p ir.Pred, x, y float64) bool {
+	switch p {
+	case ir.PredOEQ:
+		return x == y
+	case ir.PredONE:
+		return x != y && !math.IsNaN(x) && !math.IsNaN(y)
+	case ir.PredOLT:
+		return x < y
+	case ir.PredOLE:
+		return x <= y
+	case ir.PredOGT:
+		return x > y
+	case ir.PredOGE:
+		return x >= y
+	default:
+		return false
+	}
+}

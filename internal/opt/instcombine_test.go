@@ -1,0 +1,99 @@
+package opt
+
+import (
+	"testing"
+
+	"flowery/internal/interp"
+	"flowery/internal/ir"
+	"flowery/internal/sim"
+)
+
+// TestInstCombineIdentities checks each identity on values loaded from
+// memory (so constprop cannot claim the fold).
+func TestInstCombineIdentities(t *testing.T) {
+	m := ir.NewModule("ic")
+	g := m.NewGlobalI64("g", []int64{37})
+	f := m.NewFunction("main", ir.I64)
+	b := ir.NewBuilder(f)
+	x := b.Load(ir.I64, g)
+	z := ir.ConstInt(ir.I64, 0)
+	one := ir.ConstInt(ir.I64, 1)
+	allOnes := ir.ConstInt(ir.I64, -1)
+
+	exprs := []*ir.Instr{
+		b.Add(x, z),       // x
+		b.Add(z, x),       // x
+		b.Sub(x, z),       // x
+		b.Sub(x, x),       // 0
+		b.Mul(x, one),     // x
+		b.Mul(z, x),       // 0
+		b.And(x, allOnes), // x
+		b.And(x, z),       // 0
+		b.And(x, x),       // x
+		b.Or(x, z),        // x
+		b.Xor(x, z),       // x
+		b.Xor(x, x),       // 0
+		b.Shl(x, z),       // x
+		b.AShr(x, z),      // x
+		b.SDiv(x, one),    // x
+	}
+	var acc ir.Value = z
+	for _, e := range exprs {
+		acc = b.Add(acc, e)
+	}
+	eq := b.ICmp(ir.PredEQ, x, x)  // true
+	ne := b.ICmp(ir.PredSLT, x, x) // false
+	acc = b.Add(acc, b.ZExt(ir.I64, eq))
+	acc = b.Add(acc, b.ZExt(ir.I64, ne))
+	b.Ret(acc)
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+
+	before := interp.New(ir.CloneModule(m)).Run(sim.Fault{}, sim.Options{})
+	if !(InstCombine{}).Run(f) {
+		t.Fatal("instcombine found nothing")
+	}
+	// After instcombine + DCE, the surviving expression instructions
+	// should be mostly the accumulator adds.
+	(DCE{}).Run(f)
+	if err := m.Verify(); err != nil {
+		t.Fatalf("after instcombine: %v", err)
+	}
+	after := interp.New(m).Run(sim.Fault{}, sim.Options{})
+	if before.RetVal != after.RetVal {
+		t.Fatalf("instcombine changed result: %d -> %d", before.RetVal, after.RetVal)
+	}
+	// 11 identities return x (=37), 4 return 0, eq contributes 1:
+	// expected 11*37 + 1 = 408.
+	if after.RetVal != 11*37+1 {
+		t.Fatalf("unexpected result %d", after.RetVal)
+	}
+	remaining := 0
+	for _, blk := range f.Blocks {
+		for _, in := range blk.Instrs {
+			if in.Op.IsBinOp() && in.Op != ir.OpAdd {
+				remaining++
+			}
+		}
+	}
+	if remaining != 0 {
+		t.Fatalf("%d non-add binops survived the identities:\n%s", remaining, m.String())
+	}
+}
+
+// TestInstCombineLeavesFloatsAlone: float identities are inexact (x+0.0
+// changes -0.0) and must not fire.
+func TestInstCombineLeavesFloatsAlone(t *testing.T) {
+	m := ir.NewModule("icf")
+	g := m.NewGlobalF64("g", []float64{1.5})
+	f := m.NewFunction("main", ir.I64)
+	b := ir.NewBuilder(f)
+	x := b.Load(ir.F64, g)
+	y := b.FAdd(x, ir.ConstFloat(0))
+	b.PrintF64(y)
+	b.Ret(ir.ConstInt(ir.I64, 0))
+	if (InstCombine{}).Run(f) {
+		t.Fatal("instcombine rewrote float arithmetic")
+	}
+}

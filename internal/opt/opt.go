@@ -1,0 +1,65 @@
+// Package opt implements the mid-end optimization passes the paper's
+// comparison-penetration analysis refers to (§5.2: constant propagation,
+// dead-code elimination, common-subexpression elimination, CFG
+// simplification). The passes run to fixpoint over each function.
+//
+// The passes also demonstrate, at IR level, why protection must be the
+// LAST transform in a pipeline: running them over a duplicated program
+// legally removes the redundant copies and constant-folds the checkers —
+// the same nullification the backend's block-local folding performs on
+// comparison checks (see TestOptimizerNullifiesDuplication).
+package opt
+
+import "flowery/internal/ir"
+
+// Pass is one rewrite over a single function. Run reports whether it
+// changed anything.
+type Pass interface {
+	Name() string
+	Run(f *ir.Function) bool
+}
+
+// Standard returns the default pipeline in the order LLVM's -O1-ish
+// pipelines apply them.
+func Standard() []Pass {
+	return []Pass{ConstProp{}, InstCombine{}, LocalCSE{}, SimplifyCFG{}, DCE{}}
+}
+
+// Run applies the passes to every function to fixpoint (bounded to keep
+// pathological inputs from looping) and returns the number of
+// pass-applications that changed something.
+func Run(m *ir.Module, passes []Pass) int {
+	changed := 0
+	for _, f := range m.Funcs {
+		if f.External {
+			continue
+		}
+		for iter := 0; iter < 10; iter++ {
+			any := false
+			for _, p := range passes {
+				if p.Run(f) {
+					changed++
+					any = true
+				}
+			}
+			if !any {
+				break
+			}
+		}
+		f.Renumber()
+	}
+	return changed
+}
+
+// replaceUses rewrites every use of old to new within f.
+func replaceUses(f *ir.Function, old *ir.Instr, new ir.Value) {
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for i, a := range in.Args {
+				if a == old {
+					in.Args[i] = new
+				}
+			}
+		}
+	}
+}

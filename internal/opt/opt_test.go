@@ -1,0 +1,198 @@
+package opt
+
+import (
+	"fmt"
+	"testing"
+
+	"flowery/internal/dup"
+	"flowery/internal/interp"
+	"flowery/internal/ir"
+	"flowery/internal/progen"
+	"flowery/internal/sim"
+)
+
+func TestConstPropFolds(t *testing.T) {
+	m := ir.NewModule("cp")
+	f := m.NewFunction("main", ir.I64)
+	b := ir.NewBuilder(f)
+	x := b.Add(ir.ConstInt(ir.I64, 2), ir.ConstInt(ir.I64, 3))
+	y := b.Mul(x, ir.ConstInt(ir.I64, 4))
+	c := b.ICmp(ir.PredSLT, y, ir.ConstInt(ir.I64, 100))
+	z := b.ZExt(ir.I64, c)
+	b.PrintI64(b.Add(y, z))
+	b.Ret(ir.ConstInt(ir.I64, 0))
+
+	before := interp.New(ir.CloneModule(m)).Run(sim.Fault{}, sim.Options{})
+	n := Run(m, Standard())
+	if n == 0 {
+		t.Fatal("nothing optimized")
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatalf("optimized module invalid: %v", err)
+	}
+	after := interp.New(m).Run(sim.Fault{}, sim.Options{})
+	if string(before.Output) != string(after.Output) {
+		t.Fatalf("optimization changed output: %q vs %q", before.Output, after.Output)
+	}
+	if after.DynInstrs >= before.DynInstrs {
+		t.Fatalf("optimization did not shrink execution: %d -> %d", before.DynInstrs, after.DynInstrs)
+	}
+	// The whole computation is constant: only the print call chain and
+	// the ret should survive DCE + constprop + simplifycfg.
+	if got := m.Func("main").NumInstrs(); got > 3 {
+		t.Errorf("expected near-total folding, %d instructions remain:\n%s", got, m.String())
+	}
+}
+
+func TestConstPropNeverFoldsTrappingDivision(t *testing.T) {
+	m := ir.NewModule("div0")
+	f := m.NewFunction("main", ir.I64)
+	b := ir.NewBuilder(f)
+	q := b.SDiv(ir.ConstInt(ir.I64, 1), ir.ConstInt(ir.I64, 0))
+	b.Ret(q)
+	Run(m, Standard())
+	res := interp.New(m).Run(sim.Fault{}, sim.Options{})
+	if res.Trap != sim.TrapDivide {
+		t.Fatalf("division by zero optimized away: %v", res.Trap)
+	}
+}
+
+func TestDCERemovesDeadCode(t *testing.T) {
+	m := ir.NewModule("dce")
+	f := m.NewFunction("main", ir.I64)
+	b := ir.NewBuilder(f)
+	g := m.NewGlobalI64("g", []int64{1})
+	live := b.Load(ir.I64, g)
+	b.Load(ir.I64, g) // dead load
+	b.Add(live, live) // dead add
+	b.Ret(live)
+	before := f.NumInstrs()
+	if !(DCE{}).Run(f) {
+		t.Fatal("DCE found nothing")
+	}
+	if f.NumInstrs() != before-2 {
+		t.Fatalf("DCE removed %d, want 2", before-f.NumInstrs())
+	}
+}
+
+func TestDCERemovesUnreachableBlocks(t *testing.T) {
+	m := ir.NewModule("unreach")
+	f := m.NewFunction("main", ir.I64)
+	b := ir.NewBuilder(f)
+	b.Ret(ir.ConstInt(ir.I64, 0))
+	orphan := f.NewBlock("orphan")
+	orphan.Append(&ir.Instr{Op: ir.OpRet, Ty: ir.Void, Args: []ir.Value{ir.ConstInt(ir.I64, 1)}})
+	if !(DCE{}).Run(f) {
+		t.Fatal("unreachable block not removed")
+	}
+	if len(f.Blocks) != 1 {
+		t.Fatalf("%d blocks remain", len(f.Blocks))
+	}
+}
+
+func TestLocalCSE(t *testing.T) {
+	m := ir.NewModule("cse")
+	g := m.NewGlobalI64("g", []int64{7})
+	f := m.NewFunction("main", ir.I64)
+	b := ir.NewBuilder(f)
+	x1 := b.Load(ir.I64, g)
+	x2 := b.Load(ir.I64, g) // same address, no store between: CSE
+	s := b.Add(x1, x2)
+	b.Store(s, g)
+	x3 := b.Load(ir.I64, g) // after a store: must NOT merge with x1
+	b.Ret(b.Add(s, x3))
+	if !(LocalCSE{}).Run(f) {
+		t.Fatal("CSE found nothing")
+	}
+	loads := 0
+	for _, blk := range f.Blocks {
+		for _, in := range blk.Instrs {
+			if in.Op == ir.OpLoad {
+				loads++
+			}
+		}
+	}
+	if loads != 2 {
+		t.Fatalf("CSE left %d loads, want 2 (one merged, one kept past the store)", loads)
+	}
+	_ = x3
+	// Semantics: 7+7=14 stored; ret 14+14=28.
+	res := interp.New(m).Run(sim.Fault{}, sim.Options{})
+	if res.RetVal != 28 {
+		t.Fatalf("CSE broke semantics: ret %d", res.RetVal)
+	}
+}
+
+func TestSimplifyCFGFoldsConstantBranch(t *testing.T) {
+	m := ir.NewModule("scfg")
+	f := m.NewFunction("main", ir.I64)
+	b := ir.NewBuilder(f)
+	thenB := b.NewBlock("then")
+	elseB := b.NewBlock("else")
+	b.CondBr(ir.ConstBool(true), thenB, elseB)
+	b.SetBlock(thenB)
+	b.Ret(ir.ConstInt(ir.I64, 1))
+	b.SetBlock(elseB)
+	b.Ret(ir.ConstInt(ir.I64, 2))
+
+	changed := Run(m, Standard())
+	if changed == 0 {
+		t.Fatal("nothing simplified")
+	}
+	if len(f.Blocks) != 1 {
+		t.Fatalf("%d blocks remain after folding a constant branch:\n%s", len(f.Blocks), m.String())
+	}
+	res := interp.New(m).Run(sim.Fault{}, sim.Options{})
+	if res.RetVal != 1 {
+		t.Fatalf("constant branch folded to the wrong side: ret %d", res.RetVal)
+	}
+}
+
+// TestOptimizerPreservesSemantics is the property test: optimizing any
+// random program must not change its behaviour.
+func TestOptimizerPreservesSemantics(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			m := progen.Generate(seed, progen.DefaultConfig())
+			base := interp.New(ir.CloneModule(m)).Run(sim.Fault{}, sim.Options{})
+			Run(m, Standard())
+			if err := m.Verify(); err != nil {
+				t.Fatalf("optimized module invalid: %v", err)
+			}
+			got := interp.New(m).Run(sim.Fault{}, sim.Options{})
+			if base.Status != got.Status || string(base.Output) != string(got.Output) {
+				t.Fatalf("optimization changed behaviour:\nbase %v %q\ngot  %v %q",
+					base.Status, base.Output, got.Status, got.Output)
+			}
+		})
+	}
+}
+
+// TestOptimizerNullifiesDuplication demonstrates (at IR level) the
+// paper's ordering lesson: optimization passes run AFTER instruction
+// duplication legally delete the redundant copies and fold the checkers
+// — protection must be the final transform. This is the IR-level twin of
+// the backend's comparison-penetration folding.
+func TestOptimizerNullifiesDuplication(t *testing.T) {
+	m := progen.Generate(1, progen.DefaultConfig())
+	if err := dup.ApplyFull(m); err != nil {
+		t.Fatal(err)
+	}
+	protected := interp.New(ir.CloneModule(m)).Run(sim.Fault{}, sim.Options{})
+
+	Run(m, Standard())
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	optimized := interp.New(m).Run(sim.Fault{}, sim.Options{})
+	if string(protected.Output) != string(optimized.Output) || protected.Status != optimized.Status {
+		t.Fatal("optimizer changed fault-free behaviour")
+	}
+	// The redundant copies are gone: dynamic count shrinks sharply.
+	if optimized.DynInstrs >= protected.DynInstrs*4/5 {
+		t.Fatalf("optimizer removed almost no redundancy: %d -> %d",
+			protected.DynInstrs, optimized.DynInstrs)
+	}
+}

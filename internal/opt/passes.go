@@ -1,0 +1,213 @@
+package opt
+
+import "flowery/internal/ir"
+
+// DCE removes unreachable blocks and pure instructions with no uses.
+type DCE struct{}
+
+// Name implements Pass.
+func (DCE) Name() string { return "dce" }
+
+// Run implements Pass.
+func (DCE) Run(f *ir.Function) bool {
+	changed := removeUnreachable(f)
+
+	// Iterate: removing one dead instruction can orphan its operands.
+	for {
+		uses := make(map[*ir.Instr]int)
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				for _, a := range in.Args {
+					if ai, ok := a.(*ir.Instr); ok {
+						uses[ai]++
+					}
+				}
+			}
+		}
+		removed := false
+		for _, b := range f.Blocks {
+			for i := len(b.Instrs) - 1; i >= 0; i-- {
+				in := b.Instrs[i]
+				if !in.HasResult() || uses[in] > 0 {
+					continue
+				}
+				// Loads are removable too: a dead load has no observable
+				// effect (our loads cannot trap on valid programs, and
+				// removing a would-trap load only narrows behaviour the
+				// same way LLVM treats it as UB).
+				if in.Op.IsPure() || in.Op == ir.OpLoad || in.Op == ir.OpAlloca {
+					b.Remove(i)
+					removed = true
+				}
+			}
+		}
+		changed = changed || removed
+		if !removed {
+			return changed
+		}
+	}
+}
+
+func removeUnreachable(f *ir.Function) bool {
+	if len(f.Blocks) == 0 {
+		return false
+	}
+	reach := make(map[*ir.Block]bool)
+	var walk func(b *ir.Block)
+	walk = func(b *ir.Block) {
+		if reach[b] {
+			return
+		}
+		reach[b] = true
+		for _, s := range b.Succs() {
+			walk(s)
+		}
+	}
+	walk(f.Blocks[0])
+	if len(reach) == len(f.Blocks) {
+		return false
+	}
+	kept := f.Blocks[:0]
+	for _, b := range f.Blocks {
+		if reach[b] {
+			kept = append(kept, b)
+		}
+	}
+	f.Blocks = kept
+	return true
+}
+
+// LocalCSE eliminates redundant pure instructions and repeated loads
+// within each basic block (available-expression analysis at block
+// scope, with the load epoch advancing at stores and calls — the same
+// congruence model the backend's comparison folding uses, applied here
+// as an actual IR rewrite).
+type LocalCSE struct{}
+
+// Name implements Pass.
+func (LocalCSE) Name() string { return "cse" }
+
+// cseKey identifies an expression for value numbering.
+type cseKey struct {
+	op    ir.Op
+	ty    ir.Type
+	pred  ir.Pred
+	aux   int64
+	epoch int // loads only
+	a0    ir.Value
+	a1    ir.Value
+}
+
+// Run implements Pass.
+func (LocalCSE) Run(f *ir.Function) bool {
+	changed := false
+	for _, b := range f.Blocks {
+		avail := make(map[cseKey]*ir.Instr)
+		epoch := 0
+		for i := 0; i < len(b.Instrs); i++ {
+			in := b.Instrs[i]
+			if in.Op == ir.OpStore || in.Op == ir.OpCall {
+				epoch++
+				continue
+			}
+			if !(in.Op.IsPure() || in.Op == ir.OpLoad) {
+				continue
+			}
+			key := cseKey{op: in.Op, ty: in.Ty, pred: in.Pred, aux: in.Aux}
+			if in.Op == ir.OpLoad {
+				key.epoch = epoch
+			}
+			if len(in.Args) > 0 {
+				key.a0 = in.Args[0]
+			}
+			if len(in.Args) > 1 {
+				key.a1 = in.Args[1]
+			}
+			if rep, ok := avail[key]; ok {
+				replaceUses(f, in, rep)
+				b.Remove(i)
+				i--
+				changed = true
+				continue
+			}
+			avail[key] = in
+		}
+	}
+	return changed
+}
+
+// SimplifyCFG folds conditional branches on constants and merges blocks
+// into their unique unconditional predecessor.
+type SimplifyCFG struct{}
+
+// Name implements Pass.
+func (SimplifyCFG) Name() string { return "simplifycfg" }
+
+// Run implements Pass.
+func (SimplifyCFG) Run(f *ir.Function) bool {
+	changed := false
+
+	// condbr const → br.
+	for _, b := range f.Blocks {
+		t := b.Terminator()
+		if t == nil || t.Op != ir.OpCondBr {
+			continue
+		}
+		c, ok := t.Args[0].(*ir.Const)
+		if !ok {
+			continue
+		}
+		target := t.Blocks[1]
+		if c.Bits&1 == 1 {
+			target = t.Blocks[0]
+		}
+		t.Op = ir.OpBr
+		t.Args = nil
+		t.Blocks = []*ir.Block{target}
+		changed = true
+	}
+
+	// Merge b → succ when b ends in an unconditional branch to a block
+	// whose only predecessor is b (and which is not the entry).
+	for {
+		preds := make(map[*ir.Block][]*ir.Block)
+		for _, b := range f.Blocks {
+			for _, s := range b.Succs() {
+				preds[s] = append(preds[s], b)
+			}
+		}
+		merged := false
+		for _, b := range f.Blocks {
+			t := b.Terminator()
+			if t == nil || t.Op != ir.OpBr {
+				continue
+			}
+			succ := t.Blocks[0]
+			if succ == f.Blocks[0] || succ == b || len(preds[succ]) != 1 {
+				continue
+			}
+			// Splice succ's instructions in place of the branch.
+			b.Remove(len(b.Instrs) - 1)
+			for _, in := range succ.Instrs {
+				b.Append(in)
+			}
+			succ.Instrs = nil
+			removeEmptyBlock(f, succ)
+			merged = true
+			changed = true
+			break
+		}
+		if !merged {
+			return changed
+		}
+	}
+}
+
+func removeEmptyBlock(f *ir.Function, dead *ir.Block) {
+	for i, b := range f.Blocks {
+		if b == dead {
+			f.Blocks = append(f.Blocks[:i], f.Blocks[i+1:]...)
+			return
+		}
+	}
+}

@@ -1,0 +1,387 @@
+// Package progen generates random, well-formed, terminating IR programs
+// for differential testing. Every generated program must (a) verify,
+// (b) produce identical output on the IR interpreter and the assembly
+// simulator, and (c) keep doing so after the duplication and Flowery
+// passes — the strongest correctness property the repository tests.
+package progen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"flowery/internal/ir"
+)
+
+// Config bounds the generated program.
+type Config struct {
+	// MaxStmts bounds statements per block sequence.
+	MaxStmts int
+	// MaxDepth bounds nesting of control flow.
+	MaxDepth int
+	// MaxExprDepth bounds expression tree depth.
+	MaxExprDepth int
+	// Helpers is the number of auxiliary functions.
+	Helpers int
+}
+
+// DefaultConfig returns the bounds used by the repository's tests.
+func DefaultConfig() Config {
+	return Config{MaxStmts: 6, MaxDepth: 3, MaxExprDepth: 4, Helpers: 2}
+}
+
+// Generate builds a random module from the seed. Equal seeds yield equal
+// modules.
+func Generate(seed int64, cfg Config) *ir.Module {
+	g := &gen{
+		r:   rand.New(rand.NewSource(seed)),
+		cfg: cfg,
+		m:   ir.NewModule(fmt.Sprintf("progen%d", seed)),
+	}
+	g.buildGlobals()
+	g.buildHelpers()
+	g.buildMain()
+	if err := g.m.Verify(); err != nil {
+		panic(fmt.Sprintf("progen: generated invalid module (seed %d): %v", seed, err))
+	}
+	return g.m
+}
+
+type gen struct {
+	r   *rand.Rand
+	cfg Config
+	m   *ir.Module
+
+	i64Arr *ir.Global
+	f64Arr *ir.Global
+	i8Arr  *ir.Global
+
+	helpers []*ir.Function
+
+	// Per-function state.
+	b      *ir.Builder
+	locals map[ir.Type][]*ir.Instr // alloca slots per stored type
+	params []*ir.Param
+}
+
+const (
+	i64ArrLen = 16
+	f64ArrLen = 8
+	i8ArrLen  = 32
+)
+
+func (g *gen) buildGlobals() {
+	ints := make([]int64, i64ArrLen)
+	for i := range ints {
+		ints[i] = g.r.Int63n(2000) - 1000
+	}
+	g.i64Arr = g.m.NewGlobalI64("gi64", ints)
+
+	floats := make([]float64, f64ArrLen)
+	for i := range floats {
+		floats[i] = float64(g.r.Intn(4000)-2000) / 8
+	}
+	g.f64Arr = g.m.NewGlobalF64("gf64", floats)
+
+	bytes := make([]byte, i8ArrLen)
+	g.r.Read(bytes)
+	g.i8Arr = g.m.NewGlobalData("gi8", bytes)
+}
+
+func (g *gen) buildHelpers() {
+	for i := 0; i < g.cfg.Helpers; i++ {
+		var f *ir.Function
+		if i%2 == 0 {
+			f = g.m.NewFunction(fmt.Sprintf("helper%d", i), ir.I64, ir.I64, ir.I64)
+		} else {
+			f = g.m.NewFunction(fmt.Sprintf("helper%d", i), ir.F64, ir.F64)
+		}
+		g.helpers = append(g.helpers, f)
+		g.beginFunc(f)
+		g.stmts(g.cfg.MaxDepth - 1)
+		if f.RetType == ir.F64 {
+			g.b.Ret(g.expr(ir.F64, g.cfg.MaxExprDepth))
+		} else {
+			g.b.Ret(g.expr(ir.I64, g.cfg.MaxExprDepth))
+		}
+	}
+}
+
+func (g *gen) buildMain() {
+	f := g.m.NewFunction("main", ir.I64)
+	g.beginFunc(f)
+	g.stmts(g.cfg.MaxDepth)
+	// Print a digest of all state so silent corruption is observable.
+	for _, ty := range []ir.Type{ir.I64, ir.I32, ir.I8, ir.I1} {
+		for _, slot := range g.locals[ty] {
+			v := g.b.Load(ty, slot)
+			g.b.PrintI64(g.widen(v))
+		}
+	}
+	for _, slot := range g.locals[ir.F64] {
+		g.b.PrintF64(g.b.Load(ir.F64, slot))
+	}
+	g.b.ForLoop("dump", ir.ConstInt(ir.I64, 0), ir.ConstInt(ir.I64, i64ArrLen), ir.ConstInt(ir.I64, 1), func(i ir.Value) {
+		g.b.PrintI64(g.b.LoadElem(ir.I64, g.i64Arr, i))
+	})
+	g.b.Ret(ir.ConstInt(ir.I64, 0))
+}
+
+// beginFunc sets up builder state: a handful of initialized locals of
+// each type.
+func (g *gen) beginFunc(f *ir.Function) {
+	g.b = ir.NewBuilder(f)
+	g.params = f.Params
+	g.locals = make(map[ir.Type][]*ir.Instr)
+	for _, ty := range []ir.Type{ir.I64, ir.I32, ir.I8, ir.I1, ir.F64} {
+		n := 1 + g.r.Intn(3)
+		for i := 0; i < n; i++ {
+			slot := g.b.AllocVar(ty)
+			g.locals[ty] = append(g.locals[ty], slot)
+			g.b.Store(g.constOf(ty), slot)
+		}
+	}
+}
+
+// widen converts any integer value to i64 for printing.
+func (g *gen) widen(v ir.Value) ir.Value {
+	switch v.Type() {
+	case ir.I64:
+		return v
+	case ir.I1:
+		return g.b.ZExt(ir.I64, v)
+	default:
+		return g.b.SExt(ir.I64, v)
+	}
+}
+
+func (g *gen) constOf(ty ir.Type) *ir.Const {
+	switch ty {
+	case ir.F64:
+		return ir.ConstFloat(float64(g.r.Intn(2000)-1000) / 16)
+	case ir.I1:
+		return ir.ConstBool(g.r.Intn(2) == 0)
+	case ir.I8:
+		return ir.ConstInt(ir.I8, int64(g.r.Intn(256)-128))
+	case ir.I32:
+		return ir.ConstInt(ir.I32, int64(g.r.Int31())-1<<30)
+	default:
+		return ir.ConstInt(ir.I64, g.r.Int63n(1<<32)-1<<31)
+	}
+}
+
+// stmts emits a random statement sequence.
+func (g *gen) stmts(depth int) {
+	n := 1 + g.r.Intn(g.cfg.MaxStmts)
+	for i := 0; i < n; i++ {
+		g.stmt(depth)
+	}
+}
+
+func (g *gen) stmt(depth int) {
+	choice := g.r.Intn(10)
+	switch {
+	case choice < 4: // assignment to a local
+		ty := g.anyType()
+		slot := g.pick(g.locals[ty])
+		g.b.Store(g.expr(ty, g.cfg.MaxExprDepth), slot)
+
+	case choice < 6 && depth > 0: // if / if-else
+		cond := g.boolExpr()
+		if g.r.Intn(2) == 0 {
+			g.b.If(cond, func() { g.stmts(depth - 1) }, nil)
+		} else {
+			g.b.If(cond, func() { g.stmts(depth - 1) }, func() { g.stmts(depth - 1) })
+		}
+
+	case choice < 7 && depth > 0: // bounded loop
+		trip := int64(2 + g.r.Intn(5))
+		name := fmt.Sprintf("l%d_%d", depth, g.r.Intn(1000))
+		g.b.ForLoop(name, ir.ConstInt(ir.I64, 0), ir.ConstInt(ir.I64, trip), ir.ConstInt(ir.I64, 1), func(i ir.Value) {
+			g.stmts(depth - 1)
+			// Touch the global array so loops have observable effects.
+			idx := g.b.And(i, ir.ConstInt(ir.I64, i64ArrLen-1))
+			old := g.b.LoadElem(ir.I64, g.i64Arr, idx)
+			g.b.StoreElem(ir.I64, g.i64Arr, idx, g.b.Add(old, g.expr(ir.I64, 1)))
+		})
+
+	case choice < 8: // store to a global array
+		g.arrayStore()
+
+	default: // print something
+		if g.r.Intn(2) == 0 {
+			g.b.PrintI64(g.expr(ir.I64, 2))
+		} else {
+			g.b.PrintF64(g.expr(ir.F64, 2))
+		}
+	}
+}
+
+func (g *gen) arrayStore() {
+	switch g.r.Intn(3) {
+	case 0:
+		idx := g.b.And(g.expr(ir.I64, 2), ir.ConstInt(ir.I64, i64ArrLen-1))
+		g.b.StoreElem(ir.I64, g.i64Arr, idx, g.expr(ir.I64, 2))
+	case 1:
+		idx := g.b.And(g.expr(ir.I64, 2), ir.ConstInt(ir.I64, f64ArrLen-1))
+		g.b.StoreElem(ir.F64, g.f64Arr, idx, g.expr(ir.F64, 2))
+	default:
+		idx := g.b.And(g.expr(ir.I64, 2), ir.ConstInt(ir.I64, i8ArrLen-1))
+		g.b.StoreElem(ir.I8, g.i8Arr, idx, g.expr(ir.I8, 2))
+	}
+}
+
+func (g *gen) anyType() ir.Type {
+	types := []ir.Type{ir.I64, ir.I64, ir.I32, ir.I8, ir.I1, ir.F64}
+	return types[g.r.Intn(len(types))]
+}
+
+func (g *gen) pick(slots []*ir.Instr) *ir.Instr {
+	return slots[g.r.Intn(len(slots))]
+}
+
+// boolExpr produces an i1.
+func (g *gen) boolExpr() ir.Value {
+	if g.r.Intn(4) == 0 && len(g.locals[ir.I1]) > 0 {
+		return g.b.Load(ir.I1, g.pick(g.locals[ir.I1]))
+	}
+	if g.r.Intn(3) == 0 {
+		preds := []ir.Pred{ir.PredOEQ, ir.PredONE, ir.PredOLT, ir.PredOLE, ir.PredOGT, ir.PredOGE}
+		return g.b.FCmp(preds[g.r.Intn(len(preds))], g.expr(ir.F64, 2), g.expr(ir.F64, 2))
+	}
+	preds := []ir.Pred{ir.PredEQ, ir.PredNE, ir.PredSLT, ir.PredSLE, ir.PredSGT, ir.PredSGE, ir.PredULT, ir.PredUGE}
+	ty := ir.I64
+	if g.r.Intn(2) == 0 {
+		ty = ir.I32
+	}
+	return g.b.ICmp(preds[g.r.Intn(len(preds))], g.expr(ty, 2), g.expr(ty, 2))
+}
+
+// expr produces a value of the requested type.
+func (g *gen) expr(ty ir.Type, depth int) ir.Value {
+	if depth <= 0 || g.r.Intn(5) == 0 {
+		return g.leaf(ty)
+	}
+	if ty == ir.F64 {
+		return g.floatExpr(depth)
+	}
+	if ty == ir.I1 {
+		return g.boolExpr()
+	}
+	switch g.r.Intn(8) {
+	case 0: // cast from another width
+		return g.castTo(ty, depth)
+	case 1: // comparison widened
+		c := g.boolExpr()
+		if ty == ir.I1 {
+			return c
+		}
+		return g.b.ZExt(ty, c)
+	case 2: // division (may legitimately trap on both layers)
+		x := g.expr(ty, depth-1)
+		y := g.expr(ty, depth-1)
+		if g.r.Intn(2) == 0 {
+			return g.b.SDiv(x, y)
+		}
+		return g.b.SRem(x, y)
+	case 3: // shift
+		x := g.expr(ty, depth-1)
+		amt := g.b.And(g.expr(ty, 1), ir.ConstInt(ty, 7))
+		ops := []func(a, b ir.Value) *ir.Instr{g.b.Shl, g.b.AShr, g.b.LShr}
+		return ops[g.r.Intn(3)](x, amt)
+	case 4: // array load
+		if ty == ir.I64 {
+			idx := g.b.And(g.expr(ir.I64, 1), ir.ConstInt(ir.I64, i64ArrLen-1))
+			return g.b.LoadElem(ir.I64, g.i64Arr, idx)
+		}
+		if ty == ir.I8 {
+			idx := g.b.And(g.expr(ir.I64, 1), ir.ConstInt(ir.I64, i8ArrLen-1))
+			return g.b.LoadElem(ir.I8, g.i8Arr, idx)
+		}
+		fallthrough
+	case 5: // helper call (main and later helpers only, to avoid recursion)
+		if ty == ir.I64 && len(g.helpers) > 0 && g.b.Func.Name == "main" {
+			h := g.helpers[0]
+			return g.b.Call(h, g.expr(ir.I64, 1), g.expr(ir.I64, 1))
+		}
+		fallthrough
+	default:
+		x := g.expr(ty, depth-1)
+		y := g.expr(ty, depth-1)
+		ops := []func(a, b ir.Value) *ir.Instr{g.b.Add, g.b.Sub, g.b.Mul, g.b.And, g.b.Or, g.b.Xor}
+		return ops[g.r.Intn(len(ops))](x, y)
+	}
+}
+
+func (g *gen) castTo(ty ir.Type, depth int) ir.Value {
+	switch ty {
+	case ir.I64:
+		switch g.r.Intn(3) {
+		case 0:
+			return g.b.SExt(ir.I64, g.expr(ir.I32, depth-1))
+		case 1:
+			return g.b.ZExt(ir.I64, g.expr(ir.I8, depth-1))
+		default:
+			return g.b.FPToSI(ir.I64, g.safeFloat(depth-1))
+		}
+	case ir.I32:
+		switch g.r.Intn(3) {
+		case 0:
+			return g.b.Trunc(ir.I32, g.expr(ir.I64, depth-1))
+		case 1:
+			return g.b.SExt(ir.I32, g.expr(ir.I8, depth-1))
+		default:
+			return g.b.FPToSI(ir.I32, g.safeFloat(depth-1))
+		}
+	case ir.I8:
+		return g.b.Trunc(ir.I8, g.expr(ir.I64, depth-1))
+	default:
+		return g.leaf(ty)
+	}
+}
+
+// safeFloat produces a float expression (any value: FpToSI semantics are
+// total and identical on both layers).
+func (g *gen) safeFloat(depth int) ir.Value { return g.expr(ir.F64, depth) }
+
+func (g *gen) floatExpr(depth int) ir.Value {
+	switch g.r.Intn(7) {
+	case 0:
+		return g.b.SIToFP(g.expr(ir.I64, depth-1))
+	case 1:
+		idx := g.b.And(g.expr(ir.I64, 1), ir.ConstInt(ir.I64, f64ArrLen-1))
+		return g.b.LoadElem(ir.F64, g.f64Arr, idx)
+	case 2:
+		fns := []string{"sqrt", "fabs", "sin", "cos", "floor"}
+		fn := fns[g.r.Intn(len(fns))]
+		arg := g.expr(ir.F64, depth-1)
+		if fn == "sqrt" {
+			arg = g.b.CallNamed("fabs", arg)
+		}
+		return g.b.CallNamed(fn, arg)
+	case 3:
+		if len(g.helpers) > 1 && g.b.Func.Name == "main" {
+			return g.b.Call(g.helpers[1], g.expr(ir.F64, 1))
+		}
+		fallthrough
+	default:
+		x := g.expr(ir.F64, depth-1)
+		y := g.expr(ir.F64, depth-1)
+		ops := []func(a, b ir.Value) *ir.Instr{g.b.FAdd, g.b.FSub, g.b.FMul, g.b.FDiv}
+		return ops[g.r.Intn(len(ops))](x, y)
+	}
+}
+
+func (g *gen) leaf(ty ir.Type) ir.Value {
+	// Prefer locals and params so values flow through the program.
+	if len(g.params) > 0 && g.r.Intn(3) == 0 {
+		for _, p := range g.params {
+			if p.Ty == ty {
+				return p
+			}
+		}
+	}
+	if g.r.Intn(4) != 0 && len(g.locals[ty]) > 0 {
+		return g.b.Load(ty, g.pick(g.locals[ty]))
+	}
+	return g.constOf(ty)
+}

@@ -1,0 +1,132 @@
+// Package rt implements the runtime functions (printing and math
+// intrinsics) shared by the IR interpreter and the assembly simulator.
+// Keeping one implementation guarantees the two execution layers produce
+// byte-identical output for fault-free runs, which the differential tests
+// rely on and which makes cross-layer SDC comparison meaningful.
+package rt
+
+import (
+	"math"
+	"strconv"
+)
+
+// Func identifies a runtime function. The zero value means "not a
+// runtime function".
+type Func uint8
+
+const (
+	FuncNone Func = iota
+	FuncPrintI64
+	FuncPrintF64
+	FuncPrintChar
+	FuncCheckFail
+	FuncSqrt
+	FuncFabs
+	FuncSin
+	FuncCos
+	FuncExp
+	FuncLog
+	FuncPow
+	FuncFloor
+)
+
+// ByName maps runtime function names to their identifiers.
+var ByName = map[string]Func{
+	"print_i64":  FuncPrintI64,
+	"print_f64":  FuncPrintF64,
+	"print_char": FuncPrintChar,
+	"check_fail": FuncCheckFail,
+	"sqrt":       FuncSqrt,
+	"fabs":       FuncFabs,
+	"sin":        FuncSin,
+	"cos":        FuncCos,
+	"exp":        FuncExp,
+	"log":        FuncLog,
+	"pow":        FuncPow,
+	"floor":      FuncFloor,
+}
+
+// IsPrint reports whether f writes to the program output.
+func (f Func) IsPrint() bool {
+	return f == FuncPrintI64 || f == FuncPrintF64 || f == FuncPrintChar
+}
+
+// Math1 evaluates a one-argument math intrinsic.
+func Math1(f Func, x float64) float64 {
+	switch f {
+	case FuncSqrt:
+		return math.Sqrt(x)
+	case FuncFabs:
+		return math.Abs(x)
+	case FuncSin:
+		return math.Sin(x)
+	case FuncCos:
+		return math.Cos(x)
+	case FuncExp:
+		return math.Exp(x)
+	case FuncLog:
+		return math.Log(x)
+	case FuncFloor:
+		return math.Floor(x)
+	default:
+		panic("rt: not a unary math function")
+	}
+}
+
+// Math2 evaluates a two-argument math intrinsic.
+func Math2(f Func, x, y float64) float64 {
+	switch f {
+	case FuncPow:
+		return math.Pow(x, y)
+	default:
+		panic("rt: not a binary math function")
+	}
+}
+
+// AppendI64 appends the decimal representation of v and a newline,
+// the output format of print_i64.
+func AppendI64(dst []byte, v int64) []byte {
+	dst = strconv.AppendInt(dst, v, 10)
+	return append(dst, '\n')
+}
+
+// AppendF64 appends the formatted representation of v and a newline,
+// the output format of print_f64. Ten significant digits keeps the
+// output sensitive to genuine data corruption while remaining stable
+// across execution layers (both layers use exactly this function).
+func AppendF64(dst []byte, v float64) []byte {
+	dst = strconv.AppendFloat(dst, v, 'g', 10, 64)
+	return append(dst, '\n')
+}
+
+// AppendChar appends the single byte of print_char.
+func AppendChar(dst []byte, c byte) []byte {
+	return append(dst, c)
+}
+
+// MaxOutput caps program output; exceeding it aborts the run as a DUE
+// (a fault that sends a print loop wild would otherwise never terminate).
+const MaxOutput = 1 << 20
+
+// FpToSI converts a float to a signed integer of the given bit width with
+// x86 cvttsd2si semantics: truncation toward zero; NaN and out-of-range
+// inputs yield the "integer indefinite" value (the minimum integer of the
+// width). Both execution layers use this single implementation so their
+// results agree bit-for-bit.
+func FpToSI(width int, f float64) int64 {
+	var lo int64
+	switch width {
+	case 8:
+		lo = math.MinInt8
+	case 32:
+		lo = math.MinInt32
+	default:
+		lo = math.MinInt64
+	}
+	// The exclusive upper bound 2^(width-1) is exactly representable.
+	hi := math.Ldexp(1, width-1)
+	if math.IsNaN(f) || f < float64(lo) || f >= hi {
+		return lo
+	}
+	return int64(f)
+}

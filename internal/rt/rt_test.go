@@ -1,0 +1,104 @@
+package rt
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFpToSITruncation(t *testing.T) {
+	cases := []struct {
+		width int
+		f     float64
+		want  int64
+	}{
+		{64, 2.9, 2},
+		{64, -2.9, -2},
+		{64, 0, 0},
+		{32, 2147483646.5, 2147483646},
+		{32, 2147483648.0, math.MinInt32},  // overflow → indefinite
+		{32, -2147483649.0, math.MinInt32}, // underflow → indefinite
+		{64, math.NaN(), math.MinInt64},
+		{64, math.Inf(1), math.MinInt64},
+		{64, math.Inf(-1), math.MinInt64},
+		{64, 9.3e18, math.MinInt64}, // just past MaxInt64
+		{64, -9.223372036854775e18, -9223372036854774784},
+		{8, 127, 127},
+		{8, 128, math.MinInt8},
+		{8, -129, math.MinInt8},
+	}
+	for _, c := range cases {
+		if got := FpToSI(c.width, c.f); got != c.want {
+			t.Errorf("FpToSI(%d, %v) = %d, want %d", c.width, c.f, got, c.want)
+		}
+	}
+}
+
+// Property: in-range conversions truncate toward zero, exactly like
+// int64() on the same float.
+func TestFpToSIInRangeProperty(t *testing.T) {
+	check := func(f float64) bool {
+		if math.IsNaN(f) || f < math.MinInt32 || f >= math.MaxInt32 {
+			return true
+		}
+		return FpToSI(32, f) == int64(f) && FpToSI(64, f) == int64(f)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppendFormats(t *testing.T) {
+	if got := string(AppendI64(nil, -42)); got != "-42\n" {
+		t.Errorf("AppendI64 = %q", got)
+	}
+	if got := string(AppendF64(nil, 0.5)); got != "0.5\n" {
+		t.Errorf("AppendF64 = %q", got)
+	}
+	if got := string(AppendF64(nil, math.NaN())); got != "NaN\n" {
+		t.Errorf("AppendF64(NaN) = %q", got)
+	}
+	if got := string(AppendChar(nil, 'x')); got != "x" {
+		t.Errorf("AppendChar = %q", got)
+	}
+	// Ten significant digits, stable formatting.
+	if got := string(AppendF64(nil, 1.0/3.0)); got != "0.3333333333\n" {
+		t.Errorf("AppendF64(1/3) = %q", got)
+	}
+}
+
+func TestMathDispatch(t *testing.T) {
+	if Math1(FuncSqrt, 9) != 3 {
+		t.Error("sqrt broken")
+	}
+	if Math1(FuncFabs, -2) != 2 {
+		t.Error("fabs broken")
+	}
+	if Math1(FuncFloor, 2.7) != 2 {
+		t.Error("floor broken")
+	}
+	if Math2(FuncPow, 2, 10) != 1024 {
+		t.Error("pow broken")
+	}
+}
+
+func TestByNameCoversDeclaredFunctions(t *testing.T) {
+	for _, name := range []string{"print_i64", "print_f64", "print_char", "check_fail",
+		"sqrt", "fabs", "sin", "cos", "exp", "log", "pow", "floor"} {
+		if _, ok := ByName[name]; !ok {
+			t.Errorf("runtime function %q missing from ByName", name)
+		}
+	}
+	if _, ok := ByName["nonexistent"]; ok {
+		t.Error("ByName contains junk")
+	}
+}
+
+func TestIsPrint(t *testing.T) {
+	if !FuncPrintI64.IsPrint() || !FuncPrintF64.IsPrint() || !FuncPrintChar.IsPrint() {
+		t.Error("print functions misclassified")
+	}
+	if FuncSqrt.IsPrint() || FuncCheckFail.IsPrint() {
+		t.Error("non-print functions misclassified")
+	}
+}

@@ -1,0 +1,147 @@
+// Package sim defines the execution-outcome types shared by the two
+// fault-injection engines: the IR interpreter (package interp) and the
+// assembly simulator (package machine). The campaign layer drives both
+// through the Engine interface, which is what makes the cross-layer
+// comparison of the paper possible with one harness.
+package sim
+
+import "flowery/internal/asm"
+
+// Status classifies how a run ended.
+type Status uint8
+
+const (
+	// StatusOK means the program ran to completion and returned.
+	StatusOK Status = iota
+	// StatusDetected means a duplication checker fired (check_fail was
+	// called): the fault was caught before it could corrupt output.
+	StatusDetected
+	// StatusTrap means the run aborted with a hardware-visible error
+	// (the DUE category of the paper).
+	StatusTrap
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusDetected:
+		return "detected"
+	case StatusTrap:
+		return "trap"
+	default:
+		return "unknown"
+	}
+}
+
+// Trap enumerates DUE causes.
+type Trap uint8
+
+const (
+	TrapNone Trap = iota
+	// TrapBadAddress is a load/store to an unmapped address.
+	TrapBadAddress
+	// TrapDivide is a division by zero or quotient overflow (x86 #DE).
+	TrapDivide
+	// TrapStackOverflow is frame allocation crossing StackLimit.
+	TrapStackOverflow
+	// TrapTimeout is exceeding the dynamic instruction budget.
+	TrapTimeout
+	// TrapCallDepth is exceeding the call depth limit (IR level only;
+	// at assembly level runaway recursion hits the stack guard).
+	TrapCallDepth
+	// TrapOutputOverflow is exceeding the output size cap.
+	TrapOutputOverflow
+	// TrapBadJump is a return to a corrupted address (assembly level).
+	TrapBadJump
+)
+
+func (t Trap) String() string {
+	switch t {
+	case TrapNone:
+		return "none"
+	case TrapBadAddress:
+		return "bad-address"
+	case TrapDivide:
+		return "divide"
+	case TrapStackOverflow:
+		return "stack-overflow"
+	case TrapTimeout:
+		return "timeout"
+	case TrapCallDepth:
+		return "call-depth"
+	case TrapOutputOverflow:
+		return "output-overflow"
+	case TrapBadJump:
+		return "bad-jump"
+	default:
+		return "unknown"
+	}
+}
+
+// Fault describes a single-bit flip to inject. The zero value injects
+// nothing (golden run). The same fault specification drives both layers;
+// only the site population differs (IR instructions with results vs
+// assembly instructions with destination registers).
+type Fault struct {
+	// TargetIndex is the 1-based index of the dynamic instruction to
+	// corrupt, counted over instructions that have a destination.
+	TargetIndex int64
+	// Bit selects the bit to flip; it is reduced modulo the destination
+	// width at injection time (all widths divide 64, so the choice stays
+	// uniform).
+	Bit int
+}
+
+// Active reports whether the fault will inject.
+func (f Fault) Active() bool { return f.TargetIndex > 0 }
+
+// Options tunes one run.
+type Options struct {
+	// MaxSteps bounds executed instructions; 0 means DefaultMaxSteps.
+	MaxSteps int64
+	// Profile enables per-static-instruction execution counts where the
+	// engine supports them.
+	Profile bool
+}
+
+// DefaultMaxSteps is the per-run dynamic instruction budget. Golden runs
+// of the benchmarks are far below it; a faulty run that exceeds it is a
+// hang, classified as a DUE.
+const DefaultMaxSteps = 64 << 20
+
+// Result reports the outcome of one execution.
+type Result struct {
+	Status Status
+	Trap   Trap
+	// Output is the bytes printed by the program. Owned by the caller.
+	Output []byte
+	// RetVal is main's return value (when StatusOK).
+	RetVal int64
+	// DynInstrs counts every executed instruction.
+	DynInstrs int64
+	// InjectableInstrs counts executed instructions with destinations;
+	// fault TargetIndex ranges over [1, InjectableInstrs].
+	InjectableInstrs int64
+	// Injected reports whether the requested fault actually fired (a
+	// fault past the end of a shorter-than-expected run does not).
+	Injected bool
+	// InjectedStatic is the static index of the corrupted instruction
+	// (position in the engine's canonical instruction enumeration), or
+	// -1 when no fault fired. The profiling stage uses it to attribute
+	// outcomes to static instructions.
+	InjectedStatic int32
+	// InjectedOrigin is the provenance tag of the corrupted instruction
+	// (assembly level only); it drives root-cause classification.
+	InjectedOrigin asm.Origin
+	// InjectedChecker reports whether the corrupted instruction belongs
+	// to a duplication checker.
+	InjectedChecker bool
+}
+
+// Engine is a deterministic fault-injection execution engine. Engines
+// are not safe for concurrent use; campaign workers each own one.
+type Engine interface {
+	// Run executes the program once, optionally injecting a fault.
+	Run(f Fault, o Options) Result
+}

@@ -1,0 +1,38 @@
+package sim
+
+import "testing"
+
+func TestStatusStrings(t *testing.T) {
+	if StatusOK.String() != "ok" || StatusDetected.String() != "detected" || StatusTrap.String() != "trap" {
+		t.Error("status strings wrong")
+	}
+	if Status(99).String() != "unknown" {
+		t.Error("unknown status not handled")
+	}
+}
+
+func TestTrapStrings(t *testing.T) {
+	wants := map[Trap]string{
+		TrapNone: "none", TrapBadAddress: "bad-address", TrapDivide: "divide",
+		TrapStackOverflow: "stack-overflow", TrapTimeout: "timeout",
+		TrapCallDepth: "call-depth", TrapOutputOverflow: "output-overflow",
+		TrapBadJump: "bad-jump",
+	}
+	for tr, want := range wants {
+		if tr.String() != want {
+			t.Errorf("%d.String() = %q, want %q", tr, tr.String(), want)
+		}
+	}
+	if Trap(99).String() != "unknown" {
+		t.Error("unknown trap not handled")
+	}
+}
+
+func TestFaultActive(t *testing.T) {
+	if (Fault{}).Active() {
+		t.Error("zero fault active")
+	}
+	if !(Fault{TargetIndex: 1}).Active() {
+		t.Error("real fault inactive")
+	}
+}

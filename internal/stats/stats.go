@@ -1,0 +1,118 @@
+// Package stats provides the statistical helpers the evaluation uses:
+// binomial proportion estimates with Wilson score intervals (the
+// standard choice for fault-injection campaigns, which are Bernoulli
+// trials), and error propagation for the derived coverage ratio.
+package stats
+
+import "math"
+
+// Z95 is the normal quantile for 95% two-sided intervals.
+const Z95 = 1.959963984540054
+
+// Proportion is an estimated binomial proportion.
+type Proportion struct {
+	Hits  int
+	Total int
+}
+
+// P returns the point estimate.
+func (p Proportion) P() float64 {
+	if p.Total == 0 {
+		return 0
+	}
+	return float64(p.Hits) / float64(p.Total)
+}
+
+// Wilson returns the Wilson score interval at confidence z (use Z95).
+// Unlike the normal approximation it behaves sensibly for proportions
+// near 0 or 1 and for small campaigns.
+func (p Proportion) Wilson(z float64) (lo, hi float64) {
+	if p.Total == 0 {
+		return 0, 1
+	}
+	n := float64(p.Total)
+	ph := p.P()
+	z2 := z * z
+	denom := 1 + z2/n
+	center := (ph + z2/(2*n)) / denom
+	half := z / denom * math.Sqrt(ph*(1-ph)/n+z2/(4*n*n))
+	lo = center - half
+	hi = center + half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// StdErr returns the standard error of the proportion estimate.
+func (p Proportion) StdErr() float64 {
+	if p.Total == 0 {
+		return 0
+	}
+	ph := p.P()
+	return math.Sqrt(ph * (1 - ph) / float64(p.Total))
+}
+
+// CoverageInterval propagates campaign uncertainty into the SDC-coverage
+// ratio C = (praw − pprot)/praw. It uses first-order (delta-method)
+// propagation with independent campaigns, then clamps to [0, 1]; the
+// result degrades gracefully to the full interval when the baseline is
+// too small to support an estimate.
+func CoverageInterval(raw, prot Proportion, z float64) (c, lo, hi float64) {
+	pr := raw.P()
+	pp := prot.P()
+	if pr == 0 {
+		return 1, 0, 1
+	}
+	c = (pr - pp) / pr
+	// dC/dpr = pp/pr², dC/dpp = −1/pr
+	vr := raw.StdErr() * raw.StdErr()
+	vp := prot.StdErr() * prot.StdErr()
+	se := math.Sqrt(vr*(pp/(pr*pr))*(pp/(pr*pr)) + vp/(pr*pr))
+	lo = c - z*se
+	hi = c + z*se
+	c = clamp01(c)
+	lo = clamp01(lo)
+	hi = clamp01(hi)
+	return c, lo, hi
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(n-1))
+}

@@ -1,0 +1,89 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestProportionBasics(t *testing.T) {
+	p := Proportion{Hits: 30, Total: 100}
+	if p.P() != 0.3 {
+		t.Fatalf("P = %v", p.P())
+	}
+	if se := p.StdErr(); math.Abs(se-math.Sqrt(0.3*0.7/100)) > 1e-12 {
+		t.Fatalf("StdErr = %v", se)
+	}
+	if (Proportion{}).P() != 0 || (Proportion{}).StdErr() != 0 {
+		t.Fatal("empty proportion mishandled")
+	}
+}
+
+func TestWilsonProperties(t *testing.T) {
+	check := func(hits, total uint16) bool {
+		tot := int(total%2000) + 1
+		h := int(hits) % (tot + 1)
+		p := Proportion{Hits: h, Total: tot}
+		lo, hi := p.Wilson(Z95)
+		if lo < 0 || hi > 1 || lo > hi {
+			return false
+		}
+		// The point estimate lies inside the interval.
+		ph := p.P()
+		return lo <= ph+1e-12 && ph-1e-12 <= hi
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWilsonKnownValue(t *testing.T) {
+	// 50/100 at 95%: the classic interval ≈ (0.4038, 0.5962).
+	lo, hi := (Proportion{Hits: 50, Total: 100}).Wilson(Z95)
+	if math.Abs(lo-0.4038) > 0.001 || math.Abs(hi-0.5962) > 0.001 {
+		t.Fatalf("Wilson(50/100) = (%v, %v)", lo, hi)
+	}
+	// Zero hits still gives a nonzero upper bound (rule-of-three-ish).
+	lo, hi = (Proportion{Hits: 0, Total: 100}).Wilson(Z95)
+	if lo > 1e-9 || hi < 0.01 || hi > 0.06 {
+		t.Fatalf("Wilson(0/100) = (%v, %v)", lo, hi)
+	}
+}
+
+func TestWilsonNarrowsWithN(t *testing.T) {
+	lo1, hi1 := (Proportion{Hits: 30, Total: 100}).Wilson(Z95)
+	lo2, hi2 := (Proportion{Hits: 300, Total: 1000}).Wilson(Z95)
+	if hi2-lo2 >= hi1-lo1 {
+		t.Fatal("interval did not narrow with more samples")
+	}
+}
+
+func TestCoverageInterval(t *testing.T) {
+	raw := Proportion{Hits: 200, Total: 1000} // praw = 0.2
+	prot := Proportion{Hits: 20, Total: 1000} // pprot = 0.02
+	c, lo, hi := CoverageInterval(raw, prot, Z95)
+	if math.Abs(c-0.9) > 1e-12 {
+		t.Fatalf("coverage = %v, want 0.9", c)
+	}
+	if lo >= c || hi <= c || lo < 0 || hi > 1 {
+		t.Fatalf("interval (%v, %v) malformed around %v", lo, hi, c)
+	}
+	// Zero baseline: defined as full coverage with maximal uncertainty.
+	c, lo, hi = CoverageInterval(Proportion{0, 1000}, prot, Z95)
+	if c != 1 || lo != 0 || hi != 1 {
+		t.Fatalf("degenerate baseline: %v (%v, %v)", c, lo, hi)
+	}
+}
+
+func TestMeanStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if Mean(xs) != 5 {
+		t.Fatalf("mean = %v", Mean(xs))
+	}
+	if sd := StdDev(xs); math.Abs(sd-2.138) > 0.001 {
+		t.Fatalf("stddev = %v", sd)
+	}
+	if Mean(nil) != 0 || StdDev(nil) != 0 || StdDev([]float64{1}) != 0 {
+		t.Fatal("degenerate inputs mishandled")
+	}
+}
