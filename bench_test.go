@@ -242,6 +242,46 @@ func BenchmarkMachine(b *testing.B) {
 	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds()/1e6, "M-instrs/s")
 }
 
+// BenchmarkCampaignSnapshot measures campaign throughput with checkpoint
+// fast-forwarding off (scratch) and on (snapshot) for the same spec; the
+// runs/s metrics are the headline quantity recorded in BENCH_1.json
+// (regenerate with `go run ./cmd/experiments -only campbench -json`).
+func BenchmarkCampaignSnapshot(b *testing.B) {
+	bm := mustBench(b, "susan")
+	m := bm.Build()
+	if err := dup.ApplyFull(m); err != nil {
+		b.Fatal(err)
+	}
+	prog, err := backend.Lower(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := func() (sim.Engine, error) { return machine.New(m, prog) }
+	for _, mode := range []struct {
+		name      string
+		snapshots int
+	}{
+		{"scratch", -1},
+		{"snapshot", 0},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			var rps, saved float64
+			for i := 0; i < b.N; i++ {
+				st, err := campaign.Run(f, campaign.Spec{
+					Runs: benchCfg.Runs, Seed: benchCfg.Seed, Snapshots: mode.snapshots,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rps += st.RunsPerSec()
+				saved += st.SavedFrac()
+			}
+			b.ReportMetric(rps/float64(b.N), "runs/s")
+			b.ReportMetric(saved/float64(b.N)*100, "saved-%")
+		})
+	}
+}
+
 // BenchmarkLower measures backend lowering speed over all benchmarks.
 func BenchmarkLower(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -24,7 +24,7 @@ func main() {
 	runs := flag.Int("runs", 0, "fault injections per campaign (0 = default scale)")
 	samples := flag.Int("samples", 0, "profiling injections (0 = default)")
 	seed := flag.Int64("seed", 2023, "random seed")
-	only := flag.String("only", "all", "artifact: table1|fig2|fig3|fig17|overhead|passtime|ablation|pressure|convergence|all")
+	only := flag.String("only", "all", "artifact: table1|fig2|fig3|fig17|overhead|passtime|ablation|pressure|convergence|campbench|all")
 	benches := flag.String("bench", "", "comma-separated benchmark subset (default: all 16)")
 	workers := flag.Int("workers", 0, "campaign parallelism (0 = GOMAXPROCS)")
 	quiet := flag.Bool("q", false, "suppress progress output")
@@ -74,6 +74,43 @@ func main() {
 			progress(n, time.Since(start))
 		}
 		fmt.Println(experiment.Convergence(results))
+		return
+	}
+
+	// The campaign-throughput benchmark (scratch vs checkpoint
+	// fast-forward) runs its own pipeline; with -json it emits the
+	// BENCH_1.json artifact.
+	if *only == "campbench" {
+		if len(names) == 0 {
+			names = []string{"susan"}
+		}
+		var perfs []experiment.CampaignPerf
+		for _, n := range names {
+			bm, ok := benchByName(n)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "experiments: unknown benchmark %q\n", n)
+				os.Exit(1)
+			}
+			start := time.Now()
+			ps, err := experiment.RunCampaignPerf(bm, cfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+			perfs = append(perfs, ps...)
+			progress(n, time.Since(start))
+		}
+		if *jsonOut {
+			data, err := experiment.CampaignBenchJSON(perfs, cfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+			os.Stdout.Write(data)
+			fmt.Println()
+			return
+		}
+		fmt.Println(experiment.CampaignBench(perfs))
 		return
 	}
 
@@ -137,6 +174,10 @@ func main() {
 	if !*quiet {
 		fmt.Fprintf(os.Stderr, "[experiments] total %v (%d runs/campaign, seed %d)\n",
 			time.Since(start).Round(time.Millisecond), cfg.Runs, cfg.Seed)
+		if saved, simulated := experiment.FastForwardSummary(results); saved > 0 {
+			fmt.Fprintf(os.Stderr, "[experiments] checkpoint fast-forward skipped %.1f%% of instruction work (%d of %d instrs)\n",
+				float64(saved)/float64(saved+simulated)*100, saved, saved+simulated)
+		}
 	}
 
 	if *jsonOut {

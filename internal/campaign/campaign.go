@@ -12,9 +12,12 @@
 package campaign
 
 import (
+	"bytes"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
+	"time"
 
 	"flowery/internal/asm"
 	"flowery/internal/sim"
@@ -66,6 +69,13 @@ type Spec struct {
 	MaxSteps int64
 	// Workers is the parallelism (0: GOMAXPROCS).
 	Workers int
+	// Snapshots tunes checkpoint/fast-forward execution: 0 uses it
+	// automatically whenever the engine supports it (with
+	// DefaultSnapshotTarget checkpoints per golden run), a positive value
+	// overrides the per-run checkpoint target, and a negative value
+	// disables fast-forwarding. Outcome statistics are bit-identical
+	// either way; only the wall clock changes.
+	Snapshots int
 }
 
 // Stats aggregates campaign outcomes.
@@ -78,6 +88,38 @@ type Stats struct {
 	// GoldenDyn and GoldenInjectable describe the fault-free run.
 	GoldenDyn        int64
 	GoldenInjectable int64
+
+	// Perf telemetry. Unlike the outcome fields above, these depend on
+	// scheduling (worker count, snapshot placement) and wall clock; they
+	// are excluded from determinism guarantees.
+	//
+	// SimulatedInstrs counts dynamic instructions actually executed
+	// across the campaign, including golden and snapshot-building runs.
+	// SavedInstrs counts instructions fast-forwarded over via checkpoint
+	// restore; scratch execution of the same campaign would have cost
+	// SimulatedInstrs+SavedInstrs.
+	SimulatedInstrs int64
+	SavedInstrs     int64
+	// Elapsed is the wall-clock duration of Run.
+	Elapsed time.Duration
+}
+
+// SavedFrac is the fraction of the campaign's total instruction work
+// skipped by checkpoint restore (0 when snapshots were off or useless).
+func (s Stats) SavedFrac() float64 {
+	total := s.SimulatedInstrs + s.SavedInstrs
+	if total == 0 {
+		return 0
+	}
+	return float64(s.SavedInstrs) / float64(total)
+}
+
+// RunsPerSec is the campaign throughput in injection runs per second.
+func (s Stats) RunsPerSec() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Runs) / s.Elapsed.Seconds()
 }
 
 // Rate returns the fraction of runs with the given outcome.
@@ -128,8 +170,52 @@ func (s Stats) SDCRateCI() (p, lo, hi float64) {
 // sequentially (engine construction may touch shared module state).
 type EngineFactory func() (sim.Engine, error)
 
+// DefaultSnapshotTarget is the number of checkpoints a golden run aims
+// for when Spec.Snapshots is 0.
+const DefaultSnapshotTarget = 96
+
+// minSnapshotInterval bounds checkpoint density from below: programs too
+// short to amortize capture and restore run from scratch instead.
+const minSnapshotInterval = 2048
+
+// snapshotInterval derives the checkpoint spacing for a golden run with
+// the given injectable population; 0 disables fast-forwarding.
+func snapshotInterval(spec Spec, injectable int64) int64 {
+	target := int64(DefaultSnapshotTarget)
+	switch {
+	case spec.Snapshots < 0:
+		return 0
+	case spec.Snapshots > 0:
+		target = int64(spec.Snapshots)
+	}
+	iv := injectable / target
+	if iv < minSnapshotInterval {
+		iv = minSnapshotInterval
+	}
+	if 2*iv > injectable {
+		// At most one checkpoint would ever be restored; not worth the
+		// capture cost.
+		return 0
+	}
+	return iv
+}
+
+// job is one scheduled injection run.
+type job struct {
+	run   int // run index (the position outcomes are merged at)
+	fault sim.Fault
+}
+
+// runOutcome is one run's classified result, recorded in a per-run slot
+// so the final aggregation order is independent of scheduling.
+type runOutcome struct {
+	outcome Outcome
+	origin  asm.Origin
+}
+
 // Run executes a campaign and returns aggregated statistics.
 func Run(factory EngineFactory, spec Spec) (Stats, error) {
+	start := time.Now()
 	if spec.Runs <= 0 {
 		return Stats{}, fmt.Errorf("campaign: non-positive run count")
 	}
@@ -157,7 +243,7 @@ func Run(factory EngineFactory, spec Spec) (Stats, error) {
 	if golden.InjectableInstrs == 0 {
 		return Stats{}, fmt.Errorf("campaign: program has no injectable instructions")
 	}
-	goldenOut := string(golden.Output)
+	goldenOut := append([]byte(nil), golden.Output...)
 
 	// A fault that corrupts a loop bound can hang the program; runs far
 	// past the golden length are classified as hangs (DUE) without
@@ -167,22 +253,65 @@ func Run(factory EngineFactory, spec Spec) (Stats, error) {
 		maxSteps = HangFactor*golden.DynInstrs + 100_000
 	}
 
+	// Pre-derive every run's fault, deal them round-robin into per-worker
+	// batches, and sort each batch by injection point: consecutive runs
+	// then restore from nearby (usually identical) checkpoints, so the
+	// snapshot cache stays hot and prefix reuse is maximal. Outcomes land
+	// in per-run slots, so neither the batch order nor the worker count
+	// can perturb the aggregate.
+	interval := snapshotInterval(spec, golden.InjectableInstrs)
+	batches := make([][]job, workers)
+	for i := 0; i < spec.Runs; i++ {
+		w := i % workers
+		batches[w] = append(batches[w], job{i, faultForRun(spec.Seed, int64(i), golden.InjectableInstrs)})
+	}
+	for _, b := range batches {
+		b := b
+		sort.Slice(b, func(i, j int) bool {
+			if b[i].fault.TargetIndex != b[j].fault.TargetIndex {
+				return b[i].fault.TargetIndex < b[j].fault.TargetIndex
+			}
+			return b[i].run < b[j].run
+		})
+	}
+
+	outcomes := make([]runOutcome, spec.Runs)
+	simulated := make([]int64, workers)
+	saved := make([]int64, workers)
+
 	var wg sync.WaitGroup
-	partial := make([]Stats, workers)
 	for w := 0; w < workers; w++ {
 		w := w
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			st := &partial[w]
-			for i := w; i < spec.Runs; i += workers {
-				fault := faultForRun(spec.Seed, int64(i), golden.InjectableInstrs)
-				res := engines[w].Run(fault, sim.Options{MaxSteps: maxSteps})
-				o := classify(res, goldenOut)
-				st.Counts[o]++
-				if o == OutcomeSDC {
-					st.SDCByOrigin[res.InjectedOrigin]++
+			eng := engines[w]
+			opts := sim.Options{MaxSteps: maxSteps}
+			se, _ := eng.(sim.SnapshotEngine)
+			if se != nil && interval > 0 {
+				g := se.BuildSnapshots(interval, sim.Options{MaxSteps: spec.MaxSteps})
+				simulated[w] += g.DynInstrs
+				if g.Status != sim.StatusOK {
+					se = nil // engine degraded; fall back to scratch runs
 				}
+			} else {
+				se = nil
+			}
+			for _, j := range batches[w] {
+				var res sim.Result
+				var skipped int64
+				if se != nil {
+					res, skipped = se.RunFrom(j.fault, opts)
+				} else {
+					res = eng.Run(j.fault, opts)
+				}
+				simulated[w] += res.DynInstrs - skipped
+				saved[w] += skipped
+				o := classify(res, goldenOut)
+				outcomes[j.run] = runOutcome{o, res.InjectedOrigin}
+			}
+			if se != nil {
+				se.DropSnapshots()
 			}
 		}()
 	}
@@ -192,20 +321,26 @@ func Run(factory EngineFactory, spec Spec) (Stats, error) {
 		Runs:             spec.Runs,
 		GoldenDyn:        golden.DynInstrs,
 		GoldenInjectable: golden.InjectableInstrs,
+		SimulatedInstrs:  golden.DynInstrs,
 	}
-	for _, p := range partial {
-		for i, c := range p.Counts {
-			total.Counts[i] += c
-		}
-		for i, c := range p.SDCByOrigin {
-			total.SDCByOrigin[i] += c
+	// Merge in run order: the aggregate is a pure function of the per-run
+	// outcomes, independent of worker count and batch scheduling.
+	for i := range outcomes {
+		total.Counts[outcomes[i].outcome]++
+		if outcomes[i].outcome == OutcomeSDC {
+			total.SDCByOrigin[outcomes[i].origin]++
 		}
 	}
+	for w := 0; w < workers; w++ {
+		total.SimulatedInstrs += simulated[w]
+		total.SavedInstrs += saved[w]
+	}
+	total.Elapsed = time.Since(start)
 	return total, nil
 }
 
 // classify maps a run result to an outcome.
-func classify(res sim.Result, goldenOut string) Outcome {
+func classify(res sim.Result, goldenOut []byte) Outcome {
 	switch res.Status {
 	case sim.StatusDetected:
 		return OutcomeDetected
@@ -216,7 +351,7 @@ func classify(res sim.Result, goldenOut string) Outcome {
 			// The chosen site was never reached; nothing happened.
 			return OutcomeBenign
 		}
-		if string(res.Output) != goldenOut {
+		if !bytes.Equal(res.Output, goldenOut) {
 			return OutcomeSDC
 		}
 		return OutcomeBenign

@@ -99,6 +99,7 @@ func TestFaultDistribution(t *testing.T) {
 	const n = 2000
 	const injectable = 1000
 	buckets := make([]int, 4)
+	bitBuckets := make([]int, 8)
 	for i := int64(0); i < n; i++ {
 		f := faultForRun(7, i, injectable)
 		if f.TargetIndex < 1 || f.TargetIndex > injectable {
@@ -108,16 +109,23 @@ func TestFaultDistribution(t *testing.T) {
 			t.Fatalf("bit %d out of range", f.Bit)
 		}
 		buckets[(f.TargetIndex-1)*4/injectable]++
+		bitBuckets[f.Bit/8]++
 	}
 	for i, c := range buckets {
 		if c < n/8 {
 			t.Fatalf("quartile %d badly undersampled: %d of %d", i, c, n)
 		}
 	}
+	// Bits must be uniform too (each octile expects n/8 = 250).
+	for i, c := range bitBuckets {
+		if c < n/16 {
+			t.Fatalf("bit octile %d badly undersampled: %d of %d", i, c, n)
+		}
+	}
 }
 
 func TestClassify(t *testing.T) {
-	golden := "42\n"
+	golden := []byte("42\n")
 	cases := []struct {
 		res  sim.Result
 		want Outcome

@@ -1,0 +1,179 @@
+package campaign
+
+import (
+	"testing"
+
+	"flowery/internal/backend"
+	"flowery/internal/bench"
+	"flowery/internal/dup"
+	"flowery/internal/interp"
+	"flowery/internal/machine"
+	"flowery/internal/sim"
+)
+
+// outcomeEqual compares the deterministic portion of two Stats — the
+// fields the snapshot engine must not perturb. Telemetry (SimulatedInstrs,
+// SavedInstrs, Elapsed) is scheduling-dependent and excluded.
+func outcomeEqual(a, b Stats) bool {
+	return a.Runs == b.Runs &&
+		a.Counts == b.Counts &&
+		a.SDCByOrigin == b.SDCByOrigin &&
+		a.GoldenDyn == b.GoldenDyn &&
+		a.GoldenInjectable == b.GoldenInjectable
+}
+
+func interpFactory(t *testing.T, name string) EngineFactory {
+	t.Helper()
+	bm, ok := bench.ByName(name)
+	if !ok {
+		t.Fatalf("unknown benchmark %q", name)
+	}
+	m := bm.Build()
+	return func() (sim.Engine, error) { return interp.New(m), nil }
+}
+
+func machineFactory(t *testing.T, name string, protect bool) EngineFactory {
+	t.Helper()
+	bm, ok := bench.ByName(name)
+	if !ok {
+		t.Fatalf("unknown benchmark %q", name)
+	}
+	m := bm.Build()
+	if protect {
+		if err := dup.ApplyFull(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	prog, err := backend.Lower(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return func() (sim.Engine, error) { return machine.New(m, prog) }
+}
+
+// TestCampaignSnapshotsBitIdentical is the acceptance gate for the
+// fast-forward engine: for the same Spec, campaign outcome statistics
+// with snapshots enabled must be bit-identical to scratch execution —
+// across benchmarks, at both layers, and on a duplication-protected
+// program (whose detections truncate runs early).
+func TestCampaignSnapshotsBitIdentical(t *testing.T) {
+	cases := []struct {
+		tag     string
+		factory EngineFactory
+	}{
+		{"bfs/ir", interpFactory(t, "bfs")},
+		{"quicksort/ir", interpFactory(t, "quicksort")},
+		{"fft2/ir", interpFactory(t, "fft2")},
+		{"bfs/asm", machineFactory(t, "bfs", false)},
+		{"quicksort/asm", machineFactory(t, "quicksort", false)},
+		{"fft2/asm", machineFactory(t, "fft2", false)},
+		{"bfs/asm+dup", machineFactory(t, "bfs", true)},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.tag, func(t *testing.T) {
+			t.Parallel()
+			scratch, err := Run(c.factory, Spec{Runs: 250, Seed: 11, Workers: 2, Snapshots: -1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			snap, err := Run(c.factory, Spec{Runs: 250, Seed: 11, Workers: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !outcomeEqual(scratch, snap) {
+				t.Fatalf("snapshots changed outcomes:\nscratch %+v\nsnapshot %+v", scratch, snap)
+			}
+			if scratch.SavedInstrs != 0 {
+				t.Fatalf("scratch campaign reported saved instructions: %d", scratch.SavedInstrs)
+			}
+			// All these benchmarks are large enough for the interval policy
+			// to engage; with hundreds of uniform targets some must land
+			// past the first checkpoint.
+			if iv := snapshotInterval(Spec{}, snap.GoldenInjectable); iv == 0 {
+				t.Fatalf("benchmark too small for snapshots (injectable %d)", snap.GoldenInjectable)
+			}
+			if snap.SavedInstrs == 0 {
+				t.Fatalf("snapshot campaign fast-forwarded nothing")
+			}
+		})
+	}
+}
+
+// TestCampaignSnapshotWorkerInvariance: with fast-forwarding on, worker
+// count still cannot perturb outcomes (per-run slots + pre-derived
+// faults make aggregation a pure function of the seed).
+func TestCampaignSnapshotWorkerInvariance(t *testing.T) {
+	f := interpFactory(t, "bfs")
+	one, err := Run(f, Spec{Runs: 300, Seed: 9, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eight, err := Run(f, Spec{Runs: 300, Seed: 9, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !outcomeEqual(one, eight) {
+		t.Fatalf("worker count changed outcomes:\n1 worker %+v\n8 workers %+v", one, eight)
+	}
+}
+
+// TestSnapshotIntervalPolicy pins the auto-tuning contract of
+// Spec.Snapshots.
+func TestSnapshotIntervalPolicy(t *testing.T) {
+	if iv := snapshotInterval(Spec{Snapshots: -1}, 1_000_000); iv != 0 {
+		t.Fatalf("Snapshots=-1 did not disable fast-forwarding (interval %d)", iv)
+	}
+	if iv := snapshotInterval(Spec{}, 1000); iv != 0 {
+		t.Fatalf("tiny program got interval %d, want scratch execution", iv)
+	}
+	if iv := snapshotInterval(Spec{}, 960_000); iv != 960_000/DefaultSnapshotTarget {
+		t.Fatalf("auto interval = %d, want %d", iv, 960_000/DefaultSnapshotTarget)
+	}
+	if iv := snapshotInterval(Spec{Snapshots: 10}, 960_000); iv != 96_000 {
+		t.Fatalf("explicit target ignored: interval %d, want 96000", iv)
+	}
+	// The floor keeps checkpoints from being denser than their cost.
+	if iv := snapshotInterval(Spec{}, 10_000); iv != minSnapshotInterval {
+		t.Fatalf("interval floor not applied: %d", iv)
+	}
+}
+
+// TestFaultForRunDeterminism: a run's fault is a pure function of
+// (seed, index, injectable) — the property the per-run outcome slots and
+// the cross-worker determinism guarantee rest on.
+func TestFaultForRunDeterminism(t *testing.T) {
+	const injectable = 54321
+	for i := int64(0); i < 1000; i++ {
+		a := faultForRun(77, i, injectable)
+		b := faultForRun(77, i, injectable)
+		if a != b {
+			t.Fatalf("run %d: fault not deterministic: %+v vs %+v", i, a, b)
+		}
+	}
+	// Different seeds must decorrelate the sequence.
+	same := 0
+	for i := int64(0); i < 1000; i++ {
+		if faultForRun(77, i, injectable) == faultForRun(78, i, injectable) {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Fatalf("seeds 77 and 78 collide on %d of 1000 faults", same)
+	}
+}
+
+// TestCampaignTinyProgramDegrades: programs below the snapshot threshold
+// silently fall back to scratch runs.
+func TestCampaignTinyProgramDegrades(t *testing.T) {
+	st, err := Run(factory(buildTarget()), Spec{Runs: 100, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SavedInstrs != 0 {
+		t.Fatalf("tiny program used snapshots (saved %d)", st.SavedInstrs)
+	}
+	if st.SimulatedInstrs == 0 {
+		t.Fatal("no simulated-instruction telemetry")
+	}
+}

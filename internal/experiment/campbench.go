@@ -1,0 +1,155 @@
+// Campaign-throughput benchmark: measures what the checkpoint/fast-forward
+// engine buys end to end. For each benchmark × layer × protection level it
+// runs the same campaign twice — scratch (Snapshots: -1) and fast-forward
+// (Snapshots: 0) — verifies the outcome statistics are bit-identical, and
+// reports runs/sec for both plus the fraction of instruction work skipped.
+
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"flowery/internal/backend"
+	"flowery/internal/bench"
+	"flowery/internal/campaign"
+	"flowery/internal/dup"
+	"flowery/internal/interp"
+	"flowery/internal/machine"
+	"flowery/internal/sim"
+)
+
+// CampaignPerf is one scratch-vs-snapshot throughput measurement.
+type CampaignPerf struct {
+	Benchmark string `json:"benchmark"`
+	Layer     string `json:"layer"` // "ir" or "asm"
+	Protected bool   `json:"protected"`
+	Runs      int    `json:"runs"`
+
+	ScratchRunsPerSec  float64 `json:"scratch_runs_per_sec"`
+	SnapshotRunsPerSec float64 `json:"snapshot_runs_per_sec"`
+	// Speedup is SnapshotRunsPerSec / ScratchRunsPerSec.
+	Speedup float64 `json:"speedup"`
+	// SavedInstrFrac is the fraction of the campaign's instruction work
+	// the fast-forward runs skipped (campaign.Stats.SavedFrac).
+	SavedInstrFrac float64 `json:"saved_instr_frac"`
+}
+
+// RunCampaignPerf measures one benchmark at both layers, raw and
+// duplication-protected. It fails if snapshots perturb any outcome count —
+// the same invariant the campaign test suite checks, re-verified here on
+// the exact configurations being reported.
+func RunCampaignPerf(bm bench.Benchmark, cfg Config) ([]CampaignPerf, error) {
+	if cfg.Runs <= 0 {
+		cfg = DefaultConfig()
+	}
+	var out []CampaignPerf
+	for _, protect := range []bool{false, true} {
+		m := bm.Build()
+		if protect {
+			if err := dup.ApplyFull(m); err != nil {
+				return nil, err
+			}
+		}
+		prog, err := backend.Lower(m)
+		if err != nil {
+			return nil, err
+		}
+		layers := []struct {
+			name    string
+			factory campaign.EngineFactory
+		}{
+			{"ir", func() (sim.Engine, error) { return interp.New(m), nil }},
+			{"asm", func() (sim.Engine, error) { return machine.New(m, prog) }},
+		}
+		for _, l := range layers {
+			p, err := measureCampaignPerf(bm.Name, l.name, protect, l.factory, cfg)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+func measureCampaignPerf(name, layer string, protect bool, f campaign.EngineFactory, cfg Config) (CampaignPerf, error) {
+	base := campaign.Spec{Runs: cfg.Runs, Seed: cfg.Seed, Workers: cfg.Workers}
+
+	scratchSpec := base
+	scratchSpec.Snapshots = -1
+	scratch, err := campaign.Run(f, scratchSpec)
+	if err != nil {
+		return CampaignPerf{}, err
+	}
+	snap, err := campaign.Run(f, base)
+	if err != nil {
+		return CampaignPerf{}, err
+	}
+	if scratch.Counts != snap.Counts || scratch.SDCByOrigin != snap.SDCByOrigin {
+		return CampaignPerf{}, fmt.Errorf("campbench %s/%s: snapshots perturbed outcomes: %v vs %v",
+			name, layer, scratch.Counts, snap.Counts)
+	}
+
+	p := CampaignPerf{
+		Benchmark:          name,
+		Layer:              layer,
+		Protected:          protect,
+		Runs:               cfg.Runs,
+		ScratchRunsPerSec:  scratch.RunsPerSec(),
+		SnapshotRunsPerSec: snap.RunsPerSec(),
+		SavedInstrFrac:     snap.SavedFrac(),
+	}
+	if p.ScratchRunsPerSec > 0 {
+		p.Speedup = p.SnapshotRunsPerSec / p.ScratchRunsPerSec
+	}
+	return p, nil
+}
+
+// CampaignBench renders the measurements as a table.
+func CampaignBench(perfs []CampaignPerf) string {
+	var sb strings.Builder
+	sb.WriteString("Campaign throughput: scratch vs checkpoint fast-forward\n")
+	sb.WriteString(fmt.Sprintf("%-12s %-5s %-9s %8s %12s %12s %8s %10s\n",
+		"benchmark", "layer", "protect", "runs", "scratch r/s", "snap r/s", "speedup", "saved"))
+	for _, p := range perfs {
+		prot := "raw"
+		if p.Protected {
+			prot = "dup-full"
+		}
+		sb.WriteString(fmt.Sprintf("%-12s %-5s %-9s %8d %12.1f %12.1f %7.2fx %9.1f%%\n",
+			p.Benchmark, p.Layer, prot, p.Runs,
+			p.ScratchRunsPerSec, p.SnapshotRunsPerSec, p.Speedup, p.SavedInstrFrac*100))
+	}
+	return sb.String()
+}
+
+// FastForwardSummary aggregates the checkpoint/fast-forward telemetry of
+// every campaign in results: total instructions skipped, total executed.
+func FastForwardSummary(results []*BenchResult) (saved, simulated int64) {
+	add := func(ls LevelStats) {
+		saved += ls.IR.SavedInstrs + ls.Asm.SavedInstrs
+		simulated += ls.IR.SimulatedInstrs + ls.Asm.SimulatedInstrs
+	}
+	for _, r := range results {
+		add(r.Raw)
+		for _, ls := range r.ID {
+			add(ls)
+		}
+		for _, ls := range r.Flowery {
+			add(ls)
+		}
+	}
+	return saved, simulated
+}
+
+// CampaignBenchJSON marshals the measurements (the BENCH_1.json artifact).
+func CampaignBenchJSON(perfs []CampaignPerf, cfg Config) ([]byte, error) {
+	doc := struct {
+		Runs    int            `json:"runs"`
+		Seed    int64          `json:"seed"`
+		Results []CampaignPerf `json:"results"`
+	}{cfg.Runs, cfg.Seed, perfs}
+	return json.MarshalIndent(doc, "", "  ")
+}

@@ -7,17 +7,95 @@ import (
 	"flowery/internal/rt"
 )
 
-// maxCallArgs bounds call arity; the per-call argument buffer is a fixed
-// array to keep the hot path allocation-free.
+// maxCallArgs bounds call arity; the per-frame argument buffer is a
+// fixed array to keep the hot path allocation-free.
 const maxCallArgs = 8
 
-// exec runs one invocation of cf. fp is the frame base (allocas live at
-// fp+offset), vals holds instruction results, args holds parameters.
-func (ip *Interp) exec(cf *cfunc, fp int64, vals, args []uint64, depth int) uint64 {
-	bi := int32(0)
+// frame is one activation record on the interpreter's explicit call
+// stack. The stack is explicit (rather than Go recursion) so that the
+// complete execution state at any instruction boundary is plain data:
+// checkpointing a run is a deep copy of the frame stack plus the dirty
+// memory regions (see snapshot.go).
+type frame struct {
+	cf *cfunc
+	fp int64
+	// bi/ii are the current block and instruction indices. For frames
+	// below the top they address the OpCall being waited on; for the top
+	// frame they are synced at every dispatch-loop entry (block edges,
+	// calls, returns), which is where snapshots are taken.
+	bi   int32
+	ii   int32
+	vals []uint64
+	args [maxCallArgs]uint64
+}
+
+// pushFrame enters cf. The depth and stack-overflow checks mirror the
+// recursive call path this replaced: callee depth is the current frame
+// count (main sits at depth 0).
+func (ip *Interp) pushFrame(cf *cfunc, args []uint64) {
+	if len(ip.frames) > MaxCallDepth {
+		ip.trap(TrapCallDepth)
+	}
+	fp := ip.framePush(cf.frameSize)
+	ip.frames = append(ip.frames, frame{cf: cf, fp: fp, vals: ip.frameVals(cf.numVals)})
+	f := &ip.frames[len(ip.frames)-1]
+	copy(f.args[:], args)
+}
+
+// popFrame leaves the top frame, returning its value storage to the pool.
+func (ip *Interp) popFrame() {
+	n := len(ip.frames) - 1
+	f := &ip.frames[n]
+	ip.framePop(f.cf.frameSize)
+	ip.releaseVals(f.vals)
+	f.vals = nil
+	ip.frames = ip.frames[:n]
+}
+
+// run drives the frame stack until main returns. The stack must hold at
+// least one frame (Run pushes main; RunFrom restores a snapshot's stack).
+func (ip *Interp) run() uint64 {
+	var retVal uint64
+	returning := false
+dispatch:
 	for {
+		f := &ip.frames[len(ip.frames)-1]
+		cf := f.cf
+		vals := f.vals
+		args := f.args[:]
+		fp := f.fp
+		bi := f.bi
+		i := f.ii
+
+		if returning {
+			// Deliver the callee's return value to the call instruction
+			// this frame was suspended at, then resume past it. (A call
+			// is never a block terminator, so i+1 stays in range.)
+			returning = false
+			ci := &cf.blocks[bi].instrs[i]
+			if ci.slot >= 0 {
+				res := retVal
+				ip.inject++
+				if ip.inject == ip.injectAt {
+					res = flipBit(ci.ty, res, ip.injectBit)
+					ip.injected = true
+					ip.injStatic = ci.gidx
+				}
+				vals[ci.slot] = res
+			}
+			i++
+		}
+
+	block:
+		if ip.snapCapture && ip.inject >= ip.nextSnapAt {
+			// Sync the top frame's position and checkpoint: this is an
+			// instruction boundary, so the captured state is exact.
+			f.bi, f.ii = bi, i
+			ip.captureSnapshot()
+		}
 		blk := &cf.blocks[bi]
-		for i := range blk.instrs {
+		n := int32(len(blk.instrs))
+		for i < n {
 			ci := &blk.instrs[i]
 			ip.steps++
 			if ip.steps > ip.maxSteps {
@@ -43,6 +121,7 @@ func (ip *Interp) exec(cf *cfunc, fp int64, vals, args []uint64, depth int) uint
 				v := ip.eval(ci.args[0], vals, args)
 				addr := int64(ip.eval(ci.args[1], vals, args))
 				ip.storeMem(addr, ci.srcTy.Size(), v)
+				i++
 				continue
 
 			case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpAnd, ir.OpOr, ir.OpXor,
@@ -104,15 +183,26 @@ func (ip *Interp) exec(cf *cfunc, fp int64, vals, args []uint64, depth int) uint
 				for ai := range ci.args {
 					ab[ai] = ip.eval(ci.args[ai], vals, args)
 				}
-				r := ip.call(ci.callee, ab[:len(ci.args)], depth+1)
-				if ci.slot < 0 {
-					continue
+				callee := ci.callee
+				if callee.rtFunc != rt.FuncNone {
+					r := ip.callRuntime(callee.rtFunc, ab[:len(ci.args)])
+					if ci.slot < 0 {
+						i++
+						continue
+					}
+					res = r
+					break
 				}
-				res = r
+				// Suspend at this call; the return is delivered at the
+				// top of the dispatch loop.
+				f.bi, f.ii = bi, i
+				ip.pushFrame(callee, ab[:len(ci.args)])
+				continue dispatch
 
 			case ir.OpBr:
 				bi = ci.blocks[0]
-				goto nextBlock
+				i = 0
+				goto block
 
 			case ir.OpCondBr:
 				c := ip.eval(ci.args[0], vals, args)
@@ -121,13 +211,21 @@ func (ip *Interp) exec(cf *cfunc, fp int64, vals, args []uint64, depth int) uint
 				} else {
 					bi = ci.blocks[1]
 				}
-				goto nextBlock
+				i = 0
+				goto block
 
 			case ir.OpRet:
+				var r uint64
 				if len(ci.args) == 1 {
-					return ip.eval(ci.args[0], vals, args)
+					r = ip.eval(ci.args[0], vals, args)
 				}
-				return 0
+				ip.popFrame()
+				if len(ip.frames) == 0 {
+					return r
+				}
+				retVal = r
+				returning = true
+				continue dispatch
 
 			default:
 				panic("interp: unknown opcode " + ci.op.String())
@@ -142,12 +240,12 @@ func (ip *Interp) exec(cf *cfunc, fp int64, vals, args []uint64, depth int) uint
 				ip.injStatic = ci.gidx
 			}
 			vals[ci.slot] = res
+			i++
 		}
 		// A verified function never falls off a block, but a trap in the
 		// middle of one exits via panic; reaching here means the block
 		// had no terminator.
 		panic("interp: block without terminator")
-	nextBlock:
 	}
 }
 

@@ -35,6 +35,19 @@ type Interp struct {
 	minTouch  int64 // lowest stack address used since last reset
 	spVal     int64
 	valPool   [][]uint64
+	frames    []frame // explicit call stack (see exec.go)
+
+	// Snapshot state (see snapshot.go). snapCapture is only set during
+	// BuildSnapshots' golden run; dataLo/dataHi track the dirty region of
+	// the data segment during that run so checkpoints copy kilobytes, not
+	// the full memory image.
+	snapCapture  bool
+	snapInterval int64
+	nextSnapAt   int64
+	dataLo       int64
+	dataHi       int64
+	snaps        []snapshot
+	goldenOut    []byte
 }
 
 // trapPanic carries a trap out of the execution loop.
@@ -93,6 +106,12 @@ func (ip *Interp) Run(fault Fault, opts Options) Result {
 		ip.profile = make([]int64, len(ip.gInstrs))
 	}
 
+	return ip.finish(true)
+}
+
+// finish executes to completion (entering main when fresh; resuming the
+// restored frame stack otherwise) and packages the outcome.
+func (ip *Interp) finish(fresh bool) Result {
 	res := Result{Status: StatusOK}
 	func() {
 		defer func() {
@@ -107,7 +126,10 @@ func (ip *Interp) Run(fault Fault, opts Options) Result {
 				panic(p)
 			}
 		}()
-		ip.retVal = ip.call(ip.main, nil, 0)
+		if fresh {
+			ip.pushFrame(ip.main, nil)
+		}
+		ip.retVal = ip.run()
 	}()
 
 	res.Output = append([]byte(nil), ip.out...)
@@ -139,6 +161,16 @@ func (ip *Interp) reset() {
 	ip.injected = false
 	ip.injStatic = -1
 	ip.profile = nil
+	// A trapped run leaves its frames behind; recycle them here.
+	for i := range ip.frames {
+		ip.releaseVals(ip.frames[i].vals)
+	}
+	ip.frames = ip.frames[:0]
+	if ip.snapCapture {
+		ip.snaps = ip.snaps[:0]
+		ip.nextSnapAt = ip.snapInterval
+		ip.dataLo, ip.dataHi = ip.dataEnd, ir.GlobalBase
+	}
 }
 
 func zero(b []byte) {
@@ -177,8 +209,19 @@ func (ip *Interp) storeMem(addr, size int64, v uint64) {
 	for i := int64(0); i < size; i++ {
 		ip.mem[addr+i] = byte(v >> (8 * i))
 	}
-	if addr >= ir.StackLimit && addr < ip.minTouch {
-		ip.minTouch = addr
+	if addr >= ir.StackLimit {
+		if addr < ip.minTouch {
+			ip.minTouch = addr
+		}
+	} else if ip.snapCapture {
+		// Data-segment dirty range, tracked only while building
+		// checkpoints (the segment below StackLimit is globals only).
+		if addr < ip.dataLo {
+			ip.dataLo = addr
+		}
+		if end := addr + size; end > ip.dataHi {
+			ip.dataHi = end
+		}
 	}
 }
 
@@ -201,26 +244,8 @@ func (ip *Interp) releaseVals(v []uint64) {
 	}
 }
 
-// call executes one function invocation and returns its result bits.
-// sp is implicit: frames are carved from a software-managed stack
-// tracked through minTouch; the frame base is derived from depth-ordered
-// allocation below the previous frame.
-func (ip *Interp) call(cf *cfunc, args []uint64, depth int) uint64 {
-	if cf.rtFunc != rt.FuncNone {
-		return ip.callRuntime(cf.rtFunc, args)
-	}
-	if depth > MaxCallDepth {
-		ip.trap(TrapCallDepth)
-	}
-	fp := ip.framePush(cf.frameSize)
-	vals := ip.frameVals(cf.numVals)
-	defer func() {
-		ip.framePop(cf.frameSize)
-		ip.releaseVals(vals)
-	}()
-	return ip.exec(cf, fp, vals, args, depth)
-}
-
+// framePush carves a frame from the software-managed stack; the frame
+// base is derived from depth-ordered allocation below the previous frame.
 func (ip *Interp) framePush(size int64) int64 {
 	newSP := ip.sp() - size
 	if newSP < ir.StackLimit {

@@ -13,6 +13,11 @@ func (mc *Machine) exec() {
 	code := mc.code
 	n := int32(len(code))
 	for {
+		if mc.snapCapture && mc.inject >= mc.nextSnapAt {
+			// Instruction boundary: pc, registers, memory, output and
+			// the step/inject counters are all settled — checkpoint.
+			mc.captureSnapshot()
+		}
 		if mc.pc < 0 || mc.pc >= n {
 			mc.trap(sim.TrapBadJump)
 		}

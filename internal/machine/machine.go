@@ -36,6 +36,18 @@ type Machine struct {
 	injCheck  bool
 	minTouch  int64
 
+	// Snapshot state (see snapshot.go). snapCapture is only set during
+	// BuildSnapshots' golden run; dataLo/dataHi track the dirty region of
+	// the data segment during that run so checkpoints copy kilobytes, not
+	// the full memory image.
+	snapCapture  bool
+	snapInterval int64
+	nextSnapAt   int64
+	dataLo       int64
+	dataHi       int64
+	snaps        []mSnapshot
+	goldenOut    []byte
+
 	// Optional execution trace: a ring buffer of recent pcs.
 	traceRing []int32
 	traceHead int
@@ -126,7 +138,12 @@ func (mc *Machine) Run(fault sim.Fault, opts sim.Options) sim.Result {
 	}
 	mc.injectAt = fault.TargetIndex
 	mc.injectBit = fault.Bit
+	return mc.finish()
+}
 
+// finish executes from the current machine state to completion and
+// packages the outcome (shared by Run and the snapshot-restored RunFrom).
+func (mc *Machine) finish() sim.Result {
 	res := sim.Result{Status: sim.StatusOK}
 	func() {
 		defer func() {
@@ -174,6 +191,11 @@ func (mc *Machine) reset() {
 	mc.injStatic = -1
 	mc.injOrigin = asm.OriginNone
 	mc.injCheck = false
+	if mc.snapCapture {
+		mc.snaps = mc.snaps[:0]
+		mc.nextSnapAt = mc.snapInterval
+		mc.dataLo, mc.dataHi = mc.dataEnd, ir.GlobalBase
+	}
 
 	// Set up the initial stack: rsp just below the sentinel return
 	// address.
@@ -215,8 +237,19 @@ func (mc *Machine) storeMem(addr int64, size uint8, v uint64) {
 	for i := uint8(0); i < size; i++ {
 		mc.mem[addr+int64(i)] = byte(v >> (8 * i))
 	}
-	if addr >= ir.StackLimit && addr < mc.minTouch {
-		mc.minTouch = addr
+	if addr >= ir.StackLimit {
+		if addr < mc.minTouch {
+			mc.minTouch = addr
+		}
+	} else if mc.snapCapture {
+		// Data-segment dirty range, tracked only while building
+		// checkpoints (the segment below StackLimit is globals only).
+		if addr < mc.dataLo {
+			mc.dataLo = addr
+		}
+		if end := addr + int64(size); end > mc.dataHi {
+			mc.dataHi = end
+		}
 	}
 }
 

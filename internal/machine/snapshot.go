@@ -1,0 +1,149 @@
+package machine
+
+import (
+	"flowery/internal/asm"
+	"flowery/internal/ir"
+	"flowery/internal/sim"
+)
+
+// Checkpoint/fast-forward support, mirroring the IR interpreter's (see
+// internal/interp/snapshot.go for the determinism argument). The machine
+// state is already explicit — registers, pc, output, counters — so a
+// snapshot is that state plus the dirty memory regions: the stack above
+// the minTouch low-water mark and the dirty range of the data segment.
+
+var _ sim.SnapshotEngine = (*Machine)(nil)
+
+// mSnapshot is one checkpoint of a golden run.
+type mSnapshot struct {
+	index    int64 // injectable-instruction counter at capture
+	steps    int64 // dynamic instructions executed up to here
+	outLen   int   // golden output bytes emitted so far
+	pc       int32
+	minTouch int64
+	dataLo   int64
+	dataHi   int64
+	regs     [asm.NumRegs]uint64
+	stack    []byte // mem[minTouch:StackTop]
+	data     []byte // mem[dataLo:dataHi]
+}
+
+// BuildSnapshots runs the golden execution once, capturing a checkpoint
+// roughly every interval injectable instructions. It returns the golden
+// result; snapshots are only kept if the run completed normally. It
+// implements sim.SnapshotEngine.
+func (mc *Machine) BuildSnapshots(interval int64, opts sim.Options) sim.Result {
+	mc.DropSnapshots()
+	if interval <= 0 {
+		interval = 1
+	}
+	mc.snapInterval = interval
+	mc.snapCapture = true
+	res := mc.Run(sim.Fault{}, opts)
+	mc.snapCapture = false
+	if res.Status != sim.StatusOK {
+		mc.DropSnapshots()
+		return res
+	}
+	mc.goldenOut = append([]byte(nil), res.Output...)
+	return res
+}
+
+// DropSnapshots releases all checkpoint storage.
+func (mc *Machine) DropSnapshots() {
+	mc.snaps = nil
+	mc.goldenOut = nil
+}
+
+// RunFrom is Run accelerated by checkpoint restore: it fast-forwards to
+// the densest snapshot below the fault's injection point and executes
+// from there. The returned result is bit-identical to Run's; skipped
+// reports how many dynamic instructions the restore avoided re-executing.
+func (mc *Machine) RunFrom(fault sim.Fault, opts sim.Options) (res sim.Result, skipped int64) {
+	s := mc.bestSnapshot(fault.TargetIndex)
+	if s == nil {
+		return mc.Run(fault, opts), 0
+	}
+	mc.restore(s)
+	mc.maxSteps = opts.MaxSteps
+	if mc.maxSteps <= 0 {
+		mc.maxSteps = sim.DefaultMaxSteps
+	}
+	mc.injectAt = fault.TargetIndex
+	mc.injectBit = fault.Bit
+	return mc.finish(), s.steps
+}
+
+// bestSnapshot returns the snapshot with the largest index strictly below
+// target (the fault fires when the injectable counter reaches target), or
+// nil.
+func (mc *Machine) bestSnapshot(target int64) *mSnapshot {
+	if target <= 0 {
+		return nil
+	}
+	lo, hi := 0, len(mc.snaps)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if mc.snaps[mid].index < target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return nil
+	}
+	return &mc.snaps[lo-1]
+}
+
+// captureSnapshot records the current state; called from the exec loop at
+// an instruction boundary during BuildSnapshots' golden run.
+func (mc *Machine) captureSnapshot() {
+	s := mSnapshot{
+		index:    mc.inject,
+		steps:    mc.steps,
+		outLen:   len(mc.out),
+		pc:       mc.pc,
+		minTouch: mc.minTouch,
+		dataLo:   mc.dataLo,
+		dataHi:   mc.dataHi,
+		regs:     mc.regs,
+		stack:    append([]byte(nil), mc.mem[mc.minTouch:ir.StackTop]...),
+	}
+	if s.dataLo < s.dataHi {
+		s.data = append([]byte(nil), mc.mem[s.dataLo:s.dataHi]...)
+	}
+	mc.snaps = append(mc.snaps, s)
+	mc.nextSnapAt = mc.inject + mc.snapInterval
+}
+
+// restore rebuilds the state captured in s, replacing whatever the
+// previous run left behind. Untouched memory is zero in both the golden
+// run (fresh reset) and here (explicitly re-zeroed), so states match bit
+// for bit.
+func (mc *Machine) restore(s *mSnapshot) {
+	// Data segment: rebuild the initial image, overlay the dirty bytes.
+	zero(mc.mem[ir.GlobalBase:mc.dataEnd])
+	for _, g := range mc.mod.Globals {
+		copy(mc.mem[g.Addr:g.Addr+g.Size], g.Init)
+	}
+	if s.dataLo < s.dataHi {
+		copy(mc.mem[s.dataLo:s.dataHi], s.data)
+	}
+	// Stack: zero the previous run's dirt, then lay down the snapshot.
+	if mc.minTouch < ir.StackTop {
+		zero(mc.mem[mc.minTouch:ir.StackTop])
+	}
+	copy(mc.mem[s.minTouch:ir.StackTop], s.stack)
+	mc.minTouch = s.minTouch
+
+	mc.regs = s.regs
+	mc.pc = s.pc
+	mc.out = append(mc.out[:0], mc.goldenOut[:s.outLen]...)
+	mc.steps = s.steps
+	mc.inject = s.index
+	mc.injected = false
+	mc.injStatic = -1
+	mc.injOrigin = asm.OriginNone
+	mc.injCheck = false
+}

@@ -145,3 +145,26 @@ type Engine interface {
 	// Run executes the program once, optionally injecting a fault.
 	Run(f Fault, o Options) Result
 }
+
+// SnapshotEngine is the optional checkpoint/fast-forward capability: an
+// engine that can capture periodic snapshots of the golden run and start
+// a faulty run from the densest checkpoint below its injection point.
+// Execution before the injection point is bit-identical to the golden
+// run, so a restored run's Result must equal a from-scratch Run's bit
+// for bit; the campaign layer relies on that to keep outcomes invariant
+// under fast-forwarding. Engines without the capability are driven
+// through plain Run — callers type-assert and degrade gracefully.
+type SnapshotEngine interface {
+	Engine
+	// BuildSnapshots executes the golden run once, capturing a checkpoint
+	// roughly every interval injectable instructions, and returns the
+	// golden Result. Snapshots are kept only if the run completed with
+	// StatusOK.
+	BuildSnapshots(interval int64, o Options) Result
+	// RunFrom is Run accelerated by checkpoint restore. skipped reports
+	// how many dynamic instructions were fast-forwarded over (0 when the
+	// run fell back to a from-scratch execution).
+	RunFrom(f Fault, o Options) (res Result, skipped int64)
+	// DropSnapshots releases checkpoint storage.
+	DropSnapshots()
+}

@@ -1,0 +1,11 @@
+#!/bin/sh
+# Tier-2 CI gate (see README "Testing"): build, vet, and the full test
+# suite under the race detector. The campaign scheduler and the snapshot
+# engines are the main concurrency surfaces -race exercises.
+set -eux
+
+cd "$(dirname "$0")/.."
+
+go build ./...
+go vet ./...
+go test -race ./...
