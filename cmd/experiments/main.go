@@ -5,12 +5,20 @@
 //	experiments -only fig2           # one artifact
 //	experiments -bench bfs,lud       # a subset of benchmarks
 //	experiments -runs 3000           # the paper's campaign size
+//	experiments -telemetry           # print pipeline cache counters
+//	experiments -pipeline=false      # legacy serial path (no memoization)
+//
+// All artifacts are served by one memoized artifact pipeline (DESIGN.md
+// §9), so overlapping campaigns are executed once no matter how many
+// artifacts request them; -pipeline=false selects the pre-pipeline
+// serial path, which computes identical results.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -18,18 +26,46 @@ import (
 	"flowery/internal/experiment"
 )
 
+// validArtifacts is every value -only accepts.
+var validArtifacts = []string{
+	"all", "table1", "fig2", "fig3", "fig17", "overhead", "passtime",
+	"ablation", "pressure", "convergence", "campbench", "pipebench",
+}
+
 func benchByName(n string) (bench.Benchmark, bool) { return bench.ByName(n) }
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}
 
 func main() {
 	runs := flag.Int("runs", 0, "fault injections per campaign (0 = default scale)")
 	samples := flag.Int("samples", 0, "profiling injections (0 = default)")
 	seed := flag.Int64("seed", 2023, "random seed")
-	only := flag.String("only", "all", "artifact: table1|fig2|fig3|fig17|overhead|passtime|ablation|pressure|convergence|campbench|all")
+	only := flag.String("only", "all", "artifact: "+strings.Join(validArtifacts[1:], "|")+"|all")
 	benches := flag.String("bench", "", "comma-separated benchmark subset (default: all 16)")
-	workers := flag.Int("workers", 0, "campaign parallelism (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", 0, "parallelism: pipeline scheduler width, or campaign workers on the serial path (0 = GOMAXPROCS)")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
+	pipelineOn := flag.Bool("pipeline", true, "serve artifacts from the memoized pipeline (false = legacy serial path)")
+	telemetry := flag.Bool("telemetry", false, "print per-stage pipeline cache/wall telemetry to stderr")
 	flag.Parse()
+
+	valid := false
+	for _, a := range validArtifacts {
+		if *only == a {
+			valid = true
+			break
+		}
+	}
+	if !valid {
+		sorted := append([]string(nil), validArtifacts...)
+		sort.Strings(sorted)
+		fmt.Fprintf(os.Stderr, "experiments: unknown artifact %q (valid: %s)\n",
+			*only, strings.Join(sorted, ", "))
+		os.Exit(2)
+	}
 
 	cfg := experiment.DefaultConfig()
 	if *runs > 0 {
@@ -52,59 +88,99 @@ func main() {
 		}
 	}
 
-	// The campaign-size convergence study runs its own pipeline.
-	if *only == "convergence" {
-		if len(names) == 0 {
-			names = []string{"lud"}
+	// The study is the shared memoized pipeline every artifact below
+	// draws from; nil when -pipeline=false.
+	var study *experiment.Study
+	if *pipelineOn {
+		study = experiment.NewStudy(cfg)
+	}
+	printTelemetry := func() {
+		if *telemetry && study != nil {
+			fmt.Fprint(os.Stderr, study.Telemetry().String())
 		}
-		var results []*experiment.ConvergenceResult
-		for _, n := range names {
-			bm, ok := benchByName(n)
-			if !ok {
-				fmt.Fprintf(os.Stderr, "experiments: unknown benchmark %q\n", n)
-				os.Exit(1)
-			}
-			start := time.Now()
-			r, err := experiment.RunConvergence(bm, cfg)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "experiments:", err)
-				os.Exit(1)
-			}
-			results = append(results, r)
-			progress(n, time.Since(start))
-		}
-		fmt.Println(experiment.Convergence(results))
-		return
 	}
 
-	// The campaign-throughput benchmark (scratch vs checkpoint
-	// fast-forward) runs its own pipeline; with -json it emits the
-	// BENCH_1.json artifact.
-	if *only == "campbench" {
-		if len(names) == 0 {
-			names = []string{"susan"}
+	// resolve maps -bench names (with a per-artifact default) to
+	// benchmarks up front, so typos fail before any campaign runs.
+	resolve := func(def []string) []bench.Benchmark {
+		ns := names
+		if len(ns) == 0 {
+			ns = def
 		}
-		var perfs []experiment.CampaignPerf
-		for _, n := range names {
+		var bms []bench.Benchmark
+		for _, n := range ns {
 			bm, ok := benchByName(n)
 			if !ok {
 				fmt.Fprintf(os.Stderr, "experiments: unknown benchmark %q\n", n)
 				os.Exit(1)
 			}
+			bms = append(bms, bm)
+		}
+		return bms
+	}
+
+	switch *only {
+	// The pipeline-memoization benchmark; with -json it emits the
+	// BENCH_2.json artifact. Builds its own studies (it measures both
+	// modes), so -pipeline does not apply.
+	case "pipebench":
+		r, err := experiment.RunPipeBench(names, cfg)
+		if err != nil {
+			fail(err)
+		}
+		if *jsonOut {
+			s, err := experiment.PipeBenchJSON(r)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Print(s)
+			return
+		}
+		fmt.Println(experiment.PipeBench(r))
+		return
+
+	// The campaign-size convergence study; campaigns at every size share
+	// the study's compiled modules.
+	case "convergence":
+		var results []*experiment.ConvergenceResult
+		for _, bm := range resolve([]string{"lud"}) {
+			start := time.Now()
+			var r *experiment.ConvergenceResult
+			var err error
+			if study != nil {
+				r, err = study.Convergence(bm)
+			} else {
+				r, err = experiment.RunConvergence(bm, cfg)
+			}
+			if err != nil {
+				fail(err)
+			}
+			results = append(results, r)
+			progress(bm.Name, time.Since(start))
+		}
+		fmt.Println(experiment.Convergence(results))
+		printTelemetry()
+		return
+
+	// The campaign-throughput benchmark (scratch vs checkpoint
+	// fast-forward) intentionally re-runs identical campaigns under both
+	// snapshot policies, so it never goes through the cache; with -json
+	// it emits the BENCH_1.json artifact.
+	case "campbench":
+		var perfs []experiment.CampaignPerf
+		for _, bm := range resolve([]string{"susan"}) {
 			start := time.Now()
 			ps, err := experiment.RunCampaignPerf(bm, cfg)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "experiments:", err)
-				os.Exit(1)
+				fail(err)
 			}
 			perfs = append(perfs, ps...)
-			progress(n, time.Since(start))
+			progress(bm.Name, time.Since(start))
 		}
 		if *jsonOut {
 			data, err := experiment.CampaignBenchJSON(perfs, cfg)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "experiments:", err)
-				os.Exit(1)
+				fail(err)
 			}
 			os.Stdout.Write(data)
 			fmt.Println()
@@ -112,64 +188,64 @@ func main() {
 		}
 		fmt.Println(experiment.CampaignBench(perfs))
 		return
-	}
 
-	// The register-pressure sweep runs its own pipeline too.
-	if *only == "pressure" {
-		if len(names) == 0 {
-			names = []string{"bfs", "susan"}
-		}
+	// The register-pressure sweep lowers the shared module artifacts
+	// under each scratch budget.
+	case "pressure":
 		var results []*experiment.PressureResult
-		for _, n := range names {
-			bm, ok := benchByName(n)
-			if !ok {
-				fmt.Fprintf(os.Stderr, "experiments: unknown benchmark %q\n", n)
-				os.Exit(1)
-			}
+		for _, bm := range resolve([]string{"bfs", "susan"}) {
 			start := time.Now()
-			r, err := experiment.RunPressure(bm, cfg)
+			var r *experiment.PressureResult
+			var err error
+			if study != nil {
+				r, err = study.Pressure(bm)
+			} else {
+				r, err = experiment.RunPressure(bm, cfg)
+			}
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "experiments:", err)
-				os.Exit(1)
+				fail(err)
 			}
 			results = append(results, r)
-			progress(n, time.Since(start))
+			progress(bm.Name, time.Since(start))
 		}
 		fmt.Println(experiment.Pressure(results))
+		printTelemetry()
 		return
-	}
 
-	// The ablation study runs its own pipeline (patch subsets at full
-	// protection) and defaults to a representative benchmark subset.
-	if *only == "ablation" {
-		if len(names) == 0 {
-			names = []string{"bfs", "lud", "quicksort", "susan"}
-		}
+	// The ablation study (patch subsets at full protection) defaults to
+	// a representative benchmark subset.
+	case "ablation":
 		var results []*experiment.AblationResult
-		for _, n := range names {
-			bm, ok := benchByName(n)
-			if !ok {
-				fmt.Fprintf(os.Stderr, "experiments: unknown benchmark %q\n", n)
-				os.Exit(1)
-			}
+		for _, bm := range resolve([]string{"bfs", "lud", "quicksort", "susan"}) {
 			start := time.Now()
-			r, err := experiment.RunAblation(bm, cfg)
+			var r *experiment.AblationResult
+			var err error
+			if study != nil {
+				r, err = study.Ablation(bm)
+			} else {
+				r, err = experiment.RunAblation(bm, cfg)
+			}
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "experiments:", err)
-				os.Exit(1)
+				fail(err)
 			}
 			results = append(results, r)
-			progress(n, time.Since(start))
+			progress(bm.Name, time.Since(start))
 		}
 		fmt.Println(experiment.Ablation(results))
+		printTelemetry()
 		return
 	}
 
 	start := time.Now()
-	results, err := experiment.RunAll(names, cfg, progress)
+	var results []*experiment.BenchResult
+	var err error
+	if study != nil {
+		results, err = study.Results(names, progress)
+	} else {
+		results, err = experiment.RunAllSerial(names, cfg, progress)
+	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(1)
+		fail(err)
 	}
 	if !*quiet {
 		fmt.Fprintf(os.Stderr, "[experiments] total %v (%d runs/campaign, seed %d)\n",
@@ -179,12 +255,12 @@ func main() {
 				float64(saved)/float64(saved+simulated)*100, saved, saved+simulated)
 		}
 	}
+	printTelemetry()
 
 	if *jsonOut {
 		data, err := experiment.ToJSON(results, cfg)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		os.Stdout.Write(data)
 		fmt.Println()
@@ -202,15 +278,9 @@ func main() {
 		{"overhead", experiment.Overhead},
 		{"passtime", experiment.PassTime},
 	}
-	matched := false
 	for _, a := range artifacts {
 		if *only == "all" || *only == a.key {
 			fmt.Println(a.render(results))
-			matched = true
 		}
-	}
-	if !matched {
-		fmt.Fprintf(os.Stderr, "experiments: unknown artifact %q\n", *only)
-		os.Exit(2)
 	}
 }

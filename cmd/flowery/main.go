@@ -10,9 +10,15 @@
 //
 // Program arguments name a built-in benchmark or a file containing
 // textual IR (as printed by `flowery ir`).
+//
+// The protect/asm/run/inject subcommands derive their modules through
+// the same artifact pipeline as cmd/experiments (internal/pipeline), so
+// the CLI exercises exactly the derivation chains the evaluation
+// measures.
 package main
 
 import (
+	"crypto/sha256"
 	"flag"
 	"fmt"
 	"os"
@@ -23,10 +29,9 @@ import (
 	"flowery/internal/campaign"
 	"flowery/internal/dup"
 	"flowery/internal/flowery"
-	"flowery/internal/interp"
 	"flowery/internal/ir"
-	"flowery/internal/machine"
 	"flowery/internal/opt"
+	"flowery/internal/pipeline"
 	"flowery/internal/sim"
 )
 
@@ -89,7 +94,7 @@ func cmdOpt(args []string) error {
 	return nil
 }
 
-// loadModule resolves a benchmark name or IR file path.
+// loadModule resolves a benchmark name or IR file path to one module.
 func loadModule(name string) (*ir.Module, error) {
 	if bm, ok := bench.ByName(name); ok {
 		return bm.Build(), nil
@@ -108,7 +113,41 @@ func loadModule(name string) (*ir.Module, error) {
 	return m, nil
 }
 
-// protectFlags adds the shared protection flags to fs.
+// loadSource resolves a benchmark name or IR file path to a pipeline
+// source. File sources are keyed by content hash, so two invocations
+// over the same text share artifacts and edits change the key.
+func loadSource(name string) (pipeline.Source, error) {
+	if bm, ok := bench.ByName(name); ok {
+		return pipeline.BenchSource(bm), nil
+	}
+	src, err := os.ReadFile(name)
+	if err != nil {
+		return pipeline.Source{}, fmt.Errorf("%q is neither a benchmark nor a readable file", name)
+	}
+	text := string(src)
+	m, err := ir.Parse(text)
+	if err != nil {
+		return pipeline.Source{}, fmt.Errorf("parse %s: %w", name, err)
+	}
+	if err := m.Verify(); err != nil {
+		return pipeline.Source{}, fmt.Errorf("verify %s: %w", name, err)
+	}
+	sum := sha256.Sum256(src)
+	return pipeline.Source{
+		Key: fmt.Sprintf("file:%s#%x", name, sum[:4]),
+		Build: func() *ir.Module {
+			// Already validated above; reparsing is the cheapest way to
+			// hand the pipeline a fresh, independent module.
+			m, err := ir.Parse(text)
+			if err != nil {
+				panic(fmt.Sprintf("flowery: reparse %s: %v", name, err))
+			}
+			return m
+		},
+	}, nil
+}
+
+// protection holds the shared protection flags.
 type protection struct {
 	level   *float64
 	flowery *bool
@@ -125,29 +164,44 @@ func addProtection(fs *flag.FlagSet) protection {
 	}
 }
 
-// apply protects m according to the flags.
-func (p protection) apply(m *ir.Module) error {
-	if *p.level >= 1 {
-		if err := dup.ApplyFull(m); err != nil {
-			return err
-		}
-	} else {
-		profile, err := dup.BuildProfile(m, dup.ProfileOptions{Samples: *p.samples, Seed: *p.seed})
-		if err != nil {
-			return err
-		}
-		if err := dup.Apply(m, dup.Select(profile, dup.Level(*p.level))); err != nil {
-			return err
-		}
+// pipelineConfig builds the artifact-pipeline configuration the flags
+// imply (runs only matters for inject).
+func (p protection) pipelineConfig(runs int) pipeline.Config {
+	return pipeline.Config{
+		Runs:           runs,
+		ProfileSamples: *p.samples,
+		Seed:           *p.seed,
 	}
-	if *p.flowery {
-		st, err := flowery.Apply(m, flowery.All())
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(os.Stderr, "flowery: hoisted %d stores, patched %d branches, isolated %d compares in %v\n",
-			st.StoresHoisted, st.BranchesPatched, st.CmpsIsolated, st.Elapsed)
+}
+
+// variant maps the flags to a pipeline variant: full duplication at
+// level 1, profile-driven selection below, plus all Flowery patches
+// when requested.
+func (p protection) variant() pipeline.Variant {
+	full := *p.level >= 1
+	switch {
+	case full && *p.flowery:
+		return pipeline.FullFloweryVariant(flowery.All())
+	case full:
+		return pipeline.FullIDVariant()
+	case *p.flowery:
+		return pipeline.FloweryVariant(dup.Level(*p.level), flowery.All())
+	default:
+		return pipeline.IDVariant(dup.Level(*p.level))
 	}
+}
+
+// reportFlowery prints the transform statistics when -flowery was used.
+func (p protection) reportFlowery(pl *pipeline.Pipeline, src pipeline.Source, v pipeline.Variant) error {
+	if !*p.flowery {
+		return nil
+	}
+	st, err := pl.FloweryStats(src, v)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "flowery: hoisted %d stores, patched %d branches, isolated %d compares in %v\n",
+		st.StoresHoisted, st.BranchesPatched, st.CmpsIsolated, st.Elapsed)
 	return nil
 }
 
@@ -172,11 +226,17 @@ func cmdProtect(args []string) error {
 	if fs.NArg() != 1 {
 		return fmt.Errorf("protect: need one benchmark or file")
 	}
-	m, err := loadModule(fs.Arg(0))
+	src, err := loadSource(fs.Arg(0))
 	if err != nil {
 		return err
 	}
-	if err := p.apply(m); err != nil {
+	pl := pipeline.New(p.pipelineConfig(0))
+	v := p.variant()
+	m, err := pl.Module(src, v)
+	if err != nil {
+		return err
+	}
+	if err := p.reportFlowery(pl, src, v); err != nil {
 		return err
 	}
 	fmt.Print(m.String())
@@ -191,20 +251,20 @@ func cmdAsm(args []string) error {
 	if fs.NArg() != 1 {
 		return fmt.Errorf("asm: need one benchmark or file")
 	}
-	m, err := loadModule(fs.Arg(0))
+	src, err := loadSource(fs.Arg(0))
 	if err != nil {
 		return err
 	}
+	v := pipeline.RawVariant()
 	if *prot {
-		if err := p.apply(m); err != nil {
-			return err
-		}
+		v = p.variant()
 	}
-	prog, err := backend.Lower(m)
+	pl := pipeline.New(p.pipelineConfig(0))
+	c, err := pl.Compiled(src, v, backend.Config{})
 	if err != nil {
 		return err
 	}
-	fmt.Print(prog.String())
+	fmt.Print(c.Prog.String())
 	return nil
 }
 
@@ -217,32 +277,30 @@ func cmdRun(args []string) error {
 	if fs.NArg() != 1 {
 		return fmt.Errorf("run: need one benchmark or file")
 	}
-	m, err := loadModule(fs.Arg(0))
+	src, err := loadSource(fs.Arg(0))
 	if err != nil {
 		return err
 	}
+	v := pipeline.RawVariant()
 	if *prot {
-		if err := p.apply(m); err != nil {
-			return err
-		}
+		v = p.variant()
 	}
-	var res sim.Result
-	switch *layer {
-	case "ir":
-		res = interp.New(m).Run(sim.Fault{}, sim.Options{})
-	case "asm":
-		prog, err := backend.Lower(m)
-		if err != nil {
-			return err
-		}
-		mc, err := machine.New(m, prog)
-		if err != nil {
-			return err
-		}
-		res = mc.Run(sim.Fault{}, sim.Options{})
-	default:
-		return fmt.Errorf("run: bad layer %q", *layer)
+	l, err := parseLayer(*layer)
+	if err != nil {
+		return fmt.Errorf("run: %w", err)
 	}
+	pl := pipeline.New(p.pipelineConfig(0))
+	// Build the engine through the pipeline but run it directly: unlike
+	// Golden, a trap or wrong exit should be reported, not failed.
+	factory, err := pl.EngineFactory(src, v, l, backend.Config{})
+	if err != nil {
+		return err
+	}
+	eng, err := factory()
+	if err != nil {
+		return err
+	}
+	res := eng.Run(sim.Fault{}, sim.Options{})
 	os.Stdout.Write(res.Output)
 	fmt.Fprintf(os.Stderr, "status=%v trap=%v ret=%d dynamic=%d injectable=%d\n",
 		res.Status, res.Trap, res.RetVal, res.DynInstrs, res.InjectableInstrs)
@@ -259,30 +317,20 @@ func cmdInject(args []string) error {
 	if fs.NArg() != 1 {
 		return fmt.Errorf("inject: need one benchmark or file")
 	}
-	m, err := loadModule(fs.Arg(0))
+	src, err := loadSource(fs.Arg(0))
 	if err != nil {
 		return err
 	}
+	v := pipeline.RawVariant()
 	if *prot {
-		if err := p.apply(m); err != nil {
-			return err
-		}
+		v = p.variant()
 	}
-
-	var factory campaign.EngineFactory
-	switch *layer {
-	case "ir":
-		factory = func() (sim.Engine, error) { return interp.New(m), nil }
-	case "asm":
-		prog, err := backend.Lower(m)
-		if err != nil {
-			return err
-		}
-		factory = func() (sim.Engine, error) { return machine.New(m, prog) }
-	default:
-		return fmt.Errorf("inject: bad layer %q", *layer)
+	l, err := parseLayer(*layer)
+	if err != nil {
+		return fmt.Errorf("inject: %w", err)
 	}
-	st, err := campaign.Run(factory, campaign.Spec{Runs: *runs, Seed: *p.seed})
+	pl := pipeline.New(p.pipelineConfig(*runs))
+	st, err := pl.Campaign(src, v, pipeline.CampaignOpts{Layer: l})
 	if err != nil {
 		return err
 	}
@@ -296,7 +344,7 @@ func cmdInject(args []string) error {
 			anySDC = true
 		}
 	}
-	if anySDC && *layer == "asm" {
+	if anySDC && l == pipeline.LayerAsm {
 		fmt.Println("SDCs by origin:")
 		for o := 0; o < asm.NumOrigins; o++ {
 			if st.SDCByOrigin[o] > 0 {
@@ -305,4 +353,14 @@ func cmdInject(args []string) error {
 		}
 	}
 	return nil
+}
+
+func parseLayer(s string) (pipeline.Layer, error) {
+	switch s {
+	case "ir":
+		return pipeline.LayerIR, nil
+	case "asm":
+		return pipeline.LayerAsm, nil
+	}
+	return 0, fmt.Errorf("bad layer %q", s)
 }

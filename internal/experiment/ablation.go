@@ -44,9 +44,7 @@ var ablationConfigs = []struct {
 
 // RunAblation measures one benchmark under every patch subset.
 func RunAblation(bm bench.Benchmark, cfg Config) (*AblationResult, error) {
-	if cfg.Runs <= 0 {
-		cfg = DefaultConfig()
-	}
+	cfg = cfg.withDefaults()
 	res := &AblationResult{Name: bm.Name}
 
 	raw, err := asmCampaign(bm.Build(), cfg)

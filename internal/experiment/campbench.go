@@ -41,9 +41,7 @@ type CampaignPerf struct {
 // the same invariant the campaign test suite checks, re-verified here on
 // the exact configurations being reported.
 func RunCampaignPerf(bm bench.Benchmark, cfg Config) ([]CampaignPerf, error) {
-	if cfg.Runs <= 0 {
-		cfg = DefaultConfig()
-	}
+	cfg = cfg.withDefaults()
 	var out []CampaignPerf
 	for _, protect := range []bool{false, true} {
 		m := bm.Build()

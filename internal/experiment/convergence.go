@@ -38,9 +38,7 @@ var ConvergenceSizes = []int{100, 300, 600, 1000, 3000}
 // estimates tighten as the campaign grows, justifying the choice of
 // campaign size statistically rather than by convention.
 func RunConvergence(bm bench.Benchmark, cfg Config) (*ConvergenceResult, error) {
-	if cfg.Runs <= 0 {
-		cfg = DefaultConfig()
-	}
+	cfg = cfg.withDefaults()
 	res := &ConvergenceResult{Name: bm.Name}
 
 	raw := bm.Build()

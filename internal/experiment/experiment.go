@@ -46,6 +46,20 @@ func DefaultConfig() Config {
 	return Config{Runs: 600, ProfileSamples: 800, Seed: 2023}
 }
 
+// withDefaults fills only the unset scale fields from DefaultConfig.
+// Caller-supplied Seed and Workers are always preserved (a zero Runs
+// used to replace the whole config, silently discarding them).
+func (c Config) withDefaults() Config {
+	def := DefaultConfig()
+	if c.Runs <= 0 {
+		c.Runs = def.Runs
+	}
+	if c.ProfileSamples <= 0 {
+		c.ProfileSamples = def.ProfileSamples
+	}
+	return c
+}
+
 // LevelStats holds one protection variant's campaign results at both
 // layers plus its fault-free dynamic instruction counts.
 type LevelStats struct {
@@ -92,11 +106,13 @@ func (r *BenchResult) CoverageFlowery(l dup.Level) float64 {
 	return campaign.Coverage(r.Raw.Asm, r.Flowery[l].Asm)
 }
 
-// RunBenchmark executes the full pipeline for one benchmark.
+// RunBenchmark executes the full chain for one benchmark: build →
+// profile → select → duplicate → flowery → lower → campaigns, serially
+// and without memoization. It is the reference implementation the
+// pipeline path (Study) is equivalence-tested against; new callers
+// should prefer NewStudy(cfg).Results.
 func RunBenchmark(bm bench.Benchmark, cfg Config) (*BenchResult, error) {
-	if cfg.Runs <= 0 {
-		cfg = DefaultConfig()
-	}
+	cfg = cfg.withDefaults()
 	res := &BenchResult{
 		Name:    bm.Name,
 		Suite:   bm.Suite,
@@ -192,20 +208,38 @@ func staticInstrs(m *ir.Module) int {
 	return n
 }
 
-// RunAll executes RunBenchmark for the named benchmarks (all 16 if names
-// is empty), reporting progress through report (may be nil).
-func RunAll(names []string, cfg Config, report func(string, time.Duration)) ([]*BenchResult, error) {
-	bms := bench.All()
-	if len(names) > 0 {
-		var sel []bench.Benchmark
-		for _, n := range names {
-			bm, ok := bench.ByName(n)
-			if !ok {
-				return nil, fmt.Errorf("unknown benchmark %q", n)
-			}
-			sel = append(sel, bm)
+// resolveBenchmarks maps names to benchmarks (all 16 when empty),
+// preserving order.
+func resolveBenchmarks(names []string) ([]bench.Benchmark, error) {
+	if len(names) == 0 {
+		return bench.All(), nil
+	}
+	var sel []bench.Benchmark
+	for _, n := range names {
+		bm, ok := bench.ByName(n)
+		if !ok {
+			return nil, fmt.Errorf("unknown benchmark %q", n)
 		}
-		bms = sel
+		sel = append(sel, bm)
+	}
+	return sel, nil
+}
+
+// RunAll executes the study for the named benchmarks (all 16 if names is
+// empty) through the memoized pipeline and its parallel scheduler,
+// reporting per-benchmark progress through report (may be nil).
+func RunAll(names []string, cfg Config, report func(string, time.Duration)) ([]*BenchResult, error) {
+	return NewStudy(cfg).Results(names, report)
+}
+
+// RunAllSerial is the pre-pipeline reference path: RunBenchmark for each
+// benchmark strictly in order, nothing shared or memoized. Kept so the
+// pipeline's equivalence guarantee stays checkable end to end
+// (cmd/experiments -pipeline=false, and the tier-2 CI diff).
+func RunAllSerial(names []string, cfg Config, report func(string, time.Duration)) ([]*BenchResult, error) {
+	bms, err := resolveBenchmarks(names)
+	if err != nil {
+		return nil, err
 	}
 	var out []*BenchResult
 	for _, bm := range bms {

@@ -1,0 +1,170 @@
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// pipeBenchArtifacts are the artifacts each side renders, in order. All
+// of them draw on the same (benchmark × variant × level) campaigns plus
+// one ablation sweep, which is exactly the overlap the memoized pipeline
+// exploits and the legacy per-artifact path recomputes.
+var pipeBenchArtifacts = []string{
+	"table1", "fig2", "fig3", "fig17", "overhead", "passtime", "ablation",
+}
+
+// renderArtifact maps a main-study artifact name to its renderer.
+func renderArtifact(name string, results []*BenchResult) string {
+	switch name {
+	case "table1":
+		return Table1(results)
+	case "fig2":
+		return Figure2(results)
+	case "fig3":
+		return Figure3(results)
+	case "fig17":
+		return Figure17(results)
+	case "overhead":
+		return Overhead(results)
+	case "passtime":
+		return PassTime(results)
+	}
+	return ""
+}
+
+// PipeBenchSide is one side (memoization on or off) of the comparison.
+type PipeBenchSide struct {
+	WallSeconds       float64 `json:"wall_seconds"`
+	CampaignsExecuted int64   `json:"campaigns_executed"`
+	CacheHits         int64   `json:"cache_hits"`
+	SimulatedInstrs   int64   `json:"simulated_instrs"`
+}
+
+// PipeBenchResult compares rendering every artifact through the shared
+// memoized pipeline against the pre-refactor path that recomputes each
+// artifact's study from scratch.
+type PipeBenchResult struct {
+	Benchmarks []string      `json:"benchmarks"`
+	Runs       int           `json:"runs"`
+	Seed       int64         `json:"seed"`
+	Artifacts  []string      `json:"artifacts"`
+	MemoOn     PipeBenchSide `json:"memo_on"`
+	MemoOff    PipeBenchSide `json:"memo_off"`
+	Speedup    float64       `json:"speedup"`
+}
+
+// RunPipeBench measures what the memoized pipeline buys: it renders the
+// full artifact set twice — once through one shared Study (memoization
+// on), once through the legacy serial path that recomputes every
+// artifact's campaigns independently — and reports wall time and
+// campaigns executed for both. Defaults to crc32 so the benchmark stays
+// cheap; pass names/-bench to scale it up.
+func RunPipeBench(names []string, cfg Config) (*PipeBenchResult, error) {
+	cfg = cfg.withDefaults()
+	if len(names) == 0 {
+		names = []string{"crc32"}
+	}
+	bms, err := resolveBenchmarks(names)
+	if err != nil {
+		return nil, err
+	}
+	resolved := make([]string, len(bms))
+	for i, bm := range bms {
+		resolved[i] = bm.Name
+	}
+	res := &PipeBenchResult{
+		Benchmarks: resolved,
+		Runs:       cfg.Runs,
+		Seed:       cfg.Seed,
+		Artifacts:  pipeBenchArtifacts,
+	}
+
+	// Memoization on: one shared study serves every artifact; repeated
+	// Results calls hit the assembled-result memo, ablation shares the
+	// raw baselines and full-protection campaigns with the figures.
+	study := NewStudy(cfg)
+	start := time.Now()
+	for _, art := range pipeBenchArtifacts {
+		if art == "ablation" {
+			for _, bm := range bms {
+				if _, err := study.Ablation(bm); err != nil {
+					return nil, err
+				}
+			}
+			continue
+		}
+		results, err := study.Results(resolved, nil)
+		if err != nil {
+			return nil, err
+		}
+		renderArtifact(art, results)
+	}
+	onWall := time.Since(start)
+	tel := study.Telemetry()
+	res.MemoOn = PipeBenchSide{
+		WallSeconds:       onWall.Seconds(),
+		CampaignsExecuted: tel.CampaignsExecuted(),
+		CacheHits:         tel.CacheHits(),
+		SimulatedInstrs:   tel.SimulatedInstrs,
+	}
+
+	// Memoization off: the pre-refactor shape — each artifact reruns its
+	// own serial study. RunBenchmark executes 9 variants × 2 layers = 18
+	// campaigns per benchmark per artifact; RunAblation adds 6 assembly
+	// campaigns per benchmark.
+	start = time.Now()
+	var offCampaigns int64
+	for _, art := range pipeBenchArtifacts {
+		if art == "ablation" {
+			for _, bm := range bms {
+				if _, err := RunAblation(bm, cfg); err != nil {
+					return nil, err
+				}
+				offCampaigns += 6
+			}
+			continue
+		}
+		results, err := RunAllSerial(resolved, cfg, nil)
+		if err != nil {
+			return nil, err
+		}
+		renderArtifact(art, results)
+		offCampaigns += int64(len(bms)) * 18
+	}
+	offWall := time.Since(start)
+	res.MemoOff = PipeBenchSide{
+		WallSeconds:       offWall.Seconds(),
+		CampaignsExecuted: offCampaigns,
+	}
+
+	if onWall > 0 {
+		res.Speedup = offWall.Seconds() / onWall.Seconds()
+	}
+	return res, nil
+}
+
+// PipeBench renders the comparison as text.
+func PipeBench(r *PipeBenchResult) string {
+	var sb strings.Builder
+	sb.WriteString("Pipeline memoization benchmark: full artifact set, shared pipeline vs per-artifact recompute\n")
+	fmt.Fprintf(&sb, "benchmarks: %s; runs/campaign: %d; artifacts: %s\n",
+		strings.Join(r.Benchmarks, ","), r.Runs, strings.Join(r.Artifacts, ","))
+	fmt.Fprintf(&sb, "%-10s %12s %20s %12s %18s\n", "mode", "wall", "campaigns executed", "cache hits", "instrs simulated")
+	fmt.Fprintf(&sb, "%-10s %12.2fs %20d %12d %18d\n", "memo on",
+		r.MemoOn.WallSeconds, r.MemoOn.CampaignsExecuted, r.MemoOn.CacheHits, r.MemoOn.SimulatedInstrs)
+	fmt.Fprintf(&sb, "%-10s %12.2fs %20d %12s %18s\n", "memo off",
+		r.MemoOff.WallSeconds, r.MemoOff.CampaignsExecuted, "-", "-")
+	fmt.Fprintf(&sb, "speedup: %.2fx\n", r.Speedup)
+	return sb.String()
+}
+
+// PipeBenchJSON renders the comparison as the BENCH_2.json document.
+func PipeBenchJSON(r *PipeBenchResult) (string, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(b) + "\n", nil
+}

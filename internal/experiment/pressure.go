@@ -45,9 +45,7 @@ type PressureResult struct {
 // register-count effects. Any ISA with the same block-local allocation
 // discipline inherits the penetration, which is the §8 conjecture.
 func RunPressure(bm bench.Benchmark, cfg Config) (*PressureResult, error) {
-	if cfg.Runs <= 0 {
-		cfg = DefaultConfig()
-	}
+	cfg = cfg.withDefaults()
 	res := &PressureResult{Name: bm.Name}
 	for scratch := backend.MinGPRScratch; scratch <= 9; scratch++ {
 		bcfg := backend.Config{GPRScratch: scratch}

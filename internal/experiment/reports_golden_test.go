@@ -1,0 +1,131 @@
+package experiment
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"flowery/internal/asm"
+	"flowery/internal/campaign"
+	"flowery/internal/dup"
+	"flowery/internal/flowery"
+)
+
+var update = flag.Bool("update", false, "rewrite the report golden files")
+
+// fixtureStats builds a deterministic campaign.Stats. The arguments are
+// the outcome counts; origin counts attribute the SDCs.
+func fixtureStats(runs, benign, sdc, due, detected int, origins [asm.NumOrigins]int) campaign.Stats {
+	var st campaign.Stats
+	st.Runs = runs
+	st.Counts[campaign.OutcomeBenign] = benign
+	st.Counts[campaign.OutcomeSDC] = sdc
+	st.Counts[campaign.OutcomeDUE] = due
+	st.Counts[campaign.OutcomeDetected] = detected
+	st.SDCByOrigin = origins
+	st.GoldenDyn = int64(runs) * 100
+	st.GoldenInjectable = int64(runs) * 80
+	return st
+}
+
+// fixtureResults is a frozen two-benchmark result set covering every
+// field the renderers read. The numbers are synthetic but shaped like a
+// real run (coverage improves with level; Flowery beats plain ID at the
+// assembly layer; dynamic counts grow with protection).
+func fixtureResults() []*BenchResult {
+	mk := func(name, suite, domain string, bias int) *BenchResult {
+		r := &BenchResult{
+			Name:    name,
+			Suite:   suite,
+			Domain:  domain,
+			ID:      make(map[dup.Level]LevelStats),
+			Flowery: make(map[dup.Level]LevelStats),
+			FloweryStats: flowery.Stats{
+				StoresHoisted:   12 + bias,
+				BranchesPatched: 7 + bias,
+				CmpsIsolated:    5 + bias,
+				Elapsed:         1500 * time.Microsecond,
+			},
+			StaticInstrs: 400 + 10*bias,
+		}
+		r.Raw = LevelStats{
+			IR:     fixtureStats(600, 450, 90-bias, 40, 20, [asm.NumOrigins]int{}),
+			Asm:    fixtureStats(600, 430, 110-bias, 40, 20, [asm.NumOrigins]int{}),
+			DynIR:  60000,
+			DynAsm: 150000,
+		}
+		for i, l := range Levels {
+			step := i + 1
+			irSDC := 70 - 15*step - bias
+			asmSDC := 90 - 15*step - bias
+			flSDC := 80 - 19*step - bias
+			r.ID[l] = LevelStats{
+				IR: fixtureStats(600, 500, irSDC, 30, 70-irSDC,
+					[asm.NumOrigins]int{asm.OriginNone: irSDC}),
+				Asm: fixtureStats(600, 460, asmSDC, 30, 110-asmSDC,
+					[asm.NumOrigins]int{
+						asm.OriginNone:        asmSDC - asmSDC/2 - asmSDC/4,
+						asm.OriginStoreReload: asmSDC / 2,
+						asm.OriginBranchTest:  asmSDC / 4,
+					}),
+				DynIR:  int64(60000 + 9000*step),
+				DynAsm: int64(150000 + 30000*step),
+			}
+			r.Flowery[l] = LevelStats{
+				IR: fixtureStats(600, 500, irSDC, 30, 70-irSDC,
+					[asm.NumOrigins]int{asm.OriginNone: irSDC}),
+				Asm: fixtureStats(600, 470, flSDC, 30, 100-flSDC,
+					[asm.NumOrigins]int{asm.OriginNone: flSDC}),
+				DynIR:  int64(60000 + 9000*step),
+				DynAsm: int64(165000 + 33000*step),
+			}
+		}
+		return r
+	}
+	return []*BenchResult{
+		mk("alpha", "MiBench", "telecom", 0),
+		mk("beta", "Rodinia", "linear algebra", 4),
+	}
+}
+
+// TestReportGoldens locks each renderer's exact output over the fixture.
+// Regenerate with `go test ./internal/experiment -run Golden -update`
+// after an intentional format change, and review the diff.
+func TestReportGoldens(t *testing.T) {
+	results := fixtureResults()
+	for _, c := range []struct {
+		name   string
+		render func([]*BenchResult) string
+	}{
+		{"table1", Table1},
+		{"fig2", Figure2},
+		{"fig3", Figure3},
+		{"fig17", Figure17},
+		{"overhead", Overhead},
+		{"passtime", PassTime},
+	} {
+		t.Run(c.name, func(t *testing.T) {
+			got := c.render(results)
+			path := filepath.Join("testdata", c.name+".golden")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("%s output drifted from %s:\n--- got\n%s\n--- want\n%s",
+					c.name, path, got, want)
+			}
+		})
+	}
+}

@@ -1,0 +1,208 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"flowery/internal/bench"
+	"flowery/internal/pipeline"
+)
+
+func TestWithDefaultsPreservesExplicitFields(t *testing.T) {
+	got := Config{Seed: 99, Workers: 3}.withDefaults()
+	def := DefaultConfig()
+	if got.Runs != def.Runs || got.ProfileSamples != def.ProfileSamples {
+		t.Fatalf("scale fields not defaulted: %+v", got)
+	}
+	if got.Seed != 99 || got.Workers != 3 {
+		t.Fatalf("explicit Seed/Workers discarded: %+v", got)
+	}
+	full := Config{Runs: 10, ProfileSamples: 20, Seed: 1, Workers: 2}
+	if full.withDefaults() != full {
+		t.Fatalf("fully-specified config changed: %+v", full.withDefaults())
+	}
+}
+
+// zeroElapsed clears the only wall-clock field a rendered artifact can
+// contain (PassTime prints FloweryStats.Elapsed), so two runs of the
+// same study render byte-identically.
+func zeroElapsed(results []*BenchResult) {
+	for _, r := range results {
+		r.FloweryStats.Elapsed = 0
+	}
+}
+
+// TestStudyMatchesSerialReference is the pipeline's equivalence
+// guarantee end to end: with a fixed seed, every artifact rendered from
+// Study results is byte-identical to the same artifact rendered from the
+// serial pre-pipeline path.
+func TestStudyMatchesSerialReference(t *testing.T) {
+	names := []string{"fft2", "lud"}
+
+	serial, err := RunAllSerial(names, smallCfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	study := NewStudy(smallCfg)
+	piped, err := study.Results(names, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeroElapsed(serial)
+	zeroElapsed(piped)
+
+	for _, c := range []struct {
+		name   string
+		render func([]*BenchResult) string
+	}{
+		{"table1", Table1}, {"fig2", Figure2}, {"fig3", Figure3},
+		{"fig17", Figure17}, {"overhead", Overhead}, {"passtime", PassTime},
+	} {
+		want := c.render(serial)
+		got := c.render(piped)
+		if got != want {
+			t.Errorf("%s differs between serial and pipeline paths:\n--- serial\n%s\n--- pipeline\n%s",
+				c.name, want, got)
+		}
+	}
+}
+
+// TestStudyAblationMatchesLegacy checks the ablation experiment renders
+// identically through the pipeline.
+func TestStudyAblationMatchesLegacy(t *testing.T) {
+	bm, _ := bench.ByName("lud")
+	legacy, err := RunAblation(bm, smallCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	piped, err := NewStudy(smallCfg).Ablation(bm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Ablation([]*AblationResult{legacy})
+	got := Ablation([]*AblationResult{piped})
+	if got != want {
+		t.Fatalf("ablation differs:\n--- legacy\n%s\n--- pipeline\n%s", want, got)
+	}
+}
+
+// TestStudyConvergenceMatchesLegacy checks the convergence sweep renders
+// identically through the pipeline.
+func TestStudyConvergenceMatchesLegacy(t *testing.T) {
+	bm, _ := bench.ByName("fft2")
+	legacy, err := RunConvergence(bm, smallCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	piped, err := NewStudy(smallCfg).Convergence(bm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Convergence([]*ConvergenceResult{legacy})
+	got := Convergence([]*ConvergenceResult{piped})
+	if got != want {
+		t.Fatalf("convergence differs:\n--- legacy\n%s\n--- pipeline\n%s", want, got)
+	}
+}
+
+// TestStudyPressureMatchesLegacy checks the register-pressure sweep
+// renders identically through the pipeline.
+func TestStudyPressureMatchesLegacy(t *testing.T) {
+	bm, _ := bench.ByName("crc32")
+	cfg := smallCfg
+	cfg.Runs = 80 // 5-point sweep × 2 campaigns; keep it cheap
+	legacy, err := RunPressure(bm, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	piped, err := NewStudy(cfg).Pressure(bm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Pressure([]*PressureResult{legacy})
+	got := Pressure([]*PressureResult{piped})
+	if got != want {
+		t.Fatalf("pressure differs:\n--- legacy\n%s\n--- pipeline\n%s", want, got)
+	}
+}
+
+// TestStudyRunsEachCampaignOnce is the exactly-once guarantee the issue
+// asks for: after a full study plus a re-render plus the ablation that
+// shares its artifacts, the campaign stage has executed one computation
+// per distinct (benchmark, variant, level, layer) and every repeat was
+// a cache hit.
+func TestStudyRunsEachCampaignOnce(t *testing.T) {
+	names := []string{"crc32"}
+	study := NewStudy(smallCfg)
+	if _, err := study.Results(names, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// 9 variants (raw + 4 levels × {ID, Flowery}) × 2 layers.
+	tel := study.Telemetry()
+	if got := tel.CampaignsExecuted(); got != 18 {
+		t.Fatalf("campaigns executed = %d, want 18", got)
+	}
+	campaignStage := func(tel pipeline.Telemetry) pipeline.StageTelemetry {
+		for _, s := range tel.Stages {
+			if s.Stage == pipeline.StageCampaign {
+				return s
+			}
+		}
+		t.Fatal("no campaign stage telemetry")
+		return pipeline.StageTelemetry{}
+	}
+	if st := campaignStage(tel); int64(st.Keys) != st.Misses {
+		t.Fatalf("campaign keys %d != misses %d: some campaign ran twice", st.Keys, st.Misses)
+	}
+
+	// Rendering more artifacts from the same study adds zero campaigns.
+	if _, err := study.Results(names, nil); err != nil {
+		t.Fatal(err)
+	}
+	bm, _ := bench.ByName("crc32")
+	if _, err := study.Ablation(bm); err != nil {
+		t.Fatal(err)
+	}
+	tel = study.Telemetry()
+	// The ablation's raw baseline is shared with the main study (a hit);
+	// its full-protection variants are new keys, each run exactly once.
+	st := campaignStage(tel)
+	if int64(st.Keys) != st.Misses {
+		t.Fatalf("after re-render+ablation: campaign keys %d != misses %d", st.Keys, st.Misses)
+	}
+	if st.Hits == 0 {
+		t.Fatal("no campaign cache hits despite overlapping requests")
+	}
+	if tel.CacheHits() == 0 {
+		t.Fatal("no cache reuse recorded across the study")
+	}
+}
+
+// TestStudyResultsDeterministicOrder checks results come back in input
+// order regardless of scheduling.
+func TestStudyResultsDeterministicOrder(t *testing.T) {
+	names := []string{"lud", "crc32", "fft2"}
+	cfg := smallCfg
+	cfg.Workers = 4
+	res, err := NewStudy(cfg).Results(names, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("got %d results", len(res))
+	}
+	for i, n := range names {
+		if res[i].Name != n {
+			t.Fatalf("result %d is %s, want %s", i, res[i].Name, n)
+		}
+	}
+}
+
+// TestStudyUnknownBenchmark mirrors the serial path's error behavior.
+func TestStudyUnknownBenchmark(t *testing.T) {
+	_, err := NewStudy(smallCfg).Results([]string{"nonexistent"}, nil)
+	if err == nil || !strings.Contains(err.Error(), "unknown benchmark") {
+		t.Fatalf("got %v", err)
+	}
+}

@@ -8,6 +8,7 @@ func CloneModule(m *Module) *Module {
 		Name:         m.Name,
 		funcByName:   make(map[string]*Function, len(m.Funcs)),
 		globalByName: make(map[string]*Global, len(m.Globals)),
+		addrEnd:      m.addrEnd, // Addr fields are copied below, so the memo stays valid
 	}
 	for _, g := range m.Globals {
 		init := make([]byte, len(g.Init))
@@ -16,6 +17,12 @@ func CloneModule(m *Module) *Module {
 		nm.Globals = append(nm.Globals, ng)
 		nm.globalByName[g.Name] = ng
 	}
+
+	// Constants are interned by original pointer: the backend's register
+	// cache keys values by identity, so a shared *Const must stay shared
+	// in the clone or lowering would rematerialize it at every use and
+	// produce different (though equivalent) code than the original.
+	constMap := make(map[*Const]*Const)
 
 	funcMap := make(map[*Function]*Function, len(m.Funcs))
 	for _, f := range m.Funcs {
@@ -37,12 +44,12 @@ func CloneModule(m *Module) *Module {
 		if f.External {
 			continue
 		}
-		cloneBody(f, funcMap[f], funcMap, nm)
+		cloneBody(f, funcMap[f], funcMap, constMap, nm)
 	}
 	return nm
 }
 
-func cloneBody(f, nf *Function, funcMap map[*Function]*Function, nm *Module) {
+func cloneBody(f, nf *Function, funcMap map[*Function]*Function, constMap map[*Const]*Const, nm *Module) {
 	blockMap := make(map[*Block]*Block, len(f.Blocks))
 	for _, b := range f.Blocks {
 		nb := nf.NewBlock(b.Name)
@@ -74,7 +81,12 @@ func cloneBody(f, nf *Function, funcMap map[*Function]*Function, nm *Module) {
 		case *Global:
 			return nm.Global(x.Name)
 		case *Const:
-			return &Const{Ty: x.Ty, Bits: x.Bits}
+			nc := constMap[x]
+			if nc == nil {
+				nc = &Const{Ty: x.Ty, Bits: x.Bits}
+				constMap[x] = nc
+			}
+			return nc
 		default:
 			return v
 		}

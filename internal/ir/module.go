@@ -33,6 +33,12 @@ type Module struct {
 
 	funcByName   map[string]*Function
 	globalByName map[string]*Global
+
+	// addrEnd memoizes AssignAddresses (0 = not yet assigned). Adding a
+	// global invalidates it. The memo makes repeated engine construction
+	// on a shared module read-only after the first assignment, so modules
+	// cached by the artifact pipeline can back concurrent campaigns.
+	addrEnd int64
 }
 
 // NewModule returns an empty module with the standard runtime functions
@@ -160,6 +166,7 @@ func (m *Module) addGlobal(g *Global) *Global {
 	}
 	m.Globals = append(m.Globals, g)
 	m.globalByName[g.Name] = g
+	m.addrEnd = 0 // layout changed; next AssignAddresses recomputes
 	return g
 }
 
@@ -169,13 +176,21 @@ func (m *Module) Global(name string) *Global { return m.globalByName[name] }
 // AssignAddresses lays out all globals starting at GlobalBase, 16-byte
 // aligned, and returns the end of the data segment. Both execution layers
 // call this so a Ptr constant has one meaning everywhere.
+//
+// The layout is memoized: after one call (and until a global is added),
+// further calls only read, so engines may be constructed concurrently on
+// a shared module as long as something assigned its addresses first.
 func (m *Module) AssignAddresses() int64 {
+	if m.addrEnd != 0 {
+		return m.addrEnd
+	}
 	addr := int64(GlobalBase)
 	for _, g := range m.Globals {
 		g.Addr = addr
 		addr += g.Size
 		addr = (addr + 15) &^ 15
 	}
+	m.addrEnd = addr
 	return addr
 }
 

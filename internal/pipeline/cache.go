@@ -1,0 +1,139 @@
+package pipeline
+
+import (
+	"sync"
+	"time"
+)
+
+// Stage names, one per artifact node kind. Telemetry is aggregated per
+// stage and rendered in this order.
+const (
+	StageBuild    = "build"
+	StageProfile  = "profile"
+	StageSelect   = "select"
+	StageDup      = "dup"
+	StageFlowery  = "flowery"
+	StageLower    = "lower"
+	StageGolden   = "golden"
+	StageCampaign = "campaign"
+)
+
+var stageOrder = []string{
+	StageBuild, StageProfile, StageSelect, StageDup,
+	StageFlowery, StageLower, StageGolden, StageCampaign,
+}
+
+// StageTelemetry is one stage's cache counters. Keys counts distinct
+// artifact keys requested; Misses counts computations actually executed —
+// with memoization enabled the two are equal exactly when every artifact
+// was computed once. Wall is the total time spent inside this stage's
+// compute functions, inclusive of any upstream artifacts a miss pulled in.
+type StageTelemetry struct {
+	Stage  string
+	Keys   int
+	Hits   int64
+	Misses int64
+	Wall   time.Duration
+}
+
+type stageStats struct {
+	hits   int64
+	misses int64
+	wall   time.Duration
+	keys   map[string]struct{}
+}
+
+// cache memoizes artifact computations under content keys with
+// singleflight semantics: concurrent requests for one key block on a
+// single computation. Errors are cached too — computations are
+// deterministic, so retrying cannot help. With disabled set, every
+// request recomputes (the memoization-off mode pipebench measures), but
+// telemetry is still collected.
+type cache struct {
+	disabled bool
+
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+	stages  map[string]*stageStats
+}
+
+type cacheEntry struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+func newCache(disabled bool) *cache {
+	return &cache{
+		disabled: disabled,
+		entries:  make(map[string]*cacheEntry),
+		stages:   make(map[string]*stageStats),
+	}
+}
+
+func (c *cache) stage(name string) *stageStats {
+	st := c.stages[name]
+	if st == nil {
+		st = &stageStats{keys: make(map[string]struct{})}
+		c.stages[name] = st
+	}
+	return st
+}
+
+// do returns the value for key, computing it at most once (unless the
+// cache is disabled). The first requester runs compute; later requesters
+// count a hit and wait for the result.
+func (c *cache) do(stage, key string, compute func() (any, error)) (any, error) {
+	c.mu.Lock()
+	st := c.stage(stage)
+	st.keys[key] = struct{}{}
+	if !c.disabled {
+		if e, ok := c.entries[key]; ok {
+			st.hits++
+			c.mu.Unlock()
+			<-e.done
+			return e.val, e.err
+		}
+	}
+	st.misses++
+	var e *cacheEntry
+	if !c.disabled {
+		e = &cacheEntry{done: make(chan struct{})}
+		c.entries[key] = e
+	}
+	c.mu.Unlock()
+
+	start := time.Now()
+	val, err := compute()
+	elapsed := time.Since(start)
+
+	c.mu.Lock()
+	st.wall += elapsed
+	c.mu.Unlock()
+
+	if e != nil {
+		e.val, e.err = val, err
+		close(e.done)
+	}
+	return val, err
+}
+
+func (c *cache) telemetry() []StageTelemetry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []StageTelemetry
+	for _, s := range stageOrder {
+		st, ok := c.stages[s]
+		if !ok {
+			continue
+		}
+		out = append(out, StageTelemetry{
+			Stage:  s,
+			Keys:   len(st.keys),
+			Hits:   st.hits,
+			Misses: st.misses,
+			Wall:   st.wall,
+		})
+	}
+	return out
+}

@@ -1,0 +1,139 @@
+package pipeline
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestCacheSingleflight checks that concurrent requests for one key run
+// the computation exactly once and all observe its result.
+func TestCacheSingleflight(t *testing.T) {
+	c := newCache(false)
+	var computed atomic.Int64
+	gate := make(chan struct{})
+
+	const requesters = 16
+	results := make([]any, requesters)
+	var wg sync.WaitGroup
+	for i := 0; i < requesters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := c.do(StageBuild, "k", func() (any, error) {
+				computed.Add(1)
+				<-gate // hold the computation open so others pile up
+				return 42, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = v
+		}(i)
+	}
+	close(gate)
+	wg.Wait()
+
+	if got := computed.Load(); got != 1 {
+		t.Fatalf("computed %d times, want 1", got)
+	}
+	for i, v := range results {
+		if v != 42 {
+			t.Fatalf("requester %d got %v, want 42", i, v)
+		}
+	}
+	tel := c.telemetry()
+	if len(tel) != 1 {
+		t.Fatalf("telemetry stages = %d, want 1", len(tel))
+	}
+	st := tel[0]
+	if st.Keys != 1 || st.Misses != 1 || st.Hits != requesters-1 {
+		t.Fatalf("keys/misses/hits = %d/%d/%d, want 1/1/%d", st.Keys, st.Misses, st.Hits, requesters-1)
+	}
+}
+
+// TestCacheDistinctKeys checks that distinct keys compute independently.
+func TestCacheDistinctKeys(t *testing.T) {
+	c := newCache(false)
+	for _, k := range []string{"a", "b", "a", "b", "c"} {
+		k := k
+		v, err := c.do(StageCampaign, k, func() (any, error) { return "v:" + k, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != "v:"+k {
+			t.Fatalf("got %v for %q", v, k)
+		}
+	}
+	st := c.telemetry()[0]
+	if st.Keys != 3 || st.Misses != 3 || st.Hits != 2 {
+		t.Fatalf("keys/misses/hits = %d/%d/%d, want 3/3/2", st.Keys, st.Misses, st.Hits)
+	}
+}
+
+// TestCacheDisabled checks that a disabled cache recomputes every
+// request while still counting telemetry.
+func TestCacheDisabled(t *testing.T) {
+	c := newCache(true)
+	var computed atomic.Int64
+	for i := 0; i < 5; i++ {
+		if _, err := c.do(StageBuild, "k", func() (any, error) {
+			computed.Add(1)
+			return i, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := computed.Load(); got != 5 {
+		t.Fatalf("computed %d times with cache disabled, want 5", got)
+	}
+	st := c.telemetry()[0]
+	if st.Keys != 1 || st.Misses != 5 || st.Hits != 0 {
+		t.Fatalf("keys/misses/hits = %d/%d/%d, want 1/5/0", st.Keys, st.Misses, st.Hits)
+	}
+}
+
+// TestCacheErrorCached checks that a failed computation is cached like a
+// value: deterministic computations cannot succeed on retry.
+func TestCacheErrorCached(t *testing.T) {
+	c := newCache(false)
+	boom := errors.New("boom")
+	var computed atomic.Int64
+	for i := 0; i < 3; i++ {
+		_, err := c.do(StageLower, "bad", func() (any, error) {
+			computed.Add(1)
+			return nil, boom
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("got %v, want boom", err)
+		}
+	}
+	if got := computed.Load(); got != 1 {
+		t.Fatalf("failed computation ran %d times, want 1", got)
+	}
+}
+
+// TestTelemetryStageOrder checks stages render in pipeline order, not
+// insertion order.
+func TestTelemetryStageOrder(t *testing.T) {
+	c := newCache(false)
+	for _, s := range []string{StageCampaign, StageBuild, StageLower} {
+		if _, err := c.do(s, "k", func() (any, error) { return nil, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []string
+	for _, st := range c.telemetry() {
+		got = append(got, st.Stage)
+	}
+	want := []string{StageBuild, StageLower, StageCampaign}
+	if len(got) != len(want) {
+		t.Fatalf("stages = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("stages = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,541 @@
+// Package pipeline is the memoized artifact graph behind the experiment
+// stack. Every derived object of the study — built module, SDC profile,
+// knapsack selection, duplicated module, Flowery module, lowered program,
+// golden run, campaign statistics — is a node keyed by exactly the inputs
+// that determine its content (benchmark, protection variant, profile
+// seed/samples, backend config, campaign size/seed), so any number of
+// experiments can request overlapping artifacts and each is computed at
+// most once per process. A bounded-parallel scheduler (ForEach) fans
+// independent requests out; the cache's singleflight semantics resolve
+// shared dependencies without duplicated work.
+//
+// Reuse guarantees and the determinism argument are documented in
+// DESIGN.md §9. The short form:
+//
+//   - Module-producing nodes (build, dup, flowery) finish by assigning
+//     global addresses; after that the module is shared read-only.
+//     Derivations that must mutate (dup.Apply, flowery.Apply,
+//     backend.Lower) always operate on a private clone made inside the
+//     node's own computation.
+//   - Campaign keys omit the worker count and snapshot policy knobs that
+//     only affect scheduling: campaign outcome statistics are a pure
+//     function of (engine, runs, seed) — package campaign's contract —
+//     so a cached result is bit-identical to any recomputation.
+package pipeline
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"flowery/internal/asm"
+	"flowery/internal/backend"
+	"flowery/internal/bench"
+	"flowery/internal/campaign"
+	"flowery/internal/dup"
+	"flowery/internal/flowery"
+	"flowery/internal/interp"
+	"flowery/internal/ir"
+	"flowery/internal/machine"
+	"flowery/internal/sim"
+)
+
+// Config fixes the knobs that enter artifact keys (scale and seed) plus
+// the scheduling knobs that do not (workers, parallel width).
+type Config struct {
+	// Runs is the default campaign size (CampaignOpts.Runs overrides).
+	Runs int
+	// ProfileSamples is the SDC-profiling injection count.
+	ProfileSamples int
+	// Seed drives profiling and campaign fault derivation.
+	Seed int64
+	// MaxSteps bounds each simulated run (0 = engine default).
+	MaxSteps int64
+	// CampaignWorkers is the per-campaign parallelism handed to
+	// campaign.Run (0 = GOMAXPROCS). Excluded from artifact keys:
+	// campaign outcomes are scheduling-independent.
+	CampaignWorkers int
+	// Parallel is the scheduler width users of ForEach should pass
+	// (0 = GOMAXPROCS). Recorded here so studies and their sub-sweeps
+	// agree on one budget.
+	Parallel int
+	// Disabled turns memoization off: every request recomputes its full
+	// chain. Used to measure what the cache buys (cmd/experiments
+	// -only pipebench) and to model the legacy per-artifact cost.
+	Disabled bool
+}
+
+// Pipeline owns the artifact cache. One Pipeline per study/process; all
+// experiments share it so their artifact requests coalesce.
+type Pipeline struct {
+	cfg   Config
+	cache *cache
+
+	simulated atomic.Int64
+	saved     atomic.Int64
+}
+
+// New returns an empty pipeline.
+func New(cfg Config) *Pipeline {
+	return &Pipeline{cfg: cfg, cache: newCache(cfg.Disabled)}
+}
+
+// Config returns the pipeline's configuration.
+func (p *Pipeline) Config() Config { return p.cfg }
+
+// Source names a module generator. Key must uniquely identify the
+// generated content (two sources with equal keys are assumed to build
+// identical modules); Build must return a fresh, independent module on
+// every call.
+type Source struct {
+	Key   string
+	Build func() *ir.Module
+}
+
+// BenchSource adapts a registered benchmark.
+func BenchSource(bm bench.Benchmark) Source {
+	return Source{Key: "bench:" + bm.Name, Build: bm.Build}
+}
+
+// VariantKind enumerates the protection configurations a module can be
+// derived into.
+type VariantKind uint8
+
+const (
+	// KindRaw is the unprotected program.
+	KindRaw VariantKind = iota
+	// KindID is profile-driven selective duplication at a level.
+	KindID
+	// KindFlowery is KindID plus a set of Flowery patches.
+	KindFlowery
+	// KindFullID duplicates every duplicable instruction (no profile).
+	KindFullID
+	// KindFullFlowery is KindFullID plus a set of Flowery patches.
+	KindFullFlowery
+)
+
+// Variant is a protection configuration. Level is meaningful for
+// KindID/KindFlowery; Opts for KindFlowery/KindFullFlowery.
+type Variant struct {
+	Kind  VariantKind
+	Level dup.Level
+	Opts  flowery.Options
+}
+
+// RawVariant is the unprotected program.
+func RawVariant() Variant { return Variant{Kind: KindRaw} }
+
+// IDVariant is selective instruction duplication at level l.
+func IDVariant(l dup.Level) Variant { return Variant{Kind: KindID, Level: l} }
+
+// FloweryVariant is IDVariant(l) plus the given Flowery patches.
+func FloweryVariant(l dup.Level, o flowery.Options) Variant {
+	return Variant{Kind: KindFlowery, Level: l, Opts: o}
+}
+
+// FullIDVariant duplicates every duplicable instruction.
+func FullIDVariant() Variant { return Variant{Kind: KindFullID} }
+
+// FullFloweryVariant is FullIDVariant plus the given Flowery patches.
+func FullFloweryVariant(o flowery.Options) Variant {
+	return Variant{Kind: KindFullFlowery, Opts: o}
+}
+
+// baseVariant returns the duplication-only variant a Flowery variant
+// derives from.
+func (v Variant) baseVariant() Variant {
+	if v.Kind == KindFlowery {
+		return IDVariant(v.Level)
+	}
+	return FullIDVariant()
+}
+
+func optsKey(o flowery.Options) string {
+	var sb strings.Builder
+	if o.EagerStore {
+		sb.WriteByte('e')
+	}
+	if o.PostponedBranch {
+		sb.WriteByte('b')
+	}
+	if o.AntiCmp {
+		sb.WriteByte('c')
+	}
+	if sb.Len() == 0 {
+		return "none"
+	}
+	return sb.String()
+}
+
+// key renders the variant's content key. Profile-driven variants embed
+// the profiling knobs because the knapsack selection (and therefore the
+// module) depends on them.
+func (v Variant) key(cfg Config) string {
+	switch v.Kind {
+	case KindRaw:
+		return "raw"
+	case KindID:
+		return fmt.Sprintf("id@%g(seed=%d,samples=%d)", float64(v.Level), cfg.Seed, cfg.ProfileSamples)
+	case KindFlowery:
+		return fmt.Sprintf("fl@%g(seed=%d,samples=%d)+%s", float64(v.Level), cfg.Seed, cfg.ProfileSamples, optsKey(v.Opts))
+	case KindFullID:
+		return "full"
+	case KindFullFlowery:
+		return "fullfl+" + optsKey(v.Opts)
+	default:
+		return fmt.Sprintf("kind%d?", v.Kind)
+	}
+}
+
+func (p *Pipeline) modKey(src Source, v Variant) string {
+	return src.Key + "|" + v.key(p.cfg)
+}
+
+// Layer selects the execution layer of a golden run or campaign.
+type Layer uint8
+
+const (
+	LayerIR Layer = iota
+	LayerAsm
+)
+
+func (l Layer) String() string {
+	if l == LayerIR {
+		return "ir"
+	}
+	return "asm"
+}
+
+// Profile returns the per-instruction SDC profile of the unprotected
+// program, computed once per (source, seed, samples).
+func (p *Pipeline) Profile(src Source) (*dup.Profile, error) {
+	key := fmt.Sprintf("profile|%s|seed=%d|samples=%d", src.Key, p.cfg.Seed, p.cfg.ProfileSamples)
+	val, err := p.cache.do(StageProfile, key, func() (any, error) {
+		raw, err := p.Module(src, RawVariant())
+		if err != nil {
+			return nil, err
+		}
+		return dup.BuildProfile(raw, dup.ProfileOptions{
+			Samples:  p.cfg.ProfileSamples,
+			Seed:     p.cfg.Seed,
+			MaxSteps: p.cfg.MaxSteps,
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return val.(*dup.Profile), nil
+}
+
+// Selection returns the knapsack selection for level l (indices into
+// Module.EnumerateInstrs order, valid for any clone of the source).
+func (p *Pipeline) Selection(src Source, l dup.Level) ([]int, error) {
+	key := fmt.Sprintf("select|%s|level=%g|seed=%d|samples=%d", src.Key, float64(l), p.cfg.Seed, p.cfg.ProfileSamples)
+	val, err := p.cache.do(StageSelect, key, func() (any, error) {
+		prof, err := p.Profile(src)
+		if err != nil {
+			return nil, err
+		}
+		return dup.Select(prof, l), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return val.([]int), nil
+}
+
+// floweryModule pairs a patched module with the transform's statistics.
+type floweryModule struct {
+	mod   *ir.Module
+	stats flowery.Stats
+}
+
+// Module returns the pristine (pre-lowering) module for a variant. The
+// returned module is shared: treat it as read-only. Passes that must
+// mutate a module run inside the producing node on a private clone.
+func (p *Pipeline) Module(src Source, v Variant) (*ir.Module, error) {
+	switch v.Kind {
+	case KindRaw:
+		val, err := p.cache.do(StageBuild, "module|"+p.modKey(src, v), func() (any, error) {
+			m := src.Build()
+			m.AssignAddresses()
+			return m, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return val.(*ir.Module), nil
+
+	case KindID, KindFullID:
+		val, err := p.cache.do(StageDup, "module|"+p.modKey(src, v), func() (any, error) {
+			raw, err := p.Module(src, RawVariant())
+			if err != nil {
+				return nil, err
+			}
+			m := ir.CloneModule(raw)
+			if v.Kind == KindFullID {
+				err = dup.ApplyFull(m)
+			} else {
+				var sel []int
+				sel, err = p.Selection(src, v.Level)
+				if err == nil {
+					err = dup.Apply(m, sel)
+				}
+			}
+			if err != nil {
+				return nil, fmt.Errorf("pipeline: dup %s: %w", p.modKey(src, v), err)
+			}
+			m.AssignAddresses()
+			return m, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return val.(*ir.Module), nil
+
+	case KindFlowery, KindFullFlowery:
+		fm, err := p.floweryNode(src, v)
+		if err != nil {
+			return nil, err
+		}
+		return fm.mod, nil
+
+	default:
+		return nil, fmt.Errorf("pipeline: unknown variant kind %d", v.Kind)
+	}
+}
+
+func (p *Pipeline) floweryNode(src Source, v Variant) (*floweryModule, error) {
+	val, err := p.cache.do(StageFlowery, "module|"+p.modKey(src, v), func() (any, error) {
+		base, err := p.Module(src, v.baseVariant())
+		if err != nil {
+			return nil, err
+		}
+		m := ir.CloneModule(base)
+		st, err := flowery.Apply(m, v.Opts)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: flowery %s: %w", p.modKey(src, v), err)
+		}
+		m.AssignAddresses()
+		return &floweryModule{mod: m, stats: st}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return val.(*floweryModule), nil
+}
+
+// FloweryStats returns the transform statistics recorded when the
+// variant's module was produced (v must be a Flowery variant).
+func (p *Pipeline) FloweryStats(src Source, v Variant) (flowery.Stats, error) {
+	if v.Kind != KindFlowery && v.Kind != KindFullFlowery {
+		return flowery.Stats{}, fmt.Errorf("pipeline: %v is not a flowery variant", v.Kind)
+	}
+	fm, err := p.floweryNode(src, v)
+	if err != nil {
+		return flowery.Stats{}, err
+	}
+	return fm.stats, nil
+}
+
+// StaticInstrs returns the static instruction count of the variant's
+// module (the size the Flowery transform scans, §7.3).
+func (p *Pipeline) StaticInstrs(src Source, v Variant) (int, error) {
+	m, err := p.Module(src, v)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, f := range m.Funcs {
+		n += f.NumInstrs()
+	}
+	return n, nil
+}
+
+// Compiled pairs a lowered module with its program. Mod is the module
+// instance Prog was lowered from (the backend may have appended a
+// constant pool), with addresses assigned — the instance engines must be
+// constructed against.
+type Compiled struct {
+	Mod  *ir.Module
+	Prog *asm.Program
+}
+
+// Compiled lowers the variant's module under the given backend config,
+// once per (module, config). The pristine module is cloned first, so one
+// module artifact can be lowered under many configurations.
+func (p *Pipeline) Compiled(src Source, v Variant, bcfg backend.Config) (*Compiled, error) {
+	key := fmt.Sprintf("lower|%s|gpr=%d", p.modKey(src, v), bcfg.GPRScratch)
+	val, err := p.cache.do(StageLower, key, func() (any, error) {
+		pm, err := p.Module(src, v)
+		if err != nil {
+			return nil, err
+		}
+		m := ir.CloneModule(pm)
+		prog, err := backend.LowerCfg(m, bcfg)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: lower %s: %w", key, err)
+		}
+		m.AssignAddresses()
+		return &Compiled{Mod: m, Prog: prog}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return val.(*Compiled), nil
+}
+
+// EngineFactory returns a campaign.EngineFactory for the compiled
+// variant at the given layer.
+func (p *Pipeline) EngineFactory(src Source, v Variant, layer Layer, bcfg backend.Config) (campaign.EngineFactory, error) {
+	c, err := p.Compiled(src, v, bcfg)
+	if err != nil {
+		return nil, err
+	}
+	if layer == LayerIR {
+		return func() (sim.Engine, error) { return interp.New(c.Mod), nil }, nil
+	}
+	return func() (sim.Engine, error) { return machine.New(c.Mod, c.Prog) }, nil
+}
+
+// Golden returns the fault-free run of the compiled variant at a layer.
+func (p *Pipeline) Golden(src Source, v Variant, layer Layer, bcfg backend.Config) (sim.Result, error) {
+	key := fmt.Sprintf("golden|%s|%s|gpr=%d|maxsteps=%d", p.modKey(src, v), layer, bcfg.GPRScratch, p.cfg.MaxSteps)
+	val, err := p.cache.do(StageGolden, key, func() (any, error) {
+		factory, err := p.EngineFactory(src, v, layer, bcfg)
+		if err != nil {
+			return nil, err
+		}
+		eng, err := factory()
+		if err != nil {
+			return nil, err
+		}
+		res := eng.Run(sim.Fault{}, sim.Options{MaxSteps: p.cfg.MaxSteps})
+		if res.Status != sim.StatusOK {
+			return nil, fmt.Errorf("pipeline: golden %s: %v (%v)", key, res.Status, res.Trap)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return sim.Result{}, err
+	}
+	return val.(sim.Result), nil
+}
+
+// CampaignOpts tunes one campaign request beyond the pipeline defaults.
+type CampaignOpts struct {
+	// Layer is the execution layer.
+	Layer Layer
+	// Runs overrides Config.Runs when positive.
+	Runs int
+	// Snapshots is campaign.Spec.Snapshots (0 auto, <0 off, >0 target).
+	// Part of the key only because scratch-vs-snapshot benchmarks
+	// intentionally measure both; outcomes are identical either way.
+	Snapshots int
+	// Backend selects the lowering configuration.
+	Backend backend.Config
+}
+
+// Campaign runs (or recalls) a fault-injection campaign for the variant.
+// The key captures everything outcome-relevant: module identity, layer,
+// backend config, run count, seed, step bound. Worker count is excluded —
+// outcome statistics are scheduling-independent by the campaign package's
+// contract — so one cached campaign serves callers with any parallelism.
+func (p *Pipeline) Campaign(src Source, v Variant, opts CampaignOpts) (campaign.Stats, error) {
+	runs := opts.Runs
+	if runs <= 0 {
+		runs = p.cfg.Runs
+	}
+	key := fmt.Sprintf("campaign|%s|%s|gpr=%d|runs=%d|seed=%d|snap=%d|maxsteps=%d",
+		p.modKey(src, v), opts.Layer, opts.Backend.GPRScratch, runs, p.cfg.Seed, opts.Snapshots, p.cfg.MaxSteps)
+	val, err := p.cache.do(StageCampaign, key, func() (any, error) {
+		factory, err := p.EngineFactory(src, v, opts.Layer, opts.Backend)
+		if err != nil {
+			return nil, err
+		}
+		st, err := campaign.Run(factory, campaign.Spec{
+			Runs:      runs,
+			Seed:      p.cfg.Seed,
+			MaxSteps:  p.cfg.MaxSteps,
+			Workers:   p.cfg.CampaignWorkers,
+			Snapshots: opts.Snapshots,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: campaign %s: %w", key, err)
+		}
+		p.simulated.Add(st.SimulatedInstrs)
+		p.saved.Add(st.SavedInstrs)
+		return st, nil
+	})
+	if err != nil {
+		return campaign.Stats{}, err
+	}
+	return val.(campaign.Stats), nil
+}
+
+// Telemetry is a snapshot of the pipeline's per-stage cache counters
+// plus campaign instruction totals.
+type Telemetry struct {
+	Stages []StageTelemetry
+	// SimulatedInstrs and SavedInstrs total the executed and
+	// fast-forwarded instructions across every campaign miss.
+	SimulatedInstrs int64
+	SavedInstrs     int64
+}
+
+// Telemetry returns the current counters.
+func (p *Pipeline) Telemetry() Telemetry {
+	return Telemetry{
+		Stages:          p.cache.telemetry(),
+		SimulatedInstrs: p.simulated.Load(),
+		SavedInstrs:     p.saved.Load(),
+	}
+}
+
+// CampaignsExecuted is the number of campaigns actually run (campaign
+// stage misses).
+func (t Telemetry) CampaignsExecuted() int64 {
+	for _, s := range t.Stages {
+		if s.Stage == StageCampaign {
+			return s.Misses
+		}
+	}
+	return 0
+}
+
+// CacheHits totals reuse across all stages.
+func (t Telemetry) CacheHits() int64 {
+	var n int64
+	for _, s := range t.Stages {
+		n += s.Hits
+	}
+	return n
+}
+
+// CacheMisses totals computations across all stages.
+func (t Telemetry) CacheMisses() int64 {
+	var n int64
+	for _, s := range t.Stages {
+		n += s.Misses
+	}
+	return n
+}
+
+// String renders the telemetry as the table cmd/experiments prints.
+func (t Telemetry) String() string {
+	var sb strings.Builder
+	sb.WriteString("pipeline telemetry (per artifact stage):\n")
+	fmt.Fprintf(&sb, "%-10s %6s %6s %8s %12s\n", "stage", "keys", "hits", "misses", "wall")
+	for _, s := range t.Stages {
+		fmt.Fprintf(&sb, "%-10s %6d %6d %8d %12s\n",
+			s.Stage, s.Keys, s.Hits, s.Misses, s.Wall.Round(time.Millisecond))
+	}
+	fmt.Fprintf(&sb, "campaigns executed: %d; instructions simulated: %d",
+		t.CampaignsExecuted(), t.SimulatedInstrs)
+	if total := t.SimulatedInstrs + t.SavedInstrs; total > 0 && t.SavedInstrs > 0 {
+		fmt.Fprintf(&sb, " (%.1f%% fast-forwarded)", float64(t.SavedInstrs)/float64(total)*100)
+	}
+	sb.WriteString("\n")
+	return sb.String()
+}

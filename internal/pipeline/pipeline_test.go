@@ -1,0 +1,232 @@
+package pipeline
+
+import (
+	"testing"
+
+	"flowery/internal/backend"
+	"flowery/internal/bench"
+	"flowery/internal/campaign"
+	"flowery/internal/dup"
+	"flowery/internal/flowery"
+	"flowery/internal/interp"
+	"flowery/internal/machine"
+	"flowery/internal/sim"
+)
+
+// testCfg keeps the integration tests fast.
+var testCfg = Config{Runs: 80, ProfileSamples: 120, Seed: 7}
+
+func testSource(t *testing.T) Source {
+	t.Helper()
+	bm, ok := bench.ByName("crc32")
+	if !ok {
+		t.Fatal("crc32 benchmark missing")
+	}
+	return BenchSource(bm)
+}
+
+func stageTel(t *testing.T, p *Pipeline, stage string) StageTelemetry {
+	t.Helper()
+	for _, s := range p.Telemetry().Stages {
+		if s.Stage == stage {
+			return s
+		}
+	}
+	return StageTelemetry{Stage: stage}
+}
+
+// TestArtifactReuse exercises the reuse edges of the graph: one build
+// and one profile feed every level; the ID module at a level feeds both
+// the ID campaigns and the Flowery derivation.
+func TestArtifactReuse(t *testing.T) {
+	p := New(testCfg)
+	src := testSource(t)
+
+	levels := []dup.Level{dup.Level50, dup.Level100}
+	for _, l := range levels {
+		if _, err := p.Module(src, IDVariant(l)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Module(src, FloweryVariant(l, flowery.All())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := p.Module(src, RawVariant()); err != nil {
+		t.Fatal(err)
+	}
+
+	if st := stageTel(t, p, StageBuild); st.Misses != 1 {
+		t.Fatalf("build misses = %d, want 1 (one shared raw module)", st.Misses)
+	}
+	if st := stageTel(t, p, StageProfile); st.Misses != 1 {
+		t.Fatalf("profile misses = %d, want 1 (one profile for all levels)", st.Misses)
+	}
+	if st := stageTel(t, p, StageDup); st.Misses != int64(len(levels)) {
+		t.Fatalf("dup misses = %d, want %d (one per level, shared by ID and Flowery)",
+			st.Misses, len(levels))
+	}
+	if st := stageTel(t, p, StageFlowery); st.Misses != int64(len(levels)) {
+		t.Fatalf("flowery misses = %d, want %d", st.Misses, len(levels))
+	}
+
+	// A second pass over the same requests adds hits, never misses.
+	before := p.Telemetry().CacheMisses()
+	for _, l := range levels {
+		if _, err := p.Module(src, IDVariant(l)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if after := p.Telemetry().CacheMisses(); after != before {
+		t.Fatalf("repeat requests caused %d new misses", after-before)
+	}
+}
+
+// TestCampaignMatchesLegacyChain checks a pipeline campaign is
+// bit-identical to the hand-rolled build→profile→select→dup→flowery→
+// lower→campaign chain the experiment package used before the pipeline.
+func TestCampaignMatchesLegacyChain(t *testing.T) {
+	bm, _ := bench.ByName("crc32")
+	level := dup.Level70
+
+	// Legacy chain, exactly as experiment.RunBenchmark does it.
+	profile, err := dup.BuildProfile(bm.Build(), dup.ProfileOptions{
+		Samples: testCfg.ProfileSamples,
+		Seed:    testCfg.Seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := bm.Build()
+	if err := dup.Apply(m, dup.Select(profile, level)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := flowery.Apply(m, flowery.All()); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := backend.Lower(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := campaign.Spec{Runs: testCfg.Runs, Seed: testCfg.Seed}
+	wantIR, err := campaign.Run(func() (sim.Engine, error) { return interp.New(m), nil }, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAsm, err := campaign.Run(func() (sim.Engine, error) { return machine.New(m, prog) }, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p := New(testCfg)
+	src := BenchSource(bm)
+	v := FloweryVariant(level, flowery.All())
+	gotIR, err := p.Campaign(src, v, CampaignOpts{Layer: LayerIR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotAsm, err := p.Campaign(src, v, CampaignOpts{Layer: LayerAsm})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	assertStatsEqual(t, "ir", wantIR, gotIR)
+	assertStatsEqual(t, "asm", wantAsm, gotAsm)
+}
+
+// assertStatsEqual compares the outcome-relevant fields (Elapsed and the
+// snapshot-dependent instruction counters vary run to run).
+func assertStatsEqual(t *testing.T, layer string, want, got campaign.Stats) {
+	t.Helper()
+	if got.Runs != want.Runs {
+		t.Fatalf("%s: runs %d != %d", layer, got.Runs, want.Runs)
+	}
+	if got.Counts != want.Counts {
+		t.Fatalf("%s: counts %v != %v", layer, got.Counts, want.Counts)
+	}
+	if got.SDCByOrigin != want.SDCByOrigin {
+		t.Fatalf("%s: SDC origins %v != %v", layer, got.SDCByOrigin, want.SDCByOrigin)
+	}
+	if got.GoldenDyn != want.GoldenDyn || got.GoldenInjectable != want.GoldenInjectable {
+		t.Fatalf("%s: golden %d/%d != %d/%d", layer,
+			got.GoldenDyn, got.GoldenInjectable, want.GoldenDyn, want.GoldenInjectable)
+	}
+}
+
+// TestCampaignKeyDistinguishesKnobs checks that outcome-relevant knobs
+// produce distinct campaign artifacts while scheduling knobs do not
+// enter the key at all.
+func TestCampaignKeyDistinguishesKnobs(t *testing.T) {
+	p := New(testCfg)
+	src := testSource(t)
+	v := RawVariant()
+
+	if _, err := p.Campaign(src, v, CampaignOpts{Layer: LayerAsm}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Campaign(src, v, CampaignOpts{Layer: LayerAsm, Runs: testCfg.Runs}); err != nil {
+		t.Fatal(err)
+	}
+	if st := stageTel(t, p, StageCampaign); st.Misses != 1 || st.Hits != 1 {
+		t.Fatalf("same knobs: misses/hits = %d/%d, want 1/1", st.Misses, st.Hits)
+	}
+
+	// Different layer, run count, and backend each add a key.
+	if _, err := p.Campaign(src, v, CampaignOpts{Layer: LayerIR}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Campaign(src, v, CampaignOpts{Layer: LayerAsm, Runs: testCfg.Runs / 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Campaign(src, v, CampaignOpts{
+		Layer: LayerAsm, Backend: backend.Config{GPRScratch: backend.MinGPRScratch},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if st := stageTel(t, p, StageCampaign); st.Keys != 4 || st.Misses != 4 {
+		t.Fatalf("distinct knobs: keys/misses = %d/%d, want 4/4", st.Keys, st.Misses)
+	}
+}
+
+// TestGolden checks the golden-run node and its reuse.
+func TestGolden(t *testing.T) {
+	p := New(testCfg)
+	src := testSource(t)
+	r1, err := p.Golden(src, RawVariant(), LayerAsm, backend.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Status != sim.StatusOK || r1.DynInstrs == 0 {
+		t.Fatalf("golden run: status %v, dyn %d", r1.Status, r1.DynInstrs)
+	}
+	r2, err := p.Golden(src, RawVariant(), LayerAsm, backend.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.DynInstrs != r1.DynInstrs {
+		t.Fatalf("golden rerun differs: %d != %d", r2.DynInstrs, r1.DynInstrs)
+	}
+	if st := stageTel(t, p, StageGolden); st.Misses != 1 || st.Hits != 1 {
+		t.Fatalf("golden misses/hits = %d/%d, want 1/1", st.Misses, st.Hits)
+	}
+}
+
+// TestDisabledPipelineRecomputes checks the memoization-off mode used as
+// the pipebench baseline still produces identical campaign statistics.
+func TestDisabledPipelineRecomputes(t *testing.T) {
+	cfg := testCfg
+	cfg.Disabled = true
+	p := New(cfg)
+	src := testSource(t)
+	s1, err := p.Campaign(src, RawVariant(), CampaignOpts{Layer: LayerAsm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := p.Campaign(src, RawVariant(), CampaignOpts{Layer: LayerAsm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertStatsEqual(t, "asm", s1, s2)
+	if st := stageTel(t, p, StageCampaign); st.Misses != 2 || st.Hits != 0 {
+		t.Fatalf("disabled misses/hits = %d/%d, want 2/0", st.Misses, st.Hits)
+	}
+}

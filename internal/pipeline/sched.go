@@ -1,0 +1,49 @@
+package pipeline
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach invokes fn(i) for every i in [0, n) using at most width
+// concurrent goroutines (width <= 0 means GOMAXPROCS). Indices are
+// claimed in order, each fn writes results into caller-owned slots
+// addressed by its index, and the returned error is the lowest-index
+// failure — so the observable outcome is independent of scheduling.
+// Every index runs even when an earlier one fails; artifact computations
+// are memoized, so completed work is never wasted.
+func ForEach(width, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if width <= 0 {
+		width = runtime.GOMAXPROCS(0)
+	}
+	if width > n {
+		width = n
+	}
+	errs := make([]error, n)
+	next := int64(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < width; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,85 @@
+package pipeline
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+// TestForEachRunsEveryIndex checks every index runs exactly once.
+func TestForEachRunsEveryIndex(t *testing.T) {
+	const n = 100
+	var counts [n]int32
+	if err := ForEach(7, n, func(i int) error {
+		atomic.AddInt32(&counts[i], 1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("index %d ran %d times", i, c)
+		}
+	}
+}
+
+// TestForEachWidthBound checks concurrency never exceeds width.
+func TestForEachWidthBound(t *testing.T) {
+	const width = 3
+	var inFlight, peak atomic.Int32
+	err := ForEach(width, 50, func(i int) error {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		inFlight.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > width {
+		t.Fatalf("observed %d concurrent calls, width %d", p, width)
+	}
+}
+
+// TestForEachLowestIndexError checks the error choice is deterministic
+// (lowest failing index) and that later indices still run.
+func TestForEachLowestIndexError(t *testing.T) {
+	errA := errors.New("err-3")
+	errB := errors.New("err-7")
+	var ran atomic.Int32
+	err := ForEach(4, 10, func(i int) error {
+		ran.Add(1)
+		switch i {
+		case 3:
+			return errA
+		case 7:
+			return errB
+		}
+		return nil
+	})
+	if !errors.Is(err, errA) {
+		t.Fatalf("got %v, want the lowest-index error %v", err, errA)
+	}
+	if got := ran.Load(); got != 10 {
+		t.Fatalf("%d indices ran after failure, want all 10", got)
+	}
+}
+
+// TestForEachEmpty checks the degenerate sizes.
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(4, 0, func(int) error { t.Fatal("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	var ran atomic.Int32
+	if err := ForEach(0, 5, func(int) error { ran.Add(1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 5 {
+		t.Fatalf("width 0 (GOMAXPROCS) ran %d of 5", ran.Load())
+	}
+}

@@ -9,3 +9,14 @@ cd "$(dirname "$0")/.."
 go build ./...
 go vet ./...
 go test -race ./...
+
+# Pipeline-equivalence smoke: the same artifact rendered through the
+# memoized pipeline and through the legacy serial path must be
+# bit-identical (DESIGN.md §9's determinism guarantee, end to end).
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+go run ./cmd/experiments -only fig2 -bench crc32 -runs 40 -samples 120 -q \
+    -pipeline=true >"$tmpdir/pipeline.out"
+go run ./cmd/experiments -only fig2 -bench crc32 -runs 40 -samples 120 -q \
+    -pipeline=false >"$tmpdir/serial.out"
+diff "$tmpdir/pipeline.out" "$tmpdir/serial.out"
