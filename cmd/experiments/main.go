@@ -30,6 +30,7 @@ import (
 var validArtifacts = []string{
 	"all", "table1", "fig2", "fig3", "fig17", "overhead", "passtime",
 	"ablation", "pressure", "convergence", "campbench", "pipebench",
+	"prunebench",
 }
 
 func benchByName(n string) (bench.Benchmark, bool) { return bench.ByName(n) }
@@ -137,6 +138,29 @@ func main() {
 			return
 		}
 		fmt.Println(experiment.PipeBench(r))
+		return
+
+	// The equivalence-pruning cross-validation (full vs pruned campaigns
+	// on the same benchmarks); with -json it emits the BENCH_3.json
+	// artifact. Builds its own study at its own default campaign scale —
+	// unless -runs overrides it — so -pipeline does not apply.
+	case "prunebench":
+		pcfg := cfg
+		pcfg.Runs = *runs // 0 = the artifact's own default scale
+		points, err := experiment.RunPruneBench(names, nil, pcfg)
+		if err != nil {
+			fail(err)
+		}
+		if *jsonOut {
+			data, err := experiment.PruneBenchJSON(points, pcfg)
+			if err != nil {
+				fail(err)
+			}
+			os.Stdout.Write(data)
+			fmt.Println()
+			return
+		}
+		fmt.Println(experiment.PruneBench(points))
 		return
 
 	// The campaign-size convergence study; campaigns at every size share

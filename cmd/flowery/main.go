@@ -312,6 +312,8 @@ func cmdInject(args []string) error {
 	layer := fs.String("layer", "asm", "execution layer: ir|asm")
 	runs := fs.Int("runs", 1000, "number of fault injections")
 	prot := fs.Bool("protect", false, "duplicate before injecting")
+	prune := fs.Bool("prune", false, "equivalence-pruned campaign: inject pilots per fault class and extrapolate")
+	pilots := fs.Int("pilots", 3, "with -prune: average pilot budget per live class (1..8)")
 	p := addProtection(fs)
 	fs.Parse(args)
 	if fs.NArg() != 1 {
@@ -330,11 +332,22 @@ func cmdInject(args []string) error {
 		return fmt.Errorf("inject: %w", err)
 	}
 	pl := pipeline.New(p.pipelineConfig(*runs))
-	st, err := pl.Campaign(src, v, pipeline.CampaignOpts{Layer: l})
+	opts := pipeline.CampaignOpts{Layer: l}
+	if *prune {
+		opts.Pruning = campaign.PruneClasses
+		opts.PilotsPerClass = *pilots
+	}
+	st, err := pl.Campaign(src, v, opts)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("runs=%d golden_dyn=%d injectable=%d\n", st.Runs, st.GoldenDyn, st.GoldenInjectable)
+	if st.Pruned {
+		_, lo, hi := st.SDCRateCI()
+		fmt.Printf("pruned: classes=%d dead_sites=%d pilot_runs=%d (%.1fx fewer injections)  sdc 95%% CI [%.4f, %.4f]\n",
+			st.Classes, st.DeadSites, st.PilotRuns,
+			float64(st.Runs)/float64(st.PilotRuns), lo, hi)
+	}
 	for o := campaign.Outcome(0); o < campaign.NumOutcomes; o++ {
 		fmt.Printf("%-9s %6d  %6.2f%%\n", o, st.Counts[o], st.Rate(o)*100)
 	}

@@ -59,9 +59,36 @@ func (o Outcome) String() string {
 // count after which a faulty run counts as hung.
 const HangFactor = 50
 
+// Pruning selects a campaign's sampling strategy.
+type Pruning uint8
+
+const (
+	// PruneNone samples the fault population uniformly, one injection
+	// per run (the classic Monte-Carlo campaign).
+	PruneNone Pruning = iota
+	// PruneClasses partitions fault sites into equivalence classes
+	// (package equiv), injects a pilot budget of Spec.PilotsPerClass per
+	// live class allocated by class weight, and extrapolates stratum
+	// outcomes to population-level statistics (see RunPruned).
+	PruneClasses
+)
+
+func (p Pruning) String() string {
+	if p == PruneClasses {
+		return "classes"
+	}
+	return "none"
+}
+
+// SnapshotsOff is the Spec.Snapshots value that disables
+// checkpoint/fast-forward execution.
+const SnapshotsOff = -1
+
 // Spec configures a campaign.
 type Spec struct {
 	// Runs is the number of fault injections (the paper uses 3000).
+	// Under PruneClasses it is the population-equivalent campaign size
+	// extrapolated statistics are scaled to, not the injection count.
 	Runs int
 	// Seed drives all random choices.
 	Seed int64
@@ -72,10 +99,62 @@ type Spec struct {
 	// Snapshots tunes checkpoint/fast-forward execution: 0 uses it
 	// automatically whenever the engine supports it (with
 	// DefaultSnapshotTarget checkpoints per golden run), a positive value
-	// overrides the per-run checkpoint target, and a negative value
+	// overrides the per-run checkpoint target, and SnapshotsOff (-1)
 	// disables fast-forwarding. Outcome statistics are bit-identical
 	// either way; only the wall clock changes.
 	Snapshots int
+	// Pruning selects equivalence pruning; PruneClasses requires an
+	// engine implementing sim.TraceEngine.
+	Pruning Pruning
+	// PilotsPerClass is the average pilot budget per live equivalence
+	// class, in [1, MaxPilotsPerClass]: the pruned campaign executes
+	// about PilotsPerClass × (live classes) injections, allocated across
+	// strata by class weight (equiv.BuildPlan). Only meaningful (and
+	// required) with PruneClasses.
+	PilotsPerClass int
+}
+
+// Validate rejects nonsensical specs up front with a descriptive error,
+// before any engine work. Run and RunPruned call it; it is exported so
+// CLIs and the pipeline can fail fast.
+func (s Spec) Validate() error {
+	if s.Runs <= 0 {
+		return fmt.Errorf("campaign: Runs must be positive (got %d)", s.Runs)
+	}
+	if s.MaxSteps < 0 {
+		return fmt.Errorf("campaign: MaxSteps must be >= 0 (got %d)", s.MaxSteps)
+	}
+	if s.Snapshots < SnapshotsOff {
+		return fmt.Errorf("campaign: Snapshots must be >= -1 (0 auto-tunes, >0 sets the checkpoint target, -1 disables fast-forwarding; got %d)", s.Snapshots)
+	}
+	switch s.Pruning {
+	case PruneNone:
+		if s.PilotsPerClass != 0 {
+			return fmt.Errorf("campaign: PilotsPerClass (%d) is only meaningful with Pruning: classes", s.PilotsPerClass)
+		}
+	case PruneClasses:
+		if s.PilotsPerClass < 1 {
+			return fmt.Errorf("campaign: PilotsPerClass must be >= 1 under Pruning: classes (got %d)", s.PilotsPerClass)
+		}
+		if s.PilotsPerClass > MaxPilotsPerClass {
+			return fmt.Errorf("campaign: PilotsPerClass must be <= %d; a larger average budget would outgrow the per-class site sample the trace collector retains (got %d)", MaxPilotsPerClass, s.PilotsPerClass)
+		}
+	default:
+		return fmt.Errorf("campaign: unknown pruning mode %d", s.Pruning)
+	}
+	return nil
+}
+
+// checkPopulation rejects campaigns larger than the distinct-fault
+// population: every injectable site has at most 64 distinct single-bit
+// faults, so more runs than 64×sites cannot add information and almost
+// certainly means Runs and the program were swapped or mis-scaled.
+func checkPopulation(runs int, injectable int64) error {
+	if int64(runs) > 64*injectable {
+		return fmt.Errorf("campaign: %d runs exceed the distinct fault population (%d injectable sites × 64 bit choices = %d)",
+			runs, injectable, 64*injectable)
+	}
+	return nil
 }
 
 // Stats aggregates campaign outcomes.
@@ -102,6 +181,23 @@ type Stats struct {
 	SavedInstrs     int64
 	// Elapsed is the wall-clock duration of Run.
 	Elapsed time.Duration
+
+	// Equivalence-pruning extrapolation, populated only by RunPruned.
+	// When Pruned is set, Counts and SDCByOrigin above hold the
+	// stratified estimates scaled to Runs by largest-remainder rounding
+	// (so they still sum to Runs), while EstRates carry the exact
+	// estimates and [SDCLo, SDCHi] the stratified 95% interval.
+	Pruned bool
+	// Classes is the number of equivalence classes in the partition.
+	Classes int
+	// DeadSites counts provably-benign sites extrapolated without any
+	// injection.
+	DeadSites int64
+	// PilotRuns is the number of injections actually executed.
+	PilotRuns int
+	EstRates  [NumOutcomes]float64
+	SDCLo     float64
+	SDCHi     float64
 }
 
 // SavedFrac is the fraction of the campaign's total instruction work
@@ -122,8 +218,13 @@ func (s Stats) RunsPerSec() float64 {
 	return float64(s.Runs) / s.Elapsed.Seconds()
 }
 
-// Rate returns the fraction of runs with the given outcome.
+// Rate returns the fraction of runs with the given outcome (for pruned
+// campaigns, the exact stratified estimate rather than the rounded
+// Counts ratio).
 func (s Stats) Rate(o Outcome) float64 {
+	if s.Pruned {
+		return s.EstRates[o]
+	}
 	if s.Runs == 0 {
 		return 0
 	}
@@ -159,8 +260,12 @@ func CoverageCI(raw, prot Stats) (c, lo, hi float64) {
 	)
 }
 
-// SDCRateCI returns the SDC rate with its 95% Wilson interval.
+// SDCRateCI returns the SDC rate with its 95% interval: Wilson for
+// plain campaigns, the stratified interval for pruned ones.
 func (s Stats) SDCRateCI() (p, lo, hi float64) {
+	if s.Pruned {
+		return s.EstRates[OutcomeSDC], s.SDCLo, s.SDCHi
+	}
 	pr := stats.Proportion{Hits: s.Counts[OutcomeSDC], Total: s.Runs}
 	lo, hi = pr.Wilson(stats.Z95)
 	return pr.P(), lo, hi
@@ -213,11 +318,15 @@ type runOutcome struct {
 	origin  asm.Origin
 }
 
-// Run executes a campaign and returns aggregated statistics.
+// Run executes a campaign and returns aggregated statistics. Specs with
+// Pruning: classes are forwarded to RunPruned.
 func Run(factory EngineFactory, spec Spec) (Stats, error) {
+	if spec.Pruning == PruneClasses {
+		return RunPruned(factory, spec)
+	}
 	start := time.Now()
-	if spec.Runs <= 0 {
-		return Stats{}, fmt.Errorf("campaign: non-positive run count")
+	if err := spec.Validate(); err != nil {
+		return Stats{}, err
 	}
 	workers := spec.Workers
 	if workers <= 0 {
@@ -243,7 +352,43 @@ func Run(factory EngineFactory, spec Spec) (Stats, error) {
 	if golden.InjectableInstrs == 0 {
 		return Stats{}, fmt.Errorf("campaign: program has no injectable instructions")
 	}
+	if err := checkPopulation(spec.Runs, golden.InjectableInstrs); err != nil {
+		return Stats{}, err
+	}
 	goldenOut := append([]byte(nil), golden.Output...)
+
+	faults := make([]sim.Fault, spec.Runs)
+	for i := range faults {
+		faults[i] = faultForRun(spec.Seed, int64(i), golden.InjectableInstrs)
+	}
+	outcomes, simulated, saved := executeFaults(engines, spec, golden, goldenOut, faults)
+
+	total := Stats{
+		Runs:             spec.Runs,
+		GoldenDyn:        golden.DynInstrs,
+		GoldenInjectable: golden.InjectableInstrs,
+		SimulatedInstrs:  golden.DynInstrs + simulated,
+		SavedInstrs:      saved,
+	}
+	// Merge in run order: the aggregate is a pure function of the per-run
+	// outcomes, independent of worker count and batch scheduling.
+	for i := range outcomes {
+		total.Counts[outcomes[i].outcome]++
+		if outcomes[i].outcome == OutcomeSDC {
+			total.SDCByOrigin[outcomes[i].origin]++
+		}
+	}
+	total.Elapsed = time.Since(start)
+	return total, nil
+}
+
+// executeFaults runs one faulty execution per fault across a worker pool
+// of len(engines) engines and returns the classified outcome for each
+// fault, indexed like faults, plus the executed and fast-forwarded
+// dynamic instruction counts (excluding the golden run). Results are
+// independent of worker count and scheduling.
+func executeFaults(engines []sim.Engine, spec Spec, golden sim.Result, goldenOut []byte, faults []sim.Fault) ([]runOutcome, int64, int64) {
+	workers := len(engines)
 
 	// A fault that corrupts a loop bound can hang the program; runs far
 	// past the golden length are classified as hangs (DUE) without
@@ -253,17 +398,17 @@ func Run(factory EngineFactory, spec Spec) (Stats, error) {
 		maxSteps = HangFactor*golden.DynInstrs + 100_000
 	}
 
-	// Pre-derive every run's fault, deal them round-robin into per-worker
-	// batches, and sort each batch by injection point: consecutive runs
-	// then restore from nearby (usually identical) checkpoints, so the
-	// snapshot cache stays hot and prefix reuse is maximal. Outcomes land
-	// in per-run slots, so neither the batch order nor the worker count
-	// can perturb the aggregate.
+	// Deal faults round-robin into per-worker batches and sort each batch
+	// by injection point: consecutive runs then restore from nearby
+	// (usually identical) checkpoints, so the snapshot cache stays hot
+	// and prefix reuse is maximal. Outcomes land in per-run slots, so
+	// neither the batch order nor the worker count can perturb the
+	// aggregate.
 	interval := snapshotInterval(spec, golden.InjectableInstrs)
 	batches := make([][]job, workers)
-	for i := 0; i < spec.Runs; i++ {
+	for i := range faults {
 		w := i % workers
-		batches[w] = append(batches[w], job{i, faultForRun(spec.Seed, int64(i), golden.InjectableInstrs)})
+		batches[w] = append(batches[w], job{i, faults[i]})
 	}
 	for _, b := range batches {
 		b := b
@@ -275,7 +420,7 @@ func Run(factory EngineFactory, spec Spec) (Stats, error) {
 		})
 	}
 
-	outcomes := make([]runOutcome, spec.Runs)
+	outcomes := make([]runOutcome, len(faults))
 	simulated := make([]int64, workers)
 	saved := make([]int64, workers)
 
@@ -317,26 +462,12 @@ func Run(factory EngineFactory, spec Spec) (Stats, error) {
 	}
 	wg.Wait()
 
-	total := Stats{
-		Runs:             spec.Runs,
-		GoldenDyn:        golden.DynInstrs,
-		GoldenInjectable: golden.InjectableInstrs,
-		SimulatedInstrs:  golden.DynInstrs,
-	}
-	// Merge in run order: the aggregate is a pure function of the per-run
-	// outcomes, independent of worker count and batch scheduling.
-	for i := range outcomes {
-		total.Counts[outcomes[i].outcome]++
-		if outcomes[i].outcome == OutcomeSDC {
-			total.SDCByOrigin[outcomes[i].origin]++
-		}
-	}
+	var simTotal, savedTotal int64
 	for w := 0; w < workers; w++ {
-		total.SimulatedInstrs += simulated[w]
-		total.SavedInstrs += saved[w]
+		simTotal += simulated[w]
+		savedTotal += saved[w]
 	}
-	total.Elapsed = time.Since(start)
-	return total, nil
+	return outcomes, simTotal, savedTotal
 }
 
 // classify maps a run result to an outcome.

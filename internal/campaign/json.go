@@ -1,0 +1,92 @@
+package campaign
+
+import (
+	"encoding/json"
+
+	"flowery/internal/asm"
+)
+
+// CountsByName returns the outcome counts keyed by outcome name
+// ("benign", "sdc", "due", "detected").
+func (s Stats) CountsByName() map[string]int {
+	m := make(map[string]int, NumOutcomes)
+	for o := Outcome(0); o < NumOutcomes; o++ {
+		m[o.String()] = s.Counts[o]
+	}
+	return m
+}
+
+// RatesByName returns the outcome rates keyed by outcome name (the
+// stratified estimates for pruned campaigns).
+func (s Stats) RatesByName() map[string]float64 {
+	m := make(map[string]float64, NumOutcomes)
+	for o := Outcome(0); o < NumOutcomes; o++ {
+		m[o.String()] = s.Rate(o)
+	}
+	return m
+}
+
+// SDCOriginsByName returns the non-zero SDC origin counts keyed by the
+// provenance tag name of the injected assembly instruction.
+func (s Stats) SDCOriginsByName() map[string]int {
+	m := make(map[string]int)
+	for o := 0; o < asm.NumOrigins; o++ {
+		if s.SDCByOrigin[o] > 0 {
+			m[asm.Origin(o).String()] = s.SDCByOrigin[o]
+		}
+	}
+	return m
+}
+
+// statsJSON is the wire form of Stats: outcome maps use names rather
+// than positional arrays so reports and BENCH files stay readable and
+// stable if outcomes are ever reordered.
+type statsJSON struct {
+	Runs             int                `json:"runs"`
+	Counts           map[string]int     `json:"counts"`
+	Rates            map[string]float64 `json:"rates"`
+	SDCByOrigin      map[string]int     `json:"sdc_by_origin,omitempty"`
+	GoldenDyn        int64              `json:"golden_dyn_instrs"`
+	GoldenInjectable int64              `json:"golden_injectable"`
+	SimulatedInstrs  int64              `json:"simulated_instrs"`
+	SavedInstrs      int64              `json:"saved_instrs"`
+	ElapsedNS        int64              `json:"elapsed_ns,omitempty"`
+
+	Pruned    bool    `json:"pruned,omitempty"`
+	Classes   int     `json:"classes,omitempty"`
+	DeadSites int64   `json:"dead_sites,omitempty"`
+	PilotRuns int     `json:"pilot_runs,omitempty"`
+	SDCCI     *ciJSON `json:"sdc_ci95,omitempty"`
+}
+
+type ciJSON struct {
+	Lo float64 `json:"lo"`
+	Hi float64 `json:"hi"`
+}
+
+// MarshalJSON emits Stats with named outcome keys.
+func (s Stats) MarshalJSON() ([]byte, error) {
+	j := statsJSON{
+		Runs:             s.Runs,
+		Counts:           s.CountsByName(),
+		Rates:            s.RatesByName(),
+		SDCByOrigin:      s.SDCOriginsByName(),
+		GoldenDyn:        s.GoldenDyn,
+		GoldenInjectable: s.GoldenInjectable,
+		SimulatedInstrs:  s.SimulatedInstrs,
+		SavedInstrs:      s.SavedInstrs,
+		ElapsedNS:        s.Elapsed.Nanoseconds(),
+		Pruned:           s.Pruned,
+		Classes:          s.Classes,
+		DeadSites:        s.DeadSites,
+		PilotRuns:        s.PilotRuns,
+	}
+	if len(j.SDCByOrigin) == 0 {
+		j.SDCByOrigin = nil
+	}
+	if s.Pruned {
+		_, lo, hi := s.SDCRateCI()
+		j.SDCCI = &ciJSON{Lo: lo, Hi: hi}
+	}
+	return json.Marshal(j)
+}

@@ -1,0 +1,212 @@
+package campaign
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"flowery/internal/asm"
+	"flowery/internal/equiv"
+	"flowery/internal/sim"
+	"flowery/internal/stats"
+)
+
+// MaxPilotsPerClass bounds Spec.PilotsPerClass (the average per-class
+// pilot budget); it matches the per-class site sample the trace
+// collector retains, so a larger average would outgrow the reservoir.
+const MaxPilotsPerClass = 8
+
+// RunPruned executes an equivalence-pruned campaign: the golden run is
+// traced (sim.TraceEngine) to partition the injectable fault population
+// into def-use equivalence classes, a pilot budget of PilotsPerClass
+// per live class is allocated across strata by class weight
+// (equiv.BuildPlan), dead classes (values never read) are scored benign
+// without injection, and per-stratum outcome rates are extrapolated to
+// population-level statistics with stratified confidence intervals
+// (package stats). See DESIGN.md §10 for the equivalence model and its
+// soundness caveats.
+//
+// The returned Stats has Pruned set; Counts are the stratified estimates
+// scaled to spec.Runs so downstream consumers that expect a campaign of
+// that size keep working.
+func RunPruned(factory EngineFactory, spec Spec) (Stats, error) {
+	if spec.Pruning != PruneClasses {
+		return Run(factory, spec)
+	}
+	start := time.Now()
+	if err := spec.Validate(); err != nil {
+		return Stats{}, err
+	}
+
+	first, err := factory()
+	if err != nil {
+		return Stats{}, fmt.Errorf("campaign: engine 0: %w", err)
+	}
+	te, ok := first.(sim.TraceEngine)
+	if !ok {
+		return Stats{}, fmt.Errorf("campaign: engine %T does not support def-use tracing; use Pruning: none", first)
+	}
+
+	rules := equiv.DefaultRules(spec.Seed)
+	// Match the sample to the largest pilot count a stratum can take
+	// (equiv.BuildPlan), so a dominant class draws distinct sites
+	// instead of cycling a short sample, which would put a floor under
+	// the site-heterogeneity variance.
+	rules.MaxSample = 256
+	col := equiv.NewCollector(rules)
+	golden := te.RunTraced(sim.Options{MaxSteps: spec.MaxSteps}, col)
+	if golden.Status != sim.StatusOK {
+		return Stats{}, fmt.Errorf("campaign: golden run failed: %v (%v)", golden.Status, golden.Trap)
+	}
+	if golden.InjectableInstrs == 0 {
+		return Stats{}, fmt.Errorf("campaign: program has no injectable instructions")
+	}
+	if err := checkPopulation(spec.Runs, golden.InjectableInstrs); err != nil {
+		return Stats{}, err
+	}
+	part := col.Close()
+	if part.Population != golden.InjectableInstrs {
+		return Stats{}, fmt.Errorf("campaign: tracer recorded %d defs for %d injectable sites (engine def-order contract violated)",
+			part.Population, golden.InjectableInstrs)
+	}
+	goldenOut := append([]byte(nil), golden.Output...)
+
+	plan := equiv.BuildPlan(part, equiv.PlanSpec{PilotsPerClass: spec.PilotsPerClass, Seed: spec.Seed})
+	var faults []sim.Fault
+	var stratumOf []int
+	for si := range plan.Strata {
+		for _, f := range plan.Strata[si].Pilots {
+			faults = append(faults, f)
+			stratumOf = append(stratumOf, si)
+		}
+	}
+
+	var outcomes []runOutcome
+	var simulated, saved int64
+	if len(faults) > 0 {
+		workers := spec.Workers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		if workers > len(faults) {
+			workers = len(faults)
+		}
+		engines := make([]sim.Engine, workers)
+		engines[0] = first
+		for i := 1; i < workers; i++ {
+			e, err := factory()
+			if err != nil {
+				return Stats{}, fmt.Errorf("campaign: engine %d: %w", i, err)
+			}
+			engines[i] = e
+		}
+		outcomes, simulated, saved = executeFaults(engines, spec, golden, goldenOut, faults)
+	}
+
+	// Per-stratum outcome tallies, plus SDC origin weights (each pilot
+	// speaks for Sites/len(Pilots) sites of its stratum).
+	tallies := make([][NumOutcomes]int, len(plan.Strata))
+	var originW [asm.NumOrigins]float64
+	for j := range outcomes {
+		si := stratumOf[j]
+		tallies[si][outcomes[j].outcome]++
+		if outcomes[j].outcome == OutcomeSDC {
+			s := &plan.Strata[si]
+			originW[outcomes[j].origin] += float64(s.Sites) / float64(len(s.Pilots))
+		}
+	}
+
+	pop := float64(part.Population)
+	total := Stats{
+		Runs:             spec.Runs,
+		GoldenDyn:        golden.DynInstrs,
+		GoldenInjectable: golden.InjectableInstrs,
+		SimulatedInstrs:  golden.DynInstrs + simulated,
+		SavedInstrs:      saved,
+		Pruned:           true,
+		Classes:          len(part.Classes),
+		DeadSites:        part.DeadSites,
+		PilotRuns:        len(faults),
+	}
+	for o := Outcome(0); o < NumOutcomes; o++ {
+		st := make([]stats.Stratum, 0, len(plan.Strata))
+		for si := range plan.Strata {
+			s := &plan.Strata[si]
+			w := float64(s.Sites) / pop
+			if s.Exact {
+				// Dead sites are benign by construction: the flipped value
+				// is never read at this layer, so it can neither trap nor
+				// reach the output.
+				hits := 0
+				if o == OutcomeBenign {
+					hits = 1
+				}
+				st = append(st, stats.Stratum{Weight: w, Hits: hits, Total: 1, Exact: true})
+				continue
+			}
+			st = append(st, stats.Stratum{Weight: w, Hits: tallies[si][o], Total: len(s.Pilots)})
+		}
+		if o == OutcomeSDC {
+			total.EstRates[o], total.SDCLo, total.SDCHi = stats.StratifiedCI(st, stats.Z95)
+		} else {
+			total.EstRates[o] = stats.StratifiedP(st)
+		}
+	}
+
+	counts := apportion(total.EstRates[:], spec.Runs)
+	copy(total.Counts[:], counts)
+	origins := apportion(originW[:], total.Counts[OutcomeSDC])
+	copy(total.SDCByOrigin[:], origins)
+	total.Elapsed = time.Since(start)
+	return total, nil
+}
+
+// apportion rounds nonnegative shares to integers summing to total
+// (largest-remainder method; ties broken toward lower indices so the
+// result is deterministic). Shares need not be normalized. All-zero
+// shares yield all-zero counts.
+func apportion(shares []float64, total int) []int {
+	out := make([]int, len(shares))
+	if total <= 0 {
+		return out
+	}
+	sum := 0.0
+	for _, s := range shares {
+		if s > 0 {
+			sum += s
+		}
+	}
+	if sum == 0 {
+		return out
+	}
+	type frac struct {
+		i int
+		f float64
+	}
+	rem := total
+	fracs := make([]frac, 0, len(shares))
+	for i, s := range shares {
+		if s <= 0 {
+			continue
+		}
+		exact := s / sum * float64(total)
+		fl := int(exact)
+		out[i] = fl
+		rem -= fl
+		fracs = append(fracs, frac{i, exact - float64(fl)})
+	}
+	for ; rem > 0; rem-- {
+		best := -1
+		for j := range fracs {
+			if best < 0 || fracs[j].f > fracs[best].f {
+				best = j
+			}
+		}
+		if best < 0 {
+			break
+		}
+		out[fracs[best].i]++
+		fracs[best].f = -1
+	}
+	return out
+}

@@ -1,0 +1,219 @@
+package campaign
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"flowery/internal/backend"
+	"flowery/internal/interp"
+	"flowery/internal/ir"
+	"flowery/internal/machine"
+	"flowery/internal/sim"
+)
+
+func lowerFactory(m *ir.Module) EngineFactory {
+	prog, err := backend.Lower(m)
+	if err != nil {
+		panic(err)
+	}
+	return func() (sim.Engine, error) { return machine.New(m, prog) }
+}
+
+func TestSpecValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+		frag string // expected error substring; "" means valid
+	}{
+		{"ok plain", Spec{Runs: 10}, ""},
+		{"ok pruned", Spec{Runs: 10, Pruning: PruneClasses, PilotsPerClass: 3}, ""},
+		{"ok snapshots off", Spec{Runs: 10, Snapshots: SnapshotsOff}, ""},
+		{"zero runs", Spec{Runs: 0}, "Runs must be positive"},
+		{"negative runs", Spec{Runs: -5}, "Runs must be positive"},
+		{"negative maxsteps", Spec{Runs: 10, MaxSteps: -1}, "MaxSteps"},
+		{"snapshots below off", Spec{Runs: 10, Snapshots: -2}, "Snapshots"},
+		{"pilots without pruning", Spec{Runs: 10, PilotsPerClass: 2}, "only meaningful"},
+		{"zero pilots", Spec{Runs: 10, Pruning: PruneClasses}, "PilotsPerClass must be >= 1"},
+		{"too many pilots", Spec{Runs: 10, Pruning: PruneClasses, PilotsPerClass: MaxPilotsPerClass + 1}, "PilotsPerClass must be <="},
+		{"bad mode", Spec{Runs: 10, Pruning: Pruning(9)}, "unknown pruning mode"},
+	}
+	for _, c := range cases {
+		err := c.spec.Validate()
+		if c.frag == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error: %v", c.name, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("%s: expected error containing %q, got nil", c.name, c.frag)
+		} else if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.frag)
+		}
+	}
+}
+
+func TestRunsExceedingPopulationRejected(t *testing.T) {
+	// buildTarget has on the order of a hundred injectable sites; ten
+	// million runs dwarf its 64×sites distinct-fault population.
+	_, err := Run(factory(buildTarget()), Spec{Runs: 10_000_000, Seed: 1})
+	if err == nil || !strings.Contains(err.Error(), "fault population") {
+		t.Fatalf("oversized campaign accepted (err=%v)", err)
+	}
+	_, err = RunPruned(factory(buildTarget()), Spec{Runs: 10_000_000, Seed: 1, Pruning: PruneClasses, PilotsPerClass: 2})
+	if err == nil || !strings.Contains(err.Error(), "fault population") {
+		t.Fatalf("oversized pruned campaign accepted (err=%v)", err)
+	}
+}
+
+// TestFaultForRunGolden pins the fault sequence: any change to
+// splitmix64 or faultForRun silently invalidates every recorded
+// campaign, so drift must fail loudly.
+func TestFaultForRunGolden(t *testing.T) {
+	want := []struct {
+		seed, i, target int64
+		bit             int
+	}{
+		{1, 0, 265, 32},
+		{1, 1, 768, 19},
+		{1, 2, 977, 29},
+		{1, 3, 879, 62},
+		{1, 4, 960, 48},
+		{1, 5, 331, 1},
+		{2023, 0, 527, 59},
+		{2023, 1, 771, 14},
+		{2023, 2, 700, 23},
+		{2023, 3, 627, 36},
+		{2023, 4, 252, 4},
+		{2023, 5, 315, 56},
+	}
+	for _, w := range want {
+		f := faultForRun(w.seed, w.i, 1000)
+		if f.TargetIndex != w.target || f.Bit != w.bit {
+			t.Errorf("faultForRun(%d, %d, 1000) = (%d, %d), want (%d, %d)",
+				w.seed, w.i, f.TargetIndex, f.Bit, w.target, w.bit)
+		}
+	}
+	pins := map[uint64]uint64{
+		0:          16294208416658607535,
+		1:          10451216379200822465,
+		0xdeadbeef: 5395234354446855067,
+	}
+	for in, out := range pins {
+		if got := splitmix64(in); got != out {
+			t.Errorf("splitmix64(%#x) = %d, want %d", in, got, out)
+		}
+	}
+}
+
+func TestPrunedCampaignInterp(t *testing.T) {
+	m := buildTarget()
+	full, err := Run(factory(m), Spec{Runs: 2000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned, err := Run(factory(m), Spec{Runs: 2000, Seed: 7, Pruning: PruneClasses, PilotsPerClass: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pruned.Pruned {
+		t.Fatal("Pruned flag not set")
+	}
+	if pruned.Classes == 0 || pruned.PilotRuns == 0 {
+		t.Fatalf("empty plan: %d classes, %d pilots", pruned.Classes, pruned.PilotRuns)
+	}
+	if pruned.PilotRuns >= full.Runs/2 {
+		t.Fatalf("pruning barely reduced work: %d pilots for %d runs", pruned.PilotRuns, full.Runs)
+	}
+	total := 0
+	for _, c := range pruned.Counts {
+		total += c
+	}
+	if total != pruned.Runs {
+		t.Fatalf("scaled counts sum to %d, want %d", total, pruned.Runs)
+	}
+	sdcOrigins := 0
+	for _, c := range pruned.SDCByOrigin {
+		sdcOrigins += c
+	}
+	if sdcOrigins != pruned.Counts[OutcomeSDC] {
+		t.Fatalf("origin counts sum to %d, want SDC count %d", sdcOrigins, pruned.Counts[OutcomeSDC])
+	}
+	rateSum := 0.0
+	for o := Outcome(0); o < NumOutcomes; o++ {
+		rateSum += pruned.Rate(o)
+	}
+	if math.Abs(rateSum-1) > 1e-9 {
+		t.Fatalf("estimated rates sum to %v, want 1", rateSum)
+	}
+	// The stratified estimate must agree with the full campaign: the two
+	// 95% intervals on the SDC rate must overlap.
+	_, flo, fhi := full.SDCRateCI()
+	p, plo, phi := pruned.SDCRateCI()
+	if plo > p || phi < p {
+		t.Fatalf("pruned CI [%v, %v] excludes its own estimate %v", plo, phi, p)
+	}
+	if phi < flo || plo > fhi {
+		t.Fatalf("pruned SDC %v [%v, %v] disagrees with full %v [%v, %v]",
+			p, plo, phi, full.SDCRate(), flo, fhi)
+	}
+}
+
+func TestPrunedCampaignMachine(t *testing.T) {
+	m := buildTarget()
+	fac := lowerFactory(m)
+	full, err := Run(fac, Spec{Runs: 2000, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned, err := RunPruned(fac, Spec{Runs: 2000, Seed: 11, Pruning: PruneClasses, PilotsPerClass: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned.PilotRuns >= full.Runs/2 {
+		t.Fatalf("pruning barely reduced work: %d pilots for %d runs", pruned.PilotRuns, full.Runs)
+	}
+	_, flo, fhi := full.SDCRateCI()
+	p, plo, phi := pruned.SDCRateCI()
+	if phi < flo || plo > fhi {
+		t.Fatalf("pruned SDC %v [%v, %v] disagrees with full %v [%v, %v]",
+			p, plo, phi, full.SDCRate(), flo, fhi)
+	}
+}
+
+func TestPrunedDeterministicAcrossWorkerCounts(t *testing.T) {
+	m := buildTarget()
+	spec := Spec{Runs: 1000, Seed: 3, Pruning: PruneClasses, PilotsPerClass: 3}
+	a := spec
+	a.Workers = 1
+	b := spec
+	b.Workers = 4
+	sa, err := RunPruned(factory(m), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := RunPruned(factory(m), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa.Counts != sb.Counts || sa.EstRates != sb.EstRates ||
+		sa.PilotRuns != sb.PilotRuns || sa.Classes != sb.Classes ||
+		sa.DeadSites != sb.DeadSites || sa.SDCByOrigin != sb.SDCByOrigin {
+		t.Fatalf("worker count changed pruned results:\n%+v\nvs\n%+v", sa.Counts, sb.Counts)
+	}
+}
+
+func TestPrunedRejectsNonTracingEngine(t *testing.T) {
+	fac := func() (sim.Engine, error) { return opaqueEngine{interp.New(buildTarget())}, nil }
+	_, err := RunPruned(fac, Spec{Runs: 100, Seed: 1, Pruning: PruneClasses, PilotsPerClass: 2})
+	if err == nil || !strings.Contains(err.Error(), "def-use tracing") {
+		t.Fatalf("non-tracing engine accepted (err=%v)", err)
+	}
+}
+
+// opaqueEngine hides the tracing (and snapshotting) capability of the
+// engine it wraps.
+type opaqueEngine struct{ e sim.Engine }
+
+func (o opaqueEngine) Run(f sim.Fault, opts sim.Options) sim.Result { return o.e.Run(f, opts) }

@@ -1,0 +1,330 @@
+// Package equiv is the fault-site equivalence pruning engine
+// (DESIGN.md §10). It consumes the def-use stream of one golden run
+// (sim.Tracer events emitted by a sim.TraceEngine) and partitions the
+// injectable fault population into equivalence classes: sites at the
+// same static instruction whose values have the same width, flow into
+// the same static consumers through the same kinds of uses, and — where
+// the concrete value gates behavior (compare operands, divisors, flags,
+// narrow values) — carry the same value. Injecting a handful of pilot
+// faults per class and extrapolating class outcomes by population
+// weight reproduces full-campaign statistics at a fraction of the
+// injections, in the spirit of FastFlip (arXiv:2403.13989) and BEC
+// (arXiv:2401.05753).
+//
+// The partition is heuristic, not a proof: two sites in one class are
+// *expected* to behave identically under the same bit flip, and the
+// soundness property test (equiv_prop_test.go) checks that expectation
+// empirically, but influence that flows through untraced memory can in
+// principle diverge. The extrapolated *estimator* does not depend on
+// within-class homogeneity for unbiasedness — pilots are drawn
+// uniformly within each class — only its variance does. Defs with an
+// empty use set are the exception: a value never read before its
+// location dies cannot affect anything, so dead classes are exact,
+// zero-pilot benign strata.
+package equiv
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"flowery/internal/sim"
+)
+
+// FNV-1a constants; class signatures are order-sensitive folds of the
+// use stream.
+const (
+	sigOffset = 0xcbf29ce484222325
+	sigPrime  = 0x100000001b3
+)
+
+// Rules tunes the partition.
+type Rules struct {
+	// MaxSample bounds the per-class stratified site sample pilots are
+	// drawn from (rounded up to even: windows merge in pairs).
+	MaxSample int
+	// Seed drives site sampling.
+	Seed int64
+	// FoldKinds is a bitmask of sim.UseKind values that force a def's
+	// concrete value into its class signature: uses through which the
+	// value gates control flow or traps (compare operands, divisors),
+	// where sites with different values can behave arbitrarily
+	// differently under the same flip.
+	FoldKinds uint16
+	// FoldWidth folds the concrete value for defs at most this wide
+	// (booleans, flags, bytes: narrow values are control-adjacent and
+	// cheap to split on).
+	FoldWidth uint8
+}
+
+// DefaultRules is the partition the campaign layer uses.
+func DefaultRules(seed int64) Rules {
+	return Rules{
+		MaxSample: 8,
+		Seed:      seed,
+		FoldKinds: 1<<sim.UseCmp | 1<<sim.UseDiv | 1<<sim.UseBranch,
+		FoldWidth: 8,
+	}
+}
+
+// Class is one equivalence class of fault sites.
+type Class struct {
+	// Static is the defining static instruction.
+	Static int32
+	// Width is the destination width in bits.
+	Width uint8
+	// Sig is the folded def-use signature (0 for dead classes).
+	Sig uint64
+	// Dead marks classes whose values are never read before their
+	// location dies: provably benign, injected zero times.
+	Dead bool
+	// Size is the number of member fault sites.
+	Size int64
+	// Uses totals the members' use counts (liveness telemetry).
+	Uses int64
+	// Sample is a stratified random sample of member sites (1-based
+	// fault target indices), at most Rules.MaxSample of them: the
+	// member stream is cut into equal windows (the span doubling
+	// whenever the buffer fills) and one uniformly drawn member
+	// represents each window, so the sample is uniform AND evenly
+	// spread over the class's dynamic instance sequence. Entries are in
+	// stream order.
+	Sample []int64
+
+	rng    uint64 // sampling PRNG state
+	window int64  // current window span (instances per sample entry)
+	inWin  int64  // instances seen in the open window
+	cand   int64  // uniform candidate for the open window
+}
+
+// MarshalJSON renders a class summary with named fields (no raw
+// internals), for BENCH_*.json and reports.
+func (c Class) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Static int32   `json:"static"`
+		Width  uint8   `json:"width"`
+		Sig    string  `json:"sig"`
+		Dead   bool    `json:"dead,omitempty"`
+		Size   int64   `json:"size"`
+		Uses   int64   `json:"uses"`
+		Sample []int64 `json:"sample,omitempty"`
+	}{c.Static, c.Width, fmt.Sprintf("%016x", c.Sig), c.Dead, c.Size, c.Uses, c.Sample})
+}
+
+// Partition is the classed fault population of one golden run.
+type Partition struct {
+	// Population is the injectable site count (== golden
+	// InjectableInstrs; fault target indices range over [1,
+	// Population]).
+	Population int64
+	// DeadSites is the number of sites in dead classes.
+	DeadSites int64
+	// Classes lists the classes in first-finalization order
+	// (deterministic for a given engine and program).
+	Classes []Class
+}
+
+// LiveClasses counts classes that need pilot injections.
+func (p Partition) LiveClasses() int {
+	n := 0
+	for i := range p.Classes {
+		if !p.Classes[i].Dead {
+			n++
+		}
+	}
+	return n
+}
+
+// openDef is a live definition in the collector's slab.
+type openDef struct {
+	site      int64 // 1-based fault target index
+	value     uint64
+	sig       uint64
+	uses      int64
+	refs      int32
+	static    int32
+	kinds     uint16 // bitmask of observed use kinds
+	width     uint8
+	sensitive bool
+}
+
+// classKey identifies a class during collection.
+type classKey struct {
+	static int32
+	width  uint8
+	dead   bool
+	sig    uint64
+}
+
+// Collector implements sim.Tracer, streaming the def-use events of a
+// golden run into a Partition. Memory is bounded by the number of
+// *concurrently live* defs (open slab entries are recycled on Kill),
+// not by the fault population.
+type Collector struct {
+	rules   Rules
+	defs    []openDef
+	free    []int32
+	sites   int64
+	dead    int64
+	classes []Class
+	index   map[classKey]int32
+}
+
+// NewCollector returns an empty collector.
+func NewCollector(rules Rules) *Collector {
+	if rules.MaxSample <= 0 {
+		rules.MaxSample = DefaultRules(rules.Seed).MaxSample
+	}
+	if rules.MaxSample%2 == 1 {
+		rules.MaxSample++
+	}
+	return &Collector{rules: rules, index: make(map[classKey]int32)}
+}
+
+// Def implements sim.Tracer. Defs are numbered in call order; def i
+// corresponds to fault target index i+1 (the engine ordering contract
+// documented on sim.Tracer).
+func (c *Collector) Def(static int32, width uint8, value uint64, sensitive bool) int64 {
+	c.sites++
+	var idx int32
+	if n := len(c.free); n > 0 {
+		idx = c.free[n-1]
+		c.free = c.free[:n-1]
+	} else {
+		c.defs = append(c.defs, openDef{})
+		idx = int32(len(c.defs) - 1)
+	}
+	c.defs[idx] = openDef{
+		site: c.sites, static: static, width: width,
+		value: value, sensitive: sensitive, refs: 1, sig: sigOffset,
+	}
+	return int64(idx)
+}
+
+// Use implements sim.Tracer, folding (consumer, kind) into the def's
+// order-sensitive signature.
+func (c *Collector) Use(h int64, consumer int32, kind sim.UseKind) {
+	if h < 0 {
+		return
+	}
+	d := &c.defs[h]
+	d.uses++
+	d.kinds |= 1 << kind
+	d.sig = (d.sig ^ splitmix64(uint64(uint32(consumer))<<8|uint64(kind))) * sigPrime
+}
+
+// Retain implements sim.Tracer.
+func (c *Collector) Retain(h int64) {
+	if h >= 0 {
+		c.defs[h].refs++
+	}
+}
+
+// Kill implements sim.Tracer; the last release classifies the def.
+func (c *Collector) Kill(h int64) {
+	if h < 0 {
+		return
+	}
+	d := &c.defs[h]
+	d.refs--
+	if d.refs == 0 {
+		c.classifyDef(d)
+		c.free = append(c.free, int32(h))
+	}
+}
+
+// classifyDef folds a finished def into its class.
+func (c *Collector) classifyDef(d *openDef) {
+	dead := d.uses == 0
+	sig := d.sig
+	switch {
+	case dead:
+		sig = 0
+		c.dead++
+	case d.sensitive || d.width <= c.rules.FoldWidth || d.kinds&c.rules.FoldKinds != 0:
+		sig = (sig ^ splitmix64(d.value)) * sigPrime
+	}
+	key := classKey{static: d.static, width: d.width, dead: dead, sig: sig}
+	ci, ok := c.index[key]
+	if !ok {
+		ci = int32(len(c.classes))
+		c.classes = append(c.classes, Class{
+			Static: d.static, Width: d.width, Sig: sig, Dead: dead,
+			rng: splitmix64(uint64(c.rules.Seed) ^ splitmix64(uint64(ci)+0x632be59bd9b4e019)),
+		})
+		c.index[key] = ci
+	}
+	cl := &c.classes[ci]
+	cl.Size++
+	cl.Uses += d.uses
+	cl.sample(d.site, c.rules.MaxSample)
+}
+
+// sample folds one member site into the class's stratified sample.
+// Within the open window the candidate is reservoir-replaced with
+// probability 1/t (one uniform draw per window); when the buffer hits
+// max, adjacent windows merge — either representative survives with
+// equal probability, staying uniform over the doubled span.
+func (cl *Class) sample(site int64, max int) {
+	if cl.window == 0 {
+		cl.window = 1
+	}
+	cl.inWin++
+	cl.rng = splitmix64(cl.rng)
+	if cl.rng%uint64(cl.inWin) == 0 {
+		cl.cand = site
+	}
+	if cl.inWin < cl.window {
+		return
+	}
+	cl.Sample = append(cl.Sample, cl.cand)
+	cl.inWin = 0
+	if len(cl.Sample) < max {
+		return
+	}
+	half := len(cl.Sample) / 2
+	for i := 0; i < half; i++ {
+		cl.rng = splitmix64(cl.rng)
+		j := 2 * i
+		if cl.rng&1 == 1 {
+			j++
+		}
+		cl.Sample[i] = cl.Sample[j]
+	}
+	cl.Sample = cl.Sample[:half]
+	cl.window *= 2
+}
+
+// Sites returns the number of defs seen so far.
+func (c *Collector) Sites() int64 { return c.sites }
+
+// Close finalizes defs still live at program end (machine registers
+// that were never overwritten) and returns the partition. The collector
+// must not be reused afterwards.
+func (c *Collector) Close() Partition {
+	for i := range c.defs {
+		if c.defs[i].refs > 0 {
+			c.defs[i].refs = 0
+			c.classifyDef(&c.defs[i])
+		}
+	}
+	// Flush each class's open sampling window so the stream tail is
+	// represented too (its entry spans fewer instances than the rest — a
+	// ≤ 1/MaxSample overweight, documented as acceptable).
+	for i := range c.classes {
+		cl := &c.classes[i]
+		if cl.inWin > 0 {
+			cl.Sample = append(cl.Sample, cl.cand)
+			cl.inWin = 0
+		}
+	}
+	return Partition{Population: c.sites, DeadSites: c.dead, Classes: c.classes}
+}
+
+// splitmix64 is the standard 64-bit mixer (same generator the campaign
+// layer derives faults from).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

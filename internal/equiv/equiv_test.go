@@ -1,0 +1,271 @@
+package equiv
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"flowery/internal/sim"
+)
+
+// replay feeds a fixed def-use stream: n defs at the same static
+// instruction, each used per the uses list, then killed.
+func replay(c *Collector, static int32, width uint8, value uint64, uses []sim.UseKind) {
+	h := c.Def(static, width, value, false)
+	for _, k := range uses {
+		c.Use(h, static+100, k)
+	}
+	c.Kill(h)
+}
+
+func TestCollectorMergesIdenticalDefs(t *testing.T) {
+	c := NewCollector(DefaultRules(1))
+	for i := 0; i < 20; i++ {
+		replay(c, 7, 64, uint64(1000+i), []sim.UseKind{sim.UseArith, sim.UseStoreVal})
+	}
+	p := c.Close()
+	if p.Population != 20 {
+		t.Fatalf("population = %d, want 20", p.Population)
+	}
+	if len(p.Classes) != 1 {
+		t.Fatalf("got %d classes, want 1: %+v", len(p.Classes), p.Classes)
+	}
+	cl := p.Classes[0]
+	if cl.Size != 20 || cl.Dead || cl.Static != 7 || cl.Width != 64 {
+		t.Fatalf("bad class: %+v", cl)
+	}
+	if cl.Uses != 40 {
+		t.Fatalf("uses = %d, want 40", cl.Uses)
+	}
+	// The stratified sample keeps between MaxSample/2 and MaxSample
+	// window representatives, depending on where the stream ends.
+	max := DefaultRules(1).MaxSample
+	if len(cl.Sample) < max/2 || len(cl.Sample) > max {
+		t.Fatalf("sample size = %d, want in [%d, %d]", len(cl.Sample), max/2, max)
+	}
+	seen := map[int64]bool{}
+	for _, s := range cl.Sample {
+		if s < 1 || s > 20 || seen[s] {
+			t.Fatalf("bad sample entry %d in %v", s, cl.Sample)
+		}
+		seen[s] = true
+	}
+}
+
+func TestCollectorSplitsOnSignature(t *testing.T) {
+	c := NewCollector(DefaultRules(1))
+	// Same static and width, different consumers → different classes.
+	h := c.Def(3, 64, 5, false)
+	c.Use(h, 50, sim.UseArith)
+	c.Kill(h)
+	h = c.Def(3, 64, 5, false)
+	c.Use(h, 51, sim.UseArith)
+	c.Kill(h)
+	// Different use order → different class (signature is a sequence
+	// fold, not a set).
+	h = c.Def(3, 64, 5, false)
+	c.Use(h, 51, sim.UseArith)
+	c.Use(h, 50, sim.UseArith)
+	c.Kill(h)
+	h = c.Def(3, 64, 5, false)
+	c.Use(h, 50, sim.UseArith)
+	c.Use(h, 51, sim.UseArith)
+	c.Kill(h)
+	p := c.Close()
+	if len(p.Classes) != 4 {
+		t.Fatalf("got %d classes, want 4: %+v", len(p.Classes), p.Classes)
+	}
+}
+
+func TestCollectorDeadDefs(t *testing.T) {
+	c := NewCollector(DefaultRules(1))
+	// Values written and overwritten without a read: dead, merged across
+	// distinct concrete values.
+	replay(c, 9, 64, 111, nil)
+	replay(c, 9, 64, 222, nil)
+	replay(c, 4, 32, 333, nil) // different static: separate dead class
+	replay(c, 9, 64, 1, []sim.UseKind{sim.UseArith})
+	p := c.Close()
+	if p.DeadSites != 3 {
+		t.Fatalf("dead sites = %d, want 3", p.DeadSites)
+	}
+	deadClasses := 0
+	for _, cl := range p.Classes {
+		if cl.Dead {
+			deadClasses++
+			if cl.Sig != 0 {
+				t.Fatalf("dead class has non-zero sig: %+v", cl)
+			}
+		}
+	}
+	if deadClasses != 2 {
+		t.Fatalf("dead classes = %d, want 2", deadClasses)
+	}
+	if p.LiveClasses() != 1 {
+		t.Fatalf("live classes = %d, want 1", p.LiveClasses())
+	}
+}
+
+func TestCollectorValueFolding(t *testing.T) {
+	r := DefaultRules(1)
+	// A compare operand's concrete value partitions classes...
+	c := NewCollector(r)
+	replay(c, 2, 64, 10, []sim.UseKind{sim.UseCmp})
+	replay(c, 2, 64, 11, []sim.UseKind{sim.UseCmp})
+	if p := c.Close(); len(p.Classes) != 2 {
+		t.Fatalf("cmp operand values not folded: %+v", p.Classes)
+	}
+	// ...as does any narrow def's...
+	c = NewCollector(r)
+	replay(c, 2, 8, 0, []sim.UseKind{sim.UseArith})
+	replay(c, 2, 8, 1, []sim.UseKind{sim.UseArith})
+	if p := c.Close(); len(p.Classes) != 2 {
+		t.Fatalf("narrow values not folded: %+v", p.Classes)
+	}
+	// ...and a sensitive def's; wide pure-dataflow values are not.
+	c = NewCollector(r)
+	h := c.Def(2, 64, 10, true)
+	c.Use(h, 50, sim.UseArith)
+	c.Kill(h)
+	h = c.Def(2, 64, 11, true)
+	c.Use(h, 50, sim.UseArith)
+	c.Kill(h)
+	if p := c.Close(); len(p.Classes) != 2 {
+		t.Fatalf("sensitive values not folded: %+v", p.Classes)
+	}
+	c = NewCollector(r)
+	replay(c, 2, 64, 10, []sim.UseKind{sim.UseArith})
+	replay(c, 2, 64, 11, []sim.UseKind{sim.UseArith})
+	if p := c.Close(); len(p.Classes) != 1 {
+		t.Fatalf("wide dataflow values spuriously folded: %+v", p.Classes)
+	}
+}
+
+func TestCollectorRetainRefcount(t *testing.T) {
+	c := NewCollector(DefaultRules(1))
+	h := c.Def(1, 64, 5, false)
+	c.Retain(h)
+	c.Kill(h)
+	// Still referenced: not classified yet, and its slab slot must not be
+	// recycled into the next def.
+	h2 := c.Def(1, 64, 6, false)
+	if h2 == h {
+		t.Fatal("retained def's slot recycled")
+	}
+	c.Use(h, 70, sim.UseCallArg)
+	c.Kill(h)
+	c.Kill(h2)
+	p := c.Close()
+	if p.Population != 2 || p.DeadSites != 1 {
+		t.Fatalf("population %d dead %d, want 2/1", p.Population, p.DeadSites)
+	}
+}
+
+func TestCollectorCloseFinalizesLiveDefs(t *testing.T) {
+	c := NewCollector(DefaultRules(1))
+	h := c.Def(1, 64, 5, false)
+	c.Use(h, 70, sim.UseArith)
+	// Never killed (a register still live at program exit).
+	p := c.Close()
+	if p.Population != 1 || len(p.Classes) != 1 || p.Classes[0].Dead {
+		t.Fatalf("live-at-exit def mishandled: %+v", p)
+	}
+}
+
+func TestCollectorDeterminism(t *testing.T) {
+	build := func() Partition {
+		c := NewCollector(DefaultRules(42))
+		for i := 0; i < 100; i++ {
+			replay(c, int32(i%5), 64, uint64(i%3), []sim.UseKind{sim.UseArith})
+			replay(c, int32(i%7), 8, uint64(i%2), []sim.UseKind{sim.UseCmp})
+			replay(c, 30, 32, uint64(i), nil)
+		}
+		return c.Close()
+	}
+	a, b := build(), build()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("identical streams produced different partitions")
+	}
+}
+
+func TestBuildPlan(t *testing.T) {
+	c := NewCollector(DefaultRules(9))
+	for i := 0; i < 30; i++ {
+		replay(c, 1, 64, uint64(i), []sim.UseKind{sim.UseArith})
+	}
+	for i := 0; i < 10; i++ {
+		replay(c, 2, 64, uint64(i), nil)
+	}
+	replay(c, 3, 64, 0, []sim.UseKind{sim.UseStoreVal})
+	part := c.Close()
+
+	plan := BuildPlan(part, PlanSpec{PilotsPerClass: 3, Seed: 9})
+	if plan.Population != 41 {
+		t.Fatalf("population = %d, want 41", plan.Population)
+	}
+	// Budget 3×2 live classes = 6 pilots. The 30-site class earns a
+	// weight-proportional share ≥ 2, so it is its own head stratum with
+	// the whole budget; the 1-site class falls into the merged tail with
+	// the 1-pilot floor; the 10 dead sites form the exact stratum.
+	if len(plan.Strata) != 3 {
+		t.Fatalf("got %d strata: %+v", len(plan.Strata), plan.Strata)
+	}
+	if plan.PilotRuns() != 7 {
+		t.Fatalf("pilot runs = %d, want 7", plan.PilotRuns())
+	}
+	head, tail, dead := plan.Strata[0], plan.Strata[1], plan.Strata[2]
+	if head.Class != 0 || head.Sites != 30 || len(head.Pilots) != 6 {
+		t.Fatalf("bad head stratum: %+v", head)
+	}
+	if tail.Class != -1 || tail.Sites != 1 || len(tail.Pilots) != 1 || tail.Exact {
+		t.Fatalf("bad tail stratum: %+v", tail)
+	}
+	if !dead.Exact || dead.Class != -1 || dead.Sites != 10 || len(dead.Pilots) != 0 {
+		t.Fatalf("bad dead stratum: %+v", dead)
+	}
+	// Head pilots stay inside their class's sites under a systematic bit
+	// sweep (distinct bits); the tail pilot hits the only tail site.
+	seenBits := map[int]bool{}
+	for _, f := range head.Pilots {
+		if f.TargetIndex < 1 || f.TargetIndex > 30 || f.Bit < 0 || f.Bit > 63 {
+			t.Fatalf("head pilot out of range: %+v", f)
+		}
+		if seenBits[f.Bit] {
+			t.Fatalf("systematic sweep repeated a bit: %+v", head.Pilots)
+		}
+		seenBits[f.Bit] = true
+	}
+	if tail.Pilots[0].TargetIndex != 41 {
+		t.Fatalf("tail pilot hit site %d, want 41", tail.Pilots[0].TargetIndex)
+	}
+
+	// An oversized budget keeps each head stratum at or under the cap and
+	// never spends more than budget + the tail's one-pilot floor overall.
+	big := BuildPlan(part, PlanSpec{PilotsPerClass: 100, Seed: 9})
+	for _, s := range big.Strata {
+		if s.Class >= 0 && len(s.Pilots) > 256 {
+			t.Fatalf("stratum pilots exceed cap: %d", len(s.Pilots))
+		}
+	}
+	if got, max := big.PilotRuns(), 100*2+1; got > max {
+		t.Fatalf("pilot runs = %d, want <= %d", got, max)
+	}
+}
+
+func TestClassJSON(t *testing.T) {
+	cl := Class{Static: 4, Width: 8, Sig: 0xabcd, Size: 3, Uses: 6, Sample: []int64{1, 2, 3}}
+	b, err := json.Marshal(cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(b)
+	for _, key := range []string{`"static":4`, `"width":8`, `"sig":"000000000000abcd"`, `"size":3`, `"uses":6`} {
+		if !strings.Contains(s, key) {
+			t.Fatalf("class JSON %s missing %s", s, key)
+		}
+	}
+	if strings.Contains(s, "rng") {
+		t.Fatalf("class JSON leaks internals: %s", s)
+	}
+}

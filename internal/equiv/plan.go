@@ -1,0 +1,180 @@
+package equiv
+
+import "flowery/internal/sim"
+
+// PlanSpec tunes pilot selection.
+type PlanSpec struct {
+	// PilotsPerClass is the average pilot budget per live class: the
+	// plan spends PilotsPerClass × (live classes) injections in total,
+	// allocated across strata in proportion to class weight rather than
+	// uniformly. Heavy classes (many dynamic sites) become their own
+	// strata with several pilots; the long tail of light classes is
+	// merged into one weight-sampled stratum, so the budget measures
+	// where the population mass is instead of where the class count is.
+	PilotsPerClass int
+	// Seed drives pilot site/bit choices.
+	Seed int64
+}
+
+const (
+	// headShare is the proportional-allocation pilot share above which a
+	// class is estimated on its own rather than through the merged tail.
+	headShare = 2.0
+	// maxStratumPilots caps one stratum's pilots. Dominant classes take
+	// pilot counts well past the 64-bit alphabet (the sweep then covers
+	// each bit several times over distinct sites); the cap only stops a
+	// single class from swallowing an extreme budget whole.
+	maxStratumPilots = 256
+)
+
+// Stratum is one extrapolation stratum of a pruned campaign: a heavy
+// class, the merged tail of light classes, or the merged dead
+// population, with the pilot faults that represent it.
+type Stratum struct {
+	// Class indexes Partition.Classes; -1 marks the merged strata (tail
+	// and dead).
+	Class int
+	// Sites is the stratum's population weight numerator.
+	Sites int64
+	// Exact marks strata whose outcome is known without injection
+	// (dead defs are benign).
+	Exact bool
+	// Pilots are the faults to actually inject.
+	Pilots []sim.Fault
+}
+
+// Plan is the pilot schedule of a pruned campaign.
+type Plan struct {
+	// Population is the injectable site count the strata weights are
+	// relative to.
+	Population int64
+	// Strata lists one stratum per heavy class in partition order, then
+	// at most one merged tail stratum and one exact dead stratum.
+	Strata []Stratum
+}
+
+// PilotRuns is the number of injections the plan executes.
+func (p Plan) PilotRuns() int {
+	n := 0
+	for i := range p.Strata {
+		n += len(p.Strata[i].Pilots)
+	}
+	return n
+}
+
+// BuildPlan schedules pilots for a partition.
+//
+// Every pilot's (site, bit) is marginally uniform over its stratum's
+// site population × [0, 64) — the same marginal the full campaign's
+// faultForRun uses — so extrapolated statistics estimate the same fault
+// population. Within that constraint the plan buys variance down two
+// ways: heavy classes sweep bits systematically (evenly spaced from a
+// random offset, so the step structure of bit liveness is covered
+// instead of resampled), and light classes share one stratum sampled in
+// proportion to class size, which spends pilots on population mass
+// rather than one per class.
+func BuildPlan(part Partition, spec PlanSpec) Plan {
+	k := spec.PilotsPerClass
+	if k < 1 {
+		k = 1
+	}
+	plan := Plan{Population: part.Population}
+
+	var liveSites, deadSites int64
+	live := 0
+	for ci := range part.Classes {
+		cl := &part.Classes[ci]
+		if cl.Dead {
+			deadSites += cl.Size
+			continue
+		}
+		live++
+		liveSites += cl.Size
+	}
+	budget := k * live
+
+	// Heavy classes: own stratum, weight-proportional pilot count.
+	// Sites are picked evenly spaced over the stratified stream sample
+	// (so pilots cover the class's execution timeline, not one corner of
+	// it); bits are a systematic sweep, shuffled so bit position does
+	// not correlate with stream position.
+	var tail []int
+	var tailSites int64
+	spent := 0
+	for ci := range part.Classes {
+		cl := &part.Classes[ci]
+		if cl.Dead {
+			continue
+		}
+		share := float64(budget) * float64(cl.Size) / float64(liveSites)
+		if share < headShare || len(cl.Sample) == 0 {
+			tail = append(tail, ci)
+			tailSites += cl.Size
+			continue
+		}
+		n := int(share + 0.5)
+		if n > maxStratumPilots {
+			n = maxStratumPilots
+		}
+		rng := splitmix64(uint64(spec.Seed)^splitmix64(uint64(ci))) | 1
+		m := len(cl.Sample)
+		rng = splitmix64(rng)
+		start := int(rng % uint64(m))
+		rng = splitmix64(rng)
+		offset := int(rng % 64)
+		bits := make([]int, n)
+		for i := range bits {
+			bits[i] = (offset + i*64/n) % 64
+		}
+		for i := n - 1; i > 0; i-- {
+			rng = splitmix64(rng)
+			j := int(rng % uint64(i+1))
+			bits[i], bits[j] = bits[j], bits[i]
+		}
+		pilots := make([]sim.Fault, n)
+		for i := 0; i < n; i++ {
+			idx := (start + i) % m
+			if n <= m {
+				idx = (start + i*m/n) % m
+			}
+			pilots[i] = sim.Fault{TargetIndex: cl.Sample[idx], Bit: bits[i]}
+		}
+		spent += n
+		plan.Strata = append(plan.Strata, Stratum{Class: ci, Sites: cl.Size, Pilots: pilots})
+	}
+
+	// Tail: whatever budget the heavy classes left, at least one pilot.
+	// Sites are drawn uniformly over the tail population (class chosen
+	// by size, then a uniform reservoir entry), bits uniformly.
+	if tailSites > 0 {
+		m := budget - spent
+		if m < 1 {
+			m = 1
+		}
+		rng := splitmix64(uint64(spec.Seed)^splitmix64(0x9e3779b97f4a7c15)) | 1
+		pilots := make([]sim.Fault, m)
+		for i := 0; i < m; i++ {
+			rng = splitmix64(rng)
+			target := rng % uint64(tailSites)
+			var cl *Class
+			for _, ci := range tail {
+				c := &part.Classes[ci]
+				if target < uint64(c.Size) {
+					cl = c
+					break
+				}
+				target -= uint64(c.Size)
+			}
+			rng = splitmix64(rng)
+			site := cl.Sample[rng%uint64(len(cl.Sample))]
+			rng = splitmix64(rng)
+			pilots[i] = sim.Fault{TargetIndex: site, Bit: int(rng % 64)}
+		}
+		plan.Strata = append(plan.Strata, Stratum{Class: -1, Sites: tailSites, Pilots: pilots})
+	}
+
+	if deadSites > 0 {
+		plan.Strata = append(plan.Strata, Stratum{Class: -1, Sites: deadSites, Exact: true})
+	}
+	return plan
+}

@@ -36,7 +36,20 @@ type Config struct {
 	Seed int64
 	// Workers bounds campaign parallelism (0 = GOMAXPROCS).
 	Workers int
+	// Pruning selects equivalence-pruned campaigns (campaign.PruneClasses)
+	// for every per-level measurement, trading exhaustive injection for
+	// extrapolated statistics (DESIGN.md §10). Experiments that study
+	// campaign mechanics themselves (ablation, pressure, convergence,
+	// campbench) always run full campaigns.
+	Pruning campaign.Pruning
+	// PilotsPerClass is the pruned campaigns' average per-class pilot
+	// budget (0 = DefaultPilotsPerClass when Pruning is enabled).
+	PilotsPerClass int
 }
+
+// DefaultPilotsPerClass is the pilot budget pruned campaigns use when
+// Config.PilotsPerClass is unset.
+const DefaultPilotsPerClass = 3
 
 // DefaultConfig returns the scale used by cmd/experiments. On a typical
 // single core the full 16-benchmark evaluation takes on the order of ten
@@ -56,6 +69,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ProfileSamples <= 0 {
 		c.ProfileSamples = def.ProfileSamples
+	}
+	if c.Pruning == campaign.PruneClasses && c.PilotsPerClass <= 0 {
+		c.PilotsPerClass = DefaultPilotsPerClass
 	}
 	return c
 }
@@ -170,7 +186,8 @@ func RunBenchmark(bm bench.Benchmark, cfg Config) (*BenchResult, error) {
 	return res, nil
 }
 
-// measure runs campaigns for one module at both layers.
+// measure runs campaigns for one module at both layers, pruned when the
+// config asks for it (campaign.Run forwards pruning specs to RunPruned).
 func measure(m *ir.Module, cfg Config) (LevelStats, error) {
 	var ls LevelStats
 
@@ -178,17 +195,21 @@ func measure(m *ir.Module, cfg Config) (LevelStats, error) {
 	if err != nil {
 		return ls, err
 	}
+	spec := campaign.Spec{
+		Runs: cfg.Runs, Seed: cfg.Seed, Workers: cfg.Workers,
+		Pruning: cfg.Pruning, PilotsPerClass: cfg.PilotsPerClass,
+	}
 
 	irStats, err := campaign.Run(func() (sim.Engine, error) {
 		return interp.New(m), nil
-	}, campaign.Spec{Runs: cfg.Runs, Seed: cfg.Seed, Workers: cfg.Workers})
+	}, spec)
 	if err != nil {
 		return ls, err
 	}
 
 	asmStats, err := campaign.Run(func() (sim.Engine, error) {
 		return machine.New(m, prog)
-	}, campaign.Spec{Runs: cfg.Runs, Seed: cfg.Seed, Workers: cfg.Workers})
+	}, spec)
 	if err != nil {
 		return ls, err
 	}

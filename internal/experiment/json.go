@@ -3,7 +3,6 @@ package experiment
 import (
 	"encoding/json"
 
-	"flowery/internal/asm"
 	"flowery/internal/campaign"
 	"flowery/internal/dup"
 )
@@ -63,12 +62,7 @@ func ToJSON(results []*BenchResult, cfg Config) ([]byte, error) {
 		for _, l := range Levels {
 			key := levelKey(l)
 			_, lo, hi := campaign.CoverageCI(r.Raw.Asm, r.ID[l].Asm)
-			origins := make(map[string]int)
-			for o, c := range r.ID[l].Asm.SDCByOrigin {
-				if c > 0 {
-					origins[asm.Origin(o).String()] = c
-				}
-			}
+			origins := r.ID[l].Asm.SDCOriginsByName()
 			jb.Levels[key] = JSONLevelData{
 				CoverageIR:      r.CoverageIR(l),
 				CoverageAsm:     r.CoverageAsm(l),

@@ -1,0 +1,159 @@
+package experiment
+
+import (
+	"encoding/json"
+	"sort"
+	"strings"
+	"testing"
+
+	"flowery/internal/campaign"
+)
+
+// keyPaths collects the set of object key paths in a decoded JSON value.
+// It does not descend under sdc_by_origin: those map keys are data
+// (which origins produced SDCs), not schema.
+func keyPaths(prefix string, v any, out map[string]bool) {
+	switch x := v.(type) {
+	case map[string]any:
+		for k, child := range x {
+			p := prefix + "." + k
+			out[p] = true
+			if k != "sdc_by_origin" {
+				keyPaths(p, child, out)
+			}
+		}
+	case []any:
+		for _, child := range x {
+			keyPaths(prefix+"[]", child, out)
+		}
+	}
+}
+
+func pathSet(t *testing.T, raw []byte) map[string]bool {
+	t.Helper()
+	var v any
+	if err := json.Unmarshal(raw, &v); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	out := make(map[string]bool)
+	keyPaths("", v, out)
+	return out
+}
+
+func diffPaths(a, b map[string]bool) []string {
+	var d []string
+	for p := range a {
+		if !b[p] {
+			d = append(d, p)
+		}
+	}
+	sort.Strings(d)
+	return d
+}
+
+// TestStudyPrunedSchemaEquivalence runs the same study full and pruned
+// and checks the rendered reports are schema-identical: pruning changes
+// how statistics are obtained, not what downstream consumers see.
+func TestStudyPrunedSchemaEquivalence(t *testing.T) {
+	base := Config{Runs: 60, ProfileSamples: 120, Seed: 11}
+	pruned := base
+	pruned.Pruning = campaign.PruneClasses
+	pruned.PilotsPerClass = 1
+
+	full, err := NewStudy(base).Results([]string{"fft2"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := NewStudy(pruned).Results([]string{"fft2"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if full[0].Raw.IR.Pruned || full[0].Raw.Asm.Pruned {
+		t.Fatal("full study produced pruned stats")
+	}
+	if !pr[0].Raw.IR.Pruned || !pr[0].Raw.Asm.Pruned {
+		t.Fatal("pruned study produced full stats")
+	}
+	if pr[0].Raw.Asm.Runs != base.Runs {
+		t.Fatalf("pruned stats scaled to %d runs, want %d", pr[0].Raw.Asm.Runs, base.Runs)
+	}
+
+	jf, err := ToJSON(full, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jp, err := ToJSON(pr, pruned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, pp := pathSet(t, jf), pathSet(t, jp)
+	if d := diffPaths(pf, pp); len(d) > 0 {
+		t.Fatalf("full report has paths the pruned one lacks: %v", d)
+	}
+	if d := diffPaths(pp, pf); len(d) > 0 {
+		t.Fatalf("pruned report has paths the full one lacks: %v", d)
+	}
+
+	// The text renderers operate on the same BenchResult shape; spot-check
+	// one figure renders the same rows either way.
+	lf := strings.Split(Figure2(full), "\n")
+	lp := strings.Split(Figure2(pr), "\n")
+	if len(lf) != len(lp) {
+		t.Fatalf("Figure2 row count differs: full %d, pruned %d", len(lf), len(lp))
+	}
+}
+
+// TestPruneBench smoke-tests the cross-validation artifact at a small
+// scale: rows for every benchmark × layer × budget, a coherent
+// reduction ratio, and a table that carries the verdict column.
+func TestPruneBench(t *testing.T) {
+	cfg := Config{Runs: 1500, ProfileSamples: 120, Seed: 11}
+	points, err := RunPruneBench([]string{"crc32"}, []int{2}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("got %d points, want 2 (ir+asm): %+v", len(points), points)
+	}
+	for _, p := range points {
+		if p.Benchmark != "crc32" || (p.Layer != "ir" && p.Layer != "asm") {
+			t.Fatalf("bad row identity: %+v", p)
+		}
+		if p.Runs != cfg.Runs || p.PilotRuns <= 0 || p.Classes <= 0 || p.Population <= 0 {
+			t.Fatalf("bad row sizes: %+v", p)
+		}
+		if want := float64(p.Runs) / float64(p.PilotRuns); p.Reduction != want {
+			t.Fatalf("reduction = %v, want %v", p.Reduction, want)
+		}
+		if p.FullLo > p.FullSDC || p.FullSDC > p.FullHi {
+			t.Fatalf("full CI does not bracket its estimate: %+v", p)
+		}
+		if p.InsideCI != (p.PrunedSDC >= p.FullLo && p.PrunedSDC <= p.FullHi) {
+			t.Fatalf("inside_ci inconsistent with bounds: %+v", p)
+		}
+	}
+
+	table := PruneBench(points)
+	for _, want := range []string{"cross-validation", "inside", "crc32", "pruned SDC"} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("table missing %q:\n%s", want, table)
+		}
+	}
+
+	raw, err := PruneBenchJSON(points, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Runs    int          `json:"runs"`
+		Seed    int64        `json:"seed"`
+		Results []PrunePoint `json:"results"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("BENCH_3 JSON does not round-trip: %v", err)
+	}
+	if doc.Runs != cfg.Runs || doc.Seed != cfg.Seed || len(doc.Results) != 2 {
+		t.Fatalf("bad BENCH_3 document header: %+v", doc)
+	}
+}

@@ -1,0 +1,188 @@
+// Pruned-campaign benchmark: cross-validates the equivalence pruning
+// engine (internal/equiv, DESIGN.md §10) against ground truth. For each
+// benchmark × layer × pilot budget it runs the same unprotected campaign
+// twice — exhaustive Monte-Carlo and equivalence-pruned — and reports
+// the injection-count reduction next to both SDC estimates, flagging
+// whether the pruned estimate lands inside the full campaign's 95%
+// confidence interval.
+
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"flowery/internal/campaign"
+	"flowery/internal/pipeline"
+)
+
+// PruneBenchRuns is prunebench's default full-campaign size. The
+// comparison needs a much larger campaign than the other artifacts: the
+// pruned estimator's cost is fixed by the partition (a few thousand
+// pilots), so the reduction factor and the sharpness of the
+// cross-validation both come from the full side.
+const PruneBenchRuns = 20000
+
+// PruneBenchPilots is the default grid of average per-class pilot
+// budgets (campaign.Spec.PilotsPerClass) the cross-validation sweeps.
+var PruneBenchPilots = []int{2, 3}
+
+// pruneBenchDefault is the default benchmark subset: one control-heavy
+// kernel and one data-heavy one, matching the scratch/snapshot
+// benchmark's convention of measuring representatives rather than all
+// 16 at this campaign scale.
+var pruneBenchDefault = []string{"crc32", "susan"}
+
+// PrunePoint is one full-vs-pruned campaign comparison.
+type PrunePoint struct {
+	Benchmark string `json:"benchmark"`
+	Layer     string `json:"layer"` // "ir" or "asm"
+	// PilotsPerClass is the pruned campaign's average per-class budget.
+	PilotsPerClass int `json:"pilots_per_class"`
+
+	// Population is the injectable fault-site count both campaigns
+	// sample; Classes and DeadSites describe the partition.
+	Population int64 `json:"population"`
+	Classes    int   `json:"classes"`
+	DeadSites  int64 `json:"dead_sites"`
+
+	// Runs is the full campaign's injection count; PilotRuns is the
+	// pruned campaign's; Reduction is their ratio.
+	Runs      int     `json:"runs"`
+	PilotRuns int     `json:"pilot_runs"`
+	Reduction float64 `json:"reduction"`
+
+	FullSDC   float64 `json:"full_sdc"`
+	FullLo    float64 `json:"full_sdc_lo"`
+	FullHi    float64 `json:"full_sdc_hi"`
+	PrunedSDC float64 `json:"pruned_sdc"`
+	PrunedLo  float64 `json:"pruned_sdc_lo"`
+	PrunedHi  float64 `json:"pruned_sdc_hi"`
+
+	// InsideCI reports whether the pruned estimate falls inside the full
+	// campaign's 95% interval — the cross-validation verdict.
+	InsideCI bool `json:"inside_ci"`
+}
+
+// RunPruneBench cross-validates pruned against full campaigns on the
+// named benchmarks (crc32 and susan when empty) for every budget in
+// pilots (PruneBenchPilots when nil). cfg.Runs of 0 selects the
+// artifact's own default scale, PruneBenchRuns, rather than the general
+// experiment default — at small scales the full campaign's interval is
+// so wide the comparison says nothing.
+//
+// Both sides go through one artifact pipeline, so each full campaign is
+// computed once and shared by every pilot budget it is compared against.
+func RunPruneBench(names []string, pilots []int, cfg Config) ([]PrunePoint, error) {
+	if cfg.Runs <= 0 {
+		cfg.Runs = PruneBenchRuns
+	}
+	cfg.Pruning = campaign.PruneNone // the study below runs both sides explicitly
+	cfg = cfg.withDefaults()
+	if len(names) == 0 {
+		names = pruneBenchDefault
+	}
+	if len(pilots) == 0 {
+		pilots = PruneBenchPilots
+	}
+	bms, err := resolveBenchmarks(names)
+	if err != nil {
+		return nil, err
+	}
+
+	type unit struct {
+		bench int
+		layer pipeline.Layer
+		k     int
+	}
+	var units []unit
+	for i := range bms {
+		for _, l := range []pipeline.Layer{pipeline.LayerIR, pipeline.LayerAsm} {
+			for _, k := range pilots {
+				units = append(units, unit{bench: i, layer: l, k: k})
+			}
+		}
+	}
+
+	study := NewStudy(cfg)
+	points := make([]PrunePoint, len(units))
+	err = pipeline.ForEach(study.Pipeline().Config().Parallel, len(units), func(i int) error {
+		u := units[i]
+		src := pipeline.BenchSource(bms[u.bench])
+		full, err := study.Pipeline().Campaign(src, pipeline.RawVariant(),
+			pipeline.CampaignOpts{Layer: u.layer})
+		if err != nil {
+			return err
+		}
+		pruned, err := study.Pipeline().Campaign(src, pipeline.RawVariant(),
+			pipeline.CampaignOpts{Layer: u.layer, Pruning: campaign.PruneClasses, PilotsPerClass: u.k})
+		if err != nil {
+			return err
+		}
+		fsdc, flo, fhi := full.SDCRateCI()
+		psdc, plo, phi := pruned.SDCRateCI()
+		points[i] = PrunePoint{
+			Benchmark:      bms[u.bench].Name,
+			Layer:          layerName(u.layer),
+			PilotsPerClass: u.k,
+			Population:     pruned.GoldenInjectable,
+			Classes:        pruned.Classes,
+			DeadSites:      pruned.DeadSites,
+			Runs:           full.Runs,
+			PilotRuns:      pruned.PilotRuns,
+			Reduction:      float64(full.Runs) / float64(pruned.PilotRuns),
+			FullSDC:        fsdc, FullLo: flo, FullHi: fhi,
+			PrunedSDC: psdc, PrunedLo: plo, PrunedHi: phi,
+			InsideCI: psdc >= flo && psdc <= fhi,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return points, nil
+}
+
+func layerName(l pipeline.Layer) string {
+	if l == pipeline.LayerIR {
+		return "ir"
+	}
+	return "asm"
+}
+
+// PruneBench renders the cross-validation table.
+func PruneBench(points []PrunePoint) string {
+	var sb strings.Builder
+	sb.WriteString("Equivalence pruning cross-validation: pruned vs full campaign SDC estimates\n")
+	sb.WriteString(fmt.Sprintf("%-12s %-5s %2s %8s %8s %6s %8s %8s %7s  %-24s %-24s %s\n",
+		"benchmark", "layer", "k", "popul", "classes", "dead%", "runs", "pilots", "reduct",
+		"full SDC [95% CI]", "pruned SDC [95% CI]", "inside"))
+	for _, p := range points {
+		verdict := "no"
+		if p.InsideCI {
+			verdict = "yes"
+		}
+		sb.WriteString(fmt.Sprintf("%-12s %-5s %2d %8d %8d %5.1f%% %8d %8d %6.1fx  %.4f [%.4f, %.4f]  %.4f [%.4f, %.4f]  %s\n",
+			p.Benchmark, p.Layer, p.PilotsPerClass, p.Population, p.Classes,
+			float64(p.DeadSites)/float64(p.Population)*100,
+			p.Runs, p.PilotRuns, p.Reduction,
+			p.FullSDC, p.FullLo, p.FullHi,
+			p.PrunedSDC, p.PrunedLo, p.PrunedHi, verdict))
+	}
+	return sb.String()
+}
+
+// PruneBenchJSON marshals the comparisons (the BENCH_3.json artifact).
+func PruneBenchJSON(points []PrunePoint, cfg Config) ([]byte, error) {
+	runs := cfg.Runs
+	if runs <= 0 {
+		runs = PruneBenchRuns
+	}
+	doc := struct {
+		Runs    int          `json:"runs"`
+		Seed    int64        `json:"seed"`
+		Results []PrunePoint `json:"results"`
+	}{runs, cfg.Seed, points}
+	return json.MarshalIndent(doc, "", "  ")
+}

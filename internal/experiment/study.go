@@ -73,13 +73,19 @@ func (s *Study) Telemetry() pipeline.Telemetry { return s.p.Telemetry() }
 func (s *Study) Pipeline() *pipeline.Pipeline { return s.p }
 
 // levelStats assembles one variant's LevelStats from both layers'
-// campaigns.
+// campaigns, equivalence-pruned when the study config asks for it.
 func (s *Study) levelStats(src pipeline.Source, v pipeline.Variant) (LevelStats, error) {
-	irStats, err := s.p.Campaign(src, v, pipeline.CampaignOpts{Layer: pipeline.LayerIR})
+	opts := pipeline.CampaignOpts{
+		Pruning:        s.cfg.Pruning,
+		PilotsPerClass: s.cfg.PilotsPerClass,
+	}
+	opts.Layer = pipeline.LayerIR
+	irStats, err := s.p.Campaign(src, v, opts)
 	if err != nil {
 		return LevelStats{}, err
 	}
-	asmStats, err := s.p.Campaign(src, v, pipeline.CampaignOpts{Layer: pipeline.LayerAsm})
+	opts.Layer = pipeline.LayerAsm
+	asmStats, err := s.p.Campaign(src, v, opts)
 	if err != nil {
 		return LevelStats{}, err
 	}

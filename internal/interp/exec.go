@@ -40,10 +40,16 @@ func (ip *Interp) pushFrame(cf *cfunc, args []uint64) {
 	ip.frames = append(ip.frames, frame{cf: cf, fp: fp, vals: ip.frameVals(cf.numVals)})
 	f := &ip.frames[len(ip.frames)-1]
 	copy(f.args[:], args)
+	if ip.tr != nil {
+		ip.tracePushFrame(cf)
+	}
 }
 
 // popFrame leaves the top frame, returning its value storage to the pool.
 func (ip *Interp) popFrame() {
+	if ip.tr != nil {
+		ip.tracePopFrame()
+	}
 	n := len(ip.frames) - 1
 	f := &ip.frames[n]
 	ip.framePop(f.cf.frameSize)
@@ -82,6 +88,9 @@ dispatch:
 					ip.injStatic = ci.gidx
 				}
 				vals[ci.slot] = res
+				if ip.tr != nil {
+					ip.traceCommit(ci, res)
+				}
 			}
 			i++
 		}
@@ -103,6 +112,9 @@ dispatch:
 			}
 			if ip.profiling {
 				ip.profile[ci.gidx]++
+			}
+			if ip.tr != nil {
+				ip.traceUses(ci)
 			}
 
 			var res uint64
@@ -197,6 +209,9 @@ dispatch:
 				// top of the dispatch loop.
 				f.bi, f.ii = bi, i
 				ip.pushFrame(callee, ab[:len(ci.args)])
+				if ip.tr != nil {
+					ip.traceCallArgs(ci)
+				}
 				continue dispatch
 
 			case ir.OpBr:
@@ -240,6 +255,9 @@ dispatch:
 				ip.injStatic = ci.gidx
 			}
 			vals[ci.slot] = res
+			if ip.tr != nil {
+				ip.traceCommit(ci, res)
+			}
 			i++
 		}
 		// A verified function never falls off a block, but a trap in the

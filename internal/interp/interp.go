@@ -6,6 +6,7 @@ import (
 
 	"flowery/internal/ir"
 	"flowery/internal/rt"
+	"flowery/internal/sim"
 )
 
 // Interp executes one module. An Interp is not safe for concurrent use;
@@ -36,6 +37,11 @@ type Interp struct {
 	spVal     int64
 	valPool   [][]uint64
 	frames    []frame // explicit call stack (see exec.go)
+
+	// Def-use tracing (see trace.go). tr is only set during RunTraced;
+	// trFrames shadows frames with def handles.
+	tr       sim.Tracer
+	trFrames []traceFrame
 
 	// Snapshot state (see snapshot.go). snapCapture is only set during
 	// BuildSnapshots' golden run; dataLo/dataHi track the dirty region of
@@ -166,6 +172,7 @@ func (ip *Interp) reset() {
 		ip.releaseVals(ip.frames[i].vals)
 	}
 	ip.frames = ip.frames[:0]
+	ip.trFrames = ip.trFrames[:0]
 	if ip.snapCapture {
 		ip.snaps = ip.snaps[:0]
 		ip.nextSnapAt = ip.snapInterval

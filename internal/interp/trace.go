@@ -1,0 +1,144 @@
+package interp
+
+import (
+	"flowery/internal/ir"
+	"flowery/internal/rt"
+	"flowery/internal/sim"
+)
+
+// traceFrame shadows one frame of the call stack with def handles: one
+// per value slot and one per incoming argument (-1 = untracked). Slot
+// handles are owned by the frame; argument handles are retained copies
+// of caller defs (a caller slot can be overwritten — and its def
+// killed from the caller's side — while the callee still reads the
+// copied value, so the def's liveness is reference-counted through the
+// tracer).
+type traceFrame struct {
+	slots []int64
+	args  [maxCallArgs]int64
+}
+
+// RunTraced implements sim.TraceEngine: a golden run that streams
+// def-use events to t. Def order matches the injection counter: the
+// i-th Def call corresponds to Fault.TargetIndex i+1.
+func (ip *Interp) RunTraced(opts Options, t sim.Tracer) Result {
+	ip.reset()
+	ip.maxSteps = opts.MaxSteps
+	if ip.maxSteps <= 0 {
+		ip.maxSteps = DefaultMaxSteps
+	}
+	ip.injectAt = 0
+	ip.injectBit = 0
+	ip.profiling = opts.Profile
+	if opts.Profile {
+		ip.profile = make([]int64, len(ip.gInstrs))
+	}
+	ip.tr = t
+	defer func() { ip.tr = nil }()
+	return ip.finish(true)
+}
+
+// tracePushFrame mirrors pushFrame. Argument handles are filled in by
+// the OpCall path (the only caller with arguments).
+func (ip *Interp) tracePushFrame(cf *cfunc) {
+	tf := traceFrame{slots: make([]int64, cf.numVals)}
+	for i := range tf.slots {
+		tf.slots[i] = -1
+	}
+	for i := range tf.args {
+		tf.args[i] = -1
+	}
+	ip.trFrames = append(ip.trFrames, tf)
+}
+
+// tracePopFrame releases every def reference the departing frame holds.
+func (ip *Interp) tracePopFrame() {
+	n := len(ip.trFrames) - 1
+	tf := &ip.trFrames[n]
+	for _, h := range tf.slots {
+		ip.tr.Kill(h)
+	}
+	for _, h := range tf.args {
+		ip.tr.Kill(h)
+	}
+	ip.trFrames = ip.trFrames[:n]
+}
+
+// traceHandle resolves an operand to the def handle currently live in
+// it (-1 for constants and globals).
+func (ip *Interp) traceHandle(tf *traceFrame, o opnd) int64 {
+	switch o.kind {
+	case opndSlot:
+		return tf.slots[o.idx]
+	case opndParam:
+		return tf.args[o.idx]
+	default:
+		return -1
+	}
+}
+
+// traceCommit records the injectable definition committed to ci's slot,
+// ending the previous def of that slot.
+func (ip *Interp) traceCommit(ci *cinstr, res uint64) {
+	tf := &ip.trFrames[len(ip.trFrames)-1]
+	if old := tf.slots[ci.slot]; old >= 0 {
+		ip.tr.Kill(old)
+	}
+	tf.slots[ci.slot] = ip.tr.Def(ci.gidx, uint8(ci.ty.Bits()), res, false)
+}
+
+// traceCallArgs retains the caller defs flowing into a call and plants
+// them as the callee frame's argument handles. Must run after both the
+// caller's position sync and tracePushFrame.
+func (ip *Interp) traceCallArgs(ci *cinstr) {
+	n := len(ip.trFrames)
+	caller, callee := &ip.trFrames[n-2], &ip.trFrames[n-1]
+	for ai := range ci.args {
+		h := ip.traceHandle(caller, ci.args[ai])
+		if h >= 0 {
+			ip.tr.Retain(h)
+		}
+		callee.args[ai] = h
+	}
+}
+
+// traceUses records how ci consumes its operands, before ci executes.
+func (ip *Interp) traceUses(ci *cinstr) {
+	tf := &ip.trFrames[len(ip.trFrames)-1]
+	for ai := range ci.args {
+		h := ip.traceHandle(tf, ci.args[ai])
+		if h < 0 {
+			continue
+		}
+		ip.tr.Use(h, ci.gidx, useKindFor(ci, ai))
+	}
+}
+
+// useKindFor classifies operand ai of ci for the equivalence signature.
+func useKindFor(ci *cinstr, ai int) sim.UseKind {
+	switch ci.op {
+	case ir.OpStore:
+		if ai == 0 {
+			return sim.UseStoreVal
+		}
+		return sim.UseAddr
+	case ir.OpLoad, ir.OpGEP:
+		return sim.UseAddr
+	case ir.OpCondBr:
+		return sim.UseBranch
+	case ir.OpICmp, ir.OpFCmp:
+		return sim.UseCmp
+	case ir.OpSDiv, ir.OpSRem:
+		return sim.UseDiv
+	case ir.OpRet:
+		return sim.UseRet
+	case ir.OpCall:
+		switch ci.callee.rtFunc {
+		case rt.FuncPrintI64, rt.FuncPrintF64, rt.FuncPrintChar:
+			return sim.UseOutput
+		}
+		return sim.UseCallArg
+	default:
+		return sim.UseArith
+	}
+}

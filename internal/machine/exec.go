@@ -30,6 +30,9 @@ func (mc *Machine) exec() {
 			mc.traceRing[mc.traceHead] = mc.pc
 			mc.traceHead = (mc.traceHead + 1) % len(mc.traceRing)
 		}
+		if mc.tr != nil {
+			mc.traceUses(in)
+		}
 
 		switch in.op {
 		case asm.OpMov:
@@ -178,6 +181,9 @@ func (mc *Machine) exec() {
 			// ret's injectable destination is RIP: the fault lands on
 			// the popped return address.
 			mc.inject++
+			if mc.tr != nil {
+				mc.traceRetDef(addr)
+			}
 			if mc.inject == mc.injectAt {
 				mc.injected = true
 				mc.injStatic = mc.pc

@@ -51,6 +51,14 @@ type Machine struct {
 	// Optional execution trace: a ring buffer of recent pcs.
 	traceRing []int32
 	traceHead int
+
+	// Def-use tracing (see trace.go). tr is only set during RunTraced;
+	// regDef/regUnder/regDefBits track the live def handles layered in
+	// each register.
+	tr         sim.Tracer
+	regDef     [asm.NumRegs]int64
+	regUnder   [asm.NumRegs]int64
+	regDefBits [asm.NumRegs]uint8
 }
 
 // EnableTrace records the last n executed instruction indices; DumpTrace
@@ -402,6 +410,9 @@ func ucomisdFlags(a, b float64) uint64 {
 // inline in exec.
 func (mc *Machine) maybeInject(in *minstr) {
 	mc.inject++
+	if mc.tr != nil {
+		mc.traceDef(in)
+	}
 	if mc.inject != mc.injectAt {
 		return
 	}

@@ -1,0 +1,221 @@
+package machine
+
+import (
+	"flowery/internal/asm"
+	"flowery/internal/rt"
+	"flowery/internal/sim"
+)
+
+// Register def tracking for RunTraced. Each architectural register
+// holds at most two layered defs: the primary def (the last injectable
+// write) and, after a byte-sized write merged into a wider value, the
+// under-def whose high bits are still live beneath it (sizes are 1, 4
+// or 8, and 4-byte writes zero-extend, so two layers suffice).
+//
+// Non-injectable register writes whose result is data-dependent on the
+// old value (idiv's RDX remainder, pop/ret advancing RSP, a runtime
+// call's XMM0 result) keep the existing handle: a flip in the old def
+// persists through the rewrite, so continued influence should accrue
+// to the old site.
+
+// RunTraced implements sim.TraceEngine: a golden run that streams
+// def-use events to t, with Def order matching the injection counter.
+func (mc *Machine) RunTraced(opts sim.Options, t sim.Tracer) sim.Result {
+	mc.reset()
+	mc.maxSteps = opts.MaxSteps
+	if mc.maxSteps <= 0 {
+		mc.maxSteps = sim.DefaultMaxSteps
+	}
+	mc.injectAt = 0
+	mc.injectBit = 0
+	for r := range mc.regDef {
+		mc.regDef[r] = -1
+		mc.regDefBits[r] = 0
+		mc.regUnder[r] = -1
+	}
+	mc.tr = t
+	defer func() { mc.tr = nil }()
+	return mc.finish()
+}
+
+// traceDef records the injectable definition maybeInject just counted.
+func (mc *Machine) traceDef(in *minstr) {
+	r := in.destReg
+	bits := in.bits
+	if bits <= 0 {
+		bits = 64
+	}
+	val := mc.regs[r]
+	if bits < 64 {
+		val &= 1<<uint(bits) - 1
+	}
+	// Flags gate branches and the stack/instruction pointers address
+	// memory and code: their concrete values must partition classes.
+	sens := r == asm.RFLAGS || r == asm.RSP || r == asm.RIP
+	mc.traceDefReg(mc.pc, r, bits, val, sens)
+}
+
+// traceDefReg opens a def for a register write, retiring what it
+// overwrites. Only 8-bit defs merge (x86 byte writes): a wider def
+// underneath stays live as the under-layer.
+func (mc *Machine) traceDefReg(static int32, r asm.Reg, bits int, val uint64, sens bool) {
+	if bits == 8 && mc.regDef[r] >= 0 && mc.regDefBits[r] > 8 {
+		mc.tr.Kill(mc.regUnder[r])
+		mc.regUnder[r] = mc.regDef[r]
+	} else {
+		mc.tr.Kill(mc.regDef[r])
+		if bits != 8 {
+			mc.tr.Kill(mc.regUnder[r])
+			mc.regUnder[r] = -1
+		}
+	}
+	mc.regDef[r] = mc.tr.Def(static, uint8(bits), val, sens)
+	mc.regDefBits[r] = uint8(bits)
+}
+
+// traceRetDef records ret's injectable RIP def: the popped return
+// address, consumed immediately by the jump.
+func (mc *Machine) traceRetDef(addr uint64) {
+	h := mc.tr.Def(mc.pc, 64, addr, true)
+	mc.tr.Use(h, mc.pc, sim.UseBranch)
+	mc.tr.Kill(h)
+}
+
+// useReg records a read of r's live def(s). Reads wider than a byte
+// also touch the under-layer's high bits.
+func (mc *Machine) useReg(r asm.Reg, size uint8, c int32, k sim.UseKind) {
+	if h := mc.regDef[r]; h >= 0 {
+		mc.tr.Use(h, c, k)
+	}
+	if size > 1 {
+		if h := mc.regUnder[r]; h >= 0 {
+			mc.tr.Use(h, c, k)
+		}
+	}
+}
+
+// useMemAddr records the address-forming register reads of a memory
+// operand.
+func (mc *Machine) useMemAddr(o *mop, c int32) {
+	if o.kind != asm.OperandMem {
+		return
+	}
+	if o.reg != asm.RegNone {
+		mc.useReg(o.reg, 8, c, sim.UseAddr)
+	}
+	if o.index != asm.RegNone {
+		mc.useReg(o.index, 8, c, sim.UseAddr)
+	}
+}
+
+// useOp records the reads a source operand performs: the register's
+// value, or the address registers of a memory access (loaded memory
+// itself is untracked).
+func (mc *Machine) useOp(o *mop, size uint8, c int32, k sim.UseKind) {
+	switch o.kind {
+	case asm.OperandReg:
+		mc.useReg(o.reg, size, c, k)
+	case asm.OperandMem:
+		mc.useMemAddr(o, c)
+	}
+}
+
+// traceUses records the register reads of the instruction about to
+// execute (its defs are recorded after execution, by maybeInject).
+func (mc *Machine) traceUses(in *minstr) {
+	c := mc.pc
+	switch in.op {
+	case asm.OpMov, asm.OpMovSD:
+		k := sim.UseArith
+		if in.dst.kind == asm.OperandMem {
+			k = sim.UseStoreVal
+		}
+		mc.useOp(&in.src, in.size, c, k)
+		mc.useMemAddr(&in.dst, c)
+
+	case asm.OpMovSX, asm.OpMovZX, asm.OpCvtSI2SD:
+		mc.useOp(&in.src, in.size, c, sim.UseArith)
+
+	case asm.OpCvtSD2SI:
+		mc.useOp(&in.src, 8, c, sim.UseArith)
+
+	case asm.OpLea:
+		// lea is address arithmetic, not an access: operands are
+		// ordinary data inputs.
+		if in.src.reg != asm.RegNone {
+			mc.useReg(in.src.reg, 8, c, sim.UseArith)
+		}
+		if in.src.index != asm.RegNone {
+			mc.useReg(in.src.index, 8, c, sim.UseArith)
+		}
+
+	case asm.OpAdd, asm.OpSub, asm.OpIMul, asm.OpAnd, asm.OpOr, asm.OpXor, asm.OpNeg:
+		mc.useOp(&in.dst, in.size, c, sim.UseArith)
+		if in.op != asm.OpNeg {
+			mc.useOp(&in.src, in.size, c, sim.UseArith)
+		}
+
+	case asm.OpShl, asm.OpSar, asm.OpShr:
+		mc.useOp(&in.dst, in.size, c, sim.UseArith)
+		mc.useOp(&in.src, 8, c, sim.UseArith)
+
+	case asm.OpCqo:
+		mc.useReg(asm.RAX, in.size, c, sim.UseArith)
+
+	case asm.OpIDiv:
+		mc.useReg(asm.RAX, in.size, c, sim.UseDiv)
+		mc.useReg(asm.RDX, in.size, c, sim.UseDiv)
+		mc.useOp(&in.src, in.size, c, sim.UseDiv)
+
+	case asm.OpCmp, asm.OpTest:
+		mc.useOp(&in.dst, in.size, c, sim.UseCmp)
+		mc.useOp(&in.src, in.size, c, sim.UseCmp)
+
+	case asm.OpAddSD, asm.OpSubSD, asm.OpMulSD, asm.OpDivSD:
+		mc.useReg(in.dst.reg, 8, c, sim.UseArith)
+		mc.useOp(&in.src, 8, c, sim.UseArith)
+
+	case asm.OpUComiSD:
+		mc.useReg(in.dst.reg, 8, c, sim.UseCmp)
+		mc.useOp(&in.src, 8, c, sim.UseCmp)
+
+	case asm.OpSet, asm.OpJcc:
+		mc.useReg(asm.RFLAGS, 1, c, sim.UseBranch)
+
+	case asm.OpPush:
+		mc.useOp(&in.src, 8, c, sim.UseStoreVal)
+		mc.useReg(asm.RSP, 8, c, sim.UseAddr)
+
+	case asm.OpPop, asm.OpRet:
+		mc.useReg(asm.RSP, 8, c, sim.UseAddr)
+
+	case asm.OpCall:
+		if in.ext != rt.FuncNone {
+			// An external call's injectable destination is RSP, but the
+			// call never actually writes it: the "new" RSP def is the old
+			// value passing through. Record that identity read, or the old
+			// def looks dead while its faults persist to a later pop/ret.
+			mc.useReg(asm.RSP, 8, c, sim.UseArith)
+			mc.traceRuntimeArgs(in.ext, c)
+			return
+		}
+		mc.useReg(asm.RSP, 8, c, sim.UseAddr)
+	}
+}
+
+// traceRuntimeArgs records the argument-register reads of a runtime
+// call (the x86-ish calling convention the backend emits).
+func (mc *Machine) traceRuntimeArgs(f rt.Func, c int32) {
+	switch f {
+	case rt.FuncPrintI64, rt.FuncPrintChar:
+		mc.useReg(asm.RDI, 8, c, sim.UseOutput)
+	case rt.FuncPrintF64:
+		mc.useReg(asm.XMM0, 8, c, sim.UseOutput)
+	case rt.FuncCheckFail:
+	case rt.FuncPow:
+		mc.useReg(asm.XMM0, 8, c, sim.UseCallArg)
+		mc.useReg(asm.XMM1, 8, c, sim.UseCallArg)
+	default:
+		mc.useReg(asm.XMM0, 8, c, sim.UseCallArg)
+	}
+}

@@ -16,11 +16,12 @@ const (
 	StageLower    = "lower"
 	StageGolden   = "golden"
 	StageCampaign = "campaign"
+	StagePrune    = "prune"
 )
 
 var stageOrder = []string{
 	StageBuild, StageProfile, StageSelect, StageDup,
-	StageFlowery, StageLower, StageGolden, StageCampaign,
+	StageFlowery, StageLower, StageGolden, StageCampaign, StagePrune,
 }
 
 // StageTelemetry is one stage's cache counters. Keys counts distinct

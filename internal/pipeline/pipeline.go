@@ -74,6 +74,7 @@ type Pipeline struct {
 
 	simulated atomic.Int64
 	saved     atomic.Int64
+	pilots    atomic.Int64
 }
 
 // New returns an empty pipeline.
@@ -435,6 +436,13 @@ type CampaignOpts struct {
 	Snapshots int
 	// Backend selects the lowering configuration.
 	Backend backend.Config
+	// Pruning selects equivalence pruning (campaign.RunPruned). Pruned
+	// campaigns are distinct artifacts from full ones — they estimate the
+	// same statistics from different injections — so the mode and pilot
+	// count enter the key.
+	Pruning campaign.Pruning
+	// PilotsPerClass is campaign.Spec.PilotsPerClass (pruned mode only).
+	PilotsPerClass int
 }
 
 // Campaign runs (or recalls) a fault-injection campaign for the variant.
@@ -447,25 +455,35 @@ func (p *Pipeline) Campaign(src Source, v Variant, opts CampaignOpts) (campaign.
 	if runs <= 0 {
 		runs = p.cfg.Runs
 	}
+	stage := StageCampaign
 	key := fmt.Sprintf("campaign|%s|%s|gpr=%d|runs=%d|seed=%d|snap=%d|maxsteps=%d",
 		p.modKey(src, v), opts.Layer, opts.Backend.GPRScratch, runs, p.cfg.Seed, opts.Snapshots, p.cfg.MaxSteps)
-	val, err := p.cache.do(StageCampaign, key, func() (any, error) {
+	if opts.Pruning != campaign.PruneNone {
+		stage = StagePrune
+		key += fmt.Sprintf("|prune=%s|k=%d", opts.Pruning, opts.PilotsPerClass)
+	}
+	val, err := p.cache.do(stage, key, func() (any, error) {
 		factory, err := p.EngineFactory(src, v, opts.Layer, opts.Backend)
 		if err != nil {
 			return nil, err
 		}
 		st, err := campaign.Run(factory, campaign.Spec{
-			Runs:      runs,
-			Seed:      p.cfg.Seed,
-			MaxSteps:  p.cfg.MaxSteps,
-			Workers:   p.cfg.CampaignWorkers,
-			Snapshots: opts.Snapshots,
+			Runs:           runs,
+			Seed:           p.cfg.Seed,
+			MaxSteps:       p.cfg.MaxSteps,
+			Workers:        p.cfg.CampaignWorkers,
+			Snapshots:      opts.Snapshots,
+			Pruning:        opts.Pruning,
+			PilotsPerClass: opts.PilotsPerClass,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("pipeline: campaign %s: %w", key, err)
 		}
 		p.simulated.Add(st.SimulatedInstrs)
 		p.saved.Add(st.SavedInstrs)
+		if st.Pruned {
+			p.pilots.Add(int64(st.PilotRuns))
+		}
 		return st, nil
 	})
 	if err != nil {
@@ -482,6 +500,8 @@ type Telemetry struct {
 	// fast-forwarded instructions across every campaign miss.
 	SimulatedInstrs int64
 	SavedInstrs     int64
+	// PilotRuns totals the injections executed by pruned campaigns.
+	PilotRuns int64
 }
 
 // Telemetry returns the current counters.
@@ -490,6 +510,7 @@ func (p *Pipeline) Telemetry() Telemetry {
 		Stages:          p.cache.telemetry(),
 		SimulatedInstrs: p.simulated.Load(),
 		SavedInstrs:     p.saved.Load(),
+		PilotRuns:       p.pilots.Load(),
 	}
 }
 

@@ -210,6 +210,58 @@ func TestGolden(t *testing.T) {
 	}
 }
 
+// TestPrunedCampaignNode checks the pruned-campaign artifact: it lives
+// under its own stage, is keyed apart from the full campaign and by
+// pilot count, memoizes like any other node, and feeds the pilot-run
+// telemetry counter.
+func TestPrunedCampaignNode(t *testing.T) {
+	p := New(testCfg)
+	src := testSource(t)
+	v := RawVariant()
+
+	full, err := p.Campaign(src, v, CampaignOpts{Layer: LayerAsm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned, err := p.Campaign(src, v, CampaignOpts{
+		Layer: LayerAsm, Pruning: campaign.PruneClasses, PilotsPerClass: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Pruned || !pruned.Pruned {
+		t.Fatalf("pruned flags: full %v, pruned %v", full.Pruned, pruned.Pruned)
+	}
+	if pruned.Runs != full.Runs {
+		t.Fatalf("pruned extrapolates to %d runs, want %d", pruned.Runs, full.Runs)
+	}
+
+	// Repeat is a hit on the prune stage; a different pilot count is a new
+	// key; the full campaign stage is untouched by either.
+	if _, err := p.Campaign(src, v, CampaignOpts{
+		Layer: LayerAsm, Pruning: campaign.PruneClasses, PilotsPerClass: 3,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	pruned2, err := p.Campaign(src, v, CampaignOpts{
+		Layer: LayerAsm, Pruning: campaign.PruneClasses, PilotsPerClass: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := stageTel(t, p, StagePrune); st.Keys != 2 || st.Misses != 2 || st.Hits != 1 {
+		t.Fatalf("prune stage keys/misses/hits = %d/%d/%d, want 2/2/1",
+			st.Keys, st.Misses, st.Hits)
+	}
+	if st := stageTel(t, p, StageCampaign); st.Keys != 1 || st.Misses != 1 {
+		t.Fatalf("campaign stage keys/misses = %d/%d, want 1/1", st.Keys, st.Misses)
+	}
+	want := int64(pruned.PilotRuns + pruned2.PilotRuns) // cache hit adds nothing
+	if tel := p.Telemetry(); tel.PilotRuns != want {
+		t.Fatalf("pilot-run telemetry = %d, want %d", tel.PilotRuns, want)
+	}
+}
+
 // TestDisabledPipelineRecomputes checks the memoization-off mode used as
 // the pipebench baseline still produces identical campaign statistics.
 func TestDisabledPipelineRecomputes(t *testing.T) {

@@ -146,6 +146,102 @@ type Engine interface {
 	Run(f Fault, o Options) Result
 }
 
+// UseKind classifies how a traced value is consumed. The kinds are the
+// def-use facts the equivalence partitioner folds into a fault site's
+// signature (package equiv): two sites whose values reach the same
+// static consumers through the same kinds of uses are candidates for
+// the same class.
+type UseKind uint8
+
+const (
+	// UseArith: an arithmetic/logic/move operand.
+	UseArith UseKind = iota
+	// UseAddr: the value forms part of a memory address.
+	UseAddr
+	// UseStoreVal: the value is written to memory.
+	UseStoreVal
+	// UseBranch: the value decides a control-flow transfer.
+	UseBranch
+	// UseCmp: the value is an operand of a comparison. Kept distinct
+	// from UseArith because compare operands gate branches
+	// value-dependently, which matters for class sensitivity.
+	UseCmp
+	// UseCallArg: the value is passed to a callee.
+	UseCallArg
+	// UseRet: the value is returned to a caller.
+	UseRet
+	// UseDiv: the value is a divisor or dividend (can raise #DE).
+	UseDiv
+	// UseOutput: the value is printed (directly observable).
+	UseOutput
+
+	NumUseKinds = 9
+)
+
+func (k UseKind) String() string {
+	switch k {
+	case UseArith:
+		return "arith"
+	case UseAddr:
+		return "addr"
+	case UseStoreVal:
+		return "store"
+	case UseBranch:
+		return "branch"
+	case UseCmp:
+		return "cmp"
+	case UseCallArg:
+		return "callarg"
+	case UseRet:
+		return "ret"
+	case UseDiv:
+		return "div"
+	case UseOutput:
+		return "output"
+	default:
+		return "unknown"
+	}
+}
+
+// Tracer receives the def-use stream of a golden run. Engines call Def
+// exactly once per injectable destination, in the same order their
+// injection counter enumerates fault sites — the tracer numbers defs
+// itself, so def i corresponds to Fault.TargetIndex i+1. This ordering
+// contract is what lets a trace consumer map equivalence classes back
+// to injectable fault targets.
+//
+// The returned handle stays valid until Kill; a location overwritten by
+// a non-injectable ("anonymous") write whose result is data-dependent
+// on the old value keeps the old handle, so downstream influence keeps
+// accruing to the site that would feel a flip.
+type Tracer interface {
+	// Def records an injectable definition by static instruction
+	// static, of width bits, producing value. sensitive marks defs
+	// whose concrete value must partition classes regardless of use
+	// kinds (flags, return addresses).
+	Def(static int32, width uint8, value uint64, sensitive bool) (handle int64)
+	// Use records that the live value of a def flows into consumer
+	// (a static instruction index) through kind.
+	Use(handle int64, consumer int32, kind UseKind)
+	// Retain adds a reference to a def whose value was copied into a
+	// second live location (a call argument); each Retain needs a
+	// matching Kill.
+	Retain(handle int64)
+	// Kill releases one reference; the def's liveness window ends when
+	// the last reference is released.
+	Kill(handle int64)
+}
+
+// TraceEngine is the optional golden-run instrumentation capability
+// behind equivalence pruning. RunTraced must execute exactly like
+// Run(Fault{}, o) — same Result, same injectable enumeration — while
+// streaming def-use events to t. Callers type-assert; engines without
+// the capability simply cannot be pruned.
+type TraceEngine interface {
+	Engine
+	RunTraced(o Options, t Tracer) Result
+}
+
 // SnapshotEngine is the optional checkpoint/fast-forward capability: an
 // engine that can capture periodic snapshots of the golden run and start
 // a faulty run from the densest checkpoint below its injection point.

@@ -90,6 +90,56 @@ func clamp01(x float64) float64 {
 	return x
 }
 
+// Stratum is one stratum of a stratified binomial estimate (the
+// equivalence-pruned campaigns of package equiv): a subpopulation of
+// known weight sampled with its own pilot runs.
+type Stratum struct {
+	// Weight is the stratum's share of the population (weights should
+	// sum to 1).
+	Weight float64
+	// Hits and Total are the stratum's pilot outcomes.
+	Hits  int
+	Total int
+	// Exact marks strata whose rate Hits/Total is known a priori
+	// rather than estimated (provably-benign dead sites): they
+	// contribute zero sampling variance.
+	Exact bool
+}
+
+// StratifiedP is the stratified point estimate Σ wₕ·pₕ. It is unbiased
+// for the population rate whenever each stratum's pilots are drawn
+// uniformly from the stratum — within-stratum homogeneity affects only
+// the variance.
+func StratifiedP(strata []Stratum) float64 {
+	p := 0.0
+	for _, s := range strata {
+		if s.Total > 0 {
+			p += s.Weight * float64(s.Hits) / float64(s.Total)
+		}
+	}
+	return p
+}
+
+// StratifiedCI returns the stratified estimate with a confidence
+// interval at quantile z (use Z95). Per-stratum variance uses the
+// Laplace-smoothed rate (h+1)/(n+2), which keeps one-pilot strata from
+// claiming certainty; the interval is the normal approximation on the
+// summed variance, clamped to [0, 1].
+func StratifiedCI(strata []Stratum, z float64) (p, lo, hi float64) {
+	p = StratifiedP(strata)
+	v := 0.0
+	for _, s := range strata {
+		if s.Exact || s.Total == 0 {
+			continue
+		}
+		n := float64(s.Total)
+		ph := (float64(s.Hits) + 1) / (n + 2)
+		v += s.Weight * s.Weight * ph * (1 - ph) / n
+	}
+	se := math.Sqrt(v)
+	return p, clamp01(p - z*se), clamp01(p + z*se)
+}
+
 // Mean returns the arithmetic mean of xs (0 for empty input).
 func Mean(xs []float64) float64 {
 	if len(xs) == 0 {

@@ -20,3 +20,14 @@ go run ./cmd/experiments -only fig2 -bench crc32 -runs 40 -samples 120 -q \
 go run ./cmd/experiments -only fig2 -bench crc32 -runs 40 -samples 120 -q \
     -pipeline=false >"$tmpdir/serial.out"
 diff "$tmpdir/pipeline.out" "$tmpdir/serial.out"
+
+# Equivalence-pruning gate (DESIGN.md §10): a pruned campaign's SDC
+# estimate must land inside the full campaign's 95% Wilson interval on
+# every cross-validation row. prunebench marks misses inside_ci=false.
+go run ./cmd/experiments -only prunebench -bench crc32 -runs 2000 -q \
+    -json >"$tmpdir/prune.json"
+if grep -q '"inside_ci": false' "$tmpdir/prune.json"; then
+    echo "pruned SDC estimate outside the full campaign's 95% Wilson interval:" >&2
+    cat "$tmpdir/prune.json" >&2
+    exit 1
+fi
