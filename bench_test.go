@@ -242,6 +242,67 @@ func BenchmarkMachine(b *testing.B) {
 	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds()/1e6, "M-instrs/s")
 }
 
+// BenchmarkInterpThroughput measures IR interpreter throughput with the
+// reference loop pinned (ref) and with the compiled fast core (fast);
+// the ratio is the speedup recorded in BENCH_4.json (regenerate with
+// `go run ./cmd/experiments -only simbench -json`).
+func BenchmarkInterpThroughput(b *testing.B) {
+	bm := mustBench(b, "susan")
+	m := bm.Build()
+	ip := interp.New(m)
+	golden := ip.Run(sim.Fault{}, sim.Options{})
+	for _, mode := range []struct {
+		name string
+		ref  bool
+	}{
+		{"ref", true},
+		{"fast", false},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			opts := sim.Options{Reference: mode.ref}
+			var instrs int64
+			for i := 0; i < b.N; i++ {
+				ip.Run(sim.Fault{}, opts)
+				instrs += golden.DynInstrs
+			}
+			b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "instrs/s")
+		})
+	}
+}
+
+// BenchmarkMachineThroughput is BenchmarkInterpThroughput for the
+// assembly simulator.
+func BenchmarkMachineThroughput(b *testing.B) {
+	bm := mustBench(b, "susan")
+	m := bm.Build()
+	prog, err := backend.Lower(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mc, err := machine.New(m, prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	golden := mc.Run(sim.Fault{}, sim.Options{})
+	for _, mode := range []struct {
+		name string
+		ref  bool
+	}{
+		{"ref", true},
+		{"fast", false},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			opts := sim.Options{Reference: mode.ref}
+			var instrs int64
+			for i := 0; i < b.N; i++ {
+				mc.Run(sim.Fault{}, opts)
+				instrs += golden.DynInstrs
+			}
+			b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "instrs/s")
+		})
+	}
+}
+
 // BenchmarkCampaignSnapshot measures campaign throughput with checkpoint
 // fast-forwarding off (scratch) and on (snapshot) for the same spec; the
 // runs/s metrics are the headline quantity recorded in BENCH_1.json

@@ -18,6 +18,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -30,7 +32,7 @@ import (
 var validArtifacts = []string{
 	"all", "table1", "fig2", "fig3", "fig17", "overhead", "passtime",
 	"ablation", "pressure", "convergence", "campbench", "pipebench",
-	"prunebench",
+	"prunebench", "simbench",
 }
 
 func benchByName(n string) (bench.Benchmark, bool) { return bench.ByName(n) }
@@ -51,7 +53,34 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
 	pipelineOn := flag.Bool("pipeline", true, "serve artifacts from the memoized pipeline (false = legacy serial path)")
 	telemetry := flag.Bool("telemetry", false, "print per-stage pipeline cache/wall telemetry to stderr")
+	refcore := flag.Bool("refcore", false, "pin simulations to the engines' reference loops instead of the predecoded fast cores (bit-identical results, slower)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fail(err)
+			}
+		}()
+	}
 
 	valid := false
 	for _, a := range validArtifacts {
@@ -77,6 +106,7 @@ func main() {
 	}
 	cfg.Seed = *seed
 	cfg.Workers = *workers
+	cfg.Reference = *refcore
 
 	var names []string
 	if *benches != "" {
@@ -184,6 +214,32 @@ func main() {
 		}
 		fmt.Println(experiment.Convergence(results))
 		printTelemetry()
+		return
+
+	// The engine-throughput benchmark (reference loop vs predecoded fast
+	// core) intentionally runs both cores on identical inputs, so -refcore
+	// does not apply; with -json it emits the BENCH_4.json artifact.
+	case "simbench":
+		var perfs []experiment.SimPerf
+		for _, bm := range resolve([]string{"crc32", "susan"}) {
+			start := time.Now()
+			ps, err := experiment.RunSimBench(bm, cfg)
+			if err != nil {
+				fail(err)
+			}
+			perfs = append(perfs, ps...)
+			progress(bm.Name, time.Since(start))
+		}
+		if *jsonOut {
+			data, err := experiment.SimBenchJSON(perfs, cfg)
+			if err != nil {
+				fail(err)
+			}
+			os.Stdout.Write(data)
+			fmt.Println()
+			return
+		}
+		fmt.Println(experiment.SimBench(perfs))
 		return
 
 	// The campaign-throughput benchmark (scratch vs checkpoint

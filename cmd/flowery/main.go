@@ -22,6 +22,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"flowery/internal/asm"
 	"flowery/internal/backend"
@@ -36,10 +38,44 @@ import (
 )
 
 func main() {
-	if len(os.Args) < 2 {
+	// Global flags precede the subcommand: flowery -cpuprofile=cpu.out inject ...
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	flag.Usage = func() { usage() }
+	flag.Parse()
+	if flag.NArg() < 1 {
 		usage()
 	}
-	cmd, args := os.Args[1], os.Args[2:]
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "flowery:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "flowery:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "flowery:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "flowery:", err)
+				os.Exit(1)
+			}
+		}()
+	}
+
 	var err error
 	switch cmd {
 	case "list":
@@ -68,7 +104,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: flowery {list|ir|opt|protect|asm|run|inject} [flags] <benchmark|file.ir>")
+	fmt.Fprintln(os.Stderr, "usage: flowery [-cpuprofile f] [-memprofile f] {list|ir|opt|protect|asm|run|inject} [flags] <benchmark|file.ir>")
 	os.Exit(2)
 }
 

@@ -1,0 +1,123 @@
+package asm
+
+// Flag metadata shared by the two execution cores of the machine
+// simulator: the precomputed parity table both flag computations index
+// instead of counting bits, the lazy condition evaluators the predecoded
+// fast core uses to decide branches without materializing RFLAGS, and
+// the op→flags facts the predecoder's cmp+jcc fusion relies on (see
+// internal/machine and DESIGN.md §11).
+
+// PFTable maps the low result byte to its PF contribution: FlagPF when
+// the byte has even parity (x86 PF semantics), 0 otherwise.
+var PFTable = func() [256]uint64 {
+	var t [256]uint64
+	for b := 0; b < 256; b++ {
+		ones := 0
+		for i := 0; i < 8; i++ {
+			if b&(1<<i) != 0 {
+				ones++
+			}
+		}
+		if ones%2 == 0 {
+			t[b] = FlagPF
+		}
+	}
+	return t
+}()
+
+// widthMask returns the value mask for an operation width in bytes.
+func widthMask(size uint8) uint64 {
+	return ^uint64(0) >> (64 - 8*uint(size))
+}
+
+// EvalSub evaluates c directly against the operands of a cmp a,b at the
+// given width, without materializing a flags word. It is exactly
+// equivalent to Eval applied to the flags cmp would set: ZF ⇔ a=b,
+// CF ⇔ a<b unsigned, SF≠OF ⇔ a<b signed, PF from the low result byte.
+func (c Cond) EvalSub(a, b uint64, size uint8) bool {
+	mask := widthMask(size)
+	a &= mask
+	b &= mask
+	switch c {
+	case CondE:
+		return a == b
+	case CondNE:
+		return a != b
+	case CondB:
+		return a < b
+	case CondBE:
+		return a <= b
+	case CondA:
+		return a > b
+	case CondAE:
+		return a >= b
+	case CondP:
+		return PFTable[uint8(a-b)] != 0
+	case CondNP:
+		return PFTable[uint8(a-b)] == 0
+	}
+	sign := uint64(1) << (8*uint(size) - 1)
+	as := int64(a | -(a & sign)) // sign-extend from the operation width
+	bs := int64(b | -(b & sign))
+	switch c {
+	case CondL:
+		return as < bs
+	case CondLE:
+		return as <= bs
+	case CondG:
+		return as > bs
+	case CondGE:
+		return as >= bs
+	default:
+		return false
+	}
+}
+
+// EvalTest evaluates c directly against the result of a test (logic)
+// operation at the given width: OF=CF=0, so the signed and unsigned
+// condition families collapse onto ZF and SF.
+func (c Cond) EvalTest(r uint64, size uint8) bool {
+	r &= widthMask(size)
+	sf := r&(1<<(8*uint(size)-1)) != 0
+	switch c {
+	case CondE:
+		return r == 0
+	case CondNE:
+		return r != 0
+	case CondL:
+		return sf // SF != OF with OF=0
+	case CondLE:
+		return r == 0 || sf
+	case CondG:
+		return r != 0 && !sf
+	case CondGE:
+		return !sf
+	case CondB:
+		return false // CF=0
+	case CondBE:
+		return r == 0
+	case CondA:
+		return r != 0
+	case CondAE:
+		return true
+	case CondP:
+		return PFTable[uint8(r)] != 0
+	case CondNP:
+		return PFTable[uint8(r)] == 0
+	default:
+		return false
+	}
+}
+
+// WritesFlags reports whether the op defines RFLAGS. These are the ops a
+// predecoder may pair with a following flag consumer into a
+// superinstruction.
+func (o Op) WritesFlags() bool {
+	return o == OpCmp || o == OpTest || o == OpUComiSD
+}
+
+// ReadsFlags reports whether the op consumes RFLAGS — the points where a
+// lazily-recorded flag state must be evaluated (or materialized).
+func (o Op) ReadsFlags() bool {
+	return o == OpJcc || o == OpSet
+}

@@ -1,0 +1,121 @@
+package asm
+
+import (
+	"math/bits"
+	"testing"
+)
+
+// refSubFlags mirrors the machine simulator's setSubFlags (the semantic
+// reference the lazy evaluators must agree with).
+func refSubFlags(a, b uint64, size uint8) uint64 {
+	w := uint(size) * 8
+	mask := ^uint64(0) >> (64 - w)
+	a &= mask
+	b &= mask
+	r := (a - b) & mask
+	sign := uint64(1) << (w - 1)
+	var f uint64
+	if r == 0 {
+		f |= FlagZF
+	}
+	if r&sign != 0 {
+		f |= FlagSF
+	}
+	if ((a^b)&(a^r))&sign != 0 {
+		f |= FlagOF
+	}
+	if a < b {
+		f |= FlagCF
+	}
+	if bits.OnesCount8(uint8(r))%2 == 0 {
+		f |= FlagPF
+	}
+	return f
+}
+
+func refLogicFlags(r uint64, size uint8) uint64 {
+	w := uint(size) * 8
+	mask := ^uint64(0) >> (64 - w)
+	r &= mask
+	sign := uint64(1) << (w - 1)
+	var f uint64
+	if r == 0 {
+		f |= FlagZF
+	}
+	if r&sign != 0 {
+		f |= FlagSF
+	}
+	if bits.OnesCount8(uint8(r))%2 == 0 {
+		f |= FlagPF
+	}
+	return f
+}
+
+var allConds = []Cond{
+	CondE, CondNE, CondL, CondLE, CondG, CondGE,
+	CondB, CondBE, CondA, CondAE, CondP, CondNP,
+}
+
+// testValues exercises sign boundaries, carries, and parity at every
+// width.
+var testValues = []uint64{
+	0, 1, 2, 0x7f, 0x80, 0x81, 0xff, 0x100,
+	0x7fff_ffff, 0x8000_0000, 0xffff_ffff, 0x1_0000_0000,
+	0x7fff_ffff_ffff_ffff, 0x8000_0000_0000_0000, ^uint64(0),
+	0x0123_4567_89ab_cdef, 0xdead_beef_dead_beef,
+}
+
+func TestPFTable(t *testing.T) {
+	for b := 0; b < 256; b++ {
+		want := uint64(0)
+		if bits.OnesCount8(uint8(b))%2 == 0 {
+			want = FlagPF
+		}
+		if PFTable[b] != want {
+			t.Fatalf("PFTable[%#x] = %#x, want %#x", b, PFTable[b], want)
+		}
+	}
+}
+
+func TestEvalSubMatchesMaterializedFlags(t *testing.T) {
+	for _, size := range []uint8{1, 4, 8} {
+		for _, a := range testValues {
+			for _, b := range testValues {
+				flags := refSubFlags(a, b, size)
+				for _, c := range allConds {
+					if got, want := c.EvalSub(a, b, size), c.Eval(flags); got != want {
+						t.Fatalf("cond %v size %d: EvalSub(%#x, %#x) = %v, materialized = %v",
+							c, size, a, b, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestEvalTestMatchesMaterializedFlags(t *testing.T) {
+	for _, size := range []uint8{1, 4, 8} {
+		for _, r := range testValues {
+			flags := refLogicFlags(r, size)
+			for _, c := range allConds {
+				if got, want := c.EvalTest(r, size), c.Eval(flags); got != want {
+					t.Fatalf("cond %v size %d: EvalTest(%#x) = %v, materialized = %v",
+						c, size, r, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestFlagsMetadata(t *testing.T) {
+	for op := OpInvalid; op <= OpLabel; op++ {
+		wantW := op == OpCmp || op == OpTest || op == OpUComiSD
+		if op.WritesFlags() != wantW {
+			t.Fatalf("%v.WritesFlags() = %v", op, !wantW)
+		}
+		wantR := op == OpJcc || op == OpSet
+		if op.ReadsFlags() != wantR {
+			t.Fatalf("%v.ReadsFlags() = %v", op, !wantR)
+		}
+	}
+}

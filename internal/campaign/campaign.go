@@ -112,6 +112,11 @@ type Spec struct {
 	// strata by class weight (equiv.BuildPlan). Only meaningful (and
 	// required) with PruneClasses.
 	PilotsPerClass int
+	// Reference pins every run to the engines' reference interpretation
+	// loop instead of their predecoded fast cores. Statistics are
+	// bit-identical either way; the knob exists for equivalence gating
+	// and for measuring the fast cores' speedup.
+	Reference bool
 }
 
 // Validate rejects nonsensical specs up front with a descriptive error,
@@ -345,7 +350,7 @@ func Run(factory EngineFactory, spec Spec) (Stats, error) {
 		engines[i] = e
 	}
 
-	golden := engines[0].Run(sim.Fault{}, sim.Options{MaxSteps: spec.MaxSteps})
+	golden := engines[0].Run(sim.Fault{}, sim.Options{MaxSteps: spec.MaxSteps, Reference: spec.Reference})
 	if golden.Status != sim.StatusOK {
 		return Stats{}, fmt.Errorf("campaign: golden run failed: %v (%v)", golden.Status, golden.Trap)
 	}
@@ -431,10 +436,10 @@ func executeFaults(engines []sim.Engine, spec Spec, golden sim.Result, goldenOut
 		go func() {
 			defer wg.Done()
 			eng := engines[w]
-			opts := sim.Options{MaxSteps: maxSteps}
+			opts := sim.Options{MaxSteps: maxSteps, Reference: spec.Reference}
 			se, _ := eng.(sim.SnapshotEngine)
 			if se != nil && interval > 0 {
-				g := se.BuildSnapshots(interval, sim.Options{MaxSteps: spec.MaxSteps})
+				g := se.BuildSnapshots(interval, sim.Options{MaxSteps: spec.MaxSteps, Reference: spec.Reference})
 				simulated[w] += g.DynInstrs
 				if g.Status != sim.StatusOK {
 					se = nil // engine degraded; fall back to scratch runs

@@ -54,7 +54,7 @@ func RunPruned(factory EngineFactory, spec Spec) (Stats, error) {
 	// the site-heterogeneity variance.
 	rules.MaxSample = 256
 	col := equiv.NewCollector(rules)
-	golden := te.RunTraced(sim.Options{MaxSteps: spec.MaxSteps}, col)
+	golden := te.RunTraced(sim.Options{MaxSteps: spec.MaxSteps, Reference: spec.Reference}, col)
 	if golden.Status != sim.StatusOK {
 		return Stats{}, fmt.Errorf("campaign: golden run failed: %v (%v)", golden.Status, golden.Trap)
 	}

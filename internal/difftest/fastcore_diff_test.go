@@ -1,0 +1,148 @@
+// Fast-core differential tests: the predecoded fast execution cores
+// (machine micro-ops, interp specialized closures) must produce results
+// bit-identical to the reference interpretation loops — on golden runs,
+// under injected faults, and when restored from snapshots. Every field
+// of sim.Result participates: the campaign statistics the evaluation
+// reports are built from Status/Trap/Injected*/counts, so any drift here
+// would silently corrupt the paper's numbers.
+package difftest
+
+import (
+	"fmt"
+	"testing"
+
+	"flowery/internal/backend"
+	"flowery/internal/interp"
+	"flowery/internal/ir"
+	"flowery/internal/machine"
+	"flowery/internal/progen"
+	"flowery/internal/sim"
+)
+
+// assertResultIdentical demands full bit-identity between a reference-core
+// and a fast-core result of the same engine.
+func assertResultIdentical(t *testing.T, label string, ref, fast sim.Result) {
+	t.Helper()
+	if ref.Status != fast.Status || ref.Trap != fast.Trap {
+		t.Fatalf("%s: status ref=%v(%v) fast=%v(%v)", label, ref.Status, ref.Trap, fast.Status, fast.Trap)
+	}
+	if string(ref.Output) != string(fast.Output) {
+		t.Fatalf("%s: outputs differ\nref:  %q\nfast: %q", label, ref.Output, fast.Output)
+	}
+	if ref.RetVal != fast.RetVal {
+		t.Fatalf("%s: return values differ: %d vs %d", label, ref.RetVal, fast.RetVal)
+	}
+	if ref.DynInstrs != fast.DynInstrs || ref.InjectableInstrs != fast.InjectableInstrs {
+		t.Fatalf("%s: counters differ: dyn %d vs %d, injectable %d vs %d",
+			label, ref.DynInstrs, fast.DynInstrs, ref.InjectableInstrs, fast.InjectableInstrs)
+	}
+	if ref.Injected != fast.Injected || ref.InjectedStatic != fast.InjectedStatic ||
+		ref.InjectedOrigin != fast.InjectedOrigin || ref.InjectedChecker != fast.InjectedChecker {
+		t.Fatalf("%s: injection metadata differs: (%v,%d,%v,%v) vs (%v,%d,%v,%v)",
+			label, ref.Injected, ref.InjectedStatic, ref.InjectedOrigin, ref.InjectedChecker,
+			fast.Injected, fast.InjectedStatic, fast.InjectedOrigin, fast.InjectedChecker)
+	}
+}
+
+// engines lowers m and returns both engines. Lower must run before either
+// engine is constructed (it may extend the module's global section).
+func engines(t *testing.T, m *ir.Module) (*interp.Interp, *machine.Machine) {
+	t.Helper()
+	prog, err := backend.Lower(m)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	mc, err := machine.New(m, prog)
+	if err != nil {
+		t.Fatalf("machine: %v", err)
+	}
+	return interp.New(m), mc
+}
+
+// probeFaults spreads a handful of fault specifications across the run's
+// injectable range, varying the flipped bit so low- and high-half flips,
+// sign bits, and sub-width bits are all exercised.
+func probeFaults(injectable int64) []sim.Fault {
+	if injectable <= 0 {
+		return nil
+	}
+	targets := []int64{1, injectable / 4, injectable / 2, (3 * injectable) / 4, injectable}
+	bits := []int{0, 7, 31, 63, 15}
+	var faults []sim.Fault
+	seen := make(map[int64]bool)
+	for i, tgt := range targets {
+		if tgt < 1 || seen[tgt] {
+			continue
+		}
+		seen[tgt] = true
+		faults = append(faults, sim.Fault{TargetIndex: tgt, Bit: bits[i%len(bits)]})
+	}
+	return faults
+}
+
+// TestFastCoreGoldenAndFaultedEquivalent runs random programs on both
+// engines under both cores: golden first, then probe faults spread over
+// the injectable range, including one past-the-end fault (must not fire
+// on either core).
+func TestFastCoreGoldenAndFaultedEquivalent(t *testing.T) {
+	for seed := int64(0); seed < int64(seeds(t)); seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			m := progen.Generate(seed, progen.DefaultConfig())
+			ip, mc := engines(t, m)
+			for _, eng := range []struct {
+				name string
+				e    sim.Engine
+			}{{"interp", ip}, {"machine", mc}} {
+				ref := eng.e.Run(sim.Fault{}, sim.Options{Reference: true})
+				fast := eng.e.Run(sim.Fault{}, sim.Options{})
+				assertResultIdentical(t, fmt.Sprintf("seed %d %s golden", seed, eng.name), ref, fast)
+
+				faults := probeFaults(ref.InjectableInstrs)
+				// Past-the-end fault: must report Injected=false identically.
+				faults = append(faults, sim.Fault{TargetIndex: ref.InjectableInstrs + 1, Bit: 3})
+				for _, f := range faults {
+					fr := eng.e.Run(f, sim.Options{Reference: true})
+					ff := eng.e.Run(f, sim.Options{})
+					assertResultIdentical(t,
+						fmt.Sprintf("seed %d %s fault@%d bit %d", seed, eng.name, f.TargetIndex, f.Bit), fr, ff)
+				}
+			}
+		})
+	}
+}
+
+// TestFastCoreSnapshotRestoreEquivalent builds snapshots (always captured
+// on the reference loop) and replays faulted runs from checkpoints under
+// both cores. Each restored result must also match the from-scratch run,
+// so the fast core composes with fast-forwarding without drift.
+func TestFastCoreSnapshotRestoreEquivalent(t *testing.T) {
+	n := seeds(t) / 2
+	for seed := int64(0); seed < int64(n); seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			m := progen.Generate(seed, progen.DefaultConfig())
+			ip, mc := engines(t, m)
+			for _, eng := range []struct {
+				name string
+				e    sim.SnapshotEngine
+			}{{"interp", ip}, {"machine", mc}} {
+				golden := eng.e.BuildSnapshots(64, sim.Options{})
+				if golden.Status != sim.StatusOK {
+					continue // no snapshots kept; nothing to restore from
+				}
+				for _, f := range probeFaults(golden.InjectableInstrs) {
+					label := fmt.Sprintf("seed %d %s restore@%d bit %d", seed, eng.name, f.TargetIndex, f.Bit)
+					rr, _ := eng.e.RunFrom(f, sim.Options{Reference: true})
+					rf, _ := eng.e.RunFrom(f, sim.Options{})
+					assertResultIdentical(t, label, rr, rf)
+					scratch := eng.e.Run(f, sim.Options{})
+					assertResultIdentical(t, label+" vs scratch", scratch, rf)
+				}
+				eng.e.DropSnapshots()
+			}
+		})
+	}
+}

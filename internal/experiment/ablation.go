@@ -80,7 +80,7 @@ func asmCampaign(m *ir.Module, cfg Config) (campaign.Stats, error) {
 		return campaign.Stats{}, err
 	}
 	return campaign.Run(func() (sim.Engine, error) { return machine.New(m, prog) },
-		campaign.Spec{Runs: cfg.Runs, Seed: cfg.Seed, Workers: cfg.Workers})
+		campaign.Spec{Runs: cfg.Runs, Seed: cfg.Seed, Workers: cfg.Workers, Reference: cfg.Reference})
 }
 
 // Ablation renders the per-patch coverage and residual-SDC-origin table.

@@ -73,7 +73,7 @@ func RunCampaignPerf(bm bench.Benchmark, cfg Config) ([]CampaignPerf, error) {
 }
 
 func measureCampaignPerf(name, layer string, protect bool, f campaign.EngineFactory, cfg Config) (CampaignPerf, error) {
-	base := campaign.Spec{Runs: cfg.Runs, Seed: cfg.Seed, Workers: cfg.Workers}
+	base := campaign.Spec{Runs: cfg.Runs, Seed: cfg.Seed, Workers: cfg.Workers, Reference: cfg.Reference}
 
 	scratchSpec := base
 	scratchSpec.Snapshots = -1

@@ -56,7 +56,7 @@ func RunConvergence(bm bench.Benchmark, cfg Config) (*ConvergenceResult, error) 
 	}
 
 	for _, runs := range ConvergenceSizes {
-		spec := campaign.Spec{Runs: runs, Seed: cfg.Seed, Workers: cfg.Workers}
+		spec := campaign.Spec{Runs: runs, Seed: cfg.Seed, Workers: cfg.Workers, Reference: cfg.Reference}
 		rawStats, err := campaign.Run(func() (sim.Engine, error) { return machine.New(raw, rawProg) }, spec)
 		if err != nil {
 			return nil, err

@@ -45,6 +45,12 @@ type Config struct {
 	// PilotsPerClass is the pruned campaigns' average per-class pilot
 	// budget (0 = DefaultPilotsPerClass when Pruning is enabled).
 	PilotsPerClass int
+	// Reference pins every simulated run to the engines' reference
+	// interpretation loop instead of their predecoded fast cores
+	// (sim.Options.Reference). Results are bit-identical; only the wall
+	// clock changes. Exposed as cmd/experiments -refcore for the ci.sh
+	// core-equivalence gate.
+	Reference bool
 }
 
 // DefaultPilotsPerClass is the pilot budget pruned campaigns use when
@@ -198,6 +204,7 @@ func measure(m *ir.Module, cfg Config) (LevelStats, error) {
 	spec := campaign.Spec{
 		Runs: cfg.Runs, Seed: cfg.Seed, Workers: cfg.Workers,
 		Pruning: cfg.Pruning, PilotsPerClass: cfg.PilotsPerClass,
+		Reference: cfg.Reference,
 	}
 
 	irStats, err := campaign.Run(func() (sim.Engine, error) {

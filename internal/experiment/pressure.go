@@ -56,7 +56,7 @@ func RunPressure(bm bench.Benchmark, cfg Config) (*PressureResult, error) {
 			return nil, err
 		}
 		rawStats, err := campaign.Run(func() (sim.Engine, error) { return machine.New(raw, rawProg) },
-			campaign.Spec{Runs: cfg.Runs, Seed: cfg.Seed, Workers: cfg.Workers})
+			campaign.Spec{Runs: cfg.Runs, Seed: cfg.Seed, Workers: cfg.Workers, Reference: cfg.Reference})
 		if err != nil {
 			return nil, err
 		}
@@ -70,7 +70,7 @@ func RunPressure(bm bench.Benchmark, cfg Config) (*PressureResult, error) {
 			return nil, err
 		}
 		stats, err := campaign.Run(func() (sim.Engine, error) { return machine.New(prot, prog) },
-			campaign.Spec{Runs: cfg.Runs, Seed: cfg.Seed, Workers: cfg.Workers})
+			campaign.Spec{Runs: cfg.Runs, Seed: cfg.Seed, Workers: cfg.Workers, Reference: cfg.Reference})
 		if err != nil {
 			return nil, err
 		}

@@ -54,6 +54,7 @@ func newStudy(cfg Config, disabled bool) *Study {
 		// way (campaign's scheduling-independence contract).
 		CampaignWorkers: 1,
 		Disabled:        disabled,
+		Reference:       cfg.Reference,
 	}
 	if par == 1 {
 		// No fan-out to feed — give the one campaign at a time the full

@@ -36,6 +36,7 @@ type cinstr struct {
 	blocks [2]int32 // successor block indices
 	callee *cfunc   // for OpCall
 	orig   *ir.Instr
+	fn     fastFn // specialized closure for the fast core; nil = control flow
 }
 
 // cblock is a compiled basic block.
@@ -138,6 +139,7 @@ func compile(m *ir.Module) (map[*ir.Function]*cfunc, []*ir.Instr) {
 				if in.Callee != nil {
 					ci.callee = funcs[in.Callee]
 				}
+				ci.fn = fastCompile(&ci)
 				cb.instrs = append(cb.instrs, ci)
 			}
 		}

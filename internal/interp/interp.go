@@ -32,6 +32,7 @@ type Interp struct {
 	injStatic int32
 	profile   []int64
 	profiling bool
+	refCore   bool // pin this run to the reference loop (opts.Reference)
 	retVal    uint64
 	minTouch  int64 // lowest stack address used since last reset
 	spVal     int64
@@ -111,6 +112,7 @@ func (ip *Interp) Run(fault Fault, opts Options) Result {
 	if opts.Profile {
 		ip.profile = make([]int64, len(ip.gInstrs))
 	}
+	ip.refCore = opts.Reference
 
 	return ip.finish(true)
 }
@@ -135,7 +137,14 @@ func (ip *Interp) finish(fresh bool) Result {
 		if fresh {
 			ip.pushFrame(ip.main, nil)
 		}
-		ip.retVal = ip.run()
+		// Loop selection, once per run: any instrumentation (profiling,
+		// def-use tracing, snapshot capture) or an explicit Reference
+		// request pins the run to the reference loop.
+		if ip.refCore || ip.snapCapture || ip.profiling || ip.tr != nil {
+			ip.retVal = ip.run()
+		} else {
+			ip.retVal = ip.runFast()
+		}
 	}()
 
 	res.Output = append([]byte(nil), ip.out...)

@@ -92,6 +92,7 @@ func (ip *Interp) RunFrom(fault Fault, opts Options) (res Result, skipped int64)
 	ip.injectAt = fault.TargetIndex
 	ip.injectBit = fault.Bit
 	ip.profiling = false
+	ip.refCore = opts.Reference
 	return ip.finish(false), s.steps
 }
 

@@ -3,7 +3,6 @@ package machine
 import (
 	"fmt"
 	"math"
-	"math/bits"
 
 	"flowery/internal/asm"
 	"flowery/internal/ir"
@@ -59,6 +58,18 @@ type Machine struct {
 	regDef     [asm.NumRegs]int64
 	regUnder   [asm.NumRegs]int64
 	regDefBits [asm.NumRegs]uint8
+
+	// Predecoded fast core (see predecode.go / fastexec.go). uops is the
+	// micro-op array parallel to code, built on the first uninstrumented
+	// run; refCore pins a run to the reference loop. flagKind and the
+	// flag operands are the lazy RFLAGS state — regs[RFLAGS] is stale
+	// while flagKind is lazy and materializeFlags rebuilds it on demand.
+	uops     []uop
+	refCore  bool
+	flagKind flagKind
+	flagA    uint64
+	flagB    uint64
+	flagSize uint8
 }
 
 // EnableTrace records the last n executed instruction indices; DumpTrace
@@ -146,6 +157,7 @@ func (mc *Machine) Run(fault sim.Fault, opts sim.Options) sim.Result {
 	}
 	mc.injectAt = fault.TargetIndex
 	mc.injectBit = fault.Bit
+	mc.refCore = opts.Reference
 	return mc.finish()
 }
 
@@ -166,7 +178,14 @@ func (mc *Machine) finish() sim.Result {
 				panic(p)
 			}
 		}()
-		mc.exec()
+		if mc.fastOK() {
+			if mc.uops == nil {
+				mc.predecode()
+			}
+			mc.execFast()
+		} else {
+			mc.exec()
+		}
 	}()
 
 	res.Output = append([]byte(nil), mc.out...)
@@ -199,6 +218,7 @@ func (mc *Machine) reset() {
 	mc.injStatic = -1
 	mc.injOrigin = asm.OriginNone
 	mc.injCheck = false
+	mc.flagKind = flagsConcrete
 	if mc.snapCapture {
 		mc.snaps = mc.snaps[:0]
 		mc.nextSnapAt = mc.snapInterval
@@ -366,9 +386,7 @@ func setSubFlags(a, b uint64, size uint8) uint64 {
 	if a < b {
 		f |= asm.FlagCF
 	}
-	if bits.OnesCount8(uint8(r))%2 == 0 {
-		f |= asm.FlagPF
-	}
+	f |= asm.PFTable[uint8(r)]
 	return f
 }
 
@@ -385,9 +403,7 @@ func setLogicFlags(r uint64, size uint8) uint64 {
 	if r&sign != 0 {
 		f |= asm.FlagSF
 	}
-	if bits.OnesCount8(uint8(r))%2 == 0 {
-		f |= asm.FlagPF
-	}
+	f |= asm.PFTable[uint8(r)]
 	return f
 }
 
@@ -422,6 +438,10 @@ func (mc *Machine) maybeInject(in *minstr) {
 	mc.injCheck = in.checker
 	r := in.destReg
 	if r == asm.RFLAGS {
+		// Under the fast core the flag state may still be lazy; the flip
+		// must land on architectural flags, so materialize first (a no-op
+		// on the reference core, where flags are always concrete).
+		mc.materializeFlags()
 		flag := asm.DefinedFlags[mc.injectBit%len(asm.DefinedFlags)]
 		mc.regs[asm.RFLAGS] ^= flag
 		return

@@ -1,0 +1,292 @@
+package machine
+
+import (
+	"flowery/internal/asm"
+	"flowery/internal/rt"
+)
+
+// Predecoding for the fast execution core (DESIGN.md §11). The linked
+// code array is translated once into a parallel micro-op array: uops[i]
+// executes code[i], so every jump target, return address, and snapshot
+// pc remains a valid entry point. Each micro-op carries its operand form
+// resolved into a kind (reg-reg, reg-imm, reg-mem, ...) so the hot loop
+// indexes registers directly instead of re-dispatching on operand kind,
+// and adjacent cmp/test + jcc pairs additionally get a fused
+// superinstruction at the compare's slot (the jcc keeps its own plain
+// micro-op at its original index, so jumping into the middle of a fused
+// pair still works).
+
+type uopKind uint8
+
+const (
+	// uGeneric executes code[pc] with reference operand dispatch
+	// (readOp/writeDst); the catch-all for rare operand shapes.
+	uGeneric uopKind = iota
+
+	uMovRR   // reg ← reg
+	uMovRI   // reg ← imm
+	uMovLoad // reg ← [ea]
+	uMovStR  // [ea] ← reg
+	uMovStI  // [ea] ← imm
+
+	uMovSXR
+	uMovSXLoad
+	uMovZXR
+	uMovZXLoad
+	uLea
+
+	uAluRR   // dst reg ←op← src reg
+	uAluRI   // dst reg ←op← imm
+	uAluLoad // dst reg ←op← [ea]
+	uShiftRI
+	uShiftRR
+	uNeg
+	uCqo
+	uIDiv
+
+	uCmpRR // lazy flag record
+	uCmpRI
+	uCmpLoad
+	uTestRR
+	uTestRI
+	uFuseCmpRR // cmp/test + jcc superinstructions
+	uFuseCmpRI
+	uFuseTestRR
+	uFuseTestRI
+
+	uSet
+	uJmp
+	uJcc
+	uCall
+	uCallExt
+	uRet
+	uPushR
+	uPushI
+	uPop
+
+	uSSERR   // addsd/subsd/mulsd/divsd, xmm src
+	uSSELoad // same, memory src
+	uUComiRR
+	uUComiLoad
+)
+
+// uop is one predecoded micro-op. base/index/scale/disp describe the
+// single memory operand a specialized kind may have (source or
+// destination, depending on the kind); in points back to the linked
+// instruction for injection metadata and the generic path.
+type uop struct {
+	kind   uopKind
+	op     asm.Op
+	size   uint8
+	cond   asm.Cond
+	dst    asm.Reg
+	src    asm.Reg
+	base   asm.Reg
+	index  asm.Reg
+	scale  int64
+	disp   int64
+	imm    int64
+	target int32
+	ext    rt.Func
+	in     *minstr
+}
+
+// ea computes a micro-op's effective address. regs[RegNone] is always
+// zero (reset zeroes it and no instruction can write it), so absent
+// base/index registers contribute nothing without a branch.
+func (mc *Machine) ea(u *uop) int64 {
+	return u.disp + int64(mc.regs[u.base]) + int64(mc.regs[u.index])*u.scale
+}
+
+// memFields copies an operand's effective-address shape into the uop.
+func (u *uop) memFields(o *mop) {
+	u.base = o.reg
+	u.index = o.index
+	u.scale = o.scale
+	u.disp = o.imm
+}
+
+// predecode builds the micro-op array. It never fails: shapes without a
+// specialized kind fall back to uGeneric, which executes the linked
+// instruction through the reference operand path.
+func (mc *Machine) predecode() {
+	uops := make([]uop, len(mc.code))
+	for i := range mc.code {
+		in := &mc.code[i]
+		u := &uops[i]
+		u.op = in.op
+		u.size = in.size
+		u.cond = in.cond
+		u.target = in.target
+		u.ext = in.ext
+		u.in = in
+
+		dk, sk := in.dst.kind, in.src.kind
+		switch in.op {
+		case asm.OpMov, asm.OpMovSD:
+			// movsd is mov at size 8 between xmm registers and memory.
+			if in.op == asm.OpMovSD {
+				u.size = 8
+			}
+			switch {
+			case dk == asm.OperandReg && sk == asm.OperandReg:
+				u.kind, u.dst, u.src = uMovRR, in.dst.reg, in.src.reg
+			case dk == asm.OperandReg && sk == asm.OperandImm:
+				u.kind, u.dst, u.imm = uMovRI, in.dst.reg, in.src.imm
+			case dk == asm.OperandReg && sk == asm.OperandMem:
+				u.kind, u.dst = uMovLoad, in.dst.reg
+				u.memFields(&in.src)
+			case dk == asm.OperandMem && sk == asm.OperandReg:
+				u.kind, u.src = uMovStR, in.src.reg
+				u.memFields(&in.dst)
+			case dk == asm.OperandMem && sk == asm.OperandImm:
+				u.kind, u.imm = uMovStI, in.src.imm
+				u.memFields(&in.dst)
+			}
+
+		case asm.OpMovSX, asm.OpMovZX:
+			r, l := uMovSXR, uMovSXLoad
+			if in.op == asm.OpMovZX {
+				r, l = uMovZXR, uMovZXLoad
+			}
+			switch sk {
+			case asm.OperandReg:
+				u.kind, u.dst, u.src = r, in.dst.reg, in.src.reg
+			case asm.OperandMem:
+				u.kind, u.dst = l, in.dst.reg
+				u.memFields(&in.src)
+			}
+
+		case asm.OpLea:
+			u.kind, u.dst = uLea, in.dst.reg
+			u.memFields(&in.src)
+
+		case asm.OpAdd, asm.OpSub, asm.OpIMul, asm.OpAnd, asm.OpOr, asm.OpXor:
+			if dk != asm.OperandReg {
+				break // memory destination: generic
+			}
+			switch sk {
+			case asm.OperandReg:
+				u.kind, u.dst, u.src = uAluRR, in.dst.reg, in.src.reg
+			case asm.OperandImm:
+				u.kind, u.dst, u.imm = uAluRI, in.dst.reg, in.src.imm
+			case asm.OperandMem:
+				u.kind, u.dst = uAluLoad, in.dst.reg
+				u.memFields(&in.src)
+			}
+
+		case asm.OpShl, asm.OpSar, asm.OpShr:
+			if dk != asm.OperandReg {
+				break
+			}
+			switch sk {
+			case asm.OperandImm:
+				u.kind, u.dst, u.imm = uShiftRI, in.dst.reg, in.src.imm
+			case asm.OperandReg:
+				u.kind, u.dst, u.src = uShiftRR, in.dst.reg, in.src.reg
+			}
+
+		case asm.OpNeg:
+			if dk == asm.OperandReg {
+				u.kind, u.dst = uNeg, in.dst.reg
+			}
+
+		case asm.OpCqo:
+			u.kind = uCqo
+		case asm.OpIDiv:
+			u.kind = uIDiv // operand read stays generic inside idiv
+
+		case asm.OpCmp:
+			switch {
+			case dk == asm.OperandReg && sk == asm.OperandReg:
+				u.kind, u.dst, u.src = uCmpRR, in.dst.reg, in.src.reg
+			case dk == asm.OperandReg && sk == asm.OperandImm:
+				u.kind, u.dst, u.imm = uCmpRI, in.dst.reg, in.src.imm
+			case dk == asm.OperandReg && sk == asm.OperandMem:
+				u.kind, u.dst = uCmpLoad, in.dst.reg
+				u.memFields(&in.src)
+			}
+
+		case asm.OpTest:
+			switch {
+			case dk == asm.OperandReg && sk == asm.OperandReg:
+				u.kind, u.dst, u.src = uTestRR, in.dst.reg, in.src.reg
+			case dk == asm.OperandReg && sk == asm.OperandImm:
+				u.kind, u.dst, u.imm = uTestRI, in.dst.reg, in.src.imm
+			}
+
+		case asm.OpSet:
+			u.kind, u.dst = uSet, in.dst.reg
+
+		case asm.OpAddSD, asm.OpSubSD, asm.OpMulSD, asm.OpDivSD:
+			switch sk {
+			case asm.OperandReg:
+				u.kind, u.dst, u.src = uSSERR, in.dst.reg, in.src.reg
+			case asm.OperandMem:
+				u.kind, u.dst = uSSELoad, in.dst.reg
+				u.memFields(&in.src)
+			}
+
+		case asm.OpUComiSD:
+			switch sk {
+			case asm.OperandReg:
+				u.kind, u.dst, u.src = uUComiRR, in.dst.reg, in.src.reg
+			case asm.OperandMem:
+				u.kind, u.dst = uUComiLoad, in.dst.reg
+				u.memFields(&in.src)
+			}
+
+		case asm.OpJmp:
+			u.kind = uJmp
+		case asm.OpJcc:
+			u.kind = uJcc
+		case asm.OpCall:
+			if in.ext != rt.FuncNone {
+				u.kind = uCallExt
+			} else {
+				u.kind = uCall
+			}
+		case asm.OpRet:
+			u.kind = uRet
+		case asm.OpPush:
+			switch sk {
+			case asm.OperandReg:
+				u.kind, u.src = uPushR, in.src.reg
+			case asm.OperandImm:
+				u.kind, u.imm = uPushI, in.src.imm
+			}
+		case asm.OpPop:
+			if dk == asm.OperandReg {
+				u.kind, u.dst = uPop, in.dst.reg
+			}
+		}
+	}
+
+	// Fusion pass: a lazily-evaluable cmp/test immediately followed by a
+	// jcc becomes a branch superinstruction at the compare's slot. The
+	// jcc's own micro-op is untouched — control flow entering at i+1
+	// (jump targets, snapshot restores, corrupted returns) executes it
+	// standalone against whatever flag state is live.
+	for i := 0; i+1 < len(uops); i++ {
+		if !mc.code[i].op.WritesFlags() || mc.code[i+1].op != asm.OpJcc {
+			continue
+		}
+		var fused uopKind
+		switch uops[i].kind {
+		case uCmpRR:
+			fused = uFuseCmpRR
+		case uCmpRI:
+			fused = uFuseCmpRI
+		case uTestRR:
+			fused = uFuseTestRR
+		case uTestRI:
+			fused = uFuseTestRI
+		default:
+			continue
+		}
+		uops[i].kind = fused
+		uops[i].cond = mc.code[i+1].cond
+		uops[i].target = mc.code[i+1].target
+	}
+	mc.uops = uops
+}

@@ -71,6 +71,7 @@ func (mc *Machine) RunFrom(fault sim.Fault, opts sim.Options) (res sim.Result, s
 	}
 	mc.injectAt = fault.TargetIndex
 	mc.injectBit = fault.Bit
+	mc.refCore = opts.Reference
 	return mc.finish(), s.steps
 }
 
@@ -146,4 +147,7 @@ func (mc *Machine) restore(s *mSnapshot) {
 	mc.injStatic = -1
 	mc.injOrigin = asm.OriginNone
 	mc.injCheck = false
+	// Snapshots are captured on the reference loop, where regs[RFLAGS] is
+	// always architectural — the restored flag state is concrete.
+	mc.flagKind = flagsConcrete
 }

@@ -64,6 +64,12 @@ type Config struct {
 	// chain. Used to measure what the cache buys (cmd/experiments
 	// -only pipebench) and to model the legacy per-artifact cost.
 	Disabled bool
+	// Reference pins every simulated run to the engines' reference
+	// interpretation loop (campaign.Spec.Reference / sim.Options.
+	// Reference). Outcomes are bit-identical either way; it enters
+	// artifact keys anyway so equivalence gates comparing the two cores
+	// never coalesce their campaigns.
+	Reference bool
 }
 
 // Pipeline owns the artifact cache. One Pipeline per study/process; all
@@ -412,7 +418,7 @@ func (p *Pipeline) Golden(src Source, v Variant, layer Layer, bcfg backend.Confi
 		if err != nil {
 			return nil, err
 		}
-		res := eng.Run(sim.Fault{}, sim.Options{MaxSteps: p.cfg.MaxSteps})
+		res := eng.Run(sim.Fault{}, sim.Options{MaxSteps: p.cfg.MaxSteps, Reference: p.cfg.Reference})
 		if res.Status != sim.StatusOK {
 			return nil, fmt.Errorf("pipeline: golden %s: %v (%v)", key, res.Status, res.Trap)
 		}
@@ -456,8 +462,8 @@ func (p *Pipeline) Campaign(src Source, v Variant, opts CampaignOpts) (campaign.
 		runs = p.cfg.Runs
 	}
 	stage := StageCampaign
-	key := fmt.Sprintf("campaign|%s|%s|gpr=%d|runs=%d|seed=%d|snap=%d|maxsteps=%d",
-		p.modKey(src, v), opts.Layer, opts.Backend.GPRScratch, runs, p.cfg.Seed, opts.Snapshots, p.cfg.MaxSteps)
+	key := fmt.Sprintf("campaign|%s|%s|gpr=%d|runs=%d|seed=%d|snap=%d|maxsteps=%d|ref=%t",
+		p.modKey(src, v), opts.Layer, opts.Backend.GPRScratch, runs, p.cfg.Seed, opts.Snapshots, p.cfg.MaxSteps, p.cfg.Reference)
 	if opts.Pruning != campaign.PruneNone {
 		stage = StagePrune
 		key += fmt.Sprintf("|prune=%s|k=%d", opts.Pruning, opts.PilotsPerClass)
@@ -475,6 +481,7 @@ func (p *Pipeline) Campaign(src Source, v Variant, opts CampaignOpts) (campaign.
 			Snapshots:      opts.Snapshots,
 			Pruning:        opts.Pruning,
 			PilotsPerClass: opts.PilotsPerClass,
+			Reference:      p.cfg.Reference,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("pipeline: campaign %s: %w", key, err)

@@ -103,6 +103,11 @@ type Options struct {
 	// Profile enables per-static-instruction execution counts where the
 	// engine supports them.
 	Profile bool
+	// Reference forces the engine's reference interpretation loop even
+	// when its predecoded fast core could serve the run. Results are
+	// bit-identical either way; the knob exists so equivalence gates can
+	// measure one core against the other.
+	Reference bool
 }
 
 // DefaultMaxSteps is the per-run dynamic instruction budget. Golden runs

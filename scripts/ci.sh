@@ -21,6 +21,16 @@ go run ./cmd/experiments -only fig2 -bench crc32 -runs 40 -samples 120 -q \
     -pipeline=false >"$tmpdir/serial.out"
 diff "$tmpdir/pipeline.out" "$tmpdir/serial.out"
 
+# Core-equivalence gate (DESIGN.md §11): the same campaigns executed on
+# the predecoded fast cores and pinned to the reference loops must render
+# bit-identical artifacts — fast-core drift in any outcome count, origin
+# attribution, or golden counter shows up as a diff here.
+go run ./cmd/experiments -only fig2 -bench crc32 -runs 40 -samples 120 -q \
+    -refcore=false >"$tmpdir/fastcore.out"
+go run ./cmd/experiments -only fig2 -bench crc32 -runs 40 -samples 120 -q \
+    -refcore=true >"$tmpdir/refcore.out"
+diff "$tmpdir/fastcore.out" "$tmpdir/refcore.out"
+
 # Equivalence-pruning gate (DESIGN.md §10): a pruned campaign's SDC
 # estimate must land inside the full campaign's 95% Wilson interval on
 # every cross-validation row. prunebench marks misses inside_ci=false.
