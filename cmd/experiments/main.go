@@ -7,6 +7,8 @@
 //	experiments -runs 3000           # the paper's campaign size
 //	experiments -telemetry           # print pipeline cache counters
 //	experiments -pipeline=false      # legacy serial path (no memoization)
+//	experiments -only results -metrics out.json -trace trace.json
+//	                                 # compute results, emit telemetry only
 //
 // All artifacts are served by one memoized artifact pipeline (DESIGN.md
 // §9), so overlapping campaigns are executed once no matter how many
@@ -26,13 +28,14 @@ import (
 
 	"flowery/internal/bench"
 	"flowery/internal/experiment"
+	"flowery/internal/telemetry"
 )
 
 // validArtifacts is every value -only accepts.
 var validArtifacts = []string{
 	"all", "table1", "fig2", "fig3", "fig17", "overhead", "passtime",
 	"ablation", "pressure", "convergence", "campbench", "pipebench",
-	"prunebench", "simbench",
+	"prunebench", "simbench", "results",
 }
 
 func benchByName(n string) (bench.Benchmark, bool) { return bench.ByName(n) }
@@ -52,10 +55,12 @@ func main() {
 	quiet := flag.Bool("q", false, "suppress progress output")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
 	pipelineOn := flag.Bool("pipeline", true, "serve artifacts from the memoized pipeline (false = legacy serial path)")
-	telemetry := flag.Bool("telemetry", false, "print per-stage pipeline cache/wall telemetry to stderr")
+	telemetryFlag := flag.Bool("telemetry", false, "print per-stage pipeline cache/wall telemetry to stderr")
 	refcore := flag.Bool("refcore", false, "pin simulations to the engines' reference loops instead of the predecoded fast cores (bit-identical results, slower)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	metricsOut := flag.String("metrics", "", "write the telemetry run report to this file (JSON, or Prometheus text when the path ends in .prom)")
+	traceOut := flag.String("trace", "", "write the telemetry span tree to this file (JSON)")
 	flag.Parse()
 
 	if *cpuprofile != "" {
@@ -107,6 +112,9 @@ func main() {
 	cfg.Seed = *seed
 	cfg.Workers = *workers
 	cfg.Reference = *refcore
+	if *metricsOut != "" || *traceOut != "" {
+		cfg.Telemetry = telemetry.New()
+	}
 
 	var names []string
 	if *benches != "" {
@@ -126,10 +134,23 @@ func main() {
 		study = experiment.NewStudy(cfg)
 	}
 	printTelemetry := func() {
-		if *telemetry && study != nil {
+		if *telemetryFlag && study != nil {
 			fmt.Fprint(os.Stderr, study.Telemetry().String())
 		}
 	}
+	// Every artifact path below returns through this: close the study's
+	// root span and render the -metrics/-trace artifacts.
+	defer func() {
+		if cfg.Telemetry == nil {
+			return
+		}
+		if study != nil {
+			study.Finish()
+		}
+		if err := telemetry.WriteFiles(cfg.Telemetry, *metricsOut, *traceOut); err != nil {
+			fail(err)
+		}
+	}()
 
 	// resolve maps -bench names (with a per-artifact default) to
 	// benchmarks up front, so typos fail before any campaign runs.

@@ -35,18 +35,35 @@ import (
 	"flowery/internal/opt"
 	"flowery/internal/pipeline"
 	"flowery/internal/sim"
+	"flowery/internal/telemetry"
+)
+
+// telemetryReg and telemetryRoot are the run's registry and root trace
+// span when the global -metrics/-trace flags ask for telemetry; every
+// subcommand's pipeline reports into them (see protection.pipelineConfig).
+var (
+	telemetryReg  *telemetry.Registry
+	telemetryRoot *telemetry.Span
 )
 
 func main() {
 	// Global flags precede the subcommand: flowery -cpuprofile=cpu.out inject ...
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	metricsOut := flag.String("metrics", "", "write the telemetry run report to this file (JSON, or Prometheus text when the path ends in .prom)")
+	traceOut := flag.String("trace", "", "write the telemetry span tree to this file (JSON)")
 	flag.Usage = func() { usage() }
 	flag.Parse()
 	if flag.NArg() < 1 {
 		usage()
 	}
 	cmd, args := flag.Arg(0), flag.Args()[1:]
+
+	if *metricsOut != "" || *traceOut != "" {
+		telemetryReg = telemetry.New()
+		telemetryRoot = telemetryReg.StartSpan(nil, "study")
+		telemetryRoot.SetAttr("cmd", cmd)
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -96,6 +113,14 @@ func main() {
 		err = cmdInject(args)
 	default:
 		usage()
+	}
+	if telemetryReg != nil {
+		telemetryRoot.End()
+		// A failed subcommand still renders what it collected; its error
+		// stays the one reported.
+		if werr := telemetry.WriteFiles(telemetryReg, *metricsOut, *traceOut); err == nil {
+			err = werr
+		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "flowery:", err)
@@ -207,6 +232,8 @@ func (p protection) pipelineConfig(runs int) pipeline.Config {
 		Runs:           runs,
 		ProfileSamples: *p.samples,
 		Seed:           *p.seed,
+		Telemetry:      telemetryReg,
+		Span:           telemetryRoot,
 	}
 }
 
@@ -336,7 +363,7 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
-	res := eng.Run(sim.Fault{}, sim.Options{})
+	res := eng.Run(sim.Fault{}, sim.Options{Metrics: telemetryReg})
 	os.Stdout.Write(res.Output)
 	fmt.Fprintf(os.Stderr, "status=%v trap=%v ret=%d dynamic=%d injectable=%d\n",
 		res.Status, res.Trap, res.RetVal, res.DynInstrs, res.InjectableInstrs)

@@ -16,12 +16,14 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"flowery/internal/asm"
 	"flowery/internal/sim"
 	"flowery/internal/stats"
+	"flowery/internal/telemetry"
 )
 
 // Outcome classifies one injection run.
@@ -117,6 +119,15 @@ type Spec struct {
 	// bit-identical either way; the knob exists for equivalence gating
 	// and for measuring the fast cores' speedup.
 	Reference bool
+	// Metrics, when non-nil, receives campaign telemetry — run/outcome
+	// counters, snapshot build/restore tallies, per-worker injection
+	// throughput gauges, pruning tallies — and is forwarded to the
+	// engines via sim.Options. Like Stats' perf fields, it is excluded
+	// from the determinism guarantees and from pipeline cache keys.
+	Metrics *telemetry.Registry
+	// TraceSpan, when non-nil, parents the campaign's trace spans
+	// (golden run, per-worker batches, engine runs) in Metrics' registry.
+	TraceSpan *telemetry.Span
 }
 
 // Validate rejects nonsensical specs up front with a descriptive error,
@@ -350,7 +361,10 @@ func Run(factory EngineFactory, spec Spec) (Stats, error) {
 		engines[i] = e
 	}
 
-	golden := engines[0].Run(sim.Fault{}, sim.Options{MaxSteps: spec.MaxSteps, Reference: spec.Reference})
+	gs := spec.Metrics.StartSpan(spec.TraceSpan, "campaign.golden")
+	golden := engines[0].Run(sim.Fault{}, sim.Options{MaxSteps: spec.MaxSteps, Reference: spec.Reference, Metrics: spec.Metrics})
+	gs.SetIntAttr("injectable", golden.InjectableInstrs)
+	gs.End()
 	if golden.Status != sim.StatusOK {
 		return Stats{}, fmt.Errorf("campaign: golden run failed: %v (%v)", golden.Status, golden.Trap)
 	}
@@ -384,7 +398,31 @@ func Run(factory EngineFactory, spec Spec) (Stats, error) {
 		}
 	}
 	total.Elapsed = time.Since(start)
+	flushStats(spec.Metrics, total)
 	return total, nil
+}
+
+// flushStats records a finished campaign's aggregates in reg (nil-safe).
+// For pruned campaigns the outcome counters carry the extrapolated
+// Counts (scaled to Runs); the prune_* counters carry the exact
+// injection work.
+func flushStats(reg *telemetry.Registry, total Stats) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("campaign_runs_total").Add(int64(total.Runs))
+	for o := Outcome(0); o < NumOutcomes; o++ {
+		if n := total.Counts[o]; n > 0 {
+			reg.Counter(`campaign_outcomes_total{outcome="` + o.String() + `"}`).Add(int64(n))
+		}
+	}
+	reg.Counter("campaign_instrs_simulated_total").Add(total.SimulatedInstrs)
+	reg.Counter("campaign_instrs_saved_total").Add(total.SavedInstrs)
+	if total.Pruned {
+		reg.Counter("campaign_prune_pilot_runs_total").Add(int64(total.PilotRuns))
+		reg.Counter("campaign_prune_classes_total").Add(int64(total.Classes))
+		reg.Counter("campaign_prune_dead_sites_total").Add(total.DeadSites)
+	}
 }
 
 // executeFaults runs one faulty execution per fault across a worker pool
@@ -436,18 +474,29 @@ func executeFaults(engines []sim.Engine, spec Spec, golden sim.Result, goldenOut
 		go func() {
 			defer wg.Done()
 			eng := engines[w]
-			opts := sim.Options{MaxSteps: maxSteps, Reference: spec.Reference}
+			reg := spec.Metrics
+			bs := reg.StartSpan(spec.TraceSpan, "campaign.batch")
+			bs.SetIntAttr("worker", int64(w))
+			bs.SetIntAttr("jobs", int64(len(batches[w])))
+			var bstart time.Time
+			if reg != nil {
+				bstart = time.Now()
+			}
+			opts := sim.Options{MaxSteps: maxSteps, Reference: spec.Reference, Metrics: reg}
 			se, _ := eng.(sim.SnapshotEngine)
 			if se != nil && interval > 0 {
-				g := se.BuildSnapshots(interval, sim.Options{MaxSteps: spec.MaxSteps, Reference: spec.Reference})
+				g := se.BuildSnapshots(interval, sim.Options{MaxSteps: spec.MaxSteps, Reference: spec.Reference, Metrics: reg})
 				simulated[w] += g.DynInstrs
+				reg.Counter("campaign_snapshot_builds_total").Inc()
 				if g.Status != sim.StatusOK {
 					se = nil // engine degraded; fall back to scratch runs
 				}
 			} else {
 				se = nil
 			}
+			var restores int64
 			for _, j := range batches[w] {
+				rs := reg.StartSpan(bs, "engine.run")
 				var res sim.Result
 				var skipped int64
 				if se != nil {
@@ -457,12 +506,26 @@ func executeFaults(engines []sim.Engine, spec Spec, golden sim.Result, goldenOut
 				}
 				simulated[w] += res.DynInstrs - skipped
 				saved[w] += skipped
+				if skipped > 0 {
+					restores++
+				}
 				o := classify(res, goldenOut)
 				outcomes[j.run] = runOutcome{o, res.InjectedOrigin}
+				rs.SetAttr("outcome", o.String())
+				rs.End()
 			}
 			if se != nil {
 				se.DropSnapshots()
 			}
+			if reg != nil {
+				reg.Counter("campaign_snapshot_restores_total").Add(restores)
+				if el := time.Since(bstart).Seconds(); el > 0 {
+					reg.Gauge(`campaign_worker_injections_per_sec{worker="`+strconv.Itoa(w)+`"}`).
+						Set(float64(len(batches[w])) / el)
+				}
+				reg.Histogram("campaign_batch_seconds").Observe(time.Since(bstart))
+			}
+			bs.End()
 		}()
 	}
 	wg.Wait()

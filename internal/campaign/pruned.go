@@ -54,7 +54,11 @@ func RunPruned(factory EngineFactory, spec Spec) (Stats, error) {
 	// the site-heterogeneity variance.
 	rules.MaxSample = 256
 	col := equiv.NewCollector(rules)
-	golden := te.RunTraced(sim.Options{MaxSteps: spec.MaxSteps, Reference: spec.Reference}, col)
+	gs := spec.Metrics.StartSpan(spec.TraceSpan, "campaign.golden")
+	gs.SetAttr("traced", "true")
+	golden := te.RunTraced(sim.Options{MaxSteps: spec.MaxSteps, Reference: spec.Reference, Metrics: spec.Metrics}, col)
+	gs.SetIntAttr("injectable", golden.InjectableInstrs)
+	gs.End()
 	if golden.Status != sim.StatusOK {
 		return Stats{}, fmt.Errorf("campaign: golden run failed: %v (%v)", golden.Status, golden.Trap)
 	}
@@ -158,6 +162,7 @@ func RunPruned(factory EngineFactory, spec Spec) (Stats, error) {
 	origins := apportion(originW[:], total.Counts[OutcomeSDC])
 	copy(total.SDCByOrigin[:], origins)
 	total.Elapsed = time.Since(start)
+	flushStats(spec.Metrics, total)
 	return total, nil
 }
 

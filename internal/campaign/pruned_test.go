@@ -10,6 +10,7 @@ import (
 	"flowery/internal/ir"
 	"flowery/internal/machine"
 	"flowery/internal/sim"
+	"flowery/internal/telemetry"
 )
 
 func lowerFactory(m *ir.Module) EngineFactory {
@@ -28,7 +29,12 @@ func TestSpecValidate(t *testing.T) {
 	}{
 		{"ok plain", Spec{Runs: 10}, ""},
 		{"ok pruned", Spec{Runs: 10, Pruning: PruneClasses, PilotsPerClass: 3}, ""},
+		{"ok max pilots", Spec{Runs: 10, Pruning: PruneClasses, PilotsPerClass: MaxPilotsPerClass}, ""},
 		{"ok snapshots off", Spec{Runs: 10, Snapshots: SnapshotsOff}, ""},
+		// Telemetry fields never affect validity (they are observers, not
+		// campaign parameters).
+		{"ok telemetry", Spec{Runs: 10, Metrics: telemetry.New()}, ""},
+		{"telemetry does not mask errors", Spec{Runs: 0, Metrics: telemetry.New()}, "Runs must be positive"},
 		{"zero runs", Spec{Runs: 0}, "Runs must be positive"},
 		{"negative runs", Spec{Runs: -5}, "Runs must be positive"},
 		{"negative maxsteps", Spec{Runs: 10, MaxSteps: -1}, "MaxSteps"},
@@ -39,18 +45,20 @@ func TestSpecValidate(t *testing.T) {
 		{"bad mode", Spec{Runs: 10, Pruning: Pruning(9)}, "unknown pruning mode"},
 	}
 	for _, c := range cases {
-		err := c.spec.Validate()
-		if c.frag == "" {
-			if err != nil {
-				t.Errorf("%s: unexpected error: %v", c.name, err)
+		t.Run(c.name, func(t *testing.T) {
+			err := c.spec.Validate()
+			if c.frag == "" {
+				if err != nil {
+					t.Errorf("unexpected error: %v", err)
+				}
+				return
 			}
-			continue
-		}
-		if err == nil {
-			t.Errorf("%s: expected error containing %q, got nil", c.name, c.frag)
-		} else if !strings.Contains(err.Error(), c.frag) {
-			t.Errorf("%s: error %q does not mention %q", c.name, err, c.frag)
-		}
+			if err == nil {
+				t.Errorf("expected error containing %q, got nil", c.frag)
+			} else if !strings.Contains(err.Error(), c.frag) {
+				t.Errorf("error %q does not mention %q", err, c.frag)
+			}
+		})
 	}
 }
 

@@ -1,0 +1,102 @@
+// Native fuzz targets over the progen differential properties: the
+// fuzzer mutates (seed, fault) tuples instead of raw bytes, so every
+// input is a well-formed random program plus a fault specification. The
+// committed corpus under testdata/fuzz/ replays deterministically in
+// plain `go test ./...`; `go test -fuzz FuzzFastCoreDiff` (or FuzzDupDiff)
+// explores beyond it.
+package difftest
+
+import (
+	"fmt"
+	"testing"
+
+	"flowery/internal/dup"
+	"flowery/internal/interp"
+	"flowery/internal/progen"
+	"flowery/internal/sim"
+)
+
+// FuzzFastCoreDiff fuzzes the fast-core bit-identity contract: for any
+// generated program and any fault, the predecoded fast cores of both
+// engines must return results identical to their reference loops. target
+// and bit are folded into the program's injectable range (plus one
+// past-the-end slot, which must report Injected=false on both cores).
+func FuzzFastCoreDiff(f *testing.F) {
+	f.Add(int64(0), uint64(1), uint8(0))
+	f.Add(int64(7), uint64(1<<40), uint8(63))
+	f.Add(int64(23), uint64(3), uint8(31))
+	f.Fuzz(func(t *testing.T, seed int64, target uint64, bit uint8) {
+		m := progen.Generate(seed, progen.DefaultConfig())
+		ip, mc := engines(t, m)
+		for _, eng := range []struct {
+			name string
+			e    sim.Engine
+		}{{"interp", ip}, {"machine", mc}} {
+			ref := eng.e.Run(sim.Fault{}, sim.Options{Reference: true})
+			fast := eng.e.Run(sim.Fault{}, sim.Options{})
+			assertResultIdentical(t, fmt.Sprintf("seed %d %s golden", seed, eng.name), ref, fast)
+
+			// Fold the fuzzed fault into [1, injectable+1]: every index is a
+			// real site except the last, which must not fire on either core.
+			fault := sim.Fault{
+				TargetIndex: 1 + int64(target%uint64(ref.InjectableInstrs+1)),
+				Bit:         int(bit % 64),
+			}
+			fr := eng.e.Run(fault, sim.Options{Reference: true})
+			ff := eng.e.Run(fault, sim.Options{})
+			assertResultIdentical(t,
+				fmt.Sprintf("seed %d %s fault@%d bit %d", seed, eng.name, fault.TargetIndex, fault.Bit), fr, ff)
+		}
+	})
+}
+
+// dupFuzzLevels are the protection levels FuzzDupDiff cycles through;
+// 1.0 takes the ApplyFull path, the rest go through profile + knapsack
+// selection like the evaluation does.
+var dupFuzzLevels = []dup.Level{dup.Level30, dup.Level50, dup.Level70, dup.Level100}
+
+// FuzzDupDiff fuzzes the duplication soundness property: a protected
+// program must be fault-free equivalent to the original at both layers,
+// at any protection level.
+func FuzzDupDiff(f *testing.F) {
+	f.Add(int64(0), uint8(3))
+	f.Add(int64(5), uint8(0))
+	f.Add(int64(11), uint8(2))
+	f.Fuzz(func(t *testing.T, seed int64, levelIdx uint8) {
+		level := dupFuzzLevels[int(levelIdx)%len(dupFuzzLevels)]
+
+		orig := progen.Generate(seed, progen.DefaultConfig())
+		base := interp.New(orig).Run(sim.Fault{}, sim.Options{})
+
+		prot := progen.Generate(seed, progen.DefaultConfig())
+		if level >= dup.Level100 {
+			if err := dup.ApplyFull(prot); err != nil {
+				t.Fatalf("seed %d: apply full: %v", seed, err)
+			}
+		} else {
+			if base.Status != sim.StatusOK {
+				// Partial protection profiles the golden run; a trapping
+				// baseline has nothing to profile. Full duplication above
+				// still covers these seeds.
+				t.Skip("baseline traps; partial protection needs a profile")
+			}
+			profile, err := dup.BuildProfile(orig, dup.ProfileOptions{Samples: 200, Seed: seed})
+			if err != nil {
+				t.Fatalf("seed %d: profile: %v", seed, err)
+			}
+			if err := dup.Apply(prot, dup.Select(profile, level)); err != nil {
+				t.Fatalf("seed %d level %v: %v", seed, level, err)
+			}
+		}
+		if err := prot.Verify(); err != nil {
+			t.Fatalf("seed %d level %v: protected module does not verify: %v", seed, level, err)
+		}
+
+		ri, rm := runBoth(t, prot)
+		if ri.Status != base.Status || string(ri.Output) != string(base.Output) {
+			t.Fatalf("seed %d level %v: protected run differs from baseline:\nbase: %v %q\nprot: %v %q",
+				seed, level, base.Status, base.Output, ri.Status, ri.Output)
+		}
+		assertEquivalent(t, seed, ri, rm)
+	})
+}

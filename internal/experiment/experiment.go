@@ -19,6 +19,7 @@ import (
 	"flowery/internal/ir"
 	"flowery/internal/machine"
 	"flowery/internal/sim"
+	"flowery/internal/telemetry"
 )
 
 // Levels are the protection levels evaluated throughout the paper.
@@ -51,6 +52,11 @@ type Config struct {
 	// clock changes. Exposed as cmd/experiments -refcore for the ci.sh
 	// core-equivalence gate.
 	Reference bool
+	// Telemetry, when non-nil, is the registry the whole study reports
+	// into: pipeline stage counters and spans, campaign counters, engine
+	// run metrics. Wired from cmd/experiments -metrics/-trace and
+	// cmd/flowery; nil keeps every layer on the no-op sink.
+	Telemetry *telemetry.Registry
 }
 
 // DefaultPilotsPerClass is the pilot budget pruned campaigns use when
@@ -205,6 +211,7 @@ func measure(m *ir.Module, cfg Config) (LevelStats, error) {
 		Runs: cfg.Runs, Seed: cfg.Seed, Workers: cfg.Workers,
 		Pruning: cfg.Pruning, PilotsPerClass: cfg.PilotsPerClass,
 		Reference: cfg.Reference,
+		Metrics:   cfg.Telemetry,
 	}
 
 	irStats, err := campaign.Run(func() (sim.Engine, error) {

@@ -1,0 +1,138 @@
+// Telemetry overhead guard: engine metrics flush once per run (never
+// per instruction), and a nil registry is the no-op sink, so golden-run
+// throughput must be indistinguishable with telemetry disabled, and
+// within noise of it when enabled. The benchmarks report both modes;
+// TestTelemetryOverheadGuard (ci.sh tier 2) asserts they agree within
+// 2%, which bounds the no-op sink's cost from above — the enabled path
+// strictly supersets the disabled one's work.
+
+package experiment
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"flowery/internal/backend"
+	"flowery/internal/bench"
+	"flowery/internal/machine"
+	"flowery/internal/sim"
+	"flowery/internal/telemetry"
+)
+
+// overheadEngine builds the asm engine for the same benchmark simbench
+// leads with, so the guard watches the throughput the evaluation reports.
+func overheadEngine(tb testing.TB) sim.Engine {
+	tb.Helper()
+	bm, ok := bench.ByName("crc32")
+	if !ok {
+		tb.Fatal("crc32 benchmark missing")
+	}
+	m := bm.Build()
+	prog, err := backend.Lower(m)
+	if err != nil {
+		tb.Fatalf("lower: %v", err)
+	}
+	mc, err := machine.New(m, prog)
+	if err != nil {
+		tb.Fatalf("machine: %v", err)
+	}
+	return mc
+}
+
+func benchmarkGoldenRuns(b *testing.B, opts sim.Options) {
+	eng := overheadEngine(b)
+	if r := eng.Run(sim.Fault{}, opts); r.Status != sim.StatusOK { // warmup pays predecode
+		b.Fatalf("golden run failed: %v", r.Status)
+	}
+	var instrs int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		instrs += eng.Run(sim.Fault{}, opts).DynInstrs
+	}
+	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "instrs/s")
+}
+
+// BenchmarkTelemetryDisabled is engine throughput on the no-op sink
+// (nil registry) — the default every caller gets without -metrics/-trace.
+func BenchmarkTelemetryDisabled(b *testing.B) {
+	benchmarkGoldenRuns(b, sim.Options{})
+}
+
+// BenchmarkTelemetryEnabled is the same workload reporting into a live
+// registry. Compare against BenchmarkTelemetryDisabled.
+func BenchmarkTelemetryEnabled(b *testing.B) {
+	benchmarkGoldenRuns(b, sim.Options{Metrics: telemetry.New()})
+}
+
+// overheadRate is one median-of-alternating-samples throughput figure,
+// the same estimator simbench uses (throughput).
+func overheadRate(eng sim.Engine, opts sim.Options) float64 {
+	sample := func() float64 {
+		start := time.Now()
+		var instrs int64
+		for time.Since(start) < simBenchSample {
+			instrs += eng.Run(sim.Fault{}, opts).DynInstrs
+		}
+		return float64(instrs) / time.Since(start).Seconds()
+	}
+	samples := make([]float64, 0, simBenchReps)
+	for i := 0; i < simBenchReps; i++ {
+		samples = append(samples, sample())
+	}
+	return median(samples)
+}
+
+// TestTelemetryOverheadGuard fails if disabled- and enabled-telemetry
+// throughput diverge by more than 2%. Timing-sensitive, so it only runs
+// when TELEMETRY_OVERHEAD_GUARD=1 (ci.sh sets it in tier 2) and retries
+// before declaring a regression.
+func TestTelemetryOverheadGuard(t *testing.T) {
+	if os.Getenv("TELEMETRY_OVERHEAD_GUARD") == "" {
+		t.Skip("set TELEMETRY_OVERHEAD_GUARD=1 to run the timing guard")
+	}
+	eng := overheadEngine(t)
+	disabled := sim.Options{}
+	enabled := sim.Options{Metrics: telemetry.New()}
+	eng.Run(sim.Fault{}, disabled)
+	eng.Run(sim.Fault{}, enabled)
+
+	const tolerance = 0.98
+	const attempts = 3
+	var verdicts []string
+	for a := 1; a <= attempts; a++ {
+		// Alternate the measurement order across attempts so a warmup or
+		// drift bias cannot systematically favor one mode.
+		var off, on float64
+		if a%2 == 1 {
+			off, on = overheadRate(eng, disabled), overheadRate(eng, enabled)
+		} else {
+			on, off = overheadRate(eng, enabled), overheadRate(eng, disabled)
+		}
+		lo, hi := off, on
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		verdict := fmt.Sprintf("attempt %d: disabled %.1f MI/s, enabled %.1f MI/s (ratio %.4f)",
+			a, off/1e6, on/1e6, lo/hi)
+		if lo >= tolerance*hi {
+			t.Log(verdict)
+			return
+		}
+		verdicts = append(verdicts, verdict)
+	}
+	t.Fatalf("telemetry overhead above 2%% in all %d attempts:\n%s",
+		attempts, joinLines(verdicts))
+}
+
+func joinLines(ss []string) string {
+	out := ""
+	for i, s := range ss {
+		if i > 0 {
+			out += "\n"
+		}
+		out += s
+	}
+	return out
+}

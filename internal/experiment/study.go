@@ -13,6 +13,7 @@ import (
 	"flowery/internal/dup"
 	"flowery/internal/flowery"
 	"flowery/internal/pipeline"
+	"flowery/internal/telemetry"
 )
 
 // Study is the pipeline-backed experiment driver: every experiment
@@ -27,8 +28,9 @@ import (
 // pipeline's bounded-parallel scheduler; results are assembled in input
 // order, so output is deterministic regardless of scheduling.
 type Study struct {
-	cfg Config
-	p   *pipeline.Pipeline
+	cfg  Config
+	p    *pipeline.Pipeline
+	root *telemetry.Span // the study's root trace span (nil without telemetry)
 
 	mu      sync.Mutex
 	results map[string][]*BenchResult
@@ -44,6 +46,7 @@ func newStudy(cfg Config, disabled bool) *Study {
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
 	}
+	root := cfg.Telemetry.StartSpan(nil, "study")
 	pcfg := pipeline.Config{
 		Runs:           cfg.Runs,
 		ProfileSamples: cfg.ProfileSamples,
@@ -55,14 +58,21 @@ func newStudy(cfg Config, disabled bool) *Study {
 		CampaignWorkers: 1,
 		Disabled:        disabled,
 		Reference:       cfg.Reference,
+		Telemetry:       cfg.Telemetry,
+		Span:            root,
 	}
 	if par == 1 {
 		// No fan-out to feed — give the one campaign at a time the full
 		// worker budget instead.
 		pcfg.CampaignWorkers = cfg.Workers
 	}
-	return &Study{cfg: cfg, p: pipeline.New(pcfg), results: make(map[string][]*BenchResult)}
+	return &Study{cfg: cfg, p: pipeline.New(pcfg), root: root, results: make(map[string][]*BenchResult)}
 }
+
+// Finish ends the study's root trace span. Call it once, after the last
+// experiment and before rendering the telemetry report; it is a no-op
+// without telemetry.
+func (s *Study) Finish() { s.root.End() }
 
 // Config returns the study's (defaults-filled) configuration.
 func (s *Study) Config() Config { return s.cfg }

@@ -3,10 +3,12 @@ package interp
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"flowery/internal/ir"
 	"flowery/internal/rt"
 	"flowery/internal/sim"
+	"flowery/internal/telemetry"
 )
 
 // Interp executes one module. An Interp is not safe for concurrent use;
@@ -55,6 +57,21 @@ type Interp struct {
 	dataHi       int64
 	snaps        []snapshot
 	goldenOut    []byte
+
+	// Run-boundary telemetry (see telemetry.EngineMetrics). met is the
+	// cached handle bundle for metReg; flushed once per run in finish.
+	met    *telemetry.EngineMetrics
+	metReg *telemetry.Registry
+}
+
+// setMetrics rebinds the run-boundary flush target. Handles are
+// resolved only when the registry changes, so steady-state runs pay a
+// single pointer compare here.
+func (ip *Interp) setMetrics(r *telemetry.Registry) {
+	if r != ip.metReg {
+		ip.metReg = r
+		ip.met = telemetry.NewEngineMetrics(r, "ir")
+	}
 }
 
 // trapPanic carries a trap out of the execution loop.
@@ -113,6 +130,7 @@ func (ip *Interp) Run(fault Fault, opts Options) Result {
 		ip.profile = make([]int64, len(ip.gInstrs))
 	}
 	ip.refCore = opts.Reference
+	ip.setMetrics(opts.Metrics)
 
 	return ip.finish(true)
 }
@@ -120,6 +138,12 @@ func (ip *Interp) Run(fault Fault, opts Options) Result {
 // finish executes to completion (entering main when fresh; resuming the
 // restored frame stack otherwise) and packages the outcome.
 func (ip *Interp) finish(fresh bool) Result {
+	var t0 time.Time
+	if ip.met != nil {
+		t0 = time.Now()
+	}
+	startSteps := ip.steps
+	usedFast := false
 	res := Result{Status: StatusOK}
 	func() {
 		defer func() {
@@ -143,6 +167,7 @@ func (ip *Interp) finish(fresh bool) Result {
 		if ip.refCore || ip.snapCapture || ip.profiling || ip.tr != nil {
 			ip.retVal = ip.run()
 		} else {
+			usedFast = true
 			ip.retVal = ip.runFast()
 		}
 	}()
@@ -153,6 +178,11 @@ func (ip *Interp) finish(fresh bool) Result {
 	res.InjectableInstrs = ip.inject
 	res.Injected = ip.injected
 	res.InjectedStatic = ip.injStatic
+	if ip.met != nil {
+		// The interpreter's fast core has no per-instruction fallback
+		// (closures cover every op), so slowSteps is always 0 here.
+		ip.met.FlushRun(usedFast, ip.steps-startSteps, 0, time.Since(t0))
+	}
 	return res
 }
 

@@ -93,6 +93,7 @@ func (ip *Interp) RunFrom(fault Fault, opts Options) (res Result, skipped int64)
 	ip.injectBit = fault.Bit
 	ip.profiling = false
 	ip.refCore = opts.Reference
+	ip.setMetrics(opts.Metrics)
 	return ip.finish(false), s.steps
 }
 

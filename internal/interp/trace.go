@@ -35,6 +35,7 @@ func (ip *Interp) RunTraced(opts Options, t sim.Tracer) Result {
 	}
 	ip.tr = t
 	defer func() { ip.tr = nil }()
+	ip.setMetrics(opts.Metrics)
 	return ip.finish(true)
 }
 

@@ -396,6 +396,7 @@ func (mc *Machine) execFast() {
 // cvt ops, push/pop with memory operands. Flag writers must leave
 // concrete state, since the caller bypassed the lazy recording.
 func (mc *Machine) slowStep(in *minstr) {
+	mc.slowSteps++
 	switch in.op {
 	case asm.OpMov:
 		mc.writeDst(&in.dst, in.size, mc.readOp(&in.src, in.size))

@@ -3,10 +3,12 @@ package machine
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"flowery/internal/asm"
 	"flowery/internal/ir"
 	"flowery/internal/sim"
+	"flowery/internal/telemetry"
 )
 
 // Machine executes one linked program. Like the IR interpreter, a
@@ -70,6 +72,23 @@ type Machine struct {
 	flagA    uint64
 	flagB    uint64
 	flagSize uint8
+
+	// Run-boundary telemetry (see telemetry.EngineMetrics). met is the
+	// cached handle bundle for metReg; slowSteps counts fast-core
+	// instructions that fell back to the generic slowStep this run.
+	met       *telemetry.EngineMetrics
+	metReg    *telemetry.Registry
+	slowSteps int64
+}
+
+// setMetrics rebinds the run-boundary flush target. Handles are
+// resolved only when the registry changes, so steady-state runs pay a
+// single pointer compare here.
+func (mc *Machine) setMetrics(r *telemetry.Registry) {
+	if r != mc.metReg {
+		mc.metReg = r
+		mc.met = telemetry.NewEngineMetrics(r, "asm")
+	}
 }
 
 // EnableTrace records the last n executed instruction indices; DumpTrace
@@ -158,12 +177,20 @@ func (mc *Machine) Run(fault sim.Fault, opts sim.Options) sim.Result {
 	mc.injectAt = fault.TargetIndex
 	mc.injectBit = fault.Bit
 	mc.refCore = opts.Reference
+	mc.setMetrics(opts.Metrics)
 	return mc.finish()
 }
 
 // finish executes from the current machine state to completion and
 // packages the outcome (shared by Run and the snapshot-restored RunFrom).
 func (mc *Machine) finish() sim.Result {
+	var t0 time.Time
+	if mc.met != nil {
+		t0 = time.Now()
+	}
+	startSteps := mc.steps
+	mc.slowSteps = 0
+	usedFast := false
 	res := sim.Result{Status: sim.StatusOK}
 	func() {
 		defer func() {
@@ -179,6 +206,7 @@ func (mc *Machine) finish() sim.Result {
 			}
 		}()
 		if mc.fastOK() {
+			usedFast = true
 			if mc.uops == nil {
 				mc.predecode()
 			}
@@ -196,6 +224,9 @@ func (mc *Machine) finish() sim.Result {
 	res.InjectedStatic = mc.injStatic
 	res.InjectedOrigin = mc.injOrigin
 	res.InjectedChecker = mc.injCheck
+	if mc.met != nil {
+		mc.met.FlushRun(usedFast, mc.steps-startSteps, mc.slowSteps, time.Since(t0))
+	}
 	return res
 }
 

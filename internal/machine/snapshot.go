@@ -72,6 +72,7 @@ func (mc *Machine) RunFrom(fault sim.Fault, opts sim.Options) (res sim.Result, s
 	mc.injectAt = fault.TargetIndex
 	mc.injectBit = fault.Bit
 	mc.refCore = opts.Reference
+	mc.setMetrics(opts.Metrics)
 	return mc.finish(), s.steps
 }
 

@@ -35,6 +35,7 @@ func (mc *Machine) RunTraced(opts sim.Options, t sim.Tracer) sim.Result {
 	}
 	mc.tr = t
 	defer func() { mc.tr = nil }()
+	mc.setMetrics(opts.Metrics)
 	return mc.finish()
 }
 

@@ -3,6 +3,8 @@ package pipeline
 import (
 	"sync"
 	"time"
+
+	"flowery/internal/telemetry"
 )
 
 // Stage names, one per artifact node kind. Telemetry is aggregated per
@@ -37,11 +39,15 @@ type StageTelemetry struct {
 	Wall   time.Duration
 }
 
+// stageStats holds one stage's registry handles (resolved once, on the
+// stage's first request) plus the distinct-key set. The counters and
+// histogram live in the pipeline's registry, so a study-wide telemetry
+// report shows the same numbers Telemetry() does.
 type stageStats struct {
-	hits   int64
-	misses int64
-	wall   time.Duration
 	keys   map[string]struct{}
+	hits   *telemetry.Counter
+	misses *telemetry.Counter
+	wall   *telemetry.Histogram
 }
 
 // cache memoizes artifact computations under content keys with
@@ -52,6 +58,9 @@ type stageStats struct {
 // telemetry is still collected.
 type cache struct {
 	disabled bool
+	reg      *telemetry.Registry // stage counters; never nil
+	spanReg  *telemetry.Registry // stage spans; nil records none
+	parent   *telemetry.Span
 
 	mu      sync.Mutex
 	entries map[string]*cacheEntry
@@ -64,9 +73,15 @@ type cacheEntry struct {
 	err  error
 }
 
-func newCache(disabled bool) *cache {
+// newCache wires the cache's telemetry sinks: reg (required) receives
+// the per-stage counters; spanReg (optional) additionally receives one
+// trace span per cache miss, parented under parent.
+func newCache(disabled bool, reg, spanReg *telemetry.Registry, parent *telemetry.Span) *cache {
 	return &cache{
 		disabled: disabled,
+		reg:      reg,
+		spanReg:  spanReg,
+		parent:   parent,
 		entries:  make(map[string]*cacheEntry),
 		stages:   make(map[string]*stageStats),
 	}
@@ -75,7 +90,12 @@ func newCache(disabled bool) *cache {
 func (c *cache) stage(name string) *stageStats {
 	st := c.stages[name]
 	if st == nil {
-		st = &stageStats{keys: make(map[string]struct{})}
+		st = &stageStats{
+			keys:   make(map[string]struct{}),
+			hits:   c.reg.Counter(`pipeline_stage_hits_total{stage="` + name + `"}`),
+			misses: c.reg.Counter(`pipeline_stage_misses_total{stage="` + name + `"}`),
+			wall:   c.reg.Histogram(`pipeline_stage_seconds{stage="` + name + `"}`),
+		}
 		c.stages[name] = st
 	}
 	return st
@@ -83,20 +103,22 @@ func (c *cache) stage(name string) *stageStats {
 
 // do returns the value for key, computing it at most once (unless the
 // cache is disabled). The first requester runs compute; later requesters
-// count a hit and wait for the result.
-func (c *cache) do(stage, key string, compute func() (any, error)) (any, error) {
+// count a hit and wait for the result. compute receives the miss's stage
+// span (nil when span recording is off) so nodes can hang their own
+// sub-telemetry — notably campaign batches — under the right parent.
+func (c *cache) do(stage, key string, compute func(sp *telemetry.Span) (any, error)) (any, error) {
 	c.mu.Lock()
 	st := c.stage(stage)
 	st.keys[key] = struct{}{}
 	if !c.disabled {
 		if e, ok := c.entries[key]; ok {
-			st.hits++
+			st.hits.Inc()
 			c.mu.Unlock()
 			<-e.done
 			return e.val, e.err
 		}
 	}
-	st.misses++
+	st.misses.Inc()
 	var e *cacheEntry
 	if !c.disabled {
 		e = &cacheEntry{done: make(chan struct{})}
@@ -104,13 +126,12 @@ func (c *cache) do(stage, key string, compute func() (any, error)) (any, error) 
 	}
 	c.mu.Unlock()
 
+	sp := c.spanReg.StartSpan(c.parent, "pipeline."+stage)
+	sp.SetAttr("key", key)
 	start := time.Now()
-	val, err := compute()
-	elapsed := time.Since(start)
-
-	c.mu.Lock()
-	st.wall += elapsed
-	c.mu.Unlock()
+	val, err := compute(sp)
+	st.wall.Observe(time.Since(start))
+	sp.End()
 
 	if e != nil {
 		e.val, e.err = val, err
@@ -131,9 +152,9 @@ func (c *cache) telemetry() []StageTelemetry {
 		out = append(out, StageTelemetry{
 			Stage:  s,
 			Keys:   len(st.keys),
-			Hits:   st.hits,
-			Misses: st.misses,
-			Wall:   st.wall,
+			Hits:   st.hits.Value(),
+			Misses: st.misses.Value(),
+			Wall:   st.wall.Sum(),
 		})
 	}
 	return out

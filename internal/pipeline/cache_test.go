@@ -5,12 +5,14 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+
+	"flowery/internal/telemetry"
 )
 
 // TestCacheSingleflight checks that concurrent requests for one key run
 // the computation exactly once and all observe its result.
 func TestCacheSingleflight(t *testing.T) {
-	c := newCache(false)
+	c := newCache(false, telemetry.New(), nil, nil)
 	var computed atomic.Int64
 	gate := make(chan struct{})
 
@@ -21,7 +23,7 @@ func TestCacheSingleflight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			v, err := c.do(StageBuild, "k", func() (any, error) {
+			v, err := c.do(StageBuild, "k", func(_ *telemetry.Span) (any, error) {
 				computed.Add(1)
 				<-gate // hold the computation open so others pile up
 				return 42, nil
@@ -55,10 +57,10 @@ func TestCacheSingleflight(t *testing.T) {
 
 // TestCacheDistinctKeys checks that distinct keys compute independently.
 func TestCacheDistinctKeys(t *testing.T) {
-	c := newCache(false)
+	c := newCache(false, telemetry.New(), nil, nil)
 	for _, k := range []string{"a", "b", "a", "b", "c"} {
 		k := k
-		v, err := c.do(StageCampaign, k, func() (any, error) { return "v:" + k, nil })
+		v, err := c.do(StageCampaign, k, func(_ *telemetry.Span) (any, error) { return "v:" + k, nil })
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -75,10 +77,10 @@ func TestCacheDistinctKeys(t *testing.T) {
 // TestCacheDisabled checks that a disabled cache recomputes every
 // request while still counting telemetry.
 func TestCacheDisabled(t *testing.T) {
-	c := newCache(true)
+	c := newCache(true, telemetry.New(), nil, nil)
 	var computed atomic.Int64
 	for i := 0; i < 5; i++ {
-		if _, err := c.do(StageBuild, "k", func() (any, error) {
+		if _, err := c.do(StageBuild, "k", func(_ *telemetry.Span) (any, error) {
 			computed.Add(1)
 			return i, nil
 		}); err != nil {
@@ -97,11 +99,11 @@ func TestCacheDisabled(t *testing.T) {
 // TestCacheErrorCached checks that a failed computation is cached like a
 // value: deterministic computations cannot succeed on retry.
 func TestCacheErrorCached(t *testing.T) {
-	c := newCache(false)
+	c := newCache(false, telemetry.New(), nil, nil)
 	boom := errors.New("boom")
 	var computed atomic.Int64
 	for i := 0; i < 3; i++ {
-		_, err := c.do(StageLower, "bad", func() (any, error) {
+		_, err := c.do(StageLower, "bad", func(_ *telemetry.Span) (any, error) {
 			computed.Add(1)
 			return nil, boom
 		})
@@ -117,9 +119,9 @@ func TestCacheErrorCached(t *testing.T) {
 // TestTelemetryStageOrder checks stages render in pipeline order, not
 // insertion order.
 func TestTelemetryStageOrder(t *testing.T) {
-	c := newCache(false)
+	c := newCache(false, telemetry.New(), nil, nil)
 	for _, s := range []string{StageCampaign, StageBuild, StageLower} {
-		if _, err := c.do(s, "k", func() (any, error) { return nil, nil }); err != nil {
+		if _, err := c.do(s, "k", func(_ *telemetry.Span) (any, error) { return nil, nil }); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -26,7 +26,6 @@ package pipeline
 import (
 	"fmt"
 	"strings"
-	"sync/atomic"
 	"time"
 
 	"flowery/internal/asm"
@@ -39,6 +38,7 @@ import (
 	"flowery/internal/ir"
 	"flowery/internal/machine"
 	"flowery/internal/sim"
+	"flowery/internal/telemetry"
 )
 
 // Config fixes the knobs that enter artifact keys (scale and seed) plus
@@ -70,23 +70,49 @@ type Config struct {
 	// artifact keys anyway so equivalence gates comparing the two cores
 	// never coalesce their campaigns.
 	Reference bool
+	// Telemetry, when non-nil, is the registry the pipeline reports into:
+	// per-stage cache counters and wall histograms, per-miss stage spans,
+	// and — forwarded through campaign.Spec and sim.Options — campaign
+	// and engine metrics. When nil, the pipeline keeps its stage counters
+	// in a private registry (so Telemetry() always works) but records no
+	// spans and leaves campaigns and engines un-instrumented. Excluded
+	// from artifact keys: observation never changes an artifact.
+	Telemetry *telemetry.Registry
+	// Span, when non-nil, parents every stage span (a study's root span).
+	Span *telemetry.Span
 }
 
 // Pipeline owns the artifact cache. One Pipeline per study/process; all
 // experiments share it so their artifact requests coalesce.
 type Pipeline struct {
 	cfg   Config
+	reg   *telemetry.Registry // cfg.Telemetry, or private when nil
 	cache *cache
 
-	simulated atomic.Int64
-	saved     atomic.Int64
-	pilots    atomic.Int64
+	simulated *telemetry.Counter
+	saved     *telemetry.Counter
+	pilots    *telemetry.Counter
 }
 
 // New returns an empty pipeline.
 func New(cfg Config) *Pipeline {
-	return &Pipeline{cfg: cfg, cache: newCache(cfg.Disabled)}
+	reg := cfg.Telemetry
+	if reg == nil {
+		reg = telemetry.New()
+	}
+	return &Pipeline{
+		cfg:       cfg,
+		reg:       reg,
+		cache:     newCache(cfg.Disabled, reg, cfg.Telemetry, cfg.Span),
+		simulated: reg.Counter("pipeline_instrs_simulated_total"),
+		saved:     reg.Counter("pipeline_instrs_saved_total"),
+		pilots:    reg.Counter("pipeline_pilot_runs_total"),
+	}
 }
+
+// Registry returns the registry the pipeline reports into — the one
+// from Config.Telemetry, or the private registry standing in for it.
+func (p *Pipeline) Registry() *telemetry.Registry { return p.reg }
 
 // Config returns the pipeline's configuration.
 func (p *Pipeline) Config() Config { return p.cfg }
@@ -218,7 +244,7 @@ func (l Layer) String() string {
 // program, computed once per (source, seed, samples).
 func (p *Pipeline) Profile(src Source) (*dup.Profile, error) {
 	key := fmt.Sprintf("profile|%s|seed=%d|samples=%d", src.Key, p.cfg.Seed, p.cfg.ProfileSamples)
-	val, err := p.cache.do(StageProfile, key, func() (any, error) {
+	val, err := p.cache.do(StageProfile, key, func(_ *telemetry.Span) (any, error) {
 		raw, err := p.Module(src, RawVariant())
 		if err != nil {
 			return nil, err
@@ -239,7 +265,7 @@ func (p *Pipeline) Profile(src Source) (*dup.Profile, error) {
 // Module.EnumerateInstrs order, valid for any clone of the source).
 func (p *Pipeline) Selection(src Source, l dup.Level) ([]int, error) {
 	key := fmt.Sprintf("select|%s|level=%g|seed=%d|samples=%d", src.Key, float64(l), p.cfg.Seed, p.cfg.ProfileSamples)
-	val, err := p.cache.do(StageSelect, key, func() (any, error) {
+	val, err := p.cache.do(StageSelect, key, func(_ *telemetry.Span) (any, error) {
 		prof, err := p.Profile(src)
 		if err != nil {
 			return nil, err
@@ -264,7 +290,7 @@ type floweryModule struct {
 func (p *Pipeline) Module(src Source, v Variant) (*ir.Module, error) {
 	switch v.Kind {
 	case KindRaw:
-		val, err := p.cache.do(StageBuild, "module|"+p.modKey(src, v), func() (any, error) {
+		val, err := p.cache.do(StageBuild, "module|"+p.modKey(src, v), func(_ *telemetry.Span) (any, error) {
 			m := src.Build()
 			m.AssignAddresses()
 			return m, nil
@@ -275,7 +301,7 @@ func (p *Pipeline) Module(src Source, v Variant) (*ir.Module, error) {
 		return val.(*ir.Module), nil
 
 	case KindID, KindFullID:
-		val, err := p.cache.do(StageDup, "module|"+p.modKey(src, v), func() (any, error) {
+		val, err := p.cache.do(StageDup, "module|"+p.modKey(src, v), func(_ *telemetry.Span) (any, error) {
 			raw, err := p.Module(src, RawVariant())
 			if err != nil {
 				return nil, err
@@ -314,7 +340,7 @@ func (p *Pipeline) Module(src Source, v Variant) (*ir.Module, error) {
 }
 
 func (p *Pipeline) floweryNode(src Source, v Variant) (*floweryModule, error) {
-	val, err := p.cache.do(StageFlowery, "module|"+p.modKey(src, v), func() (any, error) {
+	val, err := p.cache.do(StageFlowery, "module|"+p.modKey(src, v), func(_ *telemetry.Span) (any, error) {
 		base, err := p.Module(src, v.baseVariant())
 		if err != nil {
 			return nil, err
@@ -374,7 +400,7 @@ type Compiled struct {
 // module artifact can be lowered under many configurations.
 func (p *Pipeline) Compiled(src Source, v Variant, bcfg backend.Config) (*Compiled, error) {
 	key := fmt.Sprintf("lower|%s|gpr=%d", p.modKey(src, v), bcfg.GPRScratch)
-	val, err := p.cache.do(StageLower, key, func() (any, error) {
+	val, err := p.cache.do(StageLower, key, func(_ *telemetry.Span) (any, error) {
 		pm, err := p.Module(src, v)
 		if err != nil {
 			return nil, err
@@ -409,7 +435,7 @@ func (p *Pipeline) EngineFactory(src Source, v Variant, layer Layer, bcfg backen
 // Golden returns the fault-free run of the compiled variant at a layer.
 func (p *Pipeline) Golden(src Source, v Variant, layer Layer, bcfg backend.Config) (sim.Result, error) {
 	key := fmt.Sprintf("golden|%s|%s|gpr=%d|maxsteps=%d", p.modKey(src, v), layer, bcfg.GPRScratch, p.cfg.MaxSteps)
-	val, err := p.cache.do(StageGolden, key, func() (any, error) {
+	val, err := p.cache.do(StageGolden, key, func(_ *telemetry.Span) (any, error) {
 		factory, err := p.EngineFactory(src, v, layer, bcfg)
 		if err != nil {
 			return nil, err
@@ -418,7 +444,7 @@ func (p *Pipeline) Golden(src Source, v Variant, layer Layer, bcfg backend.Confi
 		if err != nil {
 			return nil, err
 		}
-		res := eng.Run(sim.Fault{}, sim.Options{MaxSteps: p.cfg.MaxSteps, Reference: p.cfg.Reference})
+		res := eng.Run(sim.Fault{}, sim.Options{MaxSteps: p.cfg.MaxSteps, Reference: p.cfg.Reference, Metrics: p.cfg.Telemetry})
 		if res.Status != sim.StatusOK {
 			return nil, fmt.Errorf("pipeline: golden %s: %v (%v)", key, res.Status, res.Trap)
 		}
@@ -468,7 +494,7 @@ func (p *Pipeline) Campaign(src Source, v Variant, opts CampaignOpts) (campaign.
 		stage = StagePrune
 		key += fmt.Sprintf("|prune=%s|k=%d", opts.Pruning, opts.PilotsPerClass)
 	}
-	val, err := p.cache.do(stage, key, func() (any, error) {
+	val, err := p.cache.do(stage, key, func(sp *telemetry.Span) (any, error) {
 		factory, err := p.EngineFactory(src, v, opts.Layer, opts.Backend)
 		if err != nil {
 			return nil, err
@@ -482,6 +508,8 @@ func (p *Pipeline) Campaign(src Source, v Variant, opts CampaignOpts) (campaign.
 			Pruning:        opts.Pruning,
 			PilotsPerClass: opts.PilotsPerClass,
 			Reference:      p.cfg.Reference,
+			Metrics:        p.cfg.Telemetry,
+			TraceSpan:      sp,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("pipeline: campaign %s: %w", key, err)
@@ -500,7 +528,9 @@ func (p *Pipeline) Campaign(src Source, v Variant, opts CampaignOpts) (campaign.
 }
 
 // Telemetry is a snapshot of the pipeline's per-stage cache counters
-// plus campaign instruction totals.
+// plus campaign instruction totals. It is a view over the pipeline's
+// registry (see Config.Telemetry): the same counters appear, under
+// their metric names, in a telemetry run report.
 type Telemetry struct {
 	Stages []StageTelemetry
 	// SimulatedInstrs and SavedInstrs total the executed and
@@ -515,9 +545,9 @@ type Telemetry struct {
 func (p *Pipeline) Telemetry() Telemetry {
 	return Telemetry{
 		Stages:          p.cache.telemetry(),
-		SimulatedInstrs: p.simulated.Load(),
-		SavedInstrs:     p.saved.Load(),
-		PilotRuns:       p.pilots.Load(),
+		SimulatedInstrs: p.simulated.Value(),
+		SavedInstrs:     p.saved.Value(),
+		PilotRuns:       p.pilots.Value(),
 	}
 }
 

@@ -5,7 +5,10 @@
 // comparison of the paper possible with one harness.
 package sim
 
-import "flowery/internal/asm"
+import (
+	"flowery/internal/asm"
+	"flowery/internal/telemetry"
+)
 
 // Status classifies how a run ended.
 type Status uint8
@@ -108,6 +111,12 @@ type Options struct {
 	// bit-identical either way; the knob exists so equivalence gates can
 	// measure one core against the other.
 	Reference bool
+	// Metrics, when non-nil, receives per-run engine telemetry: run and
+	// instruction counters per core, run-duration histograms, and the
+	// fast core's slow-step fallback tally. Engines flush once per run —
+	// never per instruction — so a nil registry costs one pointer test
+	// per run (see telemetry package doc).
+	Metrics *telemetry.Registry
 }
 
 // DefaultMaxSteps is the per-run dynamic instruction budget. Golden runs

@@ -1,0 +1,99 @@
+package telemetry
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRegistry builds a small but representative registry: labeled
+// counters, a gauge, a histogram, and a three-level span tree — the
+// shapes every instrumented layer produces.
+func goldenRegistry() *Registry {
+	r := New()
+	r.Counter(`campaign_runs_total{layer="asm"}`).Add(120)
+	r.Counter(`campaign_runs_total{layer="ir"}`).Add(120)
+	r.Counter("engine_slow_fallback_total").Add(3)
+	r.Gauge(`campaign_worker_injections_per_sec{worker="0"}`).Set(1536.5)
+	h := r.Histogram(`pipeline_stage_seconds{stage="campaign"}`)
+	h.Observe(2 * time.Millisecond)
+	h.Observe(30 * time.Millisecond)
+
+	study := r.StartSpan(nil, "study")
+	stage := r.StartSpan(study, "pipeline.campaign")
+	stage.SetAttr("stage", "campaign")
+	batch := r.StartSpan(stage, "campaign.batch")
+	batch.SetIntAttr("worker", 0)
+	batch.SetIntAttr("jobs", 60)
+	run := r.StartSpan(batch, "engine.run")
+	run.SetAttr("outcome", "masked")
+	run.End()
+	batch.End()
+	stage.End()
+	study.End()
+	return r
+}
+
+// TestGoldenRenderings pins the byte-exact schema of both renderings.
+// Durations are zeroed first (ZeroDurations), so the goldens are stable
+// across machines; the structural content — metric names, counts, span
+// hierarchy, attrs — is fully exercised.
+func TestGoldenRenderings(t *testing.T) {
+	rep := goldenRegistry().Snapshot()
+	rep.ZeroDurations()
+
+	js, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "report.json.golden", js)
+	checkGolden(t, "report.prom.golden", rep.Prometheus())
+
+	tj, err := rep.TraceJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "trace.json.golden", tj)
+}
+
+// TestGoldenStability re-renders the same workload and demands byte
+// equality — the determinism contract the golden files rest on.
+func TestGoldenStability(t *testing.T) {
+	render := func() string {
+		rep := goldenRegistry().Snapshot()
+		rep.ZeroDurations()
+		js, err := rep.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(js) + string(rep.Prometheus())
+	}
+	if a, b := render(), render(); a != b {
+		t.Fatalf("renderings differ across runs:\n--- a ---\n%s\n--- b ---\n%s", a, b)
+	}
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/telemetry -update` to create)", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("%s drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}

@@ -1,0 +1,262 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Report is a point-in-time snapshot of a registry, structured for the
+// two deterministic renderings: the JSON run report (JSON) and the
+// Prometheus-style text page (Prometheus). Metrics are sorted by name;
+// spans keep registry creation order (deterministic for single-threaded
+// producers; concurrent producers interleave, which only affects
+// sibling order, never parentage).
+type Report struct {
+	// Metrics lists every counter, gauge, and histogram, sorted by name.
+	Metrics []MetricSnapshot `json:"metrics"`
+	// Spans is the trace forest (roots in creation order).
+	Spans []SpanSnapshot `json:"spans,omitempty"`
+	// SpansDropped counts spans lost to the registry's span cap.
+	SpansDropped int64 `json:"spans_dropped,omitempty"`
+}
+
+// MetricSnapshot is one metric's state. Value carries counter and gauge
+// readings (counters are integral); Count/SumSeconds/Buckets are
+// histogram-only.
+type MetricSnapshot struct {
+	Name string `json:"name"`
+	Type string `json:"type"` // "counter", "gauge", or "histogram"
+
+	Value float64 `json:"value"`
+
+	Count      int64            `json:"count,omitempty"`
+	SumSeconds float64          `json:"sum_seconds,omitempty"`
+	Buckets    []BucketSnapshot `json:"buckets,omitempty"`
+}
+
+// BucketSnapshot is one histogram bucket. LE is the inclusive upper
+// bound in seconds, rendered as a string so "+Inf" survives JSON.
+type BucketSnapshot struct {
+	LE    string `json:"le"`
+	Count int64  `json:"count"`
+}
+
+// SpanSnapshot is one trace span with its children.
+type SpanSnapshot struct {
+	Name            string            `json:"name"`
+	DurationSeconds float64           `json:"duration_seconds"`
+	Attrs           map[string]string `json:"attrs,omitempty"`
+	Children        []SpanSnapshot    `json:"children,omitempty"`
+}
+
+// Snapshot captures the registry's current state. Nil registries
+// snapshot to an empty (but renderable) report.
+func (r *Registry) Snapshot() *Report {
+	rep := &Report{}
+	if r == nil {
+		return rep
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	for _, name := range sortedKeys(r.counters) {
+		rep.Metrics = append(rep.Metrics, MetricSnapshot{
+			Name: name, Type: "counter", Value: float64(r.counters[name].Value()),
+		})
+	}
+	for _, name := range sortedKeys(r.gauges) {
+		rep.Metrics = append(rep.Metrics, MetricSnapshot{
+			Name: name, Type: "gauge", Value: r.gauges[name].Value(),
+		})
+	}
+	for _, name := range sortedKeys(r.hists) {
+		h := r.hists[name]
+		m := MetricSnapshot{
+			Name: name, Type: "histogram",
+			Count:      h.Count(),
+			SumSeconds: h.Sum().Seconds(),
+		}
+		var cum int64
+		for i := range h.counts {
+			cum += h.counts[i].Load()
+			le := "+Inf"
+			if i < len(BucketBounds) {
+				le = formatFloat(BucketBounds[i])
+			}
+			m.Buckets = append(m.Buckets, BucketSnapshot{LE: le, Count: cum})
+		}
+		rep.Metrics = append(rep.Metrics, m)
+	}
+	sortMetrics(rep.Metrics)
+
+	// Assemble the span forest. Children attach in creation order.
+	nodes := make([]SpanSnapshot, len(r.spans))
+	for i, sp := range r.spans {
+		nodes[i] = SpanSnapshot{
+			Name:            sp.name,
+			DurationSeconds: sp.dur.Seconds(),
+			Attrs:           sp.attrs,
+		}
+	}
+	// Build bottom-up: spans only ever parent earlier spans, so a
+	// reverse sweep attaches each node's completed subtree exactly once.
+	for i := len(r.spans) - 1; i >= 0; i-- {
+		p := r.spans[i].parent
+		if p >= 0 {
+			nodes[p].Children = append([]SpanSnapshot{nodes[i]}, nodes[p].Children...)
+		}
+	}
+	for i, sp := range r.spans {
+		if sp.parent < 0 {
+			rep.Spans = append(rep.Spans, nodes[i])
+		}
+	}
+	rep.SpansDropped = r.dropped.Load()
+	return rep
+}
+
+func sortMetrics(ms []MetricSnapshot) {
+	for i := 1; i < len(ms); i++ {
+		for j := i; j > 0 && ms[j].Name < ms[j-1].Name; j-- {
+			ms[j], ms[j-1] = ms[j-1], ms[j]
+		}
+	}
+}
+
+// ZeroDurations erases every wall-clock-derived quantity — span
+// durations, histogram sums, and bucket tallies (observation counts
+// stay) — so two reports of the same deterministic workload render to
+// identical bytes. Golden tests pin both renderings through this.
+func (rep *Report) ZeroDurations() {
+	for i := range rep.Metrics {
+		m := &rep.Metrics[i]
+		if m.Type != "histogram" {
+			continue
+		}
+		m.SumSeconds = 0
+		for j := range m.Buckets {
+			// Keep the cumulative count only at +Inf (the observation
+			// total, which is deterministic); timing decides the rest.
+			if m.Buckets[j].LE != "+Inf" {
+				m.Buckets[j].Count = 0
+			}
+		}
+	}
+	var zero func(ns []SpanSnapshot)
+	zero = func(ns []SpanSnapshot) {
+		for i := range ns {
+			ns[i].DurationSeconds = 0
+			zero(ns[i].Children)
+		}
+	}
+	zero(rep.Spans)
+}
+
+// JSON renders the run report (metrics + trace forest), indented,
+// trailing newline included.
+func (rep *Report) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// TraceJSON renders only the span forest (the -trace artifact), using
+// the same schema as the full report.
+func (rep *Report) TraceJSON() ([]byte, error) {
+	t := &Report{Metrics: []MetricSnapshot{}, Spans: rep.Spans, SpansDropped: rep.SpansDropped}
+	return t.JSON()
+}
+
+// Prometheus renders the metrics as a Prometheus text exposition page.
+// Spans have no Prometheus form and are omitted.
+func (rep *Report) Prometheus() []byte {
+	var sb strings.Builder
+	typed := make(map[string]bool)
+	emitType := func(name, typ string) {
+		base := name
+		if i := strings.IndexByte(base, '{'); i >= 0 {
+			base = base[:i]
+		}
+		if !typed[base] {
+			typed[base] = true
+			fmt.Fprintf(&sb, "# TYPE %s %s\n", base, typ)
+		}
+	}
+	for _, m := range rep.Metrics {
+		switch m.Type {
+		case "counter", "gauge":
+			emitType(m.Name, m.Type)
+			fmt.Fprintf(&sb, "%s %s\n", m.Name, formatFloat(m.Value))
+		case "histogram":
+			emitType(m.Name, "histogram")
+			for _, b := range m.Buckets {
+				fmt.Fprintf(&sb, "%s %d\n", withLabel(m.Name, `le="`+b.LE+`"`, "_bucket"), b.Count)
+			}
+			fmt.Fprintf(&sb, "%s %s\n", withSuffix(m.Name, "_sum"), formatFloat(m.SumSeconds))
+			fmt.Fprintf(&sb, "%s %d\n", withSuffix(m.Name, "_count"), m.Count)
+		}
+	}
+	return []byte(sb.String())
+}
+
+// WriteFiles renders reg to the standard CLI artifacts: metricsPath
+// receives the full run report (JSON, or the Prometheus text page when
+// the path ends in .prom), tracePath the span forest alone. Empty paths
+// are skipped; a nil registry writes empty-but-valid documents. This is
+// the implementation behind the -metrics/-trace flags of cmd/flowery
+// and cmd/experiments.
+func WriteFiles(reg *Registry, metricsPath, tracePath string) error {
+	rep := reg.Snapshot()
+	if metricsPath != "" {
+		var out []byte
+		if strings.HasSuffix(metricsPath, ".prom") {
+			out = rep.Prometheus()
+		} else {
+			var err error
+			if out, err = rep.JSON(); err != nil {
+				return err
+			}
+		}
+		if err := os.WriteFile(metricsPath, out, 0o644); err != nil {
+			return err
+		}
+	}
+	if tracePath != "" {
+		out, err := rep.TraceJSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(tracePath, out, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// withSuffix appends suffix to the metric base name, before any label
+// block: "x_seconds{stage=\"a\"}" + "_sum" → "x_seconds_sum{stage=\"a\"}".
+func withSuffix(name, suffix string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i] + suffix + name[i:]
+	}
+	return name + suffix
+}
+
+// withLabel appends suffix to the base name and merges label into the
+// label block (creating one if absent).
+func withLabel(name, label, suffix string) string {
+	name = withSuffix(name, suffix)
+	if strings.HasSuffix(name, "}") {
+		return name[:len(name)-1] + "," + label + "}"
+	}
+	return name + "{" + label + "}"
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

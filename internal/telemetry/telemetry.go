@@ -1,0 +1,288 @@
+// Package telemetry is the unified observability layer of the
+// reproduction stack: one allocation-conscious registry of counters,
+// gauges, and fixed-bucket duration histograms, plus hierarchical trace
+// spans (study → pipeline stage → campaign batch → engine run). Every
+// execution layer — the artifact pipeline, the campaign harness, and
+// both fault-injection engines — reports into the same registry, so a
+// single run report can answer where a study spent its time and its
+// injections.
+//
+// The disabled state is a nil *Registry: every constructor returns nil
+// handles and every method on a nil handle is an inlinable early return,
+// so a program that never enables telemetry pays one pointer test at
+// each run boundary and nothing per instruction. Engines additionally
+// keep their hot loops free of telemetry calls by accumulating plain
+// int64 fields and flushing them once per run (see DESIGN.md §12 for
+// the materialization points).
+//
+// Metric names follow the Prometheus convention, with any labels baked
+// into the name string (`campaign_runs_total{layer="asm"}`): callers
+// format a name once, keep the returned handle, and the hot path is a
+// single atomic add. Two deterministic renderings are exported through
+// Snapshot: a JSON run report and a Prometheus-style text page (see
+// report.go).
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultMaxSpans bounds the number of trace spans a registry retains.
+// Spans beyond the cap are dropped (counted in Report.SpansDropped), so
+// a campaign with hundreds of thousands of engine runs cannot grow the
+// trace without bound.
+const DefaultMaxSpans = 8192
+
+// Registry holds all metrics and spans of one process (or one study —
+// callers choose the sharing). The zero value is not usable; construct
+// with New. A nil *Registry is the no-op sink: all methods are nil-safe
+// and return nil handles whose operations compile to early returns.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	spans    []*span
+	maxSpans int
+	dropped  atomic.Int64
+}
+
+// New returns an empty registry with the default span cap.
+func New() *Registry { return NewWithSpanCap(DefaultMaxSpans) }
+
+// NewWithSpanCap returns an empty registry retaining at most maxSpans
+// trace spans (0 disables span collection entirely).
+func NewWithSpanCap(maxSpans int) *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		maxSpans: maxSpans,
+	}
+}
+
+// Counter returns the named monotonic counter, creating it on first use.
+// Returns nil (a valid no-op handle) on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Returns nil
+// (a valid no-op handle) on a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named duration histogram (fixed buckets, see
+// BucketBounds), creating it on first use. Returns nil (a valid no-op
+// handle) on a nil registry.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Counter is a monotonically increasing metric. All methods are safe on
+// a nil receiver (the disabled sink) and safe for concurrent use.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-write-wins float metric. All methods are safe on a
+// nil receiver and safe for concurrent use.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Value returns the stored value (0 on a nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// BucketBounds are the fixed upper bounds (inclusive) of every duration
+// histogram, in seconds: 1µs to 1min in decades, wide enough for an
+// engine run at the bottom and a full study at the top. The implicit
+// final bucket is +Inf.
+var BucketBounds = [...]float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10, 60}
+
+// Histogram is a fixed-bucket duration histogram. All methods are safe
+// on a nil receiver and safe for concurrent use.
+type Histogram struct {
+	counts [len(BucketBounds) + 1]atomic.Int64
+	sumNS  atomic.Int64
+	n      atomic.Int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	s := d.Seconds()
+	i := 0
+	for i < len(BucketBounds) && s > BucketBounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sumNS.Add(int64(d))
+	h.n.Add(1)
+}
+
+// Count returns the number of observations (0 on a nil histogram).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.n.Load()
+}
+
+// Sum returns the total observed duration (0 on a nil histogram).
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.sumNS.Load())
+}
+
+// span is the registry-internal record; Span is the caller-facing
+// handle. Mutation (End, SetAttr) goes through the registry mutex —
+// spans are created at batch/stage/run boundaries, never inside an
+// engine's instruction loop, so the lock is off any hot path.
+type span struct {
+	name   string
+	parent int // index into Registry.spans, -1 for roots
+	start  time.Time
+	dur    time.Duration
+	ended  bool
+	attrs  map[string]string
+}
+
+// Span identifies one trace span. A nil *Span is a valid no-op handle
+// (returned by a nil registry, a capped registry, or as the parent of a
+// root span).
+type Span struct {
+	r   *Registry
+	idx int
+}
+
+// StartSpan opens a span under parent (nil parent = root). Returns nil
+// when the registry is nil or its span cap is reached; a nil parent
+// from a dropped span re-roots the child rather than failing.
+func (r *Registry) StartSpan(parent *Span, name string) *Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.spans) >= r.maxSpans {
+		r.dropped.Add(1)
+		return nil
+	}
+	p := -1
+	if parent != nil && parent.r == r {
+		p = parent.idx
+	}
+	r.spans = append(r.spans, &span{name: name, parent: p, start: time.Now()})
+	return &Span{r: r, idx: len(r.spans) - 1}
+}
+
+// End closes the span, fixing its duration. Ending twice keeps the
+// first duration.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.r.mu.Lock()
+	defer s.r.mu.Unlock()
+	sp := s.r.spans[s.idx]
+	if !sp.ended {
+		sp.dur = time.Since(sp.start)
+		sp.ended = true
+	}
+}
+
+// SetAttr attaches a string attribute to the span.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.r.mu.Lock()
+	defer s.r.mu.Unlock()
+	sp := s.r.spans[s.idx]
+	if sp.attrs == nil {
+		sp.attrs = make(map[string]string)
+	}
+	sp.attrs[key] = value
+}
+
+// SetIntAttr attaches an integer attribute to the span.
+func (s *Span) SetIntAttr(key string, value int64) {
+	s.SetAttr(key, strconv.FormatInt(value, 10))
+}
+
+// sortedKeys returns map keys in sorted order (deterministic renders).
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

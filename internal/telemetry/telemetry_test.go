@@ -1,0 +1,227 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h")
+	s := r.StartSpan(nil, "root")
+	if c != nil || g != nil || h != nil || s != nil {
+		t.Fatalf("nil registry must hand out nil handles: %v %v %v %v", c, g, h, s)
+	}
+	// Every operation on a nil handle must be a silent no-op.
+	c.Add(3)
+	c.Inc()
+	g.Set(1.5)
+	h.Observe(time.Millisecond)
+	s.End()
+	s.SetAttr("k", "v")
+	s.SetIntAttr("n", 7)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil handles must read as zero")
+	}
+	rep := r.Snapshot()
+	if len(rep.Metrics) != 0 || len(rep.Spans) != 0 {
+		t.Fatalf("nil registry snapshot not empty: %+v", rep)
+	}
+	if _, err := rep.JSON(); err != nil {
+		t.Fatalf("empty report must render: %v", err)
+	}
+}
+
+func TestHandleIdentityAndValues(t *testing.T) {
+	r := New()
+	c := r.Counter("runs_total")
+	if c != r.Counter("runs_total") {
+		t.Fatal("same name must return the same counter")
+	}
+	c.Add(5)
+	c.Inc()
+	if got := c.Value(); got != 6 {
+		t.Fatalf("counter = %d, want 6", got)
+	}
+	g := r.Gauge("rate")
+	g.Set(2.5)
+	g.Set(-1.25)
+	if got := g.Value(); got != -1.25 {
+		t.Fatalf("gauge = %v, want -1.25", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := New()
+	h := r.Histogram("run_seconds")
+	h.Observe(500 * time.Nanosecond) // bucket 0 (≤1µs)
+	h.Observe(time.Microsecond)      // bucket 0 (inclusive bound)
+	h.Observe(2 * time.Microsecond)  // bucket 1 (≤10µs)
+	h.Observe(time.Millisecond)      // bucket 3 (≤1ms)
+	h.Observe(2 * time.Minute)       // +Inf bucket
+	if got := h.Count(); got != 5 {
+		t.Fatalf("count = %d, want 5", got)
+	}
+	want := 500*time.Nanosecond + time.Microsecond + 2*time.Microsecond + time.Millisecond + 2*time.Minute
+	if got := h.Sum(); got != want {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+	var raw [len(BucketBounds) + 1]int64
+	for i := range h.counts {
+		raw[i] = h.counts[i].Load()
+	}
+	wantRaw := [len(BucketBounds) + 1]int64{2, 1, 0, 1, 0, 0, 0, 0, 0, 1}
+	if raw != wantRaw {
+		t.Fatalf("bucket counts = %v, want %v", raw, wantRaw)
+	}
+}
+
+func TestSpanHierarchyAndCap(t *testing.T) {
+	r := NewWithSpanCap(3)
+	root := r.StartSpan(nil, "study")
+	child := r.StartSpan(root, "stage")
+	grand := r.StartSpan(child, "run")
+	grand.SetIntAttr("idx", 42)
+	dropped := r.StartSpan(child, "over-cap")
+	if dropped != nil {
+		t.Fatal("span beyond cap must be dropped")
+	}
+	// A child of a dropped span re-roots rather than failing.
+	r.StartSpan(dropped, "orphan")
+	grand.End()
+	child.End()
+	root.End()
+
+	rep := r.Snapshot()
+	if rep.SpansDropped != 2 {
+		t.Fatalf("SpansDropped = %d, want 2", rep.SpansDropped)
+	}
+	if len(rep.Spans) != 1 || rep.Spans[0].Name != "study" {
+		t.Fatalf("want single root 'study', got %+v", rep.Spans)
+	}
+	st := rep.Spans[0]
+	if len(st.Children) != 1 || st.Children[0].Name != "stage" {
+		t.Fatalf("want child 'stage', got %+v", st.Children)
+	}
+	runSpan := st.Children[0].Children
+	if len(runSpan) != 1 || runSpan[0].Name != "run" || runSpan[0].Attrs["idx"] != "42" {
+		t.Fatalf("want grandchild 'run' with idx=42, got %+v", runSpan)
+	}
+}
+
+func TestSpanEndTwiceKeepsFirstDuration(t *testing.T) {
+	r := New()
+	s := r.StartSpan(nil, "s")
+	s.End()
+	first := r.spans[0].dur
+	time.Sleep(2 * time.Millisecond)
+	s.End()
+	if got := r.spans[0].dur; got != first {
+		t.Fatalf("second End changed duration: %v -> %v", first, got)
+	}
+}
+
+func TestPrometheusRendering(t *testing.T) {
+	r := New()
+	r.Counter(`runs_total{layer="asm"}`).Add(3)
+	r.Counter(`runs_total{layer="ir"}`).Add(4)
+	r.Gauge("rate").Set(1.5)
+	r.Histogram(`stage_seconds{stage="build"}`).Observe(time.Millisecond)
+	page := string(r.Snapshot().Prometheus())
+
+	for _, want := range []string{
+		"# TYPE runs_total counter\n",
+		`runs_total{layer="asm"} 3` + "\n",
+		`runs_total{layer="ir"} 4` + "\n",
+		"# TYPE rate gauge\n",
+		"# TYPE stage_seconds histogram\n",
+		`stage_seconds_bucket{stage="build",le="0.001"} 1` + "\n",
+		`stage_seconds_bucket{stage="build",le="+Inf"} 1` + "\n",
+		`stage_seconds_count{stage="build"} 1` + "\n",
+	} {
+		if !strings.Contains(page, want) {
+			t.Errorf("prometheus page missing %q:\n%s", want, page)
+		}
+	}
+	if n := strings.Count(page, "# TYPE runs_total"); n != 1 {
+		t.Errorf("TYPE line for runs_total emitted %d times, want 1", n)
+	}
+}
+
+// TestRegistryConcurrency hammers one registry from many goroutines; run
+// under -race (scripts/ci.sh tier 2) it proves the registry is a safe
+// shared sink for parallel campaign workers.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewWithSpanCap(64)
+	root := r.StartSpan(nil, "root")
+	const workers, iters = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("shared_total")
+			h := r.Histogram("shared_seconds")
+			g := r.Gauge("worker_rate")
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				r.Counter("shared_total").Inc() // lookup path, too
+				h.Observe(time.Duration(i) * time.Microsecond)
+				g.Set(float64(w*iters + i))
+				if s := r.StartSpan(root, "unit"); s != nil {
+					s.SetIntAttr("i", int64(i))
+					s.End()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	root.End()
+	if got := r.Counter("shared_total").Value(); got != 2*workers*iters {
+		t.Fatalf("counter = %d, want %d", got, 2*workers*iters)
+	}
+	if got := r.Histogram("shared_seconds").Count(); got != workers*iters {
+		t.Fatalf("histogram count = %d, want %d", got, workers*iters)
+	}
+	rep := r.Snapshot()
+	if len(rep.Spans) != 1 {
+		t.Fatalf("want 1 root span, got %d", len(rep.Spans))
+	}
+	if kept, dropped := int64(len(rep.Spans[0].Children)), rep.SpansDropped; kept+dropped != workers*iters {
+		t.Fatalf("kept %d + dropped %d spans, want %d total", kept, dropped, workers*iters)
+	}
+}
+
+func TestZeroDurations(t *testing.T) {
+	r := New()
+	r.Histogram("h_seconds").Observe(3 * time.Millisecond)
+	r.Histogram("h_seconds").Observe(40 * time.Millisecond)
+	s := r.StartSpan(nil, "s")
+	time.Sleep(time.Millisecond)
+	s.End()
+	rep := r.Snapshot()
+	rep.ZeroDurations()
+	for _, m := range rep.Metrics {
+		if m.SumSeconds != 0 {
+			t.Fatalf("%s SumSeconds = %v, want 0", m.Name, m.SumSeconds)
+		}
+		for _, b := range m.Buckets {
+			switch {
+			case b.LE == "+Inf" && b.Count != 2:
+				t.Fatalf("+Inf bucket = %d, want observation total 2", b.Count)
+			case b.LE != "+Inf" && b.Count != 0:
+				t.Fatalf("bucket le=%s = %d, want 0", b.LE, b.Count)
+			}
+		}
+		if m.Count != 2 {
+			t.Fatalf("%s Count = %d, want 2 (observation totals survive zeroing)", m.Name, m.Count)
+		}
+	}
+	if rep.Spans[0].DurationSeconds != 0 {
+		t.Fatalf("span duration = %v, want 0", rep.Spans[0].DurationSeconds)
+	}
+}

@@ -1,7 +1,9 @@
 #!/bin/sh
 # Tier-2 CI gate (see README "Testing"): build, vet, and the full test
-# suite under the race detector. The campaign scheduler and the snapshot
-# engines are the main concurrency surfaces -race exercises.
+# suite under the race detector. The parallel surfaces -race exercises:
+# the campaign worker pool, the pipeline's singleflight cache and
+# study scheduler (experiment.Study fan-out), the snapshot engines, and
+# the telemetry registry every one of them reports into concurrently.
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -41,3 +43,22 @@ if grep -q '"inside_ci": false' "$tmpdir/prune.json"; then
     cat "$tmpdir/prune.json" >&2
     exit 1
 fi
+
+# Telemetry smoke (DESIGN.md §12): a real study run must emit the run
+# report and the span tree with the pinned metric families and the
+# study → pipeline stage → campaign batch → engine run span hierarchy.
+go run ./cmd/experiments -only results -bench crc32 -runs 40 -samples 120 -q \
+    -metrics "$tmpdir/metrics.json" -trace "$tmpdir/trace.json"
+for key in engine_runs_total campaign_runs_total pipeline_stage_misses_total \
+    campaign_batch_seconds engine_slow_fallback_total; do
+    grep -q "$key" "$tmpdir/metrics.json"
+done
+for span in '"study"' 'pipeline.campaign' 'campaign.batch' 'engine.run'; do
+    grep -q "$span" "$tmpdir/trace.json"
+done
+
+# Telemetry overhead guard: the no-op sink must cost <= 2% of simbench
+# engine throughput (disabled and enabled runs agree within tolerance;
+# the test retries to ride out scheduler noise).
+TELEMETRY_OVERHEAD_GUARD=1 go test ./internal/experiment \
+    -run TestTelemetryOverheadGuard -count=1
