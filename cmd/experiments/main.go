@@ -28,6 +28,7 @@ import (
 
 	"flowery/internal/bench"
 	"flowery/internal/experiment"
+	"flowery/internal/shard"
 	"flowery/internal/telemetry"
 )
 
@@ -35,7 +36,7 @@ import (
 var validArtifacts = []string{
 	"all", "table1", "fig2", "fig3", "fig17", "overhead", "passtime",
 	"ablation", "pressure", "convergence", "campbench", "pipebench",
-	"prunebench", "simbench", "results",
+	"prunebench", "simbench", "shardbench", "results",
 }
 
 func benchByName(n string) (bench.Benchmark, bool) { return bench.ByName(n) }
@@ -46,12 +47,19 @@ func fail(err error) {
 }
 
 func main() {
+	// When spawned as a shard worker (FLOWERY_SHARD_WORKER set by the
+	// coordinator), serve the worker protocol instead of running
+	// experiments.
+	shard.MaybeServeWorker()
+
 	runs := flag.Int("runs", 0, "fault injections per campaign (0 = default scale)")
 	samples := flag.Int("samples", 0, "profiling injections (0 = default)")
 	seed := flag.Int64("seed", 2023, "random seed")
 	only := flag.String("only", "all", "artifact: "+strings.Join(validArtifacts[1:], "|")+"|all")
 	benches := flag.String("bench", "", "comma-separated benchmark subset (default: all 16)")
 	workers := flag.Int("workers", 0, "parallelism: pipeline scheduler width, or campaign workers on the serial path (0 = GOMAXPROCS)")
+	shards := flag.Int("shards", 0, "partition every full campaign into this many run ranges (campaign.RunSharded; pipeline path only, 0 = unsharded)")
+	shardWorkers := flag.Int("shard-workers", 0, "with -shards: farm shards to this many worker processes (<= 1 executes in-process)")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
 	pipelineOn := flag.Bool("pipeline", true, "serve artifacts from the memoized pipeline (false = legacy serial path)")
@@ -111,6 +119,8 @@ func main() {
 	}
 	cfg.Seed = *seed
 	cfg.Workers = *workers
+	cfg.Shards = *shards
+	cfg.ShardWorkers = *shardWorkers
 	cfg.Reference = *refcore
 	if *metricsOut != "" || *traceOut != "" {
 		cfg.Telemetry = telemetry.New()
@@ -288,6 +298,34 @@ func main() {
 			return
 		}
 		fmt.Println(experiment.CampaignBench(perfs))
+		return
+
+	// The sharded multi-process campaign benchmark: scaling over worker
+	// process counts plus the record-log encoding comparison; with -json
+	// it emits the BENCH_5.json artifact. Builds its own pools (it
+	// measures the process executor directly), so -pipeline and
+	// -shards/-shard-workers do not apply.
+	case "shardbench":
+		ns := names
+		if len(ns) == 0 {
+			ns = []string{"crc32", "susan"}
+		}
+		start := time.Now()
+		results, err := experiment.RunShardBench(ns, cfg)
+		if err != nil {
+			fail(err)
+		}
+		progress("shardbench", time.Since(start))
+		if *jsonOut {
+			data, err := experiment.ShardBenchJSON(results, cfg)
+			if err != nil {
+				fail(err)
+			}
+			os.Stdout.Write(data)
+			fmt.Println()
+			return
+		}
+		fmt.Println(experiment.ShardBench(results))
 		return
 
 	// The register-pressure sweep lowers the shared module artifacts

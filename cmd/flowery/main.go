@@ -34,6 +34,8 @@ import (
 	"flowery/internal/ir"
 	"flowery/internal/opt"
 	"flowery/internal/pipeline"
+	"flowery/internal/reclog"
+	"flowery/internal/shard"
 	"flowery/internal/sim"
 	"flowery/internal/telemetry"
 )
@@ -47,6 +49,10 @@ var (
 )
 
 func main() {
+	// When spawned as a shard worker (FLOWERY_SHARD_WORKER set by the
+	// coordinator), serve the worker protocol instead of parsing flags.
+	shard.MaybeServeWorker()
+
 	// Global flags precede the subcommand: flowery -cpuprofile=cpu.out inject ...
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -111,6 +117,10 @@ func main() {
 		err = cmdRun(args)
 	case "inject":
 		err = cmdInject(args)
+	case "shard-worker":
+		// Explicit worker mode (the env-var path above covers spawned
+		// workers; this argv form keeps the mode visible in ps output).
+		err = shard.ServeWorker(os.Stdin, os.Stdout)
 	default:
 		usage()
 	}
@@ -129,7 +139,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: flowery [-cpuprofile f] [-memprofile f] {list|ir|opt|protect|asm|run|inject} [flags] <benchmark|file.ir>")
+	fmt.Fprintln(os.Stderr, "usage: flowery [-cpuprofile f] [-memprofile f] {list|ir|opt|protect|asm|run|inject|shard-worker} [flags] <benchmark|file.ir>")
 	os.Exit(2)
 }
 
@@ -377,6 +387,10 @@ func cmdInject(args []string) error {
 	prot := fs.Bool("protect", false, "duplicate before injecting")
 	prune := fs.Bool("prune", false, "equivalence-pruned campaign: inject pilots per fault class and extrapolate")
 	pilots := fs.Int("pilots", 3, "with -prune: average pilot budget per live class (1..8)")
+	workers := fs.Int("workers", 0, "campaign parallelism: engine goroutines per process (0 = GOMAXPROCS); outcomes are identical at any width")
+	shards := fs.Int("shards", 0, "partition the campaign into this many run ranges (0 = unsharded; full campaigns only)")
+	shardWorkers := fs.Int("shard-workers", 0, "with -shards: farm shards to this many flowery worker processes (<= 1 stays in-process)")
+	reclogOut := fs.String("reclog", "", "write every run's record to this file as a compact binary log (internal/reclog; full campaigns only)")
 	p := addProtection(fs)
 	fs.Parse(args)
 	if fs.NArg() != 1 {
@@ -394,15 +408,63 @@ func cmdInject(args []string) error {
 	if err != nil {
 		return fmt.Errorf("inject: %w", err)
 	}
-	pl := pipeline.New(p.pipelineConfig(*runs))
+	cfg := p.pipelineConfig(*runs)
+	cfg.CampaignWorkers = *workers
+	cfg.Shards = *shards
+	if *shardWorkers > 1 {
+		if *shards <= 0 {
+			return fmt.Errorf("inject: -shard-workers needs -shards")
+		}
+		cfg.ShardProcs = *shardWorkers
+		self, err := os.Executable()
+		if err != nil {
+			return fmt.Errorf("inject: resolving own binary for shard workers: %w", err)
+		}
+		cfg.ShardCommand = []string{self, "shard-worker"}
+	}
+	pl := pipeline.New(cfg)
 	opts := pipeline.CampaignOpts{Layer: l}
 	if *prune {
 		opts.Pruning = campaign.PruneClasses
 		opts.PilotsPerClass = *pilots
+		if *reclogOut != "" {
+			return fmt.Errorf("inject: -reclog records full campaigns only (pruned campaigns have no per-run population sample)")
+		}
+	}
+	var logFile *os.File
+	var logW *reclog.Writer
+	var recErr error
+	if *reclogOut != "" {
+		logFile, err = os.Create(*reclogOut)
+		if err != nil {
+			return err
+		}
+		defer logFile.Close()
+		logW = reclog.NewWriter(logFile)
+		opts.Records = func(r campaign.Record) {
+			if recErr == nil {
+				recErr = logW.Write(reclog.Record{
+					Run:     int64(r.Run),
+					Outcome: uint8(r.Outcome),
+					Origin:  uint8(r.Origin),
+					Target:  r.Target,
+					Bit:     r.Bit,
+				})
+			}
+		}
 	}
 	st, err := pl.Campaign(src, v, opts)
 	if err != nil {
 		return err
+	}
+	if logW != nil {
+		if recErr != nil {
+			return fmt.Errorf("inject: writing %s: %w", *reclogOut, recErr)
+		}
+		if err := logW.Close(); err != nil {
+			return fmt.Errorf("inject: finalizing %s: %w", *reclogOut, err)
+		}
+		fmt.Fprintf(os.Stderr, "inject: wrote %d records to %s\n", st.Runs, *reclogOut)
 	}
 	fmt.Printf("runs=%d golden_dyn=%d injectable=%d\n", st.Runs, st.GoldenDyn, st.GoldenInjectable)
 	if st.Pruned {

@@ -128,6 +128,14 @@ type Spec struct {
 	// TraceSpan, when non-nil, parents the campaign's trace spans
 	// (golden run, per-worker batches, engine runs) in Metrics' registry.
 	TraceSpan *telemetry.Span
+	// Records, when non-nil, receives every run's Record in run order
+	// once outcomes are merged (full campaigns only; pruned campaigns
+	// have no per-run population sample to record). The sink is
+	// observation only: it never influences outcomes and, like Metrics,
+	// is excluded from pipeline cache keys — a cache hit replays no
+	// records. The sharded executor encodes this stream with
+	// internal/reclog; `flowery inject -reclog` stores it on disk.
+	Records func(Record)
 }
 
 // Validate rejects nonsensical specs up front with a descriptive error,
@@ -399,6 +407,17 @@ func Run(factory EngineFactory, spec Spec) (Stats, error) {
 	}
 	total.Elapsed = time.Since(start)
 	flushStats(spec.Metrics, total)
+	if spec.Records != nil {
+		for i := range outcomes {
+			spec.Records(Record{
+				Run:     i,
+				Outcome: outcomes[i].outcome,
+				Origin:  outcomes[i].origin,
+				Target:  faults[i].TargetIndex,
+				Bit:     uint8(faults[i].Bit),
+			})
+		}
+	}
 	return total, nil
 }
 

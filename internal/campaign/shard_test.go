@@ -1,0 +1,187 @@
+package campaign
+
+import (
+	"testing"
+
+	"flowery/internal/telemetry"
+)
+
+func TestSplitShards(t *testing.T) {
+	cases := []struct {
+		runs, n int
+		want    []ShardRange
+	}{
+		{10, 1, []ShardRange{{0, 10}}},
+		{10, 3, []ShardRange{{0, 4}, {4, 7}, {7, 10}}},
+		{10, 4, []ShardRange{{0, 3}, {3, 6}, {6, 8}, {8, 10}}},
+		{3, 8, []ShardRange{{0, 1}, {1, 2}, {2, 3}}},
+		{5, 0, []ShardRange{{0, 5}}},
+	}
+	for _, c := range cases {
+		got := SplitShards(c.runs, c.n)
+		if len(got) != len(c.want) {
+			t.Fatalf("SplitShards(%d,%d) = %v", c.runs, c.n, got)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("SplitShards(%d,%d)[%d] = %v, want %v", c.runs, c.n, i, got[i], c.want[i])
+			}
+		}
+	}
+}
+
+// outcomesEqual compares the deterministic fields of two Stats (perf
+// fields depend on scheduling and are exempt by contract).
+func outcomesEqual(a, b Stats) bool {
+	return a.Runs == b.Runs && a.Counts == b.Counts && a.SDCByOrigin == b.SDCByOrigin &&
+		a.GoldenDyn == b.GoldenDyn && a.GoldenInjectable == b.GoldenInjectable
+}
+
+func TestRunShardedMatchesRun(t *testing.T) {
+	m := buildTarget()
+	single, err := Run(factory(m), Spec{Runs: 240, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 2, 5, 16, 240, 1000} {
+		sharded, err := RunSharded(factory(m), Spec{Runs: 240, Seed: 7}, ShardOpts{Shards: shards})
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if !outcomesEqual(single, sharded) {
+			t.Fatalf("shards=%d: outcome drift:\nsingle  %+v\nsharded %+v", shards, single, sharded)
+		}
+	}
+}
+
+func TestRunShardedRecordsStream(t *testing.T) {
+	m := buildTarget()
+	spec := Spec{Runs: 120, Seed: 3}
+	var fromRun []Record
+	runSpec := spec
+	runSpec.Records = func(r Record) { fromRun = append(fromRun, r) }
+	if _, err := Run(factory(m), runSpec); err != nil {
+		t.Fatal(err)
+	}
+	var fromSharded []Record
+	shSpec := spec
+	shSpec.Records = func(r Record) { fromSharded = append(fromSharded, r) }
+	if _, err := RunSharded(factory(m), shSpec, ShardOpts{Shards: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if len(fromRun) != spec.Runs || len(fromSharded) != spec.Runs {
+		t.Fatalf("record counts: run=%d sharded=%d want %d", len(fromRun), len(fromSharded), spec.Runs)
+	}
+	for i := range fromRun {
+		if fromRun[i] != fromSharded[i] {
+			t.Fatalf("record %d: run=%+v sharded=%+v", i, fromRun[i], fromSharded[i])
+		}
+		if fromRun[i].Run != i {
+			t.Fatalf("record %d carries run index %d", i, fromRun[i].Run)
+		}
+	}
+}
+
+// TestShardedTelemetrySingleCount is the double-count regression test:
+// campaign counters must be flushed once at the coordinator, so
+// campaign_runs_total equals Spec.Runs no matter how many shards (or
+// shard-level retries) executed.
+func TestShardedTelemetrySingleCount(t *testing.T) {
+	reg := telemetry.New()
+	spec := Spec{Runs: 150, Seed: 11, Metrics: reg}
+	st, err := RunSharded(factory(buildTarget()), spec, ShardOpts{Shards: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("campaign_runs_total").Value(); got != int64(spec.Runs) {
+		t.Fatalf("campaign_runs_total = %d, want %d (per-shard double counting)", got, spec.Runs)
+	}
+	for o := Outcome(0); o < NumOutcomes; o++ {
+		if n := st.Counts[o]; n > 0 {
+			name := `campaign_outcomes_total{outcome="` + o.String() + `"}`
+			if got := reg.Counter(name).Value(); got != int64(n) {
+				t.Fatalf("%s = %d, want %d", name, got, n)
+			}
+		}
+	}
+}
+
+func TestRunShardedRejectsPruning(t *testing.T) {
+	_, err := RunSharded(factory(buildTarget()), Spec{Runs: 50, Seed: 1, Pruning: PruneClasses, PilotsPerClass: 2}, ShardOpts{Shards: 2})
+	if err == nil {
+		t.Fatal("pruned sharded campaign accepted")
+	}
+}
+
+func TestMergeShardsValidation(t *testing.T) {
+	spec := Spec{Runs: 10, Seed: 1}
+	mk := func(lo, hi int, dyn int64) ShardResult {
+		r := ShardResult{Range: ShardRange{lo, hi}, GoldenDyn: dyn, GoldenInjectable: 5}
+		r.Counts[OutcomeBenign] = hi - lo
+		return r
+	}
+	if _, err := MergeShards(spec, []ShardResult{mk(0, 5, 100), mk(5, 10, 100)}); err != nil {
+		t.Fatalf("valid merge rejected: %v", err)
+	}
+	if _, err := MergeShards(spec, []ShardResult{mk(0, 5, 100)}); err == nil {
+		t.Fatal("gap accepted")
+	}
+	if _, err := MergeShards(spec, []ShardResult{mk(0, 6, 100), mk(5, 10, 100)}); err == nil {
+		t.Fatal("overlap accepted")
+	}
+	if _, err := MergeShards(spec, []ShardResult{mk(0, 5, 100), mk(5, 10, 101)}); err == nil {
+		t.Fatal("golden disagreement accepted")
+	}
+	bad := mk(0, 5, 100)
+	bad.Counts[OutcomeBenign] = 3 // tallies don't sum to the range
+	if _, err := MergeShards(spec, []ShardResult{bad, mk(5, 10, 100)}); err == nil {
+		t.Fatal("mistallied shard accepted")
+	}
+	// Merge order must not matter (integer sums).
+	a, err := MergeShards(spec, []ShardResult{mk(5, 10, 100), mk(0, 5, 100)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := MergeShards(spec, []ShardResult{mk(0, 5, 100), mk(5, 10, 100)})
+	if !outcomesEqual(a, b) {
+		t.Fatal("merge is order-sensitive")
+	}
+}
+
+func TestShardRunnerReuse(t *testing.T) {
+	m := buildTarget()
+	spec := Spec{Runs: 90, Seed: 5}
+	runner, err := NewShardRunner(factory(m), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer runner.Close()
+	// Two disjoint ranges off one runner must equal the same ranges off
+	// fresh runners (snapshot reuse cannot leak state between shards).
+	r1, err := runner.RunRange(ShardRange{0, 45})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := runner.RunRange(ShardRange{45, 90})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := NewShardRunner(factory(m), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresh.Close()
+	f2, err := fresh.RunRange(ShardRange{45, 90})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Counts != f2.Counts || r2.SDCByOrigin != f2.SDCByOrigin {
+		t.Fatalf("runner reuse perturbed outcomes: %v vs %v", r2.Counts, f2.Counts)
+	}
+	if r1.Counts == r2.Counts && r1.Records[0] == r2.Records[0] {
+		t.Fatal("distinct ranges produced identical results; range plumbing broken")
+	}
+	if _, err := runner.RunRange(ShardRange{80, 100}); err == nil {
+		t.Fatal("out-of-campaign range accepted")
+	}
+}

@@ -37,6 +37,16 @@ type Config struct {
 	Seed int64
 	// Workers bounds campaign parallelism (0 = GOMAXPROCS).
 	Workers int
+	// Shards partitions every full campaign into this many run ranges
+	// (campaign.RunSharded; 0 = unsharded). Outcomes are bit-identical
+	// either way — gated by scripts/ci.sh — so this is purely a
+	// scheduling/scale knob. Wired from cmd/experiments -shards.
+	Shards int
+	// ShardWorkers farms shards to this many worker processes
+	// (internal/shard; <= 1 executes shards in-process). Requires the
+	// host binary to call shard.MaybeServeWorker at startup. Wired from
+	// cmd/experiments -shard-workers.
+	ShardWorkers int
 	// Pruning selects equivalence-pruned campaigns (campaign.PruneClasses)
 	// for every per-level measurement, trading exhaustive injection for
 	// extrapolated statistics (DESIGN.md §10). Experiments that study

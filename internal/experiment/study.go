@@ -56,6 +56,8 @@ func newStudy(cfg Config, disabled bool) *Study {
 		// run single-threaded; outcome statistics are identical either
 		// way (campaign's scheduling-independence contract).
 		CampaignWorkers: 1,
+		Shards:          cfg.Shards,
+		ShardProcs:      cfg.ShardWorkers,
 		Disabled:        disabled,
 		Reference:       cfg.Reference,
 		Telemetry:       cfg.Telemetry,

@@ -37,6 +37,7 @@ import (
 	"flowery/internal/interp"
 	"flowery/internal/ir"
 	"flowery/internal/machine"
+	"flowery/internal/shard"
 	"flowery/internal/sim"
 	"flowery/internal/telemetry"
 )
@@ -56,6 +57,21 @@ type Config struct {
 	// campaign.Run (0 = GOMAXPROCS). Excluded from artifact keys:
 	// campaign outcomes are scheduling-independent.
 	CampaignWorkers int
+	// Shards partitions every full (non-pruned) campaign into this many
+	// contiguous run ranges executed via campaign.RunSharded (0 =
+	// unsharded campaign.Run). The shard count enters campaign keys
+	// (`|shards=N`) so sharded and unsharded requests never coalesce
+	// while the bit-identity gate compares them; pruned campaigns ignore
+	// it (they stratify instead of sharding).
+	Shards int
+	// ShardProcs farms the shards out to this many worker processes
+	// (internal/shard) instead of executing them in-process; values <= 1
+	// keep execution in-process. Excluded from artifact keys: like
+	// CampaignWorkers it only changes scheduling, never outcomes.
+	ShardProcs int
+	// ShardCommand overrides the worker argv (default: re-execute this
+	// binary, relying on shard.MaybeServeWorker). Excluded from keys.
+	ShardCommand []string
 	// Parallel is the scheduler width users of ForEach should pass
 	// (0 = GOMAXPROCS). Recorded here so studies and their sub-sweeps
 	// agree on one budget.
@@ -475,6 +491,12 @@ type CampaignOpts struct {
 	Pruning campaign.Pruning
 	// PilotsPerClass is campaign.Spec.PilotsPerClass (pruned mode only).
 	PilotsPerClass int
+	// Records, when non-nil, receives every run's Record (full campaigns
+	// only; see campaign.Spec.Records). Observation only and excluded
+	// from the key — a cache hit replays no records, so set it only on
+	// requests known to miss (fresh-process CLIs like `flowery inject
+	// -reclog`).
+	Records func(campaign.Record)
 }
 
 // Campaign runs (or recalls) a fault-injection campaign for the variant.
@@ -490,6 +512,10 @@ func (p *Pipeline) Campaign(src Source, v Variant, opts CampaignOpts) (campaign.
 	stage := StageCampaign
 	key := fmt.Sprintf("campaign|%s|%s|gpr=%d|runs=%d|seed=%d|snap=%d|maxsteps=%d|ref=%t",
 		p.modKey(src, v), opts.Layer, opts.Backend.GPRScratch, runs, p.cfg.Seed, opts.Snapshots, p.cfg.MaxSteps, p.cfg.Reference)
+	sharded := p.cfg.Shards > 0 && opts.Pruning == campaign.PruneNone
+	if sharded {
+		key += fmt.Sprintf("|shards=%d", p.cfg.Shards)
+	}
 	if opts.Pruning != campaign.PruneNone {
 		stage = StagePrune
 		key += fmt.Sprintf("|prune=%s|k=%d", opts.Pruning, opts.PilotsPerClass)
@@ -499,7 +525,7 @@ func (p *Pipeline) Campaign(src Source, v Variant, opts CampaignOpts) (campaign.
 		if err != nil {
 			return nil, err
 		}
-		st, err := campaign.Run(factory, campaign.Spec{
+		spec := campaign.Spec{
 			Runs:           runs,
 			Seed:           p.cfg.Seed,
 			MaxSteps:       p.cfg.MaxSteps,
@@ -510,7 +536,21 @@ func (p *Pipeline) Campaign(src Source, v Variant, opts CampaignOpts) (campaign.
 			Reference:      p.cfg.Reference,
 			Metrics:        p.cfg.Telemetry,
 			TraceSpan:      sp,
-		})
+			Records:        opts.Records,
+		}
+		var st campaign.Stats
+		if sharded {
+			exec, eerr := p.shardExecutor(src, v, opts)
+			if eerr != nil {
+				return nil, eerr
+			}
+			st, err = campaign.RunSharded(factory, spec, campaign.ShardOpts{
+				Shards: p.cfg.Shards,
+				Exec:   exec,
+			})
+		} else {
+			st, err = campaign.Run(factory, spec)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("pipeline: campaign %s: %w", key, err)
 		}
@@ -525,6 +565,31 @@ func (p *Pipeline) Campaign(src Source, v Variant, opts CampaignOpts) (campaign.
 		return campaign.Stats{}, err
 	}
 	return val.(campaign.Stats), nil
+}
+
+// shardExecutor builds the executor for a sharded campaign: nil (the
+// in-process executor through the engine factory) unless Config asks
+// for worker processes, in which case the variant's pristine module
+// rides to the workers as IR text and is re-derived there exactly the
+// way Compiled derives it here. Pool telemetry (worker spawns, shards,
+// steals, result bytes) reports into Config.Telemetry.
+func (p *Pipeline) shardExecutor(src Source, v Variant, opts CampaignOpts) (campaign.ShardExecutor, error) {
+	if p.cfg.ShardProcs <= 1 && len(p.cfg.ShardCommand) == 0 {
+		return nil, nil
+	}
+	pm, err := p.Module(src, v)
+	if err != nil {
+		return nil, err
+	}
+	return shard.NewPool(shard.Job{
+		Module:     pm.String(),
+		Layer:      opts.Layer.String(),
+		GPRScratch: opts.Backend.GPRScratch,
+	}, shard.PoolOpts{
+		Procs:   p.cfg.ShardProcs,
+		Command: p.cfg.ShardCommand,
+		Metrics: p.cfg.Telemetry,
+	}), nil
 }
 
 // Telemetry is a snapshot of the pipeline's per-stage cache counters

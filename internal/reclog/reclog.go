@@ -1,0 +1,343 @@
+// Package reclog is a compact framed binary log for per-run campaign
+// records, in the spirit of zed's ZNG encoding: fixed-size facts are
+// varint-packed into blocks, every block carries a CRC over its payload,
+// and both ends stream — the writer never buffers more than one block,
+// the reader never more than one block, so a multi-million-run campaign
+// costs O(block) memory to encode, ship, and aggregate.
+//
+// The format is the sharded campaign executor's wire representation
+// (internal/shard ships one stream per shard result) and the on-disk
+// campaign artifact behind `flowery inject -reclog`. It replaces per-run
+// JSON, which at campaign scale dominates the byte budget: a record is
+// ~6 bytes here versus ~70 as a JSON object (see the shardbench rows of
+// BENCH_5.json).
+//
+// Layout:
+//
+//	stream := magic block*
+//	magic  := "FRL1" (4 bytes)
+//	block  := 0x01 uvarint(count) uvarint(len(payload)) payload crc32c(payload)[4, LE]
+//	payload:= record*
+//	record := uvarint(runDelta) byte(outcome) byte(origin) uvarint(target) byte(bit)
+//
+// Run indices are delta-coded against the previous record in the block;
+// the first record of a block is delta-coded against the block header's
+// base run (uvarint, first field of the payload). Records must therefore
+// be appended in strictly increasing run order, which is the order every
+// campaign path produces them in. Blocks are self-delimiting and
+// self-checking: a reader can detect truncation (unexpected EOF inside a
+// block), corruption (CRC mismatch, malformed varints, trailing payload
+// bytes), and framing drift (unknown block marker) without trusting any
+// earlier byte.
+package reclog
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Record is one classified injection run. The fields mirror
+// campaign.Record but stay dependency-free so the log can be read
+// without the campaign layer (and fuzzed in isolation).
+type Record struct {
+	// Run is the run index within the campaign (>= 0, strictly
+	// increasing within a stream).
+	Run int64
+	// Outcome is the campaign.Outcome value.
+	Outcome uint8
+	// Origin is the asm.Origin provenance tag of the injected
+	// instruction.
+	Origin uint8
+	// Target is the injected fault's dynamic target index (>= 0).
+	Target int64
+	// Bit is the flipped bit choice.
+	Bit uint8
+}
+
+// Magic starts every stream.
+const Magic = "FRL1"
+
+// blockMarker introduces every block.
+const blockMarker = 0x01
+
+// DefaultBlockRecords is the writer's records-per-block target. Blocks
+// this size keep the CRC and header overhead under 1% while bounding
+// the damage radius of a corrupt block to a few KiB.
+const DefaultBlockRecords = 1024
+
+// maxBlockBytes bounds a block a reader will buffer; a declared payload
+// beyond it is treated as corruption, not an allocation request.
+const maxBlockBytes = 1 << 24
+
+// ErrCorrupt reports a structurally damaged stream (bad magic, CRC
+// mismatch, truncated or malformed block). It is wrapped with detail;
+// test with errors.Is.
+var ErrCorrupt = errors.New("reclog: corrupt stream")
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Writer encodes records into a stream. Not safe for concurrent use.
+type Writer struct {
+	w        *bufio.Writer
+	buf      []byte // current block payload
+	count    int    // records in the current block
+	base     int64  // base run of the current block (first record's run)
+	last     int64  // last appended run (-1 before the first)
+	wrote    bool   // magic written
+	perBlock int
+	scratch  [binary.MaxVarintLen64]byte
+}
+
+// NewWriter returns a Writer encoding to w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w), last: -1, perBlock: DefaultBlockRecords}
+}
+
+func (w *Writer) putUvarint(v uint64) {
+	n := binary.PutUvarint(w.scratch[:], v)
+	w.buf = append(w.buf, w.scratch[:n]...)
+}
+
+// Write appends one record. Records must arrive in strictly increasing
+// Run order with nonnegative Run and Target.
+func (w *Writer) Write(r Record) error {
+	if r.Run < 0 || r.Target < 0 {
+		return fmt.Errorf("reclog: negative run (%d) or target (%d)", r.Run, r.Target)
+	}
+	if r.Run <= w.last {
+		return fmt.Errorf("reclog: run %d not after previous run %d", r.Run, w.last)
+	}
+	if !w.wrote {
+		if _, err := w.w.WriteString(Magic); err != nil {
+			return err
+		}
+		w.wrote = true
+	}
+	if w.count == 0 {
+		w.base = r.Run
+		w.putUvarint(uint64(r.Run)) // block base
+		w.putUvarint(0)             // first record: delta from base
+	} else {
+		w.putUvarint(uint64(r.Run - w.last))
+	}
+	w.buf = append(w.buf, r.Outcome, r.Origin)
+	w.putUvarint(uint64(r.Target))
+	w.buf = append(w.buf, r.Bit)
+	w.last = r.Run
+	w.count++
+	if w.count >= w.perBlock {
+		return w.flushBlock()
+	}
+	return nil
+}
+
+// flushBlock emits the buffered block (no-op when empty).
+func (w *Writer) flushBlock() error {
+	if w.count == 0 {
+		return nil
+	}
+	if err := w.w.WriteByte(blockMarker); err != nil {
+		return err
+	}
+	n := binary.PutUvarint(w.scratch[:], uint64(w.count))
+	if _, err := w.w.Write(w.scratch[:n]); err != nil {
+		return err
+	}
+	n = binary.PutUvarint(w.scratch[:], uint64(len(w.buf)))
+	if _, err := w.w.Write(w.scratch[:n]); err != nil {
+		return err
+	}
+	if _, err := w.w.Write(w.buf); err != nil {
+		return err
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(w.buf, crcTable))
+	if _, err := w.w.Write(crc[:]); err != nil {
+		return err
+	}
+	w.buf = w.buf[:0]
+	w.count = 0
+	return nil
+}
+
+// Close flushes the final block and the underlying buffer. The Writer
+// must not be used afterwards. Close writes the magic even for an empty
+// stream, so "no records" and "no stream" stay distinguishable.
+func (w *Writer) Close() error {
+	if !w.wrote {
+		if _, err := w.w.WriteString(Magic); err != nil {
+			return err
+		}
+		w.wrote = true
+	}
+	if err := w.flushBlock(); err != nil {
+		return err
+	}
+	return w.w.Flush()
+}
+
+// Reader decodes a stream. Not safe for concurrent use.
+type Reader struct {
+	r       *bufio.Reader
+	payload []byte // current block payload
+	off     int    // read offset into payload
+	left    int    // records left in the current block
+	run     int64  // previous run (block base before the first record)
+	started bool   // magic consumed
+	lastRun int64  // last run returned across blocks (-1 initially)
+}
+
+// NewReader returns a Reader decoding from r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReader(r), lastRun: -1}
+}
+
+func corrupt(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+// Next returns the next record, io.EOF at a clean end of stream, or an
+// error wrapping ErrCorrupt for damaged input. It never panics on any
+// input.
+func (r *Reader) Next() (Record, error) {
+	if !r.started {
+		var magic [4]byte
+		if _, err := io.ReadFull(r.r, magic[:]); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return Record{}, corrupt("short magic")
+			}
+			return Record{}, err
+		}
+		if string(magic[:]) != Magic {
+			return Record{}, corrupt("bad magic %q", magic[:])
+		}
+		r.started = true
+	}
+	for r.left == 0 {
+		if err := r.nextBlock(); err != nil {
+			return Record{}, err
+		}
+	}
+	delta, err := r.payloadUvarint()
+	if err != nil {
+		return Record{}, err
+	}
+	if r.off+2 > len(r.payload) {
+		return Record{}, corrupt("truncated record")
+	}
+	outcome, origin := r.payload[r.off], r.payload[r.off+1]
+	r.off += 2
+	target, err := r.payloadUvarint()
+	if err != nil {
+		return Record{}, err
+	}
+	if r.off >= len(r.payload) {
+		return Record{}, corrupt("truncated record")
+	}
+	bit := r.payload[r.off]
+	r.off++
+	r.left--
+	if r.left == 0 && r.off != len(r.payload) {
+		return Record{}, corrupt("%d trailing payload bytes", len(r.payload)-r.off)
+	}
+	run := r.run + int64(delta)
+	if run < 0 || int64(target) < 0 {
+		return Record{}, corrupt("run or target overflow")
+	}
+	if run <= r.lastRun {
+		return Record{}, corrupt("run %d not increasing past %d", run, r.lastRun)
+	}
+	r.run, r.lastRun = run, run
+	return Record{Run: run, Outcome: outcome, Origin: origin, Target: int64(target), Bit: bit}, nil
+}
+
+// nextBlock loads and CRC-checks the next block. io.EOF only at a clean
+// block boundary.
+func (r *Reader) nextBlock() error {
+	marker, err := r.r.ReadByte()
+	if err != nil {
+		if err == io.EOF {
+			return io.EOF // clean end
+		}
+		return err
+	}
+	if marker != blockMarker {
+		return corrupt("bad block marker 0x%02x", marker)
+	}
+	count, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		return corruptEOF(err, "block count")
+	}
+	size, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		return corruptEOF(err, "block size")
+	}
+	if count == 0 || size == 0 || size > maxBlockBytes || count > size {
+		return corrupt("implausible block: %d records in %d bytes", count, size)
+	}
+	if cap(r.payload) < int(size) {
+		r.payload = make([]byte, size)
+	}
+	r.payload = r.payload[:size]
+	if _, err := io.ReadFull(r.r, r.payload); err != nil {
+		return corruptEOF(err, "block payload")
+	}
+	var crc [4]byte
+	if _, err := io.ReadFull(r.r, crc[:]); err != nil {
+		return corruptEOF(err, "block crc")
+	}
+	if got, want := crc32.Checksum(r.payload, crcTable), binary.LittleEndian.Uint32(crc[:]); got != want {
+		return corrupt("crc mismatch: computed %08x, stored %08x", got, want)
+	}
+	r.off = 0
+	r.left = int(count)
+	base, err := r.payloadUvarint()
+	if err != nil {
+		return err
+	}
+	// The base need only keep the first record (delta 0 from it) past
+	// lastRun; that is checked per record in Next.
+	r.run = int64(base)
+	if r.run < 0 {
+		return corrupt("block base overflow")
+	}
+	return nil
+}
+
+func corruptEOF(err error, what string) error {
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return corrupt("truncated %s", what)
+	}
+	return err
+}
+
+// payloadUvarint decodes a uvarint from the current block payload.
+func (r *Reader) payloadUvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.payload[r.off:])
+	if n <= 0 {
+		return 0, corrupt("malformed varint at payload offset %d", r.off)
+	}
+	r.off += n
+	return v, nil
+}
+
+// ReadAll decodes every record of the stream (convenience for tests and
+// small artifacts; large consumers should stream with Next).
+func ReadAll(src io.Reader) ([]Record, error) {
+	r := NewReader(src)
+	var out []Record
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}

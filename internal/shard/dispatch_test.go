@@ -1,0 +1,74 @@
+package shard
+
+import "testing"
+
+func TestDispatcherDealsThenSteals(t *testing.T) {
+	d := newDispatcher(3)
+	seen := map[int]bool{}
+	for i := 0; i < 3; i++ {
+		idx, steal, ok := d.next()
+		if !ok || steal {
+			t.Fatalf("assignment %d: steal=%v ok=%v", i, steal, ok)
+		}
+		seen[idx] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("pending phase dealt %v", seen)
+	}
+	// Queue drained, nothing complete: further requests are steals of
+	// the oldest inflight shards, rotating across stragglers.
+	a, steal, ok := d.next()
+	if !ok || !steal {
+		t.Fatalf("expected steal, got steal=%v ok=%v", steal, ok)
+	}
+	b, steal, _ := d.next()
+	if !steal || b == a {
+		t.Fatalf("consecutive steals hit the same straggler %d", a)
+	}
+	// First completion wins; the duplicate is reported as such.
+	if !d.complete(a) {
+		t.Fatal("first completion rejected")
+	}
+	if d.complete(a) {
+		t.Fatal("duplicate completion accepted")
+	}
+	// Completed shards are skipped by the steal scan.
+	for i := 0; i < 4; i++ {
+		idx, _, ok := d.next()
+		if !ok {
+			t.Fatal("work left but dispatcher dry")
+		}
+		if idx == a {
+			t.Fatal("stole a completed shard")
+		}
+	}
+	d.complete(b)
+	last, _, ok := d.next() // only the third shard is left to steal
+	if !ok {
+		t.Fatal("work left but dispatcher dry")
+	}
+	if last == a || last == b {
+		t.Fatalf("stole completed shard %d", last)
+	}
+	d.complete(last)
+	if _, _, ok := d.next(); ok {
+		t.Fatal("dispatcher not dry after all completions")
+	}
+}
+
+func TestDispatcherRequeue(t *testing.T) {
+	d := newDispatcher(2)
+	a, _, _ := d.next()
+	b, _, _ := d.next()
+	d.complete(b)
+	d.requeue(a) // dead worker hands its assignment back
+	idx, steal, ok := d.next()
+	if !ok || steal || idx != a {
+		t.Fatalf("requeued shard not re-dealt: idx=%d steal=%v ok=%v", idx, steal, ok)
+	}
+	d.complete(a)
+	d.requeue(a) // requeue after completion is a no-op
+	if _, _, ok := d.next(); ok {
+		t.Fatal("completed shard re-dealt after requeue")
+	}
+}

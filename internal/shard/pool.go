@@ -1,0 +1,389 @@
+package shard
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+
+	"flowery/internal/campaign"
+	"flowery/internal/telemetry"
+)
+
+// PoolOpts configures a worker pool.
+type PoolOpts struct {
+	// Procs is the number of worker processes (default 1; values above
+	// the shard count are trimmed at Execute time).
+	Procs int
+	// Command is the worker argv. Default: re-execute this binary with
+	// no arguments, relying on MaybeServeWorker + EnvWorker. cmd/flowery
+	// passes [self, "shard-worker"] so the mode is visible in ps output.
+	Command []string
+	// Env is extra environment appended to the inherited one (EnvWorker
+	// is always set on top).
+	Env []string
+	// Metrics, when non-nil, receives coordinator-side pool telemetry:
+	// shard_workers_spawned_total, shard_shards_executed_total,
+	// shard_steals_total, shard_duplicate_results_total,
+	// shard_result_bytes_total. Workers themselves emit nothing — the
+	// campaign counters are flushed once by campaign.RunSharded.
+	Metrics *telemetry.Registry
+}
+
+// WorkerStats is one worker process's contribution to a campaign.
+type WorkerStats struct {
+	// Shards counts results this worker reported that were accepted
+	// (first completion of their range).
+	Shards int
+	// Duplicates counts results dropped because another worker finished
+	// the (stolen) range first.
+	Duplicates int
+	// CPUNanos is the worker process's total CPU time across its
+	// results, including its one-time setup (golden run, snapshots).
+	CPUNanos int64
+	// ResultBytes totals the msgResult payload bytes it sent.
+	ResultBytes int64
+	// Err records why the worker died, if it did.
+	Err error
+}
+
+// PoolStats describes the last Execute call.
+type PoolStats struct {
+	Workers []WorkerStats
+	// Steals counts straggler re-assignments issued.
+	Steals int
+}
+
+// CriticalPathCPU is the bottleneck worker's CPU time: the makespan of
+// the partition on a machine with at least len(Workers) free cores.
+// On such hosts wall clock tracks it; on smaller hosts (CI containers)
+// it is still a faithful measure of partition balance, which is why
+// shardbench reports it alongside raw wall time.
+func (s PoolStats) CriticalPathCPU() int64 {
+	var max int64
+	for _, w := range s.Workers {
+		if w.CPUNanos > max {
+			max = w.CPUNanos
+		}
+	}
+	return max
+}
+
+// TotalResultBytes sums the result payload traffic of all workers.
+func (s PoolStats) TotalResultBytes() int64 {
+	var n int64
+	for _, w := range s.Workers {
+		n += w.ResultBytes
+	}
+	return n
+}
+
+// Pool is a campaign.ShardExecutor that farms shards to worker
+// processes. Construct one per campaign with NewPool; Execute is not
+// reentrant (it records per-run stats readable via Stats afterward).
+type Pool struct {
+	job  Job
+	opts PoolOpts
+
+	mu    sync.Mutex
+	stats PoolStats
+}
+
+// NewPool builds a pool for one campaign job. The job's campaign knobs
+// (Runs, Seed, ...) are overwritten from the Spec at Execute time; the
+// module, layer, and backend config identify what the workers run.
+func NewPool(job Job, opts PoolOpts) *Pool {
+	if opts.Procs <= 0 {
+		opts.Procs = 1
+	}
+	return &Pool{job: job, opts: opts}
+}
+
+// Stats returns the statistics of the last Execute call.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// dispatcher deals shard indices: pending ranges first, then — once the
+// queue drains — it re-deals the oldest still-inflight range to idle
+// workers (work stealing). Shards are deterministic and idempotent, so
+// a range may safely execute in several workers at once; complete()
+// accepts only the first result. Stolen ranges rotate to the back of
+// the inflight list so consecutive steals target different stragglers.
+type dispatcher struct {
+	mu       sync.Mutex
+	pending  []int
+	inflight []int
+	done     []bool
+	steals   int
+}
+
+func newDispatcher(n int) *dispatcher {
+	d := &dispatcher{pending: make([]int, n), done: make([]bool, n)}
+	for i := range d.pending {
+		d.pending[i] = i
+	}
+	return d
+}
+
+// next returns a shard index to execute and whether this assignment is
+// a steal; ok is false when every shard is complete.
+func (d *dispatcher) next() (idx int, steal, ok bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.pending) > 0 {
+		idx = d.pending[0]
+		d.pending = d.pending[1:]
+		d.inflight = append(d.inflight, idx)
+		return idx, false, true
+	}
+	for len(d.inflight) > 0 {
+		idx = d.inflight[0]
+		d.inflight = d.inflight[1:]
+		if d.done[idx] {
+			continue
+		}
+		d.inflight = append(d.inflight, idx)
+		d.steals++
+		return idx, true, true
+	}
+	return 0, false, false
+}
+
+// requeue returns an assignment whose worker died so others pick it up
+// even before the steal path kicks in.
+func (d *dispatcher) requeue(idx int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.done[idx] {
+		d.pending = append(d.pending, idx)
+	}
+}
+
+// complete marks a shard done; reports whether this was the first
+// completion (later duplicates are dropped by the caller).
+func (d *dispatcher) complete(idx int) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.done[idx] {
+		return false
+	}
+	d.done[idx] = true
+	return true
+}
+
+// Execute implements campaign.ShardExecutor: spawn workers, ship the
+// job, deal ranges until all are complete, quit the workers. A worker
+// failure is tolerated as long as at least one worker survives to pick
+// up its shards; emit is called exactly once per completed range (the
+// campaign side also dedupes defensively).
+func (p *Pool) Execute(spec campaign.Spec, ranges []campaign.ShardRange, emit func(campaign.ShardResult)) error {
+	job := p.job
+	job.Runs = spec.Runs
+	job.Seed = spec.Seed
+	job.MaxSteps = spec.MaxSteps
+	job.Workers = spec.Workers
+	job.Snapshots = spec.Snapshots
+	job.Reference = spec.Reference
+	payload, err := json.Marshal(job)
+	if err != nil {
+		return fmt.Errorf("shard: encoding job: %w", err)
+	}
+	wantHash := jobHash(payload)
+
+	procs := p.opts.Procs
+	if procs > len(ranges) {
+		procs = len(ranges)
+	}
+
+	var reg *telemetry.Registry
+	if p.opts.Metrics != nil {
+		reg = p.opts.Metrics
+		reg.Counter("shard_workers_spawned_total").Add(int64(procs))
+	}
+
+	d := newDispatcher(len(ranges))
+	stats := PoolStats{Workers: make([]WorkerStats, procs)}
+	var emitMu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < procs; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			err := p.runWorker(payload, wantHash, d, ranges, func(idx int, res campaign.ShardResult, cpu int64, bytes int) {
+				ws := &stats.Workers[w]
+				ws.CPUNanos += cpu
+				ws.ResultBytes += int64(bytes)
+				if d.complete(idx) {
+					ws.Shards++
+					if reg != nil {
+						reg.Counter("shard_shards_executed_total").Add(1)
+						reg.Counter("shard_result_bytes_total").Add(int64(bytes))
+					}
+					emitMu.Lock()
+					emit(res)
+					emitMu.Unlock()
+				} else {
+					ws.Duplicates++
+					if reg != nil {
+						reg.Counter("shard_duplicate_results_total").Add(1)
+					}
+				}
+			})
+			if err != nil {
+				stats.Workers[w].Err = err
+			}
+		}()
+	}
+	wg.Wait()
+	d.mu.Lock()
+	stats.Steals = d.steals
+	d.mu.Unlock()
+	if reg != nil {
+		reg.Counter("shard_steals_total").Add(int64(stats.Steals))
+	}
+	p.mu.Lock()
+	p.stats = stats
+	p.mu.Unlock()
+
+	var errs []string
+	for w := range stats.Workers {
+		if stats.Workers[w].Err != nil {
+			errs = append(errs, fmt.Sprintf("worker %d: %v", w, stats.Workers[w].Err))
+		}
+	}
+	for i := range ranges {
+		if !d.done[i] {
+			return fmt.Errorf("shard: ranges left unexecuted after worker failures: %s", strings.Join(errs, "; "))
+		}
+	}
+	if len(errs) == len(stats.Workers) && len(errs) > 0 {
+		return fmt.Errorf("shard: every worker failed: %s", strings.Join(errs, "; "))
+	}
+	return nil
+}
+
+// runWorker owns one worker process end to end: spawn, handshake, then
+// a strict request/response loop until the dispatcher runs dry.
+func (p *Pool) runWorker(jobPayload []byte, wantHash [32]byte, d *dispatcher, ranges []campaign.ShardRange,
+	report func(idx int, res campaign.ShardResult, cpu int64, bytes int)) error {
+
+	argv := p.opts.Command
+	if len(argv) == 0 {
+		self, err := os.Executable()
+		if err != nil {
+			return fmt.Errorf("shard: resolving own binary: %w", err)
+		}
+		argv = []string{self}
+	}
+	cmd := exec.Command(argv[0], argv[1:]...)
+	cmd.Env = append(append(os.Environ(), p.opts.Env...), EnvWorker+"=1")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("shard: starting worker %q: %w", argv[0], err)
+	}
+	// Reap the process exactly once on every exit path; Kill on a
+	// finished process is a no-op error we ignore. exec's copier
+	// goroutine writes the stderr buffer until Wait returns, so anything
+	// reading the buffer must reap first.
+	var reapOnce sync.Once
+	reap := func() {
+		reapOnce.Do(func() {
+			stdin.Close()
+			cmd.Process.Kill()
+			cmd.Wait()
+		})
+	}
+	defer reap()
+	fail := func(err error) error {
+		reap()
+		if stderr.Len() > 0 {
+			return fmt.Errorf("%w (worker stderr: %s)", err, strings.TrimSpace(stderr.String()))
+		}
+		return err
+	}
+
+	bw := bufio.NewWriter(stdin)
+	br := bufio.NewReaderSize(stdout, 1<<16)
+	if err := writeFrame(bw, msgJob, jobPayload); err != nil {
+		return fail(fmt.Errorf("shard: sending job: %w", err))
+	}
+	if err := bw.Flush(); err != nil {
+		return fail(err)
+	}
+	typ, payload, err := readFrame(br)
+	if err != nil {
+		return fail(fmt.Errorf("shard: reading ready: %w", err))
+	}
+	switch typ {
+	case msgError:
+		return fmt.Errorf("shard: worker rejected job: %s", payload)
+	case msgReady:
+		if !bytes.Equal(payload, wantHash[:]) {
+			return fmt.Errorf("shard: worker acknowledged a different job (hash mismatch — stale worker binary?)")
+		}
+	default:
+		return fail(fmt.Errorf("shard: expected ready frame, got type %d", typ))
+	}
+
+	for {
+		idx, _, ok := d.next()
+		if !ok {
+			writeFrame(bw, msgQuit, nil)
+			bw.Flush()
+			return nil
+		}
+		if err := writeFrame(bw, msgShard, encodeShard(ranges[idx])); err != nil {
+			d.requeue(idx)
+			return fail(fmt.Errorf("shard: assigning range %v: %w", ranges[idx], err))
+		}
+		if err := bw.Flush(); err != nil {
+			d.requeue(idx)
+			return fail(err)
+		}
+		typ, payload, err := readFrame(br)
+		if err != nil {
+			d.requeue(idx)
+			return fail(fmt.Errorf("shard: reading result for %v: %w", ranges[idx], err))
+		}
+		switch typ {
+		case msgResult:
+			res, cpu, size, err := unmarshalResult(payload)
+			if err != nil {
+				d.requeue(idx)
+				return fail(err)
+			}
+			if res.Range != ranges[idx] {
+				d.requeue(idx)
+				return fmt.Errorf("shard: worker answered range %v for assignment %v", res.Range, ranges[idx])
+			}
+			report(idx, res, cpu, size)
+		case msgError:
+			// A shard error is fatal for this worker; the range is
+			// requeued for survivors. A deterministic failure therefore
+			// surfaces as every worker dying with the same error (and the
+			// unexecuted-ranges check firing) rather than a retry livelock.
+			d.requeue(idx)
+			return fmt.Errorf("shard: range %v failed in worker: %s", ranges[idx], payload)
+		default:
+			d.requeue(idx)
+			return fail(fmt.Errorf("shard: unexpected frame type %d awaiting result", typ))
+		}
+	}
+}

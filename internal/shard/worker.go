@@ -1,0 +1,258 @@
+package shard
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"syscall"
+
+	"flowery/internal/asm"
+	"flowery/internal/backend"
+	"flowery/internal/campaign"
+	"flowery/internal/interp"
+	"flowery/internal/ir"
+	"flowery/internal/machine"
+	"flowery/internal/reclog"
+	"flowery/internal/sim"
+)
+
+// EnvWorker marks a process as a shard worker. The coordinator sets it
+// when spawning; MaybeServeWorker checks it at main() entry so any
+// flowery binary can double as its own worker without argv gymnastics.
+const EnvWorker = "FLOWERY_SHARD_WORKER"
+
+// MaybeServeWorker turns the current process into a shard worker when
+// EnvWorker is set, serving the protocol on stdin/stdout and exiting
+// when the coordinator hangs up; otherwise it returns immediately.
+// Call it first thing in main() (and in TestMain for packages whose
+// test binary doubles as the worker Command).
+func MaybeServeWorker() {
+	if os.Getenv(EnvWorker) == "" {
+		return
+	}
+	if err := ServeWorker(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "flowery shard worker:", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// ServeWorker runs the worker half of the protocol: read one job, build
+// the engines, then execute shard assignments until msgQuit or EOF.
+// Errors while executing a shard are reported to the coordinator as
+// msgError frames (the coordinator re-deals the shard elsewhere);
+// protocol-level errors tear the worker down.
+func ServeWorker(r io.Reader, w io.Writer) error {
+	br := bufio.NewReaderSize(r, 1<<16)
+	bw := bufio.NewWriterSize(w, 1<<16)
+
+	typ, payload, err := readFrame(br)
+	if err != nil {
+		return fmt.Errorf("reading job: %w", err)
+	}
+	if typ != msgJob {
+		return fmt.Errorf("expected job frame, got type %d", typ)
+	}
+	hash := jobHash(payload)
+
+	runner, err := buildRunner(payload)
+	if err != nil {
+		// Report the build failure instead of dying silently: the
+		// coordinator surfaces it with context.
+		if werr := writeFrame(bw, msgError, []byte(err.Error())); werr == nil {
+			bw.Flush()
+		}
+		return err
+	}
+	defer runner.Close()
+
+	if err := writeFrame(bw, msgReady, hash[:]); err != nil {
+		return fmt.Errorf("sending ready: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+
+	setupDone := false
+	lastCPU := cpuNanos()
+	for {
+		typ, payload, err := readFrame(br)
+		if err == io.EOF {
+			return nil // coordinator hung up; treat as quit
+		}
+		if err != nil {
+			return fmt.Errorf("reading assignment: %w", err)
+		}
+		switch typ {
+		case msgQuit:
+			return nil
+		case msgShard:
+			rg, err := decodeShard(payload)
+			if err != nil {
+				return err
+			}
+			res, err := runner.RunRange(rg)
+			if err != nil {
+				if werr := writeFrame(bw, msgError, []byte(err.Error())); werr != nil {
+					return werr
+				}
+				if err := bw.Flush(); err != nil {
+					return err
+				}
+				continue
+			}
+			if !setupDone {
+				res.SetupInstrs = runner.SetupInstrs()
+				setupDone = true
+			}
+			cpu := cpuNanos()
+			frame, err := marshalResult(res, cpu-lastCPU)
+			lastCPU = cpu
+			if err != nil {
+				return err
+			}
+			if err := writeFrame(bw, msgResult, frame); err != nil {
+				return err
+			}
+			if err := bw.Flush(); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("unexpected frame type %d", typ)
+		}
+	}
+}
+
+// buildRunner reconstructs the coordinator's engines from the job: the
+// same parse → (lower →) assign-addresses derivation pipeline.Compiled
+// performs on its side of the fence, so run outcomes match bit for bit
+// (ir print/parse round-trip stability is what makes the text form a
+// faithful transport; MergeShards' golden consensus check guards it at
+// every merge).
+func buildRunner(payload []byte) (*campaign.ShardRunner, error) {
+	var job Job
+	if err := unmarshalJob(payload, &job); err != nil {
+		return nil, err
+	}
+	m, err := ir.Parse(job.Module)
+	if err != nil {
+		return nil, fmt.Errorf("shard: parsing job module: %w", err)
+	}
+	if err := m.Verify(); err != nil {
+		return nil, fmt.Errorf("shard: job module invalid: %w", err)
+	}
+	var factory campaign.EngineFactory
+	switch job.Layer {
+	case LayerIR:
+		m.AssignAddresses()
+		factory = func() (sim.Engine, error) { return interp.New(m), nil }
+	case LayerAsm:
+		prog, err := backend.LowerCfg(m, backend.Config{GPRScratch: job.GPRScratch})
+		if err != nil {
+			return nil, fmt.Errorf("shard: lowering job module: %w", err)
+		}
+		m.AssignAddresses()
+		factory = func() (sim.Engine, error) { return machine.New(m, prog) }
+	default:
+		return nil, fmt.Errorf("shard: unknown layer %q", job.Layer)
+	}
+	return campaign.NewShardRunner(factory, job.Spec())
+}
+
+// marshalResult renders a ShardResult as a msgResult payload: JSON
+// header plus the shard's records as a reclog stream.
+func marshalResult(res campaign.ShardResult, cpu int64) ([]byte, error) {
+	var stream bytes.Buffer
+	rw := reclog.NewWriter(&stream)
+	for _, rec := range res.Records {
+		if err := rw.Write(reclog.Record{
+			Run:     int64(rec.Run),
+			Outcome: uint8(rec.Outcome),
+			Origin:  uint8(rec.Origin),
+			Target:  rec.Target,
+			Bit:     rec.Bit,
+		}); err != nil {
+			return nil, fmt.Errorf("shard: encoding record for run %d: %w", rec.Run, err)
+		}
+	}
+	if err := rw.Close(); err != nil {
+		return nil, err
+	}
+	hdr := resultHeader{
+		Lo:               res.Range.Lo,
+		Hi:               res.Range.Hi,
+		Counts:           res.Counts[:],
+		SDCByOrigin:      res.SDCByOrigin[:],
+		GoldenDyn:        res.GoldenDyn,
+		GoldenInjectable: res.GoldenInjectable,
+		SimulatedInstrs:  res.SimulatedInstrs,
+		SavedInstrs:      res.SavedInstrs,
+		SetupInstrs:      res.SetupInstrs,
+		CPUNanos:         cpu,
+	}
+	return encodeResult(hdr, stream.Bytes())
+}
+
+// unmarshalResult is marshalResult's inverse, rebuilding the
+// campaign.ShardResult the coordinator merges.
+func unmarshalResult(payload []byte) (campaign.ShardResult, int64, int, error) {
+	hdr, stream, err := decodeResult(payload)
+	if err != nil {
+		return campaign.ShardResult{}, 0, 0, err
+	}
+	res := campaign.ShardResult{
+		Range:            campaign.ShardRange{Lo: hdr.Lo, Hi: hdr.Hi},
+		GoldenDyn:        hdr.GoldenDyn,
+		GoldenInjectable: hdr.GoldenInjectable,
+		SimulatedInstrs:  hdr.SimulatedInstrs,
+		SavedInstrs:      hdr.SavedInstrs,
+		SetupInstrs:      hdr.SetupInstrs,
+	}
+	if len(hdr.Counts) != len(res.Counts) || len(hdr.SDCByOrigin) != len(res.SDCByOrigin) {
+		return campaign.ShardResult{}, 0, 0, fmt.Errorf("shard: result header shape mismatch (worker version skew?)")
+	}
+	copy(res.Counts[:], hdr.Counts)
+	copy(res.SDCByOrigin[:], hdr.SDCByOrigin)
+
+	recs, err := reclog.ReadAll(bytes.NewReader(stream))
+	if err != nil {
+		return campaign.ShardResult{}, 0, 0, fmt.Errorf("shard: result record stream: %w", err)
+	}
+	if len(recs) != hdr.Hi-hdr.Lo {
+		return campaign.ShardResult{}, 0, 0, fmt.Errorf("shard: result carries %d records for %d runs", len(recs), hdr.Hi-hdr.Lo)
+	}
+	res.Records = make([]campaign.Record, len(recs))
+	for i, rec := range recs {
+		if rec.Run != int64(hdr.Lo+i) {
+			return campaign.ShardResult{}, 0, 0, fmt.Errorf("shard: record %d has run %d, want %d", i, rec.Run, hdr.Lo+i)
+		}
+		if int(rec.Outcome) >= int(campaign.NumOutcomes) || int(rec.Origin) >= asm.NumOrigins {
+			return campaign.ShardResult{}, 0, 0, fmt.Errorf("shard: record %d has out-of-range outcome/origin (%d/%d)", i, rec.Outcome, rec.Origin)
+		}
+		res.Records[i] = campaign.Record{
+			Run:     int(rec.Run),
+			Outcome: campaign.Outcome(rec.Outcome),
+			Origin:  asm.Origin(rec.Origin),
+			Target:  rec.Target,
+			Bit:     rec.Bit,
+		}
+	}
+	return res, hdr.CPUNanos, len(payload), nil
+}
+
+// cpuNanos returns this process's consumed CPU time (user + system).
+// It feeds the coordinator's partition-balance accounting only; it
+// never influences outcomes.
+func cpuNanos() int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return tvNanos(ru.Utime) + tvNanos(ru.Stime)
+}
+
+func tvNanos(tv syscall.Timeval) int64 {
+	return int64(tv.Sec)*1e9 + int64(tv.Usec)*1e3
+}

@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestMergeStrataAssociativity is the property test behind sharded
+// pruned campaigns: however the pilot tallies of a stratification are
+// partitioned across workers — and in whatever order and grouping the
+// partitions are merged back — StratifiedP and StratifiedCI must come
+// out bit-identical to the unpartitioned computation.
+func TestMergeStrataAssociativity(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260808))
+	for trial := 0; trial < 200; trial++ {
+		nStrata := 1 + rng.Intn(12)
+		full := make([]Stratum, nStrata)
+		wsum := 0.0
+		for i := range full {
+			full[i] = Stratum{
+				Weight: rng.Float64(),
+				Hits:   rng.Intn(50),
+				Exact:  rng.Intn(4) == 0,
+			}
+			full[i].Total = full[i].Hits + rng.Intn(200)
+			wsum += full[i].Weight
+		}
+		for i := range full {
+			full[i].Weight /= wsum
+		}
+
+		// Split every stratum's tallies across k random partitions.
+		k := 1 + rng.Intn(6)
+		parts := make([][]Stratum, k)
+		for p := range parts {
+			parts[p] = make([]Stratum, nStrata)
+			for i := range full {
+				parts[p][i] = Stratum{Weight: full[i].Weight, Exact: full[i].Exact}
+			}
+		}
+		for i, s := range full {
+			for h := 0; h < s.Hits; h++ {
+				p := rng.Intn(k)
+				parts[p][i].Hits++
+				parts[p][i].Total++
+			}
+			for n := 0; n < s.Total-s.Hits; n++ {
+				parts[rng.Intn(k)][i].Total++
+			}
+		}
+
+		wantP := StratifiedP(full)
+		_, wantLo, wantHi := StratifiedCI(full, Z95)
+
+		check := func(name string, merged []Stratum) {
+			t.Helper()
+			if len(merged) != nStrata {
+				t.Fatalf("trial %d %s: %d strata, want %d", trial, name, len(merged), nStrata)
+			}
+			for i := range merged {
+				if merged[i] != full[i] {
+					t.Fatalf("trial %d %s: stratum %d = %+v, want %+v", trial, name, i, merged[i], full[i])
+				}
+			}
+			if p := StratifiedP(merged); p != wantP {
+				t.Fatalf("trial %d %s: StratifiedP = %v, want %v", trial, name, p, wantP)
+			}
+			if _, lo, hi := StratifiedCI(merged, Z95); lo != wantLo || hi != wantHi {
+				t.Fatalf("trial %d %s: CI [%v,%v], want [%v,%v]", trial, name, lo, hi, wantLo, wantHi)
+			}
+		}
+
+		// Flat merge in shuffled order.
+		shuffled := make([][]Stratum, k)
+		copy(shuffled, parts)
+		rng.Shuffle(k, func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		check("flat", MergeStrata(shuffled...))
+
+		// Left fold: ((p0 ⊕ p1) ⊕ p2) ⊕ ...
+		acc := MergeStrata(parts[0])
+		for _, p := range parts[1:] {
+			acc = MergeStrata(acc, p)
+		}
+		check("left-fold", acc)
+
+		// Random binary tree of merges.
+		pool := make([][]Stratum, k)
+		copy(pool, parts)
+		for len(pool) > 1 {
+			i := rng.Intn(len(pool) - 1)
+			pool[i] = MergeStrata(pool[i], pool[i+1])
+			pool = append(pool[:i+1], pool[i+2:]...)
+		}
+		check("tree", pool[0])
+
+		// Nil parts are identity elements.
+		check("with-nils", MergeStrata(append([][]Stratum{nil}, append(parts, nil)...)...))
+	}
+}
+
+func TestMergeStrataEdgeCases(t *testing.T) {
+	if MergeStrata() != nil {
+		t.Fatal("empty merge should be nil")
+	}
+	if MergeStrata(nil, nil) != nil {
+		t.Fatal("all-nil merge should be nil")
+	}
+	one := []Stratum{{Weight: 1, Hits: 2, Total: 5}}
+	got := MergeStrata(one)
+	if len(got) != 1 || got[0] != one[0] {
+		t.Fatalf("singleton merge = %v", got)
+	}
+	got[0].Hits = 99
+	if one[0].Hits != 2 {
+		t.Fatal("merge aliases its input slice")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched stratification did not panic")
+		}
+	}()
+	MergeStrata(one, []Stratum{{Weight: 0.5}})
+}

@@ -140,6 +140,43 @@ func StratifiedCI(strata []Stratum, z float64) (p, lo, hi float64) {
 	return p, clamp01(p - z*se), clamp01(p + z*se)
 }
 
+// MergeStrata merges per-partition tallies of the same stratification:
+// each part holds one []Stratum with identical length, Weight, and Exact
+// flags (the strata themselves — the partition of fault *sites* — are a
+// property of the target, not of which worker sampled them), and only
+// the integer Hits/Total tallies differ. The merge sums tallies
+// elementwise, so StratifiedP and StratifiedCI over the merged strata
+// are exactly independent of how the pilot runs were partitioned:
+// integer addition is associative and commutative, and the float
+// arithmetic downstream sees identical inputs. Parts may be nil (a
+// worker that drew no pilots). Returns nil when no part carries strata;
+// panics if parts disagree on the stratification itself, since that is
+// a programming error rather than a data condition.
+func MergeStrata(parts ...[]Stratum) []Stratum {
+	var merged []Stratum
+	for _, part := range parts {
+		if part == nil {
+			continue
+		}
+		if merged == nil {
+			merged = make([]Stratum, len(part))
+			copy(merged, part)
+			continue
+		}
+		if len(part) != len(merged) {
+			panic("stats: MergeStrata parts disagree on stratum count")
+		}
+		for i, s := range part {
+			if s.Weight != merged[i].Weight || s.Exact != merged[i].Exact {
+				panic("stats: MergeStrata parts disagree on stratification")
+			}
+			merged[i].Hits += s.Hits
+			merged[i].Total += s.Total
+		}
+	}
+	return merged
+}
+
 // Mean returns the arithmetic mean of xs (0 for empty input).
 func Mean(xs []float64) float64 {
 	if len(xs) == 0 {

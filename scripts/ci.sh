@@ -1,5 +1,5 @@
 #!/bin/sh
-# Tier-2 CI gate (see README "Testing"): build, vet, and the full test
+# Tier-2 CI gate (see README "Testing"): vet, build, and the full test
 # suite under the race detector. The parallel surfaces -race exercises:
 # the campaign worker pool, the pipeline's singleflight cache and
 # study scheduler (experiment.Study fan-out), the snapshot engines, and
@@ -8,8 +8,8 @@ set -eux
 
 cd "$(dirname "$0")/.."
 
-go build ./...
 go vet ./...
+go build ./...
 go test -race ./...
 
 # Pipeline-equivalence smoke: the same artifact rendered through the
@@ -55,6 +55,18 @@ for key in engine_runs_total campaign_runs_total pipeline_stage_misses_total \
 done
 for span in '"study"' 'pipeline.campaign' 'campaign.batch' 'engine.run'; do
     grep -q "$span" "$tmpdir/trace.json"
+done
+
+# Sharded-campaign exactness gate (DESIGN.md §13): the same campaign
+# executed unsharded and sharded across 1, 2, and 4 worker processes
+# must print bit-identical statistics — any divergence in shard
+# partitioning, the worker protocol, or the merge shows up as a diff.
+go build -o "$tmpdir/flowery" ./cmd/flowery
+"$tmpdir/flowery" inject -runs 400 -seed 7 crc32 >"$tmpdir/unsharded.out"
+for procs in 1 2 4; do
+    "$tmpdir/flowery" inject -runs 400 -seed 7 -shards 8 \
+        -shard-workers "$procs" crc32 >"$tmpdir/sharded.out"
+    diff "$tmpdir/unsharded.out" "$tmpdir/sharded.out"
 done
 
 # Telemetry overhead guard: the no-op sink must cost <= 2% of simbench
