@@ -30,6 +30,7 @@ import (
 	"flowery/internal/experiment"
 	"flowery/internal/shard"
 	"flowery/internal/telemetry"
+	"flowery/internal/version"
 )
 
 // validArtifacts is every value -only accepts.
@@ -69,7 +70,12 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	metricsOut := flag.String("metrics", "", "write the telemetry run report to this file (JSON, or Prometheus text when the path ends in .prom)")
 	traceOut := flag.String("trace", "", "write the telemetry span tree to this file (JSON)")
+	showVersion := flag.Bool("version", false, "print build identity and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(version.Line("experiments"))
+		return
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)

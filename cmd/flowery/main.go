@@ -25,6 +25,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 
+	"flowery/internal/api"
 	"flowery/internal/asm"
 	"flowery/internal/backend"
 	"flowery/internal/bench"
@@ -38,6 +39,7 @@ import (
 	"flowery/internal/shard"
 	"flowery/internal/sim"
 	"flowery/internal/telemetry"
+	"flowery/internal/version"
 )
 
 // telemetryReg and telemetryRoot are the run's registry and root trace
@@ -58,8 +60,13 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	metricsOut := flag.String("metrics", "", "write the telemetry run report to this file (JSON, or Prometheus text when the path ends in .prom)")
 	traceOut := flag.String("trace", "", "write the telemetry span tree to this file (JSON)")
+	showVersion := flag.Bool("version", false, "print build identity and exit")
 	flag.Usage = func() { usage() }
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(version.Line("flowery"))
+		return
+	}
 	if flag.NArg() < 1 {
 		usage()
 	}
@@ -117,6 +124,8 @@ func main() {
 		err = cmdRun(args)
 	case "inject":
 		err = cmdInject(args)
+	case "remote":
+		err = cmdRemote(args)
 	case "shard-worker":
 		// Explicit worker mode (the env-var path above covers spawned
 		// workers; this argv form keeps the mode visible in ps output).
@@ -139,7 +148,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: flowery [-cpuprofile f] [-memprofile f] {list|ir|opt|protect|asm|run|inject|shard-worker} [flags] <benchmark|file.ir>")
+	fmt.Fprintln(os.Stderr, "usage: flowery [-cpuprofile f] [-memprofile f] {list|ir|opt|protect|asm|run|inject|remote|shard-worker} [flags] <benchmark|file.ir>")
 	os.Exit(2)
 }
 
@@ -396,6 +405,15 @@ func cmdInject(args []string) error {
 	if fs.NArg() != 1 {
 		return fmt.Errorf("inject: need one benchmark or file")
 	}
+	// Validate the whole flag combination up front through the shared
+	// spec validator (internal/api) — the same rules the daemon applies —
+	// so an inconsistent invocation fails with one line before any
+	// profiling or module derivation starts.
+	spec := injectSpec(fs.Arg(0), *layer, *runs, *prune, *pilots, *workers,
+		*shards, *shardWorkers, *reclogOut != "", *prot, p)
+	if err := spec.Normalize(); err != nil {
+		return fmt.Errorf("inject: %w", err)
+	}
 	src, err := loadSource(fs.Arg(0))
 	if err != nil {
 		return err
@@ -412,9 +430,6 @@ func cmdInject(args []string) error {
 	cfg.CampaignWorkers = *workers
 	cfg.Shards = *shards
 	if *shardWorkers > 1 {
-		if *shards <= 0 {
-			return fmt.Errorf("inject: -shard-workers needs -shards")
-		}
 		cfg.ShardProcs = *shardWorkers
 		self, err := os.Executable()
 		if err != nil {
@@ -427,9 +442,6 @@ func cmdInject(args []string) error {
 	if *prune {
 		opts.Pruning = campaign.PruneClasses
 		opts.PilotsPerClass = *pilots
-		if *reclogOut != "" {
-			return fmt.Errorf("inject: -reclog records full campaigns only (pruned campaigns have no per-run population sample)")
-		}
 	}
 	var logFile *os.File
 	var logW *reclog.Writer
@@ -466,6 +478,40 @@ func cmdInject(args []string) error {
 		}
 		fmt.Fprintf(os.Stderr, "inject: wrote %d records to %s\n", st.Runs, *reclogOut)
 	}
+	printCampaign(st, l)
+	return nil
+}
+
+// injectSpec maps inject's flags onto the shared job spec so the
+// combination is validated by exactly the rules `flowery remote` and
+// the daemon apply. The program argument stands in as the benchmark
+// name — loadSource resolves names vs files afterward.
+func injectSpec(program, layer string, runs int, prune bool, pilots, workers, shards, shardWorkers int, records, prot bool, p protection) api.JobSpec {
+	spec := api.JobSpec{
+		Benchmark:    program,
+		Layer:        layer,
+		Runs:         runs,
+		Seed:         *p.seed,
+		Samples:      *p.samples,
+		Protect:      prot,
+		Level:        *p.level,
+		Flowery:      *p.flowery,
+		Prune:        prune,
+		Workers:      workers,
+		Shards:       shards,
+		ShardWorkers: shardWorkers,
+		Records:      records,
+	}
+	if prune {
+		spec.Pilots = pilots
+	}
+	return spec
+}
+
+// printCampaign renders campaign statistics the way inject always has;
+// `flowery remote inject` prints the daemon's stats through the same
+// renderer so the two paths are diffable.
+func printCampaign(st campaign.Stats, l pipeline.Layer) {
 	fmt.Printf("runs=%d golden_dyn=%d injectable=%d\n", st.Runs, st.GoldenDyn, st.GoldenInjectable)
 	if st.Pruned {
 		_, lo, hi := st.SDCRateCI()
@@ -490,7 +536,6 @@ func cmdInject(args []string) error {
 			}
 		}
 	}
-	return nil
 }
 
 func parseLayer(s string) (pipeline.Layer, error) {

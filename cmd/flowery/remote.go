@@ -1,0 +1,274 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"flowery/internal/api"
+	"flowery/internal/bench"
+	"flowery/internal/campaign"
+	"flowery/internal/pipeline"
+)
+
+// cmdRemote is the floweryd client:
+//
+//	flowery remote -addr http://host:port inject [inject flags] <benchmark|file.ir>
+//	flowery remote -addr ... study [-runs n] [-samples n] [-seed n] [bench ...]
+//	flowery remote -addr ... jobs | job <id> | cancel <id>
+//	flowery remote -addr ... reclog <id> <out-file>
+//	flowery remote -addr ... metrics | health
+//
+// `remote inject` submits, streams until the job finishes, and prints
+// the campaign statistics through exactly the renderer the local
+// `flowery inject` uses, so the two are diffable line for line.
+func cmdRemote(args []string) error {
+	fs := flag.NewFlagSet("remote", flag.ExitOnError)
+	addr := fs.String("addr", envOr("FLOWERYD_ADDR", "http://127.0.0.1:8080"), "daemon base URL (or $FLOWERYD_ADDR)")
+	fs.Parse(args)
+	if fs.NArg() < 1 {
+		return fmt.Errorf("remote: need an action: inject|study|jobs|job|cancel|reclog|metrics|health")
+	}
+	c := &api.Client{Base: *addr}
+	action, rest := fs.Arg(0), fs.Args()[1:]
+	switch action {
+	case "inject":
+		return remoteInject(c, rest)
+	case "study":
+		return remoteStudy(c, rest)
+	case "jobs":
+		return remoteJobs(c)
+	case "job":
+		if len(rest) != 1 {
+			return fmt.Errorf("remote job: need one job id")
+		}
+		ji, err := c.Job(rest[0])
+		if err != nil {
+			return err
+		}
+		printJob(ji)
+		return nil
+	case "cancel":
+		if len(rest) != 1 {
+			return fmt.Errorf("remote cancel: need one job id")
+		}
+		ji, err := c.Cancel(rest[0])
+		if err != nil {
+			return err
+		}
+		printJob(ji)
+		return nil
+	case "reclog":
+		if len(rest) != 2 {
+			return fmt.Errorf("remote reclog: need a job id and an output file")
+		}
+		blob, err := c.Reclog(rest[0])
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(rest[1], blob, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "remote: wrote %d bytes to %s\n", len(blob), rest[1])
+		return nil
+	case "metrics":
+		page, err := c.Metrics("/metrics")
+		if err != nil {
+			return err
+		}
+		os.Stdout.Write(page)
+		return nil
+	case "health":
+		h, err := c.Health()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("status=%s version=%q", h.Status, h.Version)
+		for _, s := range []string{api.StateQueued, api.StateRunning, api.StateDone, api.StateFailed, api.StateCancelled} {
+			fmt.Printf(" %s=%d", s, h.Jobs[s])
+		}
+		fmt.Println()
+		return nil
+	default:
+		return fmt.Errorf("remote: unknown action %q", action)
+	}
+}
+
+func envOr(key, def string) string {
+	if v := os.Getenv(key); v != "" {
+		return v
+	}
+	return def
+}
+
+// remoteInject mirrors cmdInject's flags, submits the spec, and streams
+// the result.
+func remoteInject(c *api.Client, args []string) error {
+	fs := flag.NewFlagSet("remote inject", flag.ExitOnError)
+	layer := fs.String("layer", "asm", "execution layer: ir|asm")
+	runs := fs.Int("runs", 1000, "number of fault injections")
+	prot := fs.Bool("protect", false, "duplicate before injecting")
+	prune := fs.Bool("prune", false, "equivalence-pruned campaign")
+	pilots := fs.Int("pilots", 3, "with -prune: average pilot budget per live class (1..8)")
+	workers := fs.Int("workers", 0, "campaign parallelism on the daemon (0 = its GOMAXPROCS)")
+	shards := fs.Int("shards", 0, "partition the campaign into this many run ranges")
+	shardWorkers := fs.Int("shard-workers", 0, "with -shards: daemon-side worker processes")
+	reclogOut := fs.String("reclog", "", "download the run records to this file as a binary log")
+	p := addProtection(fs)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("remote inject: need one benchmark or file")
+	}
+
+	spec := injectSpec(fs.Arg(0), *layer, *runs, *prune, *pilots, *workers,
+		*shards, *shardWorkers, *reclogOut != "", *prot, p)
+	// A file program rides to the daemon as inline IR text.
+	if _, ok := bench.ByName(fs.Arg(0)); !ok {
+		text, err := os.ReadFile(fs.Arg(0))
+		if err != nil {
+			return fmt.Errorf("%q is neither a benchmark nor a readable file", fs.Arg(0))
+		}
+		spec.Benchmark = ""
+		spec.IR = string(text)
+	}
+
+	sr, err := c.Submit(spec)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "remote: job %s %s\n", sr.ID, sr.State)
+
+	rs, err := c.Results(sr.ID)
+	if err != nil {
+		return err
+	}
+	defer rs.Close()
+	var stats *campaign.Stats
+	records := 0
+	for {
+		line, err := rs.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		switch {
+		case line.Record != nil:
+			records++
+		case line.Stats != nil:
+			stats = line.Stats
+		case line.Error != "":
+			return fmt.Errorf("remote: job %s: %s", sr.ID, line.Error)
+		}
+	}
+	if stats == nil {
+		return fmt.Errorf("remote: job %s ended without statistics", sr.ID)
+	}
+	if *reclogOut != "" {
+		blob, err := c.Reclog(sr.ID)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*reclogOut, blob, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "inject: wrote %d records to %s\n", records, *reclogOut)
+	}
+	l := pipeline.LayerAsm
+	if spec.Layer == "ir" {
+		l = pipeline.LayerIR
+	}
+	printCampaign(*stats, l)
+	return nil
+}
+
+// remoteStudy submits a study job and prints its JSON document.
+func remoteStudy(c *api.Client, args []string) error {
+	fs := flag.NewFlagSet("remote study", flag.ExitOnError)
+	runs := fs.Int("runs", 0, "injections per campaign (0 = daemon default)")
+	samples := fs.Int("samples", 0, "profiling injections (0 = daemon default)")
+	seed := fs.Int64("seed", 0, "random seed (0 = daemon default)")
+	workers := fs.Int("workers", 0, "daemon-side parallelism")
+	fs.Parse(args)
+
+	spec := api.JobSpec{
+		Kind:       api.KindStudy,
+		Benchmarks: fs.Args(),
+		Runs:       *runs,
+		Samples:    *samples,
+		Seed:       *seed,
+		Workers:    *workers,
+	}
+	sr, err := c.Submit(spec)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "remote: job %s %s\n", sr.ID, sr.State)
+	rs, err := c.Results(sr.ID)
+	if err != nil {
+		return err
+	}
+	defer rs.Close()
+	for {
+		line, err := rs.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		switch {
+		case line.Study != nil:
+			os.Stdout.Write(line.Study)
+			fmt.Println()
+			return nil
+		case line.Error != "":
+			return fmt.Errorf("remote: job %s: %s", sr.ID, line.Error)
+		}
+	}
+	return fmt.Errorf("remote: job %s ended without a study document", sr.ID)
+}
+
+func remoteJobs(c *api.Client) error {
+	jobs, err := c.Jobs()
+	if err != nil {
+		return err
+	}
+	if len(jobs) == 0 {
+		fmt.Println("no jobs")
+		return nil
+	}
+	for _, ji := range jobs {
+		printJob(ji)
+	}
+	return nil
+}
+
+func printJob(ji api.JobInfo) {
+	program := ji.Spec.Benchmark
+	if program == "" && ji.Spec.IR != "" {
+		program = "<inline ir>"
+	}
+	if ji.Kind == api.KindStudy {
+		program = fmt.Sprintf("study %v", ji.Spec.Benchmarks)
+		if len(ji.Spec.Benchmarks) == 0 {
+			program = "study <all>"
+		}
+	}
+	dur := ""
+	if ji.StartedAt != nil {
+		end := time.Now()
+		if ji.FinishedAt != nil {
+			end = *ji.FinishedAt
+		}
+		dur = " " + end.Sub(*ji.StartedAt).Round(time.Millisecond).String()
+	}
+	fmt.Printf("%-6s %-9s %-24s runs=%d%s", ji.ID, ji.State, program, ji.Spec.Runs, dur)
+	if ji.Error != "" {
+		fmt.Printf(" error=%q", ji.Error)
+	}
+	fmt.Println()
+}

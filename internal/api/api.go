@@ -1,0 +1,253 @@
+// Package api defines the request/response types of the floweryd HTTP
+// service, shared by the server (internal/service), the daemon binary
+// (cmd/floweryd), and the client (`flowery remote`). The split follows
+// brimdata/zed's layering: api holds the wire vocabulary and nothing
+// else, the service layer owns execution, and both ends of the wire
+// compile against one set of types so they cannot drift.
+//
+// Endpoints (all JSON unless noted):
+//
+//	POST   /jobs               submit a JobSpec        → SubmitResponse
+//	GET    /jobs               list jobs               → []JobInfo
+//	GET    /jobs/{id}          one job                 → JobInfo
+//	DELETE /jobs/{id}          cancel a queued job     → JobInfo
+//	GET    /jobs/{id}/results  stream results          → NDJSON ResultLine per line
+//	GET    /jobs/{id}/reclog   raw record log          → binary (internal/reclog)
+//	GET    /jobs/{id}/metrics  per-job telemetry       → Prometheus text
+//	GET    /metrics            daemon telemetry        → Prometheus text
+//	GET    /healthz            liveness + buildinfo    → Health
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"flowery/internal/campaign"
+)
+
+// Job states. A job moves queued → running → one of done/failed;
+// cancellation is only observable from queued (the service never
+// interrupts a running campaign mid-injection).
+const (
+	StateQueued    = "queued"
+	StateRunning   = "running"
+	StateDone      = "done"
+	StateFailed    = "failed"
+	StateCancelled = "cancelled"
+)
+
+// Job kinds.
+const (
+	// KindCampaign is one fault-injection campaign — the daemon form of
+	// `flowery inject`.
+	KindCampaign = "campaign"
+	// KindStudy is a full per-benchmark evaluation — the daemon form of
+	// `experiments -json` — returning the experiment JSON document.
+	KindStudy = "study"
+)
+
+// JobSpec is a submission: the same knobs the batch CLIs consume,
+// with the same validation, so a spec that runs under `flowery inject`
+// runs under the daemon and vice versa.
+type JobSpec struct {
+	// Kind selects campaign (default) or study.
+	Kind string `json:"kind,omitempty"`
+
+	// Benchmark names a built-in benchmark; IR carries inline textual IR
+	// (as printed by `flowery ir`). Campaign jobs take exactly one of
+	// the two; study jobs instead take Benchmarks (empty = all).
+	Benchmark  string   `json:"benchmark,omitempty"`
+	IR         string   `json:"ir,omitempty"`
+	Benchmarks []string `json:"benchmarks,omitempty"`
+
+	// Campaign shape (campaign jobs; Runs/Samples/Seed also scale study
+	// jobs). Zero values take the server's defaults.
+	Layer    string `json:"layer,omitempty"` // "ir" | "asm" (default "asm")
+	Runs     int    `json:"runs,omitempty"`
+	Seed     int64  `json:"seed,omitempty"`
+	Samples  int    `json:"samples,omitempty"`
+	MaxSteps int64  `json:"max_steps,omitempty"`
+
+	// Protection knobs (campaign jobs), mirroring `flowery inject`.
+	Protect bool    `json:"protect,omitempty"`
+	Level   float64 `json:"level,omitempty"` // (0,1]; 0 = 1.0
+	Flowery bool    `json:"flowery,omitempty"`
+
+	// Campaign strategy knobs.
+	Prune  bool `json:"prune,omitempty"`
+	Pilots int  `json:"pilots,omitempty"` // with Prune; 0 = server default
+
+	// Scheduling knobs (never outcome-relevant).
+	Workers      int `json:"workers,omitempty"`
+	Shards       int `json:"shards,omitempty"`
+	ShardWorkers int `json:"shard_workers,omitempty"`
+
+	// Records asks for per-run records: it enables the NDJSON record
+	// stream and the raw reclog download, and forces execution (a
+	// record-bearing job is never served from the artifact store).
+	Records bool `json:"records,omitempty"`
+}
+
+// Defaults the server applies to zero-valued fields.
+const (
+	DefaultRuns    = 1000
+	DefaultSamples = 800
+	DefaultSeed    = 2023
+	DefaultLevel   = 1.0
+)
+
+// maxPilots mirrors campaign.MaxPilotsPerClass without forcing clients
+// through the campaign package's documentation.
+const maxPilots = campaign.MaxPilotsPerClass
+
+// Normalize fills defaults and validates the spec, returning a one-line
+// error naming the offending combination. It is the single validation
+// path: `flowery inject` calls it before running locally, `flowery
+// remote` before submitting, and the service before queueing — so an
+// inconsistent flag combination fails identically everywhere, up front,
+// instead of deep inside a run.
+func (s *JobSpec) Normalize() error {
+	switch s.Kind {
+	case "":
+		s.Kind = KindCampaign
+	case KindCampaign, KindStudy:
+	default:
+		return fmt.Errorf("unknown job kind %q (want %q or %q)", s.Kind, KindCampaign, KindStudy)
+	}
+	if s.Runs == 0 {
+		s.Runs = DefaultRuns
+	}
+	if s.Samples == 0 {
+		s.Samples = DefaultSamples
+	}
+	if s.Seed == 0 {
+		s.Seed = DefaultSeed
+	}
+	if s.Level == 0 {
+		s.Level = DefaultLevel
+	}
+	if s.Layer == "" {
+		s.Layer = "asm"
+	}
+
+	if s.Runs < 0 {
+		return fmt.Errorf("-runs must be positive (got %d)", s.Runs)
+	}
+	if s.Samples < 0 {
+		return fmt.Errorf("-samples must be positive (got %d)", s.Samples)
+	}
+	if s.MaxSteps < 0 {
+		return fmt.Errorf("max steps must be >= 0 (got %d)", s.MaxSteps)
+	}
+	if s.Workers < 0 {
+		return fmt.Errorf("-workers must be >= 0 (got %d; 0 means GOMAXPROCS)", s.Workers)
+	}
+	if s.Shards < 0 {
+		return fmt.Errorf("-shards must be >= 0 (got %d; 0 means unsharded)", s.Shards)
+	}
+	if s.ShardWorkers < 0 {
+		return fmt.Errorf("-shard-workers must be >= 0 (got %d)", s.ShardWorkers)
+	}
+	if s.ShardWorkers > 1 && s.Shards <= 0 {
+		return fmt.Errorf("-shard-workers %d needs -shards (worker processes execute shard ranges)", s.ShardWorkers)
+	}
+	if s.Level <= 0 || s.Level > 1 {
+		return fmt.Errorf("-level must be in (0,1] (got %g)", s.Level)
+	}
+
+	if s.Kind == KindStudy {
+		if s.Benchmark != "" || s.IR != "" {
+			return fmt.Errorf("study jobs take -bench lists, not a single benchmark or inline IR")
+		}
+		if s.Prune || s.Records {
+			return fmt.Errorf("study jobs support neither -prune nor per-run records")
+		}
+		return nil
+	}
+
+	if (s.Benchmark == "") == (s.IR == "") {
+		return fmt.Errorf("campaign jobs need exactly one program: a benchmark name or inline IR")
+	}
+	if len(s.Benchmarks) > 0 {
+		return fmt.Errorf("benchmark lists are for study jobs; campaign jobs name one program")
+	}
+	if s.Layer != "ir" && s.Layer != "asm" {
+		return fmt.Errorf("-layer must be ir or asm (got %q)", s.Layer)
+	}
+	if s.Prune {
+		if s.Pilots == 0 {
+			s.Pilots = 3
+		}
+		if s.Pilots < 1 || s.Pilots > maxPilots {
+			return fmt.Errorf("-pilots must be in [1,%d] with -prune (got %d)", maxPilots, s.Pilots)
+		}
+		if s.Records {
+			return fmt.Errorf("-prune and -reclog/records conflict: pruned campaigns have no per-run population sample to record")
+		}
+		if s.Shards > 0 {
+			return fmt.Errorf("-prune and -shards conflict: pruned campaigns stratify instead of sharding")
+		}
+	} else if s.Pilots != 0 {
+		return fmt.Errorf("-pilots is only meaningful with -prune (got %d)", s.Pilots)
+	}
+	return nil
+}
+
+// SubmitResponse acknowledges a submission.
+type SubmitResponse struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+}
+
+// JobInfo is the public view of one job.
+type JobInfo struct {
+	ID    string  `json:"id"`
+	Kind  string  `json:"kind"`
+	State string  `json:"state"`
+	Spec  JobSpec `json:"spec"`
+	Error string  `json:"error,omitempty"`
+
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+
+	// Stats carries a done campaign job's statistics.
+	Stats *campaign.Stats `json:"stats,omitempty"`
+	// Records is the number of per-run records captured.
+	Records int `json:"records,omitempty"`
+}
+
+// Record is the NDJSON form of one per-run record, with outcome and
+// origin as names (matching campaign's JSON conventions) rather than
+// enum ordinals.
+type Record struct {
+	Run     int64  `json:"run"`
+	Outcome string `json:"outcome"`
+	Origin  string `json:"origin,omitempty"`
+	Target  int64  `json:"target"`
+	Bit     uint8  `json:"bit"`
+}
+
+// ResultLine is one line of the /jobs/{id}/results NDJSON stream:
+// record lines (when the job captured records) in run order, then
+// exactly one terminal line — stats for campaign jobs, study for study
+// jobs, or error.
+type ResultLine struct {
+	Record *Record         `json:"record,omitempty"`
+	Stats  *campaign.Stats `json:"stats,omitempty"`
+	Study  json.RawMessage `json:"study,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+// Health is the /healthz document.
+type Health struct {
+	Status  string         `json:"status"`
+	Version string         `json:"version"`
+	Jobs    map[string]int `json:"jobs"` // state → count
+}
+
+// Error is the JSON error envelope non-2xx responses carry.
+type Error struct {
+	Err string `json:"error"`
+}

@@ -1,0 +1,86 @@
+package api
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestNormalizeDefaults(t *testing.T) {
+	s := JobSpec{Benchmark: "crc32"}
+	if err := s.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Kind != KindCampaign || s.Runs != DefaultRuns || s.Samples != DefaultSamples ||
+		s.Seed != DefaultSeed || s.Level != DefaultLevel || s.Layer != "asm" {
+		t.Fatalf("defaults not applied: %+v", s)
+	}
+	// Normalizing twice is a no-op.
+	before := fmt.Sprintf("%+v", s)
+	if err := s.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if after := fmt.Sprintf("%+v", s); after != before {
+		t.Fatalf("second Normalize changed the spec:\nbefore %s\nafter  %s", before, after)
+	}
+}
+
+func TestNormalizeRejections(t *testing.T) {
+	cases := map[string]struct {
+		spec JobSpec
+		want string // substring of the one-line error
+	}{
+		"no program":         {JobSpec{}, "exactly one program"},
+		"two programs":       {JobSpec{Benchmark: "crc32", IR: "func main() {}"}, "exactly one program"},
+		"unknown kind":       {JobSpec{Kind: "bake", Benchmark: "crc32"}, "unknown job kind"},
+		"bad layer":          {JobSpec{Benchmark: "crc32", Layer: "microcode"}, "-layer"},
+		"negative runs":      {JobSpec{Benchmark: "crc32", Runs: -5}, "-runs"},
+		"negative samples":   {JobSpec{Benchmark: "crc32", Samples: -1}, "-samples"},
+		"negative steps":     {JobSpec{Benchmark: "crc32", MaxSteps: -1}, "max steps"},
+		"negative workers":   {JobSpec{Benchmark: "crc32", Workers: -1}, "-workers"},
+		"level too high":     {JobSpec{Benchmark: "crc32", Level: 1.5}, "-level"},
+		"level negative":     {JobSpec{Benchmark: "crc32", Level: -0.25}, "-level"},
+		"workers w/o shards": {JobSpec{Benchmark: "crc32", ShardWorkers: 4}, "needs -shards"},
+		"prune+records":      {JobSpec{Benchmark: "crc32", Prune: true, Records: true}, "conflict"},
+		"prune+shards":       {JobSpec{Benchmark: "crc32", Prune: true, Shards: 4}, "conflict"},
+		"pilots w/o prune":   {JobSpec{Benchmark: "crc32", Pilots: 3}, "-pilots"},
+		"pilots too many":    {JobSpec{Benchmark: "crc32", Prune: true, Pilots: maxPilots + 1}, "-pilots"},
+		"study w/ benchmark": {JobSpec{Kind: KindStudy, Benchmark: "crc32"}, "study jobs"},
+		"study w/ prune":     {JobSpec{Kind: KindStudy, Prune: true}, "study jobs"},
+		"study w/ records":   {JobSpec{Kind: KindStudy, Records: true}, "study jobs"},
+		"campaign w/ list":   {JobSpec{Benchmark: "crc32", Benchmarks: []string{"qsort"}}, "study jobs"},
+	}
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			err := tc.spec.Normalize()
+			if err == nil {
+				t.Fatalf("Normalize(%+v) succeeded, want error mentioning %q", tc.spec, tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+			if strings.ContainsAny(err.Error(), "\n") {
+				t.Fatalf("error is not one line: %q", err)
+			}
+		})
+	}
+}
+
+func TestNormalizeAcceptsValidCombos(t *testing.T) {
+	for name, spec := range map[string]JobSpec{
+		"pruned":      {Benchmark: "crc32", Prune: true, Pilots: 5},
+		"sharded":     {Benchmark: "crc32", Shards: 4, ShardWorkers: 2},
+		"ir layer":    {IR: "func main() {}", Layer: "ir", Records: true},
+		"study":       {Kind: KindStudy, Benchmarks: []string{"crc32", "qsort"}},
+		"study all":   {Kind: KindStudy},
+		"protected":   {Benchmark: "crc32", Protect: true, Level: 0.5, Flowery: true},
+		"max pilots":  {Benchmark: "crc32", Prune: true, Pilots: maxPilots},
+		"bounded run": {Benchmark: "crc32", MaxSteps: 1 << 20, Workers: 2},
+	} {
+		t.Run(name, func(t *testing.T) {
+			if err := spec.Normalize(); err != nil {
+				t.Fatalf("Normalize rejected a valid spec: %v", err)
+			}
+		})
+	}
+}

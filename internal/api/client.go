@@ -1,0 +1,209 @@
+package api
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client talks to a floweryd daemon. The zero HTTPClient falls back to
+// a default with no overall timeout — result streams are long-lived by
+// design (a submitted campaign may run for minutes).
+type Client struct {
+	// Base is the daemon root, e.g. "http://127.0.0.1:8080".
+	Base string
+	// HTTPClient overrides the transport (nil = a default client).
+	HTTPClient *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return &http.Client{}
+}
+
+func (c *Client) url(path string) string {
+	return strings.TrimSuffix(c.Base, "/") + path
+}
+
+// decodeError turns a non-2xx response into a readable error, favoring
+// the JSON error envelope.
+func decodeError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 64*1024))
+	var e Error
+	if json.Unmarshal(body, &e) == nil && e.Err != "" {
+		return fmt.Errorf("daemon: %s (HTTP %d)", e.Err, resp.StatusCode)
+	}
+	return fmt.Errorf("daemon: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+}
+
+func (c *Client) getJSON(path string, out any) error {
+	resp, err := c.http().Get(c.url(path))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return decodeError(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit posts a spec and returns the acknowledgment. The spec is
+// normalized client-side first so malformed combinations fail before
+// any network traffic.
+func (c *Client) Submit(spec JobSpec) (SubmitResponse, error) {
+	if err := spec.Normalize(); err != nil {
+		return SubmitResponse{}, err
+	}
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return SubmitResponse{}, err
+	}
+	resp, err := c.http().Post(c.url("/jobs"), "application/json", bytes.NewReader(body))
+	if err != nil {
+		return SubmitResponse{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return SubmitResponse{}, decodeError(resp)
+	}
+	var sr SubmitResponse
+	return sr, json.NewDecoder(resp.Body).Decode(&sr)
+}
+
+// Job fetches one job's current state.
+func (c *Client) Job(id string) (JobInfo, error) {
+	var ji JobInfo
+	err := c.getJSON("/jobs/"+id, &ji)
+	return ji, err
+}
+
+// Jobs lists every job the daemon knows, newest first.
+func (c *Client) Jobs() ([]JobInfo, error) {
+	var js []JobInfo
+	err := c.getJSON("/jobs", &js)
+	return js, err
+}
+
+// Cancel cancels a queued job and returns its resulting state.
+func (c *Client) Cancel(id string) (JobInfo, error) {
+	req, err := http.NewRequest(http.MethodDelete, c.url("/jobs/"+id), nil)
+	if err != nil {
+		return JobInfo{}, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return JobInfo{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return JobInfo{}, decodeError(resp)
+	}
+	var ji JobInfo
+	return ji, json.NewDecoder(resp.Body).Decode(&ji)
+}
+
+// Health fetches /healthz.
+func (c *Client) Health() (Health, error) {
+	var h Health
+	err := c.getJSON("/healthz", &h)
+	return h, err
+}
+
+// Metrics fetches a Prometheus text page: the daemon's at path
+// "/metrics", a job's at "/jobs/{id}/metrics".
+func (c *Client) Metrics(path string) ([]byte, error) {
+	resp, err := c.http().Get(c.url(path))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return nil, decodeError(resp)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// Reclog downloads a job's raw binary record log (blocks until the job
+// finishes).
+func (c *Client) Reclog(id string) ([]byte, error) {
+	resp, err := c.http().Get(c.url("/jobs/" + id + "/reclog"))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return nil, decodeError(resp)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// ResultStream iterates the NDJSON result stream of one job.
+type ResultStream struct {
+	body io.ReadCloser
+	sc   *bufio.Scanner
+}
+
+// Results opens the job's result stream. The stream blocks server-side
+// until results exist; Next returns lines as they arrive.
+func (c *Client) Results(id string) (*ResultStream, error) {
+	resp, err := c.http().Get(c.url("/jobs/" + id + "/results"))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode/100 != 2 {
+		defer resp.Body.Close()
+		return nil, decodeError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	return &ResultStream{body: resp.Body, sc: sc}, nil
+}
+
+// Next returns the next line, or io.EOF at end of stream.
+func (s *ResultStream) Next() (ResultLine, error) {
+	for s.sc.Scan() {
+		line := bytes.TrimSpace(s.sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var rl ResultLine
+		if err := json.Unmarshal(line, &rl); err != nil {
+			return ResultLine{}, fmt.Errorf("daemon: malformed result line: %w", err)
+		}
+		return rl, nil
+	}
+	if err := s.sc.Err(); err != nil {
+		return ResultLine{}, err
+	}
+	return ResultLine{}, io.EOF
+}
+
+// Close releases the stream.
+func (s *ResultStream) Close() error { return s.body.Close() }
+
+// WaitHealthy polls /healthz until the daemon answers or the deadline
+// passes — the startup handshake scripts and tests use.
+func (c *Client) WaitHealthy(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		h, err := c.Health()
+		if err == nil && h.Status == "ok" {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			if err == nil {
+				err = fmt.Errorf("status %q", h.Status)
+			}
+			return fmt.Errorf("daemon at %s not healthy after %v: %w", c.Base, timeout, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

@@ -539,7 +539,7 @@ func executeFaults(engines []sim.Engine, spec Spec, golden sim.Result, goldenOut
 			if reg != nil {
 				reg.Counter("campaign_snapshot_restores_total").Add(restores)
 				if el := time.Since(bstart).Seconds(); el > 0 {
-					reg.Gauge(`campaign_worker_injections_per_sec{worker="`+strconv.Itoa(w)+`"}`).
+					reg.Gauge(`campaign_worker_injections_per_sec{worker="` + strconv.Itoa(w) + `"}`).
 						Set(float64(len(batches[w])) / el)
 				}
 				reg.Histogram("campaign_batch_seconds").Observe(time.Since(bstart))

@@ -2,6 +2,8 @@ package campaign
 
 import (
 	"encoding/json"
+	"fmt"
+	"time"
 
 	"flowery/internal/asm"
 )
@@ -89,4 +91,78 @@ func (s Stats) MarshalJSON() ([]byte, error) {
 		j.SDCCI = &ciJSON{Lo: lo, Hi: hi}
 	}
 	return json.Marshal(j)
+}
+
+// outcomeByName inverts Outcome.String.
+func outcomeByName(name string) (Outcome, bool) {
+	for o := Outcome(0); o < NumOutcomes; o++ {
+		if o.String() == name {
+			return o, true
+		}
+	}
+	return 0, false
+}
+
+// originByName inverts asm.Origin.String.
+func originByName(name string) (asm.Origin, bool) {
+	for o := 0; o < asm.NumOrigins; o++ {
+		if asm.Origin(o).String() == name {
+			return asm.Origin(o), true
+		}
+	}
+	return 0, false
+}
+
+// UnmarshalJSON decodes the named-key wire form emitted by MarshalJSON,
+// restoring a Stats whose re-marshaling is byte-identical. This is the
+// decode half of the persistent artifact store (internal/store keeps
+// campaign stats as their JSON rendering) and of the daemon API client,
+// both of which must recall exactly what a batch run would have printed.
+func (s *Stats) UnmarshalJSON(data []byte) error {
+	var j statsJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	out := Stats{
+		Runs:             j.Runs,
+		GoldenDyn:        j.GoldenDyn,
+		GoldenInjectable: j.GoldenInjectable,
+		SimulatedInstrs:  j.SimulatedInstrs,
+		SavedInstrs:      j.SavedInstrs,
+		Elapsed:          time.Duration(j.ElapsedNS),
+		Pruned:           j.Pruned,
+		Classes:          j.Classes,
+		DeadSites:        j.DeadSites,
+		PilotRuns:        j.PilotRuns,
+	}
+	for name, n := range j.Counts {
+		o, ok := outcomeByName(name)
+		if !ok {
+			return fmt.Errorf("campaign: unknown outcome %q in stats", name)
+		}
+		out.Counts[o] = n
+	}
+	for name, n := range j.SDCByOrigin {
+		o, ok := originByName(name)
+		if !ok {
+			return fmt.Errorf("campaign: unknown SDC origin %q in stats", name)
+		}
+		out.SDCByOrigin[o] = n
+	}
+	if j.Pruned {
+		// The rates map carries the exact stratified estimates for pruned
+		// campaigns (plain campaigns derive rates from Counts instead).
+		for name, r := range j.Rates {
+			o, ok := outcomeByName(name)
+			if !ok {
+				return fmt.Errorf("campaign: unknown outcome %q in rates", name)
+			}
+			out.EstRates[o] = r
+		}
+		if j.SDCCI != nil {
+			out.SDCLo, out.SDCHi = j.SDCCI.Lo, j.SDCCI.Hi
+		}
+	}
+	*s = out
+	return nil
 }

@@ -1,0 +1,86 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestStatsJSONRoundTrip pins the codec contract the artifact store and
+// the daemon API depend on: Unmarshal(Marshal(s)) re-marshals to the
+// same bytes, and every deterministic field survives exactly.
+func TestStatsJSONRoundTrip(t *testing.T) {
+	cases := map[string]Stats{
+		"plain": {
+			Runs:             400,
+			Counts:           [NumOutcomes]int{301, 40, 50, 9},
+			SDCByOrigin:      [6]int{12, 3, 0, 5, 0, 20},
+			GoldenDyn:        123456,
+			GoldenInjectable: 98765,
+			SimulatedInstrs:  1 << 40,
+			SavedInstrs:      1 << 33,
+			Elapsed:          1500 * time.Millisecond,
+		},
+		"no-origins": {
+			Runs:             10,
+			Counts:           [NumOutcomes]int{10, 0, 0, 0},
+			GoldenDyn:        5,
+			GoldenInjectable: 5,
+		},
+		"pruned": {
+			Runs:             3000,
+			Counts:           [NumOutcomes]int{2000, 500, 400, 100},
+			GoldenDyn:        777,
+			GoldenInjectable: 700,
+			Pruned:           true,
+			Classes:          42,
+			DeadSites:        17,
+			PilotRuns:        321,
+			EstRates:         [NumOutcomes]float64{0.66, 0.1675, 0.139, 0.0335},
+			SDCLo:            0.15,
+			SDCHi:            0.19,
+		},
+	}
+	for name, in := range cases {
+		t.Run(name, func(t *testing.T) {
+			first, err := json.Marshal(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var back Stats
+			if err := json.Unmarshal(first, &back); err != nil {
+				t.Fatal(err)
+			}
+			second, err := json.Marshal(back)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(first, second) {
+				t.Fatalf("re-marshal diverges:\n first %s\nsecond %s", first, second)
+			}
+			if back.Runs != in.Runs || back.Counts != in.Counts || back.SDCByOrigin != in.SDCByOrigin ||
+				back.GoldenDyn != in.GoldenDyn || back.GoldenInjectable != in.GoldenInjectable ||
+				back.SimulatedInstrs != in.SimulatedInstrs || back.SavedInstrs != in.SavedInstrs ||
+				back.Elapsed != in.Elapsed || back.Pruned != in.Pruned || back.Classes != in.Classes ||
+				back.DeadSites != in.DeadSites || back.PilotRuns != in.PilotRuns {
+				t.Fatalf("fields diverge:\n in   %+v\n back %+v", in, back)
+			}
+			if in.Pruned && (back.EstRates != in.EstRates || back.SDCLo != in.SDCLo || back.SDCHi != in.SDCHi) {
+				t.Fatalf("pruned estimates diverge:\n in   %+v\n back %+v", in, back)
+			}
+		})
+	}
+}
+
+func TestStatsUnmarshalRejectsUnknownNames(t *testing.T) {
+	for _, bad := range []string{
+		`{"runs":1,"counts":{"exploded":1}}`,
+		`{"runs":1,"counts":{},"sdc_by_origin":{"teleport":2}}`,
+	} {
+		var s Stats
+		if err := json.Unmarshal([]byte(bad), &s); err == nil {
+			t.Errorf("unmarshal %s succeeded, want error", bad)
+		}
+	}
+}

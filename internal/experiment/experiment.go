@@ -19,6 +19,7 @@ import (
 	"flowery/internal/ir"
 	"flowery/internal/machine"
 	"flowery/internal/sim"
+	"flowery/internal/store"
 	"flowery/internal/telemetry"
 )
 
@@ -67,6 +68,11 @@ type Config struct {
 	// run metrics. Wired from cmd/experiments -metrics/-trace and
 	// cmd/flowery; nil keeps every layer on the no-op sink.
 	Telemetry *telemetry.Registry
+	// Artifacts, when non-nil, is the persistent campaign-artifact store
+	// threaded into the study's pipeline (pipeline.Config.Artifacts), so
+	// a re-run study — or the daemon's study jobs — recall campaign
+	// statistics computed by earlier processes instead of re-injecting.
+	Artifacts store.Store
 }
 
 // DefaultPilotsPerClass is the pilot budget pruned campaigns use when

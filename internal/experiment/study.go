@@ -60,6 +60,7 @@ func newStudy(cfg Config, disabled bool) *Study {
 		ShardProcs:      cfg.ShardWorkers,
 		Disabled:        disabled,
 		Reference:       cfg.Reference,
+		Artifacts:       cfg.Artifacts,
 		Telemetry:       cfg.Telemetry,
 		Span:            root,
 	}

@@ -24,6 +24,7 @@
 package pipeline
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 	"time"
@@ -39,6 +40,7 @@ import (
 	"flowery/internal/machine"
 	"flowery/internal/shard"
 	"flowery/internal/sim"
+	"flowery/internal/store"
 	"flowery/internal/telemetry"
 )
 
@@ -86,6 +88,16 @@ type Config struct {
 	// artifact keys anyway so equivalence gates comparing the two cores
 	// never coalesce their campaigns.
 	Reference bool
+	// Artifacts, when non-nil, is the persistent artifact tier behind the
+	// in-memory cache: campaign statistics (the expensive leaf artifacts)
+	// are recalled from it before being computed and stored into it after
+	// a computation, under exactly the in-memory cache's key strings.
+	// Shared across pipelines — and, with store.Disk, across processes —
+	// it is what lets cmd/floweryd serve a repeated spec without
+	// re-running a single injection. Excluded from artifact keys: the
+	// store never changes an artifact, only where it is recalled from
+	// (gated by the memory-vs-disk bit-identity test in store_test.go).
+	Artifacts store.Store
 	// Telemetry, when non-nil, is the registry the pipeline reports into:
 	// per-stage cache counters and wall histograms, per-miss stage spans,
 	// and — forwarded through campaign.Spec and sim.Options — campaign
@@ -108,6 +120,10 @@ type Pipeline struct {
 	simulated *telemetry.Counter
 	saved     *telemetry.Counter
 	pilots    *telemetry.Counter
+
+	storeHits   *telemetry.Counter
+	storeMisses *telemetry.Counter
+	storeErrors *telemetry.Counter
 }
 
 // New returns an empty pipeline.
@@ -117,12 +133,15 @@ func New(cfg Config) *Pipeline {
 		reg = telemetry.New()
 	}
 	return &Pipeline{
-		cfg:       cfg,
-		reg:       reg,
-		cache:     newCache(cfg.Disabled, reg, cfg.Telemetry, cfg.Span),
-		simulated: reg.Counter("pipeline_instrs_simulated_total"),
-		saved:     reg.Counter("pipeline_instrs_saved_total"),
-		pilots:    reg.Counter("pipeline_pilot_runs_total"),
+		cfg:         cfg,
+		reg:         reg,
+		cache:       newCache(cfg.Disabled, reg, cfg.Telemetry, cfg.Span),
+		simulated:   reg.Counter("pipeline_instrs_simulated_total"),
+		saved:       reg.Counter("pipeline_instrs_saved_total"),
+		pilots:      reg.Counter("pipeline_pilot_runs_total"),
+		storeHits:   reg.Counter("pipeline_store_hits_total"),
+		storeMisses: reg.Counter("pipeline_store_misses_total"),
+		storeErrors: reg.Counter("pipeline_store_errors_total"),
 	}
 }
 
@@ -521,6 +540,17 @@ func (p *Pipeline) Campaign(src Source, v Variant, opts CampaignOpts) (campaign.
 		key += fmt.Sprintf("|prune=%s|k=%d", opts.Pruning, opts.PilotsPerClass)
 	}
 	val, err := p.cache.do(stage, key, func(sp *telemetry.Span) (any, error) {
+		// The persistent artifact tier sits behind the in-memory miss:
+		// a stats blob stored by an earlier pipeline (possibly an earlier
+		// process) short-circuits the whole derivation chain. Requests
+		// carrying a Records sink bypass recall — a recalled artifact
+		// replays no records — but still persist what they compute.
+		if recalled, ok := p.storeGet(key, opts.Records != nil); ok {
+			if sp != nil {
+				sp.SetAttr("store", "hit")
+			}
+			return recalled, nil
+		}
 		factory, err := p.EngineFactory(src, v, opts.Layer, opts.Backend)
 		if err != nil {
 			return nil, err
@@ -559,12 +589,79 @@ func (p *Pipeline) Campaign(src Source, v Variant, opts CampaignOpts) (campaign.
 		if st.Pruned {
 			p.pilots.Add(int64(st.PilotRuns))
 		}
+		p.storePut(key, st)
 		return st, nil
 	})
 	if err != nil {
 		return campaign.Stats{}, err
 	}
 	return val.(campaign.Stats), nil
+}
+
+// storeGet recalls a campaign artifact from the persistent store.
+// skip (a Records request) forces a miss without touching the store's
+// hit/miss counters — the request is not answerable from storage.
+// Undecodable blobs degrade to a recomputation that overwrites them.
+func (p *Pipeline) storeGet(key string, skip bool) (campaign.Stats, bool) {
+	if p.cfg.Artifacts == nil || skip {
+		return campaign.Stats{}, false
+	}
+	blob, ok, err := p.cfg.Artifacts.Get(key)
+	if err != nil {
+		p.storeErrors.Inc()
+		return campaign.Stats{}, false
+	}
+	if !ok {
+		p.storeMisses.Inc()
+		return campaign.Stats{}, false
+	}
+	var st campaign.Stats
+	if err := json.Unmarshal(blob, &st); err != nil {
+		p.storeErrors.Inc()
+		p.storeMisses.Inc()
+		return campaign.Stats{}, false
+	}
+	p.storeHits.Inc()
+	return st, true
+}
+
+// storePut persists a freshly computed campaign artifact. Elapsed is
+// zeroed first: it is the one wall-clock-derived Stats field, and the
+// stored blob must be a deterministic function of the key so memory-
+// and disk-backed runs stay bit-identical. Store failures only count —
+// the computation already succeeded.
+func (p *Pipeline) storePut(key string, st campaign.Stats) {
+	if p.cfg.Artifacts == nil {
+		return
+	}
+	st.Elapsed = 0
+	blob, err := json.Marshal(st)
+	if err != nil {
+		p.storeErrors.Inc()
+		return
+	}
+	if err := p.cfg.Artifacts.Put(key, blob); err != nil {
+		p.storeErrors.Inc()
+	}
+}
+
+// ProtectionVariant maps the CLI-level protection knobs — a level in
+// (0,1] and the Flowery toggle — to the pipeline variant every
+// protection-aware entry point (cmd/flowery, the daemon's job service)
+// derives modules under: full duplication at level 1, profile-driven
+// selection below, plus all Flowery patches when requested.
+func ProtectionVariant(level float64, fl bool) Variant {
+	full := level >= 1
+	switch {
+	case full && fl:
+		return FullFloweryVariant(flowery.All())
+	case full:
+		return FullIDVariant()
+	case fl:
+		return FloweryVariant(dup.Level(level), flowery.All())
+	default:
+		return IDVariant(dup.Level(level))
+	}
 }
 
 // shardExecutor builds the executor for a sharded campaign: nil (the

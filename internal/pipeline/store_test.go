@@ -1,0 +1,144 @@
+package pipeline
+
+import (
+	"bytes"
+	"sort"
+	"strings"
+	"testing"
+
+	"flowery/internal/campaign"
+	"flowery/internal/store"
+	"flowery/internal/telemetry"
+)
+
+// storeCfg pins CampaignWorkers to 1 so the scheduling-dependent perf
+// fields (SimulatedInstrs/SavedInstrs) are reproducible across the two
+// pipelines being compared.
+var storeCfg = Config{Runs: 60, ProfileSamples: 100, Seed: 11, CampaignWorkers: 1}
+
+func runThrough(t *testing.T, st store.Store) campaign.Stats {
+	t.Helper()
+	cfg := storeCfg
+	cfg.Artifacts = st
+	p := New(cfg)
+	stats, err := p.Campaign(testSource(t), FullIDVariant(), CampaignOpts{Layer: LayerAsm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stats
+}
+
+// TestStoreMemoryDiskBitIdentity is the cache-key compatibility gate:
+// the same campaign driven through a memory-backed and a disk-backed
+// artifact store must deposit bit-identical blobs under identical keys,
+// so either tier can serve the other's artifacts.
+func TestStoreMemoryDiskBitIdentity(t *testing.T) {
+	mem := store.NewMemory(nil)
+	disk, err := store.OpenDisk(t.TempDir(), store.DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disk.Close()
+
+	memStats := runThrough(t, mem)
+	diskStats := runThrough(t, disk)
+	memStats.Elapsed, diskStats.Elapsed = 0, 0 // wall clock, excluded from blobs
+	if memStats != diskStats {
+		t.Fatalf("stats diverge:\nmemory %+v\ndisk   %+v", memStats, diskStats)
+	}
+
+	mk, dk := mem.Keys(), disk.Keys()
+	sort.Strings(mk)
+	sort.Strings(dk)
+	if len(mk) == 0 {
+		t.Fatal("no artifacts stored")
+	}
+	if strings.Join(mk, "\n") != strings.Join(dk, "\n") {
+		t.Fatalf("key sets diverge:\nmemory %v\ndisk   %v", mk, dk)
+	}
+	for _, k := range mk {
+		mb, ok1, err1 := mem.Get(k)
+		db, ok2, err2 := disk.Get(k)
+		if err1 != nil || err2 != nil || !ok1 || !ok2 {
+			t.Fatalf("recall %q: mem ok=%v err=%v, disk ok=%v err=%v", k, ok1, err1, ok2, err2)
+		}
+		if !bytes.Equal(mb, db) {
+			t.Fatalf("blob for %q diverges:\nmemory %s\ndisk   %s", k, mb, db)
+		}
+	}
+}
+
+// TestStoreRecallAcrossPipelines models the daemon's repeated-spec path:
+// a second pipeline (a new process, in daemon terms) sharing the store
+// serves the campaign from storage without executing anything.
+func TestStoreRecallAcrossPipelines(t *testing.T) {
+	shared := store.NewMemory(nil)
+
+	cfg := storeCfg
+	cfg.Artifacts = shared
+	first := New(cfg)
+	want, err := first.Campaign(testSource(t), FullIDVariant(), CampaignOpts{Layer: LayerAsm})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := telemetry.New()
+	cfg2 := storeCfg
+	cfg2.Artifacts = shared
+	cfg2.Telemetry = reg
+	second := New(cfg2)
+	got, err := second.Campaign(testSource(t), FullIDVariant(), CampaignOpts{Layer: LayerAsm})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Recalled stats match except Elapsed, which the store zeroes (the
+	// one wall-clock field) and a fresh run would repopulate.
+	want.Elapsed = 0
+	if got != want {
+		t.Fatalf("recalled stats diverge:\nfirst  %+v\nsecond %+v", want, got)
+	}
+	if hits := reg.Counter("pipeline_store_hits_total").Value(); hits != 1 {
+		t.Fatalf("pipeline_store_hits_total = %d, want 1", hits)
+	}
+	// The recall short-circuits the derivation chain: no engine ever ran.
+	if runs := reg.Counter("engine_runs_total").Value(); runs != 0 {
+		t.Fatalf("engine_runs_total = %d after a store recall, want 0", runs)
+	}
+}
+
+// TestStoreRecordsRequestBypassesRecall pins the Records contract: a
+// request that needs per-run records cannot be served from storage (a
+// recalled artifact replays none), but its computation is stored for
+// later record-free requests.
+func TestStoreRecordsRequestBypassesRecall(t *testing.T) {
+	shared := store.NewMemory(nil)
+	cfg := storeCfg
+	cfg.Artifacts = shared
+	p := New(cfg)
+
+	// Seed the store.
+	if _, err := p.Campaign(testSource(t), FullIDVariant(), CampaignOpts{Layer: LayerAsm}); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := telemetry.New()
+	cfg2 := storeCfg
+	cfg2.Artifacts = shared
+	cfg2.Telemetry = reg
+	p2 := New(cfg2)
+	var records []campaign.Record
+	st, err := p2.Campaign(testSource(t), FullIDVariant(), CampaignOpts{
+		Layer:   LayerAsm,
+		Records: func(r campaign.Record) { records = append(records, r) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != st.Runs {
+		t.Fatalf("got %d records for %d runs — the store recall swallowed them", len(records), st.Runs)
+	}
+	if hits := reg.Counter("pipeline_store_hits_total").Value(); hits != 0 {
+		t.Fatalf("records request recalled from store (%d hits)", hits)
+	}
+}

@@ -2,6 +2,7 @@ package reclog
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"io"
 	"math/rand"
@@ -160,5 +161,99 @@ func TestCompactness(t *testing.T) {
 	perRun := float64(len(enc)) / float64(len(recs))
 	if perRun > 8 {
 		t.Fatalf("%.2f bytes/record, want <= 8", perRun)
+	}
+}
+
+// blockBoundaries walks the frame structure — magic, then per block a
+// marker byte, two uvarints (count, payload size), the payload, and a
+// 4-byte CRC — returning every offset at which a stream may cleanly end.
+func blockBoundaries(t *testing.T, enc []byte) []int {
+	t.Helper()
+	off := len(Magic)
+	bounds := []int{off}
+	for off < len(enc) {
+		if enc[off] != blockMarker {
+			t.Fatalf("no block marker at offset %d", off)
+		}
+		off++
+		for i := 0; i < 2; i++ { // count, size uvarints
+			v, n := binary.Uvarint(enc[off:])
+			if n <= 0 {
+				t.Fatalf("bad frame uvarint at offset %d", off)
+			}
+			off += n
+			if i == 1 {
+				off += int(v) // payload
+			}
+		}
+		off += 4 // crc
+		if off > len(enc) {
+			t.Fatalf("frame overruns the stream (offset %d of %d)", off, len(enc))
+		}
+		bounds = append(bounds, off)
+	}
+	return bounds
+}
+
+// TestTruncatedFinalBlock pins the reader's end-of-stream contract
+// byte by byte: a stream cut exactly at a block boundary decodes its
+// complete blocks and ends with a clean io.EOF, while a cut anywhere
+// inside the final (partial) block reports ErrCorrupt — after first
+// yielding every record of the preceding complete blocks intact. The
+// distinction is what lets consumers of an interrupted campaign log
+// trust everything before the tear.
+func TestTruncatedFinalBlock(t *testing.T) {
+	recs := genRecords(2*DefaultBlockRecords+17, 99)
+	enc := encode(t, recs)
+	bounds := blockBoundaries(t, enc)
+	if len(bounds) < 4 { // magic boundary + 3 blocks
+		t.Fatalf("need >= 3 blocks, got boundaries %v", bounds)
+	}
+
+	// Records per complete-block prefix, for cross-checking.
+	perBoundary := make([][]Record, len(bounds))
+	for i, b := range bounds {
+		got, err := ReadAll(bytes.NewReader(enc[:b]))
+		if err != nil {
+			t.Fatalf("cut at block boundary %d (offset %d): %v — want clean EOF", i, b, err)
+		}
+		perBoundary[i] = got
+	}
+	if n := len(perBoundary[len(bounds)-1]); n != len(recs) {
+		t.Fatalf("full stream decoded %d records, want %d", n, len(recs))
+	}
+	if n := len(perBoundary[0]); n != 0 {
+		t.Fatalf("magic-only stream decoded %d records, want 0", n)
+	}
+
+	// Every cut strictly inside the final block: ErrCorrupt, with the
+	// complete blocks' records intact.
+	last, end := bounds[len(bounds)-2], bounds[len(bounds)-1]
+	want := perBoundary[len(bounds)-2]
+	for cut := last + 1; cut < end; cut++ {
+		got, err := ReadAll(bytes.NewReader(enc[:cut]))
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("cut=%d (inside final block %d..%d): err=%v, want ErrCorrupt", cut, last, end, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("cut=%d: decoded %d records before the tear, want %d", cut, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("cut=%d: record %d diverged after truncation", cut, i)
+			}
+		}
+	}
+
+	// Streaming form of the same contract: Next yields the complete
+	// blocks then exactly one ErrCorrupt, never io.EOF, on a torn tail.
+	r := NewReader(bytes.NewReader(enc[:last+3]))
+	for i := 0; i < len(want); i++ {
+		if _, err := r.Next(); err != nil {
+			t.Fatalf("record %d before the tear: %v", i, err)
+		}
+	}
+	if _, err := r.Next(); errors.Is(err, io.EOF) || !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("torn tail yielded %v, want ErrCorrupt (not EOF)", err)
 	}
 }

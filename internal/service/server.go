@@ -1,0 +1,158 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"flowery/internal/api"
+	"flowery/internal/version"
+)
+
+// Server is the HTTP surface over a Manager — the api package's
+// endpoint table made concrete. It is an http.Handler; cmd/floweryd
+// mounts it on a listener, tests on httptest.
+type Server struct {
+	m   *Manager
+	mux *http.ServeMux
+}
+
+// NewServer wires the endpoint table.
+func NewServer(m *Manager) *Server {
+	s := &Server{m: m, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /jobs", s.submit)
+	s.mux.HandleFunc("GET /jobs", s.list)
+	s.mux.HandleFunc("GET /jobs/{id}", s.job)
+	s.mux.HandleFunc("DELETE /jobs/{id}", s.cancel)
+	s.mux.HandleFunc("GET /jobs/{id}/results", s.results)
+	s.mux.HandleFunc("GET /jobs/{id}/reclog", s.reclog)
+	s.mux.HandleFunc("GET /jobs/{id}/metrics", s.jobMetrics)
+	s.mux.HandleFunc("GET /metrics", s.metrics)
+	s.mux.HandleFunc("GET /healthz", s.healthz)
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, api.Error{Err: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
+	var spec api.JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding job spec: %v", err)
+		return
+	}
+	ji, err := s.m.Submit(spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, api.SubmitResponse{ID: ji.ID, State: ji.State})
+}
+
+func (s *Server) list(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.m.Jobs())
+}
+
+func (s *Server) job(w http.ResponseWriter, r *http.Request) {
+	ji, ok := s.m.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, ji)
+}
+
+func (s *Server) cancel(w http.ResponseWriter, r *http.Request) {
+	ji, err := s.m.Cancel(r.PathValue("id"))
+	switch {
+	case err == ErrNotCancellable:
+		writeError(w, http.StatusConflict, "%v", err)
+	case err != nil:
+		writeError(w, http.StatusNotFound, "%v", err)
+	default:
+		writeJSON(w, http.StatusOK, ji)
+	}
+}
+
+// results streams NDJSON api.ResultLine, flushing per line so clients
+// follow a running job live.
+func (s *Server) results(w http.ResponseWriter, r *http.Request) {
+	j := s.m.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	ctx := r.Context()
+	j.stream(func(line api.ResultLine) bool {
+		if ctx.Err() != nil {
+			return false
+		}
+		if err := enc.Encode(line); err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	})
+}
+
+func (s *Server) reclog(w http.ResponseWriter, r *http.Request) {
+	j := s.m.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	blob, state := j.reclogBytes()
+	if state != api.StateDone {
+		writeError(w, http.StatusConflict, "job %s %s — no record log", j.id, state)
+		return
+	}
+	if blob == nil {
+		writeError(w, http.StatusNotFound, "job %s captured no records (submit with records:true)", j.id)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(blob)
+}
+
+func (s *Server) jobMetrics(w http.ResponseWriter, r *http.Request) {
+	j := s.m.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	w.Write(j.reg.Snapshot().Prometheus())
+}
+
+func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	w.Write(s.m.reg.Snapshot().Prometheus())
+}
+
+func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, api.Health{
+		Status:  "ok",
+		Version: version.String(),
+		Jobs:    s.m.States(),
+	})
+}

@@ -1,0 +1,427 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"flowery/internal/api"
+	"flowery/internal/campaign"
+	"flowery/internal/pipeline"
+	"flowery/internal/reclog"
+	"flowery/internal/store"
+	"flowery/internal/telemetry"
+)
+
+// testSpec is a tiny campaign that finishes in well under a second.
+func testSpec() api.JobSpec {
+	return api.JobSpec{
+		Benchmark: "crc32",
+		Runs:      40,
+		Samples:   100,
+		Seed:      7,
+		Workers:   1,
+	}
+}
+
+// newTestServer stands up a manager + HTTP server + client.
+func newTestServer(t *testing.T, cfg Config) (*Manager, *api.Client) {
+	t.Helper()
+	m := New(cfg)
+	t.Cleanup(m.Close)
+	srv := httptest.NewServer(NewServer(m))
+	t.Cleanup(srv.Close)
+	return m, &api.Client{Base: srv.URL}
+}
+
+func waitDone(t *testing.T, c *api.Client, id string) api.JobInfo {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		ji, err := c.Job(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch ji.State {
+		case api.StateDone:
+			return ji
+		case api.StateFailed:
+			t.Fatalf("job %s failed: %s", id, ji.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s", id, ji.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestCampaignRoundTrip(t *testing.T) {
+	_, c := newTestServer(t, Config{})
+
+	sr, err := c.Submit(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.ID == "" || sr.State != api.StateQueued {
+		t.Fatalf("submit = %+v", sr)
+	}
+	ji := waitDone(t, c, sr.ID)
+	if ji.Stats == nil {
+		t.Fatal("done job has no stats")
+	}
+	if ji.Stats.Runs != 40 {
+		t.Fatalf("stats.Runs = %d, want 40", ji.Stats.Runs)
+	}
+	if ji.StartedAt == nil || ji.FinishedAt == nil {
+		t.Fatalf("missing timestamps: %+v", ji)
+	}
+
+	// The result stream of a record-free campaign is exactly one stats
+	// line, bit-identical to the JobInfo stats.
+	rs, err := c.Results(sr.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	line, err := rs.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if line.Stats == nil {
+		t.Fatalf("first line is not stats: %+v", line)
+	}
+	a, _ := json.Marshal(line.Stats)
+	b, _ := json.Marshal(ji.Stats)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("streamed stats diverge from job stats:\nstream %s\njob    %s", a, b)
+	}
+	if _, err := rs.Next(); err != io.EOF {
+		t.Fatalf("stream has extra lines (err=%v)", err)
+	}
+}
+
+// TestDeterminismMatchesDirectRun pins the daemon's core promise: a
+// job's statistics equal a direct pipeline run of the same spec.
+func TestDeterminismMatchesDirectRun(t *testing.T) {
+	_, c := newTestServer(t, Config{})
+	spec := testSpec()
+	sr, err := c.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ji := waitDone(t, c, sr.ID)
+
+	want, err := directStats(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := *ji.Stats
+	got.Elapsed, want.Elapsed = 0, 0
+	if got != want {
+		t.Fatalf("daemon stats diverge from direct run:\ndaemon %+v\ndirect %+v", got, want)
+	}
+}
+
+// directStats runs the spec the way `flowery inject` would: a fresh
+// pipeline with the same knob mapping, no service in between.
+func directStats(spec api.JobSpec) (campaign.Stats, error) {
+	if err := spec.Normalize(); err != nil {
+		return campaign.Stats{}, err
+	}
+	src, err := source(spec)
+	if err != nil {
+		return campaign.Stats{}, err
+	}
+	pl := pipeline.New(pipeline.Config{
+		Runs:            spec.Runs,
+		ProfileSamples:  spec.Samples,
+		Seed:            spec.Seed,
+		MaxSteps:        spec.MaxSteps,
+		CampaignWorkers: spec.Workers,
+	})
+	return pl.Campaign(src, variant(spec), pipeline.CampaignOpts{Layer: layer(spec)})
+}
+
+func TestRecordsStreamAndReclog(t *testing.T) {
+	_, c := newTestServer(t, Config{})
+	spec := testSpec()
+	spec.Records = true
+	sr, err := c.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Open the stream before the job finishes: records must arrive
+	// followed by the terminal stats line.
+	rs, err := c.Results(sr.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	var records []api.Record
+	var stats *campaign.Stats
+	for {
+		line, err := rs.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch {
+		case line.Record != nil:
+			records = append(records, *line.Record)
+		case line.Stats != nil:
+			stats = line.Stats
+		case line.Error != "":
+			t.Fatalf("stream error: %s", line.Error)
+		}
+	}
+	if stats == nil {
+		t.Fatal("stream ended without a stats line")
+	}
+	if len(records) != stats.Runs {
+		t.Fatalf("streamed %d records for %d runs", len(records), stats.Runs)
+	}
+	for i, r := range records {
+		if r.Run != int64(i) {
+			t.Fatalf("record %d out of order: run=%d", i, r.Run)
+		}
+		if r.Outcome == "" {
+			t.Fatalf("record %d has no outcome name", i)
+		}
+	}
+
+	// The raw reclog decodes to the same sequence.
+	blob, err := c.Reclog(sr.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd := reclog.NewReader(bytes.NewReader(blob))
+	n := 0
+	for {
+		rec, err := rd.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Run != records[n].Run {
+			t.Fatalf("reclog record %d run=%d, stream says %d", n, rec.Run, records[n].Run)
+		}
+		n++
+	}
+	if n != len(records) {
+		t.Fatalf("reclog has %d records, stream had %d", n, len(records))
+	}
+}
+
+// TestRepeatedSpecServedFromStore is the daemon's cache story: the
+// second submission of an identical spec is answered from the shared
+// artifact store without executing a single engine run.
+func TestRepeatedSpecServedFromStore(t *testing.T) {
+	reg := telemetry.New()
+	st := store.NewMemory(reg)
+	m, c := newTestServer(t, Config{Artifacts: st, Telemetry: reg})
+
+	sr1, err := c.Submit(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := waitDone(t, c, sr1.ID)
+
+	sr2, err := c.Submit(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	second := waitDone(t, c, sr2.ID)
+
+	// The recalled stats match bit-for-bit except Elapsed — the one
+	// wall-clock field, which the store zeroes.
+	fs, ss := *first.Stats, *second.Stats
+	if ss.Elapsed != 0 {
+		t.Fatalf("recalled stats carry a wall clock: %v", ss.Elapsed)
+	}
+	fs.Elapsed = 0
+	a, _ := json.Marshal(fs)
+	b, _ := json.Marshal(ss)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("recalled stats diverge:\nfirst  %s\nsecond %s", a, b)
+	}
+	if hits := reg.Counter("store_hits_total").Value(); hits < 1 {
+		t.Fatalf("store_hits_total = %d after a repeated spec, want >= 1", hits)
+	}
+	// The recalled job executed nothing: its child registry never saw an
+	// engine run.
+	j2 := m.lookup(sr2.ID)
+	if j2 == nil {
+		t.Fatalf("manager lost job %s", sr2.ID)
+	}
+	if runs := j2.reg.Counter("engine_runs_total").Value(); runs != 0 {
+		t.Fatalf("second job executed %d engine runs, want 0 (store recall)", runs)
+	}
+}
+
+func TestValidationFailsAtSubmit(t *testing.T) {
+	_, c := newTestServer(t, Config{})
+	for name, spec := range map[string]api.JobSpec{
+		"no program":    {},
+		"bad benchmark": {Benchmark: "nonesuch"},
+		"bad ir":        {IR: "not ir at all"},
+		"prune+records": {Benchmark: "crc32", Prune: true, Records: true},
+	} {
+		if _, err := c.Submit(spec); err == nil {
+			t.Errorf("%s: submit succeeded, want error", name)
+		}
+	}
+	// Server-side validation too: a syntactically valid JSON body with a
+	// bad combination is rejected with 400 even if a client skips
+	// Normalize.
+	if _, err := c.Submit(api.JobSpec{Benchmark: "nonesuch", Runs: 1}); err == nil ||
+		!strings.Contains(err.Error(), "unknown benchmark") {
+		t.Errorf("unknown benchmark error missing: %v", err)
+	}
+}
+
+func TestCancelQueuedJob(t *testing.T) {
+	// One worker busy with a slow job keeps the second queued.
+	_, c := newTestServer(t, Config{Workers: 1})
+	// Long enough to still be running while we submit and cancel the
+	// second job (milliseconds), short enough that Close drains fast.
+	slow := testSpec()
+	slow.Runs = 400
+	if _, err := c.Submit(slow); err != nil {
+		t.Fatal(err)
+	}
+	sr, err := c.Submit(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ji, err := c.Cancel(sr.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ji.State != api.StateCancelled {
+		t.Fatalf("cancelled job state = %s", ji.State)
+	}
+	// Its result stream terminates with an error line.
+	rs, err := c.Results(sr.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	line, err := rs.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if line.Error == "" {
+		t.Fatalf("cancelled job streamed %+v, want error line", line)
+	}
+}
+
+func TestHealthAndMetrics(t *testing.T) {
+	_, c := newTestServer(t, Config{})
+	sr, err := c.Submit(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, c, sr.ID)
+
+	h, err := c.Health()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Version == "" {
+		t.Fatalf("health = %+v", h)
+	}
+	if h.Jobs[api.StateDone] != 1 {
+		t.Fatalf("health jobs = %v, want one done", h.Jobs)
+	}
+
+	page, err := c.Metrics("/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(page, []byte("service_jobs_done_total 1")) {
+		t.Fatalf("daemon metrics missing job counter:\n%s", page)
+	}
+	jm, err := c.Metrics("/jobs/" + sr.ID + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(jm, []byte("engine_runs_total")) {
+		t.Fatalf("per-job metrics missing engine counters:\n%s", jm)
+	}
+}
+
+func TestStudyJob(t *testing.T) {
+	if testing.Short() {
+		t.Skip("study job runs full campaigns")
+	}
+	_, c := newTestServer(t, Config{})
+	sr, err := c.Submit(api.JobSpec{
+		Kind:       api.KindStudy,
+		Benchmarks: []string{"crc32"},
+		Runs:       40,
+		Samples:    100,
+		Seed:       7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, c, sr.ID)
+	rs, err := c.Results(sr.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	line, err := rs.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if line.Study == nil {
+		t.Fatalf("study job streamed %+v, want study document", line)
+	}
+	var doc struct {
+		Benchmarks []struct {
+			Name string `json:"name"`
+		} `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(line.Study, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 1 || doc.Benchmarks[0].Name != "crc32" {
+		t.Fatalf("study document = %s", line.Study)
+	}
+}
+
+func TestListNewestFirst(t *testing.T) {
+	m, c := newTestServer(t, Config{})
+	var ids []string
+	for i := 0; i < 3; i++ {
+		sr, err := c.Submit(testSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, sr.ID)
+		waitDone(t, c, sr.ID)
+	}
+	_ = m
+	list, err := c.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 3 {
+		t.Fatalf("listed %d jobs, want 3", len(list))
+	}
+	for i, ji := range list {
+		if want := ids[len(ids)-1-i]; ji.ID != want {
+			t.Fatalf("list[%d] = %s, want %s (newest first)", i, ji.ID, want)
+		}
+	}
+}

@@ -1,0 +1,434 @@
+package store
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"flowery/internal/telemetry"
+)
+
+// Disk is the persistent Store: a sha256 content-addressed blob area
+// plus an append-only index manifest mapping keys to blob hashes.
+//
+// Layout under the root directory:
+//
+//	index.log        one JSON line per mutation: {"k":key,"b":hexhash,
+//	                 "s":size} for a put, {"k":key,"d":true} for an
+//	                 eviction; later lines win. Rewritten compactly
+//	                 (atomic rename) on Close.
+//	objects/ab/<hex> blob content, named by its sha256; written to tmp/
+//	                 and renamed into place, so a reader never observes
+//	                 a partial blob and a crash leaves only garbage in
+//	                 tmp/ (cleared on open).
+//	tmp/             staging area for atomic writes.
+//
+// Two keys with identical content share one blob (the object layer is
+// content-addressed; the index layer holds per-key references). Get
+// re-hashes the blob it reads and treats a mismatch as a miss, so a
+// corrupted object degrades to recomputation, never to a wrong artifact.
+//
+// MaxBytes caps the total size of live blobs: each Put evicts
+// least-recently-used keys (Get refreshes recency; the order persists
+// across restarts through the index line order) until the new total
+// fits. The entry just written is never evicted by its own Put.
+type Disk struct {
+	root string
+	max  int64
+
+	mu    sync.Mutex
+	index map[string]*diskEntry // key → entry
+	refs  map[string]int        // blob hash → number of keys referencing it
+	order []string              // keys, least recently used first
+	total int64                 // live blob bytes (each distinct blob counted once)
+	log   *os.File              // append handle for index.log
+	mt    metrics
+}
+
+type diskEntry struct {
+	hash string
+	size int64
+}
+
+// indexLine is the manifest's wire form.
+type indexLine struct {
+	K string `json:"k"`
+	B string `json:"b,omitempty"`
+	S int64  `json:"s,omitempty"`
+	D bool   `json:"d,omitempty"`
+}
+
+// DiskOptions tunes OpenDisk.
+type DiskOptions struct {
+	// MaxBytes caps the total live blob size; 0 means unlimited.
+	MaxBytes int64
+	// Metrics receives the store_* counters (nil disables telemetry).
+	Metrics *telemetry.Registry
+}
+
+// OpenDisk opens (creating if needed) the persistent store rooted at
+// dir and replays its index manifest.
+func OpenDisk(dir string, opts DiskOptions) (*Disk, error) {
+	for _, sub := range []string{"", "objects", "tmp"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+	}
+	// Anything in tmp/ is a crashed half-write; blobs are only ever
+	// complete once renamed out of it.
+	if ents, err := os.ReadDir(filepath.Join(dir, "tmp")); err == nil {
+		for _, e := range ents {
+			os.Remove(filepath.Join(dir, "tmp", e.Name()))
+		}
+	}
+	d := &Disk{
+		root:  dir,
+		max:   opts.MaxBytes,
+		index: make(map[string]*diskEntry),
+		refs:  make(map[string]int),
+		mt:    newMetrics(opts.Metrics),
+	}
+	if err := d.loadIndex(); err != nil {
+		return nil, err
+	}
+	d.sweepObjects()
+	log, err := os.OpenFile(d.indexPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	d.log = log
+	d.mt.bytes.Set(float64(d.total))
+	return d, nil
+}
+
+func (d *Disk) indexPath() string { return filepath.Join(d.root, "index.log") }
+
+func (d *Disk) objectPath(hash string) string {
+	return filepath.Join(d.root, "objects", hash[:2], hash[2:])
+}
+
+// loadIndex replays the manifest. Unparseable lines (a torn final
+// append after a crash) end the replay; entries whose blob is missing
+// are dropped. The surviving line order doubles as the initial LRU
+// order: compaction on Close writes entries least-recently-used first.
+func (d *Disk) loadIndex() error {
+	f, err := os.Open(d.indexPath())
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		var ln indexLine
+		if json.Unmarshal(sc.Bytes(), &ln) != nil || ln.K == "" {
+			break // torn tail; everything before it is intact
+		}
+		if ln.D {
+			d.forgetLocked(ln.K)
+			continue
+		}
+		if len(ln.B) != sha256.Size*2 {
+			continue
+		}
+		if _, err := os.Stat(d.objectPath(ln.B)); err != nil {
+			continue // blob vanished; key is unrecoverable
+		}
+		d.forgetLocked(ln.K) // re-put: refresh order and refs
+		d.index[ln.K] = &diskEntry{hash: ln.B, size: ln.S}
+		d.order = append(d.order, ln.K)
+		d.refs[ln.B]++
+		if d.refs[ln.B] == 1 {
+			d.total += ln.S
+		}
+	}
+	return sc.Err()
+}
+
+// forgetLocked removes key from the in-memory index without touching
+// blob files — the replay path, where a later line may reference the
+// same blob. Unreferenced blobs left behind are swept after replay.
+func (d *Disk) forgetLocked(key string) {
+	e := d.index[key]
+	if e == nil {
+		return
+	}
+	delete(d.index, key)
+	for i, k := range d.order {
+		if k == key {
+			d.order = append(d.order[:i], d.order[i+1:]...)
+			break
+		}
+	}
+	d.refs[e.hash]--
+	if d.refs[e.hash] <= 0 {
+		delete(d.refs, e.hash)
+		d.total -= e.size
+	}
+}
+
+// sweepObjects deletes object files no live index entry references —
+// eviction tombstones whose removal crashed, or blobs orphaned by a
+// torn index tail.
+func (d *Disk) sweepObjects() {
+	fans, err := os.ReadDir(filepath.Join(d.root, "objects"))
+	if err != nil {
+		return
+	}
+	for _, fan := range fans {
+		if !fan.IsDir() {
+			continue
+		}
+		dir := filepath.Join(d.root, "objects", fan.Name())
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			continue
+		}
+		for _, e := range ents {
+			if d.refs[fan.Name()+e.Name()] == 0 {
+				os.Remove(filepath.Join(dir, e.Name()))
+			}
+		}
+	}
+}
+
+// dropLocked removes key from the in-memory index (no manifest write),
+// deleting its blob when the last reference goes.
+func (d *Disk) dropLocked(key string) {
+	e := d.index[key]
+	if e == nil {
+		return
+	}
+	delete(d.index, key)
+	for i, k := range d.order {
+		if k == key {
+			d.order = append(d.order[:i], d.order[i+1:]...)
+			break
+		}
+	}
+	d.refs[e.hash]--
+	if d.refs[e.hash] <= 0 {
+		delete(d.refs, e.hash)
+		d.total -= e.size
+		os.Remove(d.objectPath(e.hash))
+	}
+}
+
+// touchLocked moves key to the most-recently-used end.
+func (d *Disk) touchLocked(key string) {
+	for i, k := range d.order {
+		if k == key {
+			d.order = append(d.order[:i], d.order[i+1:]...)
+			d.order = append(d.order, key)
+			return
+		}
+	}
+}
+
+func (d *Disk) appendLine(ln indexLine) error {
+	b, err := json.Marshal(ln)
+	if err != nil {
+		return err
+	}
+	_, err = d.log.Write(append(b, '\n'))
+	return err
+}
+
+// Get implements Store.
+func (d *Disk) Get(key string) ([]byte, bool, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	e := d.index[key]
+	if e == nil {
+		d.mt.misses.Inc()
+		return nil, false, nil
+	}
+	blob, err := os.ReadFile(d.objectPath(e.hash))
+	if err != nil {
+		// The blob is gone (external deletion); degrade to a miss and
+		// forget the key so the next Put repairs the store.
+		d.mt.errors.Inc()
+		d.mt.misses.Inc()
+		d.dropLocked(key)
+		return nil, false, nil
+	}
+	if sum := sha256.Sum256(blob); hex.EncodeToString(sum[:]) != e.hash {
+		// Content rot: a CAS blob that no longer matches its address is
+		// a miss, never a wrong answer.
+		d.mt.errors.Inc()
+		d.mt.misses.Inc()
+		d.dropLocked(key)
+		return nil, false, nil
+	}
+	d.touchLocked(key)
+	d.mt.hits.Inc()
+	return blob, true, nil
+}
+
+// Put implements Store.
+func (d *Disk) Put(key string, blob []byte) error {
+	sum := sha256.Sum256(blob)
+	hash := hex.EncodeToString(sum[:])
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.log == nil {
+		return fmt.Errorf("store: put %q on closed store", key)
+	}
+	if e := d.index[key]; e != nil && e.hash == hash {
+		d.touchLocked(key) // idempotent re-put: refresh recency only
+		return nil
+	}
+	if d.refs[hash] == 0 {
+		if err := d.writeObject(hash, blob); err != nil {
+			d.mt.errors.Inc()
+			return err
+		}
+	}
+	d.dropLocked(key)
+	d.index[key] = &diskEntry{hash: hash, size: int64(len(blob))}
+	d.order = append(d.order, key)
+	d.refs[hash]++
+	if d.refs[hash] == 1 {
+		d.total += int64(len(blob))
+	}
+	if err := d.appendLine(indexLine{K: key, B: hash, S: int64(len(blob))}); err != nil {
+		d.mt.errors.Inc()
+		return fmt.Errorf("store: index append: %w", err)
+	}
+	d.mt.puts.Inc()
+	d.mt.putBytes.Add(int64(len(blob)))
+	d.evictLocked(key)
+	d.mt.bytes.Set(float64(d.total))
+	return nil
+}
+
+// writeObject stages the blob in tmp/ and renames it into the object
+// area, creating the fan-out directory on demand.
+func (d *Disk) writeObject(hash string, blob []byte) error {
+	tmp, err := os.CreateTemp(filepath.Join(d.root, "tmp"), "blob-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(blob); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("store: %w", err)
+	}
+	dst := d.objectPath(hash)
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(name, dst); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// evictLocked drops least-recently-used keys until the live total fits
+// the cap. keep (the key just written) survives even when it alone
+// exceeds the budget — evicting the artifact being stored would turn
+// every oversized Put into a permanent miss.
+func (d *Disk) evictLocked(keep string) {
+	if d.max <= 0 {
+		return
+	}
+	for d.total > d.max {
+		victim := ""
+		for _, k := range d.order {
+			if k != keep {
+				victim = k
+				break
+			}
+		}
+		if victim == "" {
+			return
+		}
+		d.dropLocked(victim)
+		d.appendLine(indexLine{K: victim, D: true})
+		d.mt.evictions.Inc()
+	}
+}
+
+// Keys returns every stored key (test helper; order unspecified).
+func (d *Disk) Keys() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ks := make([]string, 0, len(d.index))
+	for k := range d.index {
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+// Len returns the number of live keys.
+func (d *Disk) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.index)
+}
+
+// TotalBytes returns the live blob total (each distinct blob once).
+func (d *Disk) TotalBytes() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.total
+}
+
+// Close compacts the index manifest — one line per live key, LRU order
+// preserved — via an atomic rename, then releases the append handle.
+func (d *Disk) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.log == nil {
+		return nil
+	}
+	d.log.Close()
+	d.log = nil
+	tmp, err := os.CreateTemp(filepath.Join(d.root, "tmp"), "index-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	w := bufio.NewWriter(tmp)
+	for _, k := range d.order {
+		e := d.index[k]
+		b, err := json.Marshal(indexLine{K: k, B: e.hash, S: e.size})
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+			return err
+		}
+		w.Write(b)
+		w.WriteByte('\n')
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), d.indexPath()); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}

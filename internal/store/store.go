@@ -1,0 +1,123 @@
+// Package store is the content-keyed artifact store behind the pipeline
+// cache's persistent tier. A Store maps opaque string keys — the same
+// key strings the pipeline's in-memory memoization uses — to immutable
+// byte blobs, so a campaign artifact computed once can be recalled by
+// any later request, any later process, or (through cmd/floweryd) any
+// later client with the same spec.
+//
+// Two implementations share the interface and, by construction, the key
+// space:
+//
+//   - Memory is a mutex-guarded map: the daemon's default when no store
+//     directory is configured, shared across requests but not restarts.
+//   - Disk is a sha256-addressed CAS under one directory: blobs written
+//     atomically (temp file + rename), an append-only index manifest
+//     mapping keys to blob hashes, and an LRU byte cap that evicts the
+//     least-recently-used keys when the configured budget is exceeded.
+//
+// The two are interchangeable bit for bit — a pipeline run against
+// either stores and recalls identical blobs under identical keys, which
+// internal/pipeline's memory-vs-disk identity test gates.
+package store
+
+import (
+	"sync"
+
+	"flowery/internal/telemetry"
+)
+
+// Store is a content-keyed blob store. Implementations must be safe for
+// concurrent use; blobs are immutable once stored (a Put over an
+// existing key replaces the mapping, never mutates a returned blob).
+type Store interface {
+	// Get returns the blob stored under key, or ok=false when absent.
+	// The returned slice is the caller's to keep.
+	Get(key string) (blob []byte, ok bool, err error)
+	// Put stores blob under key, replacing any previous mapping.
+	Put(key string, blob []byte) error
+	// Close releases resources and flushes any pending index state.
+	Close() error
+}
+
+// metrics is the counter set every implementation reports into (no-ops
+// on a nil registry).
+type metrics struct {
+	hits      *telemetry.Counter
+	misses    *telemetry.Counter
+	puts      *telemetry.Counter
+	putBytes  *telemetry.Counter
+	evictions *telemetry.Counter
+	errors    *telemetry.Counter
+	bytes     *telemetry.Gauge
+}
+
+func newMetrics(reg *telemetry.Registry) metrics {
+	return metrics{
+		hits:      reg.Counter("store_hits_total"),
+		misses:    reg.Counter("store_misses_total"),
+		puts:      reg.Counter("store_puts_total"),
+		putBytes:  reg.Counter("store_put_bytes_total"),
+		evictions: reg.Counter("store_evictions_total"),
+		errors:    reg.Counter("store_errors_total"),
+		bytes:     reg.Gauge("store_bytes"),
+	}
+}
+
+// Memory is the in-process Store: the exact map the pipeline cache used
+// before the persistent tier existed, behind the shared interface.
+type Memory struct {
+	mu    sync.Mutex
+	m     map[string][]byte
+	total int64
+	mt    metrics
+}
+
+// NewMemory returns an empty in-memory store reporting into reg (nil
+// disables telemetry).
+func NewMemory(reg *telemetry.Registry) *Memory {
+	return &Memory{m: make(map[string][]byte), mt: newMetrics(reg)}
+}
+
+// Get implements Store.
+func (s *Memory) Get(key string) ([]byte, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.m[key]
+	if !ok {
+		s.mt.misses.Inc()
+		return nil, false, nil
+	}
+	s.mt.hits.Inc()
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out, true, nil
+}
+
+// Put implements Store.
+func (s *Memory) Put(key string, blob []byte) error {
+	cp := make([]byte, len(blob))
+	copy(cp, blob)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	prev := len(s.m[key])
+	s.m[key] = cp
+	s.mt.puts.Inc()
+	s.mt.putBytes.Add(int64(len(cp)))
+	s.total += int64(len(cp)) - int64(prev)
+	s.mt.bytes.Set(float64(s.total))
+	return nil
+}
+
+// Keys returns every stored key (test helper; order unspecified).
+func (s *Memory) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ks := make([]string, 0, len(s.m))
+	for k := range s.m {
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+// Close implements Store (a no-op for the memory tier).
+func (s *Memory) Close() error { return nil }

@@ -1,0 +1,321 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"flowery/internal/telemetry"
+)
+
+// impls builds one instance of every Store implementation for t.
+func impls(t *testing.T) map[string]Store {
+	t.Helper()
+	disk, err := OpenDisk(t.TempDir(), DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { disk.Close() })
+	return map[string]Store{
+		"memory": NewMemory(nil),
+		"disk":   disk,
+	}
+}
+
+func TestGetPutRoundTrip(t *testing.T) {
+	for name, s := range impls(t) {
+		t.Run(name, func(t *testing.T) {
+			if _, ok, err := s.Get("absent"); err != nil || ok {
+				t.Fatalf("Get(absent) = ok=%v err=%v", ok, err)
+			}
+			key := `campaign|bench:crc32|raw|asm|gpr=0|runs=40|seed=7` // pipeline-shaped key
+			blob := []byte(`{"runs":40}`)
+			if err := s.Put(key, blob); err != nil {
+				t.Fatal(err)
+			}
+			got, ok, err := s.Get(key)
+			if err != nil || !ok || !bytes.Equal(got, blob) {
+				t.Fatalf("Get = %q ok=%v err=%v, want %q", got, ok, err, blob)
+			}
+			// Replacement wins.
+			blob2 := []byte(`{"runs":41}`)
+			if err := s.Put(key, blob2); err != nil {
+				t.Fatal(err)
+			}
+			got, _, _ = s.Get(key)
+			if !bytes.Equal(got, blob2) {
+				t.Fatalf("after re-put Get = %q, want %q", got, blob2)
+			}
+			// Mutating a returned blob must not reach the store.
+			got[0] = 'X'
+			again, _, _ := s.Get(key)
+			if !bytes.Equal(again, blob2) {
+				t.Fatalf("store blob aliased by caller mutation: %q", again)
+			}
+		})
+	}
+}
+
+// TestMemoryDiskBitIdentity is the store-level half of the cache-key
+// compatibility gate: identical Put sequences against the two
+// implementations must be recalled bit-identically under identical
+// keys (the pipeline-level half lives in internal/pipeline).
+func TestMemoryDiskBitIdentity(t *testing.T) {
+	mem := NewMemory(nil)
+	disk, err := OpenDisk(t.TempDir(), DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disk.Close()
+
+	var keys []string
+	for i := 0; i < 20; i++ {
+		key := fmt.Sprintf("campaign|bench:b%d|fl@0.7(seed=2023,samples=800)+ebc|asm|runs=%d", i, 100*i)
+		blob := bytes.Repeat([]byte{byte(i)}, 10+i*7)
+		keys = append(keys, key)
+		if err := mem.Put(key, blob); err != nil {
+			t.Fatal(err)
+		}
+		if err := disk.Put(key, blob); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mk, dk := mem.Keys(), disk.Keys()
+	sort.Strings(mk)
+	sort.Strings(dk)
+	if fmt.Sprint(mk) != fmt.Sprint(dk) {
+		t.Fatalf("key sets diverge:\nmemory %v\ndisk   %v", mk, dk)
+	}
+	for _, k := range keys {
+		mb, ok1, _ := mem.Get(k)
+		db, ok2, _ := disk.Get(k)
+		if !ok1 || !ok2 || !bytes.Equal(mb, db) {
+			t.Fatalf("blob for %q diverges: mem ok=%v disk ok=%v", k, ok1, ok2)
+		}
+	}
+}
+
+func TestDiskPersistsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	d1, err := OpenDisk(dir, DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := d1.Put(fmt.Sprintf("k%d", i), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := OpenDisk(dir, DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	for i := 0; i < 5; i++ {
+		got, ok, err := d2.Get(fmt.Sprintf("k%d", i))
+		if err != nil || !ok || string(got) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("after reopen Get(k%d) = %q ok=%v err=%v", i, got, ok, err)
+		}
+	}
+}
+
+// TestDiskPersistsWithoutClose models a crash: the append-only index
+// alone (no compaction) must be enough to recover every entry.
+func TestDiskPersistsWithoutClose(t *testing.T) {
+	dir := t.TempDir()
+	d1, err := OpenDisk(dir, DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d1.Put("crash", []byte("survives")); err != nil {
+		t.Fatal(err)
+	}
+	// Deliberately no Close.
+	d2, err := OpenDisk(dir, DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	got, ok, err := d2.Get("crash")
+	if err != nil || !ok || string(got) != "survives" {
+		t.Fatalf("Get = %q ok=%v err=%v", got, ok, err)
+	}
+}
+
+func TestDiskTornIndexTail(t *testing.T) {
+	dir := t.TempDir()
+	d1, err := OpenDisk(dir, DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1.Put("a", []byte("alpha"))
+	d1.Put("b", []byte("beta"))
+	d1.Close()
+	// Simulate a torn final append.
+	f, err := os.OpenFile(filepath.Join(dir, "index.log"), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"k":"c","b":"dead`)
+	f.Close()
+	d2, err := OpenDisk(dir, DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if got, ok, _ := d2.Get("a"); !ok || string(got) != "alpha" {
+		t.Fatalf("entry before torn tail lost: %q ok=%v", got, ok)
+	}
+	if _, ok, _ := d2.Get("c"); ok {
+		t.Fatal("torn entry resurrected")
+	}
+	// The store must keep working after recovery.
+	if err := d2.Put("c", []byte("gamma")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiskCorruptBlobIsAMiss(t *testing.T) {
+	dir := t.TempDir()
+	reg := telemetry.New()
+	d, err := OpenDisk(dir, DiskOptions{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if err := d.Put("k", []byte("pristine")); err != nil {
+		t.Fatal(err)
+	}
+	// Flip the blob behind the store's back.
+	e := d.index["k"]
+	if err := os.WriteFile(d.objectPath(e.hash), []byte("tampered"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := d.Get("k"); ok || err != nil {
+		t.Fatalf("tampered blob served: ok=%v err=%v", ok, err)
+	}
+	if n := reg.Counter("store_errors_total").Value(); n == 0 {
+		t.Fatal("corruption not counted in store_errors_total")
+	}
+}
+
+func TestDiskLRUEviction(t *testing.T) {
+	blob := bytes.Repeat([]byte("x"), 100)
+	d, err := OpenDisk(t.TempDir(), DiskOptions{MaxBytes: 250})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	d.Put("a", append([]byte("a"), blob...))
+	d.Put("b", append([]byte("b"), blob...))
+	// Refresh a: b becomes the LRU victim.
+	if _, ok, _ := d.Get("a"); !ok {
+		t.Fatal("a missing before eviction")
+	}
+	d.Put("c", append([]byte("c"), blob...))
+	if _, ok, _ := d.Get("b"); ok {
+		t.Fatal("LRU victim b survived the cap")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok, _ := d.Get(k); !ok {
+			t.Fatalf("%s evicted out of LRU order", k)
+		}
+	}
+	if got := d.TotalBytes(); got > 250 {
+		t.Fatalf("live bytes %d exceed cap", got)
+	}
+}
+
+func TestDiskEvictionPersists(t *testing.T) {
+	dir := t.TempDir()
+	blob := bytes.Repeat([]byte("y"), 100)
+	d1, err := OpenDisk(dir, DiskOptions{MaxBytes: 250})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1.Put("a", append([]byte("a"), blob...))
+	d1.Put("b", append([]byte("b"), blob...))
+	d1.Put("c", append([]byte("c"), blob...)) // evicts a
+	// No Close: tombstones must already be durable.
+	d2, err := OpenDisk(dir, DiskOptions{MaxBytes: 250})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if _, ok, _ := d2.Get("a"); ok {
+		t.Fatal("evicted key resurrected after reopen")
+	}
+	if d2.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", d2.Len())
+	}
+}
+
+func TestDiskContentDedup(t *testing.T) {
+	d, err := OpenDisk(t.TempDir(), DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	shared := []byte("identical artifact bytes")
+	d.Put("k1", shared)
+	d.Put("k2", shared)
+	if got := d.TotalBytes(); got != int64(len(shared)) {
+		t.Fatalf("shared content stored twice: %d live bytes", got)
+	}
+	// Dropping one reference must not break the other.
+	d.Put("k1", []byte("different now"))
+	if got, ok, _ := d.Get("k2"); !ok || !bytes.Equal(got, shared) {
+		t.Fatalf("k2 lost its blob after k1 moved on: %q ok=%v", got, ok)
+	}
+}
+
+func TestStoreTelemetry(t *testing.T) {
+	reg := telemetry.New()
+	s := NewMemory(reg)
+	s.Put("k", []byte("v"))
+	s.Get("k")
+	s.Get("absent")
+	for name, want := range map[string]int64{
+		"store_puts_total":   1,
+		"store_hits_total":   1,
+		"store_misses_total": 1,
+	} {
+		if got := reg.Counter(name).Value(); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+}
+
+func TestDiskConcurrentAccess(t *testing.T) {
+	d, err := OpenDisk(t.TempDir(), DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	done := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		go func(w int) {
+			var err error
+			for i := 0; i < 30 && err == nil; i++ {
+				key := fmt.Sprintf("k%d", i%5)
+				if w%2 == 0 {
+					err = d.Put(key, []byte(key))
+				} else {
+					_, _, err = d.Get(key)
+				}
+			}
+			done <- err
+		}(w)
+	}
+	for w := 0; w < 8; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+// Package version derives a build identity string from the information
+// the Go toolchain embeds in every binary (runtime/debug.ReadBuildInfo),
+// so `flowery -version`, `experiments -version`, `floweryd -version`,
+// and the daemon's /healthz all report the same provenance without a
+// hand-maintained constant or linker flags.
+package version
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"strings"
+)
+
+// String renders the build identity: module version when the binary was
+// built from a tagged module, otherwise the VCS revision (short hash,
+// "+dirty" when the working tree had modifications), and always the Go
+// toolchain version. A binary built outside module/VCS context reports
+// "devel".
+func String() string {
+	ident := "devel"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if v := bi.Main.Version; v != "" && v != "(devel)" {
+			ident = v
+		} else if rev := vcsIdent(bi); rev != "" {
+			ident = rev
+		}
+	}
+	return fmt.Sprintf("%s (%s)", ident, runtime.Version())
+}
+
+func vcsIdent(bi *debug.BuildInfo) string {
+	var rev string
+	dirty := false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev == "" {
+		return ""
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if dirty {
+		rev += "+dirty"
+	}
+	return rev
+}
+
+// Line renders the one-line form the binaries print for -version:
+// "<prog> <identity>".
+func Line(prog string) string {
+	return strings.TrimSpace(prog) + " " + String()
+}

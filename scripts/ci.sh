@@ -74,3 +74,44 @@ done
 # the test retries to ride out scheduler noise).
 TELEMETRY_OVERHEAD_GUARD=1 go test ./internal/experiment \
     -run TestTelemetryOverheadGuard -count=1
+
+# Formatting gate: the tree must be gofmt-clean.
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+# Daemon round-trip gate (DESIGN.md §14): a campaign submitted to
+# floweryd must stream statistics bit-identical to the batch
+# `flowery inject` of the same spec; a repeated submission must be
+# served from the persistent artifact store (observable as a
+# store_hits_total increment on /metrics) and still print identically;
+# and the daemon-side record log must byte-match the batch one.
+go build -o "$tmpdir/floweryd" ./cmd/floweryd
+"$tmpdir/floweryd" -addr 127.0.0.1:0 -addr-file "$tmpdir/addr" \
+    -store "$tmpdir/cas" 2>"$tmpdir/floweryd.log" &
+daemon_pid=$!
+trap 'kill "$daemon_pid" 2>/dev/null; rm -rf "$tmpdir"' EXIT
+for _ in $(seq 50); do
+    [ -s "$tmpdir/addr" ] && break
+    sleep 0.1
+done
+daemon_url="http://$(cat "$tmpdir/addr")"
+
+"$tmpdir/flowery" inject -runs 60 -samples 120 -seed 11 \
+    -reclog "$tmpdir/batch.reclog" crc32 >"$tmpdir/batch.out"
+"$tmpdir/flowery" remote -addr "$daemon_url" inject -runs 60 -samples 120 -seed 11 \
+    -reclog "$tmpdir/remote.reclog" crc32 >"$tmpdir/remote.out"
+diff "$tmpdir/batch.out" "$tmpdir/remote.out"
+cmp "$tmpdir/batch.reclog" "$tmpdir/remote.reclog"
+
+# Repeat without records: answered from the store, identical stats.
+"$tmpdir/flowery" remote -addr "$daemon_url" inject -runs 60 -samples 120 -seed 11 \
+    crc32 >"$tmpdir/repeat.out"
+diff "$tmpdir/batch.out" "$tmpdir/repeat.out"
+"$tmpdir/flowery" remote -addr "$daemon_url" metrics >"$tmpdir/daemon.prom"
+grep -q '^store_hits_total [1-9]' "$tmpdir/daemon.prom"
+grep -q '^service_jobs_done_total 2' "$tmpdir/daemon.prom"
+kill "$daemon_pid"
