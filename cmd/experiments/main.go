@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"flowery/internal/bench"
+	"flowery/internal/campaign"
 	"flowery/internal/experiment"
 	"flowery/internal/shard"
 	"flowery/internal/telemetry"
@@ -37,7 +38,7 @@ import (
 var validArtifacts = []string{
 	"all", "table1", "fig2", "fig3", "fig17", "overhead", "passtime",
 	"ablation", "pressure", "convergence", "campbench", "pipebench",
-	"prunebench", "simbench", "shardbench", "results",
+	"prunebench", "maskbench", "simbench", "shardbench", "results",
 }
 
 func benchByName(n string) (bench.Benchmark, bool) { return bench.ByName(n) }
@@ -65,6 +66,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
 	pipelineOn := flag.Bool("pipeline", true, "serve artifacts from the memoized pipeline (false = legacy serial path)")
 	telemetryFlag := flag.Bool("telemetry", false, "print per-stage pipeline cache/wall telemetry to stderr")
+	maskStatic := flag.Bool("maskstatic", false, "run every per-level campaign equivalence-pruned with statically proven-masked bits scored benign (internal/bitmask)")
 	refcore := flag.Bool("refcore", false, "pin simulations to the engines' reference loops instead of the predecoded fast cores (bit-identical results, slower)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -128,6 +130,20 @@ func main() {
 	cfg.Shards = *shards
 	cfg.ShardWorkers = *shardWorkers
 	cfg.Reference = *refcore
+	if *maskStatic {
+		// Masking rides on pruned campaigns, so -maskstatic implies them.
+		// The benchmark artifacts control their own campaign sides (full,
+		// pruned, or both) and would silently ignore the flag — reject
+		// instead.
+		switch *only {
+		case "ablation", "pressure", "convergence", "campbench", "pipebench",
+			"prunebench", "maskbench", "simbench", "shardbench":
+			fmt.Fprintf(os.Stderr, "experiments: -maskstatic does not apply to %q (that artifact controls its own campaign sides)\n", *only)
+			os.Exit(2)
+		}
+		cfg.Pruning = campaign.PruneClasses
+		cfg.MaskStatic = true
+	}
 	if *metricsOut != "" || *traceOut != "" {
 		cfg.Telemetry = telemetry.New()
 	}
@@ -228,6 +244,30 @@ func main() {
 			return
 		}
 		fmt.Println(experiment.PruneBench(points))
+		return
+
+	// The static bit-masking cross-validation (full vs pruned vs
+	// pruned+masked campaigns, plus an injection probe of proven-masked
+	// bits); with -json it emits the BENCH_6.json artifact. Builds its
+	// own study at its own default campaign scale — unless -runs
+	// overrides it — so -pipeline does not apply.
+	case "maskbench":
+		mcfg := cfg
+		mcfg.Runs = *runs // 0 = the artifact's own default scale
+		points, err := experiment.RunMaskBench(names, nil, mcfg)
+		if err != nil {
+			fail(err)
+		}
+		if *jsonOut {
+			data, err := experiment.MaskBenchJSON(points, mcfg)
+			if err != nil {
+				fail(err)
+			}
+			os.Stdout.Write(data)
+			fmt.Println()
+			return
+		}
+		fmt.Println(experiment.MaskBench(points))
 		return
 
 	// The campaign-size convergence study; campaigns at every size share

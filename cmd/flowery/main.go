@@ -396,6 +396,7 @@ func cmdInject(args []string) error {
 	prot := fs.Bool("protect", false, "duplicate before injecting")
 	prune := fs.Bool("prune", false, "equivalence-pruned campaign: inject pilots per fault class and extrapolate")
 	pilots := fs.Int("pilots", 3, "with -prune: average pilot budget per live class (1..8)")
+	maskStatic := fs.Bool("maskstatic", false, "with -prune: score statically proven-masked bits benign without injection (internal/bitmask)")
 	workers := fs.Int("workers", 0, "campaign parallelism: engine goroutines per process (0 = GOMAXPROCS); outcomes are identical at any width")
 	shards := fs.Int("shards", 0, "partition the campaign into this many run ranges (0 = unsharded; full campaigns only)")
 	shardWorkers := fs.Int("shard-workers", 0, "with -shards: farm shards to this many flowery worker processes (<= 1 stays in-process)")
@@ -409,8 +410,8 @@ func cmdInject(args []string) error {
 	// spec validator (internal/api) — the same rules the daemon applies —
 	// so an inconsistent invocation fails with one line before any
 	// profiling or module derivation starts.
-	spec := injectSpec(fs.Arg(0), *layer, *runs, *prune, *pilots, *workers,
-		*shards, *shardWorkers, *reclogOut != "", *prot, p)
+	spec := injectSpec(fs.Arg(0), *layer, *runs, *prune, *pilots, *maskStatic,
+		*workers, *shards, *shardWorkers, *reclogOut != "", *prot, p)
 	if err := spec.Normalize(); err != nil {
 		return fmt.Errorf("inject: %w", err)
 	}
@@ -442,6 +443,7 @@ func cmdInject(args []string) error {
 	if *prune {
 		opts.Pruning = campaign.PruneClasses
 		opts.PilotsPerClass = *pilots
+		opts.MaskStatic = *maskStatic
 	}
 	var logFile *os.File
 	var logW *reclog.Writer
@@ -486,7 +488,7 @@ func cmdInject(args []string) error {
 // combination is validated by exactly the rules `flowery remote` and
 // the daemon apply. The program argument stands in as the benchmark
 // name — loadSource resolves names vs files afterward.
-func injectSpec(program, layer string, runs int, prune bool, pilots, workers, shards, shardWorkers int, records, prot bool, p protection) api.JobSpec {
+func injectSpec(program, layer string, runs int, prune bool, pilots int, maskStatic bool, workers, shards, shardWorkers int, records, prot bool, p protection) api.JobSpec {
 	spec := api.JobSpec{
 		Benchmark:    program,
 		Layer:        layer,
@@ -497,6 +499,7 @@ func injectSpec(program, layer string, runs int, prune bool, pilots, workers, sh
 		Level:        *p.level,
 		Flowery:      *p.flowery,
 		Prune:        prune,
+		MaskStatic:   maskStatic,
 		Workers:      workers,
 		Shards:       shards,
 		ShardWorkers: shardWorkers,
@@ -518,6 +521,10 @@ func printCampaign(st campaign.Stats, l pipeline.Layer) {
 		fmt.Printf("pruned: classes=%d dead_sites=%d pilot_runs=%d (%.1fx fewer injections)  sdc 95%% CI [%.4f, %.4f]\n",
 			st.Classes, st.DeadSites, st.PilotRuns,
 			float64(st.Runs)/float64(st.PilotRuns), lo, hi)
+		if st.MaskedBits > 0 {
+			fmt.Printf("masked: sites=%d bits=%d statically proven benign (of %d)\n",
+				st.MaskedSites, st.MaskedBits, 64*st.GoldenInjectable)
+		}
 	}
 	for o := campaign.Outcome(0); o < campaign.NumOutcomes; o++ {
 		fmt.Printf("%-9s %6d  %6.2f%%\n", o, st.Counts[o], st.Rate(o)*100)

@@ -112,6 +112,7 @@ func remoteInject(c *api.Client, args []string) error {
 	prot := fs.Bool("protect", false, "duplicate before injecting")
 	prune := fs.Bool("prune", false, "equivalence-pruned campaign")
 	pilots := fs.Int("pilots", 3, "with -prune: average pilot budget per live class (1..8)")
+	maskStatic := fs.Bool("maskstatic", false, "with -prune: score statically proven-masked bits benign without injection")
 	workers := fs.Int("workers", 0, "campaign parallelism on the daemon (0 = its GOMAXPROCS)")
 	shards := fs.Int("shards", 0, "partition the campaign into this many run ranges")
 	shardWorkers := fs.Int("shard-workers", 0, "with -shards: daemon-side worker processes")
@@ -122,8 +123,8 @@ func remoteInject(c *api.Client, args []string) error {
 		return fmt.Errorf("remote inject: need one benchmark or file")
 	}
 
-	spec := injectSpec(fs.Arg(0), *layer, *runs, *prune, *pilots, *workers,
-		*shards, *shardWorkers, *reclogOut != "", *prot, p)
+	spec := injectSpec(fs.Arg(0), *layer, *runs, *prune, *pilots, *maskStatic,
+		*workers, *shards, *shardWorkers, *reclogOut != "", *prot, p)
 	// A file program rides to the daemon as inline IR text.
 	if _, ok := bench.ByName(fs.Arg(0)); !ok {
 		text, err := os.ReadFile(fs.Arg(0))

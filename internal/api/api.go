@@ -75,8 +75,9 @@ type JobSpec struct {
 	Flowery bool    `json:"flowery,omitempty"`
 
 	// Campaign strategy knobs.
-	Prune  bool `json:"prune,omitempty"`
-	Pilots int  `json:"pilots,omitempty"` // with Prune; 0 = server default
+	Prune      bool `json:"prune,omitempty"`
+	Pilots     int  `json:"pilots,omitempty"`      // with Prune; 0 = server default
+	MaskStatic bool `json:"mask_static,omitempty"` // with Prune; score proven-masked bits statically
 
 	// Scheduling knobs (never outcome-relevant).
 	Workers      int `json:"workers,omitempty"`
@@ -160,8 +161,8 @@ func (s *JobSpec) Normalize() error {
 		if s.Benchmark != "" || s.IR != "" {
 			return fmt.Errorf("study jobs take -bench lists, not a single benchmark or inline IR")
 		}
-		if s.Prune || s.Records {
-			return fmt.Errorf("study jobs support neither -prune nor per-run records")
+		if s.Prune || s.MaskStatic || s.Records {
+			return fmt.Errorf("study jobs support neither -prune/-maskstatic nor per-run records")
 		}
 		return nil
 	}
@@ -188,8 +189,13 @@ func (s *JobSpec) Normalize() error {
 		if s.Shards > 0 {
 			return fmt.Errorf("-prune and -shards conflict: pruned campaigns stratify instead of sharding")
 		}
-	} else if s.Pilots != 0 {
-		return fmt.Errorf("-pilots is only meaningful with -prune (got %d)", s.Pilots)
+	} else {
+		if s.Pilots != 0 {
+			return fmt.Errorf("-pilots is only meaningful with -prune (got %d)", s.Pilots)
+		}
+		if s.MaskStatic {
+			return fmt.Errorf("-maskstatic needs -prune (static bit masking composes into pruned campaigns)")
+		}
 	}
 	return nil
 }

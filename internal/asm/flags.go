@@ -109,6 +109,31 @@ func (c Cond) EvalTest(r uint64, size uint8) bool {
 	}
 }
 
+// FlagsRead returns the set of RFLAGS bits (FlagCF..FlagOF) the
+// condition inspects. Flags outside the set are slack: a flag consumer
+// with this condition is insensitive to them, which is what lets the
+// static masking analysis prove e.g. CF/PF/OF injections benign ahead
+// of a bare CondE branch. Consistency with Eval is enforced by an
+// exhaustive flip test in flags_test.go.
+func (c Cond) FlagsRead() uint64 {
+	switch c {
+	case CondE, CondNE:
+		return FlagZF
+	case CondL, CondGE:
+		return FlagSF | FlagOF
+	case CondLE, CondG:
+		return FlagZF | FlagSF | FlagOF
+	case CondB, CondAE:
+		return FlagCF
+	case CondBE, CondA:
+		return FlagCF | FlagZF
+	case CondP, CondNP:
+		return FlagPF
+	default:
+		return 0
+	}
+}
+
 // WritesFlags reports whether the op defines RFLAGS. These are the ops a
 // predecoder may pair with a following flag consumer into a
 // superinstruction.

@@ -107,6 +107,39 @@ func TestEvalTestMatchesMaterializedFlags(t *testing.T) {
 	}
 }
 
+// TestFlagsReadMatchesEval is the exhaustive flip test FlagsRead's doc
+// promises: over all 2^5 defined-flag words, Eval must be insensitive to
+// every bit outside FlagsRead (soundness of the slack the masking
+// analysis exploits), and every bit inside FlagsRead must change Eval's
+// verdict for some word (the set is tight, not just an over-
+// approximation).
+func TestFlagsReadMatchesEval(t *testing.T) {
+	for _, c := range allConds {
+		read := c.FlagsRead()
+		sensitive := uint64(0)
+		for w := 0; w < 1<<len(DefinedFlags); w++ {
+			var flags uint64
+			for i, f := range DefinedFlags {
+				if w&(1<<i) != 0 {
+					flags |= f
+				}
+			}
+			base := c.Eval(flags)
+			for _, f := range DefinedFlags {
+				if c.Eval(flags^f) != base {
+					sensitive |= f
+					if read&f == 0 {
+						t.Fatalf("cond %v: flipping flag %#x changes Eval(%#x) but FlagsRead omits it", c, f, flags)
+					}
+				}
+			}
+		}
+		if sensitive != read {
+			t.Fatalf("cond %v: FlagsRead = %#x but Eval only depends on %#x", c, read, sensitive)
+		}
+	}
+}
+
 func TestFlagsMetadata(t *testing.T) {
 	for op := OpInvalid; op <= OpLabel; op++ {
 		wantW := op == OpCmp || op == OpTest || op == OpUComiSD

@@ -1,0 +1,687 @@
+package bitmask
+
+import (
+	"math/bits"
+
+	"flowery/internal/asm"
+)
+
+// allFlags is the full modeled RFLAGS demand (CF, PF, ZF, SF, OF).
+const allFlags = asm.FlagCF | asm.FlagPF | asm.FlagZF | asm.FlagSF | asm.FlagOF
+
+// asmState is the backward dataflow fact at one program point: per
+// 64-bit register demand, demand on the modeled RFLAGS bits, and demand
+// on the tracked frame slots of the enclosing function. RSP, RBP, and
+// RIP are pinned fully demanded — a flipped stack pointer, frame
+// pointer, or return address redirects execution, so no injection into
+// them is ever proven masked.
+//
+// Slot tracking is what lets demand cross instructions at this layer:
+// the backend is a load-store machine that homes every value in a
+// [RBP+disp] slot, so without it every spill store would demand its
+// full operation width and the analysis would only see masking inside
+// single register-cache windows. A slot is tracked when every access to
+// it is a plain [RBP+disp] operand — disps whose address is taken
+// (lea of a frame slot, i.e. allocas) are excluded by funcCtx.escaped
+// and keep the conservative full-width treatment, since a computed
+// pointer (or a callee it was passed to) may reach them. Computed
+// addresses reaching a *tracked* slot would require an out-of-bounds
+// index into a distinct frame object; like the tracked-alloca rule in
+// the IR analysis this is assumed away and validated dynamically
+// (MaskedProbe, FuzzMaskStaticSound).
+type asmState struct {
+	regs  [asm.NumRegs]uint64
+	flags uint64
+	// slots maps a tracked frame disp to the demand on its content.
+	// Missing key = no demand; zero-valued entries are never stored, so
+	// eq can compare maps structurally.
+	slots map[int64]uint64
+	// havoc makes every slot read return full demand (the unknown-
+	// instruction fallback, where enumerating keys is impossible).
+	havoc bool
+}
+
+func (s *asmState) force() {
+	s.regs[asm.RSP] = ^uint64(0)
+	s.regs[asm.RBP] = ^uint64(0)
+	s.regs[asm.RIP] = ^uint64(0)
+}
+
+func (s *asmState) union(o *asmState) {
+	for i := range s.regs {
+		s.regs[i] |= o.regs[i]
+	}
+	s.flags |= o.flags
+	if o.havoc {
+		s.havoc = true
+	}
+	if s.havoc {
+		s.slots = nil
+		return
+	}
+	for k, v := range o.slots {
+		s.addSlot(k, v)
+	}
+}
+
+// eq reports state equality (the fixpoint termination test). Demand
+// only grows under transfer and union, so equality means convergence.
+func (s *asmState) eq(o *asmState) bool {
+	if s.regs != o.regs || s.flags != o.flags || s.havoc != o.havoc {
+		return false
+	}
+	if len(s.slots) != len(o.slots) {
+		return false
+	}
+	for k, v := range s.slots {
+		if o.slots[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *asmState) slotDemand(d int64) uint64 {
+	if s.havoc {
+		return ^uint64(0)
+	}
+	return s.slots[d]
+}
+
+func (s *asmState) addSlot(d int64, dem uint64) {
+	if s.havoc || dem == 0 {
+		return
+	}
+	if s.slots == nil {
+		s.slots = make(map[int64]uint64)
+	}
+	s.slots[d] |= dem
+}
+
+// killSlot retires the low size bytes of a slot's demand at a store
+// (backward: the store defines them, so older content no longer feeds
+// that range).
+func (s *asmState) killSlot(d int64, size uint8) {
+	if s.havoc {
+		return
+	}
+	if v, ok := s.slots[d]; ok {
+		v &^= wmask(size)
+		if v == 0 {
+			delete(s.slots, d)
+		} else {
+			s.slots[d] = v
+		}
+	}
+}
+
+// funcCtx is the per-function analysis context: the set of frame disps
+// whose address escapes via lea (alloca materialization), which must
+// not be slot-tracked.
+type funcCtx struct {
+	escaped map[int64]bool
+}
+
+// slot reports whether an operand is a tracked frame slot and returns
+// its disp. Only plain [RBP+disp] accesses qualify; indexed, symbolic,
+// and escaped-disp operands fall back to the untracked memory model.
+func (c *funcCtx) slot(o *asm.Operand) (int64, bool) {
+	if o.Kind != asm.OperandMem || o.Reg != asm.RBP ||
+		o.Index != asm.RegNone || o.Sym != "" {
+		return 0, false
+	}
+	if c.escaped[o.Imm] {
+		return 0, false
+	}
+	return o.Imm, true
+}
+
+// escapedSlots scans a function for frame disps whose address is
+// materialized (lea [RBP+disp]): every alloca whose pointer is used
+// arithmetically or passed along. Spill slots are never lea'd.
+func escapedSlots(f *asm.Func) map[int64]bool {
+	esc := make(map[int64]bool)
+	for i := range f.Instrs {
+		in := &f.Instrs[i]
+		if in.Op == asm.OpLea && in.Src.Kind == asm.OperandMem &&
+			in.Src.Reg == asm.RBP && in.Src.Sym == "" {
+			esc[in.Src.Imm] = true
+		}
+	}
+	return esc
+}
+
+// retState is the demand at every function exit. The backend's register
+// discipline (internal/backend: values are homed in stack slots at
+// definition, the scratch pool holds caller-saved registers only, and
+// the register cache is flushed at block boundaries and calls) means
+// the caller observes only the return registers, its own frame, and the
+// untouched callee-saved registers — never a scratch register this
+// function wrote. The frame itself dies at ret, so slot demand is
+// empty. Flags are conservatively all-demanded; they are short-lived
+// anyway (every producer overwrites all five).
+func retState() asmState {
+	var s asmState
+	s.regs[asm.RAX] = ^uint64(0)
+	s.regs[asm.XMM0] = ^uint64(0)
+	s.flags = allFlags
+	s.force()
+	return s
+}
+
+// callBarrier is the register demand just before a call: the callee (or
+// runtime external) may read any register, so everything before a call
+// is fully demanded. Tracked slots survive calls — arguments pass in
+// registers and the callee can reach caller memory only through
+// escaped pointers (untracked disps) and globals, never a private
+// spill slot.
+func callBarrier() asmState {
+	var s asmState
+	for i := range s.regs {
+		s.regs[i] = ^uint64(0)
+	}
+	s.flags = allFlags
+	return s
+}
+
+// AnalyzeASM runs the backward demanded-bits dataflow over a lowered
+// program and returns masked-choice verdicts for the machine fault
+// model. Static indices follow the machine's code enumeration: all
+// instructions across prog.Funcs in order with OpLabel pseudo-ops
+// skipped. Because injection happens after an instruction commits, a
+// site's verdict is taken from the demand immediately AFTER it.
+func AnalyzeASM(prog *asm.Program) *Analysis {
+	a := newAnalysis()
+	idx := int32(0)
+	for _, f := range prog.Funcs {
+		outs := analyzeFunc(f)
+		for i := range f.Instrs {
+			in := &f.Instrs[i]
+			if in.Op == asm.OpLabel {
+				continue
+			}
+			if r, ok := in.HasDest(); ok {
+				w := uint8(in.DestBits())
+				a.record(idx, w, asmSiteMask(&outs[i], r, w))
+			}
+			idx++
+		}
+	}
+	return a
+}
+
+// asmBlock is one basic block of a function's instruction list:
+// [start, end) with successor block indices (nil for exit blocks).
+type asmBlock struct {
+	start, end int
+	succs      []int
+	isRet      bool
+}
+
+// buildBlocks splits f.Instrs at labels, jumps, and returns.
+func buildBlocks(f *asm.Func) []asmBlock {
+	n := len(f.Instrs)
+	leader := make([]bool, n+1)
+	leader[0] = true
+	for i, in := range f.Instrs {
+		switch in.Op {
+		case asm.OpLabel:
+			leader[i] = true
+		case asm.OpJmp, asm.OpJcc, asm.OpRet:
+			if i+1 <= n {
+				leader[i+1] = true
+			}
+		}
+	}
+	blockAt := make(map[int]int) // start index → block index
+	var blks []asmBlock
+	for i := 0; i < n; {
+		j := i + 1
+		for j < n && !leader[j] {
+			j++
+		}
+		blockAt[i] = len(blks)
+		blks = append(blks, asmBlock{start: i, end: j})
+		i = j
+	}
+	for bi := range blks {
+		b := &blks[bi]
+		last := f.Instrs[b.end-1]
+		switch last.Op {
+		case asm.OpRet:
+			b.isRet = true
+		case asm.OpJmp:
+			if t, ok := f.LabelIndex(last.Target); ok {
+				b.succs = append(b.succs, blockAt[t])
+			}
+		case asm.OpJcc:
+			if t, ok := f.LabelIndex(last.Target); ok {
+				b.succs = append(b.succs, blockAt[t])
+			}
+			if b.end < n {
+				b.succs = append(b.succs, blockAt[b.end])
+			}
+		default:
+			if b.end < n {
+				b.succs = append(b.succs, blockAt[b.end])
+			}
+		}
+	}
+	return blks
+}
+
+// analyzeFunc runs the per-function fixpoint and returns the post-
+// instruction (OUT) demand state for every instruction index.
+func analyzeFunc(f *asm.Func) []asmState {
+	ctx := &funcCtx{escaped: escapedSlots(f)}
+	blks := buildBlocks(f)
+	ins := make([]asmState, len(blks)) // IN (demand at block entry)
+	for {
+		changed := false
+		for bi := len(blks) - 1; bi >= 0; bi-- {
+			b := &blks[bi]
+			st := blockOut(blks, ins, b)
+			for i := b.end - 1; i >= b.start; i-- {
+				st.transfer(ctx, &f.Instrs[i])
+			}
+			if !st.eq(&ins[bi]) {
+				ins[bi] = st
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	// Final pass: record OUT states. Only register and flag demand is
+	// read from these (asmSiteMask), so sharing the slot map with the
+	// in-flight state is harmless.
+	outs := make([]asmState, len(f.Instrs))
+	for bi := range blks {
+		b := &blks[bi]
+		st := blockOut(blks, ins, b)
+		for i := b.end - 1; i >= b.start; i-- {
+			outs[i] = st
+			st.transfer(ctx, &f.Instrs[i])
+		}
+	}
+	return outs
+}
+
+// blockOut is the demand at block exit: the union of successor entries,
+// or the function-exit state for ret (and degenerate fallthrough-off-
+// the-end) blocks.
+func blockOut(blks []asmBlock, ins []asmState, b *asmBlock) asmState {
+	if b.isRet || len(b.succs) == 0 {
+		return retState()
+	}
+	var st asmState
+	for _, s := range b.succs {
+		st.union(&ins[s])
+	}
+	st.force()
+	return st
+}
+
+// asmSiteMask converts a site's post-instruction demand into the
+// 64-choice masked verdict. Choice b flips raw bit b%w of the
+// destination register; for RFLAGS (w = 5) it flips the modeled flag
+// DefinedFlags[b%5].
+func asmSiteMask(st *asmState, r asm.Reg, w uint8) uint64 {
+	var mask uint64
+	for b := 0; b < 64; b++ {
+		var live bool
+		if r == asm.RFLAGS {
+			live = st.flags&asm.DefinedFlags[b%int(w)] != 0
+		} else {
+			live = st.regs[r]&(1<<uint(b%int(w))) != 0
+		}
+		if !live {
+			mask |= 1 << uint(b)
+		}
+	}
+	return mask
+}
+
+// wmask is the value mask for an operation width in bytes.
+func wmask(size uint8) uint64 { return lowMask(8 * int(size)) }
+
+// truncImm mirrors the machine's immediate read: the operand value
+// truncated to the operation width.
+func truncImm(v int64, size uint8) uint64 { return uint64(v) & wmask(size) }
+
+// demandMem fully demands a memory operand's address registers: a
+// flipped base or index bit moves the access, which can trap or touch
+// unrelated memory. Values read through untracked memory lose their
+// demand here (stores to untracked memory compensate by demanding
+// everything stored).
+func (s *asmState) demandMem(o *asm.Operand) {
+	if o.Kind != asm.OperandMem {
+		return
+	}
+	if o.Reg != asm.RegNone {
+		s.regs[o.Reg] = ^uint64(0)
+	}
+	if o.Index != asm.RegNone {
+		s.regs[o.Index] = ^uint64(0)
+	}
+}
+
+// readValue adds demand dem to a source operand: a register gets it
+// directly, a tracked frame slot accumulates it for the store that
+// defines the slot, and untracked memory demands its address registers.
+func (s *asmState) readValue(c *funcCtx, o *asm.Operand, dem uint64) {
+	switch o.Kind {
+	case asm.OperandReg:
+		s.regs[o.Reg] |= dem
+	case asm.OperandMem:
+		if d, ok := c.slot(o); ok {
+			// The address is RBP+disp; RBP is pinned demanded already.
+			s.addSlot(d, dem)
+			return
+		}
+		s.demandMem(o)
+	}
+}
+
+// destDemand returns the demand on the bits a Size-wide register write
+// defines and kills the destination per machine.writeReg semantics:
+// 8- and 4-byte writes define the whole 64-bit register (4-byte writes
+// zero-extend), 1-byte writes merge into the low byte.
+func (s *asmState) destDemand(r asm.Reg, size uint8) uint64 {
+	d := s.regs[r]
+	switch size {
+	case 1:
+		d &= 0xff
+		s.regs[r] &^= 0xff
+	case 4:
+		d &= lowMask(32)
+		s.regs[r] = 0
+	default:
+		s.regs[r] = 0
+	}
+	return d
+}
+
+// destDemand64 is destDemand for instructions that always define all
+// 64 bits regardless of Size (movsx/movzx/lea/pop/cvtsi2sd).
+func (s *asmState) destDemand64(r asm.Reg) uint64 {
+	d := s.regs[r]
+	s.regs[r] = 0
+	return d
+}
+
+// shiftDemand maps demanded result bits d of a const-count shift at
+// width ws back to demanded input bits (sar saturates at the sign bit).
+func shiftDemand(op asm.Op, d uint64, s uint, ws int) uint64 {
+	switch op {
+	case asm.OpShl:
+		return d >> s
+	case asm.OpShr:
+		return (d << s) & lowMask(ws)
+	default: // OpSar
+		if ws >= 64 {
+			dem := d << s
+			if s > 0 && d>>(64-s) != 0 {
+				dem |= 1 << 63
+			}
+			return dem
+		}
+		wide := d << s
+		dem := wide & lowMask(ws)
+		if wide&^lowMask(ws) != 0 {
+			dem |= 1 << uint(ws-1)
+		}
+		return dem
+	}
+}
+
+// transfer applies one instruction's backward transfer: given the
+// demand after the instruction (the receiver), it computes the demand
+// before it, in place.
+func (st *asmState) transfer(c *funcCtx, in *asm.Instr) {
+	switch in.Op {
+	case asm.OpLabel, asm.OpJmp, asm.OpRet:
+		// Label and jmp touch nothing; ret's stack read goes through
+		// the always-demanded RSP.
+
+	case asm.OpMov:
+		if in.Dst.Kind == asm.OperandReg {
+			d := st.destDemand(in.Dst.Reg, in.Size)
+			st.readValue(c, &in.Src, d)
+		} else if sd, ok := c.slot(&in.Dst); ok {
+			// Store to a tracked slot: the value is demanded exactly as
+			// far as later loads of the slot demand it.
+			dem := st.slotDemand(sd) & wmask(in.Size)
+			st.killSlot(sd, in.Size)
+			st.readValue(c, &in.Src, dem)
+		} else {
+			st.demandMem(&in.Dst)
+			st.readValue(c, &in.Src, wmask(in.Size))
+		}
+
+	case asm.OpMovSD:
+		if in.Dst.Kind == asm.OperandReg {
+			d := st.destDemand(in.Dst.Reg, 8)
+			st.readValue(c, &in.Src, d)
+		} else if sd, ok := c.slot(&in.Dst); ok {
+			dem := st.slotDemand(sd)
+			st.killSlot(sd, 8)
+			st.readValue(c, &in.Src, dem)
+		} else {
+			st.demandMem(&in.Dst)
+			st.readValue(c, &in.Src, ^uint64(0))
+		}
+
+	case asm.OpMovSX:
+		d := st.destDemand64(in.Dst.Reg)
+		ws := 8 * uint(in.Size)
+		var src uint64
+		if ws >= 64 {
+			src = d
+		} else {
+			src = d & lowMask(int(ws)-1)
+			if d>>(ws-1) != 0 {
+				src |= 1 << (ws - 1)
+			}
+		}
+		st.readValue(c, &in.Src, src)
+
+	case asm.OpMovZX:
+		d := st.destDemand64(in.Dst.Reg)
+		st.readValue(c, &in.Src, d&wmask(in.Size))
+
+	case asm.OpLea:
+		d := st.destDemand64(in.Dst.Reg)
+		if in.Src.Reg != asm.RegNone {
+			st.regs[in.Src.Reg] |= upToMSB(d)
+		}
+		if in.Src.Index != asm.RegNone {
+			sh := 0
+			if in.Src.Scale > 0 {
+				sh = bits.TrailingZeros64(uint64(in.Src.Scale))
+			}
+			st.regs[in.Src.Index] |= upToMSB(d) >> uint(sh)
+		}
+
+	case asm.OpAdd, asm.OpSub, asm.OpIMul, asm.OpAnd, asm.OpOr, asm.OpXor,
+		asm.OpShl, asm.OpSar, asm.OpShr, asm.OpNeg:
+		st.alu(c, in)
+
+	case asm.OpCqo:
+		d := st.destDemand(asm.RDX, in.Size)
+		if d != 0 {
+			if in.Size == 4 {
+				st.regs[asm.RAX] |= 1 << 31
+			} else {
+				st.regs[asm.RAX] |= 1 << 63
+			}
+		}
+
+	case asm.OpIDiv:
+		// #DE on zero or overflow makes every input bit demanded.
+		st.regs[asm.RAX] = wmask(in.Size)
+		st.regs[asm.RDX] = wmask(in.Size)
+		st.readValue(c, &in.Src, wmask(in.Size))
+
+	case asm.OpCmp:
+		f := st.flags
+		st.flags = 0
+		if f != 0 {
+			st.readValue(c, &in.Dst, wmask(in.Size))
+			st.readValue(c, &in.Src, wmask(in.Size))
+		} else {
+			st.demandMem(&in.Dst)
+			st.demandMem(&in.Src)
+		}
+
+	case asm.OpTest:
+		// test sets OF=CF=0 unconditionally, so demand on those two
+		// flags carries no operand demand — only ZF/SF/PF do.
+		f := st.flags
+		st.flags = 0
+		if f&(asm.FlagZF|asm.FlagSF|asm.FlagPF) != 0 {
+			st.readValue(c, &in.Dst, wmask(in.Size))
+			st.readValue(c, &in.Src, wmask(in.Size))
+		} else {
+			st.demandMem(&in.Dst)
+			st.demandMem(&in.Src)
+		}
+
+	case asm.OpUComiSD:
+		// ucomisd sets OF=SF=0; only ZF/PF/CF reflect the compare.
+		f := st.flags
+		st.flags = 0
+		var dem uint64
+		if f&(asm.FlagZF|asm.FlagPF|asm.FlagCF) != 0 {
+			dem = ^uint64(0)
+		}
+		st.regs[in.Dst.Reg] |= dem
+		st.readValue(c, &in.Src, dem)
+
+	case asm.OpSet:
+		// setcc writes 0 or 1: bits 1..7 of the byte are constant, so
+		// only demand on bit 0 reaches the flags.
+		d := st.destDemand(in.Dst.Reg, 1)
+		if d&1 != 0 {
+			st.flags |= in.Cond.FlagsRead()
+		}
+
+	case asm.OpAddSD, asm.OpSubSD, asm.OpMulSD, asm.OpDivSD:
+		d := st.destDemand64(in.Dst.Reg)
+		var dem uint64
+		if d != 0 {
+			dem = ^uint64(0)
+		}
+		st.regs[in.Dst.Reg] |= dem
+		st.readValue(c, &in.Src, dem)
+
+	case asm.OpCvtSI2SD:
+		d := st.destDemand64(in.Dst.Reg)
+		var dem uint64
+		if d != 0 {
+			dem = wmask(in.Size)
+		}
+		st.readValue(c, &in.Src, dem)
+
+	case asm.OpCvtSD2SI:
+		d := st.destDemand(in.Dst.Reg, in.Size)
+		var dem uint64
+		if d != 0 {
+			dem = ^uint64(0)
+		}
+		st.readValue(c, &in.Src, dem)
+
+	case asm.OpJcc:
+		// The branch direction is always observable (instruction
+		// counts, downstream effects), so the read flags are demanded
+		// regardless of what follows.
+		st.flags |= in.Cond.FlagsRead()
+
+	case asm.OpCall:
+		slots, havoc := st.slots, st.havoc
+		*st = callBarrier()
+		st.slots, st.havoc = slots, havoc
+
+	case asm.OpPush:
+		st.readValue(c, &in.Src, ^uint64(0))
+
+	case asm.OpPop:
+		st.destDemand64(in.Dst.Reg)
+
+	default:
+		// Unknown op: assume the worst, including all slot content.
+		*st = callBarrier()
+		st.havoc = true
+	}
+	st.force()
+}
+
+// alu handles the two-operand integer group plus neg and shifts.
+func (st *asmState) alu(c *funcCtx, in *asm.Instr) {
+	if in.Dst.Kind != asm.OperandReg {
+		// Read-modify-write on memory: address demanded, source value
+		// conservatively demanded at width. A tracked slot keeps its
+		// demand (the old content feeds the new), which is sound and
+		// matches the untracked treatment of the stored value.
+		st.demandMem(&in.Dst)
+		st.readValue(c, &in.Src, wmask(in.Size))
+		return
+	}
+	r := in.Dst.Reg
+	d := st.destDemand(r, in.Size)
+	ws := 8 * int(in.Size)
+
+	switch in.Op {
+	case asm.OpAdd, asm.OpSub, asm.OpIMul:
+		// Carries ripple upward only.
+		st.regs[r] |= upToMSB(d)
+		st.readValue(c, &in.Src, upToMSB(d))
+
+	case asm.OpNeg:
+		st.regs[r] |= upToMSB(d)
+
+	case asm.OpAnd:
+		if in.Src.Kind == asm.OperandImm && in.Src.Sym == "" {
+			st.regs[r] |= d & truncImm(in.Src.Imm, in.Size)
+		} else {
+			st.regs[r] |= d
+			st.readValue(c, &in.Src, d)
+		}
+
+	case asm.OpOr:
+		if in.Src.Kind == asm.OperandImm && in.Src.Sym == "" {
+			st.regs[r] |= d &^ truncImm(in.Src.Imm, in.Size)
+		} else {
+			st.regs[r] |= d
+			st.readValue(c, &in.Src, d)
+		}
+
+	case asm.OpXor:
+		if in.Src.Kind == asm.OperandReg && in.Src.Reg == r {
+			// xor r,r zeroing idiom: the result is constant.
+			return
+		}
+		st.regs[r] |= d
+		st.readValue(c, &in.Src, d)
+
+	case asm.OpShl, asm.OpSar, asm.OpShr:
+		cmask := uint64(31)
+		if in.Size == 8 {
+			cmask = 63
+		}
+		if in.Src.Kind == asm.OperandImm && in.Src.Sym == "" {
+			s := uint(uint64(in.Src.Imm) & cmask)
+			st.regs[r] |= shiftDemand(in.Op, d, s, ws)
+		} else if d != 0 {
+			st.readValue(c, &in.Src, cmask)
+			switch in.Op {
+			case asm.OpShl:
+				st.regs[r] |= upToMSB(d)
+			default: // shr/sar: input bits below the lowest demanded
+				// result bit can never reach it.
+				st.regs[r] |= lowMask(ws) &^ lowMask(bits.TrailingZeros64(d))
+			}
+		}
+	}
+}

@@ -1,0 +1,326 @@
+package bitmask
+
+import (
+	"testing"
+
+	"flowery/internal/asm"
+)
+
+// asmMasks wraps instrs into a single-function program, analyzes it, and
+// returns the masked-choice bitmap per instruction index (label pseudo-
+// ops shift later indices, matching the machine's static enumeration).
+func asmMasks(t *testing.T, instrs ...asm.Instr) func(int) uint64 {
+	t.Helper()
+	f := asm.NewFunc("f")
+	for _, in := range instrs {
+		if in.Op == asm.OpLabel {
+			f.EmitLabel(in.Label)
+		} else {
+			f.Emit(in)
+		}
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatalf("func: %v", err)
+	}
+	prog := asm.NewProgram()
+	prog.AddFunc(f)
+	a := AnalyzeASM(prog)
+	return func(i int) uint64 {
+		in := &f.Instrs[i]
+		static := int32(0)
+		for j := 0; j < i; j++ {
+			if f.Instrs[j].Op != asm.OpLabel {
+				static++
+			}
+		}
+		r, ok := in.HasDest()
+		if !ok {
+			t.Fatalf("instr %d (%v) is not an injection site", i, in.Op)
+		}
+		_ = r
+		return a.Masked(static, uint8(in.DestBits()))
+	}
+}
+
+// flagChoices returns the 64-choice mask whose live choices are exactly
+// the flags in live (an RFLAGS site has width 5: choice b flips
+// DefinedFlags[b%5]).
+func flagChoices(live uint64) uint64 {
+	var mask uint64
+	for b := 0; b < 64; b++ {
+		if live&asm.DefinedFlags[b%5] == 0 {
+			mask |= 1 << uint(b)
+		}
+	}
+	return mask
+}
+
+func mov(dst, src asm.Operand, size uint8) asm.Instr {
+	return asm.Instr{Op: asm.OpMov, Size: size, Dst: dst, Src: src}
+}
+
+// TestASMTransferTable checks one machine transfer function per case:
+// a short straight-line body ending in ret, with the mask of one site
+// pinned exactly. Function exits demand RAX (the return register), so
+// each case routes the observation through it.
+func TestASMTransferTable(t *testing.T) {
+	rax := asm.RegOp(asm.RAX)
+	rbx := asm.RegOp(asm.RBX)
+	rcx := asm.RegOp(asm.RCX)
+	rdx := asm.RegOp(asm.RDX)
+	ret := asm.Instr{Op: asm.OpRet}
+
+	cases := []struct {
+		name   string
+		instrs []asm.Instr
+		site   int
+		want   uint64
+	}{
+		{"and-imm", []asm.Instr{
+			mov(rax, rcx, 8),
+			{Op: asm.OpAnd, Size: 8, Dst: rax, Src: asm.ImmOp(0xff)},
+			ret,
+		}, 0, ^uint64(0xff)},
+		{"or-imm", []asm.Instr{
+			mov(rax, rcx, 8),
+			{Op: asm.OpOr, Size: 8, Dst: rax, Src: asm.ImmOp(0xff)},
+			ret,
+		}, 0, 0xff},
+		{"add-upward-carries", []asm.Instr{
+			mov(rax, rcx, 8),
+			{Op: asm.OpAdd, Size: 8, Dst: rax, Src: rbx},
+			{Op: asm.OpAnd, Size: 8, Dst: rax, Src: asm.ImmOp(0xff)},
+			ret,
+		}, 0, ^uint64(0xff)},
+		{"shl-imm", []asm.Instr{
+			mov(rax, rcx, 8),
+			{Op: asm.OpShl, Size: 8, Dst: rax, Src: asm.ImmOp(8)},
+			ret,
+		}, 0, 0xff00000000000000},
+		{"shr-imm", []asm.Instr{
+			mov(rax, rcx, 8),
+			{Op: asm.OpShr, Size: 8, Dst: rax, Src: asm.ImmOp(8)},
+			ret,
+		}, 0, 0xff},
+		// sar at size 4 saturates demand at raw bit 31; the mov site is
+		// 32 bits wide, so choices repeat mod 32 and only 0..3 (and
+		// their copies 32..35) are proven.
+		{"sar-imm-size4", []asm.Instr{
+			mov(rax, rcx, 4),
+			{Op: asm.OpSar, Size: 4, Dst: rax, Src: asm.ImmOp(4)},
+			ret,
+		}, 0, 0x0000000f0000000f},
+		{"xor-zero-idiom", []asm.Instr{
+			mov(rax, rcx, 8),
+			{Op: asm.OpXor, Size: 8, Dst: rax, Src: rax},
+			ret,
+		}, 0, ^uint64(0)},
+		// A later 1-byte write merges into the low byte: only those 8
+		// bits of the earlier full-width write die.
+		{"partial-register-kill-size1", []asm.Instr{
+			mov(rax, rcx, 8),
+			mov(rax, rdx, 1),
+			ret,
+		}, 0, 0xff},
+		// A later 4-byte write zero-extends, killing all 64 bits.
+		{"partial-register-kill-size4", []asm.Instr{
+			mov(rax, rcx, 8),
+			mov(rax, rdx, 4),
+			ret,
+		}, 0, ^uint64(0)},
+		{"movzx-size1", []asm.Instr{
+			mov(rcx, rdx, 8),
+			{Op: asm.OpMovZX, Size: 1, Dst: rax, Src: rcx},
+			ret,
+		}, 0, ^uint64(0xff)},
+		// Only the sign byte's top bit feeds the demanded high bits of
+		// the sign extension.
+		{"movsx-sign-bit-only", []asm.Instr{
+			mov(rcx, rdx, 8),
+			{Op: asm.OpMovSX, Size: 1, Dst: rax, Src: rcx},
+			{Op: asm.OpAnd, Size: 8, Dst: rax, Src: asm.ImmOp(0xff00)},
+			ret,
+		}, 0, ^uint64(0x80)},
+		{"cqo-depends-on-top-bit", []asm.Instr{
+			mov(rax, rbx, 8),
+			{Op: asm.OpCqo, Size: 8},
+			mov(rax, rdx, 8),
+			ret,
+		}, 0, ^(uint64(1) << 63)},
+		{"idiv-demands-everything", []asm.Instr{
+			mov(rcx, rbx, 8),
+			{Op: asm.OpCqo, Size: 8},
+			{Op: asm.OpIDiv, Size: 8, Src: rcx},
+			ret,
+		}, 0, 0},
+		{"lea-scaled-index", []asm.Instr{
+			mov(rcx, rdx, 8),
+			{Op: asm.OpLea, Dst: rax, Src: asm.MemIdxOp(asm.RBX, 0, asm.RCX, 8)},
+			{Op: asm.OpAnd, Size: 8, Dst: rax, Src: asm.ImmOp(0xff)},
+			ret,
+		}, 0, ^uint64(0x1f)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := asmMasks(t, tc.instrs...)(tc.site); got != tc.want {
+				t.Errorf("mask = %#016x, want %#016x", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestASMFlagSlack checks the flag-consumer slack rules: a flag producer
+// is only demanded on the bits its consumers read, and the trailing cmp
+// kills stale flag demand from the exit state.
+func TestASMFlagSlack(t *testing.T) {
+	rax := asm.RegOp(asm.RAX)
+	rbx := asm.RegOp(asm.RBX)
+	rcx := asm.RegOp(asm.RCX)
+	ret := asm.Instr{Op: asm.OpRet}
+	// Every flag a later producer redefines before any consumer is
+	// slack; je reads ZF only.
+	t.Run("jcc-e-reads-zf", func(t *testing.T) {
+		masks := asmMasks(t,
+			asm.Instr{Op: asm.OpCmp, Size: 8, Dst: rbx, Src: rcx},
+			asm.Instr{Op: asm.OpJcc, Cond: asm.CondE, Target: "out"},
+			asm.Instr{Op: asm.OpLabel, Label: "out"},
+			asm.Instr{Op: asm.OpCmp, Size: 8, Dst: rbx, Src: rcx},
+			ret,
+		)
+		if got, want := masks(0), flagChoices(asm.FlagZF); got != want {
+			t.Errorf("cmp mask = %#016x, want %#016x", got, want)
+		}
+	})
+	// ucomisd zeroes OF and SF, so a following jb (CF) leaves ZF/PF/OF/
+	// SF of an earlier producer slack.
+	t.Run("jcc-b-reads-cf", func(t *testing.T) {
+		masks := asmMasks(t,
+			asm.Instr{Op: asm.OpUComiSD, Size: 8, Dst: asm.RegOp(asm.XMM0), Src: asm.RegOp(asm.XMM1)},
+			asm.Instr{Op: asm.OpJcc, Cond: asm.CondB, Target: "out"},
+			asm.Instr{Op: asm.OpLabel, Label: "out"},
+			asm.Instr{Op: asm.OpCmp, Size: 8, Dst: rbx, Src: rcx},
+			ret,
+		)
+		if got, want := masks(0), flagChoices(asm.FlagCF); got != want {
+			t.Errorf("ucomisd mask = %#016x, want %#016x", got, want)
+		}
+	})
+	// setcc writes 0 or 1: if only bit 1 of its destination is ever
+	// used, the flags (and hence the producer) are completely slack.
+	t.Run("set-bit0-slack", func(t *testing.T) {
+		masks := asmMasks(t,
+			asm.Instr{Op: asm.OpCmp, Size: 8, Dst: rbx, Src: rcx},
+			asm.Instr{Op: asm.OpSet, Cond: asm.CondE, Dst: rax},
+			asm.Instr{Op: asm.OpAnd, Size: 8, Dst: rax, Src: asm.ImmOp(2)},
+			asm.Instr{Op: asm.OpCmp, Size: 8, Dst: rbx, Src: rcx},
+			ret,
+		)
+		if got := masks(0); got != ^uint64(0) {
+			t.Errorf("cmp mask = %#016x, want all ones", got)
+		}
+	})
+	// test sets OF=CF=0, so a jb consuming only CF puts no demand on
+	// the tested register.
+	t.Run("test-of-cf-constant", func(t *testing.T) {
+		masks := asmMasks(t,
+			mov(rcx, asm.RegOp(asm.RDX), 8),
+			asm.Instr{Op: asm.OpTest, Size: 8, Dst: rcx, Src: rcx},
+			asm.Instr{Op: asm.OpJcc, Cond: asm.CondB, Target: "out"},
+			asm.Instr{Op: asm.OpLabel, Label: "out"},
+			asm.Instr{Op: asm.OpCmp, Size: 8, Dst: rbx, Src: rbx},
+			ret,
+		)
+		if got := masks(0); got != ^uint64(0) {
+			t.Errorf("mov mask = %#016x, want all ones", got)
+		}
+	})
+}
+
+// TestASMSlotTracking checks the frame-slot demand channel: plain
+// [RBP+disp] spill traffic carries per-bit demand, lea'd (escaped) disps
+// fall back to full width, and calls preserve slot demand.
+func TestASMSlotTracking(t *testing.T) {
+	rax := asm.RegOp(asm.RAX)
+	rbx := asm.RegOp(asm.RBX)
+	rcx := asm.RegOp(asm.RCX)
+	rdx := asm.RegOp(asm.RDX)
+	slot := asm.MemOp(asm.RBP, -8)
+	ret := asm.Instr{Op: asm.OpRet}
+
+	t.Run("tracked-roundtrip", func(t *testing.T) {
+		masks := asmMasks(t,
+			mov(rcx, rdx, 8),
+			mov(slot, rcx, 8),
+			mov(rax, slot, 8),
+			asm.Instr{Op: asm.OpAnd, Size: 8, Dst: rax, Src: asm.ImmOp(1)},
+			ret,
+		)
+		if got := masks(0); got != ^uint64(1) {
+			t.Errorf("producer mask = %#016x, want %#016x", got, ^uint64(1))
+		}
+		if got := masks(2); got != ^uint64(1) {
+			t.Errorf("load mask = %#016x, want %#016x", got, ^uint64(1))
+		}
+	})
+	t.Run("escaped-disp-untracked", func(t *testing.T) {
+		masks := asmMasks(t,
+			asm.Instr{Op: asm.OpLea, Dst: rbx, Src: slot},
+			mov(rcx, rdx, 8),
+			mov(slot, rcx, 8),
+			mov(rax, slot, 8),
+			asm.Instr{Op: asm.OpAnd, Size: 8, Dst: rax, Src: asm.ImmOp(1)},
+			ret,
+		)
+		// The lea publishes the slot's address: stores to it must assume
+		// full-width observation.
+		if got := masks(1); got != 0 {
+			t.Errorf("producer mask = %#016x, want 0", got)
+		}
+	})
+	t.Run("store-kills-narrower-width", func(t *testing.T) {
+		// A 4-byte store kills only the slot's low 4 bytes of demand;
+		// an 8-byte load above it still demands the high half from the
+		// earlier full store.
+		masks := asmMasks(t,
+			mov(rcx, rdx, 8),
+			mov(slot, rcx, 8),
+			mov(slot, rbx, 4),
+			mov(rax, slot, 8),
+			ret,
+		)
+		if got, want := masks(0), uint64(0xffffffff); got != want {
+			t.Errorf("first producer mask = %#016x, want %#016x", got, want)
+		}
+	})
+}
+
+// TestASMHavocAndBarriers unit-tests the states transfer cannot express
+// through a site mask: unknown ops havoc slot knowledge, and the RSP/
+// RBP/RIP pins survive everything.
+func TestASMHavocAndBarriers(t *testing.T) {
+	ctx := &funcCtx{escaped: map[int64]bool{}}
+	var st asmState
+	st.addSlot(-8, 1)
+	st.transfer(ctx, &asm.Instr{Op: asm.OpInvalid})
+	if !st.havoc {
+		t.Fatal("unknown op did not havoc")
+	}
+	if got := st.slotDemand(-16); got != ^uint64(0) {
+		t.Fatalf("havoc slot demand = %#x, want all ones", got)
+	}
+
+	st = asmState{}
+	st.addSlot(-8, 1)
+	st.transfer(ctx, &asm.Instr{Op: asm.OpCall, Target: "g"})
+	if st.havoc {
+		t.Fatal("call must not havoc slots")
+	}
+	if got := st.slotDemand(-8); got != 1 {
+		t.Fatalf("slot demand across call = %#x, want 1", got)
+	}
+	for _, r := range []asm.Reg{asm.RSP, asm.RBP, asm.RIP} {
+		if st.regs[r] != ^uint64(0) {
+			t.Fatalf("%v not pinned after call", r)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+// Package bitmask is the bit-level static masking analysis (DESIGN.md
+// §15): a backward demanded-bits dataflow that, for every static fault
+// site at both layers, partitions the 64 fault-bit choices into
+// proven-masked and live strata. A choice is proven masked when the bit
+// it flips cannot reach program output, the return value, control flow,
+// a memory address, or a trap condition — so injecting it is benign by
+// construction and a pruned campaign can score it without executing
+// anything (in the spirit of BEC, arXiv:2401.05753).
+//
+// The analysis is deliberately one-sided: a bit reported masked must be
+// benign (soundness, checked by the maskstatic differential fuzz target
+// and the maskbench agreement probe), while a live verdict promises
+// nothing. Demand is tracked over canonical 64-bit values — the form
+// both engines keep integers in — and mapped to injected-bit choices
+// per site width at the end, so the verdicts compose directly with
+// equiv's per-class choice alphabet.
+package bitmask
+
+import "math/bits"
+
+// siteMask is the verdict for one static fault site.
+type siteMask struct {
+	// width is the injectable width the engines report for the site
+	// (ir.Type.Bits at IR level, asm.Instr.DestBits at assembly level).
+	width uint8
+	// mask has choice bit b set when fault choice b (of the 64-choice
+	// alphabet Fault.Bit is drawn from) is proven masked.
+	mask uint64
+}
+
+// Analysis holds one layer's per-site masked-choice bitmaps, keyed by
+// the layer's canonical static instruction index (the same enumeration
+// sim.Result.InjectedStatic and equiv.Class.Static use).
+type Analysis struct {
+	masks map[int32]siteMask
+
+	// Sites counts the static injectable sites analyzed.
+	Sites int64
+	// MaskedChoices sums proven-masked choices over sites, out of
+	// TotalChoices (64 per site) — the static coverage telemetry.
+	MaskedChoices int64
+	TotalChoices  int64
+}
+
+func newAnalysis() *Analysis {
+	return &Analysis{masks: make(map[int32]siteMask)}
+}
+
+// record stores one site verdict and folds it into the totals.
+func (a *Analysis) record(static int32, width uint8, mask uint64) {
+	a.masks[static] = siteMask{width: width, mask: mask}
+	a.Sites++
+	a.MaskedChoices += int64(bits.OnesCount64(mask))
+	a.TotalChoices += 64
+}
+
+// Masked returns the proven-masked choice bitmap for the site at the
+// given static index: bit b set means injecting Fault.Bit == b at any
+// dynamic instance of the site is provably benign. The width must match
+// the width the analysis derived for the site (the engines' injectable
+// width); a disagreement returns 0 — no proof — rather than guessing.
+// A nil receiver reports nothing masked.
+func (a *Analysis) Masked(static int32, width uint8) uint64 {
+	if a == nil {
+		return 0
+	}
+	s, ok := a.masks[static]
+	if !ok || s.width != width {
+		return 0
+	}
+	return s.mask
+}
+
+// lowMask returns the mask of the low n bits (n in [0, 64]).
+func lowMask(n int) uint64 {
+	if n >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(n) - 1
+}
+
+// upToMSB widens a demand mask down to bit 0: arithmetic carries only
+// propagate upward, so demanding result bit j demands operand bits ≤ j.
+func upToMSB(e uint64) uint64 {
+	return lowMask(bits.Len64(e))
+}

@@ -1,0 +1,457 @@
+package bitmask
+
+import (
+	"math/bits"
+
+	"flowery/internal/ir"
+)
+
+// AnalyzeIR runs the backward demanded-bits fixpoint over a module and
+// returns the per-site masked-choice verdicts for the IR fault model.
+// Static indices follow the interpreter's enumeration: all instructions
+// of non-external functions in module/block order, with only
+// result-producing instructions recorded as sites (the only ones the
+// interpreter injects into).
+//
+// Demand is a 64-bit mask over the canonical representation every IR
+// integer value lives in (ir.NormalizeInt: I1 zero-extended, I8/I32
+// sign-extended). Bit j set means "changing canonical bit j of this
+// value may change observable behavior"; transfer functions only ever
+// grow demand, so the fixpoint is the least sound over-approximation
+// the transfer precision allows.
+type irState struct {
+	dem     map[*ir.Instr]uint64    // canonical demand on instruction results
+	pdem    map[*ir.Param]uint64    // canonical demand on formal parameters
+	retDem  map[*ir.Function]uint64 // canonical demand on return values
+	slotDem map[*ir.Instr]uint64    // raw demand on tracked alloca slots
+	tracked map[*ir.Instr]bool      // allocas used only as direct load/store targets
+	changed bool
+}
+
+// AnalyzeIR analyzes m; the module is only read, never mutated, so a
+// pipeline-shared module can back concurrent analyses.
+func AnalyzeIR(m *ir.Module) *Analysis {
+	st := &irState{
+		dem:     make(map[*ir.Instr]uint64),
+		pdem:    make(map[*ir.Param]uint64),
+		retDem:  make(map[*ir.Function]uint64),
+		slotDem: make(map[*ir.Instr]uint64),
+		tracked: make(map[*ir.Instr]bool),
+	}
+	for _, f := range m.Funcs {
+		if f.External {
+			continue
+		}
+		findTrackedAllocas(f, st.tracked)
+	}
+	// Seed: the exit status, and everything main returns, is observed by
+	// the harness (sim.Result.RetVal), so the whole return value is
+	// demanded. Program output and traps are seeded inside the transfer
+	// functions (external calls, division, memory addresses).
+	if main := m.Func("main"); main != nil {
+		st.retDem[main] = ^uint64(0)
+	}
+	for {
+		st.changed = false
+		for _, f := range m.Funcs {
+			if f.External {
+				continue
+			}
+			// Backward sweeps converge faster: visit blocks and
+			// instructions in reverse so demand flows def-ward within
+			// one pass.
+			for bi := len(f.Blocks) - 1; bi >= 0; bi-- {
+				b := f.Blocks[bi]
+				for ii := len(b.Instrs) - 1; ii >= 0; ii-- {
+					st.transfer(b.Instrs[ii])
+				}
+			}
+		}
+		if !st.changed {
+			break
+		}
+	}
+
+	a := newAnalysis()
+	idx := int32(0)
+	for _, f := range m.Funcs {
+		if f.External {
+			continue
+		}
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.HasResult() {
+					a.record(idx, uint8(in.Ty.Bits()), irSiteMask(in.Ty, st.dem[in]))
+				}
+				idx++
+			}
+		}
+	}
+	return a
+}
+
+// findTrackedAllocas marks allocas whose pointer is used exclusively as
+// the direct address of loads and stores (never stored as a value,
+// never offset through a GEP, never passed to a call). Only those slots
+// get flow-insensitive per-bit demand; every other memory access is
+// treated as fully demanded.
+//
+// Soundness of the per-slot demand additionally relies on untracked
+// stores not aliasing tracked frame slots. Golden executions of progen
+// programs satisfy this by construction — every generated array index
+// is masked in-bounds of a global — and masked-bit injections replay
+// the golden address stream exactly because addresses are always fully
+// demanded; the maskbench agreement probe and the maskstatic fuzz
+// target check the end-to-end conclusion dynamically.
+func findTrackedAllocas(f *ir.Function, tracked map[*ir.Instr]bool) {
+	var allocas []*ir.Instr
+	bad := make(map[*ir.Instr]bool)
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpAlloca {
+				allocas = append(allocas, in)
+			}
+			for ai, arg := range in.Args {
+				a, ok := arg.(*ir.Instr)
+				if !ok || a.Op != ir.OpAlloca {
+					continue
+				}
+				switch {
+				case in.Op == ir.OpLoad && ai == 0:
+				case in.Op == ir.OpStore && ai == 1:
+				default:
+					bad[a] = true
+				}
+			}
+		}
+	}
+	for _, a := range allocas {
+		if !bad[a] {
+			tracked[a] = true
+		}
+	}
+}
+
+// add grows the demand on an operand value. Constants and globals have
+// no demand (they are not fault sites and cannot change).
+func (st *irState) add(v ir.Value, d uint64) {
+	if d == 0 {
+		return
+	}
+	switch x := v.(type) {
+	case *ir.Instr:
+		if st.dem[x]|d != st.dem[x] {
+			st.dem[x] |= d
+			st.changed = true
+		}
+	case *ir.Param:
+		if st.pdem[x]|d != st.pdem[x] {
+			st.pdem[x] |= d
+			st.changed = true
+		}
+	}
+}
+
+func (st *irState) addRet(f *ir.Function, d uint64) {
+	if d != 0 && st.retDem[f]|d != st.retDem[f] {
+		st.retDem[f] |= d
+		st.changed = true
+	}
+}
+
+func (st *irState) addSlot(a *ir.Instr, d uint64) {
+	if d != 0 && st.slotDem[a]|d != st.slotDem[a] {
+		st.slotDem[a] |= d
+		st.changed = true
+	}
+}
+
+// trackedAlloca resolves a pointer operand to its alloca when that
+// alloca's slot is bit-tracked.
+func (st *irState) trackedAlloca(v ir.Value) (*ir.Instr, bool) {
+	a, ok := v.(*ir.Instr)
+	if ok && a.Op == ir.OpAlloca && st.tracked[a] {
+		return a, true
+	}
+	return nil, false
+}
+
+// rawDemand converts a canonical demand mask into demand on the raw low
+// ty.Bits() bits — the bits an injection actually flips. For
+// sign-extended types, demand on any canonical copy of the sign bit
+// folds onto raw bit w-1; for I1 (zero-extended) the high canonical
+// bits are constant zero, so demand there is unreachable and dropped.
+func rawDemand(ty ir.Type, d uint64) uint64 {
+	w := ty.Bits()
+	switch {
+	case w <= 1:
+		return d & 1
+	case w >= 64:
+		return d
+	default:
+		e := d & lowMask(w-1)
+		if d>>(uint(w)-1) != 0 {
+			e |= 1 << (uint(w) - 1)
+		}
+		return e
+	}
+}
+
+// shiftMaskBits mirrors the interpreter's shift-count masking: counts
+// are taken mod 64 at width 64 and mod 32 below it.
+func shiftMaskBits(w int) uint64 {
+	if w >= 64 {
+		return 63
+	}
+	return 31
+}
+
+// transfer applies one instruction's backward transfer function,
+// growing operand demand from result demand.
+func (st *irState) transfer(in *ir.Instr) {
+	d := st.dem[in]
+	e := rawDemand(in.Ty, d) // demand on the raw result bits
+	w := in.Ty.Bits()
+
+	switch in.Op {
+	case ir.OpAlloca:
+		// No operands. The pointer's own demand accrues from its uses.
+
+	case ir.OpLoad:
+		// A flipped address bit can fault or read unrelated memory:
+		// addresses are always fully demanded.
+		st.add(in.Args[0], ^uint64(0))
+		if a, ok := st.trackedAlloca(in.Args[0]); ok {
+			st.addSlot(a, rawDemand(in.Ty, d))
+		}
+
+	case ir.OpStore:
+		st.add(in.Args[1], ^uint64(0))
+		src := in.Args[0]
+		var need uint64
+		if a, ok := st.trackedAlloca(in.Args[1]); ok {
+			need = st.slotDem[a] & lowMask(8*int(src.Type().Size()))
+		} else {
+			need = lowMask(8 * int(src.Type().Size()))
+		}
+		st.add(src, need)
+
+	case ir.OpAdd, ir.OpSub, ir.OpMul:
+		// Carries ripple upward only: result bits e need operand bits
+		// at or below e's most significant demanded bit.
+		st.add(in.Args[0], upToMSB(e))
+		st.add(in.Args[1], upToMSB(e))
+
+	case ir.OpSDiv, ir.OpSRem:
+		// Divide-by-zero and INT_MIN/-1 trap on any operand change, and
+		// every operand bit can reach every result bit.
+		st.add(in.Args[0], ^uint64(0))
+		st.add(in.Args[1], ^uint64(0))
+
+	case ir.OpAnd:
+		st.add(in.Args[0], maskedBitwiseDemand(e, in.Args[1], true))
+		st.add(in.Args[1], maskedBitwiseDemand(e, in.Args[0], true))
+	case ir.OpOr:
+		st.add(in.Args[0], maskedBitwiseDemand(e, in.Args[1], false))
+		st.add(in.Args[1], maskedBitwiseDemand(e, in.Args[0], false))
+	case ir.OpXor:
+		st.add(in.Args[0], e)
+		st.add(in.Args[1], e)
+
+	case ir.OpShl:
+		if c, ok := in.Args[1].(*ir.Const); ok {
+			s := uint(c.Bits & shiftMaskBits(w))
+			st.add(in.Args[0], e>>s)
+		} else {
+			if e != 0 {
+				st.add(in.Args[1], shiftMaskBits(w))
+				st.add(in.Args[0], upToMSB(e))
+			}
+		}
+	case ir.OpLShr:
+		// Operates on the zero-extended raw bits: result raw bit j is
+		// value raw bit j+s.
+		if c, ok := in.Args[1].(*ir.Const); ok {
+			s := uint(c.Bits & shiftMaskBits(w))
+			st.add(in.Args[0], (e<<s)&lowMask(w))
+		} else {
+			if e != 0 {
+				st.add(in.Args[1], shiftMaskBits(w))
+				st.add(in.Args[0], lowMask(w)&^lowMask(bits.TrailingZeros64(e)))
+			}
+		}
+	case ir.OpAShr:
+		// Operates on the canonical (sign-extended) value: result raw
+		// bit j is canonical bit j+s, saturating at the sign bit.
+		if c, ok := in.Args[1].(*ir.Const); ok {
+			s := uint(c.Bits & shiftMaskBits(w))
+			dem := e << s
+			if s > 0 && e>>(64-s) != 0 {
+				dem |= 1 << 63
+			}
+			st.add(in.Args[0], dem)
+		} else {
+			if e != 0 {
+				st.add(in.Args[1], shiftMaskBits(w))
+				st.add(in.Args[0], ^lowMask(bits.TrailingZeros64(e)))
+			}
+		}
+
+	case ir.OpFAdd, ir.OpFSub, ir.OpFMul, ir.OpFDiv:
+		// No per-bit structure is tracked through float arithmetic.
+		if d != 0 {
+			st.add(in.Args[0], ^uint64(0))
+			st.add(in.Args[1], ^uint64(0))
+		}
+
+	case ir.OpICmp:
+		if d&1 == 0 {
+			return
+		}
+		st.add(in.Args[0], icmpLHSDemand(in))
+		if _, isConst := in.Args[1].(*ir.Const); !isConst {
+			st.add(in.Args[1], ^uint64(0))
+		}
+	case ir.OpFCmp:
+		if d&1 != 0 {
+			st.add(in.Args[0], ^uint64(0))
+			st.add(in.Args[1], ^uint64(0))
+		}
+
+	case ir.OpGEP:
+		// base + index*Aux; like add, only upward carries.
+		st.add(in.Args[0], upToMSB(d))
+		shift := 0
+		if in.Aux > 0 {
+			shift = bits.TrailingZeros64(uint64(in.Aux))
+		}
+		st.add(in.Args[1], upToMSB(d)>>uint(shift))
+
+	case ir.OpTrunc:
+		// Result raw bits are the operand's low raw bits.
+		st.add(in.Args[0], e)
+	case ir.OpZExt:
+		ws := in.Args[0].Type().Bits()
+		st.add(in.Args[0], e&lowMask(ws))
+	case ir.OpSExt:
+		// Sign extension is the identity on canonical values.
+		st.add(in.Args[0], d)
+	case ir.OpSIToFP:
+		if d != 0 {
+			st.add(in.Args[0], ^uint64(0))
+		}
+	case ir.OpFPToSI:
+		if e != 0 {
+			st.add(in.Args[0], ^uint64(0))
+		}
+
+	case ir.OpCall:
+		if in.Callee != nil && in.Callee.External {
+			// Externals observe their arguments (print_* writes them to
+			// program output; check_fail changes the exit status).
+			for _, a := range in.Args {
+				st.add(a, ^uint64(0))
+			}
+			return
+		}
+		if in.Callee != nil {
+			for i, a := range in.Args {
+				if i < len(in.Callee.Params) {
+					st.add(a, st.pdem[in.Callee.Params[i]])
+				}
+			}
+			st.addRet(in.Callee, d)
+		}
+
+	case ir.OpBr:
+		// No operands.
+	case ir.OpCondBr:
+		st.add(in.Args[0], 1)
+	case ir.OpRet:
+		if len(in.Args) > 0 && in.Parent != nil && in.Parent.Func != nil {
+			st.add(in.Args[0], st.retDem[in.Parent.Func])
+		}
+	}
+}
+
+// maskedBitwiseDemand refines per-bit demand through and/or when the
+// other operand is a constant: bits the constant forces (to 0 for and,
+// to 1 for or) cannot reach the result, which is the single biggest
+// source of provably-masked bits in index-masking code.
+func maskedBitwiseDemand(e uint64, other ir.Value, isAnd bool) uint64 {
+	if c, ok := other.(*ir.Const); ok {
+		if isAnd {
+			return e & c.Bits
+		}
+		return e &^ c.Bits
+	}
+	return e
+}
+
+// icmpLHSDemand returns the canonical demand an icmp puts on its left
+// operand when its boolean result is demanded. The default is full
+// demand; two constant-RHS shapes have exploitable slack:
+//
+//   - signed comparison against 0 in the {<, >=} family depends only on
+//     the sign, i.e. canonical bit 63;
+//   - unsigned comparison against a power of two 2^k in the {<, >=}
+//     family depends only on whether any raw bit at or above k is set.
+func icmpLHSDemand(in *ir.Instr) uint64 {
+	c, ok := in.Args[1].(*ir.Const)
+	if !ok {
+		return ^uint64(0)
+	}
+	switch in.Pred {
+	case ir.PredSLT, ir.PredSGE:
+		if c.Bits == 0 {
+			return 1 << 63
+		}
+	case ir.PredULT, ir.PredUGE:
+		// Unsigned compares consume the zero-extended raw bits.
+		w := in.Args[0].Type().Bits()
+		raw := c.Bits
+		if w < 64 {
+			raw &= lowMask(w)
+		}
+		if raw != 0 && raw&(raw-1) == 0 {
+			k := bits.TrailingZeros64(raw)
+			if w >= 64 {
+				return ^lowMask(k)
+			}
+			return lowMask(w) &^ lowMask(k)
+		}
+	}
+	return ^uint64(0)
+}
+
+// irSiteMask converts a site's canonical result demand into the 64-bit
+// masked-choice verdict. Choice b flips raw bit b%w and renormalizes,
+// so the canonical bits it changes are:
+//
+//   - I1: bit 0 only (zero-extended canonical form);
+//   - I8/I32 non-sign bits: that bit;
+//   - I8/I32 sign bit: the sign bit and every canonical copy above it;
+//   - 64-bit types: the bit itself.
+//
+// The choice is proven masked exactly when none of the changed
+// canonical bits are demanded.
+func irSiteMask(ty ir.Type, dem uint64) uint64 {
+	w := ty.Bits()
+	var mask uint64
+	for b := 0; b < 64; b++ {
+		p := uint(b % w)
+		var changed uint64
+		switch {
+		case w == 1:
+			changed = 1
+		case w < 64 && p == uint(w-1):
+			changed = ^uint64(0) << p
+		default:
+			changed = 1 << p
+		}
+		if dem&changed == 0 {
+			mask |= 1 << uint(b)
+		}
+	}
+	return mask
+}

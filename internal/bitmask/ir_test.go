@@ -1,0 +1,251 @@
+package bitmask
+
+import (
+	"testing"
+
+	"flowery/internal/ir"
+)
+
+// irMasks analyzes m and returns a lookup from instruction to its
+// masked-choice bitmap, resolving static indices by the interpreter's
+// enumeration (all instructions of non-external functions in order).
+func irMasks(t *testing.T, m *ir.Module) func(*ir.Instr) uint64 {
+	t.Helper()
+	if err := m.Verify(); err != nil {
+		t.Fatalf("module: %v", err)
+	}
+	a := AnalyzeIR(m)
+	static := make(map[*ir.Instr]int32)
+	idx := int32(0)
+	for _, f := range m.Funcs {
+		if f.External {
+			continue
+		}
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				static[in] = idx
+				idx++
+			}
+		}
+	}
+	return func(in *ir.Instr) uint64 {
+		si, ok := static[in]
+		if !ok {
+			t.Fatalf("instruction not in module")
+		}
+		return a.Masked(si, uint8(in.Ty.Bits()))
+	}
+}
+
+// opaque returns an I64-producing instruction with no structure the
+// analysis could see through, so tests measure exactly the transfer
+// function between it and the observation point.
+func opaque(b *ir.Builder) *ir.Instr {
+	return b.Add(ir.ConstInt(ir.I64, 12345), ir.ConstInt(ir.I64, 678))
+}
+
+// TestIRTransferTable drives one transfer function per case: build a
+// tiny main, observe a value through one instruction shape, and check
+// the producer's proven-masked choice bitmap exactly.
+func TestIRTransferTable(t *testing.T) {
+	cases := []struct {
+		name string
+		// build wires opaque x into the shape under test and returns
+		// the instruction whose mask is checked plus the expected mask.
+		build func(b *ir.Builder, x *ir.Instr) (*ir.Instr, uint64)
+	}{
+		{"and-const", func(b *ir.Builder, x *ir.Instr) (*ir.Instr, uint64) {
+			// Only the low byte passes the mask: choices 8..63 are proven.
+			b.PrintI64(b.And(x, ir.ConstInt(ir.I64, 0xff)))
+			return x, ^uint64(0xff)
+		}},
+		{"or-const", func(b *ir.Builder, x *ir.Instr) (*ir.Instr, uint64) {
+			// The low byte is forced to 1s: choices 0..7 are proven.
+			b.PrintI64(b.Or(x, ir.ConstInt(ir.I64, 0xff)))
+			return x, 0xff
+		}},
+		{"xor-transparent", func(b *ir.Builder, x *ir.Instr) (*ir.Instr, uint64) {
+			b.PrintI64(b.Xor(x, ir.ConstInt(ir.I64, 0xff)))
+			return x, 0
+		}},
+		{"add-upward-carries", func(b *ir.Builder, x *ir.Instr) (*ir.Instr, uint64) {
+			// Result demand 0..7; carries into them come only from bits
+			// <= 7, so 8..63 are proven masked despite the add.
+			s := b.Add(x, ir.ConstInt(ir.I64, 99))
+			b.PrintI64(b.And(s, ir.ConstInt(ir.I64, 0xff)))
+			return x, ^uint64(0xff)
+		}},
+		{"mul-upward-carries", func(b *ir.Builder, x *ir.Instr) (*ir.Instr, uint64) {
+			p := b.Mul(x, x)
+			b.PrintI64(b.And(p, ir.ConstInt(ir.I64, 1)))
+			return x, ^uint64(1)
+		}},
+		{"shl-const", func(b *ir.Builder, x *ir.Instr) (*ir.Instr, uint64) {
+			// x<<8 discards x's top byte.
+			b.PrintI64(b.Shl(x, ir.ConstInt(ir.I64, 8)))
+			return x, 0xff00000000000000
+		}},
+		{"lshr-const", func(b *ir.Builder, x *ir.Instr) (*ir.Instr, uint64) {
+			// x>>8 discards x's low byte.
+			b.PrintI64(b.LShr(x, ir.ConstInt(ir.I64, 8)))
+			return x, 0xff
+		}},
+		{"ashr-const", func(b *ir.Builder, x *ir.Instr) (*ir.Instr, uint64) {
+			b.PrintI64(b.AShr(x, ir.ConstInt(ir.I64, 8)))
+			return x, 0xff
+		}},
+		{"sdiv-traps", func(b *ir.Builder, x *ir.Instr) (*ir.Instr, uint64) {
+			// The quotient is unused, but a flipped divisor bit can trap:
+			// nothing is proven.
+			b.SDiv(ir.ConstInt(ir.I64, 100), x)
+			return x, 0
+		}},
+		{"dead-result", func(b *ir.Builder, x *ir.Instr) (*ir.Instr, uint64) {
+			y := b.Add(x, ir.ConstInt(ir.I64, 1))
+			_ = y // never observed: every choice is proven masked
+			return y, ^uint64(0)
+		}},
+		{"trunc", func(b *ir.Builder, x *ir.Instr) (*ir.Instr, uint64) {
+			// Only x's low 32 raw bits survive the truncation.
+			tr := b.Trunc(ir.I32, x)
+			b.PrintI64(b.SExt(ir.I64, tr))
+			return x, 0xffffffff00000000
+		}},
+		{"zext-from-i1", func(b *ir.Builder, x *ir.Instr) (*ir.Instr, uint64) {
+			// Signed x<0 against a constant zero depends only on the sign
+			// bit (canonical bit 63).
+			c := b.ICmp(ir.PredSLT, x, ir.ConstInt(ir.I64, 0))
+			b.PrintI64(b.ZExt(ir.I64, c))
+			return x, ^uint64(0) >> 1
+		}},
+		{"icmp-ult-power-of-two", func(b *ir.Builder, x *ir.Instr) (*ir.Instr, uint64) {
+			// Unsigned x<256 ignores x's low byte.
+			c := b.ICmp(ir.PredULT, x, ir.ConstInt(ir.I64, 256))
+			b.PrintI64(b.ZExt(ir.I64, c))
+			return x, 0xff
+		}},
+		{"icmp-general-rhs", func(b *ir.Builder, x *ir.Instr) (*ir.Instr, uint64) {
+			// Non-power-of-two constant: every bit can flip the verdict.
+			c := b.ICmp(ir.PredULT, x, ir.ConstInt(ir.I64, 257))
+			b.PrintI64(b.ZExt(ir.I64, c))
+			return x, 0
+		}},
+		{"condbr-demands-bit0", func(b *ir.Builder, x *ir.Instr) (*ir.Instr, uint64) {
+			c := b.ICmp(ir.PredEQ, x, ir.ConstInt(ir.I64, 7))
+			thn := b.NewBlock("thn")
+			els := b.NewBlock("els")
+			b.CondBr(c, thn, els)
+			b.SetBlock(thn)
+			b.PrintI64(ir.ConstInt(ir.I64, 1))
+			b.Ret(ir.ConstInt(ir.I64, 0))
+			b.SetBlock(els)
+			// c is I1: demand on bit 0 leaves no masked choice (every
+			// choice b flips canonical bit 0 after normalization).
+			return c, 0
+		}},
+		{"gep-index-scaled", func(b *ir.Builder, x *ir.Instr) (*ir.Instr, uint64) {
+			// base + index*8: the index's top 3 bits cannot reach any
+			// address bit. (The load makes the address fully demanded.)
+			g := b.Func.Module.NewGlobalI64("tab", []int64{1, 2, 3, 4})
+			b.PrintI64(b.Load(ir.I64, b.GEP(g, x, 8)))
+			return x, 0xe000000000000000
+		}},
+		{"tracked-slot-roundtrip", func(b *ir.Builder, x *ir.Instr) (*ir.Instr, uint64) {
+			// A store/load through a tracked alloca carries per-bit
+			// demand: only bit 0 of x is live.
+			slot := b.AllocVar(ir.I64)
+			b.Store(x, slot)
+			v := b.Load(ir.I64, slot)
+			b.PrintI64(b.And(v, ir.ConstInt(ir.I64, 1)))
+			return x, ^uint64(1)
+		}},
+		{"untracked-slot-full-width", func(b *ir.Builder, x *ir.Instr) (*ir.Instr, uint64) {
+			// The same shape through a GEP'd (escaped) alloca falls back
+			// to full-width store demand.
+			slot := b.Alloca(8)
+			p := b.GEP(slot, ir.ConstInt(ir.I64, 0), 1)
+			b.Store(x, p)
+			v := b.Load(ir.I64, slot)
+			b.PrintI64(b.And(v, ir.ConstInt(ir.I64, 1)))
+			return x, 0
+		}},
+		{"external-call-observes-args", func(b *ir.Builder, x *ir.Instr) (*ir.Instr, uint64) {
+			b.PrintI64(x)
+			return x, 0
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := ir.NewModule(tc.name)
+			f := m.NewFunction("main", ir.I64)
+			b := ir.NewBuilder(f)
+			x := opaque(b)
+			target, want := tc.build(b, x)
+			if b.Block().Terminator() == nil {
+				b.Ret(ir.ConstInt(ir.I64, 0))
+			}
+			if got := irMasks(t, m)(target); got != want {
+				t.Errorf("mask = %#016x, want %#016x", got, want)
+			}
+		})
+	}
+}
+
+// TestIRInterproceduralDemand checks that demand flows through calls in
+// both directions: parameter demand back to arguments, and return-value
+// demand back through ret.
+func TestIRInterproceduralDemand(t *testing.T) {
+	m := ir.NewModule("calls")
+	callee := m.NewFunction("low8", ir.I64, ir.I64)
+	cb := ir.NewBuilder(callee)
+	// Returns arg&0xff, so only the caller's low byte is demanded.
+	cb.Ret(cb.And(callee.Params[0], ir.ConstInt(ir.I64, 0xff)))
+
+	f := m.NewFunction("main", ir.I64)
+	b := ir.NewBuilder(f)
+	x := opaque(b)
+	y := b.Call(callee, x)
+	b.Ret(y)
+
+	masks := irMasks(t, m)
+	if got := masks(x); got != ^uint64(0xff) {
+		t.Errorf("argument mask = %#016x, want %#016x", got, ^uint64(0xff))
+	}
+	// main's return value is the exit status: y is fully demanded.
+	if got := masks(y); got != 0 {
+		t.Errorf("call result mask = %#016x, want 0", got)
+	}
+}
+
+// TestIRSiteMaskWidths pins the raw-choice → canonical-bit conversion at
+// the sub-64-bit widths the interpreter renormalizes.
+func TestIRSiteMaskWidths(t *testing.T) {
+	// I32 sign-bit choices: demand on canonical bit 40 (a sign copy) makes
+	// every choice b with b%32 == 31 live, everything else masked.
+	if got, want := irSiteMask(ir.I32, uint64(1)<<40), func() uint64 {
+		var m uint64
+		for b := 0; b < 64; b++ {
+			if b%32 != 31 {
+				m |= 1 << uint(b)
+			}
+		}
+		return m
+	}(); got != want {
+		t.Errorf("i32 sign-copy demand: mask = %#016x, want %#016x", got, want)
+	}
+	// I1: any demand on bit 0 leaves nothing masked; no demand masks all.
+	if got := irSiteMask(ir.I1, 1); got != 0 {
+		t.Errorf("i1 demanded: mask = %#016x, want 0", got)
+	}
+	if got := irSiteMask(ir.I1, 0); got != ^uint64(0) {
+		t.Errorf("i1 undemanded: mask = %#016x, want all ones", got)
+	}
+	// I8 non-sign choice: demand on bit 2 keeps choices {2, 10, ...} live.
+	got := irSiteMask(ir.I8, 1<<2)
+	for b := 0; b < 64; b++ {
+		wantLive := b%8 == 2
+		if gotLive := got&(1<<uint(b)) == 0; gotLive != wantLive {
+			t.Errorf("i8 choice %d: live = %v, want %v", b, gotLive, wantLive)
+		}
+	}
+}

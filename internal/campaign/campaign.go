@@ -114,6 +114,13 @@ type Spec struct {
 	// strata by class weight (equiv.BuildPlan). Only meaningful (and
 	// required) with PruneClasses.
 	PilotsPerClass int
+	// Masks, when non-nil, supplies each static site's statically
+	// proven-masked bit choices (internal/bitmask.Analysis.Masked for
+	// the layer the engine executes). RunPruned composes it into the
+	// pilot plan: masked choices are scored benign with zero pilots and
+	// the pilot budget shrinks by the masked fraction. Only meaningful
+	// (and only permitted) with Pruning: classes.
+	Masks func(static int32, width uint8) uint64
 	// Reference pins every run to the engines' reference interpretation
 	// loop instead of their predecoded fast cores. Statistics are
 	// bit-identical either way; the knob exists for equivalence gating
@@ -155,6 +162,9 @@ func (s Spec) Validate() error {
 	case PruneNone:
 		if s.PilotsPerClass != 0 {
 			return fmt.Errorf("campaign: PilotsPerClass (%d) is only meaningful with Pruning: classes", s.PilotsPerClass)
+		}
+		if s.Masks != nil {
+			return fmt.Errorf("campaign: Masks (static bit masking) is only meaningful with Pruning: classes")
 		}
 	case PruneClasses:
 		if s.PilotsPerClass < 1 {
@@ -215,8 +225,16 @@ type Stats struct {
 	// Classes is the number of equivalence classes in the partition.
 	Classes int
 	// DeadSites counts provably-benign sites extrapolated without any
-	// injection.
+	// injection; DeadBits is the bit-choice population those sites
+	// cover (64 per site).
 	DeadSites int64
+	DeadBits  int64
+	// MaskedSites counts live sites with at least one statically
+	// proven-masked bit choice; MaskedBits counts the proven-masked
+	// (site, bit-choice) pairs scored benign without injection. Both
+	// are zero unless Spec.Masks was set.
+	MaskedSites int64
+	MaskedBits  int64
 	// PilotRuns is the number of injections actually executed.
 	PilotRuns int
 	EstRates  [NumOutcomes]float64
@@ -441,6 +459,10 @@ func flushStats(reg *telemetry.Registry, total Stats) {
 		reg.Counter("campaign_prune_pilot_runs_total").Add(int64(total.PilotRuns))
 		reg.Counter("campaign_prune_classes_total").Add(int64(total.Classes))
 		reg.Counter("campaign_prune_dead_sites_total").Add(total.DeadSites)
+		if total.MaskedBits > 0 {
+			reg.Counter("campaign_prune_masked_sites_total").Add(total.MaskedSites)
+			reg.Counter("campaign_prune_masked_bits_total").Add(total.MaskedBits)
+		}
 	}
 }
 

@@ -54,11 +54,14 @@ type statsJSON struct {
 	SavedInstrs      int64              `json:"saved_instrs"`
 	ElapsedNS        int64              `json:"elapsed_ns,omitempty"`
 
-	Pruned    bool    `json:"pruned,omitempty"`
-	Classes   int     `json:"classes,omitempty"`
-	DeadSites int64   `json:"dead_sites,omitempty"`
-	PilotRuns int     `json:"pilot_runs,omitempty"`
-	SDCCI     *ciJSON `json:"sdc_ci95,omitempty"`
+	Pruned      bool    `json:"pruned,omitempty"`
+	Classes     int     `json:"classes,omitempty"`
+	DeadSites   int64   `json:"dead_sites,omitempty"`
+	DeadBits    int64   `json:"dead_bits,omitempty"`
+	MaskedSites int64   `json:"masked_sites,omitempty"`
+	MaskedBits  int64   `json:"masked_bits,omitempty"`
+	PilotRuns   int     `json:"pilot_runs,omitempty"`
+	SDCCI       *ciJSON `json:"sdc_ci95,omitempty"`
 }
 
 type ciJSON struct {
@@ -81,6 +84,9 @@ func (s Stats) MarshalJSON() ([]byte, error) {
 		Pruned:           s.Pruned,
 		Classes:          s.Classes,
 		DeadSites:        s.DeadSites,
+		DeadBits:         s.DeadBits,
+		MaskedSites:      s.MaskedSites,
+		MaskedBits:       s.MaskedBits,
 		PilotRuns:        s.PilotRuns,
 	}
 	if len(j.SDCByOrigin) == 0 {
@@ -133,6 +139,9 @@ func (s *Stats) UnmarshalJSON(data []byte) error {
 		Pruned:           j.Pruned,
 		Classes:          j.Classes,
 		DeadSites:        j.DeadSites,
+		DeadBits:         j.DeadBits,
+		MaskedSites:      j.MaskedSites,
+		MaskedBits:       j.MaskedBits,
 		PilotRuns:        j.PilotRuns,
 	}
 	for name, n := range j.Counts {

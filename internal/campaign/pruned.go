@@ -75,7 +75,7 @@ func RunPruned(factory EngineFactory, spec Spec) (Stats, error) {
 	}
 	goldenOut := append([]byte(nil), golden.Output...)
 
-	plan := equiv.BuildPlan(part, equiv.PlanSpec{PilotsPerClass: spec.PilotsPerClass, Seed: spec.Seed})
+	plan := equiv.BuildPlan(part, equiv.PlanSpec{PilotsPerClass: spec.PilotsPerClass, Seed: spec.Seed, Masked: spec.Masks})
 	var faults []sim.Fault
 	var stratumOf []int
 	for si := range plan.Strata {
@@ -108,7 +108,8 @@ func RunPruned(factory EngineFactory, spec Spec) (Stats, error) {
 	}
 
 	// Per-stratum outcome tallies, plus SDC origin weights (each pilot
-	// speaks for Sites/len(Pilots) sites of its stratum).
+	// speaks for its stratum's choice mass, in site units, divided by
+	// the pilot count; without masks that is Sites/len(Pilots) exactly).
 	tallies := make([][NumOutcomes]int, len(plan.Strata))
 	var originW [asm.NumOrigins]float64
 	for j := range outcomes {
@@ -116,11 +117,15 @@ func RunPruned(factory EngineFactory, spec Spec) (Stats, error) {
 		tallies[si][outcomes[j].outcome]++
 		if outcomes[j].outcome == OutcomeSDC {
 			s := &plan.Strata[si]
-			originW[outcomes[j].origin] += float64(s.Sites) / float64(len(s.Pilots))
+			originW[outcomes[j].origin] += float64(s.Choices) / 64 / float64(len(s.Pilots))
 		}
 	}
 
-	pop := float64(part.Population)
+	// Stratum weights are measured in (site, bit-choice) pairs out of
+	// the 64 × population alphabet. Without masks every stratum carries
+	// Choices = 64 × Sites, so the ratio reduces to the PR 3 site
+	// weight exactly (both scalings by 64 are lossless in float64).
+	pairPop := 64 * float64(part.Population)
 	total := Stats{
 		Runs:             spec.Runs,
 		GoldenDyn:        golden.DynInstrs,
@@ -130,16 +135,24 @@ func RunPruned(factory EngineFactory, spec Spec) (Stats, error) {
 		Pruned:           true,
 		Classes:          len(part.Classes),
 		DeadSites:        part.DeadSites,
+		DeadBits:         64 * part.DeadSites,
 		PilotRuns:        len(faults),
+	}
+	for si := range plan.Strata {
+		if plan.Strata[si].Masked {
+			total.MaskedSites = plan.Strata[si].Sites
+			total.MaskedBits = plan.Strata[si].Choices
+		}
 	}
 	for o := Outcome(0); o < NumOutcomes; o++ {
 		st := make([]stats.Stratum, 0, len(plan.Strata))
 		for si := range plan.Strata {
 			s := &plan.Strata[si]
-			w := float64(s.Sites) / pop
+			w := float64(s.Choices) / pairPop
 			if s.Exact {
-				// Dead sites are benign by construction: the flipped value
-				// is never read at this layer, so it can neither trap nor
+				// Dead sites and statically proven-masked choices are
+				// benign by construction: the flipped value (or bit) is
+				// never read at this layer, so it can neither trap nor
 				// reach the output.
 				hits := 0
 				if o == OutcomeBenign {

@@ -1,6 +1,10 @@
 package equiv
 
-import "flowery/internal/sim"
+import (
+	mathbits "math/bits"
+
+	"flowery/internal/sim"
+)
 
 // PlanSpec tunes pilot selection.
 type PlanSpec struct {
@@ -14,6 +18,15 @@ type PlanSpec struct {
 	PilotsPerClass int
 	// Seed drives pilot site/bit choices.
 	Seed int64
+	// Masked, when non-nil, maps a class's defining static site to its
+	// statically proven-masked bit-choice bitmap (see internal/bitmask:
+	// set bits are choices whose injection is benign by construction).
+	// Proven-masked choices across all live classes pool into one exact
+	// zero-pilot stratum, pilots sweep only the remaining live choices,
+	// and the pilot budget scales down by the live-choice fraction —
+	// the masking analysis's injection savings. Nil reproduces the
+	// PR 3 plan exactly.
+	Masked func(static int32, width uint8) uint64
 }
 
 const (
@@ -31,14 +44,24 @@ const (
 // class, the merged tail of light classes, or the merged dead
 // population, with the pilot faults that represent it.
 type Stratum struct {
-	// Class indexes Partition.Classes; -1 marks the merged strata (tail
-	// and dead).
+	// Class indexes Partition.Classes; -1 marks the merged strata (tail,
+	// masked, and dead).
 	Class int
-	// Sites is the stratum's population weight numerator.
+	// Sites is the stratum's site count (population weight numerator
+	// before bit-level masking).
 	Sites int64
+	// Choices is the number of (site, bit-choice) pairs the stratum
+	// stands for, out of 64 × Population: stratum weights derive from
+	// it, which is what lets masked plans split one class's 64-choice
+	// alphabet between a live stratum and the pooled masked stratum.
+	// Plans built without masks set Choices = 64 × Sites.
+	Choices int64
 	// Exact marks strata whose outcome is known without injection
-	// (dead defs are benign).
+	// (dead defs and proven-masked choices are benign).
 	Exact bool
+	// Masked marks the pooled stratum of statically proven-masked bit
+	// choices (always Exact).
+	Masked bool
 	// Pilots are the faults to actually inject.
 	Pilots []sim.Fault
 }
@@ -77,6 +100,9 @@ func BuildPlan(part Partition, spec PlanSpec) Plan {
 	k := spec.PilotsPerClass
 	if k < 1 {
 		k = 1
+	}
+	if spec.Masked != nil {
+		return buildMaskedPlan(part, spec, k)
 	}
 	plan := Plan{Population: part.Population}
 
@@ -140,7 +166,7 @@ func BuildPlan(part Partition, spec PlanSpec) Plan {
 			pilots[i] = sim.Fault{TargetIndex: cl.Sample[idx], Bit: bits[i]}
 		}
 		spent += n
-		plan.Strata = append(plan.Strata, Stratum{Class: ci, Sites: cl.Size, Pilots: pilots})
+		plan.Strata = append(plan.Strata, Stratum{Class: ci, Sites: cl.Size, Choices: 64 * cl.Size, Pilots: pilots})
 	}
 
 	// Tail: whatever budget the heavy classes left, at least one pilot.
@@ -170,11 +196,167 @@ func BuildPlan(part Partition, spec PlanSpec) Plan {
 			rng = splitmix64(rng)
 			pilots[i] = sim.Fault{TargetIndex: site, Bit: int(rng % 64)}
 		}
-		plan.Strata = append(plan.Strata, Stratum{Class: -1, Sites: tailSites, Pilots: pilots})
+		plan.Strata = append(plan.Strata, Stratum{Class: -1, Sites: tailSites, Choices: 64 * tailSites, Pilots: pilots})
 	}
 
 	if deadSites > 0 {
-		plan.Strata = append(plan.Strata, Stratum{Class: -1, Sites: deadSites, Exact: true})
+		plan.Strata = append(plan.Strata, Stratum{Class: -1, Sites: deadSites, Choices: 64 * deadSites, Exact: true})
+	}
+	return plan
+}
+
+// liveChoices lists the bit choices NOT proven masked, ascending.
+func liveChoices(mask uint64) []int {
+	out := make([]int, 0, 64-mathbits.OnesCount64(mask))
+	for b := 0; b < 64; b++ {
+		if mask&(1<<uint(b)) == 0 {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// buildMaskedPlan is BuildPlan composed with per-class masked-choice
+// verdicts. It mirrors the unmasked plan's structure — heavy classes
+// get their own systematically swept strata, light classes merge into
+// a weight-sampled tail — but the measure everything is allocated and
+// weighted by is live (site, choice) pairs instead of sites: pilots
+// never land on proven-masked choices, masked choices accumulate into
+// one exact benign stratum, and the total pilot budget shrinks by the
+// masked fraction of the live population. With an all-zero mask the
+// plan degenerates to the unmasked one (modulo identical weights
+// expressed in choices).
+func buildMaskedPlan(part Partition, spec PlanSpec, k int) Plan {
+	plan := Plan{Population: part.Population}
+
+	masks := make([]uint64, len(part.Classes))
+	var deadSites, liveSites int64
+	var livePairs, maskedPairs, maskedSites int64
+	live := 0
+	for ci := range part.Classes {
+		cl := &part.Classes[ci]
+		if cl.Dead {
+			deadSites += cl.Size
+			continue
+		}
+		m := spec.Masked(cl.Static, cl.Width)
+		masks[ci] = m
+		mc := int64(mathbits.OnesCount64(m))
+		live++
+		liveSites += cl.Size
+		livePairs += cl.Size * (64 - mc)
+		maskedPairs += cl.Size * mc
+		if mc > 0 {
+			maskedSites += cl.Size
+		}
+	}
+
+	// The masked pool needs no pilots, and removing its choices also
+	// shrinks every sampled stratum's weight by its live fraction: a
+	// stratum contributes weight²·variance/pilots to the estimator
+	// variance, so the plan holds the unmasked plan's precision with
+	// only ρ² of its budget, where ρ = livePairs/(64·liveSites) is the
+	// live-choice fraction of the live population (allocation below
+	// stays proportional to live-pair mass, so each stratum's pilot
+	// count scales by ~ρ² too). This quadratic scaling is where the
+	// extra injection reduction over site-level pruning comes from.
+	budget := 0
+	if liveSites > 0 && livePairs > 0 {
+		rho := float64(livePairs) / float64(64*liveSites)
+		budget = int(float64(k*live)*rho*rho + 0.5)
+		if budget < 1 {
+			budget = 1
+		}
+	}
+
+	var tail []int
+	var tailSites, tailPairs int64
+	spent := 0
+	for ci := range part.Classes {
+		cl := &part.Classes[ci]
+		if cl.Dead {
+			continue
+		}
+		lc := liveChoices(masks[ci])
+		if len(lc) == 0 {
+			continue // every choice proven masked: fully pooled
+		}
+		pairs := cl.Size * int64(len(lc))
+		share := float64(budget) * float64(pairs) / float64(livePairs)
+		if share < headShare || len(cl.Sample) == 0 {
+			tail = append(tail, ci)
+			tailSites += cl.Size
+			tailPairs += pairs
+			continue
+		}
+		n := int(share + 0.5)
+		if n > maxStratumPilots {
+			n = maxStratumPilots
+		}
+		rng := splitmix64(uint64(spec.Seed)^splitmix64(uint64(ci))) | 1
+		m := len(cl.Sample)
+		rng = splitmix64(rng)
+		start := int(rng % uint64(m))
+		rng = splitmix64(rng)
+		offset := int(rng % uint64(len(lc)))
+		bits := make([]int, n)
+		for i := range bits {
+			bits[i] = lc[(offset+i*len(lc)/n)%len(lc)]
+		}
+		for i := n - 1; i > 0; i-- {
+			rng = splitmix64(rng)
+			j := int(rng % uint64(i+1))
+			bits[i], bits[j] = bits[j], bits[i]
+		}
+		pilots := make([]sim.Fault, n)
+		for i := 0; i < n; i++ {
+			idx := (start + i) % m
+			if n <= m {
+				idx = (start + i*m/n) % m
+			}
+			pilots[i] = sim.Fault{TargetIndex: cl.Sample[idx], Bit: bits[i]}
+		}
+		spent += n
+		plan.Strata = append(plan.Strata, Stratum{Class: ci, Sites: cl.Size, Choices: pairs, Pilots: pilots})
+	}
+
+	// Tail: class drawn by live-choice mass, site uniformly from the
+	// reservoir, bit uniformly over the class's live choices.
+	if tailPairs > 0 {
+		m := budget - spent
+		if m < 1 {
+			m = 1
+		}
+		rng := splitmix64(uint64(spec.Seed)^splitmix64(0x9e3779b97f4a7c15)) | 1
+		pilots := make([]sim.Fault, m)
+		for i := 0; i < m; i++ {
+			rng = splitmix64(rng)
+			target := rng % uint64(tailPairs)
+			var cl *Class
+			var lc []int
+			for _, ci := range tail {
+				c := &part.Classes[ci]
+				lc = liveChoices(masks[ci])
+				pairs := uint64(c.Size) * uint64(len(lc))
+				if target < pairs {
+					cl = c
+					break
+				}
+				target -= pairs
+			}
+			rng = splitmix64(rng)
+			site := cl.Sample[rng%uint64(len(cl.Sample))]
+			rng = splitmix64(rng)
+			pilots[i] = sim.Fault{TargetIndex: site, Bit: lc[rng%uint64(len(lc))]}
+		}
+		plan.Strata = append(plan.Strata, Stratum{Class: -1, Sites: tailSites, Choices: tailPairs, Pilots: pilots})
+	}
+
+	if maskedPairs > 0 {
+		plan.Strata = append(plan.Strata, Stratum{Class: -1, Sites: maskedSites, Choices: maskedPairs, Exact: true, Masked: true})
+	}
+	if deadSites > 0 {
+		plan.Strata = append(plan.Strata, Stratum{Class: -1, Sites: deadSites, Choices: 64 * deadSites, Exact: true})
 	}
 	return plan
 }

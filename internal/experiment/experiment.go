@@ -12,6 +12,7 @@ import (
 
 	"flowery/internal/backend"
 	"flowery/internal/bench"
+	"flowery/internal/bitmask"
 	"flowery/internal/campaign"
 	"flowery/internal/dup"
 	"flowery/internal/flowery"
@@ -57,6 +58,13 @@ type Config struct {
 	// PilotsPerClass is the pruned campaigns' average per-class pilot
 	// budget (0 = DefaultPilotsPerClass when Pruning is enabled).
 	PilotsPerClass int
+	// MaskStatic composes the bit-level static masking analysis
+	// (internal/bitmask) into every pruned campaign: statically proven-
+	// masked bit choices are scored benign without injection and the
+	// pilot budget shrinks accordingly. Only meaningful with Pruning:
+	// classes — validated up front by the CLIs and rejected by
+	// campaign.Spec.Validate otherwise. Wired from -maskstatic.
+	MaskStatic bool
 	// Reference pins every simulated run to the engines' reference
 	// interpretation loop instead of their predecoded fast cores
 	// (sim.Options.Reference). Results are bit-identical; only the wall
@@ -230,6 +238,11 @@ func measure(m *ir.Module, cfg Config) (LevelStats, error) {
 		Metrics:   cfg.Telemetry,
 	}
 
+	// The masking analyses run over exactly the instances the engines
+	// execute (m after lowering, prog), so static indices line up.
+	if cfg.MaskStatic {
+		spec.Masks = bitmask.AnalyzeIR(m).Masked
+	}
 	irStats, err := campaign.Run(func() (sim.Engine, error) {
 		return interp.New(m), nil
 	}, spec)
@@ -237,6 +250,9 @@ func measure(m *ir.Module, cfg Config) (LevelStats, error) {
 		return ls, err
 	}
 
+	if cfg.MaskStatic {
+		spec.Masks = bitmask.AnalyzeASM(prog).Masked
+	}
 	asmStats, err := campaign.Run(func() (sim.Engine, error) {
 		return machine.New(m, prog)
 	}, spec)

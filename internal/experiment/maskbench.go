@@ -1,0 +1,224 @@
+// Masked-campaign benchmark: cross-validates the bit-level static
+// masking analysis (internal/bitmask, DESIGN.md §15) against ground
+// truth. For each benchmark × layer it runs the same unprotected
+// campaign three ways — exhaustive Monte-Carlo, equivalence-pruned
+// (PR 3), and pruned with proven-masked bit choices scored statically —
+// and reports the extra injection reduction masking buys on top of
+// pruning, whether the masked estimate stays inside the full campaign's
+// 95% interval, and the static-vs-dynamic agreement rate of a sample of
+// proven-masked injections (every one must be benign, or the analysis
+// is unsound).
+
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"flowery/internal/campaign"
+	"flowery/internal/pipeline"
+)
+
+// MaskBenchRuns is maskbench's default full-campaign size (matching
+// prunebench: the reduction factor and the cross-validation sharpness
+// both come from the full side).
+const MaskBenchRuns = 20000
+
+// MaskBenchPilots is the default per-class pilot budget of the pruned
+// sides. One value rather than a grid: the masked-vs-pruned comparison
+// is about the plan composition, and the ratio is nearly budget-
+// independent.
+var MaskBenchPilots = []int{4}
+
+// MaskProbeSamples is the default size of the proven-masked validation
+// sample each point injects.
+const MaskProbeSamples = 1000
+
+// maskBenchDefault pairs the CI gate's control-heavy kernel with the
+// benchmark whose asm layer shows the strongest static masking (bit-
+// manipulating trie traversal).
+var maskBenchDefault = []string{"crc32", "patricia"}
+
+// MaskPoint is one full vs pruned vs pruned+masked comparison.
+type MaskPoint struct {
+	Benchmark string `json:"benchmark"`
+	Layer     string `json:"layer"` // "ir" or "asm"
+	// PilotsPerClass is the pruned campaigns' average per-class budget.
+	PilotsPerClass int `json:"pilots_per_class"`
+
+	// Population is the injectable fault-site count all campaigns
+	// sample; Classes and DeadSites describe the partition. MaskedSites
+	// and MaskedBits are the statically proven-masked population among
+	// live classes (sites with ≥1 masked choice, and masked (site, bit)
+	// pairs out of TotalBits = 64 × Population).
+	Population  int64 `json:"population"`
+	Classes     int   `json:"classes"`
+	DeadSites   int64 `json:"dead_sites"`
+	MaskedSites int64 `json:"masked_sites"`
+	MaskedBits  int64 `json:"masked_bits"`
+	TotalBits   int64 `json:"total_bits"`
+
+	// Runs is the full campaign's injection count; PrunedPilots and
+	// MaskedPilots the two pruned campaigns'. Reduction is the masked
+	// campaign's total factor over the full campaign; ReductionExtra is
+	// the factor over pruning alone (the masking analysis's own
+	// contribution).
+	Runs           int     `json:"runs"`
+	PrunedPilots   int     `json:"pruned_pilots"`
+	MaskedPilots   int     `json:"masked_pilots"`
+	Reduction      float64 `json:"reduction"`
+	ReductionExtra float64 `json:"reduction_extra"`
+
+	FullSDC   float64 `json:"full_sdc"`
+	FullLo    float64 `json:"full_sdc_lo"`
+	FullHi    float64 `json:"full_sdc_hi"`
+	PrunedSDC float64 `json:"pruned_sdc"`
+	MaskedSDC float64 `json:"masked_sdc"`
+	MaskedLo  float64 `json:"masked_sdc_lo"`
+	MaskedHi  float64 `json:"masked_sdc_hi"`
+
+	// InsideCI reports whether the masked estimate falls inside the
+	// full campaign's 95% interval — the cross-validation verdict.
+	InsideCI bool `json:"inside_ci"`
+
+	// ProbeSamples proven-masked (site, bit) faults were injected;
+	// ProbeBenign came back benign. Agreement is their ratio and the
+	// analysis is sound only at exactly 1.
+	ProbeSamples int     `json:"probe_samples"`
+	ProbeBenign  int     `json:"probe_benign"`
+	Agreement    float64 `json:"agreement"`
+}
+
+// RunMaskBench cross-validates pruned+masked against pruned and full
+// campaigns on the named benchmarks (crc32 and patricia when empty) for
+// every budget in pilots (MaskBenchPilots when nil). cfg.Runs of 0
+// selects MaskBenchRuns. All sides go through one artifact pipeline, so
+// the full and pruned campaigns are shared with any other artifact that
+// requested them.
+func RunMaskBench(names []string, pilots []int, cfg Config) ([]MaskPoint, error) {
+	if cfg.Runs <= 0 {
+		cfg.Runs = MaskBenchRuns
+	}
+	cfg.Pruning = campaign.PruneNone // the study below runs every side explicitly
+	cfg.MaskStatic = false
+	cfg = cfg.withDefaults()
+	if len(names) == 0 {
+		names = maskBenchDefault
+	}
+	if len(pilots) == 0 {
+		pilots = MaskBenchPilots
+	}
+	bms, err := resolveBenchmarks(names)
+	if err != nil {
+		return nil, err
+	}
+
+	type unit struct {
+		bench int
+		layer pipeline.Layer
+		k     int
+	}
+	var units []unit
+	for i := range bms {
+		for _, l := range []pipeline.Layer{pipeline.LayerIR, pipeline.LayerAsm} {
+			for _, k := range pilots {
+				units = append(units, unit{bench: i, layer: l, k: k})
+			}
+		}
+	}
+
+	study := NewStudy(cfg)
+	points := make([]MaskPoint, len(units))
+	err = pipeline.ForEach(study.Pipeline().Config().Parallel, len(units), func(i int) error {
+		u := units[i]
+		src := pipeline.BenchSource(bms[u.bench])
+		full, err := study.Pipeline().Campaign(src, pipeline.RawVariant(),
+			pipeline.CampaignOpts{Layer: u.layer})
+		if err != nil {
+			return err
+		}
+		pruned, err := study.Pipeline().Campaign(src, pipeline.RawVariant(),
+			pipeline.CampaignOpts{Layer: u.layer, Pruning: campaign.PruneClasses, PilotsPerClass: u.k})
+		if err != nil {
+			return err
+		}
+		opts := pipeline.CampaignOpts{
+			Layer: u.layer, Pruning: campaign.PruneClasses,
+			PilotsPerClass: u.k, MaskStatic: true,
+		}
+		masked, err := study.Pipeline().Campaign(src, pipeline.RawVariant(), opts)
+		if err != nil {
+			return err
+		}
+		probe, err := study.Pipeline().MaskedProbe(src, pipeline.RawVariant(), opts, MaskProbeSamples)
+		if err != nil {
+			return err
+		}
+		fsdc, flo, fhi := full.SDCRateCI()
+		msdc, mlo, mhi := masked.SDCRateCI()
+		points[i] = MaskPoint{
+			Benchmark:      bms[u.bench].Name,
+			Layer:          layerName(u.layer),
+			PilotsPerClass: u.k,
+			Population:     masked.GoldenInjectable,
+			Classes:        masked.Classes,
+			DeadSites:      masked.DeadSites,
+			MaskedSites:    masked.MaskedSites,
+			MaskedBits:     masked.MaskedBits,
+			TotalBits:      64 * masked.GoldenInjectable,
+			Runs:           full.Runs,
+			PrunedPilots:   pruned.PilotRuns,
+			MaskedPilots:   masked.PilotRuns,
+			Reduction:      float64(full.Runs) / float64(masked.PilotRuns),
+			ReductionExtra: float64(pruned.PilotRuns) / float64(masked.PilotRuns),
+			FullSDC:        fsdc, FullLo: flo, FullHi: fhi,
+			PrunedSDC: pruned.EstRates[campaign.OutcomeSDC],
+			MaskedSDC: msdc, MaskedLo: mlo, MaskedHi: mhi,
+			InsideCI:     msdc >= flo && msdc <= fhi,
+			ProbeSamples: probe.Samples,
+			ProbeBenign:  probe.Benign,
+			Agreement:    probe.Agreement(),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return points, nil
+}
+
+// MaskBench renders the cross-validation table.
+func MaskBench(points []MaskPoint) string {
+	var sb strings.Builder
+	sb.WriteString("Static bit-masking cross-validation: pruned+masked vs pruned vs full campaigns\n")
+	sb.WriteString(fmt.Sprintf("%-12s %-5s %2s %8s %7s %8s %8s %6s %6s  %-24s %-8s %-8s %6s %6s\n",
+		"benchmark", "layer", "k", "popul", "masked%", "pilots", "masked", "reduct", "extra",
+		"full SDC [95% CI]", "pruned", "masked", "inside", "agree"))
+	for _, p := range points {
+		verdict := "no"
+		if p.InsideCI {
+			verdict = "yes"
+		}
+		sb.WriteString(fmt.Sprintf("%-12s %-5s %2d %8d %6.1f%% %8d %8d %5.1fx %5.2fx  %.4f [%.4f, %.4f]  %.4f   %.4f   %-6s %.3f\n",
+			p.Benchmark, p.Layer, p.PilotsPerClass, p.Population,
+			float64(p.MaskedBits)/float64(p.TotalBits)*100,
+			p.PrunedPilots, p.MaskedPilots, p.Reduction, p.ReductionExtra,
+			p.FullSDC, p.FullLo, p.FullHi, p.PrunedSDC, p.MaskedSDC, verdict, p.Agreement))
+	}
+	return sb.String()
+}
+
+// MaskBenchJSON marshals the comparisons (the BENCH_6.json artifact).
+func MaskBenchJSON(points []MaskPoint, cfg Config) ([]byte, error) {
+	runs := cfg.Runs
+	if runs <= 0 {
+		runs = MaskBenchRuns
+	}
+	doc := struct {
+		Runs    int         `json:"runs"`
+		Seed    int64       `json:"seed"`
+		Results []MaskPoint `json:"results"`
+	}{runs, cfg.Seed, points}
+	return json.MarshalIndent(doc, "", "  ")
+}

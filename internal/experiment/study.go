@@ -92,6 +92,7 @@ func (s *Study) levelStats(src pipeline.Source, v pipeline.Variant) (LevelStats,
 	opts := pipeline.CampaignOpts{
 		Pruning:        s.cfg.Pruning,
 		PilotsPerClass: s.cfg.PilotsPerClass,
+		MaskStatic:     s.cfg.MaskStatic,
 	}
 	opts.Layer = pipeline.LayerIR
 	irStats, err := s.p.Campaign(src, v, opts)

@@ -17,13 +17,14 @@ const (
 	StageFlowery  = "flowery"
 	StageLower    = "lower"
 	StageGolden   = "golden"
+	StageMask     = "mask"
 	StageCampaign = "campaign"
 	StagePrune    = "prune"
 )
 
 var stageOrder = []string{
 	StageBuild, StageProfile, StageSelect, StageDup,
-	StageFlowery, StageLower, StageGolden, StageCampaign, StagePrune,
+	StageFlowery, StageLower, StageGolden, StageMask, StageCampaign, StagePrune,
 }
 
 // StageTelemetry is one stage's cache counters. Keys counts distinct

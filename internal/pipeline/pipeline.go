@@ -32,6 +32,7 @@ import (
 	"flowery/internal/asm"
 	"flowery/internal/backend"
 	"flowery/internal/bench"
+	"flowery/internal/bitmask"
 	"flowery/internal/campaign"
 	"flowery/internal/dup"
 	"flowery/internal/flowery"
@@ -467,6 +468,39 @@ func (p *Pipeline) EngineFactory(src Source, v Variant, layer Layer, bcfg backen
 	return func() (sim.Engine, error) { return machine.New(c.Mod, c.Prog) }, nil
 }
 
+// Masks returns the bit-level static masking analysis (internal/
+// bitmask) of the compiled variant at a layer, computed once per
+// (module, backend config, layer). The analysis runs over exactly the
+// module instance (IR) or program (asm) the layer's engines execute, so
+// its static site indices line up with the campaign fault model. On a
+// miss the per-layer telemetry counters bitmask_sites_total,
+// bitmask_choices_masked_total, and bitmask_choices_total record what
+// the analysis proved.
+func (p *Pipeline) Masks(src Source, v Variant, layer Layer, bcfg backend.Config) (*bitmask.Analysis, error) {
+	key := fmt.Sprintf("mask|%s|%s|gpr=%d", p.modKey(src, v), layer, bcfg.GPRScratch)
+	val, err := p.cache.do(StageMask, key, func(_ *telemetry.Span) (any, error) {
+		c, err := p.Compiled(src, v, bcfg)
+		if err != nil {
+			return nil, err
+		}
+		var a *bitmask.Analysis
+		if layer == LayerIR {
+			a = bitmask.AnalyzeIR(c.Mod)
+		} else {
+			a = bitmask.AnalyzeASM(c.Prog)
+		}
+		l := layer.String()
+		p.reg.Counter(`bitmask_sites_total{layer="` + l + `"}`).Add(a.Sites)
+		p.reg.Counter(`bitmask_choices_masked_total{layer="` + l + `"}`).Add(a.MaskedChoices)
+		p.reg.Counter(`bitmask_choices_total{layer="` + l + `"}`).Add(a.TotalChoices)
+		return a, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return val.(*bitmask.Analysis), nil
+}
+
 // Golden returns the fault-free run of the compiled variant at a layer.
 func (p *Pipeline) Golden(src Source, v Variant, layer Layer, bcfg backend.Config) (sim.Result, error) {
 	key := fmt.Sprintf("golden|%s|%s|gpr=%d|maxsteps=%d", p.modKey(src, v), layer, bcfg.GPRScratch, p.cfg.MaxSteps)
@@ -510,6 +544,13 @@ type CampaignOpts struct {
 	Pruning campaign.Pruning
 	// PilotsPerClass is campaign.Spec.PilotsPerClass (pruned mode only).
 	PilotsPerClass int
+	// MaskStatic composes the bit-level static masking analysis (the
+	// Masks node) into the pruned plan: statically proven-masked bit
+	// choices become an exact zero-pilot stratum and the pilot budget
+	// shrinks by the live fraction squared. Requires a pruned campaign
+	// (campaign.Spec.Masks carries the same constraint); it changes
+	// which injections run, so it enters the key (`|mask=1`).
+	MaskStatic bool
 	// Records, when non-nil, receives every run's Record (full campaigns
 	// only; see campaign.Spec.Records). Observation only and excluded
 	// from the key — a cache hit replays no records, so set it only on
@@ -538,6 +579,12 @@ func (p *Pipeline) Campaign(src Source, v Variant, opts CampaignOpts) (campaign.
 	if opts.Pruning != campaign.PruneNone {
 		stage = StagePrune
 		key += fmt.Sprintf("|prune=%s|k=%d", opts.Pruning, opts.PilotsPerClass)
+	}
+	if opts.MaskStatic {
+		if opts.Pruning == campaign.PruneNone {
+			return campaign.Stats{}, fmt.Errorf("pipeline: campaign %s: MaskStatic requires Pruning: classes", key)
+		}
+		key += "|mask=1"
 	}
 	val, err := p.cache.do(stage, key, func(sp *telemetry.Span) (any, error) {
 		// The persistent artifact tier sits behind the in-memory miss:
@@ -568,6 +615,13 @@ func (p *Pipeline) Campaign(src Source, v Variant, opts CampaignOpts) (campaign.
 			TraceSpan:      sp,
 			Records:        opts.Records,
 		}
+		if opts.MaskStatic {
+			a, merr := p.Masks(src, v, opts.Layer, opts.Backend)
+			if merr != nil {
+				return nil, merr
+			}
+			spec.Masks = a.Masked
+		}
 		var st campaign.Stats
 		if sharded {
 			exec, eerr := p.shardExecutor(src, v, opts)
@@ -596,6 +650,41 @@ func (p *Pipeline) Campaign(src Source, v Variant, opts CampaignOpts) (campaign.
 		return campaign.Stats{}, err
 	}
 	return val.(campaign.Stats), nil
+}
+
+// MaskedProbe validates the variant's masking analysis dynamically:
+// it injects samples faults drawn from the statically proven-masked
+// (site, bit) population at the given layer and reports the agreement
+// rate (campaign.MaskedProbe). Probes are validation runs, not
+// artifacts — they are never cached or persisted.
+func (p *Pipeline) MaskedProbe(src Source, v Variant, opts CampaignOpts, samples int) (campaign.ProbeStats, error) {
+	runs := opts.Runs
+	if runs <= 0 {
+		runs = p.cfg.Runs
+	}
+	factory, err := p.EngineFactory(src, v, opts.Layer, opts.Backend)
+	if err != nil {
+		return campaign.ProbeStats{}, err
+	}
+	a, err := p.Masks(src, v, opts.Layer, opts.Backend)
+	if err != nil {
+		return campaign.ProbeStats{}, err
+	}
+	spec := campaign.Spec{
+		Runs:           runs,
+		Seed:           p.cfg.Seed,
+		MaxSteps:       p.cfg.MaxSteps,
+		Workers:        p.cfg.CampaignWorkers,
+		Pruning:        campaign.PruneClasses,
+		PilotsPerClass: opts.PilotsPerClass,
+		Reference:      p.cfg.Reference,
+		Metrics:        p.cfg.Telemetry,
+		Masks:          a.Masked,
+	}
+	if spec.PilotsPerClass < 1 {
+		spec.PilotsPerClass = 1
+	}
+	return campaign.MaskedProbe(factory, spec, samples)
 }
 
 // storeGet recalls a campaign artifact from the persistent store.

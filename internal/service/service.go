@@ -425,6 +425,7 @@ func (m *Manager) runCampaign(j *job) error {
 	if j.spec.Prune {
 		opts.Pruning = campaign.PruneClasses
 		opts.PilotsPerClass = j.spec.Pilots
+		opts.MaskStatic = j.spec.MaskStatic
 	}
 
 	var buf bytes.Buffer

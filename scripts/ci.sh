@@ -44,6 +44,24 @@ if grep -q '"inside_ci": false' "$tmpdir/prune.json"; then
     exit 1
 fi
 
+# Static-masking gate (DESIGN.md §15): the pruned+masked estimate must
+# also land inside the full campaign's 95% Wilson interval, and the
+# dynamic probe of statically proven-masked bits must find every sample
+# benign (anything else is a soundness bug in internal/bitmask).
+go run ./cmd/experiments -only maskbench -bench crc32 -runs 2000 -q \
+    -json >"$tmpdir/mask.json"
+if grep -q '"inside_ci": false' "$tmpdir/mask.json"; then
+    echo "pruned+masked SDC estimate outside the full campaign's 95% Wilson interval:" >&2
+    cat "$tmpdir/mask.json" >&2
+    exit 1
+fi
+if ! grep -q '"agreement": 1' "$tmpdir/mask.json" || \
+    grep -q '"agreement": 0' "$tmpdir/mask.json"; then
+    echo "static masking verdicts disagree with dynamic injection:" >&2
+    cat "$tmpdir/mask.json" >&2
+    exit 1
+fi
+
 # Telemetry smoke (DESIGN.md §12): a real study run must emit the run
 # report and the span tree with the pinned metric families and the
 # study → pipeline stage → campaign batch → engine run span hierarchy.
