@@ -38,7 +38,8 @@ import (
 var validArtifacts = []string{
 	"all", "table1", "fig2", "fig3", "fig17", "overhead", "passtime",
 	"ablation", "pressure", "convergence", "campbench", "pipebench",
-	"prunebench", "maskbench", "simbench", "shardbench", "results",
+	"prunebench", "maskbench", "sectionbench", "simbench", "shardbench",
+	"results",
 }
 
 func benchByName(n string) (bench.Benchmark, bool) { return bench.ByName(n) }
@@ -67,6 +68,7 @@ func main() {
 	pipelineOn := flag.Bool("pipeline", true, "serve artifacts from the memoized pipeline (false = legacy serial path)")
 	telemetryFlag := flag.Bool("telemetry", false, "print per-stage pipeline cache/wall telemetry to stderr")
 	maskStatic := flag.Bool("maskstatic", false, "run every per-level campaign equivalence-pruned with statically proven-masked bits scored benign (internal/bitmask)")
+	sections := flag.Bool("sections", false, "run every per-level campaign compositionally (one sub-campaign per program section, composed statistics)")
 	refcore := flag.Bool("refcore", false, "pin simulations to the engines' reference loops instead of the predecoded fast cores (bit-identical results, slower)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -137,12 +139,30 @@ func main() {
 		// instead.
 		switch *only {
 		case "ablation", "pressure", "convergence", "campbench", "pipebench",
-			"prunebench", "maskbench", "simbench", "shardbench":
+			"prunebench", "maskbench", "sectionbench", "simbench", "shardbench":
 			fmt.Fprintf(os.Stderr, "experiments: -maskstatic does not apply to %q (that artifact controls its own campaign sides)\n", *only)
 			os.Exit(2)
 		}
 		cfg.Pruning = campaign.PruneClasses
 		cfg.MaskStatic = true
+	}
+	if *sections {
+		// Sectioned campaigns feed the same per-level statistics, but the
+		// benchmark artifacts above control their own campaign sides and
+		// sectionbench measures sectioning itself — reject rather than
+		// silently ignore. Sharding is also out: sectioned campaigns
+		// partition by program section instead of run range.
+		switch *only {
+		case "ablation", "pressure", "convergence", "campbench", "pipebench",
+			"prunebench", "maskbench", "sectionbench", "simbench", "shardbench":
+			fmt.Fprintf(os.Stderr, "experiments: -sections does not apply to %q (that artifact controls its own campaign sides)\n", *only)
+			os.Exit(2)
+		}
+		if *shards > 0 {
+			fmt.Fprintln(os.Stderr, "experiments: -sections and -shards conflict: sectioned campaigns partition by program section instead of run range")
+			os.Exit(2)
+		}
+		cfg.Sections = true
 	}
 	if *metricsOut != "" || *traceOut != "" {
 		cfg.Telemetry = telemetry.New()
@@ -268,6 +288,31 @@ func main() {
 			return
 		}
 		fmt.Println(experiment.MaskBench(points))
+		return
+
+	// The compositional-campaign benchmark (full re-analysis vs
+	// per-section incremental recomputation after a one-function edit,
+	// plus the budgeted per-section protection placement); with -json it
+	// emits the BENCH_7.json artifact. Builds its own study at its own
+	// default campaign scale — unless -runs overrides it — so -pipeline
+	// does not apply.
+	case "sectionbench":
+		scfg := cfg
+		scfg.Runs = *runs // 0 = the artifact's own default scale
+		points, err := experiment.RunSectionBench(names, scfg)
+		if err != nil {
+			fail(err)
+		}
+		if *jsonOut {
+			data, err := experiment.SectionBenchJSON(points, scfg)
+			if err != nil {
+				fail(err)
+			}
+			os.Stdout.Write(data)
+			fmt.Println()
+			return
+		}
+		fmt.Println(experiment.SectionBench(points))
 		return
 
 	// The campaign-size convergence study; campaigns at every size share

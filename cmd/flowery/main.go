@@ -397,6 +397,7 @@ func cmdInject(args []string) error {
 	prune := fs.Bool("prune", false, "equivalence-pruned campaign: inject pilots per fault class and extrapolate")
 	pilots := fs.Int("pilots", 3, "with -prune: average pilot budget per live class (1..8)")
 	maskStatic := fs.Bool("maskstatic", false, "with -prune: score statically proven-masked bits benign without injection (internal/bitmask)")
+	sections := fs.Bool("sections", false, "compositional campaign: one sub-campaign per program section, unchanged sections recalled from the artifact store")
 	workers := fs.Int("workers", 0, "campaign parallelism: engine goroutines per process (0 = GOMAXPROCS); outcomes are identical at any width")
 	shards := fs.Int("shards", 0, "partition the campaign into this many run ranges (0 = unsharded; full campaigns only)")
 	shardWorkers := fs.Int("shard-workers", 0, "with -shards: farm shards to this many flowery worker processes (<= 1 stays in-process)")
@@ -410,7 +411,7 @@ func cmdInject(args []string) error {
 	// spec validator (internal/api) — the same rules the daemon applies —
 	// so an inconsistent invocation fails with one line before any
 	// profiling or module derivation starts.
-	spec := injectSpec(fs.Arg(0), *layer, *runs, *prune, *pilots, *maskStatic,
+	spec := injectSpec(fs.Arg(0), *layer, *runs, *prune, *pilots, *maskStatic, *sections,
 		*workers, *shards, *shardWorkers, *reclogOut != "", *prot, p)
 	if err := spec.Normalize(); err != nil {
 		return fmt.Errorf("inject: %w", err)
@@ -467,8 +468,14 @@ func cmdInject(args []string) error {
 			}
 		}
 	}
-	st, err := pl.Campaign(src, v, opts)
-	if err != nil {
+	var st campaign.Stats
+	if *sections {
+		res, serr := pl.CampaignSectioned(src, v, opts)
+		if serr != nil {
+			return serr
+		}
+		st = res.Stats
+	} else if st, err = pl.Campaign(src, v, opts); err != nil {
 		return err
 	}
 	if logW != nil {
@@ -488,7 +495,7 @@ func cmdInject(args []string) error {
 // combination is validated by exactly the rules `flowery remote` and
 // the daemon apply. The program argument stands in as the benchmark
 // name — loadSource resolves names vs files afterward.
-func injectSpec(program, layer string, runs int, prune bool, pilots int, maskStatic bool, workers, shards, shardWorkers int, records, prot bool, p protection) api.JobSpec {
+func injectSpec(program, layer string, runs int, prune bool, pilots int, maskStatic, sections bool, workers, shards, shardWorkers int, records, prot bool, p protection) api.JobSpec {
 	spec := api.JobSpec{
 		Benchmark:    program,
 		Layer:        layer,
@@ -500,6 +507,7 @@ func injectSpec(program, layer string, runs int, prune bool, pilots int, maskSta
 		Flowery:      *p.flowery,
 		Prune:        prune,
 		MaskStatic:   maskStatic,
+		Sections:     sections,
 		Workers:      workers,
 		Shards:       shards,
 		ShardWorkers: shardWorkers,
@@ -516,7 +524,21 @@ func injectSpec(program, layer string, runs int, prune bool, pilots int, maskSta
 // renderer so the two paths are diffable.
 func printCampaign(st campaign.Stats, l pipeline.Layer) {
 	fmt.Printf("runs=%d golden_dyn=%d injectable=%d\n", st.Runs, st.GoldenDyn, st.GoldenInjectable)
-	if st.Pruned {
+	if st.Sectioned {
+		// Sectioned stats are composed, so the injection count is the
+		// incremental work actually executed (0 when every section was
+		// recalled from the store).
+		_, lo, hi := st.SDCRateCI()
+		fmt.Printf("sectioned: sections=%d executed=%d recalled=%d pilot_runs=%d  sdc 95%% CI [%.4f, %.4f]\n",
+			st.Sections, st.SectionsExecuted, st.SectionsRecalled, st.PilotRuns, lo, hi)
+		if st.Classes > 0 {
+			fmt.Printf("pruned: classes=%d dead_sites=%d\n", st.Classes, st.DeadSites)
+		}
+		if st.MaskedBits > 0 {
+			fmt.Printf("masked: sites=%d bits=%d statically proven benign (of %d)\n",
+				st.MaskedSites, st.MaskedBits, 64*st.GoldenInjectable)
+		}
+	} else if st.Pruned {
 		_, lo, hi := st.SDCRateCI()
 		fmt.Printf("pruned: classes=%d dead_sites=%d pilot_runs=%d (%.1fx fewer injections)  sdc 95%% CI [%.4f, %.4f]\n",
 			st.Classes, st.DeadSites, st.PilotRuns,

@@ -19,7 +19,7 @@ import (
 //	flowery remote -addr ... study [-runs n] [-samples n] [-seed n] [bench ...]
 //	flowery remote -addr ... jobs | job <id> | cancel <id>
 //	flowery remote -addr ... reclog <id> <out-file>
-//	flowery remote -addr ... metrics | health
+//	flowery remote -addr ... metrics [id] | health
 //
 // `remote inject` submits, streams until the job finishes, and prints
 // the campaign statistics through exactly the renderer the local
@@ -74,7 +74,15 @@ func cmdRemote(args []string) error {
 		fmt.Fprintf(os.Stderr, "remote: wrote %d bytes to %s\n", len(blob), rest[1])
 		return nil
 	case "metrics":
-		page, err := c.Metrics("/metrics")
+		// Bare: the daemon-level registry. With a job id: that job's own
+		// pipeline registry (engine runs, store hits, stage counters).
+		path := "/metrics"
+		if len(rest) == 1 {
+			path = "/jobs/" + rest[0] + "/metrics"
+		} else if len(rest) > 1 {
+			return fmt.Errorf("remote metrics: at most one job id")
+		}
+		page, err := c.Metrics(path)
 		if err != nil {
 			return err
 		}
@@ -113,6 +121,7 @@ func remoteInject(c *api.Client, args []string) error {
 	prune := fs.Bool("prune", false, "equivalence-pruned campaign")
 	pilots := fs.Int("pilots", 3, "with -prune: average pilot budget per live class (1..8)")
 	maskStatic := fs.Bool("maskstatic", false, "with -prune: score statically proven-masked bits benign without injection")
+	sections := fs.Bool("sections", false, "compositional campaign on the daemon: per-section sub-campaigns, unchanged sections recalled from its store")
 	workers := fs.Int("workers", 0, "campaign parallelism on the daemon (0 = its GOMAXPROCS)")
 	shards := fs.Int("shards", 0, "partition the campaign into this many run ranges")
 	shardWorkers := fs.Int("shard-workers", 0, "with -shards: daemon-side worker processes")
@@ -123,7 +132,7 @@ func remoteInject(c *api.Client, args []string) error {
 		return fmt.Errorf("remote inject: need one benchmark or file")
 	}
 
-	spec := injectSpec(fs.Arg(0), *layer, *runs, *prune, *pilots, *maskStatic,
+	spec := injectSpec(fs.Arg(0), *layer, *runs, *prune, *pilots, *maskStatic, *sections,
 		*workers, *shards, *shardWorkers, *reclogOut != "", *prot, p)
 	// A file program rides to the daemon as inline IR text.
 	if _, ok := bench.ByName(fs.Arg(0)); !ok {

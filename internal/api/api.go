@@ -78,6 +78,10 @@ type JobSpec struct {
 	Prune      bool `json:"prune,omitempty"`
 	Pilots     int  `json:"pilots,omitempty"`      // with Prune; 0 = server default
 	MaskStatic bool `json:"mask_static,omitempty"` // with Prune; score proven-masked bits statically
+	// Sections runs the campaign compositionally: one sub-campaign per
+	// program section, composed into whole-program statistics, with
+	// unchanged sections recalled from the artifact store.
+	Sections bool `json:"sections,omitempty"`
 
 	// Scheduling knobs (never outcome-relevant).
 	Workers      int `json:"workers,omitempty"`
@@ -164,6 +168,9 @@ func (s *JobSpec) Normalize() error {
 		if s.Prune || s.MaskStatic || s.Records {
 			return fmt.Errorf("study jobs support neither -prune/-maskstatic nor per-run records")
 		}
+		if s.Sections {
+			return fmt.Errorf("study jobs do not take -sections (submit sectioned campaigns per program)")
+		}
 		return nil
 	}
 
@@ -195,6 +202,14 @@ func (s *JobSpec) Normalize() error {
 		}
 		if s.MaskStatic {
 			return fmt.Errorf("-maskstatic needs -prune (static bit masking composes into pruned campaigns)")
+		}
+	}
+	if s.Sections {
+		if s.Records {
+			return fmt.Errorf("-sections and -reclog/records conflict: sectioned campaigns compose summaries and keep no per-run records")
+		}
+		if s.Shards > 0 {
+			return fmt.Errorf("-sections and -shards conflict: sectioned campaigns partition by program section instead of run range")
 		}
 	}
 	return nil

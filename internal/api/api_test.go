@@ -48,7 +48,10 @@ func TestNormalizeRejections(t *testing.T) {
 		"study w/ benchmark": {JobSpec{Kind: KindStudy, Benchmark: "crc32"}, "study jobs"},
 		"study w/ prune":     {JobSpec{Kind: KindStudy, Prune: true}, "study jobs"},
 		"study w/ records":   {JobSpec{Kind: KindStudy, Records: true}, "study jobs"},
+		"study w/ sections":  {JobSpec{Kind: KindStudy, Sections: true}, "-sections"},
 		"campaign w/ list":   {JobSpec{Benchmark: "crc32", Benchmarks: []string{"qsort"}}, "study jobs"},
+		"sections+records":   {JobSpec{Benchmark: "crc32", Sections: true, Records: true}, "conflict"},
+		"sections+shards":    {JobSpec{Benchmark: "crc32", Sections: true, Shards: 4}, "conflict"},
 	}
 	for name, tc := range cases {
 		t.Run(name, func(t *testing.T) {
@@ -69,6 +72,8 @@ func TestNormalizeRejections(t *testing.T) {
 func TestNormalizeAcceptsValidCombos(t *testing.T) {
 	for name, spec := range map[string]JobSpec{
 		"pruned":      {Benchmark: "crc32", Prune: true, Pilots: 5},
+		"sectioned":   {Benchmark: "crc32", Sections: true},
+		"sec+pruned":  {Benchmark: "crc32", Sections: true, Prune: true, MaskStatic: true},
 		"sharded":     {Benchmark: "crc32", Shards: 4, ShardWorkers: 2},
 		"ir layer":    {IR: "func main() {}", Layer: "ir", Records: true},
 		"study":       {Kind: KindStudy, Benchmarks: []string{"crc32", "qsort"}},

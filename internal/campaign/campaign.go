@@ -240,6 +240,17 @@ type Stats struct {
 	EstRates  [NumOutcomes]float64
 	SDCLo     float64
 	SDCHi     float64
+
+	// Sectioned composition (RunSectioned; implies Pruned — the
+	// statistics are stratified estimates). Sections counts the
+	// sections of the program that executed; SectionsRecalled of them
+	// were served from stored summaries and SectionsExecuted were
+	// estimated with fresh injections, so PilotRuns above is the
+	// incremental re-analysis cost alone.
+	Sectioned        bool
+	Sections         int
+	SectionsExecuted int
+	SectionsRecalled int
 }
 
 // SavedFrac is the fraction of the campaign's total instruction work
@@ -463,6 +474,11 @@ func flushStats(reg *telemetry.Registry, total Stats) {
 			reg.Counter("campaign_prune_masked_sites_total").Add(total.MaskedSites)
 			reg.Counter("campaign_prune_masked_bits_total").Add(total.MaskedBits)
 		}
+	}
+	if total.Sectioned {
+		reg.Counter("campaign_sections_total").Add(int64(total.Sections))
+		reg.Counter("campaign_sections_executed_total").Add(int64(total.SectionsExecuted))
+		reg.Counter("campaign_sections_recalled_total").Add(int64(total.SectionsRecalled))
 	}
 }
 

@@ -62,6 +62,11 @@ type statsJSON struct {
 	MaskedBits  int64   `json:"masked_bits,omitempty"`
 	PilotRuns   int     `json:"pilot_runs,omitempty"`
 	SDCCI       *ciJSON `json:"sdc_ci95,omitempty"`
+
+	Sectioned        bool `json:"sectioned,omitempty"`
+	Sections         int  `json:"sections,omitempty"`
+	SectionsExecuted int  `json:"sections_executed,omitempty"`
+	SectionsRecalled int  `json:"sections_recalled,omitempty"`
 }
 
 type ciJSON struct {
@@ -88,6 +93,10 @@ func (s Stats) MarshalJSON() ([]byte, error) {
 		MaskedSites:      s.MaskedSites,
 		MaskedBits:       s.MaskedBits,
 		PilotRuns:        s.PilotRuns,
+		Sectioned:        s.Sectioned,
+		Sections:         s.Sections,
+		SectionsExecuted: s.SectionsExecuted,
+		SectionsRecalled: s.SectionsRecalled,
 	}
 	if len(j.SDCByOrigin) == 0 {
 		j.SDCByOrigin = nil
@@ -143,6 +152,10 @@ func (s *Stats) UnmarshalJSON(data []byte) error {
 		MaskedSites:      j.MaskedSites,
 		MaskedBits:       j.MaskedBits,
 		PilotRuns:        j.PilotRuns,
+		Sectioned:        j.Sectioned,
+		Sections:         j.Sections,
+		SectionsExecuted: j.SectionsExecuted,
+		SectionsRecalled: j.SectionsRecalled,
 	}
 	for name, n := range j.Counts {
 		o, ok := outcomeByName(name)

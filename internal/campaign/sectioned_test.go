@@ -1,0 +1,260 @@
+package campaign
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"flowery/internal/interp"
+	"flowery/internal/progen"
+	"flowery/internal/section"
+	"flowery/internal/sim"
+	"flowery/internal/stats"
+)
+
+// sectionedTarget builds a random multi-function program whose golden
+// run is clean (progen programs may trap on e.g. divide-by-zero, which
+// campaigns reject; the seeds used below are known-clean).
+func sectionedTarget(seed int64) (*section.Table, EngineFactory) {
+	m := progen.Generate(seed, progen.DefaultConfig())
+	return section.BuildIR(m), factory(m)
+}
+
+// TestSectionedMatchesFull is the differential gate: on an unchanged
+// program the composed sectioned SDC estimate must land inside the full
+// campaign's 95% Wilson interval.
+func TestSectionedMatchesFull(t *testing.T) {
+	table, fac := sectionedTarget(19)
+	spec := Spec{Runs: 4000, Seed: 7}
+	full, err := Run(fac, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunSectioned(fac, spec, SectionedOpts{Table: table})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	if !st.Sectioned || !st.Pruned {
+		t.Fatalf("sectioned stats not flagged: %+v", st)
+	}
+	if st.Sections < 2 {
+		t.Fatalf("want a multi-section program, got %d sections", st.Sections)
+	}
+	if st.SectionsExecuted != st.Sections || st.SectionsRecalled != 0 {
+		t.Fatalf("cold run recalled sections: %d executed, %d recalled", st.SectionsExecuted, st.SectionsRecalled)
+	}
+	total := 0
+	for _, c := range st.Counts {
+		total += c
+	}
+	if total != st.Runs {
+		t.Fatalf("scaled counts sum to %d, want %d", total, st.Runs)
+	}
+	rateSum := 0.0
+	for o := Outcome(0); o < NumOutcomes; o++ {
+		rateSum += st.Rate(o)
+	}
+	if math.Abs(rateSum-1) > 1e-9 {
+		t.Fatalf("composed rates sum to %v, want 1", rateSum)
+	}
+	// Section weights must partition the fault population.
+	var sites int64
+	wSum := 0.0
+	for _, r := range res.Sections {
+		sites += r.Sites
+		wSum += r.Weight
+	}
+	if sites != st.GoldenInjectable || math.Abs(wSum-1) > 1e-9 {
+		t.Fatalf("sections cover %d sites (weight %v), want %d (1)", sites, wSum, st.GoldenInjectable)
+	}
+	_, flo, fhi := full.SDCRateCI()
+	p, plo, phi := st.SDCRateCI()
+	if plo > p || phi < p {
+		t.Fatalf("sectioned CI [%v, %v] excludes its own estimate %v", plo, phi, p)
+	}
+	if p < flo || p > fhi {
+		t.Fatalf("sectioned SDC %v outside full 95%% Wilson interval [%v, %v] (full %v)",
+			p, flo, fhi, full.SDCRate())
+	}
+}
+
+// TestSectionedPrunedMatchesFull checks the composition with
+// class-based pruning: per-section equivalence plans must still compose
+// into an estimate consistent with the full campaign.
+func TestSectionedPrunedMatchesFull(t *testing.T) {
+	table, fac := sectionedTarget(19)
+	full, err := Run(fac, Spec{Runs: 2000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunSectioned(fac, Spec{Runs: 2000, Seed: 7, Pruning: PruneClasses, PilotsPerClass: 4},
+		SectionedOpts{Table: table})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	if st.Classes == 0 || st.PilotRuns == 0 {
+		t.Fatalf("empty sectioned plan: %d classes, %d pilots", st.Classes, st.PilotRuns)
+	}
+	_, flo, fhi := full.SDCRateCI()
+	p, plo, phi := st.SDCRateCI()
+	if phi < flo || plo > fhi {
+		t.Fatalf("sectioned pruned SDC %v [%v, %v] disagrees with full %v [%v, %v]",
+			p, plo, phi, full.SDCRate(), flo, fhi)
+	}
+}
+
+// TestSectionedIncrementalRecall replays a sectioned campaign against
+// the summaries the first run persisted: every section must be
+// recalled, zero injections executed, and the composed statistics must
+// be identical.
+func TestSectionedIncrementalRecall(t *testing.T) {
+	table, fac := sectionedTarget(19)
+	blobs := map[string][]byte{}
+	opts := SectionedOpts{
+		Table:   table,
+		Recall:  func(fp string) ([]byte, bool) { b, ok := blobs[fp]; return b, ok },
+		Persist: func(fp string, b []byte) { blobs[fp] = b },
+	}
+	spec := Spec{Runs: 1500, Seed: 3}
+	cold, err := RunSectioned(fac, spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blobs) != cold.Stats.Sections {
+		t.Fatalf("persisted %d summaries for %d sections", len(blobs), cold.Stats.Sections)
+	}
+	warm, err := RunSectioned(fac, spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Stats.SectionsRecalled != warm.Stats.Sections || warm.Stats.SectionsExecuted != 0 {
+		t.Fatalf("warm run executed sections: %+v", warm.Stats)
+	}
+	if warm.Stats.PilotRuns != 0 {
+		t.Fatalf("warm run injected %d pilots, want 0", warm.Stats.PilotRuns)
+	}
+	if warm.Stats.EstRates != cold.Stats.EstRates || warm.Stats.Counts != cold.Stats.Counts ||
+		warm.Stats.SDCLo != cold.Stats.SDCLo || warm.Stats.SDCHi != cold.Stats.SDCHi ||
+		warm.Stats.SDCByOrigin != cold.Stats.SDCByOrigin {
+		t.Fatalf("recalled composition differs:\ncold %+v\nwarm %+v", cold.Stats, warm.Stats)
+	}
+	for _, r := range warm.Sections {
+		if !r.Recalled {
+			t.Fatalf("section %s not marked recalled", r.Name)
+		}
+	}
+}
+
+// TestSectionedCompositionAssociative is the property test: composing
+// the per-section summaries in any grouping and any order yields the
+// same whole-program estimate, because flattening multiplies each
+// stratum weight by its section weight exactly once no matter how the
+// sections are associated.
+func TestSectionedCompositionAssociative(t *testing.T) {
+	for _, seed := range []int64{9, 11, 16} {
+		table, fac := sectionedTarget(seed)
+		var sums []*SectionSummary
+		opts := SectionedOpts{
+			Table: table,
+			Persist: func(fp string, b []byte) {
+				var s SectionSummary
+				if err := json.Unmarshal(b, &s); err != nil {
+					t.Fatalf("seed %d: bad summary blob: %v", seed, err)
+				}
+				sums = append(sums, &s)
+			},
+		}
+		res, err := RunSectioned(fac, Spec{Runs: 1200, Seed: 13}, opts)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(sums) < 2 {
+			t.Fatalf("seed %d: want multiple sections, got %d", seed, len(sums))
+		}
+		var n int64
+		for _, s := range sums {
+			n += s.Sites
+		}
+		direct := func(order []int) (float64, float64, float64) {
+			secs := make([]stats.SectionStrata, len(order))
+			for i, j := range order {
+				secs[i] = stats.SectionStrata{Weight: float64(sums[j].Sites) / float64(n), Strata: sums[j].OutcomeStrata(OutcomeSDC)}
+			}
+			return stats.ComposeSections(secs, stats.Z95)
+		}
+		ident := make([]int, len(sums))
+		for i := range ident {
+			ident[i] = i
+		}
+		p0, lo0, hi0 := direct(ident)
+		if math.Abs(p0-res.Stats.EstRates[OutcomeSDC]) > 1e-12 ||
+			math.Abs(lo0-res.Stats.SDCLo) > 1e-12 || math.Abs(hi0-res.Stats.SDCHi) > 1e-12 {
+			t.Fatalf("seed %d: recomposed estimate %v [%v, %v] != campaign %v [%v, %v]",
+				seed, p0, lo0, hi0, res.Stats.EstRates[OutcomeSDC], res.Stats.SDCLo, res.Stats.SDCHi)
+		}
+		rng := rand.New(rand.NewSource(seed * 31))
+		for trial := 0; trial < 8; trial++ {
+			// Random partition order.
+			perm := rng.Perm(len(sums))
+			p, lo, hi := direct(perm)
+			if math.Abs(p-p0) > 1e-12 || math.Abs(lo-lo0) > 1e-12 || math.Abs(hi-hi0) > 1e-12 {
+				t.Fatalf("seed %d trial %d: permuted composition %v [%v, %v] != %v [%v, %v]",
+					seed, trial, p, lo, hi, p0, lo0, hi0)
+			}
+			// Random hierarchical grouping: compose each group into one
+			// intermediate section (group-relative weights), then compose
+			// the groups. Associativity means the result is unchanged.
+			k := 2 + rng.Intn(len(sums))
+			groups := make([][]int, k)
+			for _, j := range perm {
+				g := rng.Intn(k)
+				groups[g] = append(groups[g], j)
+			}
+			var outer []stats.SectionStrata
+			for _, g := range groups {
+				if len(g) == 0 {
+					continue
+				}
+				var gs int64
+				for _, j := range g {
+					gs += sums[j].Sites
+				}
+				inner := make([]stats.SectionStrata, len(g))
+				for i, j := range g {
+					inner[i] = stats.SectionStrata{Weight: float64(sums[j].Sites) / float64(gs), Strata: sums[j].OutcomeStrata(OutcomeSDC)}
+				}
+				outer = append(outer, stats.SectionStrata{Weight: float64(gs) / float64(n), Strata: stats.FlattenSections(inner)})
+			}
+			p, lo, hi = stats.ComposeSections(outer, stats.Z95)
+			if math.Abs(p-p0) > 1e-12 || math.Abs(lo-lo0) > 1e-12 || math.Abs(hi-hi0) > 1e-12 {
+				t.Fatalf("seed %d trial %d: grouped composition %v [%v, %v] != %v [%v, %v]",
+					seed, trial, p, lo, hi, p0, lo0, hi0)
+			}
+		}
+	}
+}
+
+func TestSectionedRejectsRecords(t *testing.T) {
+	table, fac := sectionedTarget(19)
+	_, err := RunSectioned(fac, Spec{Runs: 100, Seed: 1, Records: func(Record) {}}, SectionedOpts{Table: table})
+	if err == nil || !strings.Contains(err.Error(), "records") {
+		t.Fatalf("records request accepted (err=%v)", err)
+	}
+	_, err = RunSectioned(fac, Spec{Runs: 100, Seed: 1}, SectionedOpts{})
+	if err == nil || !strings.Contains(err.Error(), "section table") {
+		t.Fatalf("nil table accepted (err=%v)", err)
+	}
+}
+
+func TestSectionedRejectsNonTracingEngine(t *testing.T) {
+	table, _ := sectionedTarget(19)
+	fac := func() (sim.Engine, error) { return opaqueEngine{interp.New(buildTarget())}, nil }
+	_, err := RunSectioned(fac, Spec{Runs: 100, Seed: 1}, SectionedOpts{Table: table})
+	if err == nil || !strings.Contains(err.Error(), "def-use tracing") {
+		t.Fatalf("non-tracing engine accepted (err=%v)", err)
+	}
+}

@@ -65,6 +65,14 @@ type Config struct {
 	// classes — validated up front by the CLIs and rejected by
 	// campaign.Spec.Validate otherwise. Wired from -maskstatic.
 	MaskStatic bool
+	// Sections switches every per-level measurement to compositional
+	// per-section campaigns (campaign.RunSectioned, DESIGN.md §16):
+	// error-propagation summaries are computed per content-hashed
+	// section and composed into whole-program estimates, with summaries
+	// of unchanged sections recalled from the artifact store across
+	// processes. Composes with Pruning and MaskStatic; statistics are
+	// stratified estimates like pruned campaigns'. Wired from -sections.
+	Sections bool
 	// Reference pins every simulated run to the engines' reference
 	// interpretation loop instead of their predecoded fast cores
 	// (sim.Options.Reference). Results are bit-identical; only the wall

@@ -1,0 +1,344 @@
+// Incremental-analysis benchmark: measures what compositional
+// per-section campaigns (campaign.RunSectioned, DESIGN.md §16) buy when
+// a program is edited and re-analysed. For each benchmark × layer it
+// (1) runs a cold sectioned campaign that persists every section's
+// error-propagation summary, (2) applies a one-function edit (a dead
+// computation inserted at the function's entry, so program semantics
+// are unchanged but the function's content hash moves), (3) re-analyses
+// the edited program both ways — a full Monte-Carlo campaign and an
+// incremental sectioned campaign that recalls every untouched section's
+// summary — and reports the injection and wall-clock reduction, whether
+// only the edited sections re-executed, and whether the composed
+// estimate stays inside the full campaign's 95% interval. Each point
+// also reports a knapsack-style budgeted protection placement over the
+// per-section SDC masses (the section analogue of the paper's selective
+// duplication).
+
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"flowery/internal/campaign"
+	"flowery/internal/ir"
+	"flowery/internal/knapsack"
+	"flowery/internal/pipeline"
+	"flowery/internal/store"
+)
+
+// SectionBenchRuns is sectionbench's default full-campaign size
+// (matching prunebench and maskbench: the comparison's sharpness comes
+// from the full side).
+const SectionBenchRuns = 20000
+
+// sectionBenchDefault mirrors maskbench's benchmark pair.
+var sectionBenchDefault = []string{"crc32", "patricia"}
+
+// SectionPlacementBudget is the site budget of the reported placement,
+// as a fraction of the program's dynamic injectable sites.
+const SectionPlacementBudget = 0.5
+
+// SectionPlacement is one section's row of the budgeted-placement
+// table: protecting the section costs its dynamic site count and buys
+// its share of the whole-program SDC rate.
+type SectionPlacement struct {
+	Name     string  `json:"name"`
+	Sites    int64   `json:"sites"`
+	SDC      float64 `json:"sdc"`
+	SDCMass  float64 `json:"sdc_mass"`
+	Selected bool    `json:"selected"`
+}
+
+// SectionPoint is one benchmark × layer incremental-analysis
+// measurement.
+type SectionPoint struct {
+	Benchmark string `json:"benchmark"`
+	Layer     string `json:"layer"` // "ir" or "asm"
+	// EditedFunc is the function the one-function edit touched.
+	EditedFunc string `json:"edited_func"`
+
+	// Population is the edited program's injectable site count;
+	// Sections its section count at this layer.
+	Population int64 `json:"population"`
+	Sections   int   `json:"sections"`
+
+	// BasePilots is the cold sectioned campaign's injection count on
+	// the original program (the cost of building every summary once).
+	BasePilots int `json:"base_pilots"`
+
+	// Runs is the full re-analysis campaign's injection count on the
+	// edited program; IncrPilots is the incremental sectioned
+	// re-analysis's. Reduction is their ratio — the incremental win.
+	Runs       int     `json:"runs"`
+	IncrPilots int     `json:"incr_pilots"`
+	Reduction  float64 `json:"reduction"`
+
+	// Recalled and Executed split the edited program's sections by how
+	// the incremental run served them. OnlyDirty reports the
+	// incrementality contract: a section re-executed if and only if its
+	// content hash was not among the original program's sections.
+	Recalled  int  `json:"recalled"`
+	Executed  int  `json:"executed"`
+	OnlyDirty bool `json:"only_dirty"`
+
+	// FullWallMS and IncrWallMS are the two re-analyses' wall clocks;
+	// WallRatio is full/incremental.
+	FullWallMS float64 `json:"full_wall_ms"`
+	IncrWallMS float64 `json:"incr_wall_ms"`
+	WallRatio  float64 `json:"wall_ratio"`
+
+	FullSDC float64 `json:"full_sdc"`
+	FullLo  float64 `json:"full_sdc_lo"`
+	FullHi  float64 `json:"full_sdc_hi"`
+	SDC     float64 `json:"sdc"`
+	Lo      float64 `json:"sdc_lo"`
+	Hi      float64 `json:"sdc_hi"`
+	// InsideCI reports whether the composed incremental estimate falls
+	// inside the full campaign's 95% interval.
+	InsideCI bool `json:"inside_ci"`
+
+	// Budget is the placement's site budget (SectionPlacementBudget of
+	// Population); CoveredMass the fraction of the whole-program SDC
+	// mass the selected sections cover.
+	Budget      int64              `json:"budget"`
+	CoveredMass float64            `json:"covered_mass"`
+	Placement   []SectionPlacement `json:"placement"`
+}
+
+// editedSource derives a pipeline source from a benchmark with a dead
+// `add i64 1, 2` inserted at the entry of one function: the
+// one-function edit sectionbench measures re-analysis under. The key
+// names the edited function so edited and original modules are distinct
+// pipeline artifacts.
+func editedSource(src pipeline.Source, fn string) pipeline.Source {
+	return pipeline.Source{
+		Key: src.Key + "|edit1:" + fn,
+		Build: func() *ir.Module {
+			m := src.Build()
+			for _, f := range m.Funcs {
+				if f.Name != fn || f.External || len(f.Blocks) == 0 {
+					continue
+				}
+				f.Blocks[0].InsertAt(0, &ir.Instr{
+					Op:   ir.OpAdd,
+					Ty:   ir.I64,
+					Args: []ir.Value{ir.ConstInt(ir.I64, 1), ir.ConstInt(ir.I64, 2)},
+				})
+				return m
+			}
+			panic(fmt.Sprintf("sectionbench: function %q not found in %s", fn, src.Key))
+		},
+	}
+}
+
+// sectionFunc extracts the owning function name from a section's
+// display name ("func" or "func/loop@header").
+func sectionFunc(name string) string {
+	fn, _, _ := strings.Cut(name, "/loop@")
+	return fn
+}
+
+// editTarget picks the function sectionbench edits: the one owning the
+// smallest executed section (ties to the lexicographically first name).
+// Small is the interesting case — the incremental win is largest when
+// the edit touches little of the program — and the pick is
+// deterministic given the cold run's section reports.
+func editTarget(sections []campaign.SectionReport) string {
+	best := -1
+	for i, r := range sections {
+		if best < 0 || r.Sites < sections[best].Sites ||
+			(r.Sites == sections[best].Sites && r.Name < sections[best].Name) {
+			best = i
+		}
+	}
+	return sectionFunc(sections[best].Name)
+}
+
+// RunSectionBench measures incremental re-analysis on the named
+// benchmarks (crc32 and patricia when empty). cfg.Runs of 0 selects
+// SectionBenchRuns. A memory-backed artifact store is supplied when the
+// config carries none, so the cold run's summaries are recallable by
+// the incremental run within the process; with a disk store the recall
+// works across processes too.
+func RunSectionBench(names []string, cfg Config) ([]SectionPoint, error) {
+	if cfg.Runs <= 0 {
+		cfg.Runs = SectionBenchRuns
+	}
+	cfg.Pruning = campaign.PruneNone // both sides run explicitly below
+	cfg.MaskStatic = false
+	cfg.Sections = false
+	cfg = cfg.withDefaults()
+	if cfg.Artifacts == nil {
+		cfg.Artifacts = store.NewMemory(nil)
+	}
+	if len(names) == 0 {
+		names = sectionBenchDefault
+	}
+	bms, err := resolveBenchmarks(names)
+	if err != nil {
+		return nil, err
+	}
+
+	type unit struct {
+		bench int
+		layer pipeline.Layer
+	}
+	var units []unit
+	for i := range bms {
+		for _, l := range []pipeline.Layer{pipeline.LayerIR, pipeline.LayerAsm} {
+			units = append(units, unit{bench: i, layer: l})
+		}
+	}
+
+	study := NewStudy(cfg)
+	points := make([]SectionPoint, len(units))
+	err = pipeline.ForEach(study.Pipeline().Config().Parallel, len(units), func(i int) error {
+		u := units[i]
+		src := pipeline.BenchSource(bms[u.bench])
+		opts := pipeline.CampaignOpts{Layer: u.layer}
+
+		base, err := study.Pipeline().CampaignSectioned(src, pipeline.RawVariant(), opts)
+		if err != nil {
+			return err
+		}
+		target := editTarget(base.Sections)
+		esrc := editedSource(src, target)
+		full, err := study.Pipeline().Campaign(esrc, pipeline.RawVariant(), opts)
+		if err != nil {
+			return err
+		}
+		incr, err := study.Pipeline().CampaignSectioned(esrc, pipeline.RawVariant(), opts)
+		if err != nil {
+			return err
+		}
+
+		// Incrementality contract: re-executed ⟺ content hash is new.
+		baseHash := make(map[string]bool, len(base.Sections))
+		for _, r := range base.Sections {
+			baseHash[r.Hash] = true
+		}
+		onlyDirty := true
+		for _, r := range incr.Sections {
+			if r.Recalled != baseHash[r.Hash] {
+				onlyDirty = false
+			}
+		}
+
+		// Budgeted protection placement over per-section SDC mass.
+		items := make([]knapsack.Item, len(incr.Sections))
+		var mass float64
+		for j, r := range incr.Sections {
+			items[j] = knapsack.Item{Benefit: r.SDCMass, Cost: r.Sites}
+			mass += r.SDCMass
+		}
+		budget := int64(SectionPlacementBudget * float64(incr.Stats.GoldenInjectable))
+		picked := knapsack.Greedy(items, budget)
+		placement := make([]SectionPlacement, len(incr.Sections))
+		for j, r := range incr.Sections {
+			placement[j] = SectionPlacement{Name: r.Name, Sites: r.Sites, SDC: r.SDC, SDCMass: r.SDCMass}
+		}
+		for _, j := range picked {
+			placement[j].Selected = true
+		}
+		covered := 0.0
+		if mass > 0 {
+			covered = knapsack.TotalBenefit(items, picked) / mass
+		}
+
+		fsdc, flo, fhi := full.SDCRateCI()
+		sdc, lo, hi := incr.Stats.SDCRateCI()
+		pilots := incr.Stats.PilotRuns
+		reduction := float64(full.Runs)
+		if pilots > 0 {
+			reduction = float64(full.Runs) / float64(pilots)
+		}
+		wallRatio := 0.0
+		if incr.Stats.Elapsed > 0 {
+			wallRatio = float64(full.Elapsed) / float64(incr.Stats.Elapsed)
+		}
+		points[i] = SectionPoint{
+			Benchmark:  bms[u.bench].Name,
+			Layer:      layerName(u.layer),
+			EditedFunc: target,
+			Population: incr.Stats.GoldenInjectable,
+			Sections:   incr.Stats.Sections,
+			BasePilots: base.Stats.PilotRuns,
+			Runs:       full.Runs,
+			IncrPilots: pilots,
+			Reduction:  reduction,
+			Recalled:   incr.Stats.SectionsRecalled,
+			Executed:   incr.Stats.SectionsExecuted,
+			OnlyDirty:  onlyDirty,
+			FullWallMS: float64(full.Elapsed.Microseconds()) / 1000,
+			IncrWallMS: float64(incr.Stats.Elapsed.Microseconds()) / 1000,
+			WallRatio:  wallRatio,
+			FullSDC:    fsdc, FullLo: flo, FullHi: fhi,
+			SDC: sdc, Lo: lo, Hi: hi,
+			InsideCI:    sdc >= flo && sdc <= fhi,
+			Budget:      budget,
+			CoveredMass: covered,
+			Placement:   placement,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return points, nil
+}
+
+// SectionBench renders the incremental re-analysis table plus each
+// point's budgeted placement.
+func SectionBench(points []SectionPoint) string {
+	var sb strings.Builder
+	sb.WriteString("Incremental sectioned re-analysis after a one-function edit: full re-run vs summary recall\n")
+	sb.WriteString(fmt.Sprintf("%-12s %-5s %-14s %8s %4s %5s/%-4s %8s %8s %7s %9s %9s  %-24s %-8s %6s\n",
+		"benchmark", "layer", "edited", "popul", "sec", "rec", "exec",
+		"full", "incr", "reduct", "full ms", "incr ms", "full SDC [95% CI]", "incr", "inside"))
+	for _, p := range points {
+		verdict := "no"
+		if p.InsideCI {
+			verdict = "yes"
+		}
+		dirty := "!"
+		if p.OnlyDirty {
+			dirty = ""
+		}
+		sb.WriteString(fmt.Sprintf("%-12s %-5s %-14s %8d %4d %5d/%-4d %8d %8d %6.1fx %9.1f %9.1f  %.4f [%.4f, %.4f]  %.4f   %-6s%s\n",
+			p.Benchmark, p.Layer, p.EditedFunc, p.Population, p.Sections,
+			p.Recalled, p.Executed, p.Runs, p.IncrPilots, p.Reduction,
+			p.FullWallMS, p.IncrWallMS,
+			p.FullSDC, p.FullLo, p.FullHi, p.SDC, verdict, dirty))
+	}
+	sb.WriteString("\nBudgeted per-section protection placement (greedy knapsack, 50% site budget):\n")
+	for _, p := range points {
+		sb.WriteString(fmt.Sprintf("%s/%s: budget %d sites, covers %.1f%% of SDC mass\n",
+			p.Benchmark, p.Layer, p.Budget, p.CoveredMass*100))
+		for _, r := range p.Placement {
+			mark := " "
+			if r.Selected {
+				mark = "*"
+			}
+			sb.WriteString(fmt.Sprintf("  %s %-32s %8d sites  sdc %.4f  mass %.5f\n",
+				mark, r.Name, r.Sites, r.SDC, r.SDCMass))
+		}
+	}
+	return sb.String()
+}
+
+// SectionBenchJSON marshals the measurements (the BENCH_7.json
+// artifact).
+func SectionBenchJSON(points []SectionPoint, cfg Config) ([]byte, error) {
+	runs := cfg.Runs
+	if runs <= 0 {
+		runs = SectionBenchRuns
+	}
+	doc := struct {
+		Runs    int            `json:"runs"`
+		Seed    int64          `json:"seed"`
+		Results []SectionPoint `json:"results"`
+	}{runs, cfg.Seed, points}
+	return json.MarshalIndent(doc, "", "  ")
+}

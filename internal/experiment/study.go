@@ -94,13 +94,20 @@ func (s *Study) levelStats(src pipeline.Source, v pipeline.Variant) (LevelStats,
 		PilotsPerClass: s.cfg.PilotsPerClass,
 		MaskStatic:     s.cfg.MaskStatic,
 	}
+	run := func(opts pipeline.CampaignOpts) (campaign.Stats, error) {
+		if s.cfg.Sections {
+			res, err := s.p.CampaignSectioned(src, v, opts)
+			return res.Stats, err
+		}
+		return s.p.Campaign(src, v, opts)
+	}
 	opts.Layer = pipeline.LayerIR
-	irStats, err := s.p.Campaign(src, v, opts)
+	irStats, err := run(opts)
 	if err != nil {
 		return LevelStats{}, err
 	}
 	opts.Layer = pipeline.LayerAsm
-	asmStats, err := s.p.Campaign(src, v, opts)
+	asmStats, err := run(opts)
 	if err != nil {
 		return LevelStats{}, err
 	}

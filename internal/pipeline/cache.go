@@ -20,11 +20,19 @@ const (
 	StageMask     = "mask"
 	StageCampaign = "campaign"
 	StagePrune    = "prune"
+	// StageSectionTable memoizes section tables (internal/section);
+	// StageSection memoizes composed sectioned campaigns. Per-section
+	// summaries themselves live in the persistent store under
+	// program-independent keys, not in this cache — recalling them
+	// across processes is the point of sectioned campaigns.
+	StageSectionTable = "sections"
+	StageSection      = "section"
 )
 
 var stageOrder = []string{
 	StageBuild, StageProfile, StageSelect, StageDup,
 	StageFlowery, StageLower, StageGolden, StageMask, StageCampaign, StagePrune,
+	StageSectionTable, StageSection,
 }
 
 // StageTelemetry is one stage's cache counters. Keys counts distinct

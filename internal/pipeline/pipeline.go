@@ -39,6 +39,7 @@ import (
 	"flowery/internal/interp"
 	"flowery/internal/ir"
 	"flowery/internal/machine"
+	"flowery/internal/section"
 	"flowery/internal/shard"
 	"flowery/internal/sim"
 	"flowery/internal/store"
@@ -652,6 +653,108 @@ func (p *Pipeline) Campaign(src Source, v Variant, opts CampaignOpts) (campaign.
 	return val.(campaign.Stats), nil
 }
 
+// SectionTable builds the variant's section table at a layer
+// (internal/section): the partition of the layer's static instruction
+// space into content-hashed functions and loop sub-sections, computed
+// once per (module, backend config, layer) over exactly the module
+// instance or program the layer's engines execute.
+func (p *Pipeline) SectionTable(src Source, v Variant, layer Layer, bcfg backend.Config) (*section.Table, error) {
+	key := fmt.Sprintf("sections|%s|%s|gpr=%d", p.modKey(src, v), layer, bcfg.GPRScratch)
+	val, err := p.cache.do(StageSectionTable, key, func(_ *telemetry.Span) (any, error) {
+		c, err := p.Compiled(src, v, bcfg)
+		if err != nil {
+			return nil, err
+		}
+		if layer == LayerIR {
+			return section.BuildIR(c.Mod), nil
+		}
+		return section.BuildASM(c.Prog), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return val.(*section.Table), nil
+}
+
+// CampaignSectioned runs (or recalls) a compositional per-section
+// campaign (campaign.RunSectioned). The composed whole-program result
+// is memoized in-process under a sectioned campaign key; the
+// per-section summaries go to the persistent store under keys built
+// from the section fingerprint (content hash + dynamic site count +
+// plan shape) plus ambient identity (layer, backend config, seed, step
+// bound, reference core) — and deliberately NOT the whole-program
+// module key, so an edited program recalls every summary of its
+// untouched sections across processes and floweryd requests.
+func (p *Pipeline) CampaignSectioned(src Source, v Variant, opts CampaignOpts) (campaign.SectionedResult, error) {
+	runs := opts.Runs
+	if runs <= 0 {
+		runs = p.cfg.Runs
+	}
+	key := fmt.Sprintf("section|%s|%s|gpr=%d|runs=%d|seed=%d|snap=%d|maxsteps=%d|ref=%t",
+		p.modKey(src, v), opts.Layer, opts.Backend.GPRScratch, runs, p.cfg.Seed, opts.Snapshots, p.cfg.MaxSteps, p.cfg.Reference)
+	if opts.Pruning != campaign.PruneNone {
+		key += fmt.Sprintf("|prune=%s|k=%d", opts.Pruning, opts.PilotsPerClass)
+	}
+	if opts.MaskStatic {
+		if opts.Pruning == campaign.PruneNone {
+			return campaign.SectionedResult{}, fmt.Errorf("pipeline: campaign %s: MaskStatic requires Pruning: classes", key)
+		}
+		key += "|mask=1"
+	}
+	if opts.Records != nil {
+		return campaign.SectionedResult{}, fmt.Errorf("pipeline: campaign %s: sectioned campaigns have no per-run records", key)
+	}
+	// Ambient identity prefix of per-section store keys: everything
+	// outcome-relevant that the section fingerprint doesn't carry.
+	secPrefix := fmt.Sprintf("secsum|%s|gpr=%d|seed=%d|maxsteps=%d|ref=%t|",
+		opts.Layer, opts.Backend.GPRScratch, p.cfg.Seed, p.cfg.MaxSteps, p.cfg.Reference)
+	val, err := p.cache.do(StageSection, key, func(sp *telemetry.Span) (any, error) {
+		table, err := p.SectionTable(src, v, opts.Layer, opts.Backend)
+		if err != nil {
+			return nil, err
+		}
+		factory, err := p.EngineFactory(src, v, opts.Layer, opts.Backend)
+		if err != nil {
+			return nil, err
+		}
+		spec := campaign.Spec{
+			Runs:           runs,
+			Seed:           p.cfg.Seed,
+			MaxSteps:       p.cfg.MaxSteps,
+			Workers:        p.cfg.CampaignWorkers,
+			Snapshots:      opts.Snapshots,
+			Pruning:        opts.Pruning,
+			PilotsPerClass: opts.PilotsPerClass,
+			Reference:      p.cfg.Reference,
+			Metrics:        p.cfg.Telemetry,
+			TraceSpan:      sp,
+		}
+		if opts.MaskStatic {
+			a, merr := p.Masks(src, v, opts.Layer, opts.Backend)
+			if merr != nil {
+				return nil, merr
+			}
+			spec.Masks = a.Masked
+		}
+		res, err := campaign.RunSectioned(factory, spec, campaign.SectionedOpts{
+			Table:   table,
+			Recall:  func(fp string) ([]byte, bool) { return p.blobGet(secPrefix + fp) },
+			Persist: func(fp string, blob []byte) { p.blobPut(secPrefix+fp, blob) },
+		})
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: campaign %s: %w", key, err)
+		}
+		p.simulated.Add(res.Stats.SimulatedInstrs)
+		p.saved.Add(res.Stats.SavedInstrs)
+		p.pilots.Add(int64(res.Stats.PilotRuns))
+		return &res, nil
+	})
+	if err != nil {
+		return campaign.SectionedResult{}, err
+	}
+	return *val.(*campaign.SectionedResult), nil
+}
+
 // MaskedProbe validates the variant's masking analysis dynamically:
 // it injects samples faults drawn from the statically proven-masked
 // (site, bit) population at the given layer and reports the agreement
@@ -727,6 +830,38 @@ func (p *Pipeline) storePut(key string, st campaign.Stats) {
 	blob, err := json.Marshal(st)
 	if err != nil {
 		p.storeErrors.Inc()
+		return
+	}
+	if err := p.cfg.Artifacts.Put(key, blob); err != nil {
+		p.storeErrors.Inc()
+	}
+}
+
+// blobGet recalls an opaque artifact blob (a per-section campaign
+// summary) from the persistent store, counting hits and misses on the
+// same pipeline_store counters as campaign stats so incremental recall
+// is observable from telemetry.
+func (p *Pipeline) blobGet(key string) ([]byte, bool) {
+	if p.cfg.Artifacts == nil {
+		return nil, false
+	}
+	blob, ok, err := p.cfg.Artifacts.Get(key)
+	if err != nil {
+		p.storeErrors.Inc()
+		return nil, false
+	}
+	if !ok {
+		p.storeMisses.Inc()
+		return nil, false
+	}
+	p.storeHits.Inc()
+	return blob, true
+}
+
+// blobPut persists an opaque artifact blob. Store failures only count —
+// the computation already succeeded.
+func (p *Pipeline) blobPut(key string, blob []byte) {
+	if p.cfg.Artifacts == nil {
 		return
 	}
 	if err := p.cfg.Artifacts.Put(key, blob); err != nil {

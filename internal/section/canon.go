@@ -1,0 +1,100 @@
+package section
+
+import (
+	"fmt"
+	"strings"
+
+	"flowery/internal/ir"
+)
+
+// canonIR renders a set of blocks (one section of a function) in a
+// canonical, position-independent form: values defined inside the
+// section are numbered in definition order ("%s0", "%s1", …), values
+// defined elsewhere in the function are numbered in first-use order
+// ("%x0", "%x1", …), parameters by index, and block labels likewise
+// ("b0" inside, "t0" outside). Nothing in the rendering depends on
+// where the section sits in the function, so inserting or editing
+// instructions in *other* sections of the same function leaves this
+// section's text — and hence its content hash — unchanged. That is the
+// property that lets a loop sub-section's campaign summary survive an
+// edit to the surrounding function body.
+func canonIR(blocks []*ir.Block) string {
+	in := make(map[*ir.Block]bool, len(blocks))
+	for _, b := range blocks {
+		in[b] = true
+	}
+	defs := make(map[*ir.Instr]int) // section-local defs, definition order
+	exts := make(map[*ir.Instr]int) // external defs, first-use order
+	blk := make(map[*ir.Block]int)  // section blocks, layout order
+	tgts := make(map[*ir.Block]int) // external branch targets, first-use order
+	for i, b := range blocks {
+		blk[b] = i
+		for _, instr := range b.Instrs {
+			if instr.HasResult() {
+				defs[instr] = len(defs)
+			}
+		}
+	}
+	operand := func(v ir.Value) string {
+		switch x := v.(type) {
+		case *ir.Instr:
+			if id, ok := defs[x]; ok {
+				return fmt.Sprintf("%%s%d", id)
+			}
+			id, ok := exts[x]
+			if !ok {
+				id = len(exts)
+				exts[x] = id
+			}
+			return fmt.Sprintf("%%x%d", id)
+		case *ir.Param:
+			return fmt.Sprintf("%%p%d", x.Index)
+		default:
+			// Constants and globals render position-independently already.
+			return v.OperandString()
+		}
+	}
+	label := func(b *ir.Block) string {
+		if id, ok := blk[b]; ok {
+			return fmt.Sprintf("b%d", id)
+		}
+		id, ok := tgts[b]
+		if !ok {
+			id = len(tgts)
+			tgts[b] = id
+		}
+		return fmt.Sprintf("t%d", id)
+	}
+
+	var sb strings.Builder
+	for _, b := range blocks {
+		fmt.Fprintf(&sb, "b%d:\n", blk[b])
+		for _, instr := range b.Instrs {
+			sb.WriteString("  ")
+			if instr.HasResult() {
+				fmt.Fprintf(&sb, "%s = ", operand(instr))
+			}
+			fmt.Fprintf(&sb, "%s %s", instr.Op, instr.Ty)
+			if instr.Pred != 0 {
+				fmt.Fprintf(&sb, " %s", instr.Pred)
+			}
+			if instr.Aux != 0 {
+				fmt.Fprintf(&sb, " aux=%d", instr.Aux)
+			}
+			if instr.Callee != nil {
+				fmt.Fprintf(&sb, " @%s", instr.Callee.Name)
+			}
+			for _, a := range instr.Args {
+				fmt.Fprintf(&sb, " %s", operand(a))
+			}
+			for _, t := range instr.Blocks {
+				fmt.Fprintf(&sb, " %%%s", label(t))
+			}
+			if instr.Prot.IsDup || instr.Prot.IsChecker || instr.Prot.IsFlowery {
+				fmt.Fprintf(&sb, " ; prot=%t%t%t", instr.Prot.IsDup, instr.Prot.IsChecker, instr.Prot.IsFlowery)
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}

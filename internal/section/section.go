@@ -1,0 +1,414 @@
+// Package section splits a compiled program into sections — functions,
+// with large loop nests broken out as sub-sections at IR level — and
+// gives each one a content hash that is stable under edits elsewhere in
+// the program. Sections are the unit of incremental fault-injection
+// analysis (FastFlip, arXiv:2403.13989): a per-section campaign summary
+// keyed by the section's content hash survives edits to other
+// functions, so re-analysing an edited program only re-injects the
+// sections whose hash (or dynamic footprint) changed.
+//
+// The section table lives at the static-instruction level of one
+// execution layer and uses exactly that layer's static index space:
+//
+//   - IR: the interpreter's flat module-wide instruction index
+//     (function declaration order × block order × instruction order —
+//     the same enumeration ir.Module.EnumerateInstrs and
+//     bitmask.AnalyzeIR use).
+//   - asm: the machine's flat code index over asm.Program.Funcs with
+//     label markers excluded, matching machine's link().
+//
+// Content hashes are position-independent. At IR level each section —
+// a loop sub-section or the function remainder — hashes a canonical
+// rendering of exactly its own blocks (see canonIR): values and branch
+// targets are numbered section-locally, so editing one section of a
+// function leaves every other section's hash unchanged, within the
+// same function and across functions. At asm level sections are whole
+// functions hashed over asm.Func.String(), which names labels and
+// operands function-locally; asm sections stay function-granular
+// because lowering (notably register allocation) mixes the whole
+// function, so a sub-function edit legitimately rewrites the
+// function's entire assembly — a cross-layer asymmetry DESIGN.md §16
+// discusses.
+package section
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"flowery/internal/asm"
+	"flowery/internal/equiv"
+	"flowery/internal/ir"
+)
+
+// Sub-sectioning thresholds: a function is split around its outermost
+// natural loops only when it is big enough for the split to matter and
+// the loop body is a substantial proper subset of it.
+const (
+	// loopFuncMin is the minimum static instruction count of a function
+	// before loop sub-sections are considered.
+	loopFuncMin = 48
+	// loopBodyMin is the minimum static instruction count of a loop
+	// body to become its own sub-section.
+	loopBodyMin = 16
+)
+
+// Section is one unit of incremental analysis.
+type Section struct {
+	// ID indexes Table.Sections.
+	ID int
+	// Func is the containing function's name.
+	Func string
+	// Name is the display name: the function name, or
+	// "func/loop@header" for a loop sub-section.
+	Name string
+	// Hash is the hex sha256 content hash of the section. It depends
+	// only on the containing function's own text (plus the loop header
+	// name for sub-sections), never on the rest of the program.
+	Hash string
+	// Static is the number of static instructions the section covers.
+	Static int
+}
+
+// Table maps one layer's static instruction index space onto sections.
+type Table struct {
+	// Layer is "ir" or "asm".
+	Layer string
+	// Sections lists the sections in static index order of their first
+	// instruction.
+	Sections []Section
+
+	secOf []int32 // static index → section ID
+}
+
+// NumStatic is the size of the static index space the table covers.
+func (t *Table) NumStatic() int { return len(t.secOf) }
+
+// SectionOf returns the section ID owning a static instruction index,
+// or -1 when the index is out of range.
+func (t *Table) SectionOf(static int32) int {
+	if static < 0 || int(static) >= len(t.secOf) {
+		return -1
+	}
+	return int(t.secOf[static])
+}
+
+// hashText returns the hex sha256 of the concatenated parts, separated
+// by NUL so distinct part lists cannot collide by concatenation.
+func hashText(parts ...string) string {
+	h := sha256.New()
+	for i, p := range parts {
+		if i > 0 {
+			h.Write([]byte{0})
+		}
+		h.Write([]byte(p))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// BuildIR builds the section table of a module at the IR layer:
+// one section per non-external function, with each sufficiently large
+// outermost natural loop split out as a sub-section. Static indices
+// follow the interpreter's module-wide enumeration.
+func BuildIR(m *ir.Module) *Table {
+	t := &Table{Layer: "ir"}
+	for _, f := range m.Funcs {
+		if f.External || len(f.Blocks) == 0 {
+			continue
+		}
+		loops := outerLoops(f)
+
+		// Gather each section's blocks in layout order; the hash covers
+		// only those blocks, canonically renumbered, so a section's hash
+		// survives edits to the function's other sections.
+		var remainder []*ir.Block
+		loopBlocks := make(map[*ir.Block][]*ir.Block) // header → blocks
+		for _, b := range f.Blocks {
+			if h := loops[b]; h != nil {
+				loopBlocks[h] = append(loopBlocks[h], b)
+			} else {
+				remainder = append(remainder, b)
+			}
+		}
+
+		// Section per accepted loop (keyed by header block), plus the
+		// function remainder. IDs are assigned on first instruction. The
+		// function name enters the hash so structurally identical code in
+		// different functions keeps distinct summaries (their calling
+		// context differs); the loop header's name disambiguates multiple
+		// identical loops within one function.
+		loopSec := make(map[*ir.Block]int) // header → section ID
+		funcSec := -1
+		secID := func(header *ir.Block) int {
+			if header != nil {
+				id, ok := loopSec[header]
+				if !ok {
+					id = len(t.Sections)
+					t.Sections = append(t.Sections, Section{
+						ID:   id,
+						Func: f.Name,
+						Name: f.Name + "/loop@" + header.Name,
+						Hash: hashText("func:"+f.Name, "loop@"+header.Name, canonIR(loopBlocks[header])),
+					})
+					loopSec[header] = id
+				}
+				return id
+			}
+			if funcSec < 0 {
+				funcSec = len(t.Sections)
+				t.Sections = append(t.Sections, Section{
+					ID:   funcSec,
+					Func: f.Name,
+					Name: f.Name,
+					Hash: hashText("func:"+f.Name, canonIR(remainder)),
+				})
+			}
+			return funcSec
+		}
+		for _, b := range f.Blocks {
+			header := loops[b]
+			for range b.Instrs {
+				id := secID(header)
+				t.secOf = append(t.secOf, int32(id))
+				t.Sections[id].Static++
+			}
+		}
+	}
+	return t
+}
+
+// outerLoops finds the outermost natural loops of a function large
+// enough to sub-section (see loopFuncMin/loopBodyMin) and returns a
+// block → loop-header map for the blocks they own (nil-safe lookups:
+// blocks outside any accepted loop are absent).
+func outerLoops(f *ir.Function) map[*ir.Block]*ir.Block {
+	if f.NumInstrs() < loopFuncMin {
+		return nil
+	}
+	pos := make(map[*ir.Block]int, len(f.Blocks))
+	for i, b := range f.Blocks {
+		pos[b] = i
+	}
+	preds := make(map[*ir.Block][]*ir.Block)
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs() {
+			preds[s] = append(preds[s], b)
+		}
+	}
+	dom := dominators(f, preds)
+
+	// Natural loop per back edge u→h (h dominates u), merged by header.
+	bodies := make(map[*ir.Block]map[*ir.Block]bool) // header → body set
+	for _, u := range f.Blocks {
+		for _, h := range u.Succs() {
+			if !dom[u][pos[h]] {
+				continue
+			}
+			body := bodies[h]
+			if body == nil {
+				body = map[*ir.Block]bool{h: true}
+				bodies[h] = body
+			}
+			// Backward reachability from the latch, stopping at the header.
+			stack := []*ir.Block{u}
+			for len(stack) > 0 {
+				b := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if body[b] {
+					continue
+				}
+				body[b] = true
+				stack = append(stack, preds[b]...)
+			}
+		}
+	}
+
+	// Accept loops largest-first so nested loops fold into their
+	// outermost enclosing loop; require the body to be a substantial
+	// proper subset of the function.
+	type loop struct {
+		header *ir.Block
+		body   map[*ir.Block]bool
+		instrs int
+	}
+	var loops []loop
+	for h, body := range bodies {
+		n := 0
+		for b := range body {
+			n += len(b.Instrs)
+		}
+		if n >= loopBodyMin && n < f.NumInstrs() {
+			loops = append(loops, loop{h, body, n})
+		}
+	}
+	// Deterministic order: size descending, header layout position
+	// ascending as the tie-break.
+	for i := 1; i < len(loops); i++ {
+		for j := i; j > 0; j-- {
+			a, b := &loops[j-1], &loops[j]
+			if b.instrs > a.instrs || (b.instrs == a.instrs && pos[b.header] < pos[a.header]) {
+				*a, *b = *b, *a
+			} else {
+				break
+			}
+		}
+	}
+	owner := make(map[*ir.Block]*ir.Block)
+	for _, l := range loops {
+		claimed := false
+		for b := range l.body {
+			if owner[b] != nil {
+				claimed = true
+				break
+			}
+		}
+		if claimed {
+			continue
+		}
+		for b := range l.body {
+			owner[b] = l.header
+		}
+	}
+	if len(owner) == 0 {
+		return nil
+	}
+	return owner
+}
+
+// dominators computes the dominator sets of a function's blocks with
+// the classic iterative dataflow: dom[b] is a bitset over block layout
+// positions, dom[b][i] true when block i dominates b. Functions here
+// are small (at most a few hundred blocks), so the quadratic bitset
+// algorithm is plenty.
+func dominators(f *ir.Function, preds map[*ir.Block][]*ir.Block) map[*ir.Block][]bool {
+	n := len(f.Blocks)
+	pos := make(map[*ir.Block]int, n)
+	for i, b := range f.Blocks {
+		pos[b] = i
+	}
+	all := make([]bool, n)
+	for i := range all {
+		all[i] = true
+	}
+	dom := make(map[*ir.Block][]bool, n)
+	for i, b := range f.Blocks {
+		d := make([]bool, n)
+		if i == 0 {
+			d[0] = true
+		} else {
+			copy(d, all)
+		}
+		dom[b] = d
+	}
+	for changed := true; changed; {
+		changed = false
+		for i, b := range f.Blocks {
+			if i == 0 {
+				continue
+			}
+			d := make([]bool, n)
+			first := true
+			for _, p := range preds[b] {
+				pd := dom[p]
+				if first {
+					copy(d, pd)
+					first = false
+				} else {
+					for j := range d {
+						d[j] = d[j] && pd[j]
+					}
+				}
+			}
+			if first {
+				// Unreachable block: dominated by everything by convention.
+				copy(d, all)
+			}
+			d[i] = true
+			cur := dom[b]
+			for j := range d {
+				if d[j] != cur[j] {
+					dom[b] = d
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return dom
+}
+
+// BuildASM builds the section table of an assembly program: one section
+// per function, indexed by the machine's flat label-free code index.
+// Function text (asm.Func.String) uses function-local labels and
+// symbolic operands, so it is position-independent like the IR side;
+// loop sub-sectioning happens at IR level only.
+func BuildASM(p *asm.Program) *Table {
+	t := &Table{Layer: "asm"}
+	for _, f := range p.Funcs {
+		n := 0
+		for _, in := range f.Instrs {
+			if in.Op != asm.OpLabel {
+				n++
+			}
+		}
+		if n == 0 {
+			continue
+		}
+		id := len(t.Sections)
+		t.Sections = append(t.Sections, Section{
+			ID:     id,
+			Func:   f.Name,
+			Name:   f.Name,
+			Hash:   hashText(f.String()),
+			Static: n,
+		})
+		for i := 0; i < n; i++ {
+			t.secOf = append(t.secOf, int32(id))
+		}
+	}
+	return t
+}
+
+// Sub is one section's slice of an equivalence partition: the classes
+// whose defining static instruction falls in the section, with the
+// population and dead-site totals restricted to them. Pilot faults
+// drawn from a Sub's class samples are valid whole-program faults (the
+// samples carry absolute dynamic target indices).
+type Sub struct {
+	// ID is the owning section (indexes Table.Sections).
+	ID int
+	// Part is the restricted partition: Population is the section's
+	// dynamic injectable site count.
+	Part equiv.Partition
+}
+
+// Split partitions an equivalence partition by section. Every class
+// belongs to exactly one section (a class is keyed by one static
+// instruction), so the sub-populations sum to part.Population exactly.
+// Sections that never executed (no classes) are omitted. An error is
+// returned if a class's static index is outside the table — the
+// partition and table were built from different programs.
+func (t *Table) Split(part equiv.Partition) ([]Sub, error) {
+	idx := make(map[int]int) // section ID → subs index
+	var subs []Sub
+	for _, cl := range part.Classes {
+		id := t.SectionOf(cl.Static)
+		if id < 0 {
+			return nil, fmt.Errorf("section: class static index %d outside the %s table (%d static instrs)",
+				cl.Static, t.Layer, t.NumStatic())
+		}
+		si, ok := idx[id]
+		if !ok {
+			si = len(subs)
+			subs = append(subs, Sub{ID: id})
+			idx[id] = si
+		}
+		sub := &subs[si]
+		sub.Part.Classes = append(sub.Part.Classes, cl)
+		sub.Part.Population += cl.Size
+		if cl.Dead {
+			sub.Part.DeadSites += cl.Size
+		}
+	}
+	return subs, nil
+}

@@ -1,0 +1,232 @@
+package section
+
+import (
+	"strings"
+	"testing"
+
+	"flowery/internal/backend"
+	"flowery/internal/bench"
+	"flowery/internal/ir"
+	"flowery/internal/progen"
+)
+
+// editFunc inserts a dead `add i64 1, 2` at the top of the named
+// function's entry block: a semantics-preserving one-function edit that
+// must change only that function's sections.
+func editFunc(m *ir.Module, name string) {
+	for _, f := range m.Funcs {
+		if f.Name != name || f.External || len(f.Blocks) == 0 {
+			continue
+		}
+		f.Blocks[0].InsertAt(0, &ir.Instr{
+			Op:   ir.OpAdd,
+			Ty:   ir.I64,
+			Args: []ir.Value{ir.ConstInt(ir.I64, 1), ir.ConstInt(ir.I64, 2)},
+		})
+		return
+	}
+	panic("section_test: function not found: " + name)
+}
+
+func TestBuildIRCoversModule(t *testing.T) {
+	m := progen.Generate(19, progen.DefaultConfig())
+	tab := BuildIR(m)
+	want := 0
+	for _, f := range m.Funcs {
+		want += f.NumInstrs()
+	}
+	if tab.NumStatic() != want {
+		t.Fatalf("table covers %d static instrs, module has %d", tab.NumStatic(), want)
+	}
+	sum := 0
+	for _, s := range tab.Sections {
+		if s.Static == 0 {
+			t.Fatalf("empty section %q", s.Name)
+		}
+		sum += s.Static
+	}
+	if sum != want {
+		t.Fatalf("section sizes sum to %d, want %d", sum, want)
+	}
+	for i := 0; i < tab.NumStatic(); i++ {
+		if id := tab.SectionOf(int32(i)); id < 0 || id >= len(tab.Sections) {
+			t.Fatalf("static %d maps to section %d", i, id)
+		}
+	}
+	if tab.SectionOf(-1) != -1 || tab.SectionOf(int32(tab.NumStatic())) != -1 {
+		t.Fatal("out-of-range static index not rejected")
+	}
+}
+
+// TestHashStableUnderEdit is the load-bearing incrementality property:
+// a one-function edit changes that function's section hashes and no
+// others.
+func TestHashStableUnderEdit(t *testing.T) {
+	base := progen.Generate(19, progen.DefaultConfig())
+	edited := progen.Generate(19, progen.DefaultConfig())
+	var target string
+	for _, f := range edited.Funcs {
+		if !f.External && len(f.Blocks) > 0 {
+			target = f.Name
+			break
+		}
+	}
+	editFunc(edited, target)
+
+	bt := BuildIR(base)
+	et := BuildIR(edited)
+	if et.NumStatic() != bt.NumStatic()+1 {
+		t.Fatalf("edit added %d static instrs, want 1", et.NumStatic()-bt.NumStatic())
+	}
+	baseHash := map[string]string{}
+	for _, s := range bt.Sections {
+		baseHash[s.Name] = s.Hash
+	}
+	changed := 0
+	for _, s := range et.Sections {
+		old, ok := baseHash[s.Name]
+		if s.Func == target {
+			// The entry-block edit must change the remainder section;
+			// loop sub-sections of the same function hash only their own
+			// blocks and may legitimately survive.
+			if s.Name == target {
+				if ok && old == s.Hash {
+					t.Errorf("edited function section %q kept hash %s", s.Name, s.Hash)
+				}
+				changed++
+			}
+			continue
+		}
+		if !ok {
+			t.Errorf("section %q appeared without an edit", s.Name)
+		} else if old != s.Hash {
+			t.Errorf("untouched section %q changed hash", s.Name)
+		}
+	}
+	if changed == 0 {
+		t.Fatal("edited function produced no sections")
+	}
+}
+
+// TestLoopHashSurvivesRemainderEdit pins the within-function
+// incrementality property: an edit outside a loop sub-section leaves
+// the loop's hash unchanged (its canonical rendering covers only its
+// own blocks), while the remainder section's hash moves.
+func TestLoopHashSurvivesRemainderEdit(t *testing.T) {
+	bm, ok := bench.ByName("crc32")
+	if !ok {
+		t.Fatal("crc32 benchmark not registered")
+	}
+	base := bm.Build()
+	edited := bm.Build()
+	editFunc(edited, "main")
+
+	bt := BuildIR(base)
+	et := BuildIR(edited)
+	baseHash := map[string]string{}
+	loops := 0
+	for _, s := range bt.Sections {
+		baseHash[s.Name] = s.Hash
+		if strings.Contains(s.Name, "/loop@") {
+			loops++
+		}
+	}
+	if loops == 0 {
+		t.Fatal("crc32 produced no loop sub-sections")
+	}
+	for _, s := range et.Sections {
+		old, ok := baseHash[s.Name]
+		if !ok {
+			t.Fatalf("section %q appeared after edit", s.Name)
+		}
+		if strings.Contains(s.Name, "/loop@") {
+			if old != s.Hash {
+				t.Errorf("loop section %q changed hash under an entry-block edit", s.Name)
+			}
+		} else if old == s.Hash {
+			t.Errorf("remainder section %q kept hash under an entry-block edit", s.Name)
+		}
+	}
+}
+
+func TestLoopSubSections(t *testing.T) {
+	m := ir.NewModule("loops")
+	g := m.NewGlobalI64("data", make([]int64, 64))
+	f := m.NewFunction("main", ir.I64)
+	b := ir.NewBuilder(f)
+	acc := b.AllocVar(ir.I64)
+	b.Store(ir.ConstInt(ir.I64, 0), acc)
+	b.ForLoop("i", ir.ConstInt(ir.I64, 0), ir.ConstInt(ir.I64, 64), ir.ConstInt(ir.I64, 1), func(i ir.Value) {
+		v := b.LoadElem(ir.I64, g, i)
+		x := b.Add(v, i)
+		x = b.Mul(x, ir.ConstInt(ir.I64, 3))
+		x = b.Add(x, b.Mul(v, v))
+		x = b.Sub(x, b.Mul(i, i))
+		x = b.Add(x, b.Load(ir.I64, acc))
+		b.Store(x, acc)
+	})
+	// Pad the function body so it clears loopFuncMin outside the loop.
+	v := b.Load(ir.I64, acc)
+	for k := 0; k < 30; k++ {
+		v = b.Add(v, ir.ConstInt(ir.I64, int64(k)))
+	}
+	b.PrintI64(v)
+	b.Ret(ir.ConstInt(ir.I64, 0))
+
+	tab := BuildIR(m)
+	var loop, plain int
+	for _, s := range tab.Sections {
+		if s.Func != "main" {
+			continue
+		}
+		if strings.Contains(s.Name, "/loop@") {
+			loop++
+		} else {
+			plain++
+		}
+	}
+	if loop == 0 || plain == 0 {
+		t.Fatalf("want loop sub-section plus remainder, got sections %+v", tab.Sections)
+	}
+}
+
+// TestBuildASMStable checks the asm table's position independence: the
+// same one-function edit leaves every other function's asm hash intact
+// even though the edit shifts all downstream code indices.
+func TestBuildASMStable(t *testing.T) {
+	base := progen.Generate(19, progen.DefaultConfig())
+	edited := progen.Generate(19, progen.DefaultConfig())
+	var target string
+	for _, f := range edited.Funcs {
+		if !f.External && len(f.Blocks) > 0 {
+			target = f.Name
+			break
+		}
+	}
+	editFunc(edited, target)
+	bp, err := backend.Lower(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep, err := backend.Lower(edited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt := BuildASM(bp)
+	et := BuildASM(ep)
+	if bt.Layer != "asm" || bt.NumStatic() == 0 {
+		t.Fatalf("bad asm table: %+v", bt)
+	}
+	baseHash := map[string]string{}
+	for _, s := range bt.Sections {
+		baseHash[s.Name] = s.Hash
+	}
+	for _, s := range et.Sections {
+		if s.Func == target {
+			continue
+		}
+		if old, ok := baseHash[s.Name]; !ok || old != s.Hash {
+			t.Errorf("untouched asm section %q changed hash (have %v, had %v)", s.Name, s.Hash, old)
+		}
+	}
+}

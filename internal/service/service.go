@@ -453,9 +453,22 @@ func (m *Manager) runCampaign(j *job) error {
 		}
 	}
 
-	st, err := pl.Campaign(src, variant(j.spec), opts)
-	if err != nil {
-		return err
+	var st campaign.Stats
+	if j.spec.Sections {
+		// Sectioned campaigns compose per-section summaries; unchanged
+		// sections are recalled from the shared artifact store, so a
+		// re-submitted spec after a one-function edit re-injects only the
+		// sections that changed.
+		res, serr := pl.CampaignSectioned(src, variant(j.spec), opts)
+		if serr != nil {
+			return serr
+		}
+		st = res.Stats
+	} else {
+		st, err = pl.Campaign(src, variant(j.spec), opts)
+		if err != nil {
+			return err
+		}
 	}
 	if logW != nil {
 		if recErr != nil {

@@ -267,6 +267,54 @@ func TestRepeatedSpecServedFromStore(t *testing.T) {
 	}
 }
 
+// TestSectionedJobRecallsSections submits the same sectioned campaign
+// twice against a shared artifact store: the composed statistics are
+// never stored whole, so the second job re-composes — but every
+// per-section summary is recalled, so it injects zero faults.
+func TestSectionedJobRecallsSections(t *testing.T) {
+	reg := telemetry.New()
+	st := store.NewMemory(reg)
+	m, c := newTestServer(t, Config{Artifacts: st, Telemetry: reg})
+
+	spec := testSpec()
+	spec.Sections = true
+	spec.Layer = "ir"
+	sr1, err := c.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := waitDone(t, c, sr1.ID)
+	if !first.Stats.Sectioned || first.Stats.Sections == 0 {
+		t.Fatalf("job stats not sectioned: %+v", first.Stats)
+	}
+	if first.Stats.SectionsExecuted != first.Stats.Sections || first.Stats.SectionsRecalled != 0 {
+		t.Fatalf("cold job recalled sections: %+v", first.Stats)
+	}
+
+	sr2, err := c.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second := waitDone(t, c, sr2.ID)
+	if second.Stats.SectionsRecalled != second.Stats.Sections || second.Stats.SectionsExecuted != 0 {
+		t.Fatalf("warm job executed sections: %+v", second.Stats)
+	}
+	if second.Stats.PilotRuns != 0 {
+		t.Fatalf("warm job injected %d faults, want 0", second.Stats.PilotRuns)
+	}
+	if second.Stats.EstRates != first.Stats.EstRates || second.Stats.Counts != first.Stats.Counts {
+		t.Fatalf("recalled composition diverges:\nfirst  %+v\nsecond %+v", first.Stats, second.Stats)
+	}
+	// The recall is observable on the second job's own registry.
+	j2 := m.lookup(sr2.ID)
+	if j2 == nil {
+		t.Fatalf("manager lost job %s", sr2.ID)
+	}
+	if hits := j2.reg.Counter("pipeline_store_hits_total").Value(); hits < int64(second.Stats.Sections) {
+		t.Fatalf("pipeline_store_hits_total = %d, want >= %d (one per section)", hits, second.Stats.Sections)
+	}
+}
+
 func TestValidationFailsAtSubmit(t *testing.T) {
 	_, c := newTestServer(t, Config{})
 	for name, spec := range map[string]api.JobSpec{

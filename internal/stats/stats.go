@@ -177,6 +177,51 @@ func MergeStrata(parts ...[]Stratum) []Stratum {
 	return merged
 }
 
+// SectionStrata is one program section's self-contained stratified
+// estimate: the section's share of the whole-program fault population
+// plus its within-section strata, whose weights sum to 1 over the
+// section. Keeping the inner weights section-relative is what makes a
+// stored section summary reusable across program edits — the section's
+// own strata never mention the rest of the program, and only the outer
+// Weight is recomputed when sections are composed.
+type SectionStrata struct {
+	// Weight is the section's share of the whole-program population.
+	Weight float64
+	// Strata are the within-section strata (weights sum to 1).
+	Strata []Stratum
+}
+
+// FlattenSections rescales per-section strata into one whole-program
+// stratification: each inner stratum's global weight is the product of
+// its section weight and its within-section weight. The flattening is
+// exact — products of floats are associative-free of the grouping (each
+// global weight is computed by the same single multiplication whatever
+// order sections arrive in) — so composition is associative and
+// independent of how the program was partitioned into section groups:
+// flattening a grouped hierarchy level by level multiplies the same
+// factors and sums the same variance terms.
+func FlattenSections(secs []SectionStrata) []Stratum {
+	var out []Stratum
+	for _, sec := range secs {
+		for _, s := range sec.Strata {
+			s.Weight *= sec.Weight
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// ComposeSections composes per-section stratified estimates into the
+// whole-program rate with a stratified confidence interval at quantile
+// z: the point estimate is Σ_S w_S Σ_h w_h·p_h and the variance sums
+// (w_S·w_h)² per non-exact stratum — the same Wilson-compatible normal
+// machinery StratifiedCI applies to a single-level stratification, so a
+// composed sectioned campaign and a flat pruned campaign report
+// intervals on the same scale.
+func ComposeSections(secs []SectionStrata, z float64) (p, lo, hi float64) {
+	return StratifiedCI(FlattenSections(secs), z)
+}
+
 // Mean returns the arithmetic mean of xs (0 for empty input).
 func Mean(xs []float64) float64 {
 	if len(xs) == 0 {

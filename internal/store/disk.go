@@ -94,10 +94,22 @@ func OpenDisk(dir string, opts DiskOptions) (*Disk, error) {
 		refs:  make(map[string]int),
 		mt:    newMetrics(opts.Metrics),
 	}
-	if err := d.loadIndex(); err != nil {
+	lines, err := d.loadIndex()
+	if err != nil {
 		return nil, err
 	}
 	d.sweepObjects()
+	// A store abandoned without Close leaves every superseded put and
+	// eviction tombstone in the manifest. Replay tolerates them, but they
+	// cost startup time and disk forever, so once dead lines outnumber
+	// live entries the manifest is rewritten compactly — the same
+	// rewrite Close performs, just brought forward.
+	if dead := lines - len(d.index); dead > len(d.index) && dead > 0 {
+		if err := d.rewriteIndexLocked(); err != nil {
+			return nil, err
+		}
+		d.mt.compactions.Inc()
+	}
 	log, err := os.OpenFile(d.indexPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
@@ -113,26 +125,31 @@ func (d *Disk) objectPath(hash string) string {
 	return filepath.Join(d.root, "objects", hash[:2], hash[2:])
 }
 
-// loadIndex replays the manifest. Unparseable lines (a torn final
-// append after a crash) end the replay; entries whose blob is missing
-// are dropped. The surviving line order doubles as the initial LRU
-// order: compaction on Close writes entries least-recently-used first.
-func (d *Disk) loadIndex() error {
+// loadIndex replays the manifest, returning the number of lines
+// consumed (the open-time compaction trigger compares it against the
+// live entry count). Unparseable lines (a torn final append after a
+// crash) end the replay; entries whose blob is missing are dropped. The
+// surviving line order doubles as the initial LRU order: compaction
+// writes entries least-recently-used first.
+func (d *Disk) loadIndex() (int, error) {
 	f, err := os.Open(d.indexPath())
 	if errors.Is(err, os.ErrNotExist) {
-		return nil
+		return 0, nil
 	}
 	if err != nil {
-		return fmt.Errorf("store: %w", err)
+		return 0, fmt.Errorf("store: %w", err)
 	}
 	defer f.Close()
+	lines := 0
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
 	for sc.Scan() {
 		var ln indexLine
 		if json.Unmarshal(sc.Bytes(), &ln) != nil || ln.K == "" {
-			break // torn tail; everything before it is intact
+			lines++ // the torn tail itself is dead weight
+			break   // everything before it is intact
 		}
+		lines++
 		if ln.D {
 			d.forgetLocked(ln.K)
 			continue
@@ -151,7 +168,7 @@ func (d *Disk) loadIndex() error {
 			d.total += ln.S
 		}
 	}
-	return sc.Err()
+	return lines, sc.Err()
 }
 
 // forgetLocked removes key from the in-memory index without touching
@@ -391,16 +408,12 @@ func (d *Disk) TotalBytes() int64 {
 	return d.total
 }
 
-// Close compacts the index manifest — one line per live key, LRU order
-// preserved — via an atomic rename, then releases the append handle.
-func (d *Disk) Close() error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.log == nil {
-		return nil
-	}
-	d.log.Close()
-	d.log = nil
+// rewriteIndexLocked writes a compact manifest — one line per live key,
+// LRU order preserved — and renames it over index.log atomically. The
+// append handle, if open, must be reopened by the caller afterward (the
+// two call sites, OpenDisk and Close, have none and are closing it
+// respectively).
+func (d *Disk) rewriteIndexLocked() error {
 	tmp, err := os.CreateTemp(filepath.Join(d.root, "tmp"), "index-*")
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
@@ -431,4 +444,17 @@ func (d *Disk) Close() error {
 		return fmt.Errorf("store: %w", err)
 	}
 	return nil
+}
+
+// Close compacts the index manifest via an atomic rename, then releases
+// the append handle.
+func (d *Disk) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.log == nil {
+		return nil
+	}
+	d.log.Close()
+	d.log = nil
+	return d.rewriteIndexLocked()
 }

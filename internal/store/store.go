@@ -42,24 +42,26 @@ type Store interface {
 // metrics is the counter set every implementation reports into (no-ops
 // on a nil registry).
 type metrics struct {
-	hits      *telemetry.Counter
-	misses    *telemetry.Counter
-	puts      *telemetry.Counter
-	putBytes  *telemetry.Counter
-	evictions *telemetry.Counter
-	errors    *telemetry.Counter
-	bytes     *telemetry.Gauge
+	hits        *telemetry.Counter
+	misses      *telemetry.Counter
+	puts        *telemetry.Counter
+	putBytes    *telemetry.Counter
+	evictions   *telemetry.Counter
+	errors      *telemetry.Counter
+	compactions *telemetry.Counter
+	bytes       *telemetry.Gauge
 }
 
 func newMetrics(reg *telemetry.Registry) metrics {
 	return metrics{
-		hits:      reg.Counter("store_hits_total"),
-		misses:    reg.Counter("store_misses_total"),
-		puts:      reg.Counter("store_puts_total"),
-		putBytes:  reg.Counter("store_put_bytes_total"),
-		evictions: reg.Counter("store_evictions_total"),
-		errors:    reg.Counter("store_errors_total"),
-		bytes:     reg.Gauge("store_bytes"),
+		hits:        reg.Counter("store_hits_total"),
+		misses:      reg.Counter("store_misses_total"),
+		puts:        reg.Counter("store_puts_total"),
+		putBytes:    reg.Counter("store_put_bytes_total"),
+		evictions:   reg.Counter("store_evictions_total"),
+		errors:      reg.Counter("store_errors_total"),
+		compactions: reg.Counter("store_compactions_total"),
+		bytes:       reg.Gauge("store_bytes"),
 	}
 }
 

@@ -319,3 +319,83 @@ func TestDiskConcurrentAccess(t *testing.T) {
 		}
 	}
 }
+
+// TestDiskOpenCompactsDeadHeavyIndex: a store abandoned without Close
+// leaves superseded puts and eviction tombstones in the manifest; once
+// dead lines outnumber live entries, reopening rewrites the index
+// compactly — with every surviving key's blob recalled bit-identically.
+func TestDiskOpenCompactsDeadHeavyIndex(t *testing.T) {
+	dir := t.TempDir()
+	d1, err := OpenDisk(dir, DiskOptions{MaxBytes: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Churn: overwrites append superseded lines, the byte cap appends
+	// eviction tombstones.
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 4; i++ {
+			key := fmt.Sprintf("k%d", i)
+			blob := bytes.Repeat([]byte{byte('a' + i)}, 16+round)
+			if err := d1.Put(key, blob); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	want := map[string][]byte{}
+	for _, k := range d1.Keys() {
+		b, ok, err := d1.Get(k)
+		if err != nil || !ok {
+			t.Fatalf("Get(%s) = ok=%v err=%v", k, ok, err)
+		}
+		want[k] = b
+	}
+	// Deliberately no Close: the manifest keeps all 40 put lines plus
+	// tombstones for the handful of live keys.
+	raw, err := os.ReadFile(filepath.Join(dir, "index.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := bytes.Count(raw, []byte("\n")); lines <= 2*len(want) {
+		t.Fatalf("churn produced only %d manifest lines for %d live keys", lines, len(want))
+	}
+
+	reg := telemetry.New()
+	d2, err := OpenDisk(dir, DiskOptions{MaxBytes: 80, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if n := reg.Counter("store_compactions_total").Value(); n != 1 {
+		t.Fatalf("store_compactions_total = %d, want 1", n)
+	}
+	raw, err = os.ReadFile(filepath.Join(dir, "index.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := bytes.Count(raw, []byte("\n")); lines != len(want) {
+		t.Fatalf("compacted manifest has %d lines, want %d (one per live key)", lines, len(want))
+	}
+	if d2.Len() != len(want) {
+		t.Fatalf("reopen lost entries: %d live, want %d", d2.Len(), len(want))
+	}
+	for k, b := range want {
+		got, ok, err := d2.Get(k)
+		if err != nil || !ok || !bytes.Equal(got, b) {
+			t.Fatalf("after compaction Get(%s) = %q ok=%v err=%v, want %q", k, got, ok, err, b)
+		}
+	}
+	// A clean store compacted on Close must NOT trigger the open-time
+	// rewrite again.
+	if err := d2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	reg2 := telemetry.New()
+	d3, err := OpenDisk(dir, DiskOptions{MaxBytes: 80, Metrics: reg2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d3.Close()
+	if n := reg2.Counter("store_compactions_total").Value(); n != 0 {
+		t.Fatalf("compact manifest recompacted at open (count %d)", n)
+	}
+}

@@ -62,6 +62,33 @@ if ! grep -q '"agreement": 1' "$tmpdir/mask.json" || \
     exit 1
 fi
 
+# Compositional-sectioning gate (DESIGN.md §16): after a one-function
+# edit, the composed per-section SDC estimate must land inside the
+# edited program's full-campaign 95% Wilson interval on every row,
+# re-execute only dirty sections, and cut injections >= 5x on the rows
+# where sections are finer than the edit (crc32/asm is the documented
+# single-function control at ~1x). Seed 7 is the pinned evaluation seed
+# (EXPERIMENTS.md A4).
+go run ./cmd/experiments -only sectionbench -runs 2000 -seed 7 -q \
+    -json >"$tmpdir/section.json"
+if grep -q '"inside_ci": false' "$tmpdir/section.json"; then
+    echo "composed sectioned SDC estimate outside the full campaign's 95% Wilson interval:" >&2
+    cat "$tmpdir/section.json" >&2
+    exit 1
+fi
+if grep -q '"only_dirty": false' "$tmpdir/section.json"; then
+    echo "sectioned re-analysis re-executed an unchanged section:" >&2
+    cat "$tmpdir/section.json" >&2
+    exit 1
+fi
+big=$(grep -o '"reduction": [0-9.]*' "$tmpdir/section.json" |
+    awk '$2 >= 5 {n++} END {print n+0}')
+if [ "$big" -lt 3 ]; then
+    echo "expected >=5x injection reduction on at least 3 of 4 sectionbench rows:" >&2
+    cat "$tmpdir/section.json" >&2
+    exit 1
+fi
+
 # Telemetry smoke (DESIGN.md §12): a real study run must emit the run
 # report and the span tree with the pinned metric families and the
 # study → pipeline stage → campaign batch → engine run span hierarchy.
@@ -132,4 +159,29 @@ diff "$tmpdir/batch.out" "$tmpdir/repeat.out"
 "$tmpdir/flowery" remote -addr "$daemon_url" metrics >"$tmpdir/daemon.prom"
 grep -q '^store_hits_total [1-9]' "$tmpdir/daemon.prom"
 grep -q '^service_jobs_done_total 2' "$tmpdir/daemon.prom"
+
+# Sectioned incremental gate (DESIGN.md §16): submit a sectioned
+# campaign on a crc32 IR file, edit one constant outside the loops,
+# resubmit, and require that only the edited section re-executes while
+# both loop summaries are recalled from the daemon's persistent store
+# across processes — observable on the resubmitted job's own metrics
+# page as pipeline_store_hits_total.
+"$tmpdir/flowery" ir crc32 >"$tmpdir/prog.ir"
+"$tmpdir/flowery" remote -addr "$daemon_url" inject -sections -layer ir \
+    -runs 2000 -seed 7 "$tmpdir/prog.ir" \
+    >"$tmpdir/sec_cold.out" 2>"$tmpdir/sec_cold.err"
+grep -q 'sectioned: sections=3 executed=3 recalled=0' "$tmpdir/sec_cold.out"
+sed 's/store i64 4294967295, %3/store i64 4294967294, %3/' \
+    "$tmpdir/prog.ir" >"$tmpdir/prog_edited.ir"
+if cmp -s "$tmpdir/prog.ir" "$tmpdir/prog_edited.ir"; then
+    echo "fixture edit did not change the IR" >&2
+    exit 1
+fi
+"$tmpdir/flowery" remote -addr "$daemon_url" inject -sections -layer ir \
+    -runs 2000 -seed 7 "$tmpdir/prog_edited.ir" \
+    >"$tmpdir/sec_warm.out" 2>"$tmpdir/sec_warm.err"
+grep -q 'sectioned: sections=3 executed=1 recalled=2' "$tmpdir/sec_warm.out"
+job=$(awk '/^remote: job / {print $3; exit}' "$tmpdir/sec_warm.err")
+"$tmpdir/flowery" remote -addr "$daemon_url" metrics "$job" >"$tmpdir/secjob.prom"
+grep -q '^pipeline_store_hits_total [1-9]' "$tmpdir/secjob.prom"
 kill "$daemon_pid"
