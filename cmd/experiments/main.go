@@ -63,6 +63,7 @@ func main() {
 	workers := flag.Int("workers", 0, "parallelism: pipeline scheduler width, or campaign workers on the serial path (0 = GOMAXPROCS)")
 	shards := flag.Int("shards", 0, "partition every full campaign into this many run ranges (campaign.RunSharded; pipeline path only, 0 = unsharded)")
 	shardWorkers := flag.Int("shard-workers", 0, "with -shards: farm shards to this many worker processes (<= 1 executes in-process)")
+	remoteWorkers := flag.String("remote-workers", "", "with -shards: comma-separated socket worker addresses (flowery shard-worker -listen) to dial instead of local workers")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
 	pipelineOn := flag.Bool("pipeline", true, "serve artifacts from the memoized pipeline (false = legacy serial path)")
@@ -131,6 +132,11 @@ func main() {
 	cfg.Workers = *workers
 	cfg.Shards = *shards
 	cfg.ShardWorkers = *shardWorkers
+	for _, a := range strings.Split(*remoteWorkers, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			cfg.RemoteWorkers = append(cfg.RemoteWorkers, a)
+		}
+	}
 	cfg.Reference = *refcore
 	if *maskStatic {
 		// Masking rides on pruned campaigns, so -maskstatic implies them.

@@ -24,6 +24,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	"flowery/internal/api"
 	"flowery/internal/asm"
@@ -129,7 +130,7 @@ func main() {
 	case "shard-worker":
 		// Explicit worker mode (the env-var path above covers spawned
 		// workers; this argv form keeps the mode visible in ps output).
-		err = shard.ServeWorker(os.Stdin, os.Stdout)
+		err = cmdShardWorker(args)
 	default:
 		usage()
 	}
@@ -401,18 +402,23 @@ func cmdInject(args []string) error {
 	workers := fs.Int("workers", 0, "campaign parallelism: engine goroutines per process (0 = GOMAXPROCS); outcomes are identical at any width")
 	shards := fs.Int("shards", 0, "partition the campaign into this many run ranges (0 = unsharded; full campaigns only)")
 	shardWorkers := fs.Int("shard-workers", 0, "with -shards: farm shards to this many flowery worker processes (<= 1 stays in-process)")
+	remoteWorkers := fs.String("remote-workers", "", "with -shards: comma-separated socket worker addresses (flowery shard-worker -listen host:port) to dial for shard execution")
+	remoteListen := fs.String("remote-listen", "", "with -shards: listen on this host:port for socket workers dialing in (flowery shard-worker -connect)")
+	remoteHeartbeat := fs.Duration("remote-heartbeat", 0, "socket transport liveness interval (0 = 1s): worker ping period and coordinator read-deadline slice")
+	remoteRedials := fs.Int("remote-redials", 0, "socket transport reconnect budget per address per outage (0 = 5, negative = no redials)")
 	reclogOut := fs.String("reclog", "", "write every run's record to this file as a compact binary log (internal/reclog; full campaigns only)")
 	p := addProtection(fs)
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("inject: need one benchmark or file")
 	}
+	remote := *remoteWorkers != "" || *remoteListen != ""
 	// Validate the whole flag combination up front through the shared
 	// spec validator (internal/api) — the same rules the daemon applies —
 	// so an inconsistent invocation fails with one line before any
 	// profiling or module derivation starts.
 	spec := injectSpec(fs.Arg(0), *layer, *runs, *prune, *pilots, *maskStatic, *sections,
-		*workers, *shards, *shardWorkers, *reclogOut != "", *prot, p)
+		*workers, *shards, *shardWorkers, remote, *reclogOut != "", *prot, p)
 	if err := spec.Normalize(); err != nil {
 		return fmt.Errorf("inject: %w", err)
 	}
@@ -438,6 +444,12 @@ func cmdInject(args []string) error {
 			return fmt.Errorf("inject: resolving own binary for shard workers: %w", err)
 		}
 		cfg.ShardCommand = []string{self, "shard-worker"}
+	}
+	if remote {
+		cfg.RemoteWorkers = splitAddrs(*remoteWorkers)
+		cfg.RemoteListen = *remoteListen
+		cfg.RemoteHeartbeat = *remoteHeartbeat
+		cfg.RemoteRedials = *remoteRedials
 	}
 	pl := pipeline.New(cfg)
 	opts := pipeline.CampaignOpts{Layer: l}
@@ -495,28 +507,71 @@ func cmdInject(args []string) error {
 // combination is validated by exactly the rules `flowery remote` and
 // the daemon apply. The program argument stands in as the benchmark
 // name — loadSource resolves names vs files afterward.
-func injectSpec(program, layer string, runs int, prune bool, pilots int, maskStatic, sections bool, workers, shards, shardWorkers int, records, prot bool, p protection) api.JobSpec {
+func injectSpec(program, layer string, runs int, prune bool, pilots int, maskStatic, sections bool, workers, shards, shardWorkers int, remote, records, prot bool, p protection) api.JobSpec {
 	spec := api.JobSpec{
-		Benchmark:    program,
-		Layer:        layer,
-		Runs:         runs,
-		Seed:         *p.seed,
-		Samples:      *p.samples,
-		Protect:      prot,
-		Level:        *p.level,
-		Flowery:      *p.flowery,
-		Prune:        prune,
-		MaskStatic:   maskStatic,
-		Sections:     sections,
-		Workers:      workers,
-		Shards:       shards,
-		ShardWorkers: shardWorkers,
-		Records:      records,
+		Benchmark:     program,
+		Layer:         layer,
+		Runs:          runs,
+		Seed:          *p.seed,
+		Samples:       *p.samples,
+		Protect:       prot,
+		Level:         *p.level,
+		Flowery:       *p.flowery,
+		Prune:         prune,
+		MaskStatic:    maskStatic,
+		Sections:      sections,
+		Workers:       workers,
+		Shards:        shards,
+		ShardWorkers:  shardWorkers,
+		RemoteWorkers: remote,
+		Records:       records,
 	}
 	if prune {
 		spec.Pilots = pilots
 	}
 	return spec
+}
+
+// splitAddrs parses a comma-separated address list, dropping empties.
+func splitAddrs(csv string) []string {
+	var out []string
+	for _, a := range strings.Split(csv, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// cmdShardWorker runs the worker half of the shard protocol: on
+// stdin/stdout with no flags (the pipe transport the coordinator spawns
+// directly), or over a socket with -connect (dial a coordinator's
+// -remote-listen or a floweryd -shard-listen hub, re-registering after
+// each job) / -listen (serve dialing coordinators; -addr-file resolves
+// host:0 for scripts).
+func cmdShardWorker(args []string) error {
+	fs := flag.NewFlagSet("shard-worker", flag.ExitOnError)
+	connect := fs.String("connect", "", "dial this coordinator or floweryd -shard-listen hub (host:port)")
+	listen := fs.String("listen", "", "serve coordinators on this address (host:port or host:0)")
+	addrFile := fs.String("addr-file", "", "with -listen: write the bound address here once listening")
+	name := fs.String("name", "", "worker identity registered in the hello (default <hostname>-<pid>; coordinators reject duplicates)")
+	heartbeat := fs.Duration("heartbeat", 0, "liveness ping interval (0 = 1s)")
+	redials := fs.Int("redials", 0, "with -connect: reconnect budget per outage (0 = 5)")
+	fs.Parse(args)
+	if fs.NArg() != 0 {
+		return fmt.Errorf("shard-worker: unexpected arguments %v", fs.Args())
+	}
+	if *connect == "" && *listen == "" {
+		return shard.ServeWorker(os.Stdin, os.Stdout)
+	}
+	return shard.RunWorker(shard.WorkerOpts{
+		Connect:   *connect,
+		Listen:    *listen,
+		AddrFile:  *addrFile,
+		Name:      *name,
+		Heartbeat: *heartbeat,
+		Redials:   *redials,
+	})
 }
 
 // printCampaign renders campaign statistics the way inject always has;

@@ -125,6 +125,7 @@ func remoteInject(c *api.Client, args []string) error {
 	workers := fs.Int("workers", 0, "campaign parallelism on the daemon (0 = its GOMAXPROCS)")
 	shards := fs.Int("shards", 0, "partition the campaign into this many run ranges")
 	shardWorkers := fs.Int("shard-workers", 0, "with -shards: daemon-side worker processes")
+	remoteWorkers := fs.Bool("remote-workers", false, "with -shards: fan shards out to socket workers registered with the daemon's -shard-listen hub")
 	reclogOut := fs.String("reclog", "", "download the run records to this file as a binary log")
 	p := addProtection(fs)
 	fs.Parse(args)
@@ -133,7 +134,7 @@ func remoteInject(c *api.Client, args []string) error {
 	}
 
 	spec := injectSpec(fs.Arg(0), *layer, *runs, *prune, *pilots, *maskStatic, *sections,
-		*workers, *shards, *shardWorkers, *reclogOut != "", *prot, p)
+		*workers, *shards, *shardWorkers, *remoteWorkers, *reclogOut != "", *prot, p)
 	// A file program rides to the daemon as inline IR text.
 	if _, ok := bench.ByName(fs.Arg(0)); !ok {
 		text, err := os.ReadFile(fs.Arg(0))

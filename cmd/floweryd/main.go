@@ -45,6 +45,7 @@ func main() {
 
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
 	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening (for scripts using -addr :0)")
+	shardListen := flag.String("shard-listen", "", "accept socket shard workers (flowery shard-worker -connect) on this address; enables remote_workers jobs")
 	storeDir := flag.String("store", "", "persistent artifact store directory (empty = in-memory only)")
 	storeMax := flag.Int64("store-max-bytes", 0, "evict least-recently-used artifacts beyond this many bytes (0 = unbounded)")
 	workers := flag.Int("workers", 2, "jobs executing concurrently")
@@ -56,13 +57,13 @@ func main() {
 		return
 	}
 
-	if err := run(*addr, *addrFile, *storeDir, *storeMax, *workers, *queue); err != nil {
+	if err := run(*addr, *addrFile, *shardListen, *storeDir, *storeMax, *workers, *queue); err != nil {
 		fmt.Fprintln(os.Stderr, "floweryd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, addrFile, storeDir string, storeMax int64, workers, queue int) error {
+func run(addr, addrFile, shardListen, storeDir string, storeMax int64, workers, queue int) error {
 	reg := telemetry.New()
 
 	var artifacts store.Store
@@ -79,11 +80,23 @@ func run(addr, addrFile, storeDir string, storeMax int64, workers, queue int) er
 		artifacts = store.NewMemory(reg)
 	}
 
+	var hub *shard.Hub
+	if shardListen != "" {
+		hln, err := net.Listen("tcp", shardListen)
+		if err != nil {
+			return fmt.Errorf("-shard-listen %s: %w", shardListen, err)
+		}
+		hub = shard.NewHub(hln, shard.HubOpts{Metrics: reg})
+		defer hub.Close()
+		fmt.Fprintf(os.Stderr, "floweryd: shard workers welcome on %s\n", hub.Addr())
+	}
+
 	mgr := service.New(service.Config{
 		Artifacts:  artifacts,
 		Workers:    workers,
 		QueueDepth: queue,
 		Telemetry:  reg,
+		Hub:        hub,
 	})
 	defer mgr.Close()
 

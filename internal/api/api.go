@@ -87,6 +87,11 @@ type JobSpec struct {
 	Workers      int `json:"workers,omitempty"`
 	Shards       int `json:"shards,omitempty"`
 	ShardWorkers int `json:"shard_workers,omitempty"`
+	// RemoteWorkers fans the shards out to socket workers registered
+	// with the daemon's -shard-listen hub instead of local worker
+	// processes. Requires Shards > 0; the merged statistics are
+	// bit-identical to local execution (DESIGN.md §17).
+	RemoteWorkers bool `json:"remote_workers,omitempty"`
 
 	// Records asks for per-run records: it enables the NDJSON record
 	// stream and the raw reclog download, and forces execution (a
@@ -157,6 +162,12 @@ func (s *JobSpec) Normalize() error {
 	if s.ShardWorkers > 1 && s.Shards <= 0 {
 		return fmt.Errorf("-shard-workers %d needs -shards (worker processes execute shard ranges)", s.ShardWorkers)
 	}
+	if s.RemoteWorkers && s.Shards <= 0 {
+		return fmt.Errorf("-remote-workers needs -shards (remote workers execute shard ranges)")
+	}
+	if s.RemoteWorkers && s.ShardWorkers > 1 {
+		return fmt.Errorf("-remote-workers and -shard-workers conflict: pick the socket fleet or local worker processes")
+	}
 	if s.Level <= 0 || s.Level > 1 {
 		return fmt.Errorf("-level must be in (0,1] (got %g)", s.Level)
 	}
@@ -170,6 +181,9 @@ func (s *JobSpec) Normalize() error {
 		}
 		if s.Sections {
 			return fmt.Errorf("study jobs do not take -sections (submit sectioned campaigns per program)")
+		}
+		if s.RemoteWorkers {
+			return fmt.Errorf("study jobs do not take -remote-workers (submit sharded campaigns per program)")
 		}
 		return nil
 	}

@@ -49,6 +49,11 @@ type Config struct {
 	// host binary to call shard.MaybeServeWorker at startup. Wired from
 	// cmd/experiments -shard-workers.
 	ShardWorkers int
+	// RemoteWorkers dials these socket shard workers (`flowery
+	// shard-worker -listen`) instead of local worker processes
+	// (shard.RemotePool; transport-only, bit-identical per DESIGN.md
+	// §17). Wired from cmd/experiments -remote-workers.
+	RemoteWorkers []string
 	// Pruning selects equivalence-pruned campaigns (campaign.PruneClasses)
 	// for every per-level measurement, trading exhaustive injection for
 	// extrapolated statistics (DESIGN.md §10). Experiments that study

@@ -58,6 +58,7 @@ func newStudy(cfg Config, disabled bool) *Study {
 		CampaignWorkers: 1,
 		Shards:          cfg.Shards,
 		ShardProcs:      cfg.ShardWorkers,
+		RemoteWorkers:   cfg.RemoteWorkers,
 		Disabled:        disabled,
 		Reference:       cfg.Reference,
 		Artifacts:       cfg.Artifacts,

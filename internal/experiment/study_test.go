@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -18,7 +19,7 @@ func TestWithDefaultsPreservesExplicitFields(t *testing.T) {
 		t.Fatalf("explicit Seed/Workers discarded: %+v", got)
 	}
 	full := Config{Runs: 10, ProfileSamples: 20, Seed: 1, Workers: 2}
-	if full.withDefaults() != full {
+	if !reflect.DeepEqual(full.withDefaults(), full) {
 		t.Fatalf("fully-specified config changed: %+v", full.withDefaults())
 	}
 }

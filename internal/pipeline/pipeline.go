@@ -76,6 +76,27 @@ type Config struct {
 	// ShardCommand overrides the worker argv (default: re-execute this
 	// binary, relying on shard.MaybeServeWorker). Excluded from keys.
 	ShardCommand []string
+	// RemoteWorkers lists socket shard-worker addresses (host:port,
+	// workers started with `flowery shard-worker -listen`) a sharded
+	// campaign dials instead of spawning local worker processes
+	// (shard.RemotePool). Requires Shards > 0. Excluded from artifact
+	// keys: the transport moves execution, never outcomes — the merged
+	// statistics are bit-identical to the local path by the dispatcher's
+	// first-result-wins contract (DESIGN.md §17).
+	RemoteWorkers []string
+	// RemoteListen, when non-empty, has the coordinator listen on this
+	// host:port for workers dialing in with `-connect`. Excluded from
+	// keys.
+	RemoteListen string
+	// RemoteHub supplies workers pre-registered with a daemon's
+	// -shard-listen hub (floweryd). Excluded from keys.
+	RemoteHub *shard.Hub
+	// RemoteHeartbeat, RemoteHeartbeatMiss, and RemoteRedials tune the
+	// socket transport's liveness and reconnect policy (zero = the shard
+	// package defaults). Excluded from keys.
+	RemoteHeartbeat     time.Duration
+	RemoteHeartbeatMiss int
+	RemoteRedials       int
 	// Parallel is the scheduler width users of ForEach should pass
 	// (0 = GOMAXPROCS). Recorded here so studies and their sub-sweeps
 	// agree on one budget.
@@ -558,6 +579,14 @@ type CampaignOpts struct {
 	// requests known to miss (fresh-process CLIs like `flowery inject
 	// -reclog`).
 	Records func(campaign.Record)
+	// ShardStream, when non-nil, receives each accepted shard's raw
+	// reclog bytes as it completes (remote transport only; see
+	// shard.RemoteOpts.Stream). floweryd spills the blobs into its
+	// persistent store incrementally instead of buffering records in
+	// memory. Observation only and excluded from the key; like Records
+	// it bypasses store recall, since a recalled artifact streams
+	// nothing.
+	ShardStream func(rg campaign.ShardRange, reclog []byte)
 }
 
 // Campaign runs (or recalls) a fault-injection campaign for the variant.
@@ -593,7 +622,7 @@ func (p *Pipeline) Campaign(src Source, v Variant, opts CampaignOpts) (campaign.
 		// process) short-circuits the whole derivation chain. Requests
 		// carrying a Records sink bypass recall — a recalled artifact
 		// replays no records — but still persist what they compute.
-		if recalled, ok := p.storeGet(key, opts.Records != nil); ok {
+		if recalled, ok := p.storeGet(key, opts.Records != nil || opts.ShardStream != nil); ok {
 			if sp != nil {
 				sp.SetAttr("store", "hit")
 			}
@@ -890,23 +919,40 @@ func ProtectionVariant(level float64, fl bool) Variant {
 
 // shardExecutor builds the executor for a sharded campaign: nil (the
 // in-process executor through the engine factory) unless Config asks
-// for worker processes, in which case the variant's pristine module
-// rides to the workers as IR text and is re-derived there exactly the
-// way Compiled derives it here. Pool telemetry (worker spawns, shards,
-// steals, result bytes) reports into Config.Telemetry.
+// for worker processes — local children over pipes, or the socket
+// transport when any remote source (dial list, listen address, hub) is
+// configured. Either way the variant's pristine module rides to the
+// workers as IR text and is re-derived there exactly the way Compiled
+// derives it here. Pool telemetry (worker spawns, shards, steals,
+// result bytes, remote connect/redial/re-deal counters) reports into
+// Config.Telemetry.
 func (p *Pipeline) shardExecutor(src Source, v Variant, opts CampaignOpts) (campaign.ShardExecutor, error) {
-	if p.cfg.ShardProcs <= 1 && len(p.cfg.ShardCommand) == 0 {
+	remote := len(p.cfg.RemoteWorkers) > 0 || p.cfg.RemoteListen != "" || p.cfg.RemoteHub != nil
+	if !remote && p.cfg.ShardProcs <= 1 && len(p.cfg.ShardCommand) == 0 {
 		return nil, nil
 	}
 	pm, err := p.Module(src, v)
 	if err != nil {
 		return nil, err
 	}
-	return shard.NewPool(shard.Job{
+	job := shard.Job{
 		Module:     pm.String(),
 		Layer:      opts.Layer.String(),
 		GPRScratch: opts.Backend.GPRScratch,
-	}, shard.PoolOpts{
+	}
+	if remote {
+		return shard.NewRemotePool(job, shard.RemoteOpts{
+			Dial:          p.cfg.RemoteWorkers,
+			Listen:        p.cfg.RemoteListen,
+			Hub:           p.cfg.RemoteHub,
+			Heartbeat:     p.cfg.RemoteHeartbeat,
+			HeartbeatMiss: p.cfg.RemoteHeartbeatMiss,
+			Redials:       p.cfg.RemoteRedials,
+			Stream:        opts.ShardStream,
+			Metrics:       p.cfg.Telemetry,
+		}), nil
+	}
+	return shard.NewPool(job, shard.PoolOpts{
 		Procs:   p.cfg.ShardProcs,
 		Command: p.cfg.ShardCommand,
 		Metrics: p.cfg.Telemetry,

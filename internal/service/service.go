@@ -18,6 +18,7 @@ import (
 	"crypto/sha256"
 	"fmt"
 	"os"
+	"sort"
 	"sync"
 	"time"
 
@@ -29,6 +30,7 @@ import (
 	"flowery/internal/ir"
 	"flowery/internal/pipeline"
 	"flowery/internal/reclog"
+	"flowery/internal/shard"
 	"flowery/internal/store"
 	"flowery/internal/telemetry"
 )
@@ -50,6 +52,11 @@ type Config struct {
 	// pipeline telemetry goes to each job's own child registry instead
 	// (served at /jobs/{id}/metrics). Nil keeps a private registry.
 	Telemetry *telemetry.Registry
+	// Hub is the daemon's worker-registration listener (floweryd
+	// -shard-listen): jobs submitted with RemoteWorkers fan their shards
+	// out to the socket workers parked here. Nil rejects such jobs at
+	// submission.
+	Hub *shard.Hub
 }
 
 // Manager owns the job table, the queue, and the worker pool.
@@ -147,6 +154,9 @@ func (m *Manager) Registry() *telemetry.Registry { return m.reg }
 func (m *Manager) Submit(spec api.JobSpec) (api.JobInfo, error) {
 	if err := spec.Normalize(); err != nil {
 		return api.JobInfo{}, err
+	}
+	if spec.RemoteWorkers && m.cfg.Hub == nil {
+		return api.JobInfo{}, fmt.Errorf("daemon has no worker hub (start floweryd with -shard-listen)")
 	}
 	// Resolve the program now so a typo'd benchmark name fails at
 	// submission, not minutes later inside a worker.
@@ -396,6 +406,9 @@ func (m *Manager) pipelineConfig(j *job) pipeline.Config {
 			cfg.ShardCommand = []string{self, "shard-worker"}
 		}
 	}
+	if spec.RemoteWorkers {
+		cfg.RemoteHub = m.cfg.Hub
+	}
 	return cfg
 }
 
@@ -431,10 +444,21 @@ func (m *Manager) runCampaign(j *job) error {
 	var buf bytes.Buffer
 	var logW *reclog.Writer
 	var recErr error
+	var shards *shardBlobs
 	if j.spec.Records {
-		logW = reclog.NewWriter(&buf)
+		if j.spec.RemoteWorkers {
+			// Remote jobs spill each shard's reclog bytes into the
+			// persistent store as they arrive (per-shard blobs) instead of
+			// funneling every record through one in-memory writer; the
+			// final log is composed from the blobs after the merge
+			// (composeReclog), byte-identical to the single-writer path.
+			shards = &shardBlobs{m: m, job: j.id}
+			opts.ShardStream = shards.put
+		} else {
+			logW = reclog.NewWriter(&buf)
+		}
 		opts.Records = func(r campaign.Record) {
-			if recErr == nil {
+			if logW != nil && recErr == nil {
 				recErr = logW.Write(reclog.Record{
 					Run:     int64(r.Run),
 					Outcome: uint8(r.Outcome),
@@ -478,15 +502,96 @@ func (m *Manager) runCampaign(j *job) error {
 			return fmt.Errorf("record log: %w", err)
 		}
 	}
+	var rec []byte
+	if logW != nil {
+		rec = buf.Bytes()
+	}
+	if shards != nil {
+		rec, err = shards.compose()
+		if err != nil {
+			return fmt.Errorf("record log: %w", err)
+		}
+	}
 
 	j.mu.Lock()
 	j.stats = &st
-	if logW != nil {
-		j.rec = buf.Bytes()
-	}
+	j.rec = rec
 	j.cond.Broadcast()
 	j.mu.Unlock()
 	return nil
+}
+
+// shardBlobs tracks the per-shard reclog blobs a remote campaign spills
+// into the persistent store as each shard completes (falling back to
+// memory when the daemon runs storeless). compose reassembles the
+// single record log after the merge: decoding each shard's stream in
+// range order and re-encoding through one writer reproduces the batch
+// path's bytes exactly, because reclog block boundaries are a function
+// of record count alone.
+type shardBlobs struct {
+	m   *Manager
+	job string
+
+	mu    sync.Mutex
+	blobs []shardBlob
+}
+
+type shardBlob struct {
+	lo, hi int
+	key    string
+	data   []byte // storeless fallback
+}
+
+func (s *shardBlobs) put(rg campaign.ShardRange, stream []byte) {
+	b := shardBlob{lo: rg.Lo, hi: rg.Hi}
+	if s.m.cfg.Artifacts != nil {
+		b.key = fmt.Sprintf("remoterec|%s|%d-%d", s.job, rg.Lo, rg.Hi)
+		if err := s.m.cfg.Artifacts.Put(b.key, stream); err != nil {
+			b.key, b.data = "", append([]byte(nil), stream...)
+		}
+	} else {
+		b.data = append([]byte(nil), stream...)
+	}
+	s.mu.Lock()
+	s.blobs = append(s.blobs, b)
+	s.mu.Unlock()
+}
+
+func (s *shardBlobs) compose() ([]byte, error) {
+	s.mu.Lock()
+	blobs := append([]shardBlob(nil), s.blobs...)
+	s.mu.Unlock()
+	sort.Slice(blobs, func(i, k int) bool { return blobs[i].lo < blobs[k].lo })
+	var out bytes.Buffer
+	w := reclog.NewWriter(&out)
+	next := 0
+	for _, b := range blobs {
+		if b.lo != next {
+			return nil, fmt.Errorf("shard blob gap: have [%d,%d), want lo %d", b.lo, b.hi, next)
+		}
+		next = b.hi
+		data := b.data
+		if b.key != "" {
+			stored, ok, err := s.m.cfg.Artifacts.Get(b.key)
+			if err != nil || !ok {
+				return nil, fmt.Errorf("shard blob %s not recallable: %v", b.key, err)
+			}
+			data = stored
+		}
+		recs, err := reclog.ReadAll(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("shard blob [%d,%d): %w", b.lo, b.hi, err)
+		}
+		for _, r := range recs {
+			if err := w.Write(r); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return out.Bytes(), nil
 }
 
 // originName renders an origin like the campaign JSON codec: empty for

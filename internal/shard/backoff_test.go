@@ -1,0 +1,198 @@
+package shard
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"flowery/internal/campaign"
+	"flowery/internal/telemetry"
+)
+
+// TestBackoffScheduleGolden pins the exact reconnect schedule: capped
+// exponential doubling plus deterministic per-address jitter. Any
+// change to the constants or the jitter derivation must show up here as
+// a deliberate golden update, not silent fleet-behavior drift.
+func TestBackoffScheduleGolden(t *testing.T) {
+	base, max := 100*time.Millisecond, 5*time.Second
+	want := []time.Duration{
+		101242065, 202723693, 485916137, 1118719482,
+		1904943847, 4579956054, 5000000000, 5000000000,
+	}
+	for i, w := range want {
+		if got := backoffDelay(i+1, base, max, "10.0.0.1:9000"); got != w {
+			t.Errorf("attempt %d: %v, want %v", i+1, got, w)
+		}
+	}
+	// A different address gets a different (but equally deterministic)
+	// jitter stream, so a fleet rebooting together does not redial in
+	// lockstep.
+	want2 := []time.Duration{144704437, 219799804, 529000854}
+	for i, w := range want2 {
+		if got := backoffDelay(i+1, base, max, "10.0.0.2:9000"); got != w {
+			t.Errorf("attempt %d (addr 2): %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+// TestBackoffProperties bounds the schedule for arbitrary attempts:
+// jitter only ever adds, never more than half the undithered delay, and
+// the cap holds everywhere.
+func TestBackoffProperties(t *testing.T) {
+	base, max := 100*time.Millisecond, 5*time.Second
+	for n := 1; n <= 12; n++ {
+		d := backoffDelay(n, base, max, "key")
+		floor := base
+		for i := 1; i < n && floor < max; i++ {
+			floor *= 2
+		}
+		if floor > max {
+			floor = max
+		}
+		ceil := floor + floor/2
+		if ceil > max {
+			ceil = max
+		}
+		if d < floor || d > ceil {
+			t.Errorf("attempt %d: %v outside [%v, %v]", n, d, floor, ceil)
+		}
+		if again := backoffDelay(n, base, max, "key"); again != d {
+			t.Errorf("attempt %d: nondeterministic (%v then %v)", n, d, again)
+		}
+	}
+	if backoffDelay(0, base, max, "key") != backoffDelay(1, base, max, "key") {
+		t.Error("attempt 0 not clamped to the first-attempt delay")
+	}
+}
+
+// TestDialBackoffWithFakeClock replaces the backoff sleep with a fake
+// clock and pins the exact waits a dead address produces: one
+// backoffDelay per redial, then surrender with the address's error. No
+// real time passes.
+func TestDialBackoffWithFakeClock(t *testing.T) {
+	checkGoroutines(t)
+	pristine := testModule(t, "crc32")
+	dead := freeAddr(t) // nothing listens here: every dial is refused
+	var mu sync.Mutex
+	var slept []time.Duration
+	reg := telemetry.New()
+	opts := testRemoteOpts()
+	opts.Dial = []string{dead}
+	opts.Redials = 3
+	opts.BackoffBase = 100 * time.Millisecond
+	opts.BackoffMax = 5 * time.Second
+	opts.Metrics = reg
+	opts.sleep = func(d time.Duration) bool {
+		mu.Lock()
+		slept = append(slept, d)
+		mu.Unlock()
+		return true
+	}
+	pool := remotePoolFor(t, pristine, LayerAsm, opts)
+	_, err := campaign.RunSharded(nil, campaign.Spec{Runs: 20, Seed: 1}, campaign.ShardOpts{Shards: 2, Exec: pool})
+	if err == nil {
+		t.Fatal("campaign succeeded with no live worker")
+	}
+	want := []time.Duration{
+		backoffDelay(1, opts.BackoffBase, opts.BackoffMax, dead),
+		backoffDelay(2, opts.BackoffBase, opts.BackoffMax, dead),
+		backoffDelay(3, opts.BackoffBase, opts.BackoffMax, dead),
+	}
+	if len(slept) != len(want) {
+		t.Fatalf("slept %v, want %d backoff waits", slept, len(want))
+	}
+	for i := range want {
+		if slept[i] != want[i] {
+			t.Fatalf("wait %d: %v, want %v", i, slept[i], want[i])
+		}
+	}
+	if got := reg.Counter("shard_remote_redials_total").Value(); got != 3 {
+		t.Fatalf("shard_remote_redials_total = %d, want 3", got)
+	}
+}
+
+// TestHeartbeatMissThreshold: a peer writing nothing for the full miss
+// budget is declared dead, with every silent slice counted.
+func TestHeartbeatMissThreshold(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	misses := 0
+	tc := &timedConn{conn: a, slice: 5 * time.Millisecond, limit: 3, onMiss: func() { misses++ }}
+	buf := make([]byte, 8)
+	if _, err := tc.Read(buf); err == nil || !strings.Contains(err.Error(), "silent") {
+		t.Fatalf("err = %v, want silence verdict", err)
+	}
+	if misses != 3 {
+		t.Fatalf("counted %d misses, want 3", misses)
+	}
+}
+
+// TestSlowButAliveSurvives is the regression the miss-reset exists for:
+// a worker trickling bytes slower than the death threshold's total span
+// — but never a full budget of consecutive silent slices — must not be
+// declared dead while it is demonstrably streaming.
+func TestSlowButAliveSurvives(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	const slice = 50 * time.Millisecond
+	const total = 8
+	tc := &timedConn{conn: a, slice: slice, limit: 3} // death at 150ms of silence
+	go func() {
+		defer b.Close()
+		for i := 0; i < total; i++ {
+			if _, err := b.Write([]byte{byte(i)}); err != nil {
+				return
+			}
+			time.Sleep(20 * time.Millisecond) // 160ms span > the 150ms threshold
+		}
+	}()
+	got := 0
+	buf := make([]byte, 4)
+	for {
+		n, err := tc.Read(buf)
+		got += n
+		if err != nil {
+			if got < total {
+				t.Fatalf("declared dead after %d of %d bytes: %v", got, total, err)
+			}
+			break
+		}
+	}
+}
+
+// TestTimedConnJobDone: once the campaign completes, a parked read
+// resolves to errJobDone within one slice instead of waiting out the
+// full miss budget.
+func TestTimedConnJobDone(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	done := make(chan struct{})
+	close(done)
+	tc := &timedConn{conn: a, slice: 5 * time.Millisecond, limit: 1000, done: done}
+	if _, err := tc.Read(make([]byte, 1)); !errors.Is(err, errJobDone) {
+		t.Fatalf("err = %v, want errJobDone", err)
+	}
+}
+
+// TestDeadlineWriterUnwedges: a peer that stops draining its socket
+// fails the write within the deadline instead of wedging the sender.
+func TestDeadlineWriterUnwedges(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	dw := &deadlineWriter{conn: a, d: 10 * time.Millisecond}
+	start := time.Now()
+	_, err := dw.Write(make([]byte, 1))
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("err = %v, want write timeout", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("write deadline did not bound the stall")
+	}
+}

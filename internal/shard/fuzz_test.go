@@ -1,0 +1,67 @@
+package shard
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"flowery/internal/campaign"
+)
+
+// FuzzShardFrame throws arbitrary bytes at every decoder on the wire
+// path. Two properties must hold for any input: no decoder panics, and
+// a frame reader never hands back more payload than the input actually
+// carried — the chunked-allocation guard in readFrame, which keeps a
+// lying length prefix from provoking a maxFrame allocation the peer
+// never backs with data. The committed corpus under
+// testdata/fuzz/FuzzShardFrame pins the historical crash vector: a
+// result frame whose header-length uvarint decodes above maxFrame once
+// wrapped negative through an int cast and panicked decodeResult with a
+// slice bound.
+func FuzzShardFrame(f *testing.F) {
+	seed := func(typ byte, payload []byte) {
+		var buf bytes.Buffer
+		writeFrame(&buf, typ, payload)
+		f.Add(buf.Bytes())
+	}
+	seed(msgJob, []byte(`{"Module":"module m","Layer":"ir","Runs":4}`))
+	seed(msgShard, encodeShard(campaign.ShardRange{Lo: 3, Hi: 9}))
+	seed(msgHello, encodeHello(hello{Proto: ProtoVersion, Name: "w"}))
+	if res, err := encodeResult(resultHeader{Lo: 0, Hi: 0}, nil); err == nil {
+		seed(msgResult, res)
+	}
+	seed(msgPing, nil)
+	// The crash vector: header length 1<<62 inside a result payload.
+	var huge [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(huge[:], 1<<62)
+	seed(msgResult, append(huge[:n:n], 0xff))
+	// A frame declaring far more payload than follows.
+	f.Add([]byte{msgResult, 0xff, 0xff, 0xff, 0x7f})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		typ, payload, err := readFrame(bufio.NewReader(bytes.NewReader(data)))
+		if err == nil {
+			if len(payload) > len(data) {
+				t.Fatalf("frame yielded %d payload bytes from %d input bytes", len(payload), len(data))
+			}
+			switch typ {
+			case msgJob:
+				var job Job
+				unmarshalJob(payload, &job)
+			case msgShard:
+				decodeShard(payload)
+			case msgHello:
+				decodeHello(payload)
+			case msgResult:
+				unmarshalResult(payload)
+			}
+		}
+		// The sub-decoders also see raw payloads (hub registration, the
+		// worker's shard loop); they must reject garbage without
+		// panicking regardless of framing.
+		decodeResult(data)
+		decodeShard(data)
+		decodeHello(data)
+	})
+}

@@ -36,6 +36,10 @@ type PoolOpts struct {
 
 // WorkerStats is one worker process's contribution to a campaign.
 type WorkerStats struct {
+	// Name identifies the worker on the socket transport (the name it
+	// registered in its hello); empty for pipe-transport workers, which
+	// are anonymous children indexed by slot.
+	Name string
 	// Shards counts results this worker reported that were accepted
 	// (first completion of their range).
 	Shards int
@@ -122,12 +126,25 @@ type dispatcher struct {
 	inflight []int
 	done     []bool
 	steals   int
+	// remaining counts incomplete shards; allDone closes when it hits
+	// zero so transport-level waiters (the remote pool's accept loop,
+	// backoff sleeps, deadline reads) can stop without polling.
+	remaining int
+	allDone   chan struct{}
 }
 
 func newDispatcher(n int) *dispatcher {
-	d := &dispatcher{pending: make([]int, n), done: make([]bool, n)}
+	d := &dispatcher{
+		pending:   make([]int, n),
+		done:      make([]bool, n),
+		remaining: n,
+		allDone:   make(chan struct{}),
+	}
 	for i := range d.pending {
 		d.pending[i] = i
+	}
+	if n == 0 {
+		close(d.allDone)
 	}
 	return d
 }
@@ -157,13 +174,16 @@ func (d *dispatcher) next() (idx int, steal, ok bool) {
 }
 
 // requeue returns an assignment whose worker died so others pick it up
-// even before the steal path kicks in.
-func (d *dispatcher) requeue(idx int) {
+// even before the steal path kicks in; it reports whether the shard was
+// actually still incomplete (the remote pool counts those as re-deals).
+func (d *dispatcher) requeue(idx int) bool {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if !d.done[idx] {
-		d.pending = append(d.pending, idx)
+	if d.done[idx] {
+		return false
 	}
+	d.pending = append(d.pending, idx)
+	return true
 }
 
 // complete marks a shard done; reports whether this was the first
@@ -175,6 +195,10 @@ func (d *dispatcher) complete(idx int) bool {
 		return false
 	}
 	d.done[idx] = true
+	d.remaining--
+	if d.remaining == 0 {
+		close(d.allDone)
+	}
 	return true
 }
 

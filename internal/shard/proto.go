@@ -27,11 +27,13 @@
 package shard
 
 import (
+	"bufio"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"io"
+	"sync"
 
 	"flowery/internal/campaign"
 )
@@ -44,6 +46,10 @@ import (
 //	msgResult uvarint header length, JSON resultHeader, reclog stream
 //	msgError  UTF-8 error text
 //	msgQuit   empty
+//	msgHello  JSON-encoded hello (socket transport only: proto + name)
+//	msgPing   empty application-level heartbeat (socket transport only;
+//	          either side may send one at any frame boundary, and every
+//	          reader skips them)
 const (
 	msgJob byte = iota + 1
 	msgReady
@@ -51,12 +57,26 @@ const (
 	msgResult
 	msgError
 	msgQuit
+	msgHello
+	msgPing
 )
+
+// ProtoVersion is the socket transport's handshake version. A worker
+// whose hello carries a different version is rejected during the
+// handshake with a one-line error instead of failing later with a
+// frame-shape mismatch deep inside a campaign.
+const ProtoVersion = 1
 
 // maxFrame bounds a single frame's payload. Large enough for any
 // module text or shard result this repo produces, small enough that a
 // corrupted length prefix cannot trigger a giant allocation.
 const maxFrame = 1 << 28
+
+// allocChunk bounds how much readFrame allocates ahead of the bytes
+// actually arriving, so a hostile or corrupt peer declaring a huge
+// frame costs at most one chunk, not maxFrame, before the stream runs
+// dry.
+const allocChunk = 1 << 20
 
 // Job is everything a worker needs to reproduce the coordinator's
 // engines and execute shards of the campaign: the pristine
@@ -147,15 +167,42 @@ func readFrame(r io.ByteReader) (typ byte, payload []byte, err error) {
 	if size > maxFrame {
 		return 0, nil, fmt.Errorf("shard: frame of %d bytes exceeds limit", size)
 	}
-	payload = make([]byte, size)
 	br, ok := r.(io.Reader)
 	if !ok {
 		return 0, nil, fmt.Errorf("shard: frame source is not an io.Reader")
 	}
-	if _, err := io.ReadFull(br, payload); err != nil {
-		return 0, nil, fmt.Errorf("shard: frame body (%d bytes): %w", size, err)
+	// Grow the buffer chunk by chunk as bytes actually arrive: a length
+	// prefix the peer never backs with data cannot provoke a maxFrame
+	// allocation.
+	payload = make([]byte, 0, min64(size, allocChunk))
+	for uint64(len(payload)) < size {
+		chunk := min64(size-uint64(len(payload)), allocChunk)
+		off := len(payload)
+		payload = append(payload, make([]byte, chunk)...)
+		if _, err := io.ReadFull(br, payload[off:]); err != nil {
+			return 0, nil, fmt.Errorf("shard: frame body (%d of %d bytes): %w", off, size, err)
+		}
 	}
 	return typ, payload, nil
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// readFrameSkipPing reads the next non-heartbeat frame. Heartbeats may
+// arrive at any frame boundary on the socket transport; every protocol
+// reader treats them as pure liveness and moves on.
+func readFrameSkipPing(r io.ByteReader) (byte, []byte, error) {
+	for {
+		typ, payload, err := readFrame(r)
+		if err != nil || typ != msgPing {
+			return typ, payload, err
+		}
+	}
 }
 
 func unmarshalJob(payload []byte, job *Job) error {
@@ -163,6 +210,35 @@ func unmarshalJob(payload []byte, job *Job) error {
 		return fmt.Errorf("shard: decoding job: %w", err)
 	}
 	return nil
+}
+
+// hello is the msgHello payload a socket worker sends as its first
+// frame, regardless of which side dialed: the protocol version it
+// speaks and the name it registers under (duplicate names are rejected
+// so a fleet misconfiguration — two hosts launched with the same
+// identity — surfaces at connect time).
+type hello struct {
+	Proto int
+	Name  string
+}
+
+func encodeHello(h hello) []byte {
+	b, err := json.Marshal(h)
+	if err != nil {
+		panic("shard: encoding hello: " + err.Error()) // two plain fields; cannot fail
+	}
+	return b
+}
+
+func decodeHello(payload []byte) (hello, error) {
+	var h hello
+	if err := json.Unmarshal(payload, &h); err != nil {
+		return hello{}, fmt.Errorf("shard: decoding hello: %w", err)
+	}
+	if h.Name == "" {
+		return hello{}, fmt.Errorf("shard: hello carries no worker name")
+	}
+	return h, nil
 }
 
 // jobHash is the content hash both sides derive from the job payload;
@@ -192,6 +268,30 @@ func decodeShard(payload []byte) (campaign.ShardRange, error) {
 	return campaign.ShardRange{Lo: int(lo), Hi: int(hi)}, nil
 }
 
+// frameSink serializes whole frames onto one writer. The pipe transport
+// has a single writer per direction and never contends; the socket
+// transport shares the sink between the protocol loop and the heartbeat
+// goroutine, and the mutex spans write+flush so a ping can never land
+// inside another frame's bytes.
+type frameSink struct {
+	mu sync.Mutex
+	bw *bufio.Writer
+}
+
+func newFrameSink(w io.Writer) *frameSink {
+	return &frameSink{bw: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// send writes one frame and flushes it.
+func (s *frameSink) send(typ byte, payload []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := writeFrame(s.bw, typ, payload); err != nil {
+		return err
+	}
+	return s.bw.Flush()
+}
+
 func encodeResult(hdr resultHeader, reclogStream []byte) ([]byte, error) {
 	hj, err := json.Marshal(hdr)
 	if err != nil {
@@ -208,7 +308,10 @@ func encodeResult(hdr resultHeader, reclogStream []byte) ([]byte, error) {
 
 func decodeResult(payload []byte) (resultHeader, []byte, error) {
 	size, n := binary.Uvarint(payload)
-	if n <= 0 || int(size) > len(payload)-n {
+	// The explicit maxFrame comparison keeps a 64-bit header length from
+	// wrapping negative through the int cast and sailing past the bounds
+	// check into a slice-bounds panic (found by FuzzShardFrame).
+	if n <= 0 || size > maxFrame || int(size) > len(payload)-n {
 		return resultHeader{}, nil, fmt.Errorf("shard: bad result frame")
 	}
 	var hdr resultHeader

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"syscall"
 
 	"flowery/internal/asm"
@@ -23,12 +24,34 @@ import (
 // flowery binary can double as its own worker without argv gymnastics.
 const EnvWorker = "FLOWERY_SHARD_WORKER"
 
+// EnvWorkerConnect turns the process into a socket shard worker dialing
+// the given coordinator address (the env-var twin of
+// `flowery shard-worker -connect`). Chaos tests use it to spawn a real
+// worker process they can SIGKILL mid-campaign.
+const EnvWorkerConnect = "FLOWERY_SHARD_WORKER_CONNECT"
+
+// EnvChaosExitAfter is a fault-injection hook for the fault-injection
+// fleet itself: when set to n > 0, the worker process exits abruptly
+// (no quit handshake, no conn teardown — SIGKILL semantics) right after
+// sending its n-th result. The chaos CI smoke uses it to kill one
+// worker mid-campaign deterministically and assert the coordinator
+// re-deals its shards without perturbing the merged statistics.
+const EnvChaosExitAfter = "FLOWERY_SHARD_CHAOS_EXIT_AFTER"
+
 // MaybeServeWorker turns the current process into a shard worker when
-// EnvWorker is set, serving the protocol on stdin/stdout and exiting
-// when the coordinator hangs up; otherwise it returns immediately.
-// Call it first thing in main() (and in TestMain for packages whose
-// test binary doubles as the worker Command).
+// EnvWorker (pipe transport on stdin/stdout) or EnvWorkerConnect
+// (socket transport, dialing a coordinator) is set, and exits when the
+// coordinator hangs up; otherwise it returns immediately. Call it first
+// thing in main() (and in TestMain for packages whose test binary
+// doubles as the worker Command).
 func MaybeServeWorker() {
+	if addr := os.Getenv(EnvWorkerConnect); addr != "" {
+		if err := RunWorker(WorkerOpts{Connect: addr}); err != nil {
+			fmt.Fprintln(os.Stderr, "flowery shard worker:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
 	if os.Getenv(EnvWorker) == "" {
 		return
 	}
@@ -43,14 +66,24 @@ func MaybeServeWorker() {
 // the engines, then execute shard assignments until msgQuit or EOF.
 // Errors while executing a shard are reported to the coordinator as
 // msgError frames (the coordinator re-deals the shard elsewhere);
-// protocol-level errors tear the worker down.
+// protocol-level errors tear the worker down. The socket transport
+// reuses this loop verbatim over a net.Conn (see RunWorker), with a
+// heartbeat goroutine sharing the frame sink.
 func ServeWorker(r io.Reader, w io.Writer) error {
-	br := bufio.NewReaderSize(r, 1<<16)
-	bw := bufio.NewWriterSize(w, 1<<16)
+	return serveFrames(bufio.NewReaderSize(r, 1<<16), newFrameSink(w))
+}
 
-	typ, payload, err := readFrame(br)
+func serveFrames(br *bufio.Reader, sink *frameSink) error {
+	chaosAfter, _ := strconv.Atoi(os.Getenv(EnvChaosExitAfter))
+
+	typ, payload, err := readFrameSkipPing(br)
 	if err != nil {
 		return fmt.Errorf("reading job: %w", err)
+	}
+	if typ == msgError {
+		// Socket coordinators refuse a worker with one line (stale
+		// protocol, duplicate name, job already complete) instead of a job.
+		return fmt.Errorf("%w: %s", errRejected, payload)
 	}
 	if typ != msgJob {
 		return fmt.Errorf("expected job frame, got type %d", typ)
@@ -61,24 +94,20 @@ func ServeWorker(r io.Reader, w io.Writer) error {
 	if err != nil {
 		// Report the build failure instead of dying silently: the
 		// coordinator surfaces it with context.
-		if werr := writeFrame(bw, msgError, []byte(err.Error())); werr == nil {
-			bw.Flush()
-		}
+		sink.send(msgError, []byte(err.Error()))
 		return err
 	}
 	defer runner.Close()
 
-	if err := writeFrame(bw, msgReady, hash[:]); err != nil {
+	if err := sink.send(msgReady, hash[:]); err != nil {
 		return fmt.Errorf("sending ready: %w", err)
-	}
-	if err := bw.Flush(); err != nil {
-		return err
 	}
 
 	setupDone := false
+	results := 0
 	lastCPU := cpuNanos()
 	for {
-		typ, payload, err := readFrame(br)
+		typ, payload, err := readFrameSkipPing(br)
 		if err == io.EOF {
 			return nil // coordinator hung up; treat as quit
 		}
@@ -95,11 +124,8 @@ func ServeWorker(r io.Reader, w io.Writer) error {
 			}
 			res, err := runner.RunRange(rg)
 			if err != nil {
-				if werr := writeFrame(bw, msgError, []byte(err.Error())); werr != nil {
+				if werr := sink.send(msgError, []byte(err.Error())); werr != nil {
 					return werr
-				}
-				if err := bw.Flush(); err != nil {
-					return err
 				}
 				continue
 			}
@@ -113,11 +139,12 @@ func ServeWorker(r io.Reader, w io.Writer) error {
 			if err != nil {
 				return err
 			}
-			if err := writeFrame(bw, msgResult, frame); err != nil {
+			if err := sink.send(msgResult, frame); err != nil {
 				return err
 			}
-			if err := bw.Flush(); err != nil {
-				return err
+			results++
+			if chaosAfter > 0 && results >= chaosAfter {
+				os.Exit(3) // scripted abrupt death; see EnvChaosExitAfter
 			}
 		default:
 			return fmt.Errorf("unexpected frame type %d", typ)

@@ -185,3 +185,46 @@ job=$(awk '/^remote: job / {print $3; exit}' "$tmpdir/sec_warm.err")
 "$tmpdir/flowery" remote -addr "$daemon_url" metrics "$job" >"$tmpdir/secjob.prom"
 grep -q '^pipeline_store_hits_total [1-9]' "$tmpdir/secjob.prom"
 kill "$daemon_pid"
+
+# Remote socket worker gate (DESIGN.md §17): the same campaign farmed
+# over TCP to two socket workers must print statistics bit-identical to
+# the unsharded run, and the shard-streamed record log must byte-match
+# the single-writer one.
+"$tmpdir/flowery" shard-worker -listen 127.0.0.1:0 \
+    -addr-file "$tmpdir/w1.addr" 2>/dev/null &
+w1_pid=$!
+"$tmpdir/flowery" shard-worker -listen 127.0.0.1:0 \
+    -addr-file "$tmpdir/w2.addr" 2>/dev/null &
+w2_pid=$!
+w3_pid=
+trap 'kill "$daemon_pid" "$w1_pid" "$w2_pid" $w3_pid 2>/dev/null || true; rm -rf "$tmpdir"' EXIT
+for _ in $(seq 50); do
+    [ -s "$tmpdir/w1.addr" ] && [ -s "$tmpdir/w2.addr" ] && break
+    sleep 0.1
+done
+"$tmpdir/flowery" inject -runs 400 -seed 7 \
+    -reclog "$tmpdir/local.frl" crc32 >/dev/null
+"$tmpdir/flowery" inject -runs 400 -seed 7 -shards 8 \
+    -remote-workers "$(cat "$tmpdir/w1.addr"),$(cat "$tmpdir/w2.addr")" \
+    -reclog "$tmpdir/socket.frl" crc32 >"$tmpdir/socket.out"
+diff "$tmpdir/unsharded.out" "$tmpdir/socket.out"
+cmp "$tmpdir/local.frl" "$tmpdir/socket.frl"
+
+# Chaos smoke (DESIGN.md §17): one of the two workers dies abruptly
+# after its first result — no quit, no teardown, like a crashed host.
+# The campaign must still print bit-identical statistics, with the lost
+# shard visibly re-dealt in telemetry. Redialing the dead worker is
+# disabled so the smoke exercises re-deal, not resurrection.
+FLOWERY_SHARD_CHAOS_EXIT_AFTER=1 "$tmpdir/flowery" shard-worker \
+    -listen 127.0.0.1:0 -addr-file "$tmpdir/w3.addr" 2>/dev/null &
+w3_pid=$!
+for _ in $(seq 50); do
+    [ -s "$tmpdir/w3.addr" ] && break
+    sleep 0.1
+done
+"$tmpdir/flowery" -metrics "$tmpdir/chaos.prom" inject -runs 400 -seed 7 \
+    -shards 8 -remote-redials -1 \
+    -remote-workers "$(cat "$tmpdir/w1.addr"),$(cat "$tmpdir/w3.addr")" \
+    crc32 >"$tmpdir/chaos.out"
+diff "$tmpdir/unsharded.out" "$tmpdir/chaos.out"
+grep -q '^shard_shards_redealt_total [1-9]' "$tmpdir/chaos.prom"
